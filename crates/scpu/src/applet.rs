@@ -1,0 +1,51 @@
+//! Firmware interface.
+//!
+//! The IBM 4764 "can be custom programmed to run arbitrary code" (§2.2);
+//! the Strong WORM logic is one such program. [`Applet`] is the contract a
+//! firmware image implements to run inside a [`Device`](crate::Device):
+//! it receives typed requests over the command channel, can schedule
+//! alarms (the Retention Monitor's wake/sleep cycle), and is zeroized on
+//! tamper.
+
+use crate::clock::Timestamp;
+use crate::device::Env;
+
+/// Firmware loaded into a secure device.
+///
+/// All applet state lives inside the trusted enclosure. The only way any
+/// information crosses the boundary is through the `Response` values
+/// returned here — in particular, private keys must never appear in them.
+pub trait Applet {
+    /// Request message type accepted over the command channel.
+    type Request;
+    /// Response message type returned over the command channel.
+    type Response;
+
+    /// Handles one command. `env` provides the trusted clock, device RNG,
+    /// secure memory budget, and cost metering.
+    fn handle(&mut self, env: &mut Env, request: Self::Request) -> Self::Response;
+
+    /// Next scheduled wake-up, if any (e.g., the Retention Monitor's next
+    /// expiration time). The device invokes [`Applet::on_alarm`] once the
+    /// trusted clock passes this instant.
+    fn next_alarm(&self) -> Option<Timestamp> {
+        None
+    }
+
+    /// Invoked when a scheduled alarm is due. May reschedule via
+    /// [`Applet::next_alarm`].
+    fn on_alarm(&mut self, env: &mut Env) {
+        let _ = env;
+    }
+
+    /// Invoked periodically during idle periods so the applet can run
+    /// background work (signature strengthening, VEXP maintenance, window
+    /// compaction assistance). `budget_ns` is the idle budget the host
+    /// grants; the applet should stop once it has charged that much.
+    fn on_idle(&mut self, env: &mut Env, budget_ns: u64) {
+        let _ = (env, budget_ns);
+    }
+
+    /// Invoked by the tamper response: destroy all secrets.
+    fn zeroize(&mut self);
+}

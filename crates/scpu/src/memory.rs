@@ -1,0 +1,159 @@
+//! Bounded secure memory.
+//!
+//! Heat-dissipation limits leave the SCPU with little RAM (§1); the
+//! firmware's VEXP expiration list is explicitly "subject to secure storage
+//! space" (§4.2.2). [`SecureMemory`] models that budget: firmware reserves
+//! bytes before growing any in-enclosure structure and releases them when
+//! entries are evicted, so tests can verify graceful behaviour at the
+//! capacity limit.
+
+/// Byte-granular budget for in-enclosure state.
+#[derive(Clone, Debug)]
+pub struct SecureMemory {
+    capacity: usize,
+    used: usize,
+    high_water: usize,
+}
+
+/// Error returned when a reservation would exceed the secure-memory budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SecureMemoryExhausted {
+    /// Bytes requested.
+    pub requested: usize,
+    /// Bytes still available.
+    pub available: usize,
+}
+
+impl std::fmt::Display for SecureMemoryExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "secure memory exhausted: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for SecureMemoryExhausted {}
+
+impl SecureMemory {
+    /// Budget of `capacity` bytes.
+    pub fn new(capacity: usize) -> Self {
+        SecureMemory {
+            capacity,
+            used: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes currently reserved.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> usize {
+        self.capacity - self.used
+    }
+
+    /// Highest reservation level seen.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Reserves `bytes`, failing if the budget would be exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SecureMemoryExhausted`] when fewer than `bytes` are free.
+    pub fn reserve(&mut self, bytes: usize) -> Result<(), SecureMemoryExhausted> {
+        if bytes > self.available() {
+            return Err(SecureMemoryExhausted {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+        Ok(())
+    }
+
+    /// Releases previously reserved bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if releasing more than is reserved (a firmware accounting
+    /// bug, not a runtime condition).
+    pub fn release(&mut self, bytes: usize) {
+        assert!(
+            bytes <= self.used,
+            "secure memory release of {bytes} exceeds {} reserved",
+            self.used
+        );
+        self.used -= bytes;
+    }
+
+    /// Drops all reservations (used on tamper zeroization).
+    pub fn clear(&mut self) {
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let mut m = SecureMemory::new(100);
+        m.reserve(60).unwrap();
+        assert_eq!(m.used(), 60);
+        assert_eq!(m.available(), 40);
+        m.release(20);
+        assert_eq!(m.used(), 40);
+        assert_eq!(m.high_water(), 60);
+    }
+
+    #[test]
+    fn exhaustion_reports_availability() {
+        let mut m = SecureMemory::new(10);
+        m.reserve(8).unwrap();
+        let err = m.reserve(5).unwrap_err();
+        assert_eq!(err.requested, 5);
+        assert_eq!(err.available, 2);
+        assert!(err.to_string().contains("5"));
+        // Failed reservation does not change accounting.
+        assert_eq!(m.used(), 8);
+    }
+
+    #[test]
+    fn exact_fill() {
+        let mut m = SecureMemory::new(10);
+        m.reserve(10).unwrap();
+        assert_eq!(m.available(), 0);
+        assert!(m.reserve(1).is_err());
+        assert!(m.reserve(0).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn over_release_panics() {
+        let mut m = SecureMemory::new(10);
+        m.reserve(3).unwrap();
+        m.release(4);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut m = SecureMemory::new(10);
+        m.reserve(7).unwrap();
+        m.clear();
+        assert_eq!(m.used(), 0);
+        assert_eq!(m.high_water(), 7);
+    }
+}

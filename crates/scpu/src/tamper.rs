@@ -1,0 +1,93 @@
+//! Tamper detection and response.
+//!
+//! FIPS 140-2 Level 4 devices destroy internal state and shut down
+//! permanently when their enclosure is breached (§2.2). [`TamperCircuit`]
+//! models the battery-backed sensor loop: once triggered it latches, and
+//! the device refuses every further command.
+
+use crate::clock::Timestamp;
+
+/// Why the tamper response fired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TamperCause {
+    /// Physical enclosure penetration.
+    Penetration,
+    /// Temperature outside the certified envelope.
+    Temperature,
+    /// Supply voltage manipulation.
+    Voltage,
+    /// X-ray / radiation attack.
+    Radiation,
+}
+
+impl std::fmt::Display for TamperCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            TamperCause::Penetration => "enclosure penetration",
+            TamperCause::Temperature => "temperature excursion",
+            TamperCause::Voltage => "voltage manipulation",
+            TamperCause::Radiation => "radiation attack",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Latching tamper sensor.
+#[derive(Clone, Debug, Default)]
+pub struct TamperCircuit {
+    triggered: Option<(TamperCause, Timestamp)>,
+}
+
+impl TamperCircuit {
+    /// New, armed circuit.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the response has fired.
+    pub fn is_triggered(&self) -> bool {
+        self.triggered.is_some()
+    }
+
+    /// The cause and time of the (first) trigger, if any.
+    pub fn event(&self) -> Option<(TamperCause, Timestamp)> {
+        self.triggered
+    }
+
+    /// Fires the tamper response. Latches: later triggers are ignored.
+    pub fn trigger(&mut self, cause: TamperCause, at: Timestamp) {
+        if self.triggered.is_none() {
+            self.triggered = Some((cause, at));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latches_first_cause() {
+        let mut t = TamperCircuit::new();
+        assert!(!t.is_triggered());
+        t.trigger(TamperCause::Voltage, Timestamp::from_millis(5));
+        t.trigger(TamperCause::Penetration, Timestamp::from_millis(9));
+        assert!(t.is_triggered());
+        assert_eq!(
+            t.event(),
+            Some((TamperCause::Voltage, Timestamp::from_millis(5)))
+        );
+    }
+
+    #[test]
+    fn causes_render() {
+        for c in [
+            TamperCause::Penetration,
+            TamperCause::Temperature,
+            TamperCause::Voltage,
+            TamperCause::Radiation,
+        ] {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Cross-checks of the cost-model calibration against every Table 2
+//! anchor, from outside the crate (public-API view).
+
+use scpu::{CostModel, Meter, Op};
+
+fn rate(m: &CostModel, op: Op) -> f64 {
+    1e9 / m.cost_ns(op) as f64
+}
+
+fn mbps(m: &CostModel, bytes: usize) -> f64 {
+    bytes as f64 / (m.cost_ns(Op::Sha1 { bytes }) as f64 / 1e9) / 1e6
+}
+
+#[test]
+fn host_p4_anchors_match_table2() {
+    let host = CostModel::host_p4();
+    assert!((rate(&host, Op::RsaSign { bits: 512 }) - 1315.0).abs() < 1.0);
+    assert!((rate(&host, Op::RsaSign { bits: 1024 }) - 261.0).abs() < 1.0);
+    assert!((rate(&host, Op::RsaSign { bits: 2048 }) - 43.0).abs() < 1.0);
+    assert!((mbps(&host, 1 << 10) - 80.0).abs() < 0.5);
+    assert!((mbps(&host, 64 << 10) - 120.0).abs() < 0.5);
+}
+
+#[test]
+fn device_host_ratios_match_paper_narrative() {
+    // §1: SCPUs are "up to one order of magnitude slower than host CPUs"
+    // — for hashing; their RSA hardware actually beats the host.
+    let dev = CostModel::ibm4764();
+    let host = CostModel::host_p4();
+    let hash_ratio = mbps(&host, 64 << 10) / mbps(&dev, 64 << 10);
+    assert!(hash_ratio > 5.0, "hashing gap ratio {hash_ratio}");
+    let sign_ratio =
+        rate(&dev, Op::RsaSign { bits: 1024 }) / rate(&host, Op::RsaSign { bits: 1024 });
+    assert!(sign_ratio > 2.0, "RSA accel ratio {sign_ratio}");
+}
+
+#[test]
+fn sha1_rate_grows_monotonically_with_block_size() {
+    let dev = CostModel::ibm4764();
+    let mut prev = 0.0;
+    for bytes in [256usize, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10] {
+        let r = mbps(&dev, bytes);
+        assert!(r >= prev, "rate must not shrink with block size: {bytes}");
+        prev = r;
+    }
+}
+
+#[test]
+fn write_cost_shape_drives_figure1_plateaus() {
+    // The paper's headline numbers come straight out of the model:
+    //   full strength:  2 × RSA-1024 per record → ≈ 424/s
+    //   deferred:       2 × RSA-512  per record → ≈ 2100/s
+    let dev = CostModel::ibm4764();
+    let full = 2 * dev.cost_ns(Op::RsaSign { bits: 1024 });
+    let deferred = 2 * dev.cost_ns(Op::RsaSign { bits: 512 });
+    let full_rps = 1e9 / full as f64;
+    let deferred_rps = 1e9 / deferred as f64;
+    assert!((400.0..500.0).contains(&full_rps), "{full_rps}");
+    assert!((2000.0..2500.0).contains(&deferred_rps), "{deferred_rps}");
+}
+
+#[test]
+fn meter_aggregates_mixed_workload() {
+    let dev = CostModel::ibm4764();
+    let mut meter = Meter::new();
+    let ops = [
+        Op::Command,
+        Op::DmaIn { bytes: 4096 },
+        Op::Sha256 { bytes: 4096 },
+        Op::RsaSign { bits: 1024 },
+        Op::RsaSign { bits: 1024 },
+        Op::Hmac { bytes: 128 },
+        Op::RsaVerify { bits: 1024 },
+        Op::DmaOut { bytes: 64 },
+    ];
+    for op in ops {
+        meter.record(op, dev.cost_ns(op));
+    }
+    assert_eq!(meter.count("command"), 1);
+    assert_eq!(meter.count("rsa_sign"), 2);
+    assert_eq!(meter.count("rsa_verify"), 1);
+    assert_eq!(meter.count("hmac"), 1);
+    assert_eq!(meter.bytes_dma(), 4096 + 64);
+    assert_eq!(meter.bytes_hashed(), 4096 + 128);
+    // Dominated by the two signatures (≈ 2.36 ms).
+    assert!(meter.busy_ns() > 2_300_000);
+    assert!(meter.busy_ns() < 6_000_000);
+}

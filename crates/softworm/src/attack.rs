@@ -1,0 +1,106 @@
+//! The insider attacks of §1/§3, executed against soft-WORM.
+//!
+//! "In practice, these first-generation mechanisms allow an insider using
+//! off-the-shelf resources to replicate illicitly modified versions of
+//! data onto seemingly-identical storage units without detection."
+//!
+//! The attacks need nothing beyond what the threat model grants: raw
+//! access to the rewritable medium (so both a record *and* its
+//! "hidden" checksum can be rewritten consistently) and superuser control
+//! of the software stack (so index metadata can be edited). Each function
+//! returns once the attack is staged; the accompanying tests then show
+//! the store still reports `integrity_checked: true`.
+
+use wormcrypt::{Digest, Sha256};
+use wormstore::BlockDevice;
+
+use crate::store::{SoftRecordId, SoftWormStore};
+
+/// Rewrites record `id`'s content *and* plants a matching checksum in the
+/// hidden area — the history-rewriting attack. Requires the new data to
+/// fit the original extent (padding with spaces otherwise, as a real
+/// attacker would).
+///
+/// Returns `false` if the record is unknown.
+pub fn rewrite_history(store: &mut SoftWormStore, id: SoftRecordId, new_data: &[u8]) -> bool {
+    let Some((offset, len, checksum_slot)) = store.meta(id) else {
+        return false;
+    };
+    let mut forged = new_data.to_vec();
+    forged.resize(len as usize, b' ');
+    let disk = store.raw_disk_mut();
+    if disk.write_at(offset, &forged).is_err() {
+        return false;
+    }
+    // The checksum lives on the same rewritable medium: update it too.
+    let mut slot = Vec::with_capacity(40);
+    slot.extend_from_slice(&id.0.to_be_bytes());
+    slot.extend_from_slice(&Sha256::digest(&forged));
+    disk.write_at(checksum_slot, &slot).is_ok()
+}
+
+/// Erases every trace of record `id` — data, hidden checksum, and index
+/// row — before its retention elapsed. Afterwards the store truthfully
+/// (as far as its own state goes) reports the record never existed.
+///
+/// Returns `false` if the record is unknown.
+pub fn erase_history(store: &mut SoftWormStore, id: SoftRecordId) -> bool {
+    let Some((offset, len, checksum_slot)) = store.meta(id) else {
+        return false;
+    };
+    let zeros = vec![0u8; len as usize];
+    let disk = store.raw_disk_mut();
+    let ok = disk.write_at(offset, &zeros).is_ok()
+        && disk.write_at(checksum_slot, &[0u8; 40]).is_ok();
+    ok && store.index_remove_for_attack(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::SoftWormError;
+    use scpu::VirtualClock;
+    use std::time::Duration;
+
+    #[test]
+    fn rewrite_history_goes_undetected() {
+        let clock = VirtualClock::new();
+        let mut s = SoftWormStore::new(1 << 16, clock);
+        let id = s
+            .write(b"PAY 1,000,000 TO OFFSHORE ACCT", Duration::from_secs(1_000_000))
+            .unwrap();
+
+        assert!(rewrite_history(&mut s, id, b"PAY 100 TO CHARITY FUND ACCT"));
+
+        // The store happily verifies the forged record.
+        let out = s.read(id).expect("read succeeds");
+        assert!(out.integrity_checked, "forgery passes the checksum");
+        assert!(out.data.starts_with(b"PAY 100 TO CHARITY"));
+    }
+
+    #[test]
+    fn erase_history_goes_undetected() {
+        let clock = VirtualClock::new();
+        let mut s = SoftWormStore::new(1 << 16, clock);
+        let keep = s.write(b"innocent", Duration::from_secs(1_000_000)).unwrap();
+        let victim = s
+            .write(b"incriminating", Duration::from_secs(1_000_000))
+            .unwrap();
+
+        assert!(erase_history(&mut s, victim));
+
+        // "Never existed", with nothing to contradict the claim.
+        assert_eq!(s.read(victim).unwrap_err(), SoftWormError::NotFound(victim));
+        assert!(!s.exists(victim));
+        // Collateral records still verify, making the unit look healthy.
+        assert!(s.read(keep).unwrap().integrity_checked);
+    }
+
+    #[test]
+    fn attacks_on_unknown_records_fail_gracefully() {
+        let clock = VirtualClock::new();
+        let mut s = SoftWormStore::new(1 << 12, clock);
+        assert!(!rewrite_history(&mut s, SoftRecordId(99), b"x"));
+        assert!(!erase_history(&mut s, SoftRecordId(99)));
+    }
+}

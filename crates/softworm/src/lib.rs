@@ -1,0 +1,43 @@
+//! # softworm — the first-generation baseline Strong WORM replaces
+//!
+//! §3 of the paper surveys existing WORM products: magnetic-disk systems
+//! whose "write-once semantics \[are\] enforced through software
+//! ('soft-WORM')", with integrity checksums hidden at "locations
+//! logically un-addressable from user-land". The paper's critique:
+//! against an insider with superuser powers and physical disk access,
+//! every one of those mechanisms "is bound to fail".
+//!
+//! This crate implements that baseline faithfully — software-enforced
+//! write-once and retention checks, hidden-area checksums, honest
+//! rejection of clumsy attacks — together with the two insider attacks
+//! (§1) that defeat it:
+//!
+//! * [`attack::rewrite_history`] — alter a record *and* its hidden
+//!   checksum consistently; reads keep reporting `integrity_checked`.
+//! * [`attack::erase_history`] — remove a record, its checksum, and its
+//!   index row before retention; the store reports it never existed.
+//!
+//! The `tests/softworm_vs_strongworm.rs` suite at the workspace root runs
+//! the same attacks against both systems and shows the asymmetry the
+//! paper's entire design is motivated by.
+//!
+//! ```
+//! use std::time::Duration;
+//! use scpu::VirtualClock;
+//! use softworm::{attack, SoftWormStore};
+//!
+//! let mut store = SoftWormStore::new(1 << 16, VirtualClock::new());
+//! let id = store.write(b"original", Duration::from_secs(3600)).unwrap();
+//! attack::rewrite_history(&mut store, id, b"forged!!");
+//! let out = store.read(id).unwrap();
+//! assert!(out.integrity_checked);          // the store vouches...
+//! assert_eq!(&out.data[..], b"forged!!");  // ...for forged content.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+mod store;
+
+pub use store::{SoftOutcome, SoftRecordId, SoftWormError, SoftWormStore};

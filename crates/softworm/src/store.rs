@@ -1,0 +1,298 @@
+//! The soft-WORM store.
+//!
+//! Faithfully models the first-generation design the paper describes
+//! (§3, *Hard disk-based WORM*): ordinary rewritable disks with
+//! write-once semantics "enforced through software", plus integrity
+//! checksums "at locations logically un-addressable from user-land" —
+//! i.e., a hidden region of the same disk that the documented API never
+//! exposes. Every guarantee here lives in this process's code paths;
+//! nothing is anchored in tamper-resistant hardware. That is precisely
+//! the weakness the Strong WORM architecture fixes.
+
+use bytes::Bytes;
+use scpu::{Clock, Timestamp};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+use wormcrypt::{Digest, Sha256};
+use wormstore::{BlockDevice, MemDisk};
+
+/// Identifier of a soft-WORM record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SoftRecordId(pub u64);
+
+impl std::fmt::Display for SoftRecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "soft:{}", self.0)
+    }
+}
+
+/// Errors from the soft-WORM API.
+#[derive(Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SoftWormError {
+    /// Software-enforced WORM: the record exists and may not be altered.
+    WriteOnce(SoftRecordId),
+    /// Software-enforced retention: deletion before expiry refused.
+    RetentionActive(SoftRecordId),
+    /// No such record — *as far as the software can tell*.
+    NotFound(SoftRecordId),
+    /// The stored checksum does not match the data.
+    ChecksumMismatch(SoftRecordId),
+    /// The backing device failed or is full.
+    Device(String),
+}
+
+impl std::fmt::Display for SoftWormError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SoftWormError::WriteOnce(id) => write!(f, "{id} is write-once"),
+            SoftWormError::RetentionActive(id) => write!(f, "{id} is under retention"),
+            SoftWormError::NotFound(id) => write!(f, "{id} not found"),
+            SoftWormError::ChecksumMismatch(id) => write!(f, "{id} failed its checksum"),
+            SoftWormError::Device(e) => write!(f, "device failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SoftWormError {}
+
+/// What a successful soft-WORM read asserts.
+#[derive(Clone, Debug)]
+pub struct SoftOutcome {
+    /// The record bytes.
+    pub data: Bytes,
+    /// The store's integrity claim: the data matched its (hidden-area)
+    /// checksum. Note this is a claim by *software on the same machine*,
+    /// not by an independent trust anchor.
+    pub integrity_checked: bool,
+}
+
+/// Disk layout: record extents grow from offset 0; the "logically
+/// un-addressable" checksum area occupies the top of the disk.
+const CHECKSUM_SLOT: u64 = 40; // id(8) + digest(32)
+
+/// Metadata row the software keeps per record.
+#[derive(Clone, Copy, Debug)]
+struct SoftMeta {
+    offset: u64,
+    len: u64,
+    retention_until: Timestamp,
+    checksum_slot: u64,
+}
+
+/// A software-enforced WORM store over a rewritable disk.
+pub struct SoftWormStore {
+    disk: MemDisk,
+    clock: Arc<dyn Clock>,
+    index: BTreeMap<SoftRecordId, SoftMeta>,
+    next_id: u64,
+    data_watermark: u64,
+    next_checksum_slot: u64,
+}
+
+impl SoftWormStore {
+    /// Creates a store of `capacity` bytes (a slice at the top is
+    /// reserved for the hidden checksum area).
+    pub fn new(capacity: usize, clock: Arc<dyn Clock>) -> Self {
+        SoftWormStore {
+            disk: MemDisk::unmetered(capacity),
+            clock,
+            index: BTreeMap::new(),
+            next_id: 1,
+            data_watermark: 0,
+            next_checksum_slot: capacity as u64,
+        }
+    }
+
+    /// Stores a record with software-enforced retention.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftWormError::Device`] when the disk is full.
+    pub fn write(
+        &mut self,
+        data: &[u8],
+        retention: Duration,
+    ) -> Result<SoftRecordId, SoftWormError> {
+        let checksum_slot = self
+            .next_checksum_slot
+            .checked_sub(CHECKSUM_SLOT)
+            .filter(|&s| s >= self.data_watermark + data.len() as u64)
+            .ok_or_else(|| SoftWormError::Device("disk full".into()))?;
+        let offset = self.data_watermark;
+        self.disk
+            .write_at(offset, data)
+            .map_err(|e| SoftWormError::Device(e.to_string()))?;
+        let id = SoftRecordId(self.next_id);
+        // Hidden-area checksum: id || sha256(data).
+        let mut slot = Vec::with_capacity(CHECKSUM_SLOT as usize);
+        slot.extend_from_slice(&id.0.to_be_bytes());
+        slot.extend_from_slice(&Sha256::digest(data));
+        self.disk
+            .write_at(checksum_slot, &slot)
+            .map_err(|e| SoftWormError::Device(e.to_string()))?;
+
+        self.next_id += 1;
+        self.data_watermark = offset + data.len() as u64;
+        self.next_checksum_slot = checksum_slot;
+        self.index.insert(
+            id,
+            SoftMeta {
+                offset,
+                len: data.len() as u64,
+                retention_until: self.clock.now().after(retention),
+                checksum_slot,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Software-enforced write-once: any attempt to overwrite through the
+    /// API is refused.
+    ///
+    /// # Errors
+    ///
+    /// Always [`SoftWormError::WriteOnce`] for existing records.
+    pub fn overwrite(&mut self, id: SoftRecordId, _data: &[u8]) -> Result<(), SoftWormError> {
+        if self.index.contains_key(&id) {
+            Err(SoftWormError::WriteOnce(id))
+        } else {
+            Err(SoftWormError::NotFound(id))
+        }
+    }
+
+    /// Software-enforced retention: deletion before expiry is refused.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftWormError::RetentionActive`] before expiry;
+    /// [`SoftWormError::NotFound`] for unknown records.
+    pub fn delete(&mut self, id: SoftRecordId) -> Result<(), SoftWormError> {
+        let meta = self
+            .index
+            .get(&id)
+            .copied()
+            .ok_or(SoftWormError::NotFound(id))?;
+        if self.clock.now() < meta.retention_until {
+            return Err(SoftWormError::RetentionActive(id));
+        }
+        let zeros = vec![0u8; meta.len as usize];
+        self.disk
+            .write_at(meta.offset, &zeros)
+            .map_err(|e| SoftWormError::Device(e.to_string()))?;
+        self.disk
+            .write_at(meta.checksum_slot, &[0u8; CHECKSUM_SLOT as usize])
+            .map_err(|e| SoftWormError::Device(e.to_string()))?;
+        self.index.remove(&id);
+        Ok(())
+    }
+
+    /// Reads a record, checking it against its hidden-area checksum.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftWormError::NotFound`] / [`SoftWormError::ChecksumMismatch`].
+    pub fn read(&mut self, id: SoftRecordId) -> Result<SoftOutcome, SoftWormError> {
+        let meta = self
+            .index
+            .get(&id)
+            .copied()
+            .ok_or(SoftWormError::NotFound(id))?;
+        let mut data = vec![0u8; meta.len as usize];
+        self.disk
+            .read_at(meta.offset, &mut data)
+            .map_err(|e| SoftWormError::Device(e.to_string()))?;
+        let mut slot = [0u8; CHECKSUM_SLOT as usize];
+        self.disk
+            .read_at(meta.checksum_slot, &mut slot)
+            .map_err(|e| SoftWormError::Device(e.to_string()))?;
+        let stored_id = u64::from_be_bytes(slot[..8].try_into().expect("8 bytes"));
+        if stored_id != id.0 || slot[8..] != Sha256::digest(&data)[..] {
+            return Err(SoftWormError::ChecksumMismatch(id));
+        }
+        Ok(SoftOutcome {
+            data: Bytes::from(data),
+            integrity_checked: true,
+        })
+    }
+
+    /// Whether the store currently knows of the record.
+    pub fn exists(&self, id: SoftRecordId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// The record's metadata location — exposed because Mallory's tooling
+    /// can trivially derive it from the on-disk layout.
+    pub(crate) fn meta(&self, id: SoftRecordId) -> Option<(u64, u64, u64)> {
+        self.index
+            .get(&id)
+            .map(|m| (m.offset, m.len, m.checksum_slot))
+    }
+
+    /// Direct raw-disk access: the insider's physical attack surface.
+    pub fn raw_disk_mut(&mut self) -> &mut MemDisk {
+        &mut self.disk
+    }
+
+    /// Drops a record from the software index (superuser edit of the
+    /// store's metadata — not exposed by the "compliance API", but an
+    /// insider owns the whole process).
+    pub fn index_remove_for_attack(&mut self, id: SoftRecordId) -> bool {
+        self.index.remove(&id).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scpu::VirtualClock;
+
+    fn store() -> (SoftWormStore, Arc<VirtualClock>) {
+        let clock = VirtualClock::starting_at_millis(1000);
+        (SoftWormStore::new(1 << 16, clock.clone()), clock)
+    }
+
+    #[test]
+    fn honest_roundtrip() {
+        let (mut s, _clock) = store();
+        let id = s.write(b"record", Duration::from_secs(100)).unwrap();
+        let out = s.read(id).unwrap();
+        assert_eq!(&out.data[..], b"record");
+        assert!(out.integrity_checked);
+        assert!(s.exists(id));
+    }
+
+    #[test]
+    fn software_refuses_overwrite_and_early_delete() {
+        let (mut s, clock) = store();
+        let id = s.write(b"keep me", Duration::from_secs(100)).unwrap();
+        assert_eq!(s.overwrite(id, b"evil"), Err(SoftWormError::WriteOnce(id)));
+        assert_eq!(s.delete(id), Err(SoftWormError::RetentionActive(id)));
+        // After retention, deletion is allowed.
+        clock.advance(Duration::from_secs(101));
+        s.delete(id).unwrap();
+        assert_eq!(s.read(id).unwrap_err(), SoftWormError::NotFound(id));
+    }
+
+    #[test]
+    fn naive_data_corruption_is_caught() {
+        // A *clumsy* attacker who only flips data bits IS caught by the
+        // checksum — this is the case vendors advertise.
+        let (mut s, _clock) = store();
+        let id = s.write(b"record", Duration::from_secs(100)).unwrap();
+        let (offset, _, _) = s.meta(id).unwrap();
+        let mut b = [0u8; 1];
+        s.raw_disk_mut().read_at(offset, &mut b).unwrap();
+        b[0] ^= 0xFF;
+        s.raw_disk_mut().write_at(offset, &b).unwrap();
+        assert_eq!(s.read(id).unwrap_err(), SoftWormError::ChecksumMismatch(id));
+    }
+
+    #[test]
+    fn disk_full() {
+        let clock = VirtualClock::new();
+        let mut s = SoftWormStore::new(64, clock);
+        assert!(s.write(&[0u8; 100], Duration::from_secs(1)).is_err());
+    }
+}

@@ -1,0 +1,266 @@
+//! Trust anchors outside the storage system.
+//!
+//! Two external parties appear in the paper: a *certificate authority*
+//! ("a regulatory or general purpose certificate authority", §4.2.1) that
+//! signs the SCPU's public keys so clients can trust them, and a
+//! *regulatory authority* whose signed credentials authorize litigation
+//! holds and releases (§4.2.2).
+
+use rand::RngCore;
+use scpu::Timestamp;
+use wormcrypt::{HashAlg, RsaPrivateKey, RsaPublicKey};
+
+use crate::attr::{hold_credential_message, release_credential_message};
+use crate::sn::SerialNumber;
+use crate::witness::{key_cert_payload, KeyRole, Signature};
+
+/// CA-signed binding of a public key to its role.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyCertificate {
+    /// What the key is authorized to sign.
+    pub role: KeyRole,
+    /// The certified public key.
+    pub key: RsaPublicKey,
+    /// CA signature over `(role, key)`.
+    pub sig: Signature,
+}
+
+impl KeyCertificate {
+    /// Verifies the certificate against the CA's public key.
+    pub fn verify(&self, ca: &RsaPublicKey) -> bool {
+        self.sig.verify(ca, &key_cert_payload(self.role, &self.key))
+    }
+}
+
+/// Certificate authority that certifies SCPU and regulator keys.
+#[derive(Debug)]
+pub struct CertificateAuthority {
+    key: RsaPrivateKey,
+}
+
+impl CertificateAuthority {
+    /// Generates a CA key pair.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        CertificateAuthority {
+            key: RsaPrivateKey::generate(rng, bits),
+        }
+    }
+
+    /// The CA's public key — the clients' trust root.
+    pub fn public(&self) -> &RsaPublicKey {
+        self.key.public()
+    }
+
+    /// Issues a certificate binding `key` to `role`.
+    pub fn certify(&self, role: KeyRole, key: &RsaPublicKey) -> KeyCertificate {
+        let payload = key_cert_payload(role, key);
+        let bytes = self
+            .key
+            .sign(&payload, HashAlg::Sha256)
+            .expect("CA modulus sized for SHA-256");
+        KeyCertificate {
+            role,
+            key: key.clone(),
+            sig: Signature {
+                key_id: self.key.public().fingerprint(),
+                bytes,
+            },
+        }
+    }
+}
+
+/// Signed authorization to place a litigation hold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HoldCredential {
+    /// The record under litigation.
+    pub sn: SerialNumber,
+    /// When the credential was issued.
+    pub issued_at: Timestamp,
+    /// Court proceeding identifier.
+    pub litigation_id: u64,
+    /// Court-ordered automatic lapse time of the hold.
+    pub hold_until: Timestamp,
+    /// Regulator signature over all of the above.
+    pub sig: Signature,
+}
+
+impl HoldCredential {
+    /// Verifies the credential against the regulator's public key.
+    pub fn verify(&self, regulator: &RsaPublicKey) -> bool {
+        self.sig.verify(
+            regulator,
+            &hold_credential_message(self.sn, self.issued_at, self.litigation_id, self.hold_until),
+        )
+    }
+}
+
+/// Signed authorization to release a litigation hold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReleaseCredential {
+    /// The held record.
+    pub sn: SerialNumber,
+    /// When the release was issued.
+    pub issued_at: Timestamp,
+    /// Must match the hold's litigation id — only the same proceeding can
+    /// lift its own hold.
+    pub litigation_id: u64,
+    /// Regulator signature.
+    pub sig: Signature,
+}
+
+impl ReleaseCredential {
+    /// Verifies the credential against the regulator's public key.
+    pub fn verify(&self, regulator: &RsaPublicKey) -> bool {
+        self.sig.verify(
+            regulator,
+            &release_credential_message(self.sn, self.issued_at, self.litigation_id),
+        )
+    }
+}
+
+/// The regulatory authority issuing litigation credentials.
+#[derive(Debug)]
+pub struct RegulatoryAuthority {
+    key: RsaPrivateKey,
+}
+
+impl RegulatoryAuthority {
+    /// Generates a regulator key pair.
+    pub fn generate<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        RegulatoryAuthority {
+            key: RsaPrivateKey::generate(rng, bits),
+        }
+    }
+
+    /// The regulator's public key (configured into the SCPU firmware).
+    pub fn public(&self) -> &RsaPublicKey {
+        self.key.public()
+    }
+
+    /// Issues a hold credential for `sn`.
+    pub fn issue_hold(
+        &self,
+        sn: SerialNumber,
+        issued_at: Timestamp,
+        litigation_id: u64,
+        hold_until: Timestamp,
+    ) -> HoldCredential {
+        let msg = hold_credential_message(sn, issued_at, litigation_id, hold_until);
+        HoldCredential {
+            sn,
+            issued_at,
+            litigation_id,
+            hold_until,
+            sig: Signature {
+                key_id: self.key.public().fingerprint(),
+                bytes: self.key.sign(&msg, HashAlg::Sha256).expect("modulus sized"),
+            },
+        }
+    }
+
+    /// Issues a release credential for `sn`.
+    pub fn issue_release(
+        &self,
+        sn: SerialNumber,
+        issued_at: Timestamp,
+        litigation_id: u64,
+    ) -> ReleaseCredential {
+        let msg = release_credential_message(sn, issued_at, litigation_id);
+        ReleaseCredential {
+            sn,
+            issued_at,
+            litigation_id,
+            sig: Signature {
+                key_id: self.key.public().fingerprint(),
+                bytes: self.key.sign(&msg, HashAlg::Sha256).expect("modulus sized"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    struct Fixture {
+        ca: CertificateAuthority,
+        reg: RegulatoryAuthority,
+        device_key: RsaPrivateKey,
+    }
+
+    fn fixture() -> &'static Fixture {
+        static F: OnceLock<Fixture> = OnceLock::new();
+        F.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(1001);
+            Fixture {
+                ca: CertificateAuthority::generate(&mut rng, 512),
+                reg: RegulatoryAuthority::generate(&mut rng, 512),
+                device_key: RsaPrivateKey::generate(&mut rng, 512),
+            }
+        })
+    }
+
+    #[test]
+    fn key_certificates_verify() {
+        let f = fixture();
+        let cert = f.ca.certify(KeyRole::Sign, f.device_key.public());
+        assert!(cert.verify(f.ca.public()));
+        // Wrong CA key fails.
+        assert!(!cert.verify(f.reg.public()));
+        // Role substitution fails.
+        let mut forged = cert.clone();
+        forged.role = KeyRole::Delete;
+        assert!(!forged.verify(f.ca.public()));
+    }
+
+    #[test]
+    fn hold_credentials_verify_and_bind_fields() {
+        let f = fixture();
+        let cred = f.reg.issue_hold(
+            SerialNumber(7),
+            Timestamp::from_millis(100),
+            42,
+            Timestamp::from_millis(9_000),
+        );
+        assert!(cred.verify(f.reg.public()));
+        // Any field substitution invalidates it.
+        let mut c = cred.clone();
+        c.sn = SerialNumber(8);
+        assert!(!c.verify(f.reg.public()));
+        let mut c = cred.clone();
+        c.hold_until = Timestamp::from_millis(10_000);
+        assert!(!c.verify(f.reg.public()));
+        let mut c = cred.clone();
+        c.litigation_id = 43;
+        assert!(!c.verify(f.reg.public()));
+    }
+
+    #[test]
+    fn release_credentials_verify() {
+        let f = fixture();
+        let rel = f
+            .reg
+            .issue_release(SerialNumber(7), Timestamp::from_millis(200), 42);
+        assert!(rel.verify(f.reg.public()));
+        let mut r = rel.clone();
+        r.litigation_id = 1;
+        assert!(!r.verify(f.reg.public()));
+        // A hold credential is not a release credential.
+        let cred = f.reg.issue_hold(
+            SerialNumber(7),
+            Timestamp::from_millis(200),
+            42,
+            Timestamp::from_millis(300),
+        );
+        let cross = ReleaseCredential {
+            sn: cred.sn,
+            issued_at: cred.issued_at,
+            litigation_id: cred.litigation_id,
+            sig: cred.sig,
+        };
+        assert!(!cross.verify(f.reg.public()));
+    }
+}

@@ -1,0 +1,299 @@
+//! Client-side verification.
+//!
+//! Clients "only need to trust the SCPU" (§4.1): given the SCPU's public
+//! key certificates and a roughly synchronized clock (footnote 1), a
+//! [`Verifier`] checks every host response. Upon reading a regulated
+//! block, the client is assured that (i) the block was not tampered with
+//! if the read succeeds, or — if it fails — that (ii) it was deleted
+//! according to policy, or (iii) it never existed in this store.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use scpu::{Clock, Timestamp};
+use wormcrypt::RsaPublicKey;
+
+use crate::authority::KeyCertificate;
+use crate::error::VerifyError;
+use crate::firmware::{DeviceKeys, WeakKeyCert};
+use crate::proofs::{DeletionEvidence, HeadCert, ReadOutcome};
+use crate::sn::SerialNumber;
+use crate::config::DataHashScheme;
+use crate::vrd::{data_hash, Vrd};
+use crate::witness::{
+    base_payload, data_payload, deletion_payload, head_payload, meta_payload, weak_cert_payload,
+    weak_wrap, window_payload, KeyRole, Witness, WindowSide,
+};
+
+/// What a verified read means.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadVerdict {
+    /// The record is live and exactly as committed.
+    Intact {
+        /// The verified serial number.
+        sn: SerialNumber,
+    },
+    /// The record was rightfully deleted (per-record proof, window, or
+    /// below-base evidence).
+    ConfirmedDeleted {
+        /// Deletion time, when a per-record proof carried one.
+        deleted_at: Option<Timestamp>,
+    },
+    /// No record with this serial number was ever written.
+    ConfirmedNeverExisted,
+}
+
+/// A WORM client's verifier.
+///
+/// Holds the SCPU public keys (`s`, `d`), the published weak-key
+/// certificates, the freshness tolerance, and a roughly synchronized
+/// clock.
+#[derive(Debug)]
+pub struct Verifier {
+    data_hash: DataHashScheme,
+    sign_key: RsaPublicKey,
+    del_key: RsaPublicKey,
+    weak_certs: Vec<WeakKeyCert>,
+    tolerance: Duration,
+    clock: Arc<dyn Clock>,
+}
+
+impl Verifier {
+    /// Builds a verifier directly from the device's published keys.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadSignature`] if the weak-key certificate does not
+    /// chain to the signing key.
+    pub fn new(
+        keys: &DeviceKeys,
+        tolerance: Duration,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, VerifyError> {
+        let mut v = Verifier {
+            data_hash: keys.data_hash,
+            sign_key: keys.sign.clone(),
+            del_key: keys.delete.clone(),
+            weak_certs: Vec::new(),
+            tolerance,
+            clock,
+        };
+        v.add_weak_cert(keys.weak_cert.clone())?;
+        Ok(v)
+    }
+
+    /// Builds a verifier from CA-issued certificates — the full trust
+    /// chain of §4.2.1 ("public key certificates — signed by a regulatory
+    /// or general purpose certificate authority").
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadSignature`] if either certificate fails against
+    /// the CA key or carries the wrong role.
+    pub fn from_certificates(
+        ca: &RsaPublicKey,
+        sign_cert: &KeyCertificate,
+        del_cert: &KeyCertificate,
+        weak_cert: WeakKeyCert,
+        tolerance: Duration,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, VerifyError> {
+        if sign_cert.role != KeyRole::Sign || !sign_cert.verify(ca) {
+            return Err(VerifyError::BadSignature("sign key certificate"));
+        }
+        if del_cert.role != KeyRole::Delete || !del_cert.verify(ca) {
+            return Err(VerifyError::BadSignature("delete key certificate"));
+        }
+        let mut v = Verifier {
+            data_hash: DataHashScheme::Chained,
+            sign_key: sign_cert.key.clone(),
+            del_key: del_cert.key.clone(),
+            weak_certs: Vec::new(),
+            tolerance,
+            clock,
+        };
+        v.add_weak_cert(weak_cert)?;
+        Ok(v)
+    }
+
+    /// Sets the data-hash scheme (for verifiers built via
+    /// [`Verifier::from_certificates`], which defaults to
+    /// [`DataHashScheme::Chained`]).
+    pub fn set_data_hash_scheme(&mut self, scheme: DataHashScheme) {
+        self.data_hash = scheme;
+    }
+
+    /// Registers a (rotated) weak-key certificate after verifying its
+    /// chain to the signing key.
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadSignature`] if the certificate does not verify.
+    pub fn add_weak_cert(&mut self, cert: WeakKeyCert) -> Result<(), VerifyError> {
+        let payload = weak_cert_payload(&cert.key, cert.max_sig_expiry);
+        if !cert.sig.verify(&self.sign_key, &payload) {
+            return Err(VerifyError::BadSignature("weak key certificate"));
+        }
+        self.weak_certs.push(cert);
+        Ok(())
+    }
+
+    /// Verifies a complete read outcome for `requested`.
+    ///
+    /// # Errors
+    ///
+    /// A [`VerifyError`] naming the first check that failed; every variant
+    /// corresponds to a concrete attack the paper's Theorems 1 and 2 rule
+    /// out.
+    pub fn verify_read(
+        &self,
+        requested: SerialNumber,
+        outcome: &ReadOutcome,
+    ) -> Result<ReadVerdict, VerifyError> {
+        self.check_head(outcome.head())?;
+        match outcome {
+            ReadOutcome::Data { vrd, records, .. } => {
+                if vrd.sn != requested {
+                    return Err(VerifyError::WrongSerialNumber);
+                }
+                // Note: `vrd.sn` may legitimately exceed `head.sn_current`
+                // for records written since the last heartbeat; the head
+                // only bounds *denials* (Theorem 2), never data responses.
+                self.verify_vrd(vrd, records)?;
+                Ok(ReadVerdict::Intact { sn: vrd.sn })
+            }
+            ReadOutcome::Deleted { evidence, .. } => self.verify_deletion(requested, evidence),
+            ReadOutcome::NeverExisted { head } => {
+                if requested <= head.sn_current {
+                    return Err(VerifyError::HiddenRecord);
+                }
+                Ok(ReadVerdict::ConfirmedNeverExisted)
+            }
+        }
+    }
+
+    /// Verifies a VRD's witnesses against (re-hashed) record data.
+    ///
+    /// # Errors
+    ///
+    /// See [`Verifier::verify_read`].
+    pub fn verify_vrd(&self, vrd: &Vrd, records: &[bytes::Bytes]) -> Result<(), VerifyError> {
+        let meta = meta_payload(vrd.sn, &vrd.attr.encode());
+        self.verify_witness(&meta, &vrd.metasig, "metasig")?;
+
+        let chain = data_hash(self.data_hash, records.iter().map(|b| b.as_ref()));
+        let datap = data_payload(vrd.sn, &chain);
+        self.verify_witness(&datap, &vrd.datasig, "datasig")
+            .map_err(|e| match e {
+                // A structurally valid signature that does not cover the
+                // recomputed hash means the data (or the hash) was altered.
+                VerifyError::BadSignature("datasig") => VerifyError::DataHashMismatch,
+                other => other,
+            })
+    }
+
+    /// Verifies a single witness over `payload`.
+    fn verify_witness(
+        &self,
+        payload: &[u8],
+        witness: &Witness,
+        field: &'static str,
+    ) -> Result<(), VerifyError> {
+        match witness {
+            Witness::Strong(sig) => {
+                if sig.verify(&self.sign_key, payload) {
+                    Ok(())
+                } else {
+                    Err(VerifyError::BadSignature(field))
+                }
+            }
+            Witness::Weak { sig, expires_at } => {
+                let now = self.clock.now();
+                if *expires_at < now {
+                    return Err(VerifyError::WeakWitnessExpired { field });
+                }
+                let wrapped = weak_wrap(payload, *expires_at);
+                let ok = self.weak_certs.iter().any(|cert| {
+                    *expires_at <= cert.max_sig_expiry && sig.verify(&cert.key, &wrapped)
+                });
+                if ok {
+                    Ok(())
+                } else {
+                    Err(VerifyError::BadSignature(field))
+                }
+            }
+            Witness::Mac { .. } => Err(VerifyError::UnverifiableMac { field }),
+        }
+    }
+
+    /// Verifies deletion evidence for `requested`.
+    fn verify_deletion(
+        &self,
+        requested: SerialNumber,
+        evidence: &DeletionEvidence,
+    ) -> Result<ReadVerdict, VerifyError> {
+        match evidence {
+            DeletionEvidence::Proof(p) => {
+                if p.sn != requested {
+                    return Err(VerifyError::EvidenceDoesNotCoverSn);
+                }
+                let payload = deletion_payload(p.sn, p.deleted_at);
+                if !p.sig.verify(&self.del_key, &payload) {
+                    return Err(VerifyError::BadSignature("deletion proof"));
+                }
+                Ok(ReadVerdict::ConfirmedDeleted {
+                    deleted_at: Some(p.deleted_at),
+                })
+            }
+            DeletionEvidence::BelowBase(base) => {
+                if base.expires_at <= self.clock.now() {
+                    return Err(VerifyError::ExpiredCertificate("base"));
+                }
+                let payload = base_payload(base.sn_base, base.expires_at);
+                if !base.sig.verify(&self.sign_key, &payload) {
+                    return Err(VerifyError::BadSignature("base certificate"));
+                }
+                if requested >= base.sn_base {
+                    return Err(VerifyError::EvidenceDoesNotCoverSn);
+                }
+                Ok(ReadVerdict::ConfirmedDeleted { deleted_at: None })
+            }
+            DeletionEvidence::InWindow(w) => {
+                if !w.contains(requested) {
+                    return Err(VerifyError::EvidenceDoesNotCoverSn);
+                }
+                // Both bounds must verify under the *same* window id —
+                // this is what stops bound-splicing across windows
+                // (§4.2.1).
+                let lo_payload = window_payload(w.window_id, w.lo, WindowSide::Lower);
+                let hi_payload = window_payload(w.window_id, w.hi, WindowSide::Upper);
+                if !w.lo_sig.verify(&self.sign_key, &lo_payload)
+                    || !w.hi_sig.verify(&self.sign_key, &hi_payload)
+                {
+                    return Err(VerifyError::BadSignature("window bound"));
+                }
+                Ok(ReadVerdict::ConfirmedDeleted { deleted_at: None })
+            }
+        }
+    }
+
+    /// Checks a head certificate's signature and freshness (§4.2.1,
+    /// mechanism (ii)).
+    ///
+    /// # Errors
+    ///
+    /// [`VerifyError::BadSignature`] / [`VerifyError::StaleHead`].
+    pub fn check_head(&self, head: &HeadCert) -> Result<(), VerifyError> {
+        let payload = head_payload(head.sn_current, head.issued_at);
+        if !head.sig.verify(&self.sign_key, &payload) {
+            return Err(VerifyError::BadSignature("head certificate"));
+        }
+        let age = self.clock.now().since(head.issued_at);
+        if age > self.tolerance {
+            return Err(VerifyError::StaleHead {
+                age_ms: age.as_millis() as u64,
+            });
+        }
+        Ok(())
+    }
+}

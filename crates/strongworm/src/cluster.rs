@@ -1,0 +1,309 @@
+//! Multi-SCPU deployment.
+//!
+//! §5: "These results naturally scale if multiple SCPUs are available."
+//! [`WormCluster`] realizes that claim: a storage cluster with one WORM
+//! shard per secure coprocessor, writes distributed round-robin. Each
+//! shard is a complete, independent [`WormServer`] — its own keys, serial
+//! number space, VRDT, and Retention Monitor — so the security argument
+//! is unchanged per shard, and cluster-level records are addressed by
+//! `(shard, SN)`.
+
+use std::sync::Arc;
+
+use scpu::Clock;
+use wormcrypt::RsaPublicKey;
+
+use crate::config::{WitnessMode, WormConfig};
+use crate::error::WormError;
+use crate::policy::RetentionPolicy;
+use crate::proofs::ReadOutcome;
+use crate::server::WormServer;
+use crate::sn::SerialNumber;
+
+/// Cluster-wide record address: which shard, and the SN inside it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClusterRecordId {
+    /// Index of the shard (SCPU) holding the record.
+    pub shard: usize,
+    /// Serial number within that shard.
+    pub sn: SerialNumber,
+}
+
+impl std::fmt::Display for ClusterRecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}/{}", self.shard, self.sn)
+    }
+}
+
+/// A WORM cluster with one secure coprocessor per shard.
+pub struct WormCluster {
+    shards: Vec<WormServer>,
+    next: usize,
+}
+
+impl WormCluster {
+    /// Boots `n` shards sharing one trusted clock and regulator. Each
+    /// shard's device gets a distinct serial and RNG stream, so shards
+    /// never share key material.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard boot failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(
+        n: usize,
+        config: &WormConfig,
+        clock: Arc<dyn Clock>,
+        regulator: &RsaPublicKey,
+    ) -> Result<Self, WormError> {
+        assert!(n > 0, "a cluster needs at least one shard");
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cfg = config.clone();
+            cfg.device.serial = config.device.serial.wrapping_add(i as u64);
+            cfg.device.rng_seed = config.device.rng_seed.wrapping_add(1 + i as u64);
+            shards.push(WormServer::new(cfg, clock.clone(), regulator)?);
+        }
+        Ok(WormCluster { shards, next: 0 })
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the cluster has no shards (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Read access to a shard (e.g., to build its [`crate::Verifier`]).
+    pub fn shard(&self, i: usize) -> &WormServer {
+        &self.shards[i]
+    }
+
+    /// Mutable access to a shard (adversarial tests, maintenance).
+    pub fn shard_mut(&mut self, i: usize) -> &mut WormServer {
+        &mut self.shards[i]
+    }
+
+    /// Writes a record to the next shard (round-robin).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's write failure.
+    pub fn write(
+        &mut self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+    ) -> Result<ClusterRecordId, WormError> {
+        let shard = self.next;
+        self.next = (self.next + 1) % self.shards.len();
+        let sn = self.shards[shard].write(records, policy)?;
+        Ok(ClusterRecordId { shard, sn })
+    }
+
+    /// Writes with an explicit witness tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's write failure.
+    pub fn write_with(
+        &mut self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+        flags: u32,
+        witness: WitnessMode,
+    ) -> Result<ClusterRecordId, WormError> {
+        let shard = self.next;
+        self.next = (self.next + 1) % self.shards.len();
+        let sn = self.shards[shard].write_with(records, policy, flags, witness)?;
+        Ok(ClusterRecordId { shard, sn })
+    }
+
+    /// Reads a record by cluster id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shard's read failure; out-of-range shard indices
+    /// yield [`WormError::NotActive`].
+    pub fn read(&mut self, id: ClusterRecordId) -> Result<ReadOutcome, WormError> {
+        match self.shards.get_mut(id.shard) {
+            Some(s) => s.read(id.sn),
+            None => Err(WormError::NotActive(id.sn)),
+        }
+    }
+
+    /// Drives every shard's alarms (Retention Monitors, heartbeats).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn tick(&mut self) -> Result<(), WormError> {
+        for s in &mut self.shards {
+            s.tick()?;
+        }
+        Ok(())
+    }
+
+    /// Grants every shard's SCPU the same idle budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn idle(&mut self, budget_ns: u64) -> Result<(), WormError> {
+        for s in &mut self.shards {
+            s.idle(budget_ns)?;
+        }
+        Ok(())
+    }
+
+    /// Compacts expired runs on every shard, returning total windows
+    /// created.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard failure.
+    pub fn compact(&mut self) -> Result<usize, WormError> {
+        let mut total = 0;
+        for s in &mut self.shards {
+            total += s.compact()?;
+        }
+        Ok(total)
+    }
+
+    /// Zeroes all shard meters (benchmarking).
+    pub fn reset_meters(&mut self) {
+        for s in &mut self.shards {
+            s.reset_meters();
+        }
+    }
+
+    /// The busiest shard's SCPU time in ns — with round-robin placement
+    /// this bounds cluster completion time, so aggregate throughput for
+    /// `n` ingested records is `n / max_shard_busy`.
+    pub fn max_shard_busy_ns(&self) -> u128 {
+        self.shards
+            .iter()
+            .map(|s| s.device_meter().busy_ns())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::RegulatoryAuthority;
+    use crate::client::{ReadVerdict, Verifier};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scpu::VirtualClock;
+    use std::time::Duration;
+    use wormstore::Shredder;
+
+    fn cluster(n: usize) -> (WormCluster, Arc<VirtualClock>, RegulatoryAuthority) {
+        let clock = VirtualClock::starting_at_millis(1000);
+        let reg = RegulatoryAuthority::generate(&mut StdRng::seed_from_u64(31), 512);
+        let c = WormCluster::new(n, &WormConfig::test_small(), clock.clone(), reg.public())
+            .expect("cluster boots");
+        (c, clock, reg)
+    }
+
+    fn policy() -> RetentionPolicy {
+        RetentionPolicy::custom(Duration::from_secs(1000), Shredder::ZeroFill)
+    }
+
+    #[test]
+    fn round_robin_distribution() {
+        let (mut c, _clock, _reg) = cluster(3);
+        let ids: Vec<_> = (0..6)
+            .map(|i| c.write(&[format!("r{i}").as_bytes()], policy()).unwrap())
+            .collect();
+        assert_eq!(ids[0].shard, 0);
+        assert_eq!(ids[1].shard, 1);
+        assert_eq!(ids[2].shard, 2);
+        assert_eq!(ids[3].shard, 0);
+        // Per-shard serial numbers restart at 1 each.
+        assert_eq!(ids[0].sn, SerialNumber(1));
+        assert_eq!(ids[3].sn, SerialNumber(2));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(ids[4].to_string(), "shard1/sn:2");
+    }
+
+    #[test]
+    fn shards_have_distinct_keys() {
+        let (c, _clock, _reg) = cluster(3);
+        let f0 = c.shard(0).keys().sign.fingerprint();
+        let f1 = c.shard(1).keys().sign.fingerprint();
+        let f2 = c.shard(2).keys().sign.fingerprint();
+        assert_ne!(f0, f1);
+        assert_ne!(f1, f2);
+    }
+
+    #[test]
+    fn reads_verify_against_the_owning_shard() {
+        let (mut c, clock, _reg) = cluster(2);
+        let id = c.write(&[b"cluster record"], policy()).unwrap();
+        let verifier = Verifier::new(
+            c.shard(id.shard).keys(),
+            Duration::from_secs(300),
+            clock.clone(),
+        )
+        .unwrap();
+        let outcome = c.read(id).unwrap();
+        assert_eq!(
+            verifier.verify_read(id.sn, &outcome).unwrap(),
+            ReadVerdict::Intact { sn: id.sn }
+        );
+        // The *other* shard's verifier must reject it: different SCPU.
+        let wrong = Verifier::new(
+            c.shard(1 - id.shard).keys(),
+            Duration::from_secs(300),
+            clock,
+        )
+        .unwrap();
+        assert!(wrong.verify_read(id.sn, &outcome).is_err());
+    }
+
+    #[test]
+    fn out_of_range_shard_errors() {
+        let (mut c, _clock, _reg) = cluster(2);
+        let bad = ClusterRecordId {
+            shard: 9,
+            sn: SerialNumber(1),
+        };
+        assert!(c.read(bad).is_err());
+    }
+
+    #[test]
+    fn cluster_lifecycle_expires_everywhere() {
+        let (mut c, clock, _reg) = cluster(3);
+        let ids: Vec<_> = (0..9)
+            .map(|i| {
+                c.write(
+                    &[format!("r{i}").as_bytes()],
+                    RetentionPolicy::custom(Duration::from_secs(50), Shredder::ZeroFill),
+                )
+                .unwrap()
+            })
+            .collect();
+        clock.advance(Duration::from_secs(60));
+        c.tick().unwrap();
+        for id in ids {
+            assert_eq!(c.read(id).unwrap().kind(), "deleted");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let clock = VirtualClock::new();
+        let reg = RegulatoryAuthority::generate(&mut StdRng::seed_from_u64(31), 512);
+        let _ = WormCluster::new(0, &WormConfig::test_small(), clock, reg.public());
+    }
+}

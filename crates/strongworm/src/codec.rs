@@ -1,0 +1,347 @@
+//! Wire codecs for persisted structures.
+//!
+//! The host stores the VRDT on disk (§4.2.1); these codecs give every
+//! persisted structure — witnesses, VRDs, proofs — a canonical byte form
+//! for the journal. Decoding is defensive: all of this lives on untrusted
+//! storage, so malformed input yields an error, never a panic.
+
+use scpu::Timestamp;
+use wormstore::{RecordDescriptor, RecordId};
+
+use crate::attr::RecordAttributes;
+use crate::proofs::{BaseCert, DeletionProof, HeadCert, WindowProof};
+use crate::sn::SerialNumber;
+use crate::vrd::Vrd;
+use crate::wire::{WireError, WireReader, WireWriter};
+use crate::witness::{Signature, Witness};
+
+pub(crate) fn put_signature(w: &mut WireWriter, s: &Signature) {
+    w.put_bytes(&s.key_id);
+    w.put_bytes(&s.bytes);
+}
+
+pub(crate) fn get_signature(r: &mut WireReader<'_>) -> Result<Signature, WireError> {
+    let key_id_bytes = r.get_bytes()?;
+    let key_id: [u8; 8] = key_id_bytes
+        .try_into()
+        .map_err(|_| WireError { expected: "8-byte key id" })?;
+    let bytes = r.get_bytes()?.to_vec();
+    Ok(Signature { key_id, bytes })
+}
+
+pub(crate) fn put_witness(w: &mut WireWriter, wit: &Witness) {
+    match wit {
+        Witness::Strong(sig) => {
+            w.put_u8(0);
+            put_signature(w, sig);
+        }
+        Witness::Weak { sig, expires_at } => {
+            w.put_u8(1);
+            put_signature(w, sig);
+            w.put_u64(expires_at.as_millis());
+        }
+        Witness::Mac { tag } => {
+            w.put_u8(2);
+            w.put_bytes(tag);
+        }
+    }
+}
+
+pub(crate) fn get_witness(r: &mut WireReader<'_>) -> Result<Witness, WireError> {
+    match r.get_u8()? {
+        0 => Ok(Witness::Strong(get_signature(r)?)),
+        1 => {
+            let sig = get_signature(r)?;
+            let expires_at = Timestamp::from_millis(r.get_u64()?);
+            Ok(Witness::Weak { sig, expires_at })
+        }
+        2 => Ok(Witness::Mac {
+            tag: r.get_bytes()?.to_vec(),
+        }),
+        _ => Err(WireError { expected: "witness tier" }),
+    }
+}
+
+/// Encodes a VRD for the journal.
+pub fn encode_vrd(v: &Vrd) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.vrd.v1");
+    w.put_u64(v.sn.get());
+    w.put_bytes(&v.attr.encode());
+    w.put_u32(v.rdl.len() as u32);
+    for rd in &v.rdl {
+        w.put_u64(rd.id.0);
+        w.put_u64(rd.offset);
+        w.put_u64(rd.len);
+    }
+    put_witness(&mut w, &v.metasig);
+    put_witness(&mut w, &v.datasig);
+    w.finish()
+}
+
+/// Decodes a journalled VRD.
+///
+/// # Errors
+///
+/// [`WireError`] on any truncation or malformed field.
+pub fn decode_vrd(bytes: &[u8]) -> Result<Vrd, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.vrd.v1" {
+        return Err(WireError { expected: "vrd tag" });
+    }
+    let sn = SerialNumber(r.get_u64()?);
+    let attr = RecordAttributes::decode(r.get_bytes()?)?;
+    let n = r.get_u32()? as usize;
+    // Cap defensively: a corrupt count must not allocate unboundedly.
+    if n > 1 << 20 {
+        return Err(WireError { expected: "sane rdl length" });
+    }
+    let mut rdl = Vec::with_capacity(n);
+    for _ in 0..n {
+        rdl.push(RecordDescriptor {
+            id: RecordId(r.get_u64()?),
+            offset: r.get_u64()?,
+            len: r.get_u64()?,
+        });
+    }
+    let metasig = get_witness(&mut r)?;
+    let datasig = get_witness(&mut r)?;
+    r.expect_end()?;
+    Ok(Vrd {
+        sn,
+        attr,
+        rdl,
+        metasig,
+        datasig,
+    })
+}
+
+/// Encodes a deletion proof.
+pub fn encode_deletion_proof(p: &DeletionProof) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.delproof.v1");
+    w.put_u64(p.sn.get());
+    w.put_u64(p.deleted_at.as_millis());
+    put_signature(&mut w, &p.sig);
+    w.finish()
+}
+
+/// Decodes a deletion proof.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed input.
+pub fn decode_deletion_proof(bytes: &[u8]) -> Result<DeletionProof, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.delproof.v1" {
+        return Err(WireError { expected: "deletion proof tag" });
+    }
+    let sn = SerialNumber(r.get_u64()?);
+    let deleted_at = Timestamp::from_millis(r.get_u64()?);
+    let sig = get_signature(&mut r)?;
+    r.expect_end()?;
+    Ok(DeletionProof {
+        sn,
+        deleted_at,
+        sig,
+    })
+}
+
+/// Encodes a window proof.
+pub fn encode_window_proof(p: &WindowProof) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.winproof.v1");
+    w.put_u64(p.window_id);
+    w.put_u64(p.lo.get());
+    w.put_u64(p.hi.get());
+    put_signature(&mut w, &p.lo_sig);
+    put_signature(&mut w, &p.hi_sig);
+    w.finish()
+}
+
+/// Decodes a window proof.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed input.
+pub fn decode_window_proof(bytes: &[u8]) -> Result<WindowProof, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.winproof.v1" {
+        return Err(WireError { expected: "window proof tag" });
+    }
+    let window_id = r.get_u64()?;
+    let lo = SerialNumber(r.get_u64()?);
+    let hi = SerialNumber(r.get_u64()?);
+    let lo_sig = get_signature(&mut r)?;
+    let hi_sig = get_signature(&mut r)?;
+    r.expect_end()?;
+    Ok(WindowProof {
+        window_id,
+        lo,
+        hi,
+        lo_sig,
+        hi_sig,
+    })
+}
+
+/// Encodes a head certificate.
+pub fn encode_head_cert(h: &HeadCert) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.headcert.v1");
+    w.put_u64(h.sn_current.get());
+    w.put_u64(h.issued_at.as_millis());
+    put_signature(&mut w, &h.sig);
+    w.finish()
+}
+
+/// Decodes a head certificate.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed input.
+pub fn decode_head_cert(bytes: &[u8]) -> Result<HeadCert, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.headcert.v1" {
+        return Err(WireError { expected: "head cert tag" });
+    }
+    let sn_current = SerialNumber(r.get_u64()?);
+    let issued_at = Timestamp::from_millis(r.get_u64()?);
+    let sig = get_signature(&mut r)?;
+    r.expect_end()?;
+    Ok(HeadCert {
+        sn_current,
+        issued_at,
+        sig,
+    })
+}
+
+/// Encodes a base certificate.
+pub fn encode_base_cert(b: &BaseCert) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.basecert.v1");
+    w.put_u64(b.sn_base.get());
+    w.put_u64(b.expires_at.as_millis());
+    put_signature(&mut w, &b.sig);
+    w.finish()
+}
+
+/// Decodes a base certificate.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed input.
+pub fn decode_base_cert(bytes: &[u8]) -> Result<BaseCert, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.basecert.v1" {
+        return Err(WireError { expected: "base cert tag" });
+    }
+    let sn_base = SerialNumber(r.get_u64()?);
+    let expires_at = Timestamp::from_millis(r.get_u64()?);
+    let sig = get_signature(&mut r)?;
+    r.expect_end()?;
+    Ok(BaseCert {
+        sn_base,
+        expires_at,
+        sig,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Regulation;
+    use wormstore::Shredder;
+
+    fn sig(b: u8) -> Signature {
+        Signature {
+            key_id: [b; 8],
+            bytes: vec![b; 64],
+        }
+    }
+
+    fn sample_vrd() -> Vrd {
+        Vrd {
+            sn: SerialNumber(42),
+            attr: RecordAttributes {
+                created_at: Timestamp::from_millis(10),
+                retention_until: Timestamp::from_millis(99999),
+                regulation: Regulation::Hipaa,
+                shredder: Shredder::MultiPass { passes: 3 },
+                litigation_hold: None,
+                flags: 7,
+            },
+            rdl: vec![RecordDescriptor {
+                id: RecordId(5),
+                offset: 1024,
+                len: 333,
+            }],
+            metasig: Witness::Strong(sig(1)),
+            datasig: Witness::Weak {
+                sig: sig(2),
+                expires_at: Timestamp::from_millis(777),
+            },
+        }
+    }
+
+    #[test]
+    fn vrd_roundtrip() {
+        let v = sample_vrd();
+        assert_eq!(decode_vrd(&encode_vrd(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn vrd_with_mac_witness_roundtrip() {
+        let mut v = sample_vrd();
+        v.datasig = Witness::Mac { tag: vec![9; 32] };
+        assert_eq!(decode_vrd(&encode_vrd(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn vrd_decode_rejects_corruption() {
+        let enc = encode_vrd(&sample_vrd());
+        assert!(decode_vrd(&enc[..enc.len() - 1]).is_err());
+        assert!(decode_vrd(b"").is_err());
+        let mut bad = enc.clone();
+        bad.push(0);
+        assert!(decode_vrd(&bad).is_err());
+    }
+
+    #[test]
+    fn proof_roundtrips() {
+        let p = DeletionProof {
+            sn: SerialNumber(3),
+            deleted_at: Timestamp::from_millis(55),
+            sig: sig(3),
+        };
+        assert_eq!(decode_deletion_proof(&encode_deletion_proof(&p)).unwrap(), p);
+
+        let w = WindowProof {
+            window_id: 0xABCD,
+            lo: SerialNumber(10),
+            hi: SerialNumber(20),
+            lo_sig: sig(4),
+            hi_sig: sig(5),
+        };
+        assert_eq!(decode_window_proof(&encode_window_proof(&w)).unwrap(), w);
+
+        let h = HeadCert {
+            sn_current: SerialNumber(100),
+            issued_at: Timestamp::from_millis(9),
+            sig: sig(6),
+        };
+        assert_eq!(decode_head_cert(&encode_head_cert(&h)).unwrap(), h);
+
+        let b = BaseCert {
+            sn_base: SerialNumber(7),
+            expires_at: Timestamp::from_millis(888),
+            sig: sig(7),
+        };
+        assert_eq!(decode_base_cert(&encode_base_cert(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn tags_are_checked() {
+        let p = DeletionProof {
+            sn: SerialNumber(3),
+            deleted_at: Timestamp::from_millis(55),
+            sig: sig(3),
+        };
+        // A deletion proof cannot decode as a window proof.
+        assert!(decode_window_proof(&encode_deletion_proof(&p)).is_err());
+    }
+}

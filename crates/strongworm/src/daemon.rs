@@ -1,0 +1,214 @@
+//! Host-side maintenance daemon.
+//!
+//! §4.2.2 describes the Retention Monitor as a daemon that sleeps until
+//! the next VEXP expiry. The *device-side* wake/sleep logic lives in the
+//! firmware ([`crate::firmware`]); this module supplies the host-side
+//! driver a production deployment runs on a background thread: it
+//! periodically ticks the device (delivering due alarms), grants idle
+//! budget for witness strengthening and audits, and compacts expired
+//! runs — so the store maintains itself while the foreground serves
+//! requests.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
+use wormstore::BlockDevice;
+
+use crate::error::WormError;
+use crate::server::WormServer;
+
+/// Configuration of the maintenance loop.
+#[derive(Clone, Copy, Debug)]
+pub struct DaemonConfig {
+    /// Wall-clock pause between maintenance passes.
+    pub interval: Duration,
+    /// Virtual-time idle budget granted to the SCPU per pass (ns).
+    pub idle_budget_ns: u64,
+    /// Run window compaction every `compact_every` passes (0 = never).
+    pub compact_every: u32,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            interval: Duration::from_millis(100),
+            idle_budget_ns: 50_000_000,
+            compact_every: 10,
+        }
+    }
+}
+
+/// Handle to a running maintenance daemon.
+///
+/// Dropping the handle *without* calling [`RetentionDaemon::stop`] detaches
+/// the thread (it keeps maintaining the store until process exit) — call
+/// `stop` for an orderly shutdown that reports the last error, if any.
+pub struct RetentionDaemon {
+    shutdown: Sender<()>,
+    handle: Option<JoinHandle<Result<(), WormError>>>,
+}
+
+impl RetentionDaemon {
+    /// Spawns the maintenance loop over a shared server.
+    pub fn spawn<D>(server: Arc<Mutex<WormServer<D>>>, config: DaemonConfig) -> Self
+    where
+        D: BlockDevice + Send + 'static,
+    {
+        let (shutdown, rx) = bounded::<()>(1);
+        let handle = std::thread::Builder::new()
+            .name("worm-retention-daemon".into())
+            .spawn(move || -> Result<(), WormError> {
+                let mut pass: u32 = 0;
+                loop {
+                    // Sleep until the next pass or an orderly shutdown.
+                    if rx.recv_timeout(config.interval).is_ok() {
+                        return Ok(());
+                    }
+                    pass = pass.wrapping_add(1);
+                    let mut srv = server.lock();
+                    srv.tick()?;
+                    srv.idle(config.idle_budget_ns)?;
+                    if config.compact_every > 0 && pass % config.compact_every == 0 {
+                        srv.compact()?;
+                    }
+                }
+            })
+            .expect("daemon thread spawns");
+        RetentionDaemon {
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the loop and returns its final status.
+    ///
+    /// # Errors
+    ///
+    /// The first maintenance error that terminated the loop, if any.
+    pub fn stop(mut self) -> Result<(), WormError> {
+        let _ = self.shutdown.send(());
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .unwrap_or_else(|_| Err(WormError::Firmware("daemon panicked".into()))),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether the daemon thread is still running.
+    pub fn is_running(&self) -> bool {
+        self.handle.as_ref().is_some_and(|h| !h.is_finished())
+    }
+}
+
+impl Drop for RetentionDaemon {
+    fn drop(&mut self) {
+        // Best-effort signal; never blocks in Drop (C-DTOR-BLOCK).
+        let _ = self.shutdown.try_send(());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::RegulatoryAuthority;
+    use crate::config::WormConfig;
+    use crate::policy::RetentionPolicy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use scpu::VirtualClock;
+    use wormstore::Shredder;
+
+    fn fixture() -> (Arc<Mutex<WormServer>>, Arc<VirtualClock>) {
+        let clock = VirtualClock::starting_at_millis(1000);
+        let reg = RegulatoryAuthority::generate(&mut StdRng::seed_from_u64(91), 512);
+        let srv = WormServer::new(WormConfig::test_small(), clock.clone(), reg.public())
+            .expect("boot");
+        (Arc::new(Mutex::new(srv)), clock)
+    }
+
+    #[test]
+    fn daemon_deletes_expired_records_in_background() {
+        let (server, clock) = fixture();
+        let sn = {
+            let mut s = server.lock();
+            s.write(&[b"anchor"], RetentionPolicy::custom(Duration::from_secs(1_000_000), Shredder::ZeroFill)).unwrap();
+            s.write(
+                &[b"fleeting"],
+                RetentionPolicy::custom(Duration::from_secs(10), Shredder::ZeroFill),
+            )
+            .unwrap()
+        };
+        let daemon = RetentionDaemon::spawn(
+            server.clone(),
+            DaemonConfig {
+                interval: Duration::from_millis(5),
+                idle_budget_ns: 1_000_000_000,
+                compact_every: 2,
+            },
+        );
+        assert!(daemon.is_running());
+
+        clock.advance(Duration::from_secs(11));
+        // Wait (bounded) for the background pass to process the expiry.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let mut s = server.lock();
+                if s.read(sn).unwrap().kind() == "deleted" {
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon did not process the expiry in time"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        daemon.stop().unwrap();
+    }
+
+    #[test]
+    fn daemon_strengthens_deferred_witnesses_in_background() {
+        let (server, _clock) = fixture();
+        let sn = {
+            let mut s = server.lock();
+            s.write_with(
+                &[b"burst"],
+                RetentionPolicy::custom(Duration::from_secs(1_000_000), Shredder::ZeroFill),
+                0,
+                crate::config::WitnessMode::Deferred,
+            )
+            .unwrap()
+        };
+        let daemon = RetentionDaemon::spawn(server.clone(), DaemonConfig::default());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            {
+                let mut s = server.lock();
+                if let crate::proofs::ReadOutcome::Data { vrd, .. } = s.read(sn).unwrap() {
+                    if vrd.metasig.is_strong() && vrd.datasig.is_strong() {
+                        break;
+                    }
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon did not strengthen in time"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        daemon.stop().unwrap();
+    }
+
+    #[test]
+    fn stop_is_orderly() {
+        let (server, _clock) = fixture();
+        let daemon = RetentionDaemon::spawn(server, DaemonConfig::default());
+        assert!(daemon.is_running());
+        daemon.stop().unwrap();
+    }
+}

@@ -1,0 +1,131 @@
+//! Litigation holds and releases (§4.2.2, *Litigation*).
+//!
+//! "A court can then mandate a litigation hold to be placed on such active
+//! records, which in effect will prevent their deletion even if mandated
+//! retention periods have expired." Holds are authorized by regulator
+//! credentials `S_reg(SN, current_time)`; the firmware verifies the
+//! presented attributes against their `metasig` (so the host cannot feed
+//! it fabricated state), verifies the credential, updates `attr`, and
+//! re-signs `metasig`.
+
+use scpu::Env;
+
+use crate::attr::{LitigationHold, RecordAttributes};
+use crate::authority::{HoldCredential, ReleaseCredential};
+use crate::sn::SerialNumber;
+use crate::witness::{meta_payload, Witness};
+
+use super::{reject, FirmwareError, WormFirmware, WormResponse};
+
+impl WormFirmware {
+    /// Confirms `sn` names a record that has been issued and not deleted.
+    fn check_active(&self, sn: SerialNumber) -> Result<(), FirmwareError> {
+        let s = self.booted()?;
+        if sn == SerialNumber::ZERO || sn > s.sn_current {
+            return reject(format!("{sn} was never issued"));
+        }
+        if sn < s.sn_base
+            || s.expired.contains(&sn)
+            || s.windows.iter().any(|&(lo, hi)| lo <= sn && sn <= hi)
+        {
+            return reject(format!("{sn} has been deleted"));
+        }
+        Ok(())
+    }
+
+    /// Verifies the host-presented `(attr, metasig)` pair for `sn`.
+    fn check_attr_authentic(
+        &self,
+        env: &Env,
+        sn: SerialNumber,
+        attr: &RecordAttributes,
+        metasig: &Witness,
+    ) -> Result<(), FirmwareError> {
+        let payload = meta_payload(sn, &attr.encode());
+        if !self.verify_own_witness(env.now(), &payload, metasig) {
+            return reject("presented attributes fail metasig verification");
+        }
+        Ok(())
+    }
+
+    /// `LitHold`.
+    pub(crate) fn lit_hold(
+        &mut self,
+        env: &mut Env,
+        mut attr: RecordAttributes,
+        metasig: Witness,
+        credential: HoldCredential,
+    ) -> Result<WormResponse, FirmwareError> {
+        let sn = credential.sn;
+        self.check_active(sn)?;
+        self.check_attr_authentic(env, sn, &attr, &metasig)?;
+        {
+            let s = self.booted()?;
+            if !credential.verify(&s.regulator) {
+                return reject("litigation hold credential is not from the regulator");
+            }
+        }
+        let now = env.now();
+        if credential.hold_until <= now {
+            return reject("hold timeout already in the past");
+        }
+        if let Some(existing) = &attr.litigation_hold {
+            if existing.hold_until > now {
+                return reject(format!(
+                    "record already held by litigation {}",
+                    existing.litigation_id
+                ));
+            }
+        }
+        attr.litigation_hold = Some(LitigationHold {
+            litigation_id: credential.litigation_id,
+            hold_until: credential.hold_until,
+            credential: credential.sig.bytes.clone(),
+        });
+        let payload = meta_payload(sn, &attr.encode());
+        let metasig = self.sign_strong(env, &payload);
+        self.holds.insert(sn, credential.hold_until);
+        Ok(WormResponse::AttrUpdated { attr, metasig })
+    }
+
+    /// `LitRelease`.
+    pub(crate) fn lit_release(
+        &mut self,
+        env: &mut Env,
+        mut attr: RecordAttributes,
+        metasig: Witness,
+        credential: ReleaseCredential,
+    ) -> Result<WormResponse, FirmwareError> {
+        let sn = credential.sn;
+        self.check_active(sn)?;
+        self.check_attr_authentic(env, sn, &attr, &metasig)?;
+        {
+            let s = self.booted()?;
+            if !credential.verify(&s.regulator) {
+                return reject("release credential is not from the regulator");
+            }
+        }
+        let held = match &attr.litigation_hold {
+            Some(h) => h.clone(),
+            None => return reject("record is not under a litigation hold"),
+        };
+        if held.litigation_id != credential.litigation_id {
+            return reject(format!(
+                "release is for litigation {} but the hold belongs to {}",
+                credential.litigation_id, held.litigation_id
+            ));
+        }
+        attr.litigation_hold = None;
+        let payload = meta_payload(sn, &attr.encode());
+        let metasig = self.sign_strong(env, &payload);
+        self.holds.remove(&sn);
+        // If the retention period already elapsed while held, let the RM
+        // delete at its next wake-up rather than at the stale hold time.
+        let now = env.now();
+        if self.vexp.contains(sn) {
+            let due = attr.retention_until.max(now);
+            self.vexp.defer(sn, due);
+        }
+        Ok(WormResponse::AttrUpdated { attr, metasig })
+    }
+}

@@ -1,0 +1,341 @@
+//! Witnessing: the write path and the deferred-strength machinery (§4.3).
+//!
+//! During bursts the firmware issues cheap short-lived signatures (512-bit
+//! RSA) or HMACs and queues the signed payloads; during idle periods it
+//! re-signs them with the permanent key `s` and pushes the strengthened
+//! witnesses to the host through the outbox — "within their security
+//! lifetime".
+
+use scpu::{Env, Op, Timestamp};
+use wormcrypt::{ct_eq, HashAlg, Hmac, Sha256};
+
+use crate::attr::RecordAttributes;
+use crate::config::WitnessMode;
+use crate::policy::RetentionPolicy;
+use crate::sn::SerialNumber;
+use crate::witness::{data_payload, meta_payload, weak_wrap, Signature, Witness};
+
+use super::{
+    reject, FirmwareError, OutboxItem, WitnessField, WormFirmware, WormResponse, WriteData,
+    WriteReceipt,
+};
+
+/// Secure-memory estimate per pending-strengthen entry (payload + keys).
+const PENDING_OVERHEAD_BYTES: usize = 48;
+
+/// A deferred witness awaiting idle-time strengthening.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingStrengthen {
+    /// The exact payload the strong signature must cover.
+    pub payload: Vec<u8>,
+    /// Secure memory reserved for this entry.
+    pub reserved: usize,
+}
+
+impl WitnessField {
+    fn code(self) -> u8 {
+        match self {
+            WitnessField::Meta => 0,
+            WitnessField::Data => 1,
+        }
+    }
+}
+
+impl WormFirmware {
+    /// `Write` (§4.2.2): issues the next serial number, stamps trusted
+    /// attributes, and witnesses `(SN, attr)` and `(SN, Hash(data))` at
+    /// the requested strength tier.
+    pub(crate) fn write(
+        &mut self,
+        env: &mut Env,
+        policy: RetentionPolicy,
+        flags: u32,
+        data: WriteData,
+        witness: WitnessMode,
+    ) -> Result<WormResponse, FirmwareError> {
+        self.booted()?;
+        if witness == WitnessMode::Deferred {
+            self.maybe_rotate_weak_key(env);
+        }
+        let now = env.now();
+
+        // Compute (or accept) the incremental data hash (Table 1: chained
+        // or multiset, per deployment configuration).
+        let scheme = self.cfg.data_hash;
+        let expected_len = crate::vrd::data_hash_len(scheme);
+        let (chain_hash, audit_pending) = match &data {
+            WriteData::Full(records) => {
+                let total: usize = records.iter().map(|r| r.len()).sum();
+                env.charge(Op::DmaIn { bytes: total });
+                env.charge(Op::Sha256 { bytes: total });
+                let digest =
+                    crate::vrd::data_hash(scheme, records.iter().map(|r| r.as_slice()));
+                (digest, false)
+            }
+            WriteData::HostHash { chain_hash, .. } => {
+                if chain_hash.len() != expected_len {
+                    return reject(format!(
+                        "host-provided data hash must be {expected_len} bytes for {scheme:?}"
+                    ));
+                }
+                env.charge(Op::DmaIn { bytes: expected_len });
+                (chain_hash.clone(), true)
+            }
+        };
+
+        let attr = {
+            let s = self.booted_mut()?;
+            s.sn_current = s.sn_current.next();
+            RecordAttributes {
+                created_at: now,
+                retention_until: now.after(policy.retention),
+                regulation: policy.regulation,
+                shredder: policy.shredder,
+                litigation_hold: None,
+                flags,
+            }
+        };
+        let sn = self.booted()?.sn_current;
+        let meta = meta_payload(sn, &attr.encode());
+        let datap = data_payload(sn, &chain_hash);
+
+        let metasig = self.issue_witness(env, sn, WitnessField::Meta, &meta, witness)?;
+        let datasig = self.issue_witness(env, sn, WitnessField::Data, &datap, witness)?;
+
+        if audit_pending {
+            if let WriteData::HostHash { chain_hash, .. } = data {
+                self.pending_audits.insert(sn, chain_hash);
+            }
+        }
+
+        // Schedule expiration; on secure-memory exhaustion, seal the entry
+        // out to the host instead (§4.2.2: VEXP "subject to secure storage
+        // space").
+        let shred_code = shredder_code(policy.shredder);
+        let vexp_seal = match self
+            .vexp
+            .insert(env.memory(), sn, attr.retention_until, policy.shredder)
+        {
+            Ok(()) => None,
+            Err(_) => {
+                self.spilled += 1;
+                Some(self.seal_expiry(sn, attr.retention_until, shred_code))
+            }
+        };
+
+        Ok(WormResponse::Written(WriteReceipt {
+            sn,
+            attr,
+            metasig,
+            datasig,
+            vexp_seal,
+        }))
+    }
+
+    /// Issues one witness at the requested tier, registering deferred
+    /// tiers for idle-time strengthening.
+    fn issue_witness(
+        &mut self,
+        env: &mut Env,
+        sn: SerialNumber,
+        field: WitnessField,
+        payload: &[u8],
+        mode: WitnessMode,
+    ) -> Result<Witness, FirmwareError> {
+        match mode {
+            WitnessMode::Strong => Ok(self.sign_strong(env, payload)),
+            WitnessMode::Deferred => {
+                let now = env.now();
+                let (sig, expires_at) = {
+                    let weak_bits = self.cfg.weak_bits;
+                    let lifetime = self.cfg.weak_lifetime;
+                    env.charge(Op::RsaSign { bits: weak_bits });
+                    let s = self.booted()?;
+                    let expires_at = now.after(lifetime).min(s.weak_cert.max_sig_expiry);
+                    let wrapped = weak_wrap(payload, expires_at);
+                    (
+                        Signature {
+                            key_id: s.weak_key.public().fingerprint(),
+                            bytes: s
+                                .weak_key
+                                .sign(&wrapped, HashAlg::Sha256)
+                                .expect("weak modulus holds sha-256"),
+                        },
+                        expires_at,
+                    )
+                };
+                self.register_pending(env, sn, field, payload);
+                Ok(Witness::Weak { sig, expires_at })
+            }
+            WitnessMode::Hmac => {
+                env.charge(Op::Hmac {
+                    bytes: payload.len(),
+                });
+                let tag = {
+                    let s = self.booted()?;
+                    Hmac::<Sha256>::mac(&s.hmac_key, payload)
+                };
+                self.register_pending(env, sn, field, payload);
+                Ok(Witness::Mac { tag })
+            }
+        }
+    }
+
+    /// Signs `payload` with the permanent key `s`.
+    pub(crate) fn sign_strong(&mut self, env: &mut Env, payload: &[u8]) -> Witness {
+        env.charge(Op::RsaSign {
+            bits: self.cfg.strong_bits,
+        });
+        let s = self.state.as_ref().expect("booted");
+        Witness::Strong(Signature {
+            key_id: s.sign_key.public().fingerprint(),
+            bytes: s
+                .sign_key
+                .sign(payload, HashAlg::Sha256)
+                .expect("strong modulus sized"),
+        })
+    }
+
+    /// Signs a deletion payload with the deletion key `d`.
+    pub(crate) fn sign_deletion(&mut self, env: &mut Env, payload: &[u8]) -> Signature {
+        env.charge(Op::RsaSign {
+            bits: self.cfg.strong_bits,
+        });
+        let s = self.state.as_ref().expect("booted");
+        Signature {
+            key_id: s.del_key.public().fingerprint(),
+            bytes: s
+                .del_key
+                .sign(payload, HashAlg::Sha256)
+                .expect("strong modulus sized"),
+        }
+    }
+
+    /// Queues a deferred witness for strengthening. If secure memory is
+    /// exhausted the firmware degrades gracefully by strengthening
+    /// *immediately* (correct but slow — exactly the trade-off the paper's
+    /// memory constraint forces).
+    fn register_pending(
+        &mut self,
+        env: &mut Env,
+        sn: SerialNumber,
+        field: WitnessField,
+        payload: &[u8],
+    ) {
+        let reserved = payload.len() + PENDING_OVERHEAD_BYTES;
+        if env.memory().reserve(reserved).is_ok() {
+            self.pending.insert(
+                (sn, field.code()),
+                PendingStrengthen {
+                    payload: payload.to_vec(),
+                    reserved,
+                },
+            );
+        } else {
+            let witness = self.sign_strong(env, payload);
+            self.outbox.push(OutboxItem::Strengthened { sn, field, witness });
+        }
+    }
+
+    /// Removes any deferred entries for `sn` (record deleted before
+    /// strengthening — no point signing a dead record).
+    pub(crate) fn drop_pending_for(&mut self, env: &mut Env, sn: SerialNumber) {
+        for code in [0u8, 1u8] {
+            if let Some(p) = self.pending.remove(&(sn, code)) {
+                env.memory().release(p.reserved);
+            }
+        }
+        self.pending_audits.remove(&sn);
+    }
+
+    /// Idle-time strengthening: re-signs queued payloads with `s` until
+    /// the virtual-time budget runs out (§4.3).
+    pub(crate) fn strengthen_pending(&mut self, env: &mut Env, budget_ns: u64) {
+        let per_sig = env.peek_cost(Op::RsaSign {
+            bits: self.cfg.strong_bits,
+        });
+        let mut spent = 0u64;
+        while spent + per_sig <= budget_ns || (per_sig == 0 && !self.pending.is_empty()) {
+            let key = match self.pending.keys().next().copied() {
+                Some(k) => k,
+                None => break,
+            };
+            let entry = self.pending.remove(&key).expect("key just observed");
+            env.memory().release(entry.reserved);
+            let witness = self.sign_strong(env, &entry.payload);
+            spent += per_sig;
+            let (sn, code) = key;
+            let field = if code == 0 {
+                WitnessField::Meta
+            } else {
+                WitnessField::Data
+            };
+            self.outbox.push(OutboxItem::Strengthened { sn, field, witness });
+            if per_sig == 0 && self.pending.is_empty() {
+                break;
+            }
+        }
+    }
+
+    /// Verifies a witness the host presents back to the firmware (e.g.,
+    /// the current `metasig` in a litigation request). Uses the device's
+    /// own public keys, the weak-key history, and the HMAC key.
+    pub(crate) fn verify_own_witness(
+        &self,
+        now: Timestamp,
+        payload: &[u8],
+        witness: &Witness,
+    ) -> bool {
+        let s = match self.state.as_ref() {
+            Some(s) => s,
+            None => return false,
+        };
+        match witness {
+            Witness::Strong(sig) => sig.verify(s.sign_key.public(), payload),
+            Witness::Weak { sig, expires_at } => {
+                if *expires_at < now {
+                    return false;
+                }
+                let wrapped = weak_wrap(payload, *expires_at);
+                if sig.verify(s.weak_key.public(), &wrapped) {
+                    return true;
+                }
+                s.weak_history.iter().any(|k| sig.verify(k, &wrapped))
+            }
+            Witness::Mac { tag } => ct_eq(&Hmac::<Sha256>::mac(&s.hmac_key, payload), tag),
+        }
+    }
+
+    /// `AuditData`: verifies a trust-host-hash write's claimed chain hash
+    /// against the full data (§4.2.2: "verified later during idle times").
+    pub(crate) fn audit_data(
+        &mut self,
+        env: &mut Env,
+        sn: SerialNumber,
+        data: Vec<Vec<u8>>,
+    ) -> Result<WormResponse, FirmwareError> {
+        self.booted()?;
+        let claimed = match self.pending_audits.remove(&sn) {
+            Some(h) => h,
+            None => return reject(format!("{sn} has no pending audit")),
+        };
+        let total: usize = data.iter().map(|r| r.len()).sum();
+        env.charge(Op::DmaIn { bytes: total });
+        env.charge(Op::Sha256 { bytes: total });
+        let digest = crate::vrd::data_hash(self.cfg.data_hash, data.iter().map(|r| r.as_slice()));
+        let ok = ct_eq(&digest, &claimed);
+        if !ok {
+            self.outbox.push(OutboxItem::AuditFailure { sn });
+        }
+        Ok(WormResponse::Audited(ok))
+    }
+}
+
+/// Stable shredder code used inside sealed expiry tokens.
+pub(crate) fn shredder_code(s: wormstore::Shredder) -> u8 {
+    match s {
+        wormstore::Shredder::ZeroFill => 0,
+        wormstore::Shredder::MultiPass { passes } => 0x10 | passes,
+        wormstore::Shredder::RandomPass => 1,
+    }
+}

@@ -1,0 +1,182 @@
+//! Proof objects the host presents to clients.
+//!
+//! §4.2.2 (*Read*): a successful read returns the VRD and data; a failed
+//! read must come with SCPU-certified evidence — a deletion proof
+//! `S_d(SN)`, a base certificate showing `SN < SN_base`, or a signed
+//! deleted-window pair containing the SN. §4.2.1's freshness mechanism
+//! adds the timestamped head certificate to every response so the host
+//! cannot hide recent records.
+
+use bytes::Bytes;
+use scpu::Timestamp;
+
+use crate::sn::SerialNumber;
+use crate::vrd::Vrd;
+use crate::witness::Signature;
+
+/// Timestamped head certificate `S_s(SN_current, t)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeadCert {
+    /// Highest serial number issued so far.
+    pub sn_current: SerialNumber,
+    /// Trusted issue time (clients reject stale heads).
+    pub issued_at: Timestamp,
+    /// Signature under the SCPU's permanent key `s`.
+    pub sig: Signature,
+}
+
+/// Base certificate `S_s(SN_base)` with anti-replay expiry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaseCert {
+    /// Lowest serial number of any still-active record; everything below
+    /// is rightfully deleted.
+    pub sn_base: SerialNumber,
+    /// Time after which this certificate must be re-issued.
+    pub expires_at: Timestamp,
+    /// Signature under `s`.
+    pub sig: Signature,
+}
+
+/// Per-record deletion proof `S_d(SN)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeletionProof {
+    /// The deleted serial number.
+    pub sn: SerialNumber,
+    /// Trusted deletion time.
+    pub deleted_at: Timestamp,
+    /// Signature under the SCPU's deletion key `d`.
+    pub sig: Signature,
+}
+
+/// Signed bounds of a contiguous deleted window (§4.2.1 multi-window
+/// compaction). The two bounds carry the same random `window_id`, which
+/// is what stops the host from pairing bounds of different windows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowProof {
+    /// Random correlation identifier minted inside the SCPU.
+    pub window_id: u64,
+    /// First expired SN of the segment.
+    pub lo: SerialNumber,
+    /// Last expired SN of the segment.
+    pub hi: SerialNumber,
+    /// `S_s(window_id, "lo", lo)`.
+    pub lo_sig: Signature,
+    /// `S_s(window_id, "hi", hi)`.
+    pub hi_sig: Signature,
+}
+
+impl WindowProof {
+    /// Whether `sn` falls inside this window's bounds.
+    pub fn contains(&self, sn: SerialNumber) -> bool {
+        self.lo <= sn && sn <= self.hi
+    }
+}
+
+/// Evidence for a failed read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeletionEvidence {
+    /// Per-record proof `S_d(SN)`.
+    Proof(DeletionProof),
+    /// `SN < SN_base`: rightfully deleted and compacted away.
+    BelowBase(BaseCert),
+    /// The SN lies inside a signed deleted window.
+    InWindow(WindowProof),
+}
+
+/// What the host returns for a read of serial number `sn`.
+///
+/// Every variant carries the freshest head certificate, which is what lets
+/// the client bound `SN_current` and detect hidden records (Theorem 2).
+#[derive(Clone, Debug)]
+pub enum ReadOutcome {
+    /// The record is live: descriptor plus its data records.
+    Data {
+        /// The virtual record descriptor.
+        vrd: Vrd,
+        /// The data records referenced by the VRD's RDL, in order.
+        records: Vec<Bytes>,
+        /// Freshness certificate.
+        head: HeadCert,
+    },
+    /// The record existed and was deleted per policy.
+    Deleted {
+        /// SCPU-certified evidence of rightful deletion.
+        evidence: DeletionEvidence,
+        /// Freshness certificate.
+        head: HeadCert,
+    },
+    /// No record with this SN was ever allocated (`sn > SN_current`).
+    NeverExisted {
+        /// Freshness certificate proving the current head.
+        head: HeadCert,
+    },
+}
+
+impl ReadOutcome {
+    /// The head certificate attached to this outcome.
+    pub fn head(&self) -> &HeadCert {
+        match self {
+            ReadOutcome::Data { head, .. }
+            | ReadOutcome::Deleted { head, .. }
+            | ReadOutcome::NeverExisted { head } => head,
+        }
+    }
+
+    /// Short variant name for logs and tests.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReadOutcome::Data { .. } => "data",
+            ReadOutcome::Deleted { .. } => "deleted",
+            ReadOutcome::NeverExisted { .. } => "never-existed",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        Signature {
+            key_id: [9; 8],
+            bytes: vec![1, 2, 3],
+        }
+    }
+
+    #[test]
+    fn window_contains() {
+        let w = WindowProof {
+            window_id: 1,
+            lo: SerialNumber(10),
+            hi: SerialNumber(20),
+            lo_sig: sig(),
+            hi_sig: sig(),
+        };
+        assert!(w.contains(SerialNumber(10)));
+        assert!(w.contains(SerialNumber(15)));
+        assert!(w.contains(SerialNumber(20)));
+        assert!(!w.contains(SerialNumber(9)));
+        assert!(!w.contains(SerialNumber(21)));
+    }
+
+    #[test]
+    fn outcome_kind_and_head() {
+        let head = HeadCert {
+            sn_current: SerialNumber(5),
+            issued_at: Timestamp::from_millis(3),
+            sig: sig(),
+        };
+        let o = ReadOutcome::NeverExisted { head: head.clone() };
+        assert_eq!(o.kind(), "never-existed");
+        assert_eq!(o.head().sn_current, SerialNumber(5));
+        let o = ReadOutcome::Deleted {
+            evidence: DeletionEvidence::BelowBase(BaseCert {
+                sn_base: SerialNumber(2),
+                expires_at: Timestamp::from_millis(10),
+                sig: sig(),
+            }),
+            head,
+        };
+        assert_eq!(o.kind(), "deleted");
+    }
+}

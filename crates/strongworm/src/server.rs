@@ -1,0 +1,822 @@
+//! The untrusted host ("main CPU") side of the architecture.
+//!
+//! [`WormServer`] owns the record store, the on-disk VRDT, and the command
+//! channel to the secure coprocessor. It follows the paper's division of
+//! labour exactly: the SCPU witnesses *updates* (writes, deletions,
+//! litigation changes), while *reads* are served from host state alone —
+//! the host merely assembles SCPU-signed evidence that clients verify
+//! (§4.1 "Small Trusted Computing Base").
+//!
+//! Nothing in this module is trusted. A dishonest host can mutate any of
+//! this state (see [`crate::adversary`]); the guarantee is that clients
+//! detect it.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::{Clock, Device, Meter, Op, Timestamp};
+use wormcrypt::{Digest, RsaPublicKey, Sha256};
+use wormstore::{BlockDevice, MemDisk, RecordStore, Shredder};
+
+use crate::config::{HashMode, WitnessMode, WormConfig};
+use crate::error::WormError;
+use crate::firmware::{
+    DeviceKeys, FirmwareConfig, OutboxItem, WeakKeyCert, WitnessField, WormFirmware, WormRequest,
+    WormResponse, WriteData,
+};
+use crate::policy::RetentionPolicy;
+use crate::proofs::{DeletionEvidence, ReadOutcome};
+use crate::sn::SerialNumber;
+use crate::vrd::{data_chain_hash, Vrd};
+use crate::vrdt::{Lookup, Vrdt};
+
+/// A VEXP entry the firmware spilled to the host, awaiting re-submission.
+#[derive(Clone, Debug)]
+struct SpilledVexp {
+    sn: SerialNumber,
+    expires_at: Timestamp,
+    shredder: Shredder,
+    seal: Vec<u8>,
+}
+
+/// The WORM storage server.
+pub struct WormServer<D: BlockDevice = MemDisk> {
+    config: WormConfig,
+    clock: Arc<dyn Clock>,
+    store: RecordStore<D>,
+    vrdt: Vrdt,
+    device: Device<WormFirmware>,
+    keys: DeviceKeys,
+    /// All weak-key certificates published so far (clients need the
+    /// history to verify not-yet-strengthened witnesses).
+    weak_certs: Vec<WeakKeyCert>,
+    /// Spilled VEXP entries to re-submit during idle periods.
+    spilled: Vec<SpilledVexp>,
+    /// Trust-host-hash writes not yet audited by the SCPU.
+    unaudited: BTreeSet<SerialNumber>,
+    /// Records the SCPU flagged during audit (host lied about a hash).
+    audit_failures: Vec<SerialNumber>,
+    /// Modeled cost of host-side work (P4-class), for the benchmarks.
+    host_meter: Meter,
+    host_model: scpu::CostModel,
+    rng: StdRng,
+    /// Content-addressed index for deduplicated writes (§4.2: overlapping
+    /// VRs let "repeatedly stored objects ... be stored only once").
+    dedup_index: HashMap<[u8; 32], wormstore::RecordDescriptor>,
+    /// Reverse map for cleaning the dedup index when an extent dies.
+    record_hashes: HashMap<wormstore::RecordId, [u8; 32]>,
+    /// Live VR references per physical record; extents are shredded only
+    /// when the last referencing VR is deleted.
+    refcounts: HashMap<wormstore::RecordId, usize>,
+    /// Records whose expiration scheduling must be retried (crash
+    /// recovery with exhausted secure memory).
+    resync: Vec<SerialNumber>,
+}
+
+impl WormServer<MemDisk> {
+    /// Boots a server over an in-memory, unmetered disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures during key generation.
+    pub fn new(
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        regulator: &RsaPublicKey,
+    ) -> Result<Self, WormError> {
+        let store = RecordStore::new(MemDisk::unmetered(config.store_capacity));
+        Self::with_store(store, config, clock, regulator)
+    }
+}
+
+impl<D: BlockDevice> WormServer<D> {
+    /// Boots a server over a caller-supplied record store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures during key generation.
+    pub fn with_store(
+        store: RecordStore<D>,
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        regulator: &RsaPublicKey,
+    ) -> Result<Self, WormError> {
+        let firmware = WormFirmware::new(FirmwareConfig {
+            strong_bits: config.strong_bits,
+            weak_bits: config.weak_bits,
+            weak_lifetime: config.weak_lifetime,
+            head_refresh_interval: config.head_refresh_interval,
+            base_cert_lifetime: config.base_cert_lifetime,
+            min_compaction_run: config.min_compaction_run,
+            data_hash: config.data_hash,
+        });
+        let mut device = Device::new(firmware, config.device.clone(), clock.clone());
+        execute(&mut device, WormRequest::Init {
+            regulator: regulator.clone(),
+        })?;
+        let keys = match execute(&mut device, WormRequest::GetKeys)? {
+            WormResponse::Keys(k) => k,
+            other => return Err(unexpected(other)),
+        };
+        let mut server = WormServer {
+            config,
+            clock,
+            store,
+            vrdt: Vrdt::new(),
+            device,
+            weak_certs: vec![keys.weak_cert.clone()],
+            keys,
+            spilled: Vec::new(),
+            unaudited: BTreeSet::new(),
+            audit_failures: Vec::new(),
+            host_meter: Meter::new(),
+            host_model: scpu::CostModel::host_p4(),
+            rng: StdRng::seed_from_u64(0x4057),
+            dedup_index: HashMap::new(),
+            record_hashes: HashMap::new(),
+            refcounts: HashMap::new(),
+            resync: Vec::new(),
+        };
+        // Publish the initial head and base so clients always have
+        // freshness evidence.
+        server.refresh_head()?;
+        server.refresh_base()?;
+        Ok(server)
+    }
+
+    /// Decomposes the server into the parts that survive a host restart:
+    /// the battery-backed secure device (keys, serial counter, VEXP) and
+    /// the on-disk record store and VRDT journal.
+    pub fn into_parts(self) -> (Device<WormFirmware>, RecordStore<D>, wormstore::Journal) {
+        let journal = wormstore::Journal::from_bytes(self.vrdt.journal().as_bytes().to_vec());
+        (self.device, self.store, journal)
+    }
+
+    /// Resumes operation after a host crash: rebuilds the VRDT from its
+    /// journal, reconstructs the dedup/refcount indexes from the store,
+    /// and re-arms every active record's expiration inside the SCPU from
+    /// its own signed attributes (`SyncVexpFromAttr`) — the firmware
+    /// verifies each metasig, so a malicious "recovery" cannot shorten
+    /// retentions.
+    ///
+    /// Note: the published weak-key certificate history is host state a
+    /// real deployment persists alongside the journal; after resume only
+    /// the device's *current* weak certificate is known, so
+    /// not-yet-strengthened witnesses under retired weak keys should be
+    /// re-verified once the host restores its certificate archive.
+    ///
+    /// # Errors
+    ///
+    /// Journal corruption, device failures, or store failures.
+    pub fn resume(
+        mut device: Device<WormFirmware>,
+        store: RecordStore<D>,
+        journal: wormstore::Journal,
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, WormError> {
+        let vrdt = Vrdt::recover(journal)?;
+        let keys = match execute(&mut device, WormRequest::GetKeys)? {
+            WormResponse::Keys(k) => k,
+            other => return Err(unexpected(other)),
+        };
+        let mut server = WormServer {
+            config,
+            clock,
+            store,
+            vrdt,
+            device,
+            weak_certs: vec![keys.weak_cert.clone()],
+            keys,
+            spilled: Vec::new(),
+            unaudited: BTreeSet::new(),
+            audit_failures: Vec::new(),
+            host_meter: Meter::new(),
+            host_model: scpu::CostModel::host_p4(),
+            rng: StdRng::seed_from_u64(0x4058),
+            dedup_index: HashMap::new(),
+            record_hashes: HashMap::new(),
+            refcounts: HashMap::new(),
+            resync: Vec::new(),
+        };
+        // Rebuild reference counts and the content-addressed index from
+        // the recovered table.
+        let active: Vec<Vrd> = server.vrdt.iter_active().cloned().collect();
+        for vrd in &active {
+            for rd in &vrd.rdl {
+                *server.refcounts.entry(rd.id).or_insert(0) += 1;
+            }
+        }
+        for vrd in &active {
+            for rd in &vrd.rdl {
+                if !server.record_hashes.contains_key(&rd.id) {
+                    let bytes = server.store.read(rd)?;
+                    let digest = Sha256::digest_array(&bytes);
+                    server.dedup_index.insert(digest, *rd);
+                    server.record_hashes.insert(rd.id, digest);
+                }
+            }
+        }
+        // Trust-host-hash deployments: the firmware's pending-audit set
+        // survives in the device, but the host's submission queue does
+        // not — re-enqueue every active record. Already-audited records
+        // are rejected by the firmware and drained harmlessly.
+        if server.config.hash_mode == HashMode::TrustHostHash {
+            for vrd in &active {
+                server.unaudited.insert(vrd.sn);
+            }
+        }
+        // Re-arm expirations inside the SCPU (idempotent: entries already
+        // resident in battery-backed VEXP are acknowledged as synced).
+        for vrd in active {
+            let req = WormRequest::SyncVexpFromAttr {
+                sn: vrd.sn,
+                attr: vrd.attr.clone(),
+                metasig: vrd.metasig.clone(),
+            };
+            match execute(&mut server.device, req) {
+                Ok(WormResponse::Synced) => {}
+                _ => server.resync.push(vrd.sn),
+            }
+        }
+        server.refresh_head()?;
+        server.refresh_base()?;
+        server.drain_outbox()?;
+        Ok(server)
+    }
+
+    /// Device public keys and certificates for client distribution.
+    pub fn keys(&self) -> &DeviceKeys {
+        &self.keys
+    }
+
+    /// All weak-key certificates published so far.
+    pub fn weak_certs(&self) -> &[WeakKeyCert] {
+        &self.weak_certs
+    }
+
+    /// The host-side VRDT (read access for tests and tools).
+    pub fn vrdt(&self) -> &Vrdt {
+        &self.vrdt
+    }
+
+    /// SCPU virtual-time meter (benchmarks).
+    pub fn device_meter(&self) -> &Meter {
+        self.device.meter()
+    }
+
+    /// Host-side virtual-time meter (benchmarks).
+    pub fn host_meter(&self) -> &Meter {
+        &self.host_meter
+    }
+
+    /// Zeroes both cost meters and the store's I/O statistics.
+    pub fn reset_meters(&mut self) {
+        self.device.reset_meter();
+        self.host_meter.reset();
+        self.store.device_mut().reset_stats();
+    }
+
+    /// The record store (I/O statistics, capacity).
+    pub fn store(&self) -> &RecordStore<D> {
+        &self.store
+    }
+
+    /// Records flagged by SCPU audits of trust-host-hash writes.
+    pub fn audit_failures(&self) -> &[SerialNumber] {
+        &self.audit_failures
+    }
+
+    /// Number of spilled VEXP entries awaiting re-submission.
+    pub fn spilled_vexp(&self) -> usize {
+        self.spilled.len()
+    }
+
+    /// Writes a virtual record grouping `records` under `policy`,
+    /// using the configured default witness tier.
+    ///
+    /// # Errors
+    ///
+    /// Store, device, or firmware failures.
+    pub fn write(
+        &mut self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+    ) -> Result<SerialNumber, WormError> {
+        let witness = self.config.default_witness;
+        self.write_with(records, policy, 0, witness)
+    }
+
+    /// Writes with an explicit witness tier and flag bits (§4.2.2 Write,
+    /// §4.3 deferred strength).
+    ///
+    /// # Errors
+    ///
+    /// Store, device, or firmware failures.
+    pub fn write_with(
+        &mut self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+        flags: u32,
+        witness: WitnessMode,
+    ) -> Result<SerialNumber, WormError> {
+        self.write_inner(records, policy, flags, witness, false)
+    }
+
+    /// Writes a VR whose records are deduplicated against previously
+    /// stored content (§4.2: VRs may overlap, so "repeatedly stored
+    /// objects (such as popular email attachments) \[are\] potentially ...
+    /// stored only once"). A shared extent is shredded only when the last
+    /// VR referencing it is deleted.
+    ///
+    /// # Errors
+    ///
+    /// Store, device, or firmware failures.
+    pub fn write_dedup(
+        &mut self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+    ) -> Result<SerialNumber, WormError> {
+        let witness = self.config.default_witness;
+        self.write_inner(records, policy, 0, witness, true)
+    }
+
+    fn write_inner(
+        &mut self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+        flags: u32,
+        witness: WitnessMode,
+        dedup: bool,
+    ) -> Result<SerialNumber, WormError> {
+        // 1. Host writes the data records to the store (reusing identical
+        //    content when deduplication is requested).
+        let mut rdl = Vec::with_capacity(records.len());
+        for r in records {
+            let rd = if dedup {
+                let digest = Sha256::digest_array(r);
+                match self.dedup_index.get(&digest) {
+                    Some(&existing) if self.refcounts.get(&existing.id).copied().unwrap_or(0) > 0 => {
+                        existing
+                    }
+                    _ => {
+                        let rd = self.store.write(r)?;
+                        self.dedup_index.insert(digest, rd);
+                        self.record_hashes.insert(rd.id, digest);
+                        rd
+                    }
+                }
+            } else {
+                self.store.write(r)?
+            };
+            *self.refcounts.entry(rd.id).or_insert(0) += 1;
+            rdl.push(rd);
+        }
+        // 2. Host messages the SCPU with the record content (or its hash).
+        let data = match self.config.hash_mode {
+            HashMode::ScpuHashes => WriteData::Full(records.iter().map(|r| r.to_vec()).collect()),
+            HashMode::TrustHostHash => {
+                let total: usize = records.iter().map(|r| r.len()).sum();
+                self.host_meter.record(
+                    Op::Sha256 { bytes: total },
+                    self.host_model.cost_ns(Op::Sha256 { bytes: total }),
+                );
+                WriteData::HostHash {
+                    chain_hash: crate::vrd::data_hash(
+                        self.config.data_hash,
+                        records.iter().copied(),
+                    ),
+                    total_len: total as u64,
+                }
+            }
+        };
+        let receipt = match execute(&mut self.device, WormRequest::Write {
+            policy,
+            flags,
+            data,
+            witness,
+        })? {
+            WormResponse::Written(r) => r,
+            other => return Err(unexpected(other)),
+        };
+        // 3. Host assembles the VRD and commits it to the VRDT.
+        let retention_until = receipt.attr.retention_until;
+        let vrd = Vrd {
+            sn: receipt.sn,
+            attr: receipt.attr,
+            rdl,
+            metasig: receipt.metasig,
+            datasig: receipt.datasig,
+        };
+        self.vrdt.insert(vrd);
+        if let Some(seal) = receipt.vexp_seal {
+            self.spilled.push(SpilledVexp {
+                sn: receipt.sn,
+                expires_at: retention_until,
+                shredder: policy.shredder,
+                seal,
+            });
+        }
+        if self.config.hash_mode == HashMode::TrustHostHash {
+            self.unaudited.insert(receipt.sn);
+        }
+        self.drain_outbox()?;
+        Ok(receipt.sn)
+    }
+
+    #[allow(dead_code)]
+    fn vrdt_attr(&self, sn: SerialNumber) -> Result<&crate::attr::RecordAttributes, WormError> {
+        match self.vrdt.lookup(sn) {
+            Lookup::Active(v) => Ok(&v.attr),
+            _ => Err(WormError::NotActive(sn)),
+        }
+    }
+
+    /// Reads a record by serial number — main-CPU cycles only (§4.2.2).
+    ///
+    /// The host lazily refreshes the head certificate through the SCPU
+    /// when it has gone stale; in a busy store the continuous updates keep
+    /// it fresh for free.
+    ///
+    /// # Errors
+    ///
+    /// Device failures (only on lazy head refresh), store failures, or an
+    /// internally inconsistent VRDT.
+    pub fn read(&mut self, sn: SerialNumber) -> Result<ReadOutcome, WormError> {
+        self.ensure_fresh_head()?;
+        let head = self
+            .vrdt
+            .head()
+            .cloned()
+            .expect("head installed at boot");
+        match self.vrdt.lookup(sn) {
+            Lookup::Active(_) => {
+                // Re-borrow pattern: read the record bytes after the lookup.
+                let vrd = match self.vrdt.lookup(sn) {
+                    Lookup::Active(v) => v.clone(),
+                    _ => unreachable!("lookup changed under us"),
+                };
+                let mut records = Vec::with_capacity(vrd.rdl.len());
+                for rd in &vrd.rdl {
+                    records.push(self.store.read(rd)?);
+                }
+                Ok(ReadOutcome::Data { vrd, records, head })
+            }
+            Lookup::Expired(p) => Ok(ReadOutcome::Deleted {
+                evidence: DeletionEvidence::Proof(p.clone()),
+                head,
+            }),
+            Lookup::InWindow(w) => Ok(ReadOutcome::Deleted {
+                evidence: DeletionEvidence::InWindow(w.clone()),
+                head,
+            }),
+            Lookup::BelowBase => {
+                let base = self.ensure_fresh_base()?;
+                Ok(ReadOutcome::Deleted {
+                    evidence: DeletionEvidence::BelowBase(base),
+                    head,
+                })
+            }
+            Lookup::Unknown => {
+                if sn > head.sn_current {
+                    Ok(ReadOutcome::NeverExisted { head })
+                } else {
+                    // A hole at or below the head means the VRDT was
+                    // corrupted out-of-band; an honest server cannot
+                    // produce evidence for it.
+                    Err(WormError::Firmware(format!(
+                        "vrdt has no entry or window for {sn} at or below the head"
+                    )))
+                }
+            }
+        }
+    }
+
+    fn ensure_fresh_head(&mut self) -> Result<(), WormError> {
+        let stale = match self.vrdt.head() {
+            None => true,
+            Some(h) => {
+                let age = self.clock.now().since(h.issued_at);
+                age > self.config.head_refresh_interval
+            }
+        };
+        if stale {
+            self.refresh_head()?;
+            // Crossing the device boundary may have fired due alarms
+            // (Retention Monitor deletions, heartbeats); apply them so the
+            // table is consistent before we serve the read.
+            self.drain_outbox()?;
+        }
+        Ok(())
+    }
+
+    fn ensure_fresh_base(&mut self) -> Result<crate::proofs::BaseCert, WormError> {
+        let stale = match self.vrdt.base() {
+            None => true,
+            Some(b) => b.expires_at <= self.clock.now(),
+        };
+        if stale {
+            self.refresh_base()?;
+        }
+        Ok(self.vrdt.base().cloned().expect("base just installed"))
+    }
+
+    /// Forces a head-certificate refresh through the SCPU.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures.
+    pub fn refresh_head(&mut self) -> Result<(), WormError> {
+        match execute(&mut self.device, WormRequest::RefreshHead)? {
+            WormResponse::Head(h) => {
+                self.vrdt.set_head(h);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Forces a base-certificate refresh through the SCPU.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures.
+    pub fn refresh_base(&mut self) -> Result<(), WormError> {
+        match execute(&mut self.device, WormRequest::RefreshBase)? {
+            WormResponse::Base(b) => {
+                self.vrdt.set_base(b);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Places a litigation hold authorized by `credential` (§4.2.2).
+    ///
+    /// # Errors
+    ///
+    /// [`WormError::NotActive`] if the record is not live; firmware
+    /// rejections for bad credentials.
+    pub fn lit_hold(
+        &mut self,
+        credential: crate::authority::HoldCredential,
+    ) -> Result<(), WormError> {
+        let sn = credential.sn;
+        let vrd = match self.vrdt.lookup(sn) {
+            Lookup::Active(v) => v.clone(),
+            _ => return Err(WormError::NotActive(sn)),
+        };
+        match execute(&mut self.device, WormRequest::LitHold {
+            attr: vrd.attr.clone(),
+            metasig: vrd.metasig.clone(),
+            credential,
+        })? {
+            WormResponse::AttrUpdated { attr, metasig } => {
+                let mut updated = vrd;
+                updated.attr = attr;
+                updated.metasig = metasig;
+                self.vrdt.replace(updated);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Releases a litigation hold (§4.2.2).
+    ///
+    /// # Errors
+    ///
+    /// [`WormError::NotActive`] if the record is not live; firmware
+    /// rejections for bad credentials.
+    pub fn lit_release(
+        &mut self,
+        credential: crate::authority::ReleaseCredential,
+    ) -> Result<(), WormError> {
+        let sn = credential.sn;
+        let vrd = match self.vrdt.lookup(sn) {
+            Lookup::Active(v) => v.clone(),
+            _ => return Err(WormError::NotActive(sn)),
+        };
+        match execute(&mut self.device, WormRequest::LitRelease {
+            attr: vrd.attr.clone(),
+            metasig: vrd.metasig.clone(),
+            credential,
+        })? {
+            WormResponse::AttrUpdated { attr, metasig } => {
+                let mut updated = vrd;
+                updated.attr = attr;
+                updated.metasig = metasig;
+                self.vrdt.replace(updated);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Drives due device alarms (Retention Monitor wake-ups, head
+    /// heartbeats) and applies the resulting outbox items.
+    ///
+    /// # Errors
+    ///
+    /// Device or store failures.
+    pub fn tick(&mut self) -> Result<(), WormError> {
+        self.device.tick()?;
+        self.drain_outbox()
+    }
+
+    /// Grants the SCPU an idle budget (virtual nanoseconds) for deferred
+    /// work: strengthening witnesses, re-admitting spilled VEXP entries,
+    /// and auditing trust-host-hash writes (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Device or store failures.
+    pub fn idle(&mut self, budget_ns: u64) -> Result<(), WormError> {
+        self.device.idle(budget_ns)?;
+        self.drain_outbox()?;
+        // Re-submit spilled VEXP entries while memory allows.
+        let mut remaining = Vec::new();
+        for entry in std::mem::take(&mut self.spilled) {
+            let res = execute(&mut self.device, WormRequest::SyncVexp {
+                sn: entry.sn,
+                expires_at: entry.expires_at,
+                shredder: entry.shredder,
+                seal: entry.seal.clone(),
+            });
+            match res {
+                Ok(WormResponse::Synced) => {}
+                _ => remaining.push(entry),
+            }
+        }
+        self.spilled = remaining;
+        // Retry crash-recovery expiration re-arming that previously hit
+        // exhausted secure memory.
+        let mut still_pending = Vec::new();
+        for sn in std::mem::take(&mut self.resync) {
+            let vrd = match self.vrdt.lookup(sn) {
+                Lookup::Active(v) => v.clone(),
+                _ => continue, // deleted meanwhile
+            };
+            let req = WormRequest::SyncVexpFromAttr {
+                sn,
+                attr: vrd.attr,
+                metasig: vrd.metasig,
+            };
+            match execute(&mut self.device, req) {
+                Ok(WormResponse::Synced) => {}
+                _ => still_pending.push(sn),
+            }
+        }
+        self.resync = still_pending;
+        // Submit pending audits.
+        let to_audit: Vec<SerialNumber> = self.unaudited.iter().copied().take(16).collect();
+        for sn in to_audit {
+            let data = match self.vrdt.lookup(sn) {
+                Lookup::Active(v) => {
+                    let mut records = Vec::with_capacity(v.rdl.len());
+                    let rdl = v.rdl.clone();
+                    for rd in &rdl {
+                        records.push(self.store.read(rd)?.to_vec());
+                    }
+                    records
+                }
+                _ => {
+                    // Deleted before audit; nothing to check any more.
+                    self.unaudited.remove(&sn);
+                    continue;
+                }
+            };
+            match execute(&mut self.device, WormRequest::AuditData { sn, data }) {
+                Ok(WormResponse::Audited(_)) => {
+                    self.unaudited.remove(&sn);
+                }
+                // Firmware-level rejection ("no pending audit"): the entry
+                // is unknown to the device, so retrying can never help —
+                // drop it rather than wedging the queue on it forever.
+                Err(WormError::Firmware(_)) => {
+                    self.unaudited.remove(&sn);
+                }
+                // Device-level failures (tamper) abort this pass.
+                _ => break,
+            }
+        }
+        self.drain_outbox()
+    }
+
+    /// Compacts every eligible contiguous run of expired entries into
+    /// signed deleted windows (§4.2.1), returning how many windows were
+    /// created. Intended for idle periods.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures.
+    pub fn compact(&mut self) -> Result<usize, WormError> {
+        let runs = self.vrdt.expired_runs(self.config.min_compaction_run);
+        let mut created = 0;
+        for (lo, hi) in runs {
+            match execute(&mut self.device, WormRequest::CompactWindow { lo, hi })? {
+                WormResponse::Window(w) => {
+                    self.vrdt.compact(w);
+                    created += 1;
+                }
+                other => return Err(unexpected(other)),
+            }
+        }
+        self.drain_outbox()?;
+        Ok(created)
+    }
+
+    /// Applies all queued outbox items from the firmware.
+    fn drain_outbox(&mut self) -> Result<(), WormError> {
+        let items = match execute(&mut self.device, WormRequest::DrainOutbox)? {
+            WormResponse::Outbox(items) => items,
+            other => return Err(unexpected(other)),
+        };
+        for item in items {
+            match item {
+                OutboxItem::Deleted { proof, shredder } => {
+                    if let Lookup::Active(v) = self.vrdt.lookup(proof.sn) {
+                        let rdl = v.rdl.clone();
+                        for rd in &rdl {
+                            // Shared extents (overlapping VRs) survive
+                            // until their last referencing VR dies.
+                            let count = self.refcounts.entry(rd.id).or_insert(1);
+                            *count = count.saturating_sub(1);
+                            if *count == 0 {
+                                self.refcounts.remove(&rd.id);
+                                if let Some(digest) = self.record_hashes.remove(&rd.id) {
+                                    self.dedup_index.remove(&digest);
+                                }
+                                self.store.shred(rd, shredder, &mut self.rng)?;
+                            }
+                        }
+                    }
+                    self.unaudited.remove(&proof.sn);
+                    self.vrdt.expire(proof);
+                }
+                OutboxItem::Strengthened { sn, field, witness } => {
+                    if let Lookup::Active(v) = self.vrdt.lookup(sn) {
+                        let mut updated = v.clone();
+                        match field {
+                            WitnessField::Meta => updated.metasig = witness,
+                            WitnessField::Data => updated.datasig = witness,
+                        }
+                        self.vrdt.replace(updated);
+                    }
+                }
+                OutboxItem::NewBase(b) => self.vrdt.set_base(b),
+                OutboxItem::NewHead(h) => self.vrdt.set_head(h),
+                OutboxItem::NewWeakKey(cert) => self.weak_certs.push(cert),
+                OutboxItem::AuditFailure { sn } => self.audit_failures.push(sn),
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies the chain hash of a record against host state (utility
+    /// for tools; clients do their own verification).
+    pub fn local_chain_hash(records: &[&[u8]]) -> Vec<u8> {
+        data_chain_hash(records.iter().copied())
+    }
+
+    /// Computes SHA-256 of a byte string (host-side convenience).
+    pub fn sha256(data: &[u8]) -> Vec<u8> {
+        Sha256::digest(data)
+    }
+
+    /// Test/adversary access to internal state; see [`crate::adversary`].
+    #[doc(hidden)]
+    pub fn parts_mut_for_attack(&mut self) -> (&mut Vrdt, &mut RecordStore<D>) {
+        (&mut self.vrdt, &mut self.store)
+    }
+
+    /// Triggers the device's tamper response (for failure-injection
+    /// tests): the SCPU zeroizes and all further update operations fail.
+    pub fn tamper_device(&mut self, cause: scpu::TamperCause) {
+        self.device.trigger_tamper(cause);
+    }
+
+    /// Firmware introspection for tests (not available in a real
+    /// deployment).
+    #[doc(hidden)]
+    pub fn firmware_for_test(&self) -> &WormFirmware {
+        self.device.applet_for_test()
+    }
+}
+
+fn execute(
+    device: &mut Device<WormFirmware>,
+    request: WormRequest,
+) -> Result<WormResponse, WormError> {
+    match device.execute(request) {
+        Ok(Ok(resp)) => Ok(resp),
+        Ok(Err(fw)) => Err(WormError::Firmware(fw.0)),
+        Err(dev) => Err(WormError::Device(dev)),
+    }
+}
+
+fn unexpected(resp: WormResponse) -> WormError {
+    WormError::Firmware(format!("unexpected firmware response: {resp:?}"))
+}

@@ -1,0 +1,573 @@
+//! The Virtual Record Descriptor Table (VRDT).
+//!
+//! "The untrusted main CPU maintains (on disk) a table of VRDs indexed by
+//! their corresponding serial numbers" (§4.2.1). Entries hold either the
+//! VRD of an *active* record or the SCPU-signed deletion proof of an
+//! *expired* one; contiguous runs of expired entries can be compacted into
+//! signed deleted-window bound pairs, and everything below `SN_base` is
+//! dropped entirely.
+//!
+//! Every mutation is journaled ([`wormstore::Journal`]) so a host crash
+//! between the data write and the table update recovers to a consistent
+//! prefix. The journal protects against *accidents*; malicious edits are
+//! caught by clients verifying the SCPU signatures, not here.
+
+use std::collections::BTreeMap;
+
+use wormstore::Journal;
+
+use crate::codec;
+use crate::proofs::{BaseCert, DeletionProof, HeadCert, WindowProof};
+use crate::sn::SerialNumber;
+use crate::vrd::Vrd;
+use crate::wire::WireError;
+
+/// One VRDT row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VrdtEntry {
+    /// A live record: full VRD.
+    Active(Vrd),
+    /// An expired record: its deletion proof `S_d(SN)`.
+    Expired(DeletionProof),
+}
+
+/// Result of looking a serial number up in the table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Lookup<'a> {
+    /// Live record.
+    Active(&'a Vrd),
+    /// Expired, with its per-record deletion proof still resident.
+    Expired(&'a DeletionProof),
+    /// Expired and compacted into a signed deleted window.
+    InWindow(&'a WindowProof),
+    /// Below `SN_base`: rightfully deleted, no per-record state kept.
+    BelowBase,
+    /// No information (beyond the head, or a hole — the latter indicates
+    /// host-side corruption and will fail client verification).
+    Unknown,
+}
+
+/// Journal opcodes.
+const OP_INSERT: u8 = 1;
+const OP_EXPIRE: u8 = 2;
+const OP_COMPACT: u8 = 3;
+const OP_HEAD: u8 = 4;
+const OP_BASE: u8 = 5;
+const OP_REPLACE: u8 = 6;
+
+/// The host-side table of virtual record descriptors.
+///
+/// Invariant: `windows` holds *disjoint* intervals (an honest server only
+/// compacts maximal expired runs, which cannot overlap), kept sorted —
+/// under disjointness, sorted-by-`lo` and sorted-by-`hi` coincide, which
+/// is what the binary search in [`Vrdt::lookup`] relies on.
+#[derive(Debug, Default)]
+pub struct Vrdt {
+    entries: BTreeMap<SerialNumber, VrdtEntry>,
+    /// Deleted windows, kept sorted by `lo` and non-overlapping.
+    windows: Vec<WindowProof>,
+    head: Option<HeadCert>,
+    base: Option<BaseCert>,
+    journal: Journal,
+}
+
+impl Vrdt {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds a table by replaying a journal (crash recovery). Torn or
+    /// corrupt tail entries are ignored, yielding the last consistent
+    /// state.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if a *valid-CRC* frame contains a malformed payload
+    /// (indicates a software bug or deliberate tampering rather than a
+    /// crash).
+    pub fn recover(journal: Journal) -> Result<Self, WireError> {
+        let mut t = Vrdt::new();
+        let frames: Vec<Vec<u8>> = journal.replay().collect();
+        for frame in frames {
+            let (&op, payload) = frame
+                .split_first()
+                .ok_or(WireError { expected: "journal opcode" })?;
+            match op {
+                OP_INSERT => {
+                    let vrd = codec::decode_vrd(payload)?;
+                    t.entries.insert(vrd.sn, VrdtEntry::Active(vrd));
+                }
+                OP_REPLACE => {
+                    let vrd = codec::decode_vrd(payload)?;
+                    t.entries.insert(vrd.sn, VrdtEntry::Active(vrd));
+                }
+                OP_EXPIRE => {
+                    let p = codec::decode_deletion_proof(payload)?;
+                    t.entries.insert(p.sn, VrdtEntry::Expired(p));
+                }
+                OP_COMPACT => {
+                    let w = codec::decode_window_proof(payload)?;
+                    t.apply_compact(&w);
+                }
+                OP_HEAD => {
+                    t.head = Some(codec::decode_head_cert(payload)?);
+                }
+                OP_BASE => {
+                    let b = codec::decode_base_cert(payload)?;
+                    t.apply_base(&b);
+                }
+                _ => return Err(WireError { expected: "known journal opcode" }),
+            }
+        }
+        t.journal = journal;
+        Ok(t)
+    }
+
+    /// The underlying journal bytes (what a real host would persist).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    fn log(&mut self, op: u8, payload: &[u8]) {
+        let mut frame = Vec::with_capacity(payload.len() + 1);
+        frame.push(op);
+        frame.extend_from_slice(payload);
+        self.journal.append(&frame);
+    }
+
+    /// Inserts a freshly written VRD.
+    pub fn insert(&mut self, vrd: Vrd) {
+        self.log(OP_INSERT, &codec::encode_vrd(&vrd));
+        self.entries.insert(vrd.sn, VrdtEntry::Active(vrd));
+    }
+
+    /// Replaces an active VRD (litigation-hold updates, strengthened
+    /// witnesses). No-op on the entry map if the SN is not active.
+    pub fn replace(&mut self, vrd: Vrd) {
+        self.log(OP_REPLACE, &codec::encode_vrd(&vrd));
+        self.entries.insert(vrd.sn, VrdtEntry::Active(vrd));
+    }
+
+    /// Replaces an entry with its deletion proof (record expired).
+    pub fn expire(&mut self, proof: DeletionProof) {
+        self.log(OP_EXPIRE, &codec::encode_deletion_proof(&proof));
+        self.entries.insert(proof.sn, VrdtEntry::Expired(proof));
+    }
+
+    /// Installs a deleted-window proof, expelling the per-record deletion
+    /// proofs it subsumes (§4.2.1 storage reduction).
+    pub fn compact(&mut self, window: WindowProof) {
+        self.log(OP_COMPACT, &codec::encode_window_proof(&window));
+        self.apply_compact(&window);
+    }
+
+    fn apply_compact(&mut self, window: &WindowProof) {
+        let range: Vec<SerialNumber> = self
+            .entries
+            .range(window.lo..=window.hi)
+            .map(|(&sn, _)| sn)
+            .collect();
+        for sn in range {
+            if matches!(self.entries.get(&sn), Some(VrdtEntry::Expired(_))) {
+                self.entries.remove(&sn);
+            }
+        }
+        let pos = self
+            .windows
+            .partition_point(|w| w.lo < window.lo);
+        self.windows.insert(pos, window.clone());
+    }
+
+    /// Installs the freshest head certificate.
+    pub fn set_head(&mut self, head: HeadCert) {
+        self.log(OP_HEAD, &codec::encode_head_cert(&head));
+        self.head = Some(head);
+    }
+
+    /// Installs a base certificate and expels all per-record state below
+    /// the base (§4.2.1: proofs outside the active window "can be securely
+    /// discarded").
+    pub fn set_base(&mut self, base: BaseCert) {
+        self.log(OP_BASE, &codec::encode_base_cert(&base));
+        self.apply_base(&base);
+    }
+
+    fn apply_base(&mut self, base: &BaseCert) {
+        let below: Vec<SerialNumber> = self
+            .entries
+            .range(..base.sn_base)
+            .filter(|(_, e)| matches!(e, VrdtEntry::Expired(_)))
+            .map(|(&sn, _)| sn)
+            .collect();
+        for sn in below {
+            self.entries.remove(&sn);
+        }
+        self.windows.retain(|w| w.hi >= base.sn_base);
+        self.base = Some(base.clone());
+    }
+
+    /// The latest head certificate.
+    pub fn head(&self) -> Option<&HeadCert> {
+        self.head.as_ref()
+    }
+
+    /// The latest base certificate.
+    pub fn base(&self) -> Option<&BaseCert> {
+        self.base.as_ref()
+    }
+
+    /// Looks up a serial number.
+    pub fn lookup(&self, sn: SerialNumber) -> Lookup<'_> {
+        if let Some(entry) = self.entries.get(&sn) {
+            return match entry {
+                VrdtEntry::Active(v) => Lookup::Active(v),
+                VrdtEntry::Expired(p) => Lookup::Expired(p),
+            };
+        }
+        // Binary search over the sorted, non-overlapping windows.
+        let idx = self.windows.partition_point(|w| w.hi < sn);
+        if let Some(w) = self.windows.get(idx) {
+            if w.contains(sn) {
+                return Lookup::InWindow(w);
+            }
+        }
+        if let Some(base) = &self.base {
+            if sn < base.sn_base {
+                return Lookup::BelowBase;
+            }
+        }
+        if let Some(head) = &self.head {
+            if sn > head.sn_current {
+                return Lookup::Unknown;
+            }
+        }
+        Lookup::Unknown
+    }
+
+    /// Iterates over active VRDs in SN order.
+    pub fn iter_active(&self) -> impl Iterator<Item = &Vrd> {
+        self.entries.values().filter_map(|e| match e {
+            VrdtEntry::Active(v) => Some(v),
+            VrdtEntry::Expired(_) => None,
+        })
+    }
+
+    /// Iterates over resident expired entries in SN order.
+    pub fn iter_expired(&self) -> impl Iterator<Item = &DeletionProof> {
+        self.entries.values().filter_map(|e| match e {
+            VrdtEntry::Active(_) => None,
+            VrdtEntry::Expired(p) => Some(p),
+        })
+    }
+
+    /// Finds maximal contiguous runs of ≥ `min_len` resident expired
+    /// entries — compaction candidates per §4.2.1 ("3 or more expired
+    /// VRs").
+    pub fn expired_runs(&self, min_len: usize) -> Vec<(SerialNumber, SerialNumber)> {
+        let mut runs = Vec::new();
+        let mut cur: Option<(SerialNumber, SerialNumber)> = None;
+        for p in self.iter_expired() {
+            match cur {
+                Some((lo, hi)) if p.sn == hi.next() => cur = Some((lo, p.sn)),
+                Some((lo, hi)) => {
+                    if (hi.get() - lo.get() + 1) as usize >= min_len {
+                        runs.push((lo, hi));
+                    }
+                    cur = Some((p.sn, p.sn));
+                }
+                None => cur = Some((p.sn, p.sn)),
+            }
+        }
+        if let Some((lo, hi)) = cur {
+            if (hi.get() - lo.get() + 1) as usize >= min_len {
+                runs.push((lo, hi));
+            }
+        }
+        runs
+    }
+
+    /// Number of resident entries (active + expired).
+    pub fn resident_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of resident deleted-window proofs.
+    pub fn resident_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Checks the completeness invariant: every SN from 1 to the head is
+    /// active, expired-with-proof, inside a window, or below the base.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first unaccounted serial number.
+    pub fn check_complete(&self) -> Result<(), SerialNumber> {
+        let head = match &self.head {
+            Some(h) => h.sn_current,
+            None => return Ok(()),
+        };
+        let mut sn = SerialNumber(1);
+        while sn <= head {
+            if matches!(self.lookup(sn), Lookup::Unknown) {
+                return Err(sn);
+            }
+            sn = sn.next();
+        }
+        Ok(())
+    }
+
+    /// Direct mutable access to entries — **adversarial test hook**
+    /// modelling Mallory's superuser edit of on-disk structures.
+    #[doc(hidden)]
+    pub fn entries_mut_for_attack(&mut self) -> &mut BTreeMap<SerialNumber, VrdtEntry> {
+        &mut self.entries
+    }
+
+    /// Direct mutable access to windows — adversarial test hook.
+    #[doc(hidden)]
+    pub fn windows_mut_for_attack(&mut self) -> &mut Vec<WindowProof> {
+        &mut self.windows
+    }
+
+    /// Overwrites the head certificate without journaling — adversarial
+    /// test hook (stale-head replay).
+    #[doc(hidden)]
+    pub fn set_head_for_attack(&mut self, head: HeadCert) {
+        self.head = Some(head);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::RecordAttributes;
+    use crate::policy::Regulation;
+    use crate::witness::{Signature, Witness};
+    use scpu::Timestamp;
+    use wormstore::Shredder;
+
+    fn sig(b: u8) -> Signature {
+        Signature {
+            key_id: [b; 8],
+            bytes: vec![b; 8],
+        }
+    }
+
+    fn vrd(sn: u64) -> Vrd {
+        Vrd {
+            sn: SerialNumber(sn),
+            attr: RecordAttributes {
+                created_at: Timestamp::from_millis(0),
+                retention_until: Timestamp::from_millis(1000),
+                regulation: Regulation::Custom,
+                shredder: Shredder::ZeroFill,
+                litigation_hold: None,
+                flags: 0,
+            },
+            rdl: vec![],
+            metasig: Witness::Strong(sig(1)),
+            datasig: Witness::Strong(sig(2)),
+        }
+    }
+
+    fn del(sn: u64) -> DeletionProof {
+        DeletionProof {
+            sn: SerialNumber(sn),
+            deleted_at: Timestamp::from_millis(50),
+            sig: sig(3),
+        }
+    }
+
+    fn head(sn: u64) -> HeadCert {
+        HeadCert {
+            sn_current: SerialNumber(sn),
+            issued_at: Timestamp::from_millis(1),
+            sig: sig(4),
+        }
+    }
+
+    fn window(id: u64, lo: u64, hi: u64) -> WindowProof {
+        WindowProof {
+            window_id: id,
+            lo: SerialNumber(lo),
+            hi: SerialNumber(hi),
+            lo_sig: sig(5),
+            hi_sig: sig(6),
+        }
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = Vrdt::new();
+        t.insert(vrd(1));
+        t.insert(vrd(2));
+        assert!(matches!(t.lookup(SerialNumber(1)), Lookup::Active(_)));
+        assert!(matches!(t.lookup(SerialNumber(3)), Lookup::Unknown));
+        assert_eq!(t.resident_entries(), 2);
+        assert_eq!(t.iter_active().count(), 2);
+    }
+
+    #[test]
+    fn expire_replaces_entry() {
+        let mut t = Vrdt::new();
+        t.insert(vrd(1));
+        t.expire(del(1));
+        assert!(matches!(t.lookup(SerialNumber(1)), Lookup::Expired(_)));
+        assert_eq!(t.iter_active().count(), 0);
+        assert_eq!(t.iter_expired().count(), 1);
+    }
+
+    #[test]
+    fn compaction_expels_expired_entries() {
+        let mut t = Vrdt::new();
+        for i in 1..=6 {
+            t.insert(vrd(i));
+        }
+        for i in 2..=4 {
+            t.expire(del(i));
+        }
+        assert_eq!(t.resident_entries(), 6);
+        t.compact(window(99, 2, 4));
+        assert_eq!(t.resident_entries(), 3);
+        assert_eq!(t.resident_windows(), 1);
+        for i in 2..=4 {
+            match t.lookup(SerialNumber(i)) {
+                Lookup::InWindow(w) => assert_eq!(w.window_id, 99),
+                other => panic!("sn {i}: {other:?}"),
+            }
+        }
+        assert!(matches!(t.lookup(SerialNumber(1)), Lookup::Active(_)));
+        assert!(matches!(t.lookup(SerialNumber(5)), Lookup::Active(_)));
+    }
+
+    #[test]
+    fn compaction_never_expels_active_entries() {
+        let mut t = Vrdt::new();
+        for i in 1..=5 {
+            t.insert(vrd(i));
+        }
+        t.expire(del(2));
+        t.expire(del(4));
+        // Window covering 2..=4 where 3 is still active: 3 survives.
+        t.compact(window(7, 2, 4));
+        assert!(matches!(t.lookup(SerialNumber(3)), Lookup::Active(_)));
+    }
+
+    #[test]
+    fn base_expels_below() {
+        let mut t = Vrdt::new();
+        for i in 1..=5 {
+            t.insert(vrd(i));
+        }
+        for i in 1..=3 {
+            t.expire(del(i));
+        }
+        t.set_base(BaseCert {
+            sn_base: SerialNumber(4),
+            expires_at: Timestamp::from_millis(10_000),
+            sig: sig(7),
+        });
+        assert_eq!(t.resident_entries(), 2);
+        assert!(matches!(t.lookup(SerialNumber(2)), Lookup::BelowBase));
+        assert!(matches!(t.lookup(SerialNumber(4)), Lookup::Active(_)));
+    }
+
+    #[test]
+    fn multiple_windows_binary_search() {
+        let mut t = Vrdt::new();
+        for i in 1..=30 {
+            t.insert(vrd(i));
+        }
+        for i in (5..=10).chain(15..=20) {
+            t.expire(del(i));
+        }
+        t.compact(window(1, 5, 10));
+        t.compact(window(2, 15, 20));
+        assert!(matches!(t.lookup(SerialNumber(7)), Lookup::InWindow(w) if w.window_id == 1));
+        assert!(matches!(t.lookup(SerialNumber(20)), Lookup::InWindow(w) if w.window_id == 2));
+        assert!(matches!(t.lookup(SerialNumber(12)), Lookup::Active(_)));
+    }
+
+    #[test]
+    fn expired_runs_detection() {
+        let mut t = Vrdt::new();
+        for i in 1..=12 {
+            t.insert(vrd(i));
+        }
+        for i in [2u64, 3, 4, 6, 8, 9, 10, 11] {
+            t.expire(del(i));
+        }
+        let runs = t.expired_runs(3);
+        assert_eq!(
+            runs,
+            vec![
+                (SerialNumber(2), SerialNumber(4)),
+                (SerialNumber(8), SerialNumber(11))
+            ]
+        );
+        // Higher threshold drops the short run.
+        assert_eq!(t.expired_runs(4), vec![(SerialNumber(8), SerialNumber(11))]);
+    }
+
+    #[test]
+    fn completeness_invariant() {
+        let mut t = Vrdt::new();
+        for i in 1..=4 {
+            t.insert(vrd(i));
+        }
+        t.set_head(head(4));
+        assert!(t.check_complete().is_ok());
+        // Remove an entry behind the table's back: invariant broken.
+        t.entries_mut_for_attack().remove(&SerialNumber(3));
+        assert_eq!(t.check_complete(), Err(SerialNumber(3)));
+    }
+
+    #[test]
+    fn journal_recovery_roundtrip() {
+        let mut t = Vrdt::new();
+        for i in 1..=8 {
+            t.insert(vrd(i));
+        }
+        for i in 2..=5 {
+            t.expire(del(i));
+        }
+        t.compact(window(3, 2, 5));
+        t.set_head(head(8));
+        t.set_base(BaseCert {
+            sn_base: SerialNumber(1),
+            expires_at: Timestamp::from_millis(500),
+            sig: sig(8),
+        });
+
+        let recovered = Vrdt::recover(Journal::from_bytes(t.journal().as_bytes().to_vec())).unwrap();
+        assert_eq!(recovered.resident_entries(), t.resident_entries());
+        assert_eq!(recovered.resident_windows(), 1);
+        assert_eq!(recovered.head().unwrap().sn_current, SerialNumber(8));
+        for i in 1..=8 {
+            let a = format!("{:?}", t.lookup(SerialNumber(i)));
+            let b = format!("{:?}", recovered.lookup(SerialNumber(i)));
+            assert_eq!(a, b, "sn {i}");
+        }
+    }
+
+    #[test]
+    fn torn_journal_recovers_prefix() {
+        let mut t = Vrdt::new();
+        t.insert(vrd(1));
+        t.insert(vrd(2));
+        let mut j = Journal::from_bytes(t.journal().as_bytes().to_vec());
+        j.truncate_tail(7); // tear the second frame
+        let recovered = Vrdt::recover(j).unwrap();
+        assert_eq!(recovered.resident_entries(), 1);
+        assert!(matches!(recovered.lookup(SerialNumber(1)), Lookup::Active(_)));
+    }
+
+    #[test]
+    fn recovery_rejects_garbage_opcode() {
+        let mut j = Journal::new();
+        j.append(&[200, 1, 2, 3]);
+        assert!(Vrdt::recover(j).is_err());
+    }
+}

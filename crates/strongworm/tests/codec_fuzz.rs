@@ -1,0 +1,197 @@
+//! Fuzz-style property tests of the persisted-structure codecs and the
+//! wire layer: everything read back from untrusted storage must decode
+//! defensively — errors, never panics — and any byte-level mutation of a
+//! valid encoding must either fail to decode or decode to a different
+//! value (no silent aliasing).
+
+use proptest::prelude::*;
+use scpu::Timestamp;
+use strongworm::attr::RecordAttributes;
+use strongworm::codec;
+use strongworm::policy::Regulation;
+use strongworm::proofs::{BaseCert, DeletionProof, HeadCert, WindowProof};
+use strongworm::vrd::Vrd;
+use strongworm::witness::{Signature, Witness};
+use strongworm::SerialNumber;
+use wormstore::{RecordDescriptor, RecordId, Shredder};
+
+fn arb_sig() -> impl Strategy<Value = Signature> {
+    (any::<[u8; 8]>(), proptest::collection::vec(any::<u8>(), 0..96))
+        .prop_map(|(key_id, bytes)| Signature { key_id, bytes })
+}
+
+fn arb_witness() -> impl Strategy<Value = Witness> {
+    prop_oneof![
+        arb_sig().prop_map(Witness::Strong),
+        (arb_sig(), any::<u64>()).prop_map(|(sig, t)| Witness::Weak {
+            sig,
+            expires_at: Timestamp::from_millis(t),
+        }),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(|tag| Witness::Mac { tag }),
+    ]
+}
+
+fn arb_shredder() -> impl Strategy<Value = Shredder> {
+    prop_oneof![
+        Just(Shredder::ZeroFill),
+        any::<u8>().prop_map(|passes| Shredder::MultiPass { passes }),
+        Just(Shredder::RandomPass),
+    ]
+}
+
+fn arb_attr() -> impl Strategy<Value = RecordAttributes> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        0u8..7,
+        arb_shredder(),
+        any::<u32>(),
+        proptest::option::of((any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..40))),
+    )
+        .prop_map(|(c, r, reg, shredder, flags, hold)| RecordAttributes {
+            created_at: Timestamp::from_millis(c),
+            retention_until: Timestamp::from_millis(r),
+            regulation: Regulation::from_code(reg).unwrap_or(Regulation::Custom),
+            shredder,
+            flags,
+            litigation_hold: hold.map(|(id, until, credential)| {
+                strongworm::attr::LitigationHold {
+                    litigation_id: id,
+                    hold_until: Timestamp::from_millis(until),
+                    credential,
+                }
+            }),
+        })
+}
+
+fn arb_vrd() -> impl Strategy<Value = Vrd> {
+    (
+        any::<u64>(),
+        arb_attr(),
+        proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u32>()), 0..6),
+        arb_witness(),
+        arb_witness(),
+    )
+        .prop_map(|(sn, attr, rdl, metasig, datasig)| Vrd {
+            sn: SerialNumber(sn),
+            attr,
+            rdl: rdl
+                .into_iter()
+                .map(|(id, offset, len)| RecordDescriptor {
+                    id: RecordId(id),
+                    offset,
+                    len: len as u64,
+                })
+                .collect(),
+            metasig,
+            datasig,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = codec::decode_vrd(&bytes);
+        let _ = codec::decode_deletion_proof(&bytes);
+        let _ = codec::decode_window_proof(&bytes);
+        let _ = codec::decode_head_cert(&bytes);
+        let _ = codec::decode_base_cert(&bytes);
+        let _ = RecordAttributes::decode(&bytes);
+    }
+
+    #[test]
+    fn vrd_roundtrip_holds_for_arbitrary_values(vrd in arb_vrd()) {
+        let enc = codec::encode_vrd(&vrd);
+        prop_assert_eq!(codec::decode_vrd(&enc).unwrap(), vrd);
+    }
+
+    #[test]
+    fn attr_roundtrip_holds(attr in arb_attr()) {
+        prop_assert_eq!(RecordAttributes::decode(&attr.encode()).unwrap(), attr);
+    }
+
+    #[test]
+    fn vrd_mutations_never_alias(vrd in arb_vrd(), pos in any::<prop::sample::Index>(), flip in 1u8..=255) {
+        let enc = codec::encode_vrd(&vrd);
+        prop_assume!(!enc.is_empty());
+        let mut mutated = enc.clone();
+        let i = pos.index(mutated.len());
+        mutated[i] ^= flip;
+        match codec::decode_vrd(&mutated) {
+            Err(_) => {} // rejected: fine
+            Ok(other) => prop_assert_ne!(other, vrd, "mutation at byte {} aliased", i),
+        }
+    }
+
+    #[test]
+    fn truncated_vrd_never_decodes_to_original(vrd in arb_vrd(), cut in any::<prop::sample::Index>()) {
+        let enc = codec::encode_vrd(&vrd);
+        let keep = cut.index(enc.len()); // strictly shorter than enc
+        match codec::decode_vrd(&enc[..keep]) {
+            Err(_) => {}
+            Ok(other) => prop_assert_ne!(other, vrd),
+        }
+    }
+
+    #[test]
+    fn proof_roundtrips_hold(
+        sn in any::<u64>(),
+        t in any::<u64>(),
+        id in any::<u64>(),
+        lo in any::<u64>(),
+        span in 0u64..1_000_000,
+        sig1 in arb_sig(),
+        sig2 in arb_sig(),
+    ) {
+        let p = DeletionProof {
+            sn: SerialNumber(sn),
+            deleted_at: Timestamp::from_millis(t),
+            sig: sig1.clone(),
+        };
+        prop_assert_eq!(codec::decode_deletion_proof(&codec::encode_deletion_proof(&p)).unwrap(), p);
+
+        let w = WindowProof {
+            window_id: id,
+            lo: SerialNumber(lo),
+            hi: SerialNumber(lo.saturating_add(span)),
+            lo_sig: sig1.clone(),
+            hi_sig: sig2.clone(),
+        };
+        prop_assert_eq!(codec::decode_window_proof(&codec::encode_window_proof(&w)).unwrap(), w);
+
+        let h = HeadCert {
+            sn_current: SerialNumber(sn),
+            issued_at: Timestamp::from_millis(t),
+            sig: sig2.clone(),
+        };
+        prop_assert_eq!(codec::decode_head_cert(&codec::encode_head_cert(&h)).unwrap(), h);
+
+        let b = BaseCert {
+            sn_base: SerialNumber(sn),
+            expires_at: Timestamp::from_millis(t),
+            sig: sig1,
+        };
+        prop_assert_eq!(codec::decode_base_cert(&codec::encode_base_cert(&b)).unwrap(), b);
+    }
+
+    #[test]
+    fn cross_type_decoding_always_fails(
+        sn in any::<u64>(),
+        t in any::<u64>(),
+        sig in arb_sig(),
+    ) {
+        // Domain tags keep each structure in its own universe.
+        let p = DeletionProof {
+            sn: SerialNumber(sn),
+            deleted_at: Timestamp::from_millis(t),
+            sig,
+        };
+        let enc = codec::encode_deletion_proof(&p);
+        prop_assert!(codec::decode_head_cert(&enc).is_err());
+        prop_assert!(codec::decode_base_cert(&enc).is_err());
+        prop_assert!(codec::decode_window_proof(&enc).is_err());
+        prop_assert!(codec::decode_vrd(&enc).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! Protocol-level tests of the WORM firmware, driving the secure device
+//! directly (no host server in between). These pin down the command
+//! interface's rejection behaviour — the firmware must be safe against a
+//! *hostile* host issuing malformed or out-of-order commands.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::{Applet, Clock, Device, DeviceConfig, VirtualClock};
+use strongworm::firmware::{
+    FirmwareConfig, OutboxItem, WormFirmware, WormRequest, WormResponse, WriteData,
+};
+use strongworm::{RegulatoryAuthority, RetentionPolicy, SerialNumber, WitnessMode};
+use wormstore::Shredder;
+
+type Fw = Device<WormFirmware>;
+
+fn fw_config() -> FirmwareConfig {
+    FirmwareConfig {
+        strong_bits: 512,
+        weak_bits: 512,
+        weak_lifetime: Duration::from_secs(7200),
+        head_refresh_interval: Duration::from_secs(120),
+        base_cert_lifetime: Duration::from_secs(86400),
+        min_compaction_run: 3,
+        data_hash: strongworm::DataHashScheme::Chained,
+    }
+}
+
+fn device() -> (Fw, Arc<VirtualClock>, RegulatoryAuthority) {
+    let clock = VirtualClock::starting_at_millis(5_000);
+    let dev = Device::new(
+        WormFirmware::new(fw_config()),
+        DeviceConfig {
+            cost_model: scpu::CostModel::free(),
+            secure_memory_bytes: 1 << 20,
+            serial: 1,
+            rng_seed: 9,
+        },
+        clock.clone(),
+    );
+    let reg = RegulatoryAuthority::generate(&mut StdRng::seed_from_u64(55), 512);
+    (dev, clock, reg)
+}
+
+fn booted() -> (Fw, Arc<VirtualClock>, RegulatoryAuthority) {
+    let (mut dev, clock, reg) = device();
+    dev.execute(WormRequest::Init {
+        regulator: reg.public().clone(),
+    })
+    .unwrap()
+    .unwrap();
+    (dev, clock, reg)
+}
+
+fn policy(secs: u64) -> RetentionPolicy {
+    RetentionPolicy::custom(Duration::from_secs(secs), Shredder::ZeroFill)
+}
+
+fn write(dev: &mut Fw, secs: u64) -> SerialNumber {
+    match dev
+        .execute(WormRequest::Write {
+            policy: policy(secs),
+            flags: 0,
+            data: WriteData::Full(vec![b"payload".to_vec()]),
+            witness: WitnessMode::Strong,
+        })
+        .unwrap()
+        .unwrap()
+    {
+        WormResponse::Written(r) => r.sn,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+fn drain(dev: &mut Fw) -> Vec<OutboxItem> {
+    match dev.execute(WormRequest::DrainOutbox).unwrap().unwrap() {
+        WormResponse::Outbox(items) => items,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn commands_before_init_are_rejected() {
+    let (mut dev, _clock, _reg) = device();
+    for req in [
+        WormRequest::GetKeys,
+        WormRequest::RefreshHead,
+        WormRequest::RefreshBase,
+        WormRequest::CompactWindow {
+            lo: SerialNumber(1),
+            hi: SerialNumber(5),
+        },
+        WormRequest::Write {
+            policy: policy(10),
+            flags: 0,
+            data: WriteData::Full(vec![]),
+            witness: WitnessMode::Strong,
+        },
+    ] {
+        let resp = dev.execute(req).unwrap();
+        assert!(
+            matches!(&resp, Err(e) if e.0.contains("not initialized")),
+            "got {resp:?}"
+        );
+    }
+}
+
+#[test]
+fn double_init_is_rejected() {
+    let (mut dev, _clock, reg) = booted();
+    let resp = dev
+        .execute(WormRequest::Init {
+            regulator: reg.public().clone(),
+        })
+        .unwrap();
+    assert!(matches!(&resp, Err(e) if e.0.contains("already initialized")));
+}
+
+#[test]
+fn serial_numbers_are_consecutive_from_one() {
+    let (mut dev, _clock, _reg) = booted();
+    for expected in 1..=5u64 {
+        assert_eq!(write(&mut dev, 1000), SerialNumber(expected));
+    }
+}
+
+#[test]
+fn attributes_are_stamped_with_trusted_time() {
+    let (mut dev, clock, _reg) = booted();
+    clock.advance(Duration::from_secs(100));
+    match dev
+        .execute(WormRequest::Write {
+            policy: policy(500),
+            flags: 7,
+            data: WriteData::Full(vec![b"x".to_vec()]),
+            witness: WitnessMode::Strong,
+        })
+        .unwrap()
+        .unwrap()
+    {
+        WormResponse::Written(r) => {
+            assert_eq!(r.attr.created_at, clock.now());
+            assert_eq!(
+                r.attr.retention_until,
+                clock.now().after(Duration::from_secs(500))
+            );
+            assert_eq!(r.attr.flags, 7);
+            assert!(r.vexp_seal.is_none());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn host_hash_must_be_32_bytes() {
+    let (mut dev, _clock, _reg) = booted();
+    let resp = dev
+        .execute(WormRequest::Write {
+            policy: policy(10),
+            flags: 0,
+            data: WriteData::HostHash {
+                chain_hash: vec![1, 2, 3],
+                total_len: 3,
+            },
+            witness: WitnessMode::Strong,
+        })
+        .unwrap();
+    assert!(matches!(&resp, Err(e) if e.0.contains("32 bytes")));
+}
+
+#[test]
+fn compact_window_rejects_active_and_malformed_ranges() {
+    let (mut dev, clock, _reg) = booted();
+    write(&mut dev, 10); // sn1, expires fast
+    write(&mut dev, 10); // sn2
+    write(&mut dev, 10); // sn3
+    let survivor = write(&mut dev, 1_000_000); // sn4 long-lived
+    write(&mut dev, 10); // sn5
+    clock.advance(Duration::from_secs(20));
+    dev.tick().unwrap();
+
+    // Inverted bounds.
+    let resp = dev
+        .execute(WormRequest::CompactWindow {
+            lo: SerialNumber(3),
+            hi: SerialNumber(1),
+        })
+        .unwrap();
+    assert!(matches!(&resp, Err(e) if e.0.contains("inverted")));
+
+    // Too short a run.
+    let resp = dev
+        .execute(WormRequest::CompactWindow {
+            lo: SerialNumber(1),
+            hi: SerialNumber(2),
+        })
+        .unwrap();
+    assert!(matches!(&resp, Err(e) if e.0.contains("minimum")));
+
+    // Range containing the still-active sn4: the firmware must refuse to
+    // certify it as deleted (this is the command a malicious host would
+    // use to bury a live record inside a window).
+    let resp = dev
+        .execute(WormRequest::CompactWindow {
+            lo: SerialNumber(3),
+            hi: SerialNumber(5),
+        })
+        .unwrap();
+    assert!(
+        matches!(&resp, Err(e) if e.0.contains("not expired")),
+        "got {resp:?}"
+    );
+    let _ = survivor;
+
+    // The genuinely expired prefix works.
+    let resp = dev
+        .execute(WormRequest::CompactWindow {
+            lo: SerialNumber(1),
+            hi: SerialNumber(3),
+        })
+        .unwrap()
+        .unwrap();
+    match resp {
+        WormResponse::Window(w) => {
+            assert_eq!(w.lo, SerialNumber(1));
+            assert_eq!(w.hi, SerialNumber(3));
+            assert_ne!(w.lo_sig.bytes, w.hi_sig.bytes);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn window_ids_are_unique_per_compaction() {
+    let (mut dev, clock, _reg) = booted();
+    for _ in 0..3 {
+        write(&mut dev, 10);
+    }
+    write(&mut dev, 1_000_000);
+    for _ in 0..3 {
+        write(&mut dev, 10);
+    }
+    write(&mut dev, 1_000_000);
+    clock.advance(Duration::from_secs(20));
+    dev.tick().unwrap();
+
+    let w1 = match dev
+        .execute(WormRequest::CompactWindow {
+            lo: SerialNumber(1),
+            hi: SerialNumber(3),
+        })
+        .unwrap()
+        .unwrap()
+    {
+        WormResponse::Window(w) => w,
+        other => panic!("unexpected {other:?}"),
+    };
+    let w2 = match dev
+        .execute(WormRequest::CompactWindow {
+            lo: SerialNumber(5),
+            hi: SerialNumber(7),
+        })
+        .unwrap()
+        .unwrap()
+    {
+        WormResponse::Window(w) => w,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_ne!(w1.window_id, w2.window_id);
+}
+
+#[test]
+fn deletion_orders_carry_the_records_shredder() {
+    let (mut dev, clock, _reg) = booted();
+    dev.execute(WormRequest::Write {
+        policy: RetentionPolicy::custom(
+            Duration::from_secs(10),
+            Shredder::MultiPass { passes: 3 },
+        ),
+        flags: 0,
+        data: WriteData::Full(vec![b"x".to_vec()]),
+        witness: WitnessMode::Strong,
+    })
+    .unwrap()
+    .unwrap();
+    clock.advance(Duration::from_secs(11));
+    dev.tick().unwrap();
+    let items = drain(&mut dev);
+    let deleted = items
+        .iter()
+        .find_map(|i| match i {
+            OutboxItem::Deleted { proof, shredder } => Some((proof.sn, *shredder)),
+            _ => None,
+        })
+        .expect("deletion order present");
+    assert_eq!(deleted.0, SerialNumber(1));
+    assert_eq!(deleted.1, Shredder::MultiPass { passes: 3 });
+}
+
+#[test]
+fn forged_vexp_seal_is_rejected_at_the_device() {
+    let (mut dev, _clock, _reg) = booted();
+    let sn = write(&mut dev, 1000);
+    // A seal the firmware never issued.
+    let resp = dev
+        .execute(WormRequest::SyncVexp {
+            sn,
+            expires_at: scpu::Timestamp::from_millis(1), // "expire immediately"
+            shredder: Shredder::ZeroFill,
+            seal: vec![0u8; 32],
+        })
+        .unwrap();
+    assert!(matches!(&resp, Err(e) if e.0.contains("seal")));
+}
+
+#[test]
+fn valid_seal_with_tampered_fields_is_rejected() {
+    // Force a spill, then try to replay its seal with an earlier expiry.
+    let clock = VirtualClock::starting_at_millis(5_000);
+    let mut dev = Device::new(
+        WormFirmware::new(fw_config()),
+        DeviceConfig {
+            cost_model: scpu::CostModel::free(),
+            secure_memory_bytes: 64, // tiny: immediate spill
+            serial: 1,
+            rng_seed: 9,
+        },
+        clock.clone(),
+    );
+    let reg = RegulatoryAuthority::generate(&mut StdRng::seed_from_u64(55), 512);
+    dev.execute(WormRequest::Init {
+        regulator: reg.public().clone(),
+    })
+    .unwrap()
+    .unwrap();
+
+    let (sn, retention_until, seal) = loop {
+        match dev
+            .execute(WormRequest::Write {
+                policy: policy(1000),
+                flags: 0,
+                data: WriteData::Full(vec![b"x".to_vec()]),
+                witness: WitnessMode::Strong,
+            })
+            .unwrap()
+            .unwrap()
+        {
+            WormResponse::Written(r) => {
+                if let Some(seal) = r.vexp_seal {
+                    break (r.sn, r.attr.retention_until, seal);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    };
+
+    // Earlier expiry with the legitimate seal: rejected (early deletion
+    // attempt).
+    let resp = dev
+        .execute(WormRequest::SyncVexp {
+            sn,
+            expires_at: retention_until.before(Duration::from_secs(500)),
+            shredder: Shredder::ZeroFill,
+            seal: seal.clone(),
+        })
+        .unwrap();
+    assert!(matches!(&resp, Err(e) if e.0.contains("seal")));
+
+    // Different shredder with the legitimate seal: rejected.
+    let resp = dev
+        .execute(WormRequest::SyncVexp {
+            sn,
+            expires_at: retention_until,
+            shredder: Shredder::RandomPass,
+            seal,
+        })
+        .unwrap();
+    assert!(matches!(&resp, Err(e) if e.0.contains("seal")));
+}
+
+#[test]
+fn audit_without_pending_entry_is_rejected() {
+    let (mut dev, _clock, _reg) = booted();
+    let sn = write(&mut dev, 1000); // Full-data write: no audit pending
+    let resp = dev
+        .execute(WormRequest::AuditData {
+            sn,
+            data: vec![b"payload".to_vec()],
+        })
+        .unwrap();
+    assert!(matches!(&resp, Err(e) if e.0.contains("no pending audit")));
+}
+
+#[test]
+fn head_heartbeat_fires_without_updates() {
+    let (mut dev, clock, _reg) = booted();
+    // §4.2.1: "the SCPU will update the signature timestamps on disk every
+    // few minutes (even in the absence of data updates)".
+    clock.advance(Duration::from_secs(121));
+    dev.tick().unwrap();
+    let items = drain(&mut dev);
+    assert!(
+        items.iter().any(|i| matches!(i, OutboxItem::NewHead(_))),
+        "heartbeat head expected, got {items:?}"
+    );
+}
+
+#[test]
+fn retention_monitor_sleeps_until_next_expiry() {
+    let (mut dev, clock, _reg) = booted();
+    write(&mut dev, 100);
+    write(&mut dev, 50);
+    // The alarm must point at the *earlier* expiry (RM sleeps until then).
+    let alarm = dev.applet_for_test().next_alarm().expect("alarm armed");
+    assert_eq!(alarm, clock.now().after(Duration::from_secs(50)));
+}
+
+#[test]
+fn zeroize_wipes_everything() {
+    let (mut dev, _clock, _reg) = booted();
+    write(&mut dev, 100);
+    dev.trigger_tamper(scpu::TamperCause::Temperature);
+    assert!(dev.execute(WormRequest::GetKeys).is_err());
+    assert_eq!(dev.applet_for_test().vexp_len(), 0);
+    assert_eq!(dev.applet_for_test().pending_strengthen(), 0);
+}

@@ -1,0 +1,54 @@
+//! Criterion microbenchmarks for the hash functions (SHA-1/SHA-256 rows
+//! of Table 2, plus the chained record hash).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use wormcrypt::{ChainHash, Digest, Hmac, Sha1, Sha256};
+
+fn bench_sha(c: &mut Criterion) {
+    for (name, f) in [
+        ("sha1", (|buf: &[u8]| Sha1::digest(buf).len()) as fn(&[u8]) -> usize),
+        ("sha256", |buf| Sha256::digest(buf).len()),
+    ] {
+        let mut group = c.benchmark_group(name);
+        for size in [1usize << 10, 64 << 10] {
+            let buf = vec![0xA5u8; size];
+            group.throughput(Throughput::Bytes(size as u64));
+            group.bench_with_input(BenchmarkId::from_parameter(size), &buf, |b, buf| {
+                b.iter(|| f(buf));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmac_sha256");
+    for size in [128usize, 1 << 10, 64 << 10] {
+        let buf = vec![0x5Au8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &buf, |b, buf| {
+            b.iter(|| Hmac::<Sha256>::mac(b"witness-key", buf));
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_hash");
+    // A VR of 8 records, 4 KiB each (typical email + attachments).
+    let records: Vec<Vec<u8>> = (0..8).map(|i| vec![i as u8; 4 << 10]).collect();
+    group.throughput(Throughput::Bytes((8 * (4 << 10)) as u64));
+    group.bench_function("vr_8x4k", |b| {
+        b.iter(|| {
+            let mut ch = ChainHash::new();
+            for r in &records {
+                ch.absorb(r);
+            }
+            ch.finalize()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sha, bench_hmac, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation A1 as a Criterion bench: wall-clock marginal update cost of a
+//! Merkle tree vs the window scheme's O(1) bookkeeping, at growing store
+//! sizes. (The virtual-time version is the `ablation_merkle` binary.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wormcrypt::MerkleTree;
+
+fn bench_merkle_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_update");
+    for exp in [10usize, 14, 18] {
+        let n = 1usize << exp;
+        let mut tree = MerkleTree::new();
+        for i in 0..n {
+            tree.append(&(i as u64).to_be_bytes());
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut i = 0usize;
+            b.iter(|| {
+                tree.update(i % n, b"rewitness");
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_append");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("from_16k", |b| {
+        let mut tree = MerkleTree::new();
+        for i in 0..(1usize << 14) {
+            tree.append(&(i as u64).to_be_bytes());
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            tree.append(&i.to_be_bytes());
+            i += 1;
+        });
+    });
+    group.finish();
+}
+
+/// The window scheme's per-update bookkeeping: one BTreeMap insert — no
+/// hashing, no tree path. This is the "O(1)" being claimed.
+fn bench_window_update(c: &mut Criterion) {
+    use std::collections::BTreeMap;
+    let mut group = c.benchmark_group("window_update");
+    for exp in [10usize, 14, 18] {
+        let n = 1usize << exp;
+        let mut table: BTreeMap<u64, [u8; 32]> = BTreeMap::new();
+        for i in 0..n as u64 {
+            table.insert(i, [0u8; 32]);
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut i = n as u64;
+            b.iter(|| {
+                table.insert(i, [7u8; 32]);
+                i += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_merkle_update,
+    bench_merkle_append,
+    bench_window_update
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion microbenchmarks for the from-scratch RSA implementation —
+//! the "this machine" column of the Table 2 reproduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::OnceLock;
+use wormcrypt::{HashAlg, RsaPrivateKey};
+
+fn keys() -> &'static Vec<(usize, RsaPrivateKey)> {
+    static KEYS: OnceLock<Vec<(usize, RsaPrivateKey)>> = OnceLock::new();
+    KEYS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(11);
+        [512usize, 1024, 2048]
+            .iter()
+            .map(|&bits| (bits, RsaPrivateKey::generate(&mut rng, bits)))
+            .collect()
+    })
+}
+
+fn bench_sign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa_sign");
+    group.sample_size(20);
+    let msg = b"strong worm metasig payload";
+    for (bits, key) in keys() {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), key, |b, key| {
+            b.iter(|| key.sign(msg, HashAlg::Sha256).expect("modulus sized"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa_verify");
+    group.sample_size(30);
+    let msg = b"strong worm metasig payload";
+    for (bits, key) in keys() {
+        let sig = key.sign(msg, HashAlg::Sha256).expect("modulus sized");
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &sig, |b, sig| {
+            b.iter(|| assert!(key.public().verify(msg, sig, HashAlg::Sha256)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_keygen_512(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsa_keygen");
+    group.sample_size(10);
+    // Only the weak-key width: this is the rotation cost the firmware pays
+    // every weak-lifetime interval.
+    group.bench_function("512", |b| {
+        let mut rng = StdRng::seed_from_u64(12);
+        b.iter(|| RsaPrivateKey::generate(&mut rng, 512));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sign, bench_verify, bench_keygen_512);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion bench for VRDT window compaction and lookup (ablation A2's
+//! wall-clock companion): how fast the host can compact expired runs and
+//! how lookup scales with many windows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scpu::Timestamp;
+use strongworm::proofs::{DeletionProof, WindowProof};
+use strongworm::vrdt::Vrdt;
+use strongworm::witness::Signature;
+use strongworm::SerialNumber;
+
+fn sig(b: u8) -> Signature {
+    Signature {
+        key_id: [b; 8],
+        bytes: vec![b; 64],
+    }
+}
+
+/// Builds a VRDT with `windows` compacted deleted windows of `run` SNs
+/// each (no active entries — pure window lookup).
+fn build_windowed(windows: usize, run: usize) -> Vrdt {
+    let mut t = Vrdt::new();
+    let mut sn = 1u64;
+    for w in 0..windows {
+        for _ in 0..run {
+            t.expire(DeletionProof {
+                sn: SerialNumber(sn),
+                deleted_at: Timestamp::from_millis(1),
+                sig: sig(1),
+            });
+            sn += 1;
+        }
+        t.compact(WindowProof {
+            window_id: w as u64,
+            lo: SerialNumber(sn - run as u64),
+            hi: SerialNumber(sn - 1),
+            lo_sig: sig(2),
+            hi_sig: sig(3),
+        });
+        sn += 1; // gap so windows stay disjoint
+    }
+    t
+}
+
+fn bench_lookup_with_windows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vrdt_lookup_windows");
+    for windows in [16usize, 256, 4096] {
+        let t = build_windowed(windows, 8);
+        let probe = SerialNumber((windows as u64 / 2) * 9 + 4);
+        group.bench_with_input(BenchmarkId::from_parameter(windows), &t, |b, t| {
+            b.iter(|| t.lookup(probe));
+        });
+    }
+    group.finish();
+}
+
+fn bench_expired_run_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vrdt_expired_runs");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000] {
+        let mut t = Vrdt::new();
+        for i in 1..=n as u64 {
+            t.expire(DeletionProof {
+                sn: SerialNumber(i * 2), // every other SN: runs of length 1
+                deleted_at: Timestamp::from_millis(1),
+                sig: sig(1),
+            });
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
+            b.iter(|| t.expired_runs(3).len());
+        });
+    }
+    group.finish();
+}
+
+fn bench_compaction_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vrdt_compact");
+    group.sample_size(20);
+    group.bench_function("1000_entry_run", |b| {
+        b.iter_batched(
+            || {
+                let mut t = Vrdt::new();
+                for i in 1..=1000u64 {
+                    t.expire(DeletionProof {
+                        sn: SerialNumber(i),
+                        deleted_at: Timestamp::from_millis(1),
+                        sig: sig(1),
+                    });
+                }
+                t
+            },
+            |mut t| {
+                t.compact(WindowProof {
+                    window_id: 9,
+                    lo: SerialNumber(1),
+                    hi: SerialNumber(1000),
+                    lo_sig: sig(2),
+                    hi_sig: sig(3),
+                });
+                assert_eq!(t.resident_entries(), 0);
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lookup_with_windows,
+    bench_expired_run_scan,
+    bench_compaction_throughput
+);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the end-to-end WORM operations (wall-clock
+//! cost of this implementation; virtual-time figures come from the
+//! `figure1` binary).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::SeedableRng;
+use strongworm::{RetentionPolicy, Verifier, WitnessMode};
+use worm_bench::quick_server;
+use wormstore::Shredder;
+
+fn policy() -> RetentionPolicy {
+    RetentionPolicy::custom(Duration::from_secs(365 * 24 * 3600), Shredder::ZeroFill)
+}
+
+fn bench_write_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worm_write");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for (label, mode) in [
+        ("strong", WitnessMode::Strong),
+        ("deferred", WitnessMode::Deferred),
+        ("hmac", WitnessMode::Hmac),
+    ] {
+        // A large store so criterion's iteration counts never exhaust it.
+        let clock = scpu::VirtualClock::starting_at_millis(1_000_000);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(79);
+        let regulator = strongworm::RegulatoryAuthority::generate(&mut rng, 512);
+        let mut cfg = strongworm::WormConfig::test_small();
+        cfg.store_capacity = 256 << 20;
+        cfg.device.secure_memory_bytes = 64 << 20;
+        let mut srv =
+            strongworm::WormServer::new(cfg, clock, regulator.public()).expect("server boots");
+        let record = vec![0x42u8; 256];
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| srv.write_with(&[&record], policy(), 0, mode).expect("write"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_read_and_verify(c: &mut Criterion) {
+    let (mut srv, clock) = quick_server();
+    let record = vec![0x42u8; 4 << 10];
+    let sn = srv.write(&[&record], policy()).expect("write");
+    let verifier = Verifier::new(srv.keys(), Duration::from_secs(300), clock).expect("verifier");
+
+    let mut group = c.benchmark_group("worm_read");
+    group.sample_size(30);
+    group.bench_function("read", |b| {
+        b.iter(|| srv.read(sn).expect("read"));
+    });
+    let outcome = srv.read(sn).expect("read");
+    group.bench_function("client_verify", |b| {
+        b.iter(|| verifier.verify_read(sn, &outcome).expect("verifies"));
+    });
+    group.finish();
+}
+
+fn bench_retention_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worm_retention");
+    group.sample_size(10);
+    group.bench_function("write_expire_delete", |b| {
+        b.iter_batched(
+            quick_server,
+            |(mut srv, clock)| {
+                let sn = srv
+                    .write_with(
+                        &[b"fleeting".as_slice()],
+                        RetentionPolicy::custom(Duration::from_secs(10), Shredder::ZeroFill),
+                        0,
+                        WitnessMode::Strong,
+                    )
+                    .expect("write");
+                clock.advance(Duration::from_secs(11));
+                srv.tick().expect("tick");
+                assert_eq!(srv.read(sn).expect("read").kind(), "deleted");
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_modes, bench_read_and_verify, bench_retention_cycle);
+criterion_main!(benches);

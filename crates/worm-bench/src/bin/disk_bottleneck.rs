@@ -1,0 +1,132 @@
+//! The paper's closing observation (§5): "it is likely that ... I/O seek
+//! and transfer overheads are likely to constitute the main operational
+//! bottlenecks (and not the WORM layer). Typical high-speed enterprise
+//! disks feature 3-4ms+ latencies for individual block disk access,
+//! twice the projected average SCPU overheads."
+//!
+//! This binary runs the ingest pipeline over a latency-modeled
+//! enterprise-2008 disk and compares, per record, the disk's busy time
+//! against the SCPU's — showing which stage actually bounds the system
+//! in each witnessing mode.
+//!
+//! Usage: `disk_bottleneck [--json] [--records N]`
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::{CostModel, VirtualClock};
+use serde::Serialize;
+use strongworm::{
+    HashMode, RegulatoryAuthority, RetentionPolicy, WitnessMode, WormConfig, WormServer,
+};
+use wormstore::{BlockDevice, DiskProfile, MemDisk, RecordStore, Shredder};
+
+#[derive(Serialize)]
+struct Row {
+    mode: &'static str,
+    record_bytes: usize,
+    scpu_ns_per_record: f64,
+    disk_ns_per_record: f64,
+    bottleneck: &'static str,
+    effective_rps: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let n: usize = args
+        .iter()
+        .position(|a| a == "--records")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(50);
+
+    let mut rows = Vec::new();
+    for (label, witness) in [
+        ("strong-1024", WitnessMode::Strong),
+        ("deferred-512", WitnessMode::Deferred),
+        ("hmac", WitnessMode::Hmac),
+    ] {
+        for record_bytes in [512usize, 4 << 10, 64 << 10] {
+            let clock = VirtualClock::starting_at_millis(1_000_000);
+            let mut rng = StdRng::seed_from_u64(4);
+            let regulator = RegulatoryAuthority::generate(&mut rng, 512);
+            let config = WormConfig {
+                strong_bits: 1024,
+                weak_bits: 512,
+                hash_mode: HashMode::TrustHostHash,
+                default_witness: witness,
+                store_capacity: 64 << 20,
+                device: scpu::DeviceConfig {
+                    cost_model: CostModel::ibm4764(),
+                    secure_memory_bytes: 8 << 20,
+                    serial: 0x4764,
+                    rng_seed: 7,
+                },
+                ..WormConfig::default()
+            };
+            let store = RecordStore::new(MemDisk::new(
+                config.store_capacity,
+                DiskProfile::enterprise_2008(),
+            ));
+            let mut server =
+                WormServer::with_store(store, config, clock, regulator.public()).expect("boot");
+            server.reset_meters();
+
+            let record = vec![0xA7u8; record_bytes];
+            let policy = RetentionPolicy::custom(
+                Duration::from_secs(10 * 365 * 24 * 3600),
+                Shredder::ZeroFill,
+            );
+            for _ in 0..n {
+                server
+                    .write_with(&[&record], policy, 0, witness)
+                    .expect("write");
+            }
+            let scpu_ns = server.device_meter().busy_ns() as f64 / n as f64;
+            let disk_ns = server.store().device().stats().busy_ns as f64 / n as f64;
+            let (bottleneck, limit_ns) = if disk_ns > scpu_ns {
+                ("disk", disk_ns)
+            } else {
+                ("scpu", scpu_ns)
+            };
+            rows.push(Row {
+                mode: label,
+                record_bytes,
+                scpu_ns_per_record: scpu_ns,
+                disk_ns_per_record: disk_ns,
+                bottleneck,
+                effective_rps: 1e9 / limit_ns,
+            });
+        }
+    }
+
+    if json {
+        println!("{}", worm_bench::to_json_lines(&rows));
+        return;
+    }
+    println!("Disk vs WORM layer — per-record busy time over an enterprise-2008 disk");
+    println!("(3.5 ms seek + 100 MB/s transfer; SCPU = IBM 4764 model)");
+    println!();
+    println!(
+        "{:<14} {:>10} {:>14} {:>14} {:>11} {:>14}",
+        "mode", "size", "scpu µs/rec", "disk µs/rec", "bottleneck", "effective rps"
+    );
+    println!("{}", "-".repeat(84));
+    for r in &rows {
+        println!(
+            "{:<14} {:>8} B {:>14.0} {:>14.0} {:>11} {:>14.0}",
+            r.mode,
+            r.record_bytes,
+            r.scpu_ns_per_record / 1e3,
+            r.disk_ns_per_record / 1e3,
+            r.bottleneck,
+            r.effective_rps
+        );
+    }
+    println!();
+    println!("with deferred or hmac witnessing the disk dominates at every size —");
+    println!("\"the WORM layer is not the bottleneck\", the paper's closing point.");
+}

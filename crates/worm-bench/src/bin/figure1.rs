@@ -1,0 +1,77 @@
+//! Figure 1 reproduction: WORM write throughput vs record size.
+//!
+//! Paper (§5): "By deploying the various deferred strong constructs
+//! optimization (section 4.3, with 512 bit signatures for the weak
+//! constructs), update rates of over 2000-2500 records/second are
+//! possible [...] Without deferring strong constructs, the WORM layer can
+//! support sustained throughputs of 450-500 records/second."
+//!
+//! Usage: `figure1 [--json] [--records N]`
+
+use worm_bench::{figure1_sweep, to_json_lines};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let n = args
+        .iter()
+        .position(|a| a == "--records")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(40usize);
+
+    eprintln!("figure1: sweeping 5 modes x 10 record sizes, {n} records/point ...");
+    let points = figure1_sweep(n);
+
+    if json {
+        println!("{}", to_json_lines(&points));
+        return;
+    }
+
+    println!("Figure 1 — throughput vs record size (records/second, SCPU virtual time)");
+    println!();
+    print!("{:>12} |", "size");
+    let modes: Vec<String> = {
+        let mut seen = Vec::new();
+        for p in &points {
+            if !seen.contains(&p.mode) {
+                seen.push(p.mode.clone());
+            }
+        }
+        seen
+    };
+    for m in &modes {
+        print!(" {m:>22}");
+    }
+    println!();
+    println!("{}", "-".repeat(14 + modes.len() * 23));
+    let sizes: Vec<usize> = {
+        let mut seen = Vec::new();
+        for p in &points {
+            if !seen.contains(&p.record_bytes) {
+                seen.push(p.record_bytes);
+            }
+        }
+        seen
+    };
+    for size in sizes {
+        print!("{:>10} B |", size);
+        for m in &modes {
+            let p = points
+                .iter()
+                .find(|p| p.record_bytes == size && &p.mode == m)
+                .expect("full grid");
+            print!(" {:>22.0}", p.effective_rps);
+        }
+        println!();
+    }
+    println!();
+    println!("paper targets: strong-1024 ≈ 450-500 rec/s sustained;");
+    println!("               deferred-512 ≈ 2000-2500 rec/s in bursts;");
+    println!("               hmac mode bounded only by DMA/bus and command dispatch.");
+    println!();
+    println!("context: one enterprise-2008 disk access costs 3.5 ms => a seek-bound");
+    println!("store tops out near {:.0} records/s, below the WORM layer in every", 1e9 / 3_500_000.0);
+    println!("deferred mode — the paper's closing observation.");
+}

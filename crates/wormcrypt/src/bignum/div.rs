@@ -1,0 +1,221 @@
+//! Division with remainder — Knuth's Algorithm D (TAOCP vol. 2, 4.3.1).
+
+use super::{Ubig, LIMB_BITS};
+
+impl Ubig {
+    /// Computes `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &Ubig) -> (Ubig, Ubig) {
+        assert!(!divisor.is_zero(), "division by zero Ubig");
+        if self < divisor {
+            return (Ubig::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = div_rem_limb(&self.limbs, divisor.limbs[0]);
+            return (Ubig::from_limbs(q), Ubig::from_u64(r));
+        }
+        let (q, r) = knuth_d(&self.limbs, &divisor.limbs);
+        (Ubig::from_limbs(q), Ubig::from_limbs(r))
+    }
+}
+
+/// Divides a multi-limb value by a single limb.
+fn div_rem_limb(u: &[u64], d: u64) -> (Vec<u64>, u64) {
+    let mut q = vec![0u64; u.len()];
+    let mut rem: u128 = 0;
+    for i in (0..u.len()).rev() {
+        let cur = (rem << 64) | u[i] as u128;
+        q[i] = (cur / d as u128) as u64;
+        rem = cur % d as u128;
+    }
+    (q, rem as u64)
+}
+
+/// Knuth Algorithm D for `v.len() >= 2` and `u >= v`.
+fn knuth_d(u_in: &[u64], v_in: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    let n = v_in.len();
+    let m = u_in.len() - n;
+
+    // D1: normalize so the top limb of v has its high bit set.
+    let shift = v_in[n - 1].leading_zeros() as usize;
+    let v = shl_limbs(v_in, shift, false);
+    let mut u = shl_limbs(u_in, shift, true); // one extra high limb
+    debug_assert_eq!(v.len(), n);
+    debug_assert_eq!(u.len(), u_in.len() + 1);
+
+    let mut q = vec![0u64; m + 1];
+    let b: u128 = 1u128 << 64;
+
+    // D2..D7: main loop.
+    for j in (0..=m).rev() {
+        // D3: estimate q̂.
+        let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+        let mut qhat = top / v[n - 1] as u128;
+        let mut rhat = top % v[n - 1] as u128;
+        while qhat >= b
+            || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+        {
+            qhat -= 1;
+            rhat += v[n - 1] as u128;
+            if rhat >= b {
+                break;
+            }
+        }
+
+        // D4: multiply and subtract u[j..j+n+1] -= qhat * v.
+        let mut borrow: i128 = 0;
+        let mut carry: u128 = 0;
+        for i in 0..n {
+            let p = qhat * v[i] as u128 + carry;
+            carry = p >> 64;
+            let t = u[j + i] as i128 - (p as u64) as i128 + borrow;
+            u[j + i] = t as u64; // wrapping two's-complement store
+            borrow = t >> 64; // arithmetic shift: 0 or -1
+        }
+        let t = u[j + n] as i128 - carry as i128 + borrow;
+        u[j + n] = t as u64;
+        let went_negative = t < 0;
+
+        q[j] = qhat as u64;
+
+        // D6: add back if we overshot (probability ~ 2/2^64).
+        if went_negative {
+            q[j] -= 1;
+            let mut carry: u128 = 0;
+            for i in 0..n {
+                let s = u[j + i] as u128 + v[i] as u128 + carry;
+                u[j + i] = s as u64;
+                carry = s >> 64;
+            }
+            u[j + n] = u[j + n].wrapping_add(carry as u64);
+        }
+    }
+
+    // D8: denormalize the remainder.
+    let rem = shr_limbs(&u[..n], shift);
+    (q, rem)
+}
+
+/// Shifts limbs left by `shift < 64` bits; `grow` forces an extra top limb.
+fn shl_limbs(x: &[u64], shift: usize, grow: bool) -> Vec<u64> {
+    let mut out = Vec::with_capacity(x.len() + 1);
+    if shift == 0 {
+        out.extend_from_slice(x);
+        if grow {
+            out.push(0);
+        }
+        return out;
+    }
+    let mut carry = 0u64;
+    for &l in x {
+        out.push((l << shift) | carry);
+        carry = l >> (LIMB_BITS - shift);
+    }
+    if grow || carry != 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Shifts limbs right by `shift < 64` bits.
+fn shr_limbs(x: &[u64], shift: usize) -> Vec<u64> {
+    if shift == 0 {
+        return x.to_vec();
+    }
+    let mut out = Vec::with_capacity(x.len());
+    for i in 0..x.len() {
+        let hi = x.get(i + 1).copied().unwrap_or(0);
+        out.push((x[i] >> shift) | (hi << (LIMB_BITS - shift)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divide_by_one_and_self() {
+        let n = Ubig::from_hex("deadbeefcafebabe1234567890abcdef").unwrap();
+        let (q, r) = n.div_rem(&Ubig::one());
+        assert_eq!(q, n);
+        assert!(r.is_zero());
+        let (q, r) = n.div_rem(&n);
+        assert!(q.is_one());
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn smaller_dividend() {
+        let (q, r) = Ubig::from_u64(5).div_rem(&Ubig::from_u64(7));
+        assert!(q.is_zero());
+        assert_eq!(r, Ubig::from_u64(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn zero_divisor_panics() {
+        let _ = Ubig::from_u64(5).div_rem(&Ubig::zero());
+    }
+
+    #[test]
+    fn single_limb_divisor() {
+        let n = Ubig::from_u128(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        let (q, r) = n.div_rem(&Ubig::from_u64(0x1_0000));
+        // Division by 2^16 is a shift.
+        assert_eq!(q, n.shr(16));
+        assert_eq!(r, Ubig::from_u64(0x7788));
+    }
+
+    #[test]
+    fn knuth_known_case() {
+        // 2^192 / (2^96 + 1) — exercises multi-limb path with add-back-adjacent
+        // qhat refinement.
+        let num = Ubig::one().shl(192);
+        let den = Ubig::one().shl(96).add(&Ubig::one());
+        let (q, r) = num.div_rem(&den);
+        // 2^192 = (2^96+1)(2^96 - 1) + 1
+        assert_eq!(q, Ubig::one().shl(96).sub(&Ubig::one()));
+        assert_eq!(r, Ubig::one());
+        assert_eq!(q.mul(&den).add(&r), num);
+    }
+
+    #[test]
+    fn reconstruction_identity() {
+        // a = q*d + r with r < d for a pseudorandom batch.
+        let mut x = 0xfeed_face_dead_beefu64;
+        let mut next = |bits: usize| {
+            let mut limbs = Vec::new();
+            for _ in 0..bits.div_ceil(64) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                limbs.push(x);
+            }
+            Ubig::from_limbs(limbs)
+        };
+        for (abits, dbits) in [(512usize, 256usize), (320, 64), (256, 256), (1024, 128)] {
+            let a = next(abits);
+            let mut d = next(dbits);
+            if d.is_zero() {
+                d = Ubig::one();
+            }
+            let (q, r) = a.div_rem(&d);
+            assert!(r < d);
+            assert_eq!(q.mul(&d).add(&r), a, "a={a:?} d={d:?}");
+        }
+    }
+
+    #[test]
+    fn add_back_branch() {
+        // A crafted case that historically triggers Knuth's rare add-back
+        // step: u = B^3 - 1, v = B^2 - 1 in base B = 2^64 gives qhat
+        // over-estimates.
+        let b3 = Ubig::one().shl(192).sub(&Ubig::one());
+        let b2 = Ubig::one().shl(128).sub(&Ubig::one());
+        let (q, r) = b3.div_rem(&b2);
+        assert_eq!(q.mul(&b2).add(&r), b3);
+        assert!(r < b2);
+    }
+}

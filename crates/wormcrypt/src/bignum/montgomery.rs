@@ -1,0 +1,337 @@
+//! Montgomery multiplication context and modular exponentiation.
+//!
+//! [`Montgomery`] precomputes everything needed to run repeated modular
+//! multiplications against a fixed odd modulus (the RSA hot path), using the
+//! CIOS (coarsely integrated operand scanning) formulation. `Ubig::pow_mod`
+//! dispatches to a 4-bit fixed-window exponentiation over this context and
+//! falls back to binary square-and-reduce for even moduli.
+
+use super::Ubig;
+
+/// Precomputed context for Montgomery arithmetic modulo an odd `n`.
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    /// The modulus (odd, > 1).
+    n: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0_inv: u64,
+    /// `R^2 mod n`, where `R = 2^(64 * k)` and `k = n.len()`.
+    r2: Vec<u64>,
+}
+
+impl Montgomery {
+    /// Builds a context for the odd modulus `n`.
+    ///
+    /// Returns `None` if `n` is even or `n <= 1` (Montgomery reduction
+    /// requires `gcd(n, 2^64) = 1`).
+    pub fn new(n: &Ubig) -> Option<Self> {
+        if n.is_even() || n.is_one() || n.is_zero() {
+            return None;
+        }
+        let k = n.limbs.len();
+        // Newton–Hensel iteration for the inverse of n mod 2^64.
+        let n0 = n.limbs[0];
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(inv)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(inv), 1);
+        let n0_inv = inv.wrapping_neg();
+
+        // R^2 mod n via plain division (done once per context).
+        let r2 = Ubig::one().shl(2 * 64 * k).rem(n);
+        let mut r2_limbs = r2.limbs;
+        r2_limbs.resize(k, 0);
+
+        Some(Montgomery {
+            n: n.limbs.clone(),
+            n0_inv,
+            r2: r2_limbs,
+        })
+    }
+
+    /// Modulus width in limbs.
+    pub fn limbs(&self) -> usize {
+        self.n.len()
+    }
+
+    /// The modulus as a `Ubig`.
+    pub fn modulus(&self) -> Ubig {
+        Ubig::from_limbs(self.n.clone())
+    }
+
+    /// Converts `x < n` into Montgomery form (`x * R mod n`).
+    pub fn to_mont(&self, x: &Ubig) -> Vec<u64> {
+        debug_assert!(
+            *x < self.modulus(),
+            "to_mont operand must be reduced modulo n"
+        );
+        let mut xl = x.limbs.clone();
+        xl.resize(self.n.len(), 0);
+        self.mont_mul(&xl, &self.r2)
+    }
+
+    /// Converts out of Montgomery form (`x̄ * R^{-1} mod n`).
+    pub fn from_mont(&self, x: &[u64]) -> Ubig {
+        let one = {
+            let mut v = vec![0u64; self.n.len()];
+            v[0] = 1;
+            v
+        };
+        Ubig::from_limbs(self.mont_mul(x, &one))
+    }
+
+    /// The Montgomery representation of 1 (`R mod n`).
+    pub fn one_mont(&self) -> Vec<u64> {
+        let mut one = vec![0u64; self.n.len()];
+        one[0] = 1;
+        self.mont_mul(&one, &self.r2)
+    }
+
+    /// CIOS Montgomery multiplication: returns `a * b * R^{-1} mod n`.
+    ///
+    /// Both inputs must be `k = n.len()` limbs.
+    pub fn mont_mul(&self, a: &[u64], b: &[u64]) -> Vec<u64> {
+        let k = self.n.len();
+        debug_assert_eq!(a.len(), k);
+        debug_assert_eq!(b.len(), k);
+        // t has k+2 limbs: accumulator for the interleaved product/reduction.
+        let mut t = vec![0u64; k + 2];
+        for i in 0..k {
+            // t += a[i] * b
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let s = t[j] as u128 + a[i] as u128 * b[j] as u128 + carry;
+                t[j] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k] = s as u64;
+            t[k + 1] = (s >> 64) as u64;
+
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = {
+                let s = t[0] as u128 + m as u128 * self.n[0] as u128;
+                debug_assert_eq!(s as u64, 0);
+                s >> 64
+            };
+            for j in 1..k {
+                let s = t[j] as u128 + m as u128 * self.n[j] as u128 + carry;
+                t[j - 1] = s as u64;
+                carry = s >> 64;
+            }
+            let s = t[k] as u128 + carry;
+            t[k - 1] = s as u64;
+            t[k] = t[k + 1].wrapping_add((s >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // Conditional final subtraction: t may be in [0, 2n).
+        let needs_sub = t[k] != 0 || !limbs_lt(&t[..k], &self.n);
+        let mut out = t[..k].to_vec();
+        if needs_sub {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d1, b1) = out[j].overflowing_sub(self.n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        }
+        out
+    }
+}
+
+/// Lexicographic (numeric) `a < b` over equal-length little-endian limbs.
+fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        if a[i] != b[i] {
+            return a[i] < b[i];
+        }
+    }
+    false
+}
+
+impl Ubig {
+    /// Computes `self^exp mod modulus`.
+    ///
+    /// Uses 4-bit fixed-window Montgomery exponentiation for odd moduli and
+    /// binary square-and-reduce otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn pow_mod(&self, exp: &Ubig, modulus: &Ubig) -> Ubig {
+        assert!(!modulus.is_zero(), "pow_mod: zero modulus");
+        if modulus.is_one() {
+            return Ubig::zero();
+        }
+        if exp.is_zero() {
+            return Ubig::one();
+        }
+        let base = self.rem(modulus);
+        if base.is_zero() {
+            return Ubig::zero();
+        }
+        if modulus.is_odd() {
+            let ctx = Montgomery::new(modulus).expect("odd modulus");
+            return pow_mod_mont(&ctx, &base, exp);
+        }
+        // Even modulus fallback (not used by RSA; kept for completeness).
+        let mut result = Ubig::one();
+        let mut b = base;
+        for i in 0..exp.bit_len() {
+            if exp.bit(i) {
+                result = result.mul(&b).rem(modulus);
+            }
+            if i + 1 < exp.bit_len() {
+                b = b.mul(&b).rem(modulus);
+            }
+        }
+        result
+    }
+}
+
+/// 4-bit fixed-window exponentiation in Montgomery space.
+fn pow_mod_mont(ctx: &Montgomery, base: &Ubig, exp: &Ubig) -> Ubig {
+    const WINDOW: usize = 4;
+    let base_m = ctx.to_mont(base);
+    // Precompute base^0..base^15 in Montgomery form.
+    let mut table = Vec::with_capacity(1 << WINDOW);
+    table.push(ctx.one_mont());
+    table.push(base_m.clone());
+    for i in 2..(1 << WINDOW) {
+        table.push(ctx.mont_mul(&table[i - 1], &base_m));
+    }
+
+    let bits = exp.bit_len();
+    let mut acc = ctx.one_mont();
+    let mut started = false;
+    // Consume the exponent MSB-first in 4-bit chunks.
+    let nwindows = bits.div_ceil(WINDOW);
+    for w in (0..nwindows).rev() {
+        if started {
+            for _ in 0..WINDOW {
+                acc = ctx.mont_mul(&acc, &acc);
+            }
+        }
+        let mut digit = 0usize;
+        for b in 0..WINDOW {
+            let idx = w * WINDOW + b;
+            if idx < bits && exp.bit(idx) {
+                digit |= 1 << b;
+            }
+        }
+        if digit != 0 {
+            acc = ctx.mont_mul(&acc, &table[digit]);
+            started = true;
+        } else if started {
+            // Nothing to multiply; squarings above already account for it.
+        } else {
+            // Leading zero window; skip squarings until the first set digit.
+        }
+    }
+    if !started {
+        // exp == 0 is handled by the caller; reaching here means all windows
+        // were zero, which cannot happen for a nonzero exponent.
+        unreachable!("nonzero exponent produced no windows");
+    }
+    ctx.from_mont(&acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn u(v: u64) -> Ubig {
+        Ubig::from_u64(v)
+    }
+
+    #[test]
+    fn mont_roundtrip() {
+        let n = Ubig::from_hex("f123456789abcdef123456789abcdef1").unwrap();
+        let ctx = Montgomery::new(&n).unwrap();
+        let x = Ubig::from_hex("123456789abcdef").unwrap();
+        let xm = ctx.to_mont(&x);
+        assert_eq!(ctx.from_mont(&xm), x);
+    }
+
+    #[test]
+    fn mont_rejects_even_or_trivial() {
+        assert!(Montgomery::new(&u(10)).is_none());
+        assert!(Montgomery::new(&Ubig::one()).is_none());
+        assert!(Montgomery::new(&Ubig::zero()).is_none());
+    }
+
+    #[test]
+    fn mont_mul_matches_plain() {
+        let n = Ubig::from_hex("d3c21bcecceda1000003").unwrap(); // odd
+        let ctx = Montgomery::new(&n).unwrap();
+        let a = Ubig::from_hex("1234567890abcdef12345").unwrap().rem(&n);
+        let b = Ubig::from_hex("fedcba098765432112345").unwrap().rem(&n);
+        let am = ctx.to_mont(&a);
+        let bm = ctx.to_mont(&b);
+        let prod = ctx.from_mont(&ctx.mont_mul(&am, &bm));
+        assert_eq!(prod, a.mul(&b).rem(&n));
+    }
+
+    #[test]
+    fn pow_mod_small_cases() {
+        assert_eq!(u(7).pow_mod(&u(5), &u(13)), u(11));
+        assert_eq!(u(2).pow_mod(&u(10), &u(1000)), u(24));
+        assert_eq!(u(5).pow_mod(&Ubig::zero(), &u(7)), Ubig::one());
+        assert_eq!(u(0).pow_mod(&u(5), &u(7)), Ubig::zero());
+        assert_eq!(u(5).pow_mod(&u(5), &Ubig::one()), Ubig::zero());
+    }
+
+    #[test]
+    fn pow_mod_even_modulus() {
+        // 3^7 mod 20 = 2187 mod 20 = 7
+        assert_eq!(u(3).pow_mod(&u(7), &u(20)), u(7));
+        // 7^128 mod 2^64: square-and-reduce path over an even modulus.
+        let m = Ubig::one().shl(64);
+        let got = u(7).pow_mod(&u(128), &m);
+        let mut expect = 1u64;
+        for _ in 0..128 {
+            expect = expect.wrapping_mul(7);
+        }
+        assert_eq!(got, Ubig::from_u64(expect));
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // p prime, a^(p-1) = 1 mod p.
+        let p = Ubig::from_hex("ffffffffffffffc5").unwrap(); // largest 64-bit prime
+        for a in [2u64, 3, 65537, 0xdeadbeef] {
+            assert_eq!(
+                u(a).pow_mod(&p.sub(&Ubig::one()), &p),
+                Ubig::one(),
+                "a={a}"
+            );
+        }
+    }
+
+    #[test]
+    fn pow_mod_large_operands() {
+        // Cross-check the windowed Montgomery path against naive
+        // square-and-multiply with explicit reduction.
+        let n = Ubig::from_hex(
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+        )
+        .unwrap();
+        let n = if n.is_even() { n.add(&Ubig::one()) } else { n };
+        let b = Ubig::from_hex("123456789abcdef0fedcba9876543210").unwrap();
+        let e = Ubig::from_hex("10001").unwrap();
+        let fast = b.pow_mod(&e, &n);
+        // Naive reference.
+        let mut acc = Ubig::one();
+        for i in (0..e.bit_len()).rev() {
+            acc = acc.mul(&acc).rem(&n);
+            if e.bit(i) {
+                acc = acc.mul(&b).rem(&n);
+            }
+        }
+        assert_eq!(fast, acc);
+    }
+}

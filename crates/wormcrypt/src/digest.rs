@@ -1,0 +1,31 @@
+//! Common interface for the hash functions in this crate.
+
+/// A streaming cryptographic hash function.
+///
+/// Implemented by [`Sha1`](crate::Sha1) and [`Sha256`](crate::Sha256); used
+/// generically by [`Hmac`](crate::Hmac), the chained record hash, and the
+/// Merkle tree.
+pub trait Digest: Clone {
+    /// Internal block length in bytes (64 for the SHA family here).
+    const BLOCK_LEN: usize;
+    /// Output length in bytes.
+    const OUT_LEN: usize;
+    /// Human-readable algorithm name (e.g. `"sha-256"`).
+    const NAME: &'static str;
+
+    /// Creates a fresh hasher.
+    fn new() -> Self;
+
+    /// Absorbs `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience: digest of a single byte string.
+    fn digest(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}

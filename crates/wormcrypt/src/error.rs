@@ -1,0 +1,52 @@
+//! Error type for the crypto substrate.
+
+use std::fmt;
+
+/// Errors produced by the `wormcrypt` crate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// The RSA modulus is too small to hold the PKCS#1 v1.5 encoding.
+    ModulusTooSmall {
+        /// Minimum modulus length in bytes for this digest.
+        need: usize,
+        /// Actual modulus length in bytes.
+        have: usize,
+    },
+    /// A serialized structure failed to parse.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::ModulusTooSmall { need, have } => write!(
+                f,
+                "modulus of {have} bytes too small for encoding needing {need} bytes"
+            ),
+            CryptoError::Malformed(what) => write!(f, "malformed input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = CryptoError::ModulusTooSmall { need: 62, have: 32 };
+        let s = e.to_string();
+        assert!(s.contains("62") && s.contains("32"));
+        let e = CryptoError::Malformed("bad header");
+        assert!(e.to_string().contains("bad header"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_err(CryptoError::Malformed("x"));
+    }
+}

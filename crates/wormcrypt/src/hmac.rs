@@ -1,0 +1,166 @@
+//! HMAC (RFC 2104) over any [`Digest`] in this crate.
+//!
+//! The paper (§4.3) proposes HMACs as the fastest short-term witnessing
+//! construct during burst periods; the SCPU later upgrades HMACed records to
+//! full signatures.
+
+use crate::digest::Digest;
+
+/// Keyed message authentication code.
+///
+/// ```
+/// use wormcrypt::{Hmac, Sha256};
+/// let tag = Hmac::<Sha256>::mac(b"key", b"message");
+/// assert!(Hmac::<Sha256>::verify(b"key", b"message", &tag));
+/// assert!(!Hmac::<Sha256>::verify(b"key", b"tampered", &tag));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Hmac<D: Digest> {
+    inner: D,
+    opad_key: Vec<u8>,
+}
+
+impl<D: Digest> Hmac<D> {
+    /// Creates a streaming HMAC instance with the given key.
+    pub fn new(key: &[u8]) -> Self {
+        let mut key_block = vec![0u8; D::BLOCK_LEN];
+        if key.len() > D::BLOCK_LEN {
+            let kd = D::digest(key);
+            key_block[..kd.len()].copy_from_slice(&kd);
+        } else {
+            key_block[..key.len()].copy_from_slice(key);
+        }
+        let ipad: Vec<u8> = key_block.iter().map(|b| b ^ 0x36).collect();
+        let opad: Vec<u8> = key_block.iter().map(|b| b ^ 0x5c).collect();
+        let mut inner = D::new();
+        inner.update(&ipad);
+        Hmac {
+            inner,
+            opad_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Consumes the instance and returns the authentication tag.
+    pub fn finalize(self) -> Vec<u8> {
+        let inner_digest = self.inner.finalize();
+        let mut outer = D::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC computation.
+    pub fn mac(key: &[u8], message: &[u8]) -> Vec<u8> {
+        let mut h = Self::new(key);
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Constant-time tag verification.
+    pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+        let expected = Self::mac(key, message);
+        ct_eq(&expected, tag)
+    }
+}
+
+/// Constant-time byte-slice equality (length leak only).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Sha1, Sha256};
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 4231 test case 1.
+    #[test]
+    fn rfc4231_case1() {
+        let key = [0x0bu8; 20];
+        let tag = Hmac::<Sha256>::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    // RFC 4231 test case 2 ("Jefe").
+    #[test]
+    fn rfc4231_case2() {
+        let tag = Hmac::<Sha256>::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    // RFC 4231 test case 3: 0xaa*20 key, 0xdd*50 data.
+    #[test]
+    fn rfc4231_case3() {
+        let tag = Hmac::<Sha256>::mac(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    // RFC 4231 test case 6: key longer than the block size.
+    #[test]
+    fn long_key_is_hashed() {
+        let key = [0xaau8; 131];
+        let tag = Hmac::<Sha256>::mac(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    // RFC 2202 test case 1 for HMAC-SHA1.
+    #[test]
+    fn rfc2202_sha1() {
+        let tag = Hmac::<Sha1>::mac(&[0x0b; 20], b"Hi There");
+        assert_eq!(hex(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let mut h = Hmac::<Sha256>::new(b"key");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), Hmac::<Sha256>::mac(b"key", b"hello world"));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_everything() {
+        let tag = Hmac::<Sha256>::mac(b"key", b"msg");
+        assert!(Hmac::<Sha256>::verify(b"key", b"msg", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"KEY", b"msg", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"key", b"msg2", &tag));
+        assert!(!Hmac::<Sha256>::verify(b"key", b"msg", &tag[..31]));
+        assert!(!Hmac::<Sha256>::verify(b"key", b"msg", &[]));
+    }
+
+    #[test]
+    fn ct_eq_behaviour() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+}

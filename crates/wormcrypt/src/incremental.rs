@@ -1,0 +1,186 @@
+//! Incremental multiset hashing (MSet-Add-Hash).
+//!
+//! Table 1 permits `datasig` to use "other incremental secure hashing
+//! [Bellare–Micciancio '97, Clarke et al. '03]" instead of a chained hash.
+//! [`MultisetHash`] follows the *additive* construction of Clarke et al.:
+//! each element is expanded by SHA-256 into a vector of 64-bit words that is
+//! added component-wise (mod 2^64) into the accumulator. Adding is O(1) per
+//! element, commutative, and supports *removal* — which the WORM layer uses
+//! when a record expires out of a VR without re-reading its siblings.
+
+use crate::digest::Digest;
+use crate::Sha256;
+
+/// Number of 64-bit lanes in the accumulator (4 lanes = 256 bits).
+const LANES: usize = 4;
+
+/// Domain tag mixed into every element expansion.
+const MSET_TAG: &[u8] = b"strongworm.mset.v1";
+
+/// Additive incremental multiset hash.
+///
+/// ```
+/// use wormcrypt::MultisetHash;
+/// let mut a = MultisetHash::new();
+/// a.add(b"x");
+/// a.add(b"y");
+/// let mut b = MultisetHash::new();
+/// b.add(b"y");
+/// b.add(b"x");
+/// assert_eq!(a.digest(), b.digest()); // commutative
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct MultisetHash {
+    acc: [u64; LANES],
+    count: u64,
+}
+
+impl MultisetHash {
+    /// Empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Expands an element into its lane vector.
+    fn expand(element: &[u8]) -> [u64; LANES] {
+        let mut h = Sha256::new();
+        h.update(MSET_TAG);
+        h.update(&(element.len() as u64).to_be_bytes());
+        h.update(element);
+        let d = h.finalize();
+        let mut lanes = [0u64; LANES];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = u64::from_be_bytes(d[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
+        }
+        lanes
+    }
+
+    /// Adds an element to the multiset.
+    pub fn add(&mut self, element: &[u8]) {
+        let lanes = Self::expand(element);
+        for (a, l) in self.acc.iter_mut().zip(lanes) {
+            *a = a.wrapping_add(l);
+        }
+        self.count = self.count.wrapping_add(1);
+    }
+
+    /// Removes one occurrence of an element.
+    ///
+    /// The caller is responsible for only removing elements previously
+    /// added; removing a never-added element silently produces the hash of
+    /// a different (signed-multiplicity) multiset.
+    pub fn remove(&mut self, element: &[u8]) {
+        let lanes = Self::expand(element);
+        for (a, l) in self.acc.iter_mut().zip(lanes) {
+            *a = a.wrapping_sub(l);
+        }
+        self.count = self.count.wrapping_sub(1);
+    }
+
+    /// Merges another multiset into this one (union with multiplicities).
+    pub fn merge(&mut self, other: &MultisetHash) {
+        for (a, l) in self.acc.iter_mut().zip(other.acc) {
+            *a = a.wrapping_add(l);
+        }
+        self.count = self.count.wrapping_add(other.count);
+    }
+
+    /// Number of elements (additions minus removals).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// 40-byte digest: the four lanes plus the cardinality.
+    ///
+    /// Including the count defeats trivial `k·2^64`-fold multiplicity
+    /// confusions of the bare additive accumulator.
+    pub fn digest(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(LANES * 8 + 8);
+        for lane in self.acc {
+            out.extend_from_slice(&lane.to_be_bytes());
+        }
+        out.extend_from_slice(&self.count.to_be_bytes());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_digest_is_zero() {
+        let m = MultisetHash::new();
+        assert_eq!(m.digest(), vec![0u8; 40]);
+        assert_eq!(m.count(), 0);
+    }
+
+    #[test]
+    fn commutative() {
+        let elems: Vec<&[u8]> = vec![b"a", b"b", b"c", b"d"];
+        let mut fwd = MultisetHash::new();
+        for e in &elems {
+            fwd.add(e);
+        }
+        let mut rev = MultisetHash::new();
+        for e in elems.iter().rev() {
+            rev.add(e);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn add_remove_cancels() {
+        let mut m = MultisetHash::new();
+        m.add(b"keep");
+        let snapshot = m.clone();
+        m.add(b"temp");
+        m.remove(b"temp");
+        assert_eq!(m, snapshot);
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        let mut once = MultisetHash::new();
+        once.add(b"x");
+        let mut twice = MultisetHash::new();
+        twice.add(b"x");
+        twice.add(b"x");
+        assert_ne!(once.digest(), twice.digest());
+    }
+
+    #[test]
+    fn different_sets_differ() {
+        let mut a = MultisetHash::new();
+        a.add(b"alpha");
+        let mut b = MultisetHash::new();
+        b.add(b"beta");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn merge_equals_sequential_adds() {
+        let mut left = MultisetHash::new();
+        left.add(b"1");
+        left.add(b"2");
+        let mut right = MultisetHash::new();
+        right.add(b"3");
+        left.merge(&right);
+        let mut all = MultisetHash::new();
+        for e in [b"1".as_slice(), b"2", b"3"] {
+            all.add(e);
+        }
+        assert_eq!(left, all);
+    }
+
+    #[test]
+    fn length_framing() {
+        // {"ab"} vs {"a","b"} must differ even though concatenations match.
+        let mut joined = MultisetHash::new();
+        joined.add(b"ab");
+        let mut split = MultisetHash::new();
+        split.add(b"a");
+        split.add(b"b");
+        assert_ne!(joined.digest(), split.digest());
+    }
+}

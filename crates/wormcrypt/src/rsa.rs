@@ -1,0 +1,378 @@
+//! RSA signatures (PKCS#1 v1.5) over the in-crate bignum.
+//!
+//! The Strong WORM design signs with three strength tiers: 512-bit
+//! *short-lived* keys for burst witnessing, and 1024/2048-bit *permanent*
+//! keys (`s` for metadata/data signatures, `d` for deletion proofs). The
+//! relative signing costs across these widths — which drive the paper's
+//! deferred-strength optimization — emerge naturally from the O(k³)
+//! modular exponentiation.
+
+use crate::bignum::Ubig;
+use crate::digest::Digest;
+use crate::error::CryptoError;
+use crate::{Sha1, Sha256};
+
+/// Hash algorithm used inside the PKCS#1 v1.5 encoding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum HashAlg {
+    /// SHA-1 (paper-era default; kept for the Table 2 reproduction).
+    Sha1,
+    /// SHA-256 (default everywhere else).
+    Sha256,
+}
+
+impl HashAlg {
+    /// DER-encoded `DigestInfo` prefix (algorithm identifier).
+    fn digest_info_prefix(self) -> &'static [u8] {
+        match self {
+            HashAlg::Sha1 => &[
+                0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00,
+                0x04, 0x14,
+            ],
+            HashAlg::Sha256 => &[
+                0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04,
+                0x02, 0x01, 0x05, 0x00, 0x04, 0x20,
+            ],
+        }
+    }
+
+    /// Digest of `msg` under this algorithm.
+    pub fn hash(self, msg: &[u8]) -> Vec<u8> {
+        match self {
+            HashAlg::Sha1 => Sha1::digest(msg),
+            HashAlg::Sha256 => Sha256::digest(msg),
+        }
+    }
+}
+
+/// RSA public key `(n, e)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    n: Ubig,
+    e: Ubig,
+}
+
+/// RSA private key with CRT parameters.
+#[derive(Clone, Debug)]
+pub struct RsaPrivateKey {
+    public: RsaPublicKey,
+    d: Ubig,
+    p: Ubig,
+    q: Ubig,
+    dp: Ubig,
+    dq: Ubig,
+    qinv: Ubig,
+}
+
+impl RsaPublicKey {
+    /// Modulus width in bits.
+    pub fn modulus_bits(&self) -> usize {
+        self.n.bit_len()
+    }
+
+    /// Modulus width in bytes (signature length).
+    pub fn modulus_bytes(&self) -> usize {
+        self.n.bit_len().div_ceil(8)
+    }
+
+    /// The modulus `n`.
+    pub fn n(&self) -> &Ubig {
+        &self.n
+    }
+
+    /// The public exponent `e`.
+    pub fn e(&self) -> &Ubig {
+        &self.e
+    }
+
+    /// Short stable identifier: first 8 bytes of `SHA-256(n || e)`.
+    pub fn fingerprint(&self) -> [u8; 8] {
+        let mut h = Sha256::new();
+        h.update(&self.n.to_bytes_be());
+        h.update(&self.e.to_bytes_be());
+        let d = h.finalize();
+        let mut out = [0u8; 8];
+        out.copy_from_slice(&d[..8]);
+        out
+    }
+
+    /// Verifies a PKCS#1 v1.5 signature over `msg`.
+    ///
+    /// Returns `false` for any malformed, truncated, or mismatching
+    /// signature — verification never panics on attacker-controlled input.
+    pub fn verify(&self, msg: &[u8], sig: &[u8], alg: HashAlg) -> bool {
+        if sig.len() != self.modulus_bytes() {
+            return false;
+        }
+        let s = Ubig::from_bytes_be(sig);
+        if s >= self.n {
+            return false;
+        }
+        let em = s.pow_mod(&self.e, &self.n);
+        let expected = match emsa_pkcs1_v15(msg, self.modulus_bytes(), alg) {
+            Ok(e) => e,
+            Err(_) => return false,
+        };
+        em.to_bytes_be_padded(self.modulus_bytes()) == expected
+    }
+
+    /// Serializes as `len(n) || n || len(e) || e` (u32-BE length prefixes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.n.to_bytes_be();
+        let e = self.e.to_bytes_be();
+        let mut out = Vec::with_capacity(8 + n.len() + e.len());
+        out.extend_from_slice(&(n.len() as u32).to_be_bytes());
+        out.extend_from_slice(&n);
+        out.extend_from_slice(&(e.len() as u32).to_be_bytes());
+        out.extend_from_slice(&e);
+        out
+    }
+
+    /// Parses the [`RsaPublicKey::to_bytes`] format.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let (n, rest) = read_len_prefixed(bytes)?;
+        let (e, rest) = read_len_prefixed(rest)?;
+        if !rest.is_empty() {
+            return Err(CryptoError::Malformed("trailing bytes in public key"));
+        }
+        let key = RsaPublicKey {
+            n: Ubig::from_bytes_be(n),
+            e: Ubig::from_bytes_be(e),
+        };
+        if key.n.is_zero() || key.e.is_zero() {
+            return Err(CryptoError::Malformed("zero modulus or exponent"));
+        }
+        Ok(key)
+    }
+}
+
+fn read_len_prefixed(bytes: &[u8]) -> Result<(&[u8], &[u8]), CryptoError> {
+    if bytes.len() < 4 {
+        return Err(CryptoError::Malformed("short length prefix"));
+    }
+    let len = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    if bytes.len() < 4 + len {
+        return Err(CryptoError::Malformed("length prefix exceeds buffer"));
+    }
+    Ok((&bytes[4..4 + len], &bytes[4 + len..]))
+}
+
+impl RsaPrivateKey {
+    /// Generates a fresh key pair with a modulus of exactly `bits` bits and
+    /// public exponent 65537.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 64` or `bits` is odd.
+    pub fn generate<R: rand::RngCore + ?Sized>(rng: &mut R, bits: usize) -> Self {
+        assert!(bits >= 64, "modulus below 64 bits cannot encode a digest");
+        assert!(bits.is_multiple_of(2), "modulus width must be even");
+        let e = Ubig::from_u64(65537);
+        loop {
+            let p = Ubig::gen_prime(rng, bits / 2);
+            let q = loop {
+                let q = Ubig::gen_prime(rng, bits / 2);
+                if q != p {
+                    break q;
+                }
+            };
+            let n = p.mul(&q);
+            if n.bit_len() != bits {
+                continue;
+            }
+            let one = Ubig::one();
+            let p1 = p.sub(&one);
+            let q1 = q.sub(&one);
+            let phi = p1.mul(&q1);
+            if !e.gcd(&phi).is_one() {
+                continue;
+            }
+            let d = e.mod_inverse(&phi).expect("gcd(e, phi) == 1");
+            let dp = d.rem(&p1);
+            let dq = d.rem(&q1);
+            let qinv = q.mod_inverse(&p).expect("p, q distinct primes");
+            return RsaPrivateKey {
+                public: RsaPublicKey { n, e },
+                d,
+                p,
+                q,
+                dp,
+                dq,
+                qinv,
+            };
+        }
+    }
+
+    /// The corresponding public key.
+    pub fn public(&self) -> &RsaPublicKey {
+        &self.public
+    }
+
+    /// Signs `msg` with PKCS#1 v1.5.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::ModulusTooSmall`] if the modulus cannot hold
+    /// the `DigestInfo` encoding for `alg`.
+    pub fn sign(&self, msg: &[u8], alg: HashAlg) -> Result<Vec<u8>, CryptoError> {
+        let k = self.public.modulus_bytes();
+        let em = emsa_pkcs1_v15(msg, k, alg)?;
+        let m = Ubig::from_bytes_be(&em);
+        let s = self.raw_decrypt(&m);
+        Ok(s.to_bytes_be_padded(k))
+    }
+
+    /// RSA private operation via the Chinese Remainder Theorem.
+    fn raw_decrypt(&self, m: &Ubig) -> Ubig {
+        let m1 = m.pow_mod(&self.dp, &self.p);
+        let m2 = m.pow_mod(&self.dq, &self.q);
+        // h = qinv * (m1 - m2) mod p, handling m1 < m2.
+        let m2_mod_p = m2.rem(&self.p);
+        let diff = if m1 >= m2_mod_p {
+            m1.sub(&m2_mod_p)
+        } else {
+            m1.add(&self.p).sub(&m2_mod_p)
+        };
+        let h = self.qinv.mul(&diff).rem(&self.p);
+        m2.add(&self.q.mul(&h))
+    }
+
+    /// The private exponent (used by self-consistency tests).
+    pub fn d(&self) -> &Ubig {
+        &self.d
+    }
+}
+
+/// EMSA-PKCS1-v1_5 encoding: `0x00 0x01 0xFF.. 0x00 DigestInfo H(m)`.
+fn emsa_pkcs1_v15(msg: &[u8], k: usize, alg: HashAlg) -> Result<Vec<u8>, CryptoError> {
+    let h = alg.hash(msg);
+    let prefix = alg.digest_info_prefix();
+    let t_len = prefix.len() + h.len();
+    if k < t_len + 11 {
+        return Err(CryptoError::ModulusTooSmall {
+            need: t_len + 11,
+            have: k,
+        });
+    }
+    let mut em = Vec::with_capacity(k);
+    em.push(0x00);
+    em.push(0x01);
+    em.resize(k - t_len - 1, 0xff);
+    em.push(0x00);
+    em.extend_from_slice(prefix);
+    em.extend_from_slice(&h);
+    debug_assert_eq!(em.len(), k);
+    Ok(em)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::OnceLock;
+
+    /// 512-bit key shared across tests (keygen is the slow part).
+    fn test_key() -> &'static RsaPrivateKey {
+        static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+        KEY.get_or_init(|| {
+            let mut rng = StdRng::seed_from_u64(42);
+            RsaPrivateKey::generate(&mut rng, 512)
+        })
+    }
+
+    #[test]
+    fn keygen_properties() {
+        let key = test_key();
+        assert_eq!(key.public().modulus_bits(), 512);
+        assert_eq!(key.public().modulus_bytes(), 64);
+        // n = p * q
+        assert_eq!(key.p.mul(&key.q), *key.public().n());
+        // e * d ≡ 1 mod φ
+        let phi = key.p.sub(&Ubig::one()).mul(&key.q.sub(&Ubig::one()));
+        assert_eq!(key.public().e().mul(key.d()).rem(&phi), Ubig::one());
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let key = test_key();
+        for alg in [HashAlg::Sha1, HashAlg::Sha256] {
+            let sig = key.sign(b"compliance record #1", alg).unwrap();
+            assert_eq!(sig.len(), 64);
+            assert!(key.public().verify(b"compliance record #1", &sig, alg));
+        }
+    }
+
+    #[test]
+    fn verify_rejects_tampering() {
+        let key = test_key();
+        let sig = key.sign(b"original", HashAlg::Sha256).unwrap();
+        assert!(!key.public().verify(b"tampered", &sig, HashAlg::Sha256));
+        // Flip one bit of the signature.
+        let mut bad = sig.clone();
+        bad[10] ^= 1;
+        assert!(!key.public().verify(b"original", &bad, HashAlg::Sha256));
+        // Wrong length.
+        assert!(!key.public().verify(b"original", &sig[..63], HashAlg::Sha256));
+        assert!(!key.public().verify(b"original", &[], HashAlg::Sha256));
+        // Wrong hash algorithm.
+        assert!(!key.public().verify(b"original", &sig, HashAlg::Sha1));
+    }
+
+    #[test]
+    fn verify_rejects_oversized_signature_value() {
+        let key = test_key();
+        // s = n (>= n must be rejected before exponentiation).
+        let s = key.public().n().to_bytes_be_padded(64);
+        assert!(!key.public().verify(b"m", &s, HashAlg::Sha256));
+    }
+
+    #[test]
+    fn crt_matches_plain_exponentiation() {
+        let key = test_key();
+        let m = Ubig::from_hex("123456789abcdef0aa55").unwrap();
+        let crt = key.raw_decrypt(&m);
+        let plain = m.pow_mod(key.d(), key.public().n());
+        assert_eq!(crt, plain);
+    }
+
+    #[test]
+    fn signatures_from_different_keys_do_not_cross_verify() {
+        let key1 = test_key();
+        let mut rng = StdRng::seed_from_u64(43);
+        let key2 = RsaPrivateKey::generate(&mut rng, 512);
+        let sig = key1.sign(b"msg", HashAlg::Sha256).unwrap();
+        assert!(!key2.public().verify(b"msg", &sig, HashAlg::Sha256));
+        assert_ne!(key1.public().fingerprint(), key2.public().fingerprint());
+    }
+
+    #[test]
+    fn modulus_too_small_for_digest() {
+        let mut rng = StdRng::seed_from_u64(44);
+        // 256-bit modulus (32 bytes) cannot hold SHA-256 DigestInfo (51) + 11.
+        let key = RsaPrivateKey::generate(&mut rng, 256);
+        match key.sign(b"m", HashAlg::Sha256) {
+            Err(CryptoError::ModulusTooSmall { need, have }) => {
+                assert_eq!(have, 32);
+                assert!(need > have);
+            }
+            other => panic!("expected ModulusTooSmall, got {other:?}"),
+        }
+        // SHA-1 fits (35 + 11 = 46 > 32 — actually also too small).
+        assert!(key.sign(b"m", HashAlg::Sha1).is_err());
+    }
+
+    #[test]
+    fn public_key_serialization_roundtrip() {
+        let key = test_key();
+        let bytes = key.public().to_bytes();
+        let parsed = RsaPublicKey::from_bytes(&bytes).unwrap();
+        assert_eq!(&parsed, key.public());
+        // Corrupt length prefix.
+        let mut bad = bytes.clone();
+        bad[0] = 0xff;
+        assert!(RsaPublicKey::from_bytes(&bad).is_err());
+        assert!(RsaPublicKey::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(RsaPublicKey::from_bytes(&[]).is_err());
+    }
+}

@@ -1,0 +1,232 @@
+//! Property-based tests for the crypto substrate.
+
+use proptest::prelude::*;
+use wormcrypt::bignum::Ubig;
+use wormcrypt::{ChainHash, Digest, Hmac, MerkleTree, MultisetHash, Sha1, Sha256};
+
+fn ubig_strategy(max_bytes: usize) -> impl Strategy<Value = Ubig> {
+    proptest::collection::vec(any::<u8>(), 0..=max_bytes).prop_map(|b| Ubig::from_bytes_be(&b))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // --- Ring axioms ------------------------------------------------------
+
+    #[test]
+    fn add_commutes(a in ubig_strategy(40), b in ubig_strategy(40)) {
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn add_associates(a in ubig_strategy(32), b in ubig_strategy(32), c in ubig_strategy(32)) {
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+    }
+
+    #[test]
+    fn mul_commutes(a in ubig_strategy(32), b in ubig_strategy(32)) {
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+    }
+
+    #[test]
+    fn mul_distributes(a in ubig_strategy(24), b in ubig_strategy(24), c in ubig_strategy(24)) {
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in ubig_strategy(40), b in ubig_strategy(40)) {
+        prop_assert_eq!(a.add(&b).sub(&b), a);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in ubig_strategy(40), s in 0usize..200) {
+        prop_assert_eq!(a.shl(s).shr(s), a);
+    }
+
+    // --- Division ---------------------------------------------------------
+
+    #[test]
+    fn div_rem_reconstructs(a in ubig_strategy(64), d in ubig_strategy(32)) {
+        prop_assume!(!d.is_zero());
+        let (q, r) = a.div_rem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(q.mul(&d).add(&r), a);
+    }
+
+    #[test]
+    fn rem_is_idempotent(a in ubig_strategy(48), d in ubig_strategy(24)) {
+        prop_assume!(!d.is_zero());
+        let r = a.rem(&d);
+        prop_assert_eq!(r.rem(&d), r);
+    }
+
+    // --- Serialization ----------------------------------------------------
+
+    #[test]
+    fn bytes_roundtrip(a in ubig_strategy(48)) {
+        prop_assert_eq!(Ubig::from_bytes_be(&a.to_bytes_be()), a.clone());
+        prop_assert_eq!(Ubig::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    // --- Modular exponentiation -------------------------------------------
+
+    #[test]
+    fn pow_mod_matches_naive(
+        b in ubig_strategy(16),
+        e in ubig_strategy(3),
+        m in ubig_strategy(16),
+    ) {
+        prop_assume!(!m.is_zero() && !m.is_one());
+        let fast = b.pow_mod(&e, &m);
+        // Naive square-and-multiply with explicit reduction.
+        let mut acc = Ubig::one();
+        let base = b.rem(&m);
+        for i in (0..e.bit_len()).rev() {
+            acc = acc.mul(&acc).rem(&m);
+            if e.bit(i) {
+                acc = acc.mul(&base).rem(&m);
+            }
+        }
+        let naive = acc.rem(&m);
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in ubig_strategy(16), m in ubig_strategy(16)) {
+        prop_assume!(!m.is_zero() && !m.is_one());
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!(a.mul(&inv).rem(&m), Ubig::one());
+            prop_assert!(inv < m);
+        } else {
+            prop_assert!(!a.gcd(&m).is_one());
+        }
+    }
+
+    #[test]
+    fn gcd_divides_both(a in ubig_strategy(24), b in ubig_strategy(24)) {
+        let g = a.gcd(&b);
+        if !g.is_zero() {
+            prop_assert!(a.rem(&g).is_zero());
+            prop_assert!(b.rem(&g).is_zero());
+        } else {
+            prop_assert!(a.is_zero() && b.is_zero());
+        }
+    }
+
+    // --- Hashes -----------------------------------------------------------
+
+    #[test]
+    fn sha256_streaming_equivalence(data in proptest::collection::vec(any::<u8>(), 0..2048), split in 0usize..2048) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha1_streaming_equivalence(data in proptest::collection::vec(any::<u8>(), 0..1024), split in 0usize..1024) {
+        let split = split.min(data.len());
+        let mut h = Sha1::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+    }
+
+    #[test]
+    fn hmac_verifies_and_rejects(key in proptest::collection::vec(any::<u8>(), 0..100),
+                                 msg in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let tag = Hmac::<Sha256>::mac(&key, &msg);
+        prop_assert!(Hmac::<Sha256>::verify(&key, &msg, &tag));
+        let mut wrong = msg.clone();
+        wrong.push(0);
+        prop_assert!(!Hmac::<Sha256>::verify(&key, &wrong, &tag));
+    }
+
+    // --- Chain hash -------------------------------------------------------
+
+    #[test]
+    fn chain_hash_is_injective_on_structure(records in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..6)) {
+        let refs: Vec<&[u8]> = records.iter().map(|r| r.as_slice()).collect();
+        let base = ChainHash::digest_records(refs.iter().copied());
+        // Any single-record mutation changes the digest.
+        for i in 0..records.len() {
+            let mut mutated = records.clone();
+            mutated[i].push(0xAB);
+            let refs2: Vec<&[u8]> = mutated.iter().map(|r| r.as_slice()).collect();
+            prop_assert_ne!(ChainHash::digest_records(refs2.iter().copied()), base.clone());
+        }
+    }
+
+    // --- Multiset hash ----------------------------------------------------
+
+    #[test]
+    fn multiset_order_independent(elems in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..10),
+                                  seed in any::<u64>()) {
+        let mut fwd = MultisetHash::new();
+        for e in &elems {
+            fwd.add(e);
+        }
+        // Deterministic shuffle.
+        let mut shuffled = elems.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            shuffled.swap(i, (s % (i as u64 + 1)) as usize);
+        }
+        let mut rev = MultisetHash::new();
+        for e in &shuffled {
+            rev.add(e);
+        }
+        prop_assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn multiset_add_remove_is_identity(keep in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..8), 0..6),
+                                       temp in proptest::collection::vec(any::<u8>(), 0..8)) {
+        let mut m = MultisetHash::new();
+        for e in &keep {
+            m.add(e);
+        }
+        let snapshot = m.clone();
+        m.add(&temp);
+        m.remove(&temp);
+        prop_assert_eq!(m, snapshot);
+    }
+
+    // --- Merkle tree ------------------------------------------------------
+
+    #[test]
+    fn merkle_proofs_verify_for_random_trees(leaves in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..40)) {
+        let mut t = MerkleTree::new();
+        for l in &leaves {
+            t.append(l);
+        }
+        let root = t.root();
+        for (i, l) in leaves.iter().enumerate() {
+            let proof = t.prove(i).unwrap();
+            prop_assert!(MerkleTree::verify(&root, i, l, &proof));
+            prop_assert!(!MerkleTree::verify(&root, i, b"not the leaf!", &proof));
+        }
+    }
+
+    #[test]
+    fn merkle_update_preserves_sibling_proofs(n in 2usize..30, target in 0usize..30) {
+        let target = target % n;
+        let mut t = MerkleTree::new();
+        for i in 0..n {
+            t.append(format!("leaf{i}").as_bytes());
+        }
+        t.update(target, b"updated");
+        let root = t.root();
+        for i in 0..n {
+            let data = if i == target {
+                b"updated".to_vec()
+            } else {
+                format!("leaf{i}").into_bytes()
+            };
+            let proof = t.prove(i).unwrap();
+            prop_assert!(MerkleTree::verify(&root, i, &data, &proof), "leaf {i}");
+        }
+    }
+}

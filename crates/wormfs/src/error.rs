@@ -1,0 +1,110 @@
+//! Error type for the WORM filesystem layer.
+
+use strongworm::{VerifyError, WormError};
+
+/// Errors from [`WormFs`](crate::WormFs) operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FsError {
+    /// The path failed validation.
+    InvalidPath {
+        /// The offending input.
+        path: String,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// No file exists at the path.
+    NotFound(String),
+    /// The requested version index does not exist.
+    NoSuchVersion {
+        /// The file path.
+        path: String,
+        /// The requested version.
+        version: usize,
+    },
+    /// The version existed but its retention elapsed and it was deleted
+    /// (with SCPU-verifiable evidence available via the record layer).
+    Expired {
+        /// The file path.
+        path: String,
+        /// The expired version.
+        version: usize,
+    },
+    /// The underlying WORM layer failed.
+    Worm(WormError),
+    /// Client-side verification of the file content failed — the stored
+    /// bytes no longer match the SCPU witnesses.
+    Verification(VerifyError),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::InvalidPath { path, reason } => write!(f, "invalid path {path:?}: {reason}"),
+            FsError::NotFound(p) => write!(f, "no file at {p}"),
+            FsError::NoSuchVersion { path, version } => {
+                write!(f, "{path} has no version {version}")
+            }
+            FsError::Expired { path, version } => {
+                write!(f, "{path} version {version} expired and was deleted per policy")
+            }
+            FsError::Worm(e) => write!(f, "worm layer failure: {e}"),
+            FsError::Verification(e) => write!(f, "integrity verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FsError::Worm(e) => Some(e),
+            FsError::Verification(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WormError> for FsError {
+    fn from(e: WormError) -> Self {
+        FsError::Worm(e)
+    }
+}
+
+impl From<VerifyError> for FsError {
+    fn from(e: VerifyError) -> Self {
+        FsError::Verification(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let cases: Vec<FsError> = vec![
+            FsError::InvalidPath {
+                path: "x".into(),
+                reason: "must be absolute",
+            },
+            FsError::NotFound("/a".into()),
+            FsError::NoSuchVersion {
+                path: "/a".into(),
+                version: 3,
+            },
+            FsError::Expired {
+                path: "/a".into(),
+                version: 0,
+            },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<FsError>();
+    }
+}

@@ -1,0 +1,432 @@
+//! The WORM filesystem: a versioned, path-addressed namespace over the
+//! Strong WORM record layer.
+//!
+//! Semantics follow from WORM: file content is immutable once written;
+//! "writing to an existing path" appends a new *version*, each version a
+//! separate SCPU-witnessed virtual record with its own retention policy.
+//! Directories are implicit (a path exists if a file lives under it).
+//! Every read is client-verified against the SCPU witnesses before any
+//! byte is handed to the caller.
+//!
+//! The namespace index itself is untrusted host state (the paper scopes
+//! naming and indexing out of the trusted layer, §4.1 "Design Vision");
+//! mutations are journaled so a crash recovers a consistent mapping, and
+//! a full-tree audit re-verifies every live version against the SCPU.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use scpu::{Clock, Timestamp};
+use strongworm::{
+    ReadOutcome, ReadVerdict, RetentionPolicy, SerialNumber, Verifier, WormConfig, WormServer,
+};
+use wormcrypt::RsaPublicKey;
+use wormstore::Journal;
+
+use crate::error::FsError;
+use crate::path::FsPath;
+
+/// Metadata of one immutable file version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FileVersion {
+    /// The backing WORM record.
+    pub sn: SerialNumber,
+    /// Content length in bytes.
+    pub len: u64,
+    /// Trusted creation time (stamped by the SCPU).
+    pub created_at: Timestamp,
+    /// End of the mandated retention period.
+    pub retention_until: Timestamp,
+}
+
+/// A version's current lifecycle state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileStatus {
+    /// Content is live and verifiable.
+    Live,
+    /// Retention elapsed; the record was deleted with SCPU-signed proof.
+    Expired,
+}
+
+/// A directory listing entry. Ordered directories-first, then by name
+/// (the derived order relies on variant declaration order).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DirEntry {
+    /// An implicit subdirectory (at least one file lives beneath it).
+    Dir(String),
+    /// A file directly under the listed directory.
+    File(String),
+}
+
+/// Content returned by a verified read.
+#[derive(Clone, Debug)]
+pub struct VerifiedFile {
+    /// The file's path.
+    pub path: FsPath,
+    /// Version index (0 = first write to the path).
+    pub version: usize,
+    /// The backing record's serial number.
+    pub sn: SerialNumber,
+    /// Verified content bytes.
+    pub content: Bytes,
+}
+
+/// Result of a full-tree audit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Versions verified live and intact.
+    pub live: usize,
+    /// Versions confirmed deleted per policy.
+    pub expired: usize,
+    /// Versions whose verification failed (path, version).
+    pub failures: Vec<(String, usize)>,
+}
+
+/// A versioned WORM filesystem.
+pub struct WormFs {
+    server: WormServer,
+    verifier: Verifier,
+    namespace: BTreeMap<FsPath, Vec<FileVersion>>,
+    index_journal: Journal,
+}
+
+impl WormFs {
+    /// Boots a filesystem over a fresh WORM server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates WORM-layer boot failures.
+    pub fn new(
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        regulator: &RsaPublicKey,
+    ) -> Result<Self, FsError> {
+        let tolerance = config.freshness_tolerance;
+        let server = WormServer::new(config, clock.clone(), regulator)?;
+        let verifier = Verifier::new(server.keys(), tolerance, clock).map_err(FsError::from)?;
+        Ok(WormFs {
+            server,
+            verifier,
+            namespace: BTreeMap::new(),
+            index_journal: Journal::new(),
+        })
+    }
+
+    /// The underlying WORM server (proof access, maintenance, meters).
+    pub fn server(&self) -> &WormServer {
+        &self.server
+    }
+
+    /// Mutable access to the underlying server (adversarial tests).
+    pub fn server_mut(&mut self) -> &mut WormServer {
+        &mut self.server
+    }
+
+    /// Writes a new version of `path` (creating the file on first write).
+    /// Returns the version index.
+    ///
+    /// # Errors
+    ///
+    /// Path validation or WORM-layer failures.
+    pub fn create(
+        &mut self,
+        path: &str,
+        content: &[u8],
+        policy: RetentionPolicy,
+    ) -> Result<usize, FsError> {
+        let path = FsPath::new(path)?;
+        if path.is_root() {
+            return Err(FsError::InvalidPath {
+                path: "/".into(),
+                reason: "cannot write to the root directory",
+            });
+        }
+        let sn = self.server.write(&[content], policy)?;
+        // Pull the trusted timestamps back out of the committed VRD.
+        let (created_at, retention_until) = match self.server.read(sn)? {
+            ReadOutcome::Data { vrd, .. } => (vrd.attr.created_at, vrd.attr.retention_until),
+            _ => unreachable!("record written this instant must be live"),
+        };
+        let version = FileVersion {
+            sn,
+            len: content.len() as u64,
+            created_at,
+            retention_until,
+        };
+        self.journal_entry(&path, &version);
+        let versions = self.namespace.entry(path).or_default();
+        versions.push(version);
+        Ok(versions.len() - 1)
+    }
+
+    /// Reads and verifies the *latest live* version of `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown paths; [`FsError::Expired`] when
+    /// every version's retention has elapsed; verification failures if
+    /// the stored bytes no longer match the SCPU witnesses.
+    pub fn read(&mut self, path: &str) -> Result<VerifiedFile, FsError> {
+        let path = FsPath::new(path)?;
+        let n = self.versions_of(&path)?.len();
+        // Walk versions newest-first until one is live.
+        for v in (0..n).rev() {
+            match self.read_version_inner(&path, v) {
+                Err(FsError::Expired { .. }) => continue,
+                other => return other,
+            }
+        }
+        Err(FsError::Expired {
+            path: path.to_string(),
+            version: n - 1,
+        })
+    }
+
+    /// Reads and verifies one specific version.
+    ///
+    /// # Errors
+    ///
+    /// See [`WormFs::read`], plus [`FsError::NoSuchVersion`].
+    pub fn read_version(&mut self, path: &str, version: usize) -> Result<VerifiedFile, FsError> {
+        let path = FsPath::new(path)?;
+        self.read_version_inner(&path, version)
+    }
+
+    fn read_version_inner(&mut self, path: &FsPath, version: usize) -> Result<VerifiedFile, FsError> {
+        let fv = *match self.versions_of(path)?.get(version) {
+            Some(v) => v,
+            None => {
+                return Err(FsError::NoSuchVersion {
+                    path: path.to_string(),
+                    version,
+                })
+            }
+        };
+        let outcome = self.server.read(fv.sn)?;
+        match self.verifier.verify_read(fv.sn, &outcome)? {
+            ReadVerdict::Intact { .. } => match outcome {
+                ReadOutcome::Data { records, .. } => Ok(VerifiedFile {
+                    path: path.clone(),
+                    version,
+                    sn: fv.sn,
+                    content: records.into_iter().next().unwrap_or_else(Bytes::new),
+                }),
+                _ => unreachable!("intact verdict implies data outcome"),
+            },
+            ReadVerdict::ConfirmedDeleted { .. } => Err(FsError::Expired {
+                path: path.to_string(),
+                version,
+            }),
+            ReadVerdict::ConfirmedNeverExisted => Err(FsError::NotFound(path.to_string())),
+        }
+    }
+
+    fn versions_of(&self, path: &FsPath) -> Result<&Vec<FileVersion>, FsError> {
+        self.namespace
+            .get(path)
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| FsError::NotFound(path.to_string()))
+    }
+
+    /// All versions (metadata only) of `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] for unknown paths.
+    pub fn versions(&self, path: &str) -> Result<Vec<FileVersion>, FsError> {
+        let path = FsPath::new(path)?;
+        Ok(self.versions_of(&path)?.clone())
+    }
+
+    /// Lifecycle status of one version (checked against the WORM layer,
+    /// not just the local index).
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::NotFound`] / [`FsError::NoSuchVersion`].
+    pub fn status(&mut self, path: &str, version: usize) -> Result<FileStatus, FsError> {
+        let p = FsPath::new(path)?;
+        let fv = *self
+            .versions_of(&p)?
+            .get(version)
+            .ok_or_else(|| FsError::NoSuchVersion {
+                path: path.to_owned(),
+                version,
+            })?;
+        let outcome = self.server.read(fv.sn)?;
+        Ok(match outcome {
+            ReadOutcome::Data { .. } => FileStatus::Live,
+            _ => FileStatus::Expired,
+        })
+    }
+
+    /// Whether any version exists at `path`.
+    pub fn exists(&self, path: &str) -> bool {
+        FsPath::new(path)
+            .map(|p| self.namespace.contains_key(&p))
+            .unwrap_or(false)
+    }
+
+    /// Lists the direct children of a directory: files stored exactly one
+    /// level below, and implicit subdirectories.
+    ///
+    /// # Errors
+    ///
+    /// Path validation failures.
+    pub fn list(&self, dir: &str) -> Result<Vec<DirEntry>, FsError> {
+        let dir = FsPath::new(dir)?;
+        let mut out: Vec<DirEntry> = Vec::new();
+        for path in self.namespace.keys() {
+            if dir.is_parent_of(path) {
+                if let Some(name) = path.file_name() {
+                    out.push(DirEntry::File(name.to_owned()));
+                }
+            } else if dir.is_ancestor_of(path) {
+                // Find the next component below `dir`.
+                let rest = if dir.is_root() {
+                    &path.as_str()[1..]
+                } else {
+                    &path.as_str()[dir.as_str().len() + 1..]
+                };
+                if let Some(first) = rest.split('/').next() {
+                    if rest.contains('/') {
+                        let entry = DirEntry::Dir(first.to_owned());
+                        if !out.contains(&entry) {
+                            out.push(entry);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        Ok(out)
+    }
+
+    /// Walks the whole namespace re-verifying every version against the
+    /// SCPU witnesses.
+    ///
+    /// # Errors
+    ///
+    /// WORM-layer read failures (verification failures are *reported*,
+    /// not returned as errors).
+    pub fn audit(&mut self) -> Result<AuditReport, FsError> {
+        let mut report = AuditReport::default();
+        let paths: Vec<(FsPath, usize)> = self
+            .namespace
+            .iter()
+            .flat_map(|(p, vs)| (0..vs.len()).map(move |v| (p.clone(), v)))
+            .collect();
+        for (path, v) in paths {
+            match self.read_version_inner(&path, v) {
+                Ok(_) => report.live += 1,
+                Err(FsError::Expired { .. }) => report.expired += 1,
+                Err(FsError::Verification(_)) => report.failures.push((path.to_string(), v)),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(report)
+    }
+
+    /// Places a court-ordered litigation hold on one version of a file.
+    /// The credential must name that version's backing serial number
+    /// (see [`WormFs::versions`]).
+    ///
+    /// # Errors
+    ///
+    /// WORM-layer rejections (bad credential, record not active).
+    pub fn hold(&mut self, credential: strongworm::HoldCredential) -> Result<(), FsError> {
+        self.server.lit_hold(credential)?;
+        Ok(())
+    }
+
+    /// Releases a litigation hold.
+    ///
+    /// # Errors
+    ///
+    /// WORM-layer rejections (wrong litigation id, record not active).
+    pub fn release(&mut self, credential: strongworm::ReleaseCredential) -> Result<(), FsError> {
+        self.server.lit_release(credential)?;
+        Ok(())
+    }
+
+    /// Drives WORM-layer maintenance (Retention Monitor, heartbeats).
+    ///
+    /// # Errors
+    ///
+    /// WORM-layer failures.
+    pub fn tick(&mut self) -> Result<(), FsError> {
+        self.server.tick()?;
+        Ok(())
+    }
+
+    /// Grants the SCPU idle time (witness strengthening, audits).
+    ///
+    /// # Errors
+    ///
+    /// WORM-layer failures.
+    pub fn idle(&mut self, budget_ns: u64) -> Result<(), FsError> {
+        self.server.idle(budget_ns)?;
+        Ok(())
+    }
+
+    // --- Namespace index persistence ------------------------------------
+
+    fn journal_entry(&mut self, path: &FsPath, v: &FileVersion) {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&v.sn.get().to_be_bytes());
+        frame.extend_from_slice(&v.len.to_be_bytes());
+        frame.extend_from_slice(&v.created_at.as_millis().to_be_bytes());
+        frame.extend_from_slice(&v.retention_until.as_millis().to_be_bytes());
+        frame.extend_from_slice(path.as_str().as_bytes());
+        self.index_journal.append(&frame);
+    }
+
+    /// Raw bytes of the namespace journal (what a host would persist).
+    pub fn namespace_journal(&self) -> &Journal {
+        &self.index_journal
+    }
+
+    /// Rebuilds a namespace mapping from journal bytes (crash recovery of
+    /// the index; record integrity is still enforced by the WORM layer on
+    /// every read).
+    pub fn recover_namespace(journal: &Journal) -> BTreeMap<FsPath, Vec<FileVersion>> {
+        let mut ns: BTreeMap<FsPath, Vec<FileVersion>> = BTreeMap::new();
+        for frame in journal.replay() {
+            if frame.len() < 32 {
+                continue;
+            }
+            let sn = u64::from_be_bytes(frame[0..8].try_into().expect("8 bytes"));
+            let len = u64::from_be_bytes(frame[8..16].try_into().expect("8 bytes"));
+            let created = u64::from_be_bytes(frame[16..24].try_into().expect("8 bytes"));
+            let until = u64::from_be_bytes(frame[24..32].try_into().expect("8 bytes"));
+            let Ok(path_str) = std::str::from_utf8(&frame[32..]) else {
+                continue;
+            };
+            let Ok(path) = FsPath::new(path_str) else {
+                continue;
+            };
+            ns.entry(path).or_default().push(FileVersion {
+                sn: SerialNumber(sn),
+                len,
+                created_at: Timestamp::from_millis(created),
+                retention_until: Timestamp::from_millis(until),
+            });
+        }
+        ns
+    }
+
+    /// Replaces the in-memory namespace (used after
+    /// [`WormFs::recover_namespace`]).
+    pub fn install_namespace(&mut self, ns: BTreeMap<FsPath, Vec<FileVersion>>) {
+        self.namespace = ns;
+    }
+
+    /// A default client-side freshness tolerance, exported for
+    /// convenience when constructing extra verifiers.
+    pub fn default_tolerance() -> Duration {
+        Duration::from_secs(300)
+    }
+}

@@ -1,0 +1,48 @@
+//! # wormfs — file-system primitives over Strong WORM
+//!
+//! The paper closes (§6): "In future research it is important to explore
+//! traditional file system primitives layered on top of block-level
+//! WORM." This crate is that layer for the reproduction: a versioned,
+//! path-addressed namespace where every file version is one
+//! SCPU-witnessed virtual record.
+//!
+//! * **WORM semantics by construction** — writing to an existing path
+//!   appends a new immutable version; content is never modified.
+//! * **Verified reads** — every byte returned has passed the client
+//!   verifier against the SCPU's `metasig`/`datasig`.
+//! * **Retention-aware** — versions expire per their policies; reading an
+//!   expired version yields [`FsError::Expired`], with the SCPU-signed
+//!   deletion evidence available through the record layer.
+//! * **Untrusted index** — the namespace is host state (naming is out of
+//!   the trusted base, paper §4.1); it is journaled for crash recovery
+//!   and fully re-auditable via [`WormFs::audit`].
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use scpu::VirtualClock;
+//! use strongworm::{RegulatoryAuthority, RetentionPolicy, WormConfig};
+//! use wormfs::WormFs;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let clock = VirtualClock::new();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let regulator = RegulatoryAuthority::generate(&mut rng, 512);
+//! let mut fs = WormFs::new(WormConfig::test_small(), clock, regulator.public())?;
+//!
+//! fs.create("/ledger/2008/q1.csv", b"acct,amount\n17,99.50\n", RetentionPolicy::sec17a4())?;
+//! let file = fs.read("/ledger/2008/q1.csv")?;
+//! assert!(file.content.starts_with(b"acct"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod fs;
+mod path;
+
+pub use error::FsError;
+pub use fs::{AuditReport, DirEntry, FileStatus, FileVersion, VerifiedFile, WormFs};
+pub use path::FsPath;

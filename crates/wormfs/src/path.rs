@@ -1,0 +1,195 @@
+//! Normalized absolute paths for the WORM namespace.
+
+use crate::error::FsError;
+
+/// A validated, normalized absolute path (`/a/b/c`).
+///
+/// Rules: must start with `/`; components are non-empty, contain no `/`
+/// or NUL, and are never `.` or `..` (the namespace is flat-addressed —
+/// no relative traversal over compliance records). The root is `/`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FsPath {
+    /// Normalized representation, always starting with `/`, never ending
+    /// with `/` except for the root itself.
+    inner: String,
+}
+
+impl FsPath {
+    /// The root directory.
+    pub fn root() -> Self {
+        FsPath { inner: "/".into() }
+    }
+
+    /// Parses and normalizes a path.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::InvalidPath`] for relative paths, empty components,
+    /// `.`/`..`, or embedded NUL bytes.
+    pub fn new(raw: &str) -> Result<Self, FsError> {
+        if !raw.starts_with('/') {
+            return Err(FsError::InvalidPath {
+                path: raw.to_owned(),
+                reason: "must be absolute",
+            });
+        }
+        if raw.contains('\0') {
+            return Err(FsError::InvalidPath {
+                path: raw.to_owned(),
+                reason: "contains NUL",
+            });
+        }
+        let mut parts = Vec::new();
+        for comp in raw.split('/') {
+            match comp {
+                "" => continue, // leading slash / doubled slashes
+                "." | ".." => {
+                    return Err(FsError::InvalidPath {
+                        path: raw.to_owned(),
+                        reason: "dot components are not allowed",
+                    })
+                }
+                c => parts.push(c),
+            }
+        }
+        if parts.is_empty() {
+            return Ok(Self::root());
+        }
+        Ok(FsPath {
+            inner: format!("/{}", parts.join("/")),
+        })
+    }
+
+    /// The path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.inner
+    }
+
+    /// Whether this is the root.
+    pub fn is_root(&self) -> bool {
+        self.inner == "/"
+    }
+
+    /// Parent directory (`None` for the root).
+    pub fn parent(&self) -> Option<FsPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.inner.rfind('/') {
+            Some(0) => Some(Self::root()),
+            Some(i) => Some(FsPath {
+                inner: self.inner[..i].to_owned(),
+            }),
+            None => None,
+        }
+    }
+
+    /// Final component (`None` for the root).
+    pub fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            return None;
+        }
+        self.inner.rsplit('/').next()
+    }
+
+    /// Joins a single child component.
+    ///
+    /// # Errors
+    ///
+    /// [`FsError::InvalidPath`] if `child` is empty or contains `/`,
+    /// NUL, or dot components.
+    pub fn join(&self, child: &str) -> Result<FsPath, FsError> {
+        if child.is_empty() || child.contains('/') || child.contains('\0') || child == "." || child == ".." {
+            return Err(FsError::InvalidPath {
+                path: child.to_owned(),
+                reason: "invalid child component",
+            });
+        }
+        let joined = if self.is_root() {
+            format!("/{child}")
+        } else {
+            format!("{}/{child}", self.inner)
+        };
+        Ok(FsPath { inner: joined })
+    }
+
+    /// Whether `self` is a strict prefix directory of `other`.
+    pub fn is_ancestor_of(&self, other: &FsPath) -> bool {
+        if self.is_root() {
+            return !other.is_root();
+        }
+        other.inner.starts_with(&self.inner)
+            && other.inner.len() > self.inner.len()
+            && other.inner.as_bytes()[self.inner.len()] == b'/'
+    }
+
+    /// Whether `other` is a *direct* child of `self`.
+    pub fn is_parent_of(&self, other: &FsPath) -> bool {
+        other.parent().as_ref() == Some(self)
+    }
+}
+
+impl std::fmt::Display for FsPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.inner)
+    }
+}
+
+impl std::str::FromStr for FsPath {
+    type Err = FsError;
+    fn from_str(s: &str) -> Result<Self, FsError> {
+        Self::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization() {
+        assert_eq!(FsPath::new("/a/b").unwrap().as_str(), "/a/b");
+        assert_eq!(FsPath::new("//a///b/").unwrap().as_str(), "/a/b");
+        assert_eq!(FsPath::new("/").unwrap(), FsPath::root());
+        assert_eq!(FsPath::new("///").unwrap(), FsPath::root());
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        assert!(FsPath::new("relative").is_err());
+        assert!(FsPath::new("/a/./b").is_err());
+        assert!(FsPath::new("/a/../b").is_err());
+        assert!(FsPath::new("/a\0b").is_err());
+        assert!(FsPath::new("").is_err());
+    }
+
+    #[test]
+    fn parent_and_name() {
+        let p = FsPath::new("/archive/2008/email.eml").unwrap();
+        assert_eq!(p.file_name(), Some("email.eml"));
+        assert_eq!(p.parent().unwrap().as_str(), "/archive/2008");
+        assert_eq!(
+            p.parent().unwrap().parent().unwrap().as_str(),
+            "/archive"
+        );
+        assert_eq!(FsPath::new("/top").unwrap().parent(), Some(FsPath::root()));
+        assert_eq!(FsPath::root().parent(), None);
+        assert_eq!(FsPath::root().file_name(), None);
+    }
+
+    #[test]
+    fn join_and_ancestry() {
+        let dir = FsPath::new("/a/b").unwrap();
+        let child = dir.join("c").unwrap();
+        assert_eq!(child.as_str(), "/a/b/c");
+        assert!(dir.is_ancestor_of(&child));
+        assert!(dir.is_parent_of(&child));
+        assert!(FsPath::root().is_ancestor_of(&dir));
+        assert!(!FsPath::root().is_parent_of(&child));
+        assert!(!dir.is_ancestor_of(&FsPath::new("/a/bc").unwrap()));
+        assert!(dir.join("x/y").is_err());
+        assert!(dir.join("..").is_err());
+        assert!(dir.join("").is_err());
+        assert!(FsPath::root().join("top").unwrap().as_str() == "/top");
+    }
+}

@@ -1,0 +1,240 @@
+//! Integration tests of the WORM filesystem layer.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::VirtualClock;
+use strongworm::{RegulatoryAuthority, RetentionPolicy, WormConfig};
+use wormfs::{DirEntry, FileStatus, FsError, WormFs};
+use wormstore::Shredder;
+
+fn regulator() -> &'static RegulatoryAuthority {
+    static REG: OnceLock<RegulatoryAuthority> = OnceLock::new();
+    REG.get_or_init(|| RegulatoryAuthority::generate(&mut StdRng::seed_from_u64(0xF5), 512))
+}
+
+fn fs() -> (WormFs, Arc<VirtualClock>) {
+    let clock = VirtualClock::starting_at_millis(1_000_000);
+    let fs = WormFs::new(WormConfig::test_small(), clock.clone(), regulator().public())
+        .expect("fs boots");
+    (fs, clock)
+}
+
+fn policy(secs: u64) -> RetentionPolicy {
+    RetentionPolicy::custom(Duration::from_secs(secs), Shredder::ZeroFill)
+}
+
+#[test]
+fn create_read_roundtrip() {
+    let (mut fs, _clock) = fs();
+    let v = fs.create("/docs/memo.txt", b"hello compliance", policy(1000)).unwrap();
+    assert_eq!(v, 0);
+    let f = fs.read("/docs/memo.txt").unwrap();
+    assert_eq!(&f.content[..], b"hello compliance");
+    assert_eq!(f.version, 0);
+    assert!(fs.exists("/docs/memo.txt"));
+    assert!(!fs.exists("/docs/other.txt"));
+}
+
+#[test]
+fn writes_to_same_path_create_versions() {
+    let (mut fs, _clock) = fs();
+    assert_eq!(fs.create("/report", b"draft", policy(1000)).unwrap(), 0);
+    assert_eq!(fs.create("/report", b"final", policy(1000)).unwrap(), 1);
+
+    // Latest wins for plain reads...
+    assert_eq!(&fs.read("/report").unwrap().content[..], b"final");
+    // ...but history is immutable and fully addressable.
+    assert_eq!(&fs.read_version("/report", 0).unwrap().content[..], b"draft");
+    let versions = fs.versions("/report").unwrap();
+    assert_eq!(versions.len(), 2);
+    assert_ne!(versions[0].sn, versions[1].sn);
+}
+
+#[test]
+fn missing_files_and_versions() {
+    let (mut fs, _clock) = fs();
+    assert!(matches!(fs.read("/nope"), Err(FsError::NotFound(_))));
+    fs.create("/a", b"x", policy(10)).unwrap();
+    assert!(matches!(
+        fs.read_version("/a", 5),
+        Err(FsError::NoSuchVersion { version: 5, .. })
+    ));
+    assert!(matches!(fs.versions("/nope"), Err(FsError::NotFound(_))));
+}
+
+#[test]
+fn invalid_paths_rejected() {
+    let (mut fs, _clock) = fs();
+    assert!(matches!(
+        fs.create("relative", b"x", policy(10)),
+        Err(FsError::InvalidPath { .. })
+    ));
+    assert!(matches!(
+        fs.create("/a/../b", b"x", policy(10)),
+        Err(FsError::InvalidPath { .. })
+    ));
+    assert!(matches!(
+        fs.create("/", b"x", policy(10)),
+        Err(FsError::InvalidPath { .. })
+    ));
+}
+
+#[test]
+fn retention_expiry_surfaces_as_expired() {
+    let (mut fs, clock) = fs();
+    fs.create("/keep", b"long", policy(1_000_000)).unwrap();
+    fs.create("/fade", b"short", policy(50)).unwrap();
+
+    clock.advance(Duration::from_secs(60));
+    fs.tick().unwrap();
+
+    assert!(matches!(
+        fs.read("/fade"),
+        Err(FsError::Expired { version: 0, .. })
+    ));
+    assert_eq!(fs.status("/fade", 0).unwrap(), FileStatus::Expired);
+    assert_eq!(fs.status("/keep", 0).unwrap(), FileStatus::Live);
+    assert_eq!(&fs.read("/keep").unwrap().content[..], b"long");
+}
+
+#[test]
+fn read_falls_back_to_latest_live_version() {
+    let (mut fs, clock) = fs();
+    fs.create("/doc", b"v0-longlived", policy(1_000_000)).unwrap();
+    fs.create("/doc", b"v1-shortlived", policy(50)).unwrap();
+    assert_eq!(&fs.read("/doc").unwrap().content[..], b"v1-shortlived");
+
+    clock.advance(Duration::from_secs(60));
+    fs.tick().unwrap();
+    // v1 expired; the read falls back to the still-live v0.
+    let f = fs.read("/doc").unwrap();
+    assert_eq!(f.version, 0);
+    assert_eq!(&f.content[..], b"v0-longlived");
+}
+
+#[test]
+fn directory_listing() {
+    let (mut fs, _clock) = fs();
+    fs.create("/a/x.txt", b"1", policy(100)).unwrap();
+    fs.create("/a/y.txt", b"2", policy(100)).unwrap();
+    fs.create("/a/sub/z.txt", b"3", policy(100)).unwrap();
+    fs.create("/b/top.txt", b"4", policy(100)).unwrap();
+
+    let root = fs.list("/").unwrap();
+    assert_eq!(
+        root,
+        vec![DirEntry::Dir("a".into()), DirEntry::Dir("b".into())]
+    );
+    let a = fs.list("/a").unwrap();
+    assert_eq!(
+        a,
+        vec![
+            DirEntry::Dir("sub".into()),
+            DirEntry::File("x.txt".into()),
+            DirEntry::File("y.txt".into()),
+        ]
+    );
+    assert_eq!(fs.list("/a/sub").unwrap(), vec![DirEntry::File("z.txt".into())]);
+    assert_eq!(fs.list("/empty").unwrap(), vec![]);
+}
+
+#[test]
+fn tampering_with_stored_bytes_fails_verification() {
+    let (mut fs, _clock) = fs();
+    fs.create("/evidence", b"the original statement", policy(100_000)).unwrap();
+    let sn = fs.versions("/evidence").unwrap()[0].sn;
+
+    // Mallory edits the medium underneath the filesystem.
+    assert!(fs.server_mut().mallory().corrupt_record_data(sn));
+
+    match fs.read("/evidence") {
+        Err(FsError::Verification(_)) => {}
+        other => panic!("expected verification failure, got {other:?}"),
+    }
+    // The audit pinpoints it.
+    let report = fs.audit().unwrap();
+    assert_eq!(report.failures, vec![("/evidence".to_string(), 0)]);
+}
+
+#[test]
+fn audit_counts_lifecycle_states() {
+    let (mut fs, clock) = fs();
+    fs.create("/l1", b"live", policy(1_000_000)).unwrap();
+    fs.create("/l2", b"live", policy(1_000_000)).unwrap();
+    fs.create("/e1", b"dies", policy(50)).unwrap();
+    clock.advance(Duration::from_secs(60));
+    fs.tick().unwrap();
+
+    let report = fs.audit().unwrap();
+    assert_eq!(report.live, 2);
+    assert_eq!(report.expired, 1);
+    assert!(report.failures.is_empty());
+}
+
+#[test]
+fn namespace_journal_recovers_mapping() {
+    let (mut fs, _clock) = fs();
+    fs.create("/a/one", b"1", policy(1000)).unwrap();
+    fs.create("/a/one", b"1b", policy(1000)).unwrap();
+    fs.create("/b/two", b"2", policy(1000)).unwrap();
+
+    // "Crash": rebuild the index from its journal and reinstall.
+    let journal = wormstore::Journal::from_bytes(fs.namespace_journal().as_bytes().to_vec());
+    let recovered = WormFs::recover_namespace(&journal);
+    assert_eq!(recovered.len(), 2);
+    fs.install_namespace(recovered);
+
+    // Everything still reads and verifies.
+    assert_eq!(&fs.read_version("/a/one", 0).unwrap().content[..], b"1");
+    assert_eq!(&fs.read("/a/one").unwrap().content[..], b"1b");
+    assert_eq!(&fs.read("/b/two").unwrap().content[..], b"2");
+}
+
+#[test]
+fn torn_namespace_journal_loses_only_tail() {
+    let (mut fs, _clock) = fs();
+    fs.create("/committed", b"1", policy(1000)).unwrap();
+    fs.create("/torn", b"2", policy(1000)).unwrap();
+    let mut journal = wormstore::Journal::from_bytes(fs.namespace_journal().as_bytes().to_vec());
+    journal.truncate_tail(4);
+    let recovered = WormFs::recover_namespace(&journal);
+    assert_eq!(recovered.len(), 1);
+    assert!(recovered.keys().next().unwrap().as_str() == "/committed");
+}
+
+#[test]
+fn empty_file_roundtrip() {
+    let (mut fs, _clock) = fs();
+    fs.create("/empty", b"", policy(100)).unwrap();
+    let f = fs.read("/empty").unwrap();
+    assert!(f.content.is_empty());
+    assert_eq!(fs.versions("/empty").unwrap()[0].len, 0);
+}
+
+#[test]
+fn litigation_hold_protects_a_file_version() {
+    use scpu::Clock;
+    let (mut fs, clock) = fs();
+    fs.create("/keepalive", b"anchor", policy(1_000_000)).unwrap();
+    fs.create("/contract", b"disputed terms", policy(100)).unwrap();
+    let sn = fs.versions("/contract").unwrap()[0].sn;
+
+    let hold_until = clock.now().after(Duration::from_secs(10_000));
+    fs.hold(regulator().issue_hold(sn, clock.now(), 501, hold_until))
+        .unwrap();
+
+    // Retention elapses under hold: the file survives.
+    clock.advance(Duration::from_secs(200));
+    fs.tick().unwrap();
+    assert_eq!(&fs.read("/contract").unwrap().content[..], b"disputed terms");
+
+    // Release; the overdue version is deleted at the next wake-up.
+    fs.release(regulator().issue_release(sn, clock.now(), 501))
+        .unwrap();
+    clock.advance(Duration::from_secs(1));
+    fs.tick().unwrap();
+    assert!(matches!(fs.read("/contract"), Err(FsError::Expired { .. })));
+}

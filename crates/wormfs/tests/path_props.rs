@@ -1,0 +1,64 @@
+//! Property tests for the path type: parsing never panics, normalization
+//! is idempotent, and parent/join/ancestry laws hold.
+
+use proptest::prelude::*;
+use wormfs::FsPath;
+
+/// Arbitrary valid component (no '/', no NUL, not "."/"..", non-empty).
+fn component() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_.-]{1,12}".prop_filter("no dot components", |s| s != "." && s != "..")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn parsing_never_panics(raw in "\\PC{0,40}") {
+        let _ = FsPath::new(&raw);
+    }
+
+    #[test]
+    fn normalization_is_idempotent(comps in proptest::collection::vec(component(), 1..6)) {
+        let raw = format!("/{}", comps.join("/"));
+        let p1 = FsPath::new(&raw).unwrap();
+        let p2 = FsPath::new(p1.as_str()).unwrap();
+        prop_assert_eq!(&p1, &p2);
+        // Doubled slashes normalize to the same path.
+        let doubled = format!("//{}", comps.join("//"));
+        prop_assert_eq!(FsPath::new(&doubled).unwrap(), p1);
+    }
+
+    #[test]
+    fn join_then_parent_is_identity(comps in proptest::collection::vec(component(), 1..5), child in component()) {
+        let base = FsPath::new(&format!("/{}", comps.join("/"))).unwrap();
+        let joined = base.join(&child).unwrap();
+        prop_assert_eq!(joined.parent().unwrap(), base.clone());
+        prop_assert_eq!(joined.file_name().unwrap(), child.as_str());
+        prop_assert!(base.is_parent_of(&joined));
+        prop_assert!(base.is_ancestor_of(&joined));
+    }
+
+    #[test]
+    fn root_is_ancestor_of_everything(comps in proptest::collection::vec(component(), 1..5)) {
+        let p = FsPath::new(&format!("/{}", comps.join("/"))).unwrap();
+        prop_assert!(FsPath::root().is_ancestor_of(&p));
+        prop_assert!(!p.is_ancestor_of(&FsPath::root()));
+        prop_assert!(!p.is_ancestor_of(&p));
+    }
+
+    #[test]
+    fn ancestry_respects_component_boundaries(a in component(), b in component()) {
+        prop_assume!(!b.starts_with(&a));
+        let short = FsPath::new(&format!("/{a}")).unwrap();
+        let similar = FsPath::new(&format!("/{a}{b}")).unwrap();
+        // "/abc" is never an ancestor of "/abcdef".
+        prop_assert!(!short.is_ancestor_of(&similar));
+    }
+
+    #[test]
+    fn display_round_trips(comps in proptest::collection::vec(component(), 0..5)) {
+        let raw = if comps.is_empty() { "/".to_string() } else { format!("/{}", comps.join("/")) };
+        let p = FsPath::new(&raw).unwrap();
+        prop_assert_eq!(FsPath::new(&p.to_string()).unwrap(), p);
+    }
+}

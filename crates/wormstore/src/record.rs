@@ -1,0 +1,75 @@
+//! Data records and their descriptors.
+//!
+//! "Data records are application specific and can be files, inodes,
+//! database tuples. Records are identified by descriptors (RDs)" (§4.2).
+//! At this substrate level a record is an extent of bytes on a device and
+//! an RD pins down where it lives.
+
+/// Opaque identifier of a physical data record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct RecordId(pub u64);
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rd:{}", self.0)
+    }
+}
+
+/// Physical record descriptor: where a data record lives on the medium.
+///
+/// The WORM layer stores lists of these inside VRDs (the `RDL` field of
+/// Table 1); the store resolves them back to bytes on read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RecordDescriptor {
+    /// Record identity.
+    pub id: RecordId,
+    /// Byte offset of the record's extent on the device.
+    pub offset: u64,
+    /// Extent length in bytes.
+    pub len: u64,
+}
+
+impl RecordDescriptor {
+    /// One-past-the-end byte offset.
+    pub fn end(&self) -> u64 {
+        self.offset + self.len
+    }
+
+    /// Whether two descriptors' extents overlap (zero-length extents
+    /// overlap nothing).
+    pub fn overlaps(&self, other: &RecordDescriptor) -> bool {
+        self.len > 0
+            && other.len > 0
+            && self.offset < other.end()
+            && other.offset < self.end()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rd(offset: u64, len: u64) -> RecordDescriptor {
+        RecordDescriptor {
+            id: RecordId(0),
+            offset,
+            len,
+        }
+    }
+
+    #[test]
+    fn end_and_overlap() {
+        assert_eq!(rd(10, 5).end(), 15);
+        assert!(rd(10, 5).overlaps(&rd(14, 2)));
+        assert!(rd(14, 2).overlaps(&rd(10, 5)));
+        assert!(!rd(10, 5).overlaps(&rd(15, 2)));
+        assert!(!rd(0, 10).overlaps(&rd(10, 10)));
+        // Zero-length extent overlaps nothing.
+        assert!(!rd(5, 0).overlaps(&rd(0, 100)));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RecordId(42).to_string(), "rd:42");
+    }
+}

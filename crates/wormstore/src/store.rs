@@ -1,0 +1,308 @@
+//! Record store: extent allocation over a block device.
+//!
+//! A simple bump allocator with a free list. WORM records are immutable
+//! and deletion happens only at retention expiry, so allocation pressure
+//! is append-dominated; shredded extents are recycled first-fit to model
+//! long-lived stores.
+
+use bytes::Bytes;
+use rand::RngCore;
+
+use crate::block::{BlockDevice, BlockError};
+use crate::record::{RecordDescriptor, RecordId};
+use crate::shred::Shredder;
+
+/// Errors from the record store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// No extent large enough for the requested record.
+    OutOfSpace {
+        /// Bytes requested.
+        requested: u64,
+        /// Largest contiguous free extent.
+        largest_free: u64,
+    },
+    /// Underlying device failure.
+    Device(BlockError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::OutOfSpace {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "out of space: requested {requested} bytes, largest free extent {largest_free}"
+            ),
+            StoreError::Device(e) => write!(f, "device failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BlockError> for StoreError {
+    fn from(e: BlockError) -> Self {
+        StoreError::Device(e)
+    }
+}
+
+/// Extent-allocating record store over a [`BlockDevice`].
+#[derive(Debug)]
+pub struct RecordStore<D: BlockDevice> {
+    dev: D,
+    next_id: u64,
+    /// Bump pointer: everything below is allocated or on the free list.
+    watermark: u64,
+    /// Recycled extents `(offset, len)`, kept sorted by offset.
+    free_list: Vec<(u64, u64)>,
+}
+
+impl<D: BlockDevice> RecordStore<D> {
+    /// Wraps a device in a fresh store.
+    pub fn new(dev: D) -> Self {
+        RecordStore {
+            dev,
+            next_id: 1,
+            watermark: 0,
+            free_list: Vec::new(),
+        }
+    }
+
+    /// The underlying device (e.g., for I/O statistics).
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Mutable device access — this is Mallory's physical-attack surface
+    /// and the benches' stats hook; normal callers use `write`/`read`.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
+    /// Bytes currently un-allocatable past the bump pointer.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Stores `data` as a new record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfSpace`] when no extent fits; device errors
+    /// otherwise.
+    pub fn write(&mut self, data: &[u8]) -> Result<RecordDescriptor, StoreError> {
+        let len = data.len() as u64;
+        let offset = self.allocate(len)?;
+        self.dev.write_at(offset, data)?;
+        let id = RecordId(self.next_id);
+        self.next_id += 1;
+        Ok(RecordDescriptor { id, offset, len })
+    }
+
+    /// Reads a record's bytes back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (e.g., a stale descriptor past capacity).
+    pub fn read(&mut self, rd: &RecordDescriptor) -> Result<Bytes, StoreError> {
+        let mut buf = vec![0u8; rd.len as usize];
+        self.dev.read_at(rd.offset, &mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    /// Destroys a record with the given shredding discipline and recycles
+    /// its extent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the overwrite passes.
+    pub fn shred<R: RngCore + ?Sized>(
+        &mut self,
+        rd: &RecordDescriptor,
+        shredder: Shredder,
+        rng: &mut R,
+    ) -> Result<(), StoreError> {
+        shredder.shred(&mut self.dev, rd, rng)?;
+        self.release(rd.offset, rd.len);
+        Ok(())
+    }
+
+    fn allocate(&mut self, len: u64) -> Result<u64, StoreError> {
+        if len == 0 {
+            return Ok(self.watermark);
+        }
+        // First-fit over recycled extents.
+        if let Some(i) = self.free_list.iter().position(|&(_, flen)| flen >= len) {
+            let (off, flen) = self.free_list[i];
+            if flen == len {
+                self.free_list.remove(i);
+            } else {
+                self.free_list[i] = (off + len, flen - len);
+            }
+            return Ok(off);
+        }
+        // Bump allocation.
+        let end = self.watermark.checked_add(len);
+        match end {
+            Some(e) if e <= self.dev.capacity() => {
+                let off = self.watermark;
+                self.watermark = e;
+                Ok(off)
+            }
+            _ => Err(StoreError::OutOfSpace {
+                requested: len,
+                largest_free: self
+                    .free_list
+                    .iter()
+                    .map(|&(_, l)| l)
+                    .max()
+                    .unwrap_or(0)
+                    .max(self.dev.capacity().saturating_sub(self.watermark)),
+            }),
+        }
+    }
+
+    fn release(&mut self, offset: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        // Insert sorted and coalesce with neighbours.
+        let pos = self
+            .free_list
+            .partition_point(|&(off, _)| off < offset);
+        self.free_list.insert(pos, (offset, len));
+        // Coalesce right.
+        if pos + 1 < self.free_list.len() {
+            let (off, l) = self.free_list[pos];
+            let (noff, nl) = self.free_list[pos + 1];
+            if off + l == noff {
+                self.free_list[pos] = (off, l + nl);
+                self.free_list.remove(pos + 1);
+            }
+        }
+        // Coalesce left.
+        if pos > 0 {
+            let (poff, pl) = self.free_list[pos - 1];
+            let (off, l) = self.free_list[pos];
+            if poff + pl == off {
+                self.free_list[pos - 1] = (poff, pl + l);
+                self.free_list.remove(pos);
+            }
+        }
+    }
+
+    /// Number of entries on the free list (for fragmentation diagnostics).
+    pub fn free_extents(&self) -> usize {
+        self.free_list.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::MemDisk;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn store(cap: usize) -> RecordStore<MemDisk> {
+        RecordStore::new(MemDisk::unmetered(cap))
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut s = store(1024);
+        let rd1 = s.write(b"first record").unwrap();
+        let rd2 = s.write(b"second record").unwrap();
+        assert_ne!(rd1.id, rd2.id);
+        assert!(!rd1.overlaps(&rd2));
+        assert_eq!(&s.read(&rd1).unwrap()[..], b"first record");
+        assert_eq!(&s.read(&rd2).unwrap()[..], b"second record");
+    }
+
+    #[test]
+    fn out_of_space() {
+        let mut s = store(16);
+        s.write(b"0123456789").unwrap();
+        match s.write(b"0123456789") {
+            Err(StoreError::OutOfSpace {
+                requested: 10,
+                largest_free: 6,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shred_recycles_extent() {
+        let mut s = store(32);
+        let mut rng = StdRng::seed_from_u64(1);
+        let rd1 = s.write(b"0123456789abcdef").unwrap(); // 16 bytes
+        s.write(b"0123456789abcdef").unwrap(); // fills the disk
+        assert!(s.write(b"x").is_err());
+        s.shred(&rd1, Shredder::ZeroFill, &mut rng).unwrap();
+        // Recycled space is usable again.
+        let rd3 = s.write(b"new").unwrap();
+        assert_eq!(rd3.offset, rd1.offset);
+        assert_eq!(&s.read(&rd3).unwrap()[..], b"new");
+    }
+
+    #[test]
+    fn free_list_coalesces() {
+        let mut s = store(64);
+        let mut rng = StdRng::seed_from_u64(2);
+        let rds: Vec<_> = (0..4).map(|_| s.write(&[7u8; 16]).unwrap()).collect();
+        s.shred(&rds[0], Shredder::ZeroFill, &mut rng).unwrap();
+        s.shred(&rds[2], Shredder::ZeroFill, &mut rng).unwrap();
+        assert_eq!(s.free_extents(), 2);
+        s.shred(&rds[1], Shredder::ZeroFill, &mut rng).unwrap();
+        // 0..48 coalesced into one extent.
+        assert_eq!(s.free_extents(), 1);
+        // Big allocation now fits in the coalesced hole.
+        let rd = s.write(&[9u8; 48]).unwrap();
+        assert_eq!(rd.offset, 0);
+    }
+
+    #[test]
+    fn partial_reuse_splits_extent() {
+        let mut s = store(64);
+        let mut rng = StdRng::seed_from_u64(3);
+        let rd = s.write(&[1u8; 32]).unwrap();
+        s.write(&[2u8; 32]).unwrap();
+        s.shred(&rd, Shredder::ZeroFill, &mut rng).unwrap();
+        let small = s.write(&[3u8; 8]).unwrap();
+        assert_eq!(small.offset, 0);
+        assert_eq!(s.free_extents(), 1); // 24 bytes remain free
+        let rest = s.write(&[4u8; 24]).unwrap();
+        assert_eq!(rest.offset, 8);
+        assert_eq!(s.free_extents(), 0);
+    }
+
+    #[test]
+    fn zero_length_record() {
+        let mut s = store(8);
+        let rd = s.write(b"").unwrap();
+        assert_eq!(rd.len, 0);
+        assert_eq!(s.read(&rd).unwrap().len(), 0);
+        assert_eq!(s.watermark(), 0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StoreError::OutOfSpace {
+            requested: 100,
+            largest_free: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,103 @@
+//! HIPAA record keeping with a litigation hold.
+//!
+//! A hospital stores patient records under HIPAA's six-year retention. A
+//! malpractice suit places a court-ordered hold on one record (§4.2.2,
+//! *Litigation*); the hold outlives the retention period, the record
+//! survives until the court releases it, and only then is it shredded.
+//!
+//! Run with: `cargo run --example hospital_litigation`
+
+use std::error::Error;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::{Clock, VirtualClock};
+use strongworm::{
+    ReadOutcome, ReadVerdict, RegulatoryAuthority, RetentionPolicy, Verifier, WormConfig,
+    WormServer,
+};
+
+const YEAR: u64 = 365 * 24 * 3600;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let clock = VirtualClock::new();
+    let mut rng = StdRng::seed_from_u64(9);
+    let court = RegulatoryAuthority::generate(&mut rng, 512);
+    let mut hospital = WormServer::new(WormConfig::test_small(), clock.clone(), court.public())?;
+    let auditor = Verifier::new(hospital.keys(), Duration::from_secs(300), clock.clone())?;
+
+    // Admit records for several patients.
+    let charts: Vec<_> = (0..5)
+        .map(|i| {
+            hospital
+                .write(
+                    &[format!("patient-{i}: chart, imaging, prescriptions").as_bytes()],
+                    RetentionPolicy::hipaa(),
+                )
+                .expect("admit")
+        })
+        .collect();
+    println!("admitted {} patient records under HIPAA (6y retention)", charts.len());
+
+    // Year 5: a malpractice suit. The court orders a hold on patient 2's
+    // record lasting until year 9.
+    clock.advance(Duration::from_secs(5 * YEAR));
+    let disputed = charts[2];
+    let hold_until = clock.now().after(Duration::from_secs(4 * YEAR));
+    let credential = court.issue_hold(disputed, clock.now(), 2024_0042, hold_until);
+    hospital.lit_hold(credential)?;
+    println!("year 5: litigation hold placed on {disputed} until year 9");
+
+    // Year 7: HIPAA retention has elapsed. Unheld records are deleted;
+    // the disputed one survives.
+    clock.advance(Duration::from_secs(2 * YEAR));
+    hospital.tick()?;
+    for &sn in &charts {
+        let outcome = hospital.read(sn)?;
+        let verdict = auditor.verify_read(sn, &outcome)?;
+        if sn == disputed {
+            assert_eq!(verdict, ReadVerdict::Intact { sn });
+        } else {
+            assert!(matches!(verdict, ReadVerdict::ConfirmedDeleted { .. }));
+        }
+    }
+    println!("year 7: retention elapsed — all records deleted except the held one");
+
+    // The hold is visible (and SCPU-signed) in the record's attributes.
+    if let ReadOutcome::Data { vrd, .. } = hospital.read(disputed)? {
+        let hold = vrd.attr.litigation_hold.as_ref().expect("hold present");
+        println!(
+            "        held record carries litigation id {} in its signed attributes",
+            hold.litigation_id
+        );
+    }
+
+    // Year 8: the suit settles; the court releases the hold. The record
+    // is now past retention and the Retention Monitor deletes it promptly.
+    clock.advance(Duration::from_secs(YEAR));
+    let release = court.issue_release(disputed, clock.now(), 2024_0042);
+    hospital.lit_release(release)?;
+    clock.advance(Duration::from_secs(60));
+    hospital.tick()?;
+
+    let outcome = hospital.read(disputed)?;
+    assert!(matches!(
+        auditor.verify_read(disputed, &outcome)?,
+        ReadVerdict::ConfirmedDeleted { .. }
+    ));
+    println!("year 8: hold released — record verifiably deleted and shredded");
+
+    // An impostor's "court order" never works.
+    let impostor = RegulatoryAuthority::generate(&mut rng, 512);
+    let remaining = hospital.write(&[b"patient-5"], RetentionPolicy::hipaa())?;
+    let forged = impostor.issue_hold(
+        remaining,
+        clock.now(),
+        666,
+        clock.now().after(Duration::from_secs(YEAR)),
+    );
+    assert!(hospital.lit_hold(forged).is_err());
+    println!("forged hold credential rejected by the SCPU");
+    Ok(())
+}

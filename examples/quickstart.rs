@@ -1,0 +1,74 @@
+//! Quickstart: boot a Strong WORM store, commit a record, verify a read,
+//! and watch retention-driven deletion produce a verifiable proof.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::error::Error;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::VirtualClock;
+use strongworm::{
+    ReadVerdict, RegulatoryAuthority, RetentionPolicy, Verifier, WormConfig, WormServer,
+};
+use wormstore::Shredder;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A virtual trusted clock lets this example fast-forward retention
+    // periods that would be years in production.
+    let clock = VirtualClock::new();
+
+    // The regulatory authority's key pair is the external trust anchor
+    // for litigation credentials; its public half is burned into the SCPU.
+    let mut rng = StdRng::seed_from_u64(42);
+    let regulator = RegulatoryAuthority::generate(&mut rng, 512);
+
+    // Boot the server: this generates the SCPU's witnessing keys inside
+    // the (emulated) secure enclosure.
+    let mut server = WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())?;
+    println!("server booted; SCPU keys generated inside the enclosure");
+
+    // Clients only need the SCPU's public keys and a rough clock.
+    let client = Verifier::new(server.keys(), Duration::from_secs(300), clock.clone())?;
+
+    // Commit a record with a 90-day retention policy.
+    let policy = RetentionPolicy::custom(Duration::from_secs(90 * 24 * 3600), Shredder::ZeroFill);
+    let sn = server.write(&[b"Q2 financial statement, final"], policy)?;
+    println!("committed record {sn}");
+
+    // Read it back and verify end to end.
+    let outcome = server.read(sn)?;
+    match client.verify_read(sn, &outcome)? {
+        ReadVerdict::Intact { sn } => println!("verified: {sn} is intact and SCPU-witnessed"),
+        other => panic!("unexpected verdict: {other:?}"),
+    }
+
+    // Fast-forward past the retention period. The Retention Monitor
+    // inside the SCPU wakes, signs a deletion proof, and orders the host
+    // to shred the data.
+    clock.advance(Duration::from_secs(91 * 24 * 3600));
+    server.tick()?;
+
+    let outcome = server.read(sn)?;
+    match client.verify_read(sn, &outcome)? {
+        ReadVerdict::ConfirmedDeleted { deleted_at } => match deleted_at {
+            Some(t) => println!("verified: {sn} was rightfully deleted at {t}"),
+            None => println!(
+                "verified: {sn} was rightfully deleted (window/base evidence, \
+                 per-record proof already compacted away)"
+            ),
+        },
+        other => panic!("unexpected verdict: {other:?}"),
+    }
+
+    // A serial number that was never issued is provably absent.
+    let ghost = strongworm::SerialNumber(999);
+    let outcome = server.read(ghost)?;
+    assert_eq!(
+        client.verify_read(ghost, &outcome)?,
+        ReadVerdict::ConfirmedNeverExisted
+    );
+    println!("verified: {ghost} provably never existed");
+    Ok(())
+}

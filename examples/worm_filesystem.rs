@@ -1,0 +1,79 @@
+//! A compliance filesystem on top of Strong WORM — the paper's §6
+//! future-work direction, made concrete.
+//!
+//! A law firm's document-management system stores matter files in a
+//! versioned WORM namespace: every save is an immutable, SCPU-witnessed
+//! version; reads are verified; retention expires file versions with
+//! proof; tampering anywhere under the tree is pinpointed by an audit.
+//!
+//! Run with: `cargo run --example worm_filesystem`
+
+use std::error::Error;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::VirtualClock;
+use strongworm::{RegulatoryAuthority, RetentionPolicy, WormConfig};
+use wormfs::{DirEntry, FsError, WormFs};
+use wormstore::Shredder;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let clock = VirtualClock::new();
+    let mut rng = StdRng::seed_from_u64(17);
+    let regulator = RegulatoryAuthority::generate(&mut rng, 512);
+    let mut fs = WormFs::new(WormConfig::test_small(), clock.clone(), regulator.public())?;
+
+    // Build a matter tree. Saving twice to the same path creates version 1.
+    let seven_years = RetentionPolicy::custom(
+        Duration::from_secs(7 * 365 * 24 * 3600),
+        Shredder::MultiPass { passes: 3 },
+    );
+    fs.create("/matters/acme-v-globex/complaint.pdf", b"COMPLAINT draft", seven_years)?;
+    fs.create("/matters/acme-v-globex/complaint.pdf", b"COMPLAINT as filed", seven_years)?;
+    fs.create("/matters/acme-v-globex/exhibits/a.eml", b"Exhibit A email", seven_years)?;
+    fs.create(
+        "/matters/acme-v-globex/notes.txt",
+        b"strategy notes",
+        RetentionPolicy::custom(Duration::from_secs(30 * 24 * 3600), Shredder::ZeroFill),
+    )?;
+
+    // Browse.
+    println!("/matters/acme-v-globex:");
+    for entry in fs.list("/matters/acme-v-globex")? {
+        match entry {
+            DirEntry::Dir(d) => println!("  {d}/"),
+            DirEntry::File(f) => println!("  {f}"),
+        }
+    }
+
+    // Reads return verified content; history is addressable.
+    let latest = fs.read("/matters/acme-v-globex/complaint.pdf")?;
+    assert_eq!(&latest.content[..], b"COMPLAINT as filed");
+    let draft = fs.read_version("/matters/acme-v-globex/complaint.pdf", 0)?;
+    assert_eq!(&draft.content[..], b"COMPLAINT draft");
+    println!("complaint.pdf: v{} verified ({} bytes); draft v0 still addressable", latest.version, latest.content.len());
+
+    // 60 days later the short-retention notes expire with proof; the
+    // filings remain.
+    clock.advance(Duration::from_secs(60 * 24 * 3600));
+    fs.tick()?;
+    match fs.read("/matters/acme-v-globex/notes.txt") {
+        Err(FsError::Expired { .. }) => println!("notes.txt: expired per 30-day policy (proof available)"),
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // Paralegal-with-root edits an exhibit on the raw disk...
+    let sn = fs.versions("/matters/acme-v-globex/exhibits/a.eml")?[0].sn;
+    assert!(fs.server_mut().mallory().corrupt_record_data(sn));
+
+    // ...and the tree audit pinpoints it.
+    let report = fs.audit()?;
+    println!(
+        "audit: {} live, {} expired, tampered: {:?}",
+        report.live, report.expired, report.failures
+    );
+    assert_eq!(report.failures.len(), 1);
+    assert!(report.failures[0].0.contains("a.eml"));
+    Ok(())
+}

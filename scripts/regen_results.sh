@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Regenerates every captured evaluation artifact under results/.
+# Usage: scripts/regen_results.sh [--quick]
+#   --quick  fewer records per point (faster, noisier shapes)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RECORDS=40
+if [[ "${1:-}" == "--quick" ]]; then
+  RECORDS=10
+fi
+
+mkdir -p results
+
+run() {
+  local name="$1"; shift
+  echo ">> $name"
+  cargo run --release -q -p worm-bench --bin "$name" -- "$@" > "results/$name.txt"
+}
+
+run table2 --iters 32
+run figure1 --records "$RECORDS"
+run ablation_merkle
+run ablation_windows --records 1500
+run ablation_deferred
+run disk_bottleneck --records 50
+run scaling --records 96
+run attack_matrix
+
+echo "done; artifacts in results/"

@@ -1,0 +1,39 @@
+//! Shared fixtures for the integration suites.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::VirtualClock;
+use strongworm::{RegulatoryAuthority, RetentionPolicy, Verifier, WormConfig, WormServer};
+use wormstore::Shredder;
+
+/// One shared regulator (keygen is the slow part of the fixtures).
+pub fn regulator() -> &'static RegulatoryAuthority {
+    static REG: OnceLock<RegulatoryAuthority> = OnceLock::new();
+    REG.get_or_init(|| RegulatoryAuthority::generate(&mut StdRng::seed_from_u64(0xFE6), 512))
+}
+
+/// A booted small-key server with its virtual clock.
+pub fn server() -> (WormServer, Arc<VirtualClock>) {
+    server_with(WormConfig::test_small())
+}
+
+/// A booted server with a custom configuration.
+pub fn server_with(config: WormConfig) -> (WormServer, Arc<VirtualClock>) {
+    let clock = VirtualClock::starting_at_millis(1_000_000);
+    let server = WormServer::new(config, clock.clone(), regulator().public())
+        .expect("server boots with small keys");
+    (server, clock)
+}
+
+/// A verifier wired to `server`'s published keys.
+pub fn verifier(server: &WormServer, clock: Arc<VirtualClock>) -> Verifier {
+    Verifier::new(server.keys(), Duration::from_secs(300), clock).expect("weak cert chains")
+}
+
+/// A short-retention policy convenient for expiry tests.
+pub fn short_policy(secs: u64) -> RetentionPolicy {
+    RetentionPolicy::custom(Duration::from_secs(secs), Shredder::ZeroFill)
+}

@@ -1,0 +1,160 @@
+//! Overlapping virtual records and deduplicated storage (§4.2):
+//! "records can be part of multiple different VRs ... allowing repeatedly
+//! stored objects (such as popular email attachments) to potentially be
+//! stored only once."
+
+mod common;
+
+use std::time::Duration;
+
+use common::{server, short_policy, verifier};
+use strongworm::{ReadOutcome, ReadVerdict};
+
+const ATTACHMENT: &[u8] = b"quarterly-results.xlsx: 48KB of spreadsheet bytes (simulated)";
+
+#[test]
+fn identical_records_are_stored_once() {
+    let (mut srv, _clock) = server();
+    let a = srv
+        .write_dedup(&[b"email to alice", ATTACHMENT], short_policy(1000))
+        .unwrap();
+    let used_after_first = srv.store().watermark();
+    let b = srv
+        .write_dedup(&[b"email to bob", ATTACHMENT], short_policy(1000))
+        .unwrap();
+    let used_after_second = srv.store().watermark();
+
+    // The second VR added only its unique body, not the attachment.
+    let growth = used_after_second - used_after_first;
+    assert!(
+        growth < ATTACHMENT.len() as u64,
+        "growth {growth} should exclude the shared attachment"
+    );
+
+    // Both VRs reference the same physical extent.
+    let rd_a = match srv.read(a).unwrap() {
+        ReadOutcome::Data { vrd, .. } => vrd.rdl[1],
+        other => panic!("unexpected {other:?}"),
+    };
+    let rd_b = match srv.read(b).unwrap() {
+        ReadOutcome::Data { vrd, .. } => vrd.rdl[1],
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(rd_a, rd_b);
+}
+
+#[test]
+fn shared_records_verify_in_both_vrs() {
+    let (mut srv, clock) = server();
+    let v = verifier(&srv, clock.clone());
+    let a = srv
+        .write_dedup(&[b"msg-1", ATTACHMENT], short_policy(1000))
+        .unwrap();
+    let b = srv
+        .write_dedup(&[b"msg-2", ATTACHMENT], short_policy(1000))
+        .unwrap();
+    for sn in [a, b] {
+        let outcome = srv.read(sn).unwrap();
+        assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    }
+}
+
+#[test]
+fn shared_extent_survives_first_deletion() {
+    let (mut srv, clock) = server();
+    let v = verifier(&srv, clock.clone());
+    // Anchor to keep the base from sweeping.
+    srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
+    let dies = srv
+        .write_dedup(&[b"short-lived email", ATTACHMENT], short_policy(50))
+        .unwrap();
+    let lives = srv
+        .write_dedup(&[b"long-lived email", ATTACHMENT], short_policy(100_000))
+        .unwrap();
+
+    clock.advance(Duration::from_secs(60));
+    srv.tick().unwrap();
+
+    // The short VR is deleted with proof...
+    assert_eq!(srv.read(dies).unwrap().kind(), "deleted");
+    // ...but the shared attachment was NOT shredded: the surviving VR
+    // still reads and verifies byte-for-byte.
+    let outcome = srv.read(lives).unwrap();
+    assert_eq!(
+        v.verify_read(lives, &outcome).unwrap(),
+        ReadVerdict::Intact { sn: lives }
+    );
+    match outcome {
+        ReadOutcome::Data { records, .. } => assert_eq!(&records[1][..], ATTACHMENT),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn last_reference_deletion_shreds_the_extent() {
+    let (mut srv, clock) = server();
+    srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
+    let a = srv
+        .write_dedup(&[b"m1", ATTACHMENT], short_policy(50))
+        .unwrap();
+    let b = srv
+        .write_dedup(&[b"m2", ATTACHMENT], short_policy(80))
+        .unwrap();
+
+    // First deletion: attachment bytes still on the medium.
+    clock.advance(Duration::from_secs(60));
+    srv.tick().unwrap();
+    assert_eq!(srv.read(a).unwrap().kind(), "deleted");
+    {
+        let (_vrdt, store) = srv.parts_mut_for_attack();
+        assert!(contains(store.device().raw(), ATTACHMENT));
+    }
+
+    // Second (last) deletion: now the extent is shredded.
+    clock.advance(Duration::from_secs(30));
+    srv.tick().unwrap();
+    assert_eq!(srv.read(b).unwrap().kind(), "deleted");
+    {
+        let (_vrdt, store) = srv.parts_mut_for_attack();
+        assert!(!contains(store.device().raw(), ATTACHMENT));
+    }
+}
+
+#[test]
+fn dedup_after_shredding_stores_fresh_copy() {
+    let (mut srv, clock) = server();
+    srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
+    let gone = srv.write_dedup(&[ATTACHMENT], short_policy(50)).unwrap();
+    clock.advance(Duration::from_secs(60));
+    srv.tick().unwrap();
+    assert_eq!(srv.read(gone).unwrap().kind(), "deleted");
+
+    // The content was shredded; a new dedup write must store it afresh
+    // (and must NOT resurrect the dead descriptor).
+    let fresh = srv.write_dedup(&[ATTACHMENT], short_policy(1000)).unwrap();
+    match srv.read(fresh).unwrap() {
+        ReadOutcome::Data { records, .. } => assert_eq!(&records[0][..], ATTACHMENT),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn non_dedup_writes_remain_independent() {
+    let (mut srv, clock) = server();
+    srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
+    let a = srv.write(&[ATTACHMENT], short_policy(50)).unwrap();
+    let b = srv.write(&[ATTACHMENT], short_policy(100_000)).unwrap();
+
+    // Plain writes store two copies; deleting one cannot touch the other.
+    clock.advance(Duration::from_secs(60));
+    srv.tick().unwrap();
+    assert_eq!(srv.read(a).unwrap().kind(), "deleted");
+    match srv.read(b).unwrap() {
+        ReadOutcome::Data { records, .. } => assert_eq!(&records[0][..], ATTACHMENT),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}

@@ -1,0 +1,129 @@
+//! The incremental multiset alternative for `datasig` (Table 1: "a
+//! chained hash (or other incremental secure hashing [Bellare–Micciancio,
+//! Clarke et al.]) of the data records").
+//!
+//! The multiset scheme trades the chained hash's order sensitivity for
+//! O(1) incremental add *and remove* — and these tests document both
+//! sides of that trade-off honestly.
+
+mod common;
+
+use common::{server_with, short_policy, verifier};
+use strongworm::{DataHashScheme, HashMode, ReadVerdict, VerifyError, WormConfig};
+
+fn multiset_config() -> WormConfig {
+    let mut cfg = WormConfig::test_small();
+    cfg.data_hash = DataHashScheme::Multiset;
+    cfg
+}
+
+#[test]
+fn multiset_scheme_roundtrips() {
+    let (mut srv, clock) = server_with(multiset_config());
+    let v = verifier(&srv, clock.clone());
+    let sn = srv
+        .write(&[b"part-a", b"part-b", b"part-c"], short_policy(1000))
+        .unwrap();
+    let outcome = srv.read(sn).unwrap();
+    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+}
+
+#[test]
+fn multiset_scheme_detects_content_tampering() {
+    let (mut srv, clock) = server_with(multiset_config());
+    let v = verifier(&srv, clock.clone());
+    let sn = srv.write(&[b"sensitive"], short_policy(1000)).unwrap();
+    assert!(srv.mallory().corrupt_record_data(sn));
+    assert_eq!(
+        v.verify_read(sn, &srv.read(sn).unwrap()),
+        Err(VerifyError::DataHashMismatch)
+    );
+}
+
+#[test]
+fn multiset_scheme_detects_record_removal_and_addition() {
+    let (mut srv, clock) = server_with(multiset_config());
+    let v = verifier(&srv, clock.clone());
+    let sn = srv.write(&[b"one", b"two"], short_policy(1000)).unwrap();
+
+    // Drop a record from the RDL.
+    {
+        let (vrdt, _) = srv.parts_mut_for_attack();
+        if let Some(strongworm::vrdt::VrdtEntry::Active(vrd)) =
+            vrdt.entries_mut_for_attack().get_mut(&sn)
+        {
+            vrd.rdl.pop();
+        }
+    }
+    assert_eq!(
+        v.verify_read(sn, &srv.read(sn).unwrap()),
+        Err(VerifyError::DataHashMismatch)
+    );
+}
+
+#[test]
+fn multiset_scheme_does_not_detect_reordering_by_design() {
+    // The documented trade-off: multiset hashing has *set* semantics.
+    // Reordering the RDL entries of a VR yields the same digest — chained
+    // hashing must be chosen when record order is load-bearing.
+    let (mut srv, clock) = server_with(multiset_config());
+    let v = verifier(&srv, clock.clone());
+    let sn = srv.write(&[b"first", b"second"], short_policy(1000)).unwrap();
+    {
+        let (vrdt, _) = srv.parts_mut_for_attack();
+        if let Some(strongworm::vrdt::VrdtEntry::Active(vrd)) =
+            vrdt.entries_mut_for_attack().get_mut(&sn)
+        {
+            vrd.rdl.reverse();
+        }
+    }
+    // Still verifies — the multiset is order-insensitive.
+    assert_eq!(
+        v.verify_read(sn, &srv.read(sn).unwrap()).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
+}
+
+#[test]
+fn chained_scheme_detects_reordering() {
+    // Control: the default chained hash *does* bind record order.
+    let (mut srv, clock) = common::server();
+    let v = verifier(&srv, clock.clone());
+    let sn = srv.write(&[b"first", b"second"], short_policy(1000)).unwrap();
+    {
+        let (vrdt, _) = srv.parts_mut_for_attack();
+        if let Some(strongworm::vrdt::VrdtEntry::Active(vrd)) =
+            vrdt.entries_mut_for_attack().get_mut(&sn)
+        {
+            vrd.rdl.reverse();
+        }
+    }
+    assert_eq!(
+        v.verify_read(sn, &srv.read(sn).unwrap()),
+        Err(VerifyError::DataHashMismatch)
+    );
+}
+
+#[test]
+fn multiset_works_in_trust_host_hash_mode_with_audit() {
+    let mut cfg = multiset_config();
+    cfg.hash_mode = HashMode::TrustHostHash;
+    let (mut srv, clock) = server_with(cfg);
+    let v = verifier(&srv, clock.clone());
+    let sn = srv.write(&[b"burst", b"records"], short_policy(1000)).unwrap();
+    assert_eq!(
+        v.verify_read(sn, &srv.read(sn).unwrap()).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
+    // The 40-byte multiset digest passes the SCPU's idle audit.
+    srv.idle(1_000_000_000).unwrap();
+    assert!(srv.audit_failures().is_empty());
+}
+
+#[test]
+fn scheme_is_published_to_clients() {
+    let (srv, _clock) = server_with(multiset_config());
+    assert_eq!(srv.keys().data_hash, DataHashScheme::Multiset);
+    let (srv, _clock) = common::server();
+    assert_eq!(srv.keys().data_hash, DataHashScheme::Chained);
+}

@@ -1,0 +1,149 @@
+//! Model-based property test: random operation sequences against the
+//! full stack, checked against a simple oracle.
+//!
+//! The oracle tracks, for every issued serial number, its write time and
+//! retention deadline. After the Retention Monitor has been driven
+//! (`tick`), the system must agree with the oracle: records past their
+//! deadline are provably deleted, records before it are intact, and every
+//! outcome verifies under the client verifier. The VRDT completeness
+//! invariant must hold throughout.
+
+mod common;
+
+use std::time::Duration;
+
+use common::{server, short_policy, verifier};
+use proptest::prelude::*;
+use scpu::Clock;
+use strongworm::{ReadVerdict, SerialNumber};
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Write one record with the given retention (seconds).
+    Write { retention_secs: u64 },
+    /// Advance virtual time.
+    Advance { secs: u64 },
+    /// Compact expired runs into windows.
+    Compact,
+    /// Grant idle time (strengthening, audits).
+    Idle,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (10u64..500).prop_map(|retention_secs| Op::Write { retention_secs }),
+        3 => (1u64..300).prop_map(|secs| Op::Advance { secs }),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Idle),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_histories_agree_with_oracle(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let (mut srv, clock) = server();
+        let v = verifier(&srv, clock.clone());
+        // Oracle: sn -> retention deadline (absolute millis).
+        let mut model: Vec<(SerialNumber, u64)> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Write { retention_secs } => {
+                    let mut content = Vec::new();
+                    content.extend_from_slice(b"record-");
+                    content.extend_from_slice(&model.len().to_be_bytes());
+                    let sn = srv.write(&[&content], short_policy(*retention_secs)).unwrap();
+                    let deadline = clock.now().as_millis() + retention_secs * 1000;
+                    model.push((sn, deadline));
+                }
+                Op::Advance { secs } => {
+                    clock.advance(Duration::from_secs(*secs));
+                }
+                Op::Compact => {
+                    srv.compact().unwrap();
+                }
+                Op::Idle => {
+                    srv.idle(1_000_000_000).unwrap();
+                }
+            }
+
+            // Settle the Retention Monitor, then check the whole store
+            // against the oracle.
+            srv.tick().unwrap();
+            srv.refresh_head().unwrap();
+            srv.vrdt().check_complete().expect("vrdt complete");
+
+            let now = clock.now().as_millis();
+            for (sn, deadline) in &model {
+                let outcome = srv.read(*sn).unwrap();
+                let verdict = v.verify_read(*sn, &outcome).unwrap();
+                if now >= *deadline {
+                    prop_assert!(
+                        matches!(verdict, ReadVerdict::ConfirmedDeleted { .. }),
+                        "{sn} (deadline {deadline}) should be deleted at {now}, got {verdict:?}"
+                    );
+                } else {
+                    prop_assert_eq!(
+                        verdict,
+                        ReadVerdict::Intact { sn: *sn },
+                        "{} should be intact at {}", sn, now
+                    );
+                }
+            }
+
+            // A serial number beyond the head is provably absent.
+            let beyond = SerialNumber(model.len() as u64 + 100);
+            let outcome = srv.read(beyond).unwrap();
+            prop_assert_eq!(
+                v.verify_read(beyond, &outcome).unwrap(),
+                ReadVerdict::ConfirmedNeverExisted
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_is_transparent_to_clients(
+        retentions in proptest::collection::vec(20u64..200, 5..15),
+    ) {
+        let (mut srv, clock) = server();
+        let v = verifier(&srv, clock.clone());
+        let mut sns = Vec::new();
+        for r in &retentions {
+            sns.push(srv.write(&[b"payload".as_slice()], short_policy(*r)).unwrap());
+        }
+        // Let some subset expire.
+        clock.advance(Duration::from_secs(100));
+        srv.tick().unwrap();
+
+        // Snapshot verdicts before compaction.
+        let before: Vec<String> = sns
+            .iter()
+            .map(|sn| format!("{:?}", v.verify_read(*sn, &srv.read(*sn).unwrap())))
+            .collect();
+
+        srv.compact().unwrap();
+        srv.refresh_head().unwrap();
+
+        // Identical verdict *classes* after compaction (evidence kinds may
+        // change from per-record proofs to windows, verdicts may not).
+        for (i, sn) in sns.iter().enumerate() {
+            let after = v.verify_read(*sn, &srv.read(*sn).unwrap());
+            let after_cls = match &after {
+                Ok(ReadVerdict::Intact { .. }) => "intact",
+                Ok(ReadVerdict::ConfirmedDeleted { .. }) => "deleted",
+                Ok(ReadVerdict::ConfirmedNeverExisted) => "absent",
+                Err(e) => panic!("verification failed after compaction: {e}"),
+            };
+            prop_assert!(
+                before[i].contains(match after_cls {
+                    "intact" => "Intact",
+                    "deleted" => "ConfirmedDeleted",
+                    _ => "ConfirmedNeverExisted",
+                }),
+                "sn {} changed class: before={} after={}", sn, before[i], after_cls
+            );
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Verifier robustness: the client must never panic, whatever the host
+//! serves — and any single byte-level mutation of signature material in
+//! an honest outcome must flip the verdict to an error (no forgiving
+//! parse paths).
+
+mod common;
+
+use common::{server, short_policy, verifier};
+use proptest::prelude::*;
+use strongworm::proofs::ReadOutcome;
+use strongworm::witness::Witness;
+use strongworm::{ReadVerdict, SerialNumber};
+
+/// Builds one honest, verifiable data outcome (shared across cases).
+fn honest() -> (
+    strongworm::Verifier,
+    SerialNumber,
+    ReadOutcome,
+) {
+    let (mut srv, clock) = server();
+    let v = verifier(&srv, clock.clone());
+    let sn = srv
+        .write(&[b"record-one", b"record-two"], short_policy(100_000))
+        .unwrap();
+    let outcome = srv.read(sn).unwrap();
+    assert!(v.verify_read(sn, &outcome).is_ok());
+    (v, sn, outcome)
+}
+
+fn mutate_sig_bytes(w: &mut Witness, idx: usize, flip: u8) {
+    match w {
+        Witness::Strong(sig) | Witness::Weak { sig, .. } => {
+            if !sig.bytes.is_empty() {
+                let i = idx % sig.bytes.len();
+                sig.bytes[i] ^= flip;
+            }
+        }
+        Witness::Mac { tag } => {
+            if !tag.is_empty() {
+                let i = idx % tag.len();
+                tag[i] ^= flip;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn metasig_bitflips_always_rejected(idx in 0usize..4096, flip in 1u8..=255) {
+        let (v, sn, outcome) = honest();
+        let mut m = outcome.clone();
+        if let ReadOutcome::Data { vrd, .. } = &mut m {
+            mutate_sig_bytes(&mut vrd.metasig, idx, flip);
+        }
+        prop_assert!(v.verify_read(sn, &m).is_err());
+    }
+
+    #[test]
+    fn datasig_bitflips_always_rejected(idx in 0usize..4096, flip in 1u8..=255) {
+        let (v, sn, outcome) = honest();
+        let mut m = outcome.clone();
+        if let ReadOutcome::Data { vrd, .. } = &mut m {
+            mutate_sig_bytes(&mut vrd.datasig, idx, flip);
+        }
+        prop_assert!(v.verify_read(sn, &m).is_err());
+    }
+
+    #[test]
+    fn record_byte_flips_always_rejected(rec in 0usize..2, idx in 0usize..4096, flip in 1u8..=255) {
+        let (v, sn, outcome) = honest();
+        let mut m = outcome.clone();
+        if let ReadOutcome::Data { records, .. } = &mut m {
+            let mut bytes = records[rec].to_vec();
+            let i = idx % bytes.len();
+            bytes[i] ^= flip;
+            records[rec] = bytes.into();
+        }
+        prop_assert!(v.verify_read(sn, &m).is_err());
+    }
+
+    #[test]
+    fn head_field_mutations_always_rejected(bump in 1u64..1_000_000, which in 0u8..2) {
+        let (v, sn, outcome) = honest();
+        let mut m = outcome.clone();
+        if let ReadOutcome::Data { head, .. } = &mut m {
+            match which {
+                0 => head.sn_current = SerialNumber(head.sn_current.get() + bump),
+                _ => head.issued_at = scpu::Timestamp::from_millis(
+                    head.issued_at.as_millis() + bump,
+                ),
+            }
+        }
+        prop_assert!(v.verify_read(sn, &m).is_err());
+    }
+
+    #[test]
+    fn truncated_or_padded_signatures_never_panic(extra in proptest::collection::vec(any::<u8>(), 0..90)) {
+        let (v, sn, outcome) = honest();
+        let mut m = outcome.clone();
+        if let ReadOutcome::Data { vrd, .. } = &mut m {
+            if let Witness::Strong(sig) = &mut vrd.metasig {
+                sig.bytes = extra.clone(); // arbitrary garbage, any length
+            }
+        }
+        // Must be a clean error, never a panic.
+        prop_assert!(v.verify_read(sn, &m).is_err());
+    }
+
+    #[test]
+    fn record_count_changes_always_rejected(drop_first in any::<bool>()) {
+        let (v, sn, outcome) = honest();
+        let mut m = outcome.clone();
+        if let ReadOutcome::Data { records, .. } = &mut m {
+            if drop_first {
+                records.remove(0);
+            } else {
+                records.push(bytes::Bytes::from_static(b"injected"));
+            }
+        }
+        prop_assert!(v.verify_read(sn, &m).is_err());
+    }
+}
+
+#[test]
+fn verdict_is_stable_across_repeated_verification() {
+    let (v, sn, outcome) = honest();
+    for _ in 0..10 {
+        assert_eq!(
+            v.verify_read(sn, &outcome).unwrap(),
+            ReadVerdict::Intact { sn }
+        );
+    }
+}
