@@ -101,10 +101,10 @@ impl CostModel {
                 (65536.0, 1e9 / 18.6e6), // 18.6 MB/s at 64 KB blocks
             ],
             sha256_factor: 1.5,
-            hmac_fixed_ns: 2_000.0,          // two compression blocks
-            hmac_ns_per_byte: 1e9 / 300e6,   // ≈300 MB/s bus-class rate
-            dma_ns_per_byte: 1e9 / 80e6,     // ≈80 MB/s
-            command_ns: 10_000.0,            // 10 µs dispatch
+            hmac_fixed_ns: 2_000.0,        // two compression blocks
+            hmac_ns_per_byte: 1e9 / 300e6, // ≈300 MB/s bus-class rate
+            dma_ns_per_byte: 1e9 / 80e6,   // ≈80 MB/s
+            command_ns: 10_000.0,          // 10 µs dispatch
         }
     }
 
@@ -288,9 +288,7 @@ mod tests {
         let dev = CostModel::ibm4764();
         let host = CostModel::host_p4();
         // The device's RSA hardware beats the host...
-        assert!(
-            dev.cost_ns(Op::RsaSign { bits: 1024 }) < host.cost_ns(Op::RsaSign { bits: 1024 })
-        );
+        assert!(dev.cost_ns(Op::RsaSign { bits: 1024 }) < host.cost_ns(Op::RsaSign { bits: 1024 }));
         // ...but its hashing is an order of magnitude slower.
         assert!(
             dev.cost_ns(Op::Sha1 { bytes: 65536 }) > 5 * host.cost_ns(Op::Sha1 { bytes: 65536 })

@@ -305,7 +305,8 @@ mod tests {
     #[test]
     fn alarms_fire_when_clock_passes() {
         let (mut d, clock) = device();
-        d.execute(Req::ArmAlarm(Timestamp::from_millis(500))).unwrap();
+        d.execute(Req::ArmAlarm(Timestamp::from_millis(500)))
+            .unwrap();
         d.tick().unwrap();
         assert_eq!(d.applet_for_test().alarms_fired, 0);
         clock.advance(std::time::Duration::from_millis(499));
@@ -319,7 +320,8 @@ mod tests {
     #[test]
     fn due_alarm_runs_before_command() {
         let (mut d, clock) = device();
-        d.execute(Req::ArmAlarm(Timestamp::from_millis(10))).unwrap();
+        d.execute(Req::ArmAlarm(Timestamp::from_millis(10)))
+            .unwrap();
         clock.advance(std::time::Duration::from_millis(20));
         // The next command triggers the due alarm first.
         d.execute(Req::Get).unwrap();

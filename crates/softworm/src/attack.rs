@@ -50,8 +50,8 @@ pub fn erase_history(store: &mut SoftWormStore, id: SoftRecordId) -> bool {
     };
     let zeros = vec![0u8; len as usize];
     let disk = store.raw_disk_mut();
-    let ok = disk.write_at(offset, &zeros).is_ok()
-        && disk.write_at(checksum_slot, &[0u8; 40]).is_ok();
+    let ok =
+        disk.write_at(offset, &zeros).is_ok() && disk.write_at(checksum_slot, &[0u8; 40]).is_ok();
     ok && store.index_remove_for_attack(id)
 }
 
@@ -67,7 +67,10 @@ mod tests {
         let clock = VirtualClock::new();
         let mut s = SoftWormStore::new(1 << 16, clock);
         let id = s
-            .write(b"PAY 1,000,000 TO OFFSHORE ACCT", Duration::from_secs(1_000_000))
+            .write(
+                b"PAY 1,000,000 TO OFFSHORE ACCT",
+                Duration::from_secs(1_000_000),
+            )
             .unwrap();
 
         assert!(rewrite_history(&mut s, id, b"PAY 100 TO CHARITY FUND ACCT"));
@@ -82,7 +85,9 @@ mod tests {
     fn erase_history_goes_undetected() {
         let clock = VirtualClock::new();
         let mut s = SoftWormStore::new(1 << 16, clock);
-        let keep = s.write(b"innocent", Duration::from_secs(1_000_000)).unwrap();
+        let keep = s
+            .write(b"innocent", Duration::from_secs(1_000_000))
+            .unwrap();
         let victim = s
             .write(b"incriminating", Duration::from_secs(1_000_000))
             .unwrap();

@@ -22,13 +22,18 @@ use crate::vrdt::VrdtEntry;
 use crate::witness::Signature;
 
 /// Handle over a server's internals, as wielded by a malicious insider.
+///
+/// Holds only a shared reference: the insider needs no cooperation from
+/// the server's API surface — each method grabs the VRDT write lock or
+/// the raw device interface directly, exactly like a root process
+/// scribbling on mounted disks while the server runs.
 pub struct Mallory<'a, D: BlockDevice> {
-    server: &'a mut WormServer<D>,
+    server: &'a WormServer<D>,
 }
 
 impl<D: BlockDevice> WormServer<D> {
     /// Opens the insider attack surface (tests only).
-    pub fn mallory(&mut self) -> Mallory<'_, D> {
+    pub fn mallory(&self) -> Mallory<'_, D> {
         Mallory { server: self }
     }
 }
@@ -51,11 +56,11 @@ impl<D: BlockDevice> Mallory<'_, D> {
             return false;
         }
         let mut byte = [0u8; 1];
-        if store.device_mut().read_at(rd.offset, &mut byte).is_err() {
+        if store.device().read_at(rd.offset, &mut byte).is_err() {
             return false;
         }
         byte[0] ^= 0xFF;
-        store.device_mut().write_at(rd.offset, &byte).is_ok()
+        store.device().write_at(rd.offset, &byte).is_ok()
     }
 
     /// Rewrites a record's attributes in the VRDT (e.g., shortening its
@@ -67,7 +72,7 @@ impl<D: BlockDevice> Mallory<'_, D> {
         sn: SerialNumber,
         edit: impl FnOnce(&mut RecordAttributes),
     ) -> bool {
-        let (vrdt, _) = self.server.parts_mut_for_attack();
+        let (mut vrdt, _) = self.server.parts_mut_for_attack();
         match vrdt.entries_mut_for_attack().get_mut(&sn) {
             Some(VrdtEntry::Active(v)) => {
                 edit(&mut v.attr);
@@ -81,7 +86,7 @@ impl<D: BlockDevice> Mallory<'_, D> {
     ///
     /// Returns `false` unless both records are active.
     pub fn swap_witnesses(&mut self, a: SerialNumber, b: SerialNumber) -> bool {
-        let (vrdt, _) = self.server.parts_mut_for_attack();
+        let (mut vrdt, _) = self.server.parts_mut_for_attack();
         let entries = vrdt.entries_mut_for_attack();
         let wa = match entries.get(&a) {
             Some(VrdtEntry::Active(v)) => (v.metasig.clone(), v.datasig.clone()),
@@ -126,7 +131,7 @@ impl<D: BlockDevice> Mallory<'_, D> {
     /// Installs a replayed old head into the VRDT so subsequent honest
     /// reads serve stale freshness evidence.
     pub fn install_replayed_head(&mut self, old_head: HeadCert) {
-        let (vrdt, _) = self.server.parts_mut_for_attack();
+        let (mut vrdt, _) = self.server.parts_mut_for_attack();
         vrdt.set_head_for_attack(old_head);
     }
 
@@ -154,10 +159,7 @@ impl<D: BlockDevice> Mallory<'_, D> {
 
     /// Replays a legitimate deletion proof of record `victim` as evidence
     /// that a *different* record was deleted.
-    pub fn replay_deletion_proof(
-        &mut self,
-        victim_proof: DeletionProof,
-    ) -> Option<ReadOutcome> {
+    pub fn replay_deletion_proof(&mut self, victim_proof: DeletionProof) -> Option<ReadOutcome> {
         let (vrdt, _) = self.server.parts_mut_for_attack();
         let head = vrdt.head().cloned()?;
         Some(ReadOutcome::Deleted {
@@ -197,7 +199,7 @@ impl<D: BlockDevice> Mallory<'_, D> {
 
     /// Removes a record's VRDT entry outright (the crude "lost it" play).
     pub fn drop_entry(&mut self, sn: SerialNumber) -> bool {
-        let (vrdt, _) = self.server.parts_mut_for_attack();
+        let (mut vrdt, _) = self.server.parts_mut_for_attack();
         vrdt.entries_mut_for_attack().remove(&sn).is_some()
     }
 
@@ -205,7 +207,7 @@ impl<D: BlockDevice> Mallory<'_, D> {
     /// rightfully deleted record — allowed by the model: "remembering" is
     /// not preventable, only *rewriting* is).
     pub fn resurrect_entry(&mut self, vrd: crate::vrd::Vrd) {
-        let (vrdt, _) = self.server.parts_mut_for_attack();
+        let (mut vrdt, _) = self.server.parts_mut_for_attack();
         vrdt.entries_mut_for_attack()
             .insert(vrd.sn, VrdtEntry::Active(vrd));
     }

@@ -102,12 +102,15 @@ impl RecordAttributes {
         let mut r = WireReader::new(bytes);
         let tag = r.get_str()?;
         if tag != "strongworm.attr.v1" {
-            return Err(WireError { expected: "attr tag" });
+            return Err(WireError {
+                expected: "attr tag",
+            });
         }
         let created_at = Timestamp::from_millis(r.get_u64()?);
         let retention_until = Timestamp::from_millis(r.get_u64()?);
-        let regulation = Regulation::from_code(r.get_u8()?)
-            .ok_or(WireError { expected: "regulation code" })?;
+        let regulation = Regulation::from_code(r.get_u8()?).ok_or(WireError {
+            expected: "regulation code",
+        })?;
         let shred_kind = r.get_u8()?;
         let shred_arg = r.get_u8()?;
         // Canonical decoding: argument-less shredders must carry a zero
@@ -116,7 +119,11 @@ impl RecordAttributes {
             (0, 0) => Shredder::ZeroFill,
             (1, passes) => Shredder::MultiPass { passes },
             (2, 0) => Shredder::RandomPass,
-            _ => return Err(WireError { expected: "shredder code" }),
+            _ => {
+                return Err(WireError {
+                    expected: "shredder code",
+                })
+            }
         };
         let litigation_hold = match r.get_u8()? {
             0 => None,
@@ -125,7 +132,11 @@ impl RecordAttributes {
                 hold_until: Timestamp::from_millis(r.get_u64()?),
                 credential: r.get_bytes()?.to_vec(),
             }),
-            _ => return Err(WireError { expected: "hold presence flag" }),
+            _ => {
+                return Err(WireError {
+                    expected: "hold presence flag",
+                })
+            }
         };
         let flags = r.get_u32()?;
         r.expect_end()?;

@@ -14,15 +14,15 @@ use scpu::{Clock, Timestamp};
 use wormcrypt::RsaPublicKey;
 
 use crate::authority::KeyCertificate;
+use crate::config::DataHashScheme;
 use crate::error::VerifyError;
 use crate::firmware::{DeviceKeys, WeakKeyCert};
 use crate::proofs::{DeletionEvidence, HeadCert, ReadOutcome};
 use crate::sn::SerialNumber;
-use crate::config::DataHashScheme;
 use crate::vrd::{data_hash, Vrd};
 use crate::witness::{
     base_payload, data_payload, deletion_payload, head_payload, meta_payload, weak_cert_payload,
-    weak_wrap, window_payload, KeyRole, Witness, WindowSide,
+    weak_wrap, window_payload, KeyRole, WindowSide, Witness,
 };
 
 /// What a verified read means.

@@ -8,6 +8,7 @@
 //! is unchanged per shard, and cluster-level records are addressed by
 //! `(shard, SN)`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use scpu::Clock;
@@ -36,9 +37,13 @@ impl std::fmt::Display for ClusterRecordId {
 }
 
 /// A WORM cluster with one secure coprocessor per shard.
+///
+/// Entirely `&self`: shard servers are two-plane [`WormServer`]s, and the
+/// round-robin cursor is an atomic — so a cluster can be shared across
+/// ingest threads directly, one writer stream per SCPU.
 pub struct WormCluster {
     shards: Vec<WormServer>,
-    next: usize,
+    next: AtomicUsize,
 }
 
 impl WormCluster {
@@ -67,7 +72,10 @@ impl WormCluster {
             cfg.device.rng_seed = config.device.rng_seed.wrapping_add(1 + i as u64);
             shards.push(WormServer::new(cfg, clock.clone(), regulator)?);
         }
-        Ok(WormCluster { shards, next: 0 })
+        Ok(WormCluster {
+            shards,
+            next: AtomicUsize::new(0),
+        })
     }
 
     /// Number of shards.
@@ -85,23 +93,17 @@ impl WormCluster {
         &self.shards[i]
     }
 
-    /// Mutable access to a shard (adversarial tests, maintenance).
-    pub fn shard_mut(&mut self, i: usize) -> &mut WormServer {
-        &mut self.shards[i]
-    }
-
     /// Writes a record to the next shard (round-robin).
     ///
     /// # Errors
     ///
     /// Propagates the shard's write failure.
     pub fn write(
-        &mut self,
+        &self,
         records: &[&[u8]],
         policy: RetentionPolicy,
     ) -> Result<ClusterRecordId, WormError> {
-        let shard = self.next;
-        self.next = (self.next + 1) % self.shards.len();
+        let shard = self.next_shard();
         let sn = self.shards[shard].write(records, policy)?;
         Ok(ClusterRecordId { shard, sn })
     }
@@ -112,16 +114,20 @@ impl WormCluster {
     ///
     /// Propagates the shard's write failure.
     pub fn write_with(
-        &mut self,
+        &self,
         records: &[&[u8]],
         policy: RetentionPolicy,
         flags: u32,
         witness: WitnessMode,
     ) -> Result<ClusterRecordId, WormError> {
-        let shard = self.next;
-        self.next = (self.next + 1) % self.shards.len();
+        let shard = self.next_shard();
         let sn = self.shards[shard].write_with(records, policy, flags, witness)?;
         Ok(ClusterRecordId { shard, sn })
+    }
+
+    /// Advances the round-robin cursor atomically.
+    fn next_shard(&self) -> usize {
+        self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len()
     }
 
     /// Reads a record by cluster id.
@@ -130,8 +136,8 @@ impl WormCluster {
     ///
     /// Propagates the shard's read failure; out-of-range shard indices
     /// yield [`WormError::NotActive`].
-    pub fn read(&mut self, id: ClusterRecordId) -> Result<ReadOutcome, WormError> {
-        match self.shards.get_mut(id.shard) {
+    pub fn read(&self, id: ClusterRecordId) -> Result<ReadOutcome, WormError> {
+        match self.shards.get(id.shard) {
             Some(s) => s.read(id.sn),
             None => Err(WormError::NotActive(id.sn)),
         }
@@ -142,8 +148,8 @@ impl WormCluster {
     /// # Errors
     ///
     /// Propagates the first shard failure.
-    pub fn tick(&mut self) -> Result<(), WormError> {
-        for s in &mut self.shards {
+    pub fn tick(&self) -> Result<(), WormError> {
+        for s in &self.shards {
             s.tick()?;
         }
         Ok(())
@@ -154,8 +160,8 @@ impl WormCluster {
     /// # Errors
     ///
     /// Propagates the first shard failure.
-    pub fn idle(&mut self, budget_ns: u64) -> Result<(), WormError> {
-        for s in &mut self.shards {
+    pub fn idle(&self, budget_ns: u64) -> Result<(), WormError> {
+        for s in &self.shards {
             s.idle(budget_ns)?;
         }
         Ok(())
@@ -167,17 +173,17 @@ impl WormCluster {
     /// # Errors
     ///
     /// Propagates the first shard failure.
-    pub fn compact(&mut self) -> Result<usize, WormError> {
+    pub fn compact(&self) -> Result<usize, WormError> {
         let mut total = 0;
-        for s in &mut self.shards {
+        for s in &self.shards {
             total += s.compact()?;
         }
         Ok(total)
     }
 
     /// Zeroes all shard meters (benchmarking).
-    pub fn reset_meters(&mut self) {
-        for s in &mut self.shards {
+    pub fn reset_meters(&self) {
+        for s in &self.shards {
             s.reset_meters();
         }
     }
@@ -219,7 +225,7 @@ mod tests {
 
     #[test]
     fn round_robin_distribution() {
-        let (mut c, _clock, _reg) = cluster(3);
+        let (c, _clock, _reg) = cluster(3);
         let ids: Vec<_> = (0..6)
             .map(|i| c.write(&[format!("r{i}").as_bytes()], policy()).unwrap())
             .collect();
@@ -247,7 +253,7 @@ mod tests {
 
     #[test]
     fn reads_verify_against_the_owning_shard() {
-        let (mut c, clock, _reg) = cluster(2);
+        let (c, clock, _reg) = cluster(2);
         let id = c.write(&[b"cluster record"], policy()).unwrap();
         let verifier = Verifier::new(
             c.shard(id.shard).keys(),
@@ -272,7 +278,7 @@ mod tests {
 
     #[test]
     fn out_of_range_shard_errors() {
-        let (mut c, _clock, _reg) = cluster(2);
+        let (c, _clock, _reg) = cluster(2);
         let bad = ClusterRecordId {
             shard: 9,
             sn: SerialNumber(1),
@@ -282,7 +288,7 @@ mod tests {
 
     #[test]
     fn cluster_lifecycle_expires_everywhere() {
-        let (mut c, clock, _reg) = cluster(3);
+        let (c, clock, _reg) = cluster(3);
         let ids: Vec<_> = (0..9)
             .map(|i| {
                 c.write(

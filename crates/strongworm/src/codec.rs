@@ -22,9 +22,9 @@ pub(crate) fn put_signature(w: &mut WireWriter, s: &Signature) {
 
 pub(crate) fn get_signature(r: &mut WireReader<'_>) -> Result<Signature, WireError> {
     let key_id_bytes = r.get_bytes()?;
-    let key_id: [u8; 8] = key_id_bytes
-        .try_into()
-        .map_err(|_| WireError { expected: "8-byte key id" })?;
+    let key_id: [u8; 8] = key_id_bytes.try_into().map_err(|_| WireError {
+        expected: "8-byte key id",
+    })?;
     let bytes = r.get_bytes()?.to_vec();
     Ok(Signature { key_id, bytes })
 }
@@ -58,7 +58,9 @@ pub(crate) fn get_witness(r: &mut WireReader<'_>) -> Result<Witness, WireError> 
         2 => Ok(Witness::Mac {
             tag: r.get_bytes()?.to_vec(),
         }),
-        _ => Err(WireError { expected: "witness tier" }),
+        _ => Err(WireError {
+            expected: "witness tier",
+        }),
     }
 }
 
@@ -86,14 +88,18 @@ pub fn encode_vrd(v: &Vrd) -> Vec<u8> {
 pub fn decode_vrd(bytes: &[u8]) -> Result<Vrd, WireError> {
     let mut r = WireReader::new(bytes);
     if r.get_str()? != "strongworm.vrd.v1" {
-        return Err(WireError { expected: "vrd tag" });
+        return Err(WireError {
+            expected: "vrd tag",
+        });
     }
     let sn = SerialNumber(r.get_u64()?);
     let attr = RecordAttributes::decode(r.get_bytes()?)?;
     let n = r.get_u32()? as usize;
     // Cap defensively: a corrupt count must not allocate unboundedly.
     if n > 1 << 20 {
-        return Err(WireError { expected: "sane rdl length" });
+        return Err(WireError {
+            expected: "sane rdl length",
+        });
     }
     let mut rdl = Vec::with_capacity(n);
     for _ in 0..n {
@@ -132,7 +138,9 @@ pub fn encode_deletion_proof(p: &DeletionProof) -> Vec<u8> {
 pub fn decode_deletion_proof(bytes: &[u8]) -> Result<DeletionProof, WireError> {
     let mut r = WireReader::new(bytes);
     if r.get_str()? != "strongworm.delproof.v1" {
-        return Err(WireError { expected: "deletion proof tag" });
+        return Err(WireError {
+            expected: "deletion proof tag",
+        });
     }
     let sn = SerialNumber(r.get_u64()?);
     let deleted_at = Timestamp::from_millis(r.get_u64()?);
@@ -164,7 +172,9 @@ pub fn encode_window_proof(p: &WindowProof) -> Vec<u8> {
 pub fn decode_window_proof(bytes: &[u8]) -> Result<WindowProof, WireError> {
     let mut r = WireReader::new(bytes);
     if r.get_str()? != "strongworm.winproof.v1" {
-        return Err(WireError { expected: "window proof tag" });
+        return Err(WireError {
+            expected: "window proof tag",
+        });
     }
     let window_id = r.get_u64()?;
     let lo = SerialNumber(r.get_u64()?);
@@ -198,7 +208,9 @@ pub fn encode_head_cert(h: &HeadCert) -> Vec<u8> {
 pub fn decode_head_cert(bytes: &[u8]) -> Result<HeadCert, WireError> {
     let mut r = WireReader::new(bytes);
     if r.get_str()? != "strongworm.headcert.v1" {
-        return Err(WireError { expected: "head cert tag" });
+        return Err(WireError {
+            expected: "head cert tag",
+        });
     }
     let sn_current = SerialNumber(r.get_u64()?);
     let issued_at = Timestamp::from_millis(r.get_u64()?);
@@ -228,7 +240,9 @@ pub fn encode_base_cert(b: &BaseCert) -> Vec<u8> {
 pub fn decode_base_cert(bytes: &[u8]) -> Result<BaseCert, WireError> {
     let mut r = WireReader::new(bytes);
     if r.get_str()? != "strongworm.basecert.v1" {
-        return Err(WireError { expected: "base cert tag" });
+        return Err(WireError {
+            expected: "base cert tag",
+        });
     }
     let sn_base = SerialNumber(r.get_u64()?);
     let expires_at = Timestamp::from_millis(r.get_u64()?);
@@ -308,7 +322,10 @@ mod tests {
             deleted_at: Timestamp::from_millis(55),
             sig: sig(3),
         };
-        assert_eq!(decode_deletion_proof(&encode_deletion_proof(&p)).unwrap(), p);
+        assert_eq!(
+            decode_deletion_proof(&encode_deletion_proof(&p)).unwrap(),
+            p
+        );
 
         let w = WindowProof {
             window_id: 0xABCD,

@@ -8,13 +8,16 @@
 //! budget for witness strengthening and audits, and compacts expired
 //! runs — so the store maintains itself while the foreground serves
 //! requests.
+//!
+//! The daemon holds a plain `Arc<WormServer>` — every maintenance pass
+//! serializes only against the *witness plane*, so foreground reads keep
+//! flowing while the pass runs (the whole point of the two-plane split).
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
 use wormstore::BlockDevice;
 
 use crate::error::WormError;
@@ -52,10 +55,12 @@ pub struct RetentionDaemon {
 }
 
 impl RetentionDaemon {
-    /// Spawns the maintenance loop over a shared server.
-    pub fn spawn<D>(server: Arc<Mutex<WormServer<D>>>, config: DaemonConfig) -> Self
+    /// Spawns the maintenance loop over a shared server. Maintenance
+    /// passes contend only on the witness plane; concurrent readers are
+    /// never blocked by a pass.
+    pub fn spawn<D>(server: Arc<WormServer<D>>, config: DaemonConfig) -> Self
     where
-        D: BlockDevice + Send + 'static,
+        D: BlockDevice + 'static,
     {
         let (shutdown, rx) = bounded::<()>(1);
         let handle = std::thread::Builder::new()
@@ -68,11 +73,10 @@ impl RetentionDaemon {
                         return Ok(());
                     }
                     pass = pass.wrapping_add(1);
-                    let mut srv = server.lock();
-                    srv.tick()?;
-                    srv.idle(config.idle_budget_ns)?;
-                    if config.compact_every > 0 && pass % config.compact_every == 0 {
-                        srv.compact()?;
+                    server.tick()?;
+                    server.idle(config.idle_budget_ns)?;
+                    if config.compact_every > 0 && pass.is_multiple_of(config.compact_every) {
+                        server.compact()?;
                     }
                 }
             })
@@ -122,26 +126,29 @@ mod tests {
     use scpu::VirtualClock;
     use wormstore::Shredder;
 
-    fn fixture() -> (Arc<Mutex<WormServer>>, Arc<VirtualClock>) {
+    fn fixture() -> (Arc<WormServer>, Arc<VirtualClock>) {
         let clock = VirtualClock::starting_at_millis(1000);
         let reg = RegulatoryAuthority::generate(&mut StdRng::seed_from_u64(91), 512);
-        let srv = WormServer::new(WormConfig::test_small(), clock.clone(), reg.public())
-            .expect("boot");
-        (Arc::new(Mutex::new(srv)), clock)
+        let srv =
+            WormServer::new(WormConfig::test_small(), clock.clone(), reg.public()).expect("boot");
+        (Arc::new(srv), clock)
     }
 
     #[test]
     fn daemon_deletes_expired_records_in_background() {
         let (server, clock) = fixture();
-        let sn = {
-            let mut s = server.lock();
-            s.write(&[b"anchor"], RetentionPolicy::custom(Duration::from_secs(1_000_000), Shredder::ZeroFill)).unwrap();
-            s.write(
+        server
+            .write(
+                &[b"anchor"],
+                RetentionPolicy::custom(Duration::from_secs(1_000_000), Shredder::ZeroFill),
+            )
+            .unwrap();
+        let sn = server
+            .write(
                 &[b"fleeting"],
                 RetentionPolicy::custom(Duration::from_secs(10), Shredder::ZeroFill),
             )
-            .unwrap()
-        };
+            .unwrap();
         let daemon = RetentionDaemon::spawn(
             server.clone(),
             DaemonConfig {
@@ -153,14 +160,12 @@ mod tests {
         assert!(daemon.is_running());
 
         clock.advance(Duration::from_secs(11));
-        // Wait (bounded) for the background pass to process the expiry.
+        // Wait (bounded) for the background pass to process the expiry —
+        // reading concurrently with the daemon, no outer lock.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
-            {
-                let mut s = server.lock();
-                if s.read(sn).unwrap().kind() == "deleted" {
-                    break;
-                }
+            if server.read(sn).unwrap().kind() == "deleted" {
+                break;
             }
             assert!(
                 std::time::Instant::now() < deadline,
@@ -174,25 +179,20 @@ mod tests {
     #[test]
     fn daemon_strengthens_deferred_witnesses_in_background() {
         let (server, _clock) = fixture();
-        let sn = {
-            let mut s = server.lock();
-            s.write_with(
+        let sn = server
+            .write_with(
                 &[b"burst"],
                 RetentionPolicy::custom(Duration::from_secs(1_000_000), Shredder::ZeroFill),
                 0,
                 crate::config::WitnessMode::Deferred,
             )
-            .unwrap()
-        };
+            .unwrap();
         let daemon = RetentionDaemon::spawn(server.clone(), DaemonConfig::default());
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         loop {
-            {
-                let mut s = server.lock();
-                if let crate::proofs::ReadOutcome::Data { vrd, .. } = s.read(sn).unwrap() {
-                    if vrd.metasig.is_strong() && vrd.datasig.is_strong() {
-                        break;
-                    }
+            if let crate::proofs::ReadOutcome::Data { vrd, .. } = server.read(sn).unwrap() {
+                if vrd.metasig.is_strong() && vrd.datasig.is_strong() {
+                    break;
                 }
             }
             assert!(

@@ -113,7 +113,10 @@ impl std::fmt::Display for VerifyError {
                 write!(f, "short-lived witness on {field} expired unstrengthened")
             }
             VerifyError::UnverifiableMac { field } => {
-                write!(f, "{field} carries an hmac witness only the scpu can verify")
+                write!(
+                    f,
+                    "{field} carries an hmac witness only the scpu can verify"
+                )
             }
             VerifyError::WindowIdMismatch => {
                 f.write_str("window bound signatures carry different window ids")

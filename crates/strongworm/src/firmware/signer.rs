@@ -68,8 +68,7 @@ impl WormFirmware {
                 let total: usize = records.iter().map(|r| r.len()).sum();
                 env.charge(Op::DmaIn { bytes: total });
                 env.charge(Op::Sha256 { bytes: total });
-                let digest =
-                    crate::vrd::data_hash(scheme, records.iter().map(|r| r.as_slice()));
+                let digest = crate::vrd::data_hash(scheme, records.iter().map(|r| r.as_slice()));
                 (digest, false)
             }
             WriteData::HostHash { chain_hash, .. } => {
@@ -78,7 +77,9 @@ impl WormFirmware {
                         "host-provided data hash must be {expected_len} bytes for {scheme:?}"
                     ));
                 }
-                env.charge(Op::DmaIn { bytes: expected_len });
+                env.charge(Op::DmaIn {
+                    bytes: expected_len,
+                });
                 (chain_hash.clone(), true)
             }
         };
@@ -112,16 +113,17 @@ impl WormFirmware {
         // out to the host instead (§4.2.2: VEXP "subject to secure storage
         // space").
         let shred_code = shredder_code(policy.shredder);
-        let vexp_seal = match self
-            .vexp
-            .insert(env.memory(), sn, attr.retention_until, policy.shredder)
-        {
-            Ok(()) => None,
-            Err(_) => {
-                self.spilled += 1;
-                Some(self.seal_expiry(sn, attr.retention_until, shred_code))
-            }
-        };
+        let vexp_seal =
+            match self
+                .vexp
+                .insert(env.memory(), sn, attr.retention_until, policy.shredder)
+            {
+                Ok(()) => None,
+                Err(_) => {
+                    self.spilled += 1;
+                    Some(self.seal_expiry(sn, attr.retention_until, shred_code))
+                }
+            };
 
         Ok(WormResponse::Written(WriteReceipt {
             sn,
@@ -233,7 +235,8 @@ impl WormFirmware {
             );
         } else {
             let witness = self.sign_strong(env, payload);
-            self.outbox.push(OutboxItem::Strengthened { sn, field, witness });
+            self.outbox
+                .push(OutboxItem::Strengthened { sn, field, witness });
         }
     }
 
@@ -270,7 +273,8 @@ impl WormFirmware {
             } else {
                 WitnessField::Data
             };
-            self.outbox.push(OutboxItem::Strengthened { sn, field, witness });
+            self.outbox
+                .push(OutboxItem::Strengthened { sn, field, witness });
             if per_sig == 0 && self.pending.is_empty() {
                 break;
             }

@@ -292,14 +292,20 @@ impl WormFirmware {
             key_id: fingerprint,
             bytes: s
                 .sign_key
-                .sign(&window_payload(window_id, lo, WindowSide::Lower), HashAlg::Sha256)
+                .sign(
+                    &window_payload(window_id, lo, WindowSide::Lower),
+                    HashAlg::Sha256,
+                )
                 .expect("strong modulus sized"),
         };
         let hi_sig = Signature {
             key_id: fingerprint,
             bytes: s
                 .sign_key
-                .sign(&window_payload(window_id, hi, WindowSide::Upper), HashAlg::Sha256)
+                .sign(
+                    &window_payload(window_id, hi, WindowSide::Upper),
+                    HashAlg::Sha256,
+                )
                 .expect("strong modulus sized"),
         };
         // Externalize: per-SN knowledge is replaced by the interval.

@@ -59,8 +59,8 @@
 
 pub mod adversary;
 pub mod attr;
-pub mod cluster;
 pub mod authority;
+pub mod cluster;
 pub mod codec;
 pub mod daemon;
 pub mod firmware;
@@ -81,12 +81,12 @@ mod sn;
 pub use authority::{CertificateAuthority, HoldCredential, RegulatoryAuthority, ReleaseCredential};
 pub use client::{ReadVerdict, Verifier};
 pub use cluster::{ClusterRecordId, WormCluster};
-pub use daemon::{DaemonConfig, RetentionDaemon};
 pub use config::{DataHashScheme, HashMode, WitnessMode, WormConfig};
+pub use daemon::{DaemonConfig, RetentionDaemon};
 pub use error::{VerifyError, WormError};
 pub use offline::{audit_journal, OfflineAuditReport};
 pub use policy::{Regulation, RetentionPolicy};
 pub use proofs::{DeletionEvidence, ReadOutcome};
-pub use server::WormServer;
+pub use server::{ReadPlane, WitnessPlane, WormServer};
 pub use sn::SerialNumber;
 pub use vrd::Vrd;

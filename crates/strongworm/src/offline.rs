@@ -86,9 +86,7 @@ where
                     }
                 }
                 if unreadable {
-                    report
-                        .failures
-                        .push((sn, VerifyError::DataHashMismatch));
+                    report.failures.push((sn, VerifyError::DataHashMismatch));
                 } else {
                     match verifier.verify_vrd(vrd, &records) {
                         Ok(()) => report.verified += 1,

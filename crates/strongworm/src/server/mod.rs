@@ -1,0 +1,472 @@
+//! The untrusted host ("main CPU") side of the architecture.
+//!
+//! [`WormServer`] follows the paper's division of labour exactly — the
+//! SCPU witnesses *updates* (writes, deletions, litigation changes),
+//! while *reads* are served from host state alone (§4.1 "Small Trusted
+//! Computing Base") — and realizes it as two planes:
+//!
+//! * [`ReadPlane`]: shared handles to the VRDT (behind a reader-writer
+//!   lock) and the record store; serves any number of concurrent reader
+//!   threads through `&self` with no SCPU involvement.
+//! * [`WitnessPlane`]: owns the SCPU device and all update-path
+//!   bookkeeping; serialized behind a mutex (the device channel is serial
+//!   anyway).
+//!
+//! The facade's entire API is `&self`, so a `WormServer` can be shared
+//! across threads directly (e.g. `Arc<WormServer>` with a background
+//! [`crate::daemon::RetentionDaemon`]) — readers proceed while the
+//! witness plane writes, deletes, and strengthens in the background.
+//!
+//! Nothing in this module is trusted. A dishonest host can mutate any of
+//! this state (see [`crate::adversary`]); the guarantee is that clients
+//! detect it.
+
+mod read_plane;
+mod witness;
+
+pub use read_plane::ReadPlane;
+pub use witness::WitnessPlane;
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use scpu::{Clock, Device, Meter};
+use wormcrypt::{Digest, RsaPublicKey, Sha256};
+use wormstore::{BlockDevice, MemDisk, RecordStore};
+
+use crate::config::{WitnessMode, WormConfig};
+use crate::error::WormError;
+use crate::firmware::{
+    DeviceKeys, FirmwareConfig, WeakKeyCert, WormFirmware, WormRequest, WormResponse,
+};
+use crate::policy::RetentionPolicy;
+use crate::proofs::{DeletionEvidence, ReadOutcome};
+use crate::sn::SerialNumber;
+use crate::vrd::data_chain_hash;
+use crate::vrdt::Vrdt;
+
+use read_plane::ReadStep;
+use witness::{execute, unexpected};
+
+/// The WORM storage server: a concurrent [`ReadPlane`] plus a serialized
+/// [`WitnessPlane`] behind one `&self` facade (see module docs).
+pub struct WormServer<D: BlockDevice = MemDisk> {
+    keys: DeviceKeys,
+    read_plane: ReadPlane<D>,
+    witness: Mutex<WitnessPlane<D>>,
+}
+
+impl WormServer<MemDisk> {
+    /// Boots a server over an in-memory, unmetered disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures during key generation.
+    pub fn new(
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        regulator: &RsaPublicKey,
+    ) -> Result<Self, WormError> {
+        let store = RecordStore::new(MemDisk::unmetered(config.store_capacity));
+        Self::with_store(store, config, clock, regulator)
+    }
+}
+
+impl<D: BlockDevice> WormServer<D> {
+    /// Boots a server over a caller-supplied record store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device failures during key generation.
+    pub fn with_store(
+        store: RecordStore<D>,
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        regulator: &RsaPublicKey,
+    ) -> Result<Self, WormError> {
+        let firmware = WormFirmware::new(FirmwareConfig {
+            strong_bits: config.strong_bits,
+            weak_bits: config.weak_bits,
+            weak_lifetime: config.weak_lifetime,
+            head_refresh_interval: config.head_refresh_interval,
+            base_cert_lifetime: config.base_cert_lifetime,
+            min_compaction_run: config.min_compaction_run,
+            data_hash: config.data_hash,
+        });
+        let mut device = Device::new(firmware, config.device.clone(), clock.clone());
+        execute(
+            &mut device,
+            WormRequest::Init {
+                regulator: regulator.clone(),
+            },
+        )?;
+        let keys = match execute(&mut device, WormRequest::GetKeys)? {
+            WormResponse::Keys(k) => k,
+            other => return Err(unexpected(other)),
+        };
+        let server = Self::assemble(Vrdt::new(), store, device, keys, config, clock, 0x4057);
+        // Publish the initial head and base so clients always have
+        // freshness evidence.
+        {
+            let mut w = server.witness.lock();
+            w.refresh_head()?;
+            w.refresh_base()?;
+        }
+        Ok(server)
+    }
+
+    /// Wires the two planes around the shared VRDT and store.
+    fn assemble(
+        vrdt: Vrdt,
+        store: RecordStore<D>,
+        device: Device<WormFirmware>,
+        keys: DeviceKeys,
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        rng_seed: u64,
+    ) -> Self {
+        let vrdt = Arc::new(RwLock::new(vrdt));
+        let store = Arc::new(store);
+        let read_plane = ReadPlane::new(
+            Arc::clone(&vrdt),
+            Arc::clone(&store),
+            clock.clone(),
+            config.head_refresh_interval,
+        );
+        let witness = WitnessPlane::new(
+            config,
+            clock,
+            device,
+            vrdt,
+            store,
+            keys.weak_cert.clone(),
+            rng_seed,
+        );
+        WormServer {
+            keys,
+            read_plane,
+            witness: Mutex::new(witness),
+        }
+    }
+
+    /// Decomposes the server into the parts that survive a host restart:
+    /// the battery-backed secure device (keys, serial counter, VEXP) and
+    /// the on-disk record store and VRDT journal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shared handles to the planes' state still exist outside
+    /// this server (impossible through the public API).
+    pub fn into_parts(self) -> (Device<WormFirmware>, RecordStore<D>, wormstore::Journal) {
+        let WormServer {
+            read_plane,
+            witness,
+            ..
+        } = self;
+        // Both planes hold the only two handles to the shared state; drop
+        // the read plane's so the witness plane's unwrap cleanly.
+        drop(read_plane);
+        let (device, vrdt, store) = witness.into_inner().into_shared_parts();
+        let vrdt = Arc::try_unwrap(vrdt)
+            .unwrap_or_else(|_| unreachable!("read plane dropped; sole VRDT handle remains"))
+            .into_inner();
+        let store = Arc::try_unwrap(store)
+            .unwrap_or_else(|_| unreachable!("read plane dropped; sole store handle remains"));
+        let journal = wormstore::Journal::from_bytes(vrdt.journal().as_bytes().to_vec());
+        (device, store, journal)
+    }
+
+    /// Resumes operation after a host crash: rebuilds the VRDT from its
+    /// journal, reconstructs the dedup/refcount indexes from the store,
+    /// and re-arms every active record's expiration inside the SCPU from
+    /// its own signed attributes (`SyncVexpFromAttr`) — the firmware
+    /// verifies each metasig, so a malicious "recovery" cannot shorten
+    /// retentions.
+    ///
+    /// Note: the published weak-key certificate history is host state a
+    /// real deployment persists alongside the journal; after resume only
+    /// the device's *current* weak certificate is known, so
+    /// not-yet-strengthened witnesses under retired weak keys should be
+    /// re-verified once the host restores its certificate archive.
+    ///
+    /// # Errors
+    ///
+    /// Journal corruption, device failures, or store failures.
+    pub fn resume(
+        mut device: Device<WormFirmware>,
+        store: RecordStore<D>,
+        journal: wormstore::Journal,
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, WormError> {
+        let vrdt = Vrdt::recover(journal)?;
+        let keys = match execute(&mut device, WormRequest::GetKeys)? {
+            WormResponse::Keys(k) => k,
+            other => return Err(unexpected(other)),
+        };
+        let server = Self::assemble(vrdt, store, device, keys, config, clock, 0x4058);
+        {
+            let mut w = server.witness.lock();
+            w.rebuild_after_recovery()?;
+            w.refresh_head()?;
+            w.refresh_base()?;
+            w.drain_outbox()?;
+        }
+        Ok(server)
+    }
+
+    /// Device public keys and certificates for client distribution.
+    pub fn keys(&self) -> &DeviceKeys {
+        &self.keys
+    }
+
+    /// All weak-key certificates published so far.
+    pub fn weak_certs(&self) -> Vec<WeakKeyCert> {
+        self.witness.lock().weak_certs.clone()
+    }
+
+    /// The concurrent read plane (shared VRDT + store handles).
+    pub fn read_plane(&self) -> &ReadPlane<D> {
+        &self.read_plane
+    }
+
+    /// Read access to the host-side VRDT (tests and tools). The returned
+    /// guard blocks witness-plane mutations while held.
+    pub fn vrdt(&self) -> RwLockReadGuard<'_, Vrdt> {
+        self.read_plane.vrdt()
+    }
+
+    /// SCPU virtual-time meter snapshot (benchmarks).
+    pub fn device_meter(&self) -> Meter {
+        self.witness.lock().device.meter().clone()
+    }
+
+    /// Host-side virtual-time meter snapshot (benchmarks).
+    pub fn host_meter(&self) -> Meter {
+        self.witness.lock().host_meter.clone()
+    }
+
+    /// Zeroes both cost meters and the store's I/O statistics.
+    pub fn reset_meters(&self) {
+        let mut w = self.witness.lock();
+        w.device.reset_meter();
+        w.host_meter.reset();
+        w.store.device().reset_stats();
+    }
+
+    /// The record store (I/O statistics, capacity).
+    pub fn store(&self) -> &RecordStore<D> {
+        self.read_plane.store()
+    }
+
+    /// Records flagged by SCPU audits of trust-host-hash writes.
+    pub fn audit_failures(&self) -> Vec<SerialNumber> {
+        self.witness.lock().audit_failures.clone()
+    }
+
+    /// Number of spilled VEXP entries awaiting re-submission.
+    pub fn spilled_vexp(&self) -> usize {
+        self.witness.lock().spilled_vexp()
+    }
+
+    /// Writes a virtual record grouping `records` under `policy`,
+    /// using the configured default witness tier.
+    ///
+    /// # Errors
+    ///
+    /// Store, device, or firmware failures.
+    pub fn write(
+        &self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+    ) -> Result<SerialNumber, WormError> {
+        let mut w = self.witness.lock();
+        let witness = w.config.default_witness;
+        w.write_inner(records, policy, 0, witness, false)
+    }
+
+    /// Writes with an explicit witness tier and flag bits (§4.2.2 Write,
+    /// §4.3 deferred strength).
+    ///
+    /// # Errors
+    ///
+    /// Store, device, or firmware failures.
+    pub fn write_with(
+        &self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+        flags: u32,
+        witness: WitnessMode,
+    ) -> Result<SerialNumber, WormError> {
+        self.witness
+            .lock()
+            .write_inner(records, policy, flags, witness, false)
+    }
+
+    /// Writes a VR whose records are deduplicated against previously
+    /// stored content (§4.2: VRs may overlap, so "repeatedly stored
+    /// objects (such as popular email attachments) \[are\] potentially ...
+    /// stored only once"). A shared extent is shredded only when the last
+    /// VR referencing it is deleted.
+    ///
+    /// # Errors
+    ///
+    /// Store, device, or firmware failures.
+    pub fn write_dedup(
+        &self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+    ) -> Result<SerialNumber, WormError> {
+        let mut w = self.witness.lock();
+        let witness = w.config.default_witness;
+        w.write_inner(records, policy, 0, witness, true)
+    }
+
+    /// Reads a record by serial number — main-CPU cycles only (§4.2.2),
+    /// concurrent with other readers and with witness-plane maintenance.
+    ///
+    /// The witness plane is consulted only when freshness evidence has
+    /// gone stale (head certificate older than the refresh interval, or
+    /// an expired base certificate); in a busy store the continuous
+    /// updates keep both fresh for free and reads never serialize.
+    ///
+    /// # Errors
+    ///
+    /// Device failures (only on lazy freshness refresh), store failures,
+    /// or an internally inconsistent VRDT.
+    pub fn read(&self, sn: SerialNumber) -> Result<ReadOutcome, WormError> {
+        if self.read_plane.head_stale() {
+            // Serialize only the refresh; the staleness re-check inside
+            // collapses racing readers into one device round-trip.
+            self.witness.lock().ensure_fresh_head()?;
+        }
+        match self.read_plane.read(sn)? {
+            ReadStep::Done(outcome) => Ok(outcome),
+            ReadStep::NeedFreshBase { head } => {
+                let base = self.witness.lock().ensure_fresh_base()?;
+                Ok(ReadOutcome::Deleted {
+                    evidence: DeletionEvidence::BelowBase(base),
+                    head,
+                })
+            }
+        }
+    }
+
+    /// Forces a head-certificate refresh through the SCPU.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures.
+    pub fn refresh_head(&self) -> Result<(), WormError> {
+        self.witness.lock().refresh_head()
+    }
+
+    /// Forces a base-certificate refresh through the SCPU.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures.
+    pub fn refresh_base(&self) -> Result<(), WormError> {
+        self.witness.lock().refresh_base()
+    }
+
+    /// Places a litigation hold authorized by `credential` (§4.2.2).
+    ///
+    /// # Errors
+    ///
+    /// [`WormError::NotActive`] if the record is not live; firmware
+    /// rejections for bad credentials.
+    pub fn lit_hold(&self, credential: crate::authority::HoldCredential) -> Result<(), WormError> {
+        self.witness.lock().lit_hold(credential)
+    }
+
+    /// Releases a litigation hold (§4.2.2).
+    ///
+    /// # Errors
+    ///
+    /// [`WormError::NotActive`] if the record is not live; firmware
+    /// rejections for bad credentials.
+    pub fn lit_release(
+        &self,
+        credential: crate::authority::ReleaseCredential,
+    ) -> Result<(), WormError> {
+        self.witness.lock().lit_release(credential)
+    }
+
+    /// Drives due device alarms (Retention Monitor wake-ups, head
+    /// heartbeats) and applies the resulting outbox items.
+    ///
+    /// # Errors
+    ///
+    /// Device or store failures.
+    pub fn tick(&self) -> Result<(), WormError> {
+        self.witness.lock().tick()
+    }
+
+    /// Grants the SCPU an idle budget (virtual nanoseconds) for deferred
+    /// work: strengthening witnesses, re-admitting spilled VEXP entries,
+    /// and auditing trust-host-hash writes (§4.3).
+    ///
+    /// # Errors
+    ///
+    /// Device or store failures.
+    pub fn idle(&self, budget_ns: u64) -> Result<(), WormError> {
+        self.witness.lock().idle(budget_ns)
+    }
+
+    /// Compacts every eligible contiguous run of expired entries into
+    /// signed deleted windows (§4.2.1), returning how many windows were
+    /// created. Intended for idle periods.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures.
+    pub fn compact(&self) -> Result<usize, WormError> {
+        self.witness.lock().compact()
+    }
+
+    /// Verifies the chain hash of a record against host state (utility
+    /// for tools; clients do their own verification).
+    pub fn local_chain_hash(records: &[&[u8]]) -> Vec<u8> {
+        data_chain_hash(records.iter().copied())
+    }
+
+    /// Computes SHA-256 of a byte string (host-side convenience).
+    pub fn sha256(data: &[u8]) -> Vec<u8> {
+        Sha256::digest(data)
+    }
+
+    /// Test/adversary access to internal state; see [`crate::adversary`].
+    /// The VRDT write guard blocks the read plane while held.
+    #[doc(hidden)]
+    pub fn parts_mut_for_attack(&self) -> (RwLockWriteGuard<'_, Vrdt>, &RecordStore<D>) {
+        (self.read_plane.vrdt_write(), self.read_plane.store())
+    }
+
+    /// Triggers the device's tamper response (for failure-injection
+    /// tests): the SCPU zeroizes and all further update operations fail.
+    pub fn tamper_device(&self, cause: scpu::TamperCause) {
+        self.witness.lock().device.trigger_tamper(cause);
+    }
+
+    /// Firmware introspection for tests (not available in a real
+    /// deployment). The returned guard holds the witness-plane lock: all
+    /// update operations block while it lives.
+    #[doc(hidden)]
+    pub fn firmware_for_test(&self) -> FirmwareGuard<'_, D> {
+        FirmwareGuard(self.witness.lock())
+    }
+}
+
+/// Witness-plane lock scoped to firmware introspection (derefs to
+/// [`WormFirmware`]).
+#[doc(hidden)]
+pub struct FirmwareGuard<'a, D: BlockDevice>(MutexGuard<'a, WitnessPlane<D>>);
+
+impl<D: BlockDevice> std::ops::Deref for FirmwareGuard<'_, D> {
+    type Target = WormFirmware;
+
+    fn deref(&self) -> &WormFirmware {
+        self.0.device.applet_for_test()
+    }
+}

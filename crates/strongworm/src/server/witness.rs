@@ -1,0 +1,548 @@
+//! The serialized witness plane.
+//!
+//! Everything that crosses the device boundary — writes, litigation
+//! changes, retention alarms, compaction, idle-time strengthening — goes
+//! through here, one operation at a time (the facade wraps this type in a
+//! mutex). The SCPU command channel is inherently serial, so serializing
+//! the host-side bookkeeping around it costs nothing; what matters is
+//! that the read plane never waits on it.
+//!
+//! Mutations touch the shared VRDT through its write lock in short
+//! critical sections. Deletion order is the crux (see the read-plane
+//! docs): an entry is expired *inside* the write lock, and its extents
+//! shredded only after the lock is released — so concurrent readers
+//! either saw the record active (and finished reading its bytes under
+//! their read guard) or see the deletion proof.
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::{Clock, Device, Meter, Op, Timestamp};
+use wormcrypt::Sha256;
+use wormstore::{BlockDevice, RecordDescriptor, RecordStore, Shredder};
+
+use crate::config::{HashMode, WitnessMode, WormConfig};
+use crate::error::WormError;
+use crate::firmware::{
+    OutboxItem, WeakKeyCert, WitnessField, WormFirmware, WormRequest, WormResponse, WriteData,
+};
+use crate::policy::RetentionPolicy;
+use crate::proofs::BaseCert;
+use crate::sn::SerialNumber;
+use crate::vrd::Vrd;
+use crate::vrdt::{Lookup, Vrdt};
+
+/// A VEXP entry the firmware spilled to the host, awaiting re-submission.
+#[derive(Clone, Debug)]
+struct SpilledVexp {
+    sn: SerialNumber,
+    expires_at: Timestamp,
+    shredder: Shredder,
+    seal: Vec<u8>,
+}
+
+/// The mutating half of the server: owns the SCPU device and all
+/// update-path bookkeeping; shares the VRDT and store with the read
+/// plane (see module docs).
+pub struct WitnessPlane<D: BlockDevice> {
+    pub(crate) config: WormConfig,
+    clock: Arc<dyn Clock>,
+    pub(crate) device: Device<WormFirmware>,
+    vrdt: Arc<RwLock<Vrdt>>,
+    pub(crate) store: Arc<RecordStore<D>>,
+    /// All weak-key certificates published so far (clients need the
+    /// history to verify not-yet-strengthened witnesses).
+    pub(crate) weak_certs: Vec<WeakKeyCert>,
+    /// Spilled VEXP entries to re-submit during idle periods.
+    spilled: Vec<SpilledVexp>,
+    /// Trust-host-hash writes not yet audited by the SCPU.
+    unaudited: BTreeSet<SerialNumber>,
+    /// Records the SCPU flagged during audit (host lied about a hash).
+    pub(crate) audit_failures: Vec<SerialNumber>,
+    /// Modeled cost of host-side work (P4-class), for the benchmarks.
+    pub(crate) host_meter: Meter,
+    host_model: scpu::CostModel,
+    rng: StdRng,
+    /// Content-addressed index for deduplicated writes (§4.2: overlapping
+    /// VRs let "repeatedly stored objects ... be stored only once").
+    dedup_index: HashMap<[u8; 32], RecordDescriptor>,
+    /// Reverse map for cleaning the dedup index when an extent dies.
+    record_hashes: HashMap<wormstore::RecordId, [u8; 32]>,
+    /// Live VR references per physical record; extents are shredded only
+    /// when the last referencing VR is deleted.
+    refcounts: HashMap<wormstore::RecordId, usize>,
+    /// Records whose expiration scheduling must be retried (crash
+    /// recovery with exhausted secure memory).
+    resync: Vec<SerialNumber>,
+}
+
+impl<D: BlockDevice> WitnessPlane<D> {
+    pub(crate) fn new(
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        device: Device<WormFirmware>,
+        vrdt: Arc<RwLock<Vrdt>>,
+        store: Arc<RecordStore<D>>,
+        initial_weak_cert: WeakKeyCert,
+        rng_seed: u64,
+    ) -> Self {
+        WitnessPlane {
+            config,
+            clock,
+            device,
+            vrdt,
+            store,
+            weak_certs: vec![initial_weak_cert],
+            spilled: Vec::new(),
+            unaudited: BTreeSet::new(),
+            audit_failures: Vec::new(),
+            host_meter: Meter::new(),
+            host_model: scpu::CostModel::host_p4(),
+            rng: StdRng::seed_from_u64(rng_seed),
+            dedup_index: HashMap::new(),
+            record_hashes: HashMap::new(),
+            refcounts: HashMap::new(),
+            resync: Vec::new(),
+        }
+    }
+
+    /// Rebuilds reference counts, the content-addressed index, the audit
+    /// queue, and the SCPU's expiration schedule from recovered state
+    /// (crash recovery; see `WormServer::resume`).
+    pub(crate) fn rebuild_after_recovery(&mut self) -> Result<(), WormError> {
+        let active: Vec<Vrd> = self.vrdt.read().iter_active().cloned().collect();
+        for vrd in &active {
+            for rd in &vrd.rdl {
+                *self.refcounts.entry(rd.id).or_insert(0) += 1;
+            }
+        }
+        for vrd in &active {
+            for rd in &vrd.rdl {
+                if !self.record_hashes.contains_key(&rd.id) {
+                    let bytes = self.store.read(rd)?;
+                    let digest = Sha256::digest_array(&bytes);
+                    self.dedup_index.insert(digest, *rd);
+                    self.record_hashes.insert(rd.id, digest);
+                }
+            }
+        }
+        // Trust-host-hash deployments: the firmware's pending-audit set
+        // survives in the device, but the host's submission queue does
+        // not — re-enqueue every active record. Already-audited records
+        // are rejected by the firmware and drained harmlessly.
+        if self.config.hash_mode == HashMode::TrustHostHash {
+            for vrd in &active {
+                self.unaudited.insert(vrd.sn);
+            }
+        }
+        // Re-arm expirations inside the SCPU (idempotent: entries already
+        // resident in battery-backed VEXP are acknowledged as synced).
+        for vrd in active {
+            let req = WormRequest::SyncVexpFromAttr {
+                sn: vrd.sn,
+                attr: vrd.attr.clone(),
+                metasig: vrd.metasig.clone(),
+            };
+            match execute(&mut self.device, req) {
+                Ok(WormResponse::Synced) => {}
+                _ => self.resync.push(vrd.sn),
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn spilled_vexp(&self) -> usize {
+        self.spilled.len()
+    }
+
+    pub(crate) fn write_inner(
+        &mut self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+        flags: u32,
+        witness: WitnessMode,
+        dedup: bool,
+    ) -> Result<SerialNumber, WormError> {
+        // 1. Host writes the data records to the store (reusing identical
+        //    content when deduplication is requested).
+        let mut rdl = Vec::with_capacity(records.len());
+        for r in records {
+            let rd = if dedup {
+                let digest = Sha256::digest_array(r);
+                match self.dedup_index.get(&digest) {
+                    Some(&existing)
+                        if self.refcounts.get(&existing.id).copied().unwrap_or(0) > 0 =>
+                    {
+                        existing
+                    }
+                    _ => {
+                        let rd = self.store.write(r)?;
+                        self.dedup_index.insert(digest, rd);
+                        self.record_hashes.insert(rd.id, digest);
+                        rd
+                    }
+                }
+            } else {
+                self.store.write(r)?
+            };
+            *self.refcounts.entry(rd.id).or_insert(0) += 1;
+            rdl.push(rd);
+        }
+        // 2. Host messages the SCPU with the record content (or its hash).
+        let data = match self.config.hash_mode {
+            HashMode::ScpuHashes => WriteData::Full(records.iter().map(|r| r.to_vec()).collect()),
+            HashMode::TrustHostHash => {
+                let total: usize = records.iter().map(|r| r.len()).sum();
+                self.host_meter.record(
+                    Op::Sha256 { bytes: total },
+                    self.host_model.cost_ns(Op::Sha256 { bytes: total }),
+                );
+                WriteData::HostHash {
+                    chain_hash: crate::vrd::data_hash(
+                        self.config.data_hash,
+                        records.iter().copied(),
+                    ),
+                    total_len: total as u64,
+                }
+            }
+        };
+        let receipt = match execute(
+            &mut self.device,
+            WormRequest::Write {
+                policy,
+                flags,
+                data,
+                witness,
+            },
+        )? {
+            WormResponse::Written(r) => r,
+            other => return Err(unexpected(other)),
+        };
+        // 3. Host assembles the VRD and commits it to the VRDT.
+        let retention_until = receipt.attr.retention_until;
+        let vrd = Vrd {
+            sn: receipt.sn,
+            attr: receipt.attr,
+            rdl,
+            metasig: receipt.metasig,
+            datasig: receipt.datasig,
+        };
+        self.vrdt.write().insert(vrd);
+        if let Some(seal) = receipt.vexp_seal {
+            self.spilled.push(SpilledVexp {
+                sn: receipt.sn,
+                expires_at: retention_until,
+                shredder: policy.shredder,
+                seal,
+            });
+        }
+        if self.config.hash_mode == HashMode::TrustHostHash {
+            self.unaudited.insert(receipt.sn);
+        }
+        self.drain_outbox()?;
+        Ok(receipt.sn)
+    }
+
+    /// Refreshes the head certificate if missing or older than the
+    /// configured interval. Re-checks staleness here (under the witness
+    /// lock) so racing readers trigger at most one device round-trip.
+    pub(crate) fn ensure_fresh_head(&mut self) -> Result<(), WormError> {
+        let stale = match self.vrdt.read().head() {
+            None => true,
+            Some(h) => self.clock.now().since(h.issued_at) > self.config.head_refresh_interval,
+        };
+        if stale {
+            self.refresh_head()?;
+            // Crossing the device boundary may have fired due alarms
+            // (Retention Monitor deletions, heartbeats); apply them so the
+            // table is consistent before the read is served.
+            self.drain_outbox()?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn ensure_fresh_base(&mut self) -> Result<BaseCert, WormError> {
+        let stale = match self.vrdt.read().base() {
+            None => true,
+            Some(b) => b.expires_at <= self.clock.now(),
+        };
+        if stale {
+            self.refresh_base()?;
+        }
+        Ok(self
+            .vrdt
+            .read()
+            .base()
+            .cloned()
+            .expect("base just installed"))
+    }
+
+    pub(crate) fn refresh_head(&mut self) -> Result<(), WormError> {
+        match execute(&mut self.device, WormRequest::RefreshHead)? {
+            WormResponse::Head(h) => {
+                self.vrdt.write().set_head(h);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub(crate) fn refresh_base(&mut self) -> Result<(), WormError> {
+        match execute(&mut self.device, WormRequest::RefreshBase)? {
+            WormResponse::Base(b) => {
+                self.vrdt.write().set_base(b);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub(crate) fn lit_hold(
+        &mut self,
+        credential: crate::authority::HoldCredential,
+    ) -> Result<(), WormError> {
+        let sn = credential.sn;
+        let vrd = match self.vrdt.read().lookup(sn) {
+            Lookup::Active(v) => v.clone(),
+            _ => return Err(WormError::NotActive(sn)),
+        };
+        match execute(
+            &mut self.device,
+            WormRequest::LitHold {
+                attr: vrd.attr.clone(),
+                metasig: vrd.metasig.clone(),
+                credential,
+            },
+        )? {
+            WormResponse::AttrUpdated { attr, metasig } => {
+                let mut updated = vrd;
+                updated.attr = attr;
+                updated.metasig = metasig;
+                self.vrdt.write().replace(updated);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub(crate) fn lit_release(
+        &mut self,
+        credential: crate::authority::ReleaseCredential,
+    ) -> Result<(), WormError> {
+        let sn = credential.sn;
+        let vrd = match self.vrdt.read().lookup(sn) {
+            Lookup::Active(v) => v.clone(),
+            _ => return Err(WormError::NotActive(sn)),
+        };
+        match execute(
+            &mut self.device,
+            WormRequest::LitRelease {
+                attr: vrd.attr.clone(),
+                metasig: vrd.metasig.clone(),
+                credential,
+            },
+        )? {
+            WormResponse::AttrUpdated { attr, metasig } => {
+                let mut updated = vrd;
+                updated.attr = attr;
+                updated.metasig = metasig;
+                self.vrdt.write().replace(updated);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
+    }
+
+    pub(crate) fn tick(&mut self) -> Result<(), WormError> {
+        self.device.tick()?;
+        self.drain_outbox()
+    }
+
+    pub(crate) fn idle(&mut self, budget_ns: u64) -> Result<(), WormError> {
+        self.device.idle(budget_ns)?;
+        self.drain_outbox()?;
+        // Re-submit spilled VEXP entries while memory allows.
+        let mut remaining = Vec::new();
+        for entry in std::mem::take(&mut self.spilled) {
+            let res = execute(
+                &mut self.device,
+                WormRequest::SyncVexp {
+                    sn: entry.sn,
+                    expires_at: entry.expires_at,
+                    shredder: entry.shredder,
+                    seal: entry.seal.clone(),
+                },
+            );
+            match res {
+                Ok(WormResponse::Synced) => {}
+                _ => remaining.push(entry),
+            }
+        }
+        self.spilled = remaining;
+        // Retry crash-recovery expiration re-arming that previously hit
+        // exhausted secure memory.
+        let mut still_pending = Vec::new();
+        for sn in std::mem::take(&mut self.resync) {
+            let vrd = match self.vrdt.read().lookup(sn) {
+                Lookup::Active(v) => v.clone(),
+                _ => continue, // deleted meanwhile
+            };
+            let req = WormRequest::SyncVexpFromAttr {
+                sn,
+                attr: vrd.attr,
+                metasig: vrd.metasig,
+            };
+            match execute(&mut self.device, req) {
+                Ok(WormResponse::Synced) => {}
+                _ => still_pending.push(sn),
+            }
+        }
+        self.resync = still_pending;
+        // Submit pending audits.
+        let to_audit: Vec<SerialNumber> = self.unaudited.iter().copied().take(16).collect();
+        for sn in to_audit {
+            let rdl = match self.vrdt.read().lookup(sn) {
+                Lookup::Active(v) => Some(v.rdl.clone()),
+                _ => None,
+            };
+            let data = match rdl {
+                Some(rdl) => {
+                    let mut records = Vec::with_capacity(rdl.len());
+                    for rd in &rdl {
+                        records.push(self.store.read(rd)?.to_vec());
+                    }
+                    records
+                }
+                None => {
+                    // Deleted before audit; nothing to check any more.
+                    self.unaudited.remove(&sn);
+                    continue;
+                }
+            };
+            match execute(&mut self.device, WormRequest::AuditData { sn, data }) {
+                Ok(WormResponse::Audited(_)) => {
+                    self.unaudited.remove(&sn);
+                }
+                // Firmware-level rejection ("no pending audit"): the entry
+                // is unknown to the device, so retrying can never help —
+                // drop it rather than wedging the queue on it forever.
+                Err(WormError::Firmware(_)) => {
+                    self.unaudited.remove(&sn);
+                }
+                // Device-level failures (tamper) abort this pass.
+                _ => break,
+            }
+        }
+        self.drain_outbox()
+    }
+
+    pub(crate) fn compact(&mut self) -> Result<usize, WormError> {
+        let runs = self
+            .vrdt
+            .read()
+            .expired_runs(self.config.min_compaction_run);
+        let mut created = 0;
+        for (lo, hi) in runs {
+            match execute(&mut self.device, WormRequest::CompactWindow { lo, hi })? {
+                WormResponse::Window(w) => {
+                    self.vrdt.write().compact(w);
+                    created += 1;
+                }
+                other => return Err(unexpected(other)),
+            }
+        }
+        self.drain_outbox()?;
+        Ok(created)
+    }
+
+    /// Applies all queued outbox items from the firmware.
+    pub(crate) fn drain_outbox(&mut self) -> Result<(), WormError> {
+        let items = match execute(&mut self.device, WormRequest::DrainOutbox)? {
+            WormResponse::Outbox(items) => items,
+            other => return Err(unexpected(other)),
+        };
+        for item in items {
+            match item {
+                OutboxItem::Deleted { proof, shredder } => {
+                    // Expire under the write lock FIRST, collecting the
+                    // extents whose last reference died; shred after the
+                    // lock is dropped. Readers holding the read lock have
+                    // finished their store reads before we got the write
+                    // lock; later readers see the deletion proof.
+                    let mut to_shred: Vec<RecordDescriptor> = Vec::new();
+                    {
+                        let mut vrdt = self.vrdt.write();
+                        let rdl: Vec<RecordDescriptor> = match vrdt.lookup(proof.sn) {
+                            Lookup::Active(v) => v.rdl.clone(),
+                            _ => Vec::new(),
+                        };
+                        for rd in &rdl {
+                            // Shared extents (overlapping VRs) survive
+                            // until their last referencing VR dies.
+                            let count = self.refcounts.entry(rd.id).or_insert(1);
+                            *count = count.saturating_sub(1);
+                            if *count == 0 {
+                                self.refcounts.remove(&rd.id);
+                                if let Some(digest) = self.record_hashes.remove(&rd.id) {
+                                    self.dedup_index.remove(&digest);
+                                }
+                                to_shred.push(*rd);
+                            }
+                        }
+                        self.unaudited.remove(&proof.sn);
+                        vrdt.expire(proof);
+                    }
+                    for rd in &to_shred {
+                        self.store.shred(rd, shredder, &mut self.rng)?;
+                    }
+                }
+                OutboxItem::Strengthened { sn, field, witness } => {
+                    let mut vrdt = self.vrdt.write();
+                    let updated = match vrdt.lookup(sn) {
+                        Lookup::Active(v) => {
+                            let mut updated = v.clone();
+                            match field {
+                                WitnessField::Meta => updated.metasig = witness,
+                                WitnessField::Data => updated.datasig = witness,
+                            }
+                            Some(updated)
+                        }
+                        _ => None,
+                    };
+                    if let Some(updated) = updated {
+                        vrdt.replace(updated);
+                    }
+                }
+                OutboxItem::NewBase(b) => self.vrdt.write().set_base(b),
+                OutboxItem::NewHead(h) => self.vrdt.write().set_head(h),
+                OutboxItem::NewWeakKey(cert) => self.weak_certs.push(cert),
+                OutboxItem::AuditFailure { sn } => self.audit_failures.push(sn),
+            }
+        }
+        Ok(())
+    }
+    /// Surrenders the shared handles for [`super::WormServer::into_parts`].
+    pub(crate) fn into_shared_parts(
+        self,
+    ) -> (Device<WormFirmware>, Arc<RwLock<Vrdt>>, Arc<RecordStore<D>>) {
+        (self.device, self.vrdt, self.store)
+    }
+}
+
+pub(crate) fn execute(
+    device: &mut Device<WormFirmware>,
+    request: WormRequest,
+) -> Result<WormResponse, WormError> {
+    match device.execute(request) {
+        Ok(Ok(resp)) => Ok(resp),
+        Ok(Err(fw)) => Err(WormError::Firmware(fw.0)),
+        Err(dev) => Err(WormError::Device(dev)),
+    }
+}
+
+pub(crate) fn unexpected(resp: WormResponse) -> WormError {
+    WormError::Firmware(format!("unexpected firmware response: {resp:?}"))
+}

@@ -90,9 +90,9 @@ impl Vrdt {
         let mut t = Vrdt::new();
         let frames: Vec<Vec<u8>> = journal.replay().collect();
         for frame in frames {
-            let (&op, payload) = frame
-                .split_first()
-                .ok_or(WireError { expected: "journal opcode" })?;
+            let (&op, payload) = frame.split_first().ok_or(WireError {
+                expected: "journal opcode",
+            })?;
             match op {
                 OP_INSERT => {
                     let vrd = codec::decode_vrd(payload)?;
@@ -117,7 +117,11 @@ impl Vrdt {
                     let b = codec::decode_base_cert(payload)?;
                     t.apply_base(&b);
                 }
-                _ => return Err(WireError { expected: "known journal opcode" }),
+                _ => {
+                    return Err(WireError {
+                        expected: "known journal opcode",
+                    })
+                }
             }
         }
         t.journal = journal;
@@ -173,9 +177,7 @@ impl Vrdt {
                 self.entries.remove(&sn);
             }
         }
-        let pos = self
-            .windows
-            .partition_point(|w| w.lo < window.lo);
+        let pos = self.windows.partition_point(|w| w.lo < window.lo);
         self.windows.insert(pos, window.clone());
     }
 
@@ -541,7 +543,8 @@ mod tests {
             sig: sig(8),
         });
 
-        let recovered = Vrdt::recover(Journal::from_bytes(t.journal().as_bytes().to_vec())).unwrap();
+        let recovered =
+            Vrdt::recover(Journal::from_bytes(t.journal().as_bytes().to_vec())).unwrap();
         assert_eq!(recovered.resident_entries(), t.resident_entries());
         assert_eq!(recovered.resident_windows(), 1);
         assert_eq!(recovered.head().unwrap().sn_current, SerialNumber(8));
@@ -561,7 +564,10 @@ mod tests {
         j.truncate_tail(7); // tear the second frame
         let recovered = Vrdt::recover(j).unwrap();
         assert_eq!(recovered.resident_entries(), 1);
-        assert!(matches!(recovered.lookup(SerialNumber(1)), Lookup::Active(_)));
+        assert!(matches!(
+            recovered.lookup(SerialNumber(1)),
+            Lookup::Active(_)
+        ));
     }
 
     #[test]

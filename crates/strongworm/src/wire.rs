@@ -82,7 +82,11 @@ pub struct WireError {
 
 impl std::fmt::Display for WireError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "truncated or malformed wire data while reading {}", self.expected)
+        write!(
+            f,
+            "truncated or malformed wire data while reading {}",
+            self.expected
+        )
     }
 }
 
@@ -161,7 +165,9 @@ impl<'a> WireReader<'a> {
     /// [`WireError`] on truncation or invalid UTF-8.
     pub fn get_str(&mut self) -> Result<&'a str, WireError> {
         let b = self.get_bytes()?;
-        std::str::from_utf8(b).map_err(|_| WireError { expected: "utf-8 string" })
+        std::str::from_utf8(b).map_err(|_| WireError {
+            expected: "utf-8 string",
+        })
     }
 
     /// Bytes not yet consumed.
@@ -178,7 +184,9 @@ impl<'a> WireReader<'a> {
         if self.buf.is_empty() {
             Ok(())
         } else {
-            Err(WireError { expected: "end of input" })
+            Err(WireError {
+                expected: "end of input",
+            })
         }
     }
 }
@@ -190,7 +198,11 @@ mod tests {
     #[test]
     fn roundtrip_all_types() {
         let mut w = WireWriter::tagged("test.v1");
-        w.put_u8(7).put_u32(0xDEAD_BEEF).put_u64(u64::MAX).put_bytes(b"payload").put_str("név");
+        w.put_u8(7)
+            .put_u32(0xDEAD_BEEF)
+            .put_u64(u64::MAX)
+            .put_bytes(b"payload")
+            .put_str("név");
         let buf = w.finish();
 
         let mut r = WireReader::new(&buf);

@@ -248,14 +248,16 @@ mod tests {
     fn payloads_are_pairwise_distinct() {
         let sn = SerialNumber(5);
         let t = Timestamp::from_millis(9);
-        let payloads = [meta_payload(sn, b"x"),
+        let payloads = [
+            meta_payload(sn, b"x"),
             data_payload(sn, b"x"),
             head_payload(sn, t),
             base_payload(sn, t),
             window_payload(1, sn, WindowSide::Lower),
             window_payload(1, sn, WindowSide::Upper),
             deletion_payload(sn, t),
-            sealed_expiry_payload(sn, t)];
+            sealed_expiry_payload(sn, t),
+        ];
         for i in 0..payloads.len() {
             for j in 0..payloads.len() {
                 if i != j {

@@ -16,7 +16,10 @@ use strongworm::SerialNumber;
 use wormstore::{RecordDescriptor, RecordId, Shredder};
 
 fn arb_sig() -> impl Strategy<Value = Signature> {
-    (any::<[u8; 8]>(), proptest::collection::vec(any::<u8>(), 0..96))
+    (
+        any::<[u8; 8]>(),
+        proptest::collection::vec(any::<u8>(), 0..96),
+    )
         .prop_map(|(key_id, bytes)| Signature { key_id, bytes })
 }
 
@@ -46,7 +49,11 @@ fn arb_attr() -> impl Strategy<Value = RecordAttributes> {
         0u8..7,
         arb_shredder(),
         any::<u32>(),
-        proptest::option::of((any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u8>(), 0..40))),
+        proptest::option::of((
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..40),
+        )),
     )
         .prop_map(|(c, r, reg, shredder, flags, hold)| RecordAttributes {
             created_at: Timestamp::from_millis(c),
@@ -54,12 +61,10 @@ fn arb_attr() -> impl Strategy<Value = RecordAttributes> {
             regulation: Regulation::from_code(reg).unwrap_or(Regulation::Custom),
             shredder,
             flags,
-            litigation_hold: hold.map(|(id, until, credential)| {
-                strongworm::attr::LitigationHold {
-                    litigation_id: id,
-                    hold_until: Timestamp::from_millis(until),
-                    credential,
-                }
+            litigation_hold: hold.map(|(id, until, credential)| strongworm::attr::LitigationHold {
+                litigation_id: id,
+                hold_until: Timestamp::from_millis(until),
+                credential,
             }),
         })
 }

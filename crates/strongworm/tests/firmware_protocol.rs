@@ -276,10 +276,7 @@ fn window_ids_are_unique_per_compaction() {
 fn deletion_orders_carry_the_records_shredder() {
     let (mut dev, clock, _reg) = booted();
     dev.execute(WormRequest::Write {
-        policy: RetentionPolicy::custom(
-            Duration::from_secs(10),
-            Shredder::MultiPass { passes: 3 },
-        ),
+        policy: RetentionPolicy::custom(Duration::from_secs(10), Shredder::MultiPass { passes: 3 }),
         flags: 0,
         data: WriteData::Full(vec![b"x".to_vec()]),
         witness: WitnessMode::Strong,

@@ -6,7 +6,10 @@ use wormcrypt::{ChainHash, Digest, Hmac, Sha1, Sha256};
 
 fn bench_sha(c: &mut Criterion) {
     for (name, f) in [
-        ("sha1", (|buf: &[u8]| Sha1::digest(buf).len()) as fn(&[u8]) -> usize),
+        (
+            "sha1",
+            (|buf: &[u8]| Sha1::digest(buf).len()) as fn(&[u8]) -> usize,
+        ),
         ("sha256", |buf| Sha256::digest(buf).len()),
     ] {
         let mut group = c.benchmark_group(name);

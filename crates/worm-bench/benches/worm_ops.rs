@@ -31,19 +31,22 @@ fn bench_write_modes(c: &mut Criterion) {
         let mut cfg = strongworm::WormConfig::test_small();
         cfg.store_capacity = 256 << 20;
         cfg.device.secure_memory_bytes = 64 << 20;
-        let mut srv =
+        let srv =
             strongworm::WormServer::new(cfg, clock, regulator.public()).expect("server boots");
         let record = vec![0x42u8; 256];
         group.throughput(Throughput::Elements(1));
         group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
-            b.iter(|| srv.write_with(&[&record], policy(), 0, mode).expect("write"));
+            b.iter(|| {
+                srv.write_with(&[&record], policy(), 0, mode)
+                    .expect("write")
+            });
         });
     }
     group.finish();
 }
 
 fn bench_read_and_verify(c: &mut Criterion) {
-    let (mut srv, clock) = quick_server();
+    let (srv, clock) = quick_server();
     let record = vec![0x42u8; 4 << 10];
     let sn = srv.write(&[&record], policy()).expect("write");
     let verifier = Verifier::new(srv.keys(), Duration::from_secs(300), clock).expect("verifier");
@@ -66,7 +69,7 @@ fn bench_retention_cycle(c: &mut Criterion) {
     group.bench_function("write_expire_delete", |b| {
         b.iter_batched(
             quick_server,
-            |(mut srv, clock)| {
+            |(srv, clock)| {
                 let sn = srv
                     .write_with(
                         &[b"fleeting".as_slice()],
@@ -85,5 +88,10 @@ fn bench_retention_cycle(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_write_modes, bench_read_and_verify, bench_retention_cycle);
+criterion_group!(
+    benches,
+    bench_write_modes,
+    bench_read_and_verify,
+    bench_retention_cycle
+);
 criterion_main!(benches);

@@ -10,11 +10,10 @@
 //! Usage: `ablation_deferred [--json]`
 
 use scpu::{CostModel, Op};
-use serde::Serialize;
 use strongworm::{HashMode, WitnessMode};
+use worm_bench::json_record;
 use worm_bench::paper_server;
 
-#[derive(Serialize)]
 struct Row {
     burst_records: usize,
     burst_seconds_at_2000rps: f64,
@@ -23,6 +22,14 @@ struct Row {
     fraction_of_120min_lifetime: f64,
 }
 
+json_record!(Row {
+    burst_records,
+    burst_seconds_at_2000rps,
+    pending_witnesses,
+    drain_scpu_seconds,
+    fraction_of_120min_lifetime
+});
+
 fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let model = CostModel::ibm4764();
@@ -30,7 +37,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for burst in [1_000usize, 5_000, 20_000, 100_000] {
-        let mut server = paper_server(HashMode::TrustHostHash, WitnessMode::Deferred);
+        let server = paper_server(HashMode::TrustHostHash, WitnessMode::Deferred);
         // Scale down the actual writes and extrapolate: every deferred
         // write enqueues exactly two pending witnesses, so the backlog is
         // linear in the burst size. (Running 100k real RSA signings here
@@ -57,8 +64,7 @@ fn main() {
         let before = server.device_meter().busy_ns();
         server.idle(u64::MAX).unwrap();
         let drained_ns = server.device_meter().busy_ns() - before;
-        let measured_per_witness =
-            drained_ns as f64 / (pending_per_write * sample as f64);
+        let measured_per_witness = drained_ns as f64 / (pending_per_write * sample as f64);
         assert!(
             (measured_per_witness - strong_sig_ns as f64).abs() < 0.2 * strong_sig_ns as f64,
             "strengthening cost should be one strong signature per witness"

@@ -13,10 +13,9 @@
 //! Usage: `ablation_merkle [--json]`
 
 use scpu::{CostModel, Op};
-use serde::Serialize;
+use worm_bench::json_record;
 use wormcrypt::MerkleTree;
 
-#[derive(Serialize)]
 struct Row {
     n_records: usize,
     merkle_hashes_per_update: f64,
@@ -25,6 +24,15 @@ struct Row {
     window_scpu_ns_per_update: f64,
     speedup: f64,
 }
+
+json_record!(Row {
+    n_records,
+    merkle_hashes_per_update,
+    merkle_scpu_ns_per_update,
+    window_hashes_per_update,
+    window_scpu_ns_per_update,
+    speedup
+});
 
 fn main() {
     let json = std::env::args().any(|a| a == "--json");

@@ -16,11 +16,10 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scpu::{Clock, VirtualClock};
-use serde::Serialize;
 use strongworm::{RegulatoryAuthority, RetentionPolicy, WormConfig, WormServer};
+use worm_bench::json_record;
 use wormstore::Shredder;
 
-#[derive(Serialize)]
 struct Row {
     phase: String,
     elapsed_s: u64,
@@ -29,6 +28,15 @@ struct Row {
     windows: usize,
     scpu_window_sigs: u64,
 }
+
+json_record!(Row {
+    phase,
+    elapsed_s,
+    resident_no_compaction,
+    resident_with_compaction,
+    windows,
+    scpu_window_sigs
+});
 
 fn build_server(clock: Arc<VirtualClock>) -> WormServer {
     let mut rng = StdRng::seed_from_u64(5);
@@ -59,23 +67,19 @@ fn main() {
 
     let clock_a = VirtualClock::starting_at_millis(0);
     let clock_b = VirtualClock::starting_at_millis(0);
-    let mut plain = build_server(clock_a.clone());
-    let mut compacted = build_server(clock_b.clone());
+    let plain = build_server(clock_a.clone());
+    let compacted = build_server(clock_b.clone());
 
     for i in 0..n {
         let retention = classes[(i / batch) % classes.len()];
-        let policy =
-            RetentionPolicy::custom(Duration::from_secs(retention), Shredder::ZeroFill);
+        let policy = RetentionPolicy::custom(Duration::from_secs(retention), Shredder::ZeroFill);
         let body = format!("record-{i}");
         plain.write(&[body.as_bytes()], policy).unwrap();
         compacted.write(&[body.as_bytes()], policy).unwrap();
     }
 
     let mut rows = Vec::new();
-    let mut emit = |label: &str,
-                    elapsed: u64,
-                    plain: &WormServer,
-                    compacted: &WormServer| {
+    let mut emit = |label: &str, elapsed: u64, plain: &WormServer, compacted: &WormServer| {
         rows.push(Row {
             phase: label.to_owned(),
             elapsed_s: elapsed,
@@ -87,7 +91,11 @@ fn main() {
     };
 
     emit("ingested", 0, &plain, &compacted);
-    for (label, at_s) in [("class0-expired", 700u64), ("class1-expired", 3_100), ("class2-expired", 31_000)] {
+    for (label, at_s) in [
+        ("class0-expired", 700u64),
+        ("class1-expired", 3_100),
+        ("class2-expired", 31_000),
+    ] {
         let now = clock_a.now().as_millis() / 1000;
         let advance = at_s.saturating_sub(now);
         clock_a.advance(Duration::from_secs(advance));
@@ -103,7 +111,9 @@ fn main() {
         return;
     }
     println!("Ablation A2 — VRDT residency: per-record proofs vs multi-window compaction");
-    println!("workload: {n} records, 3 regulation classes (600 s / 3000 s / 30000 s), 25-record batches");
+    println!(
+        "workload: {n} records, 3 regulation classes (600 s / 3000 s / 30000 s), 25-record batches"
+    );
     println!();
     println!(
         "{:>16} {:>10} {:>22} {:>24} {:>9}",

@@ -10,19 +10,24 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scpu::VirtualClock;
-use serde::Serialize;
 use softworm::{attack, SoftWormError, SoftWormStore};
 use strongworm::{
     RegulatoryAuthority, RetentionPolicy, Verifier, VerifyError, WormConfig, WormServer,
 };
+use worm_bench::json_record;
 use wormstore::Shredder;
 
-#[derive(Serialize)]
 struct Row {
     attack: &'static str,
     softworm: &'static str,
     strongworm: &'static str,
 }
+
+json_record!(Row {
+    attack,
+    softworm,
+    strongworm
+});
 
 const PAYLOAD: &[u8] = b"WIRE $1,000,000 TO ACCOUNT X-999";
 
@@ -30,10 +35,10 @@ fn strong_fixture() -> (WormServer, Verifier, Arc<VirtualClock>) {
     let clock = VirtualClock::starting_at_millis(1_000_000);
     let mut rng = StdRng::seed_from_u64(66);
     let regulator = RegulatoryAuthority::generate(&mut rng, 512);
-    let server = WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())
-        .expect("boot");
-    let verifier = Verifier::new(server.keys(), Duration::from_secs(300), clock.clone())
-        .expect("verifier");
+    let server =
+        WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public()).expect("boot");
+    let verifier =
+        Verifier::new(server.keys(), Duration::from_secs(300), clock.clone()).expect("verifier");
     (server, verifier, clock)
 }
 
@@ -55,7 +60,7 @@ fn main() {
             _ => "detected",
         };
 
-        let (mut strong, v, _clock) = strong_fixture();
+        let (strong, v, _clock) = strong_fixture();
         let sn = strong.write(&[PAYLOAD], policy()).unwrap();
         strong.mallory().corrupt_record_data(sn);
         let strong_verdict = match v.verify_read(sn, &strong.read(sn).unwrap()) {
@@ -79,7 +84,7 @@ fn main() {
             _ => "detected",
         };
 
-        let (mut strong, v, _clock) = strong_fixture();
+        let (strong, v, _clock) = strong_fixture();
         let sn = strong.write(&[PAYLOAD], policy()).unwrap();
         strong.refresh_head().unwrap();
         let denial = strong.mallory().deny_existence(sn).unwrap();
@@ -105,7 +110,7 @@ fn main() {
             "detected"
         };
 
-        let (mut strong, v, _clock) = strong_fixture();
+        let (strong, v, _clock) = strong_fixture();
         let sn = strong.write(&[PAYLOAD], policy()).unwrap();
         strong.refresh_head().unwrap();
         let forged = strong.mallory().forge_deletion(sn);
@@ -126,7 +131,7 @@ fn main() {
         // an insider edits it directly (modeled by erase after "expiry").
         let soft_verdict = "UNDETECTED (metadata is mutable)";
 
-        let (mut strong, v, _clock) = strong_fixture();
+        let (strong, v, _clock) = strong_fixture();
         let sn = strong.write(&[PAYLOAD], policy()).unwrap();
         strong.mallory().rewrite_attributes(sn, |attr| {
             attr.retention_until = scpu::Timestamp::from_millis(0);
@@ -148,7 +153,10 @@ fn main() {
     }
     println!("Attack matrix — insider with superuser powers + physical disk access");
     println!();
-    println!("{:<42} {:<36} {:<28}", "attack", "soft-WORM (§3 baseline)", "Strong WORM");
+    println!(
+        "{:<42} {:<36} {:<28}",
+        "attack", "soft-WORM (§3 baseline)", "Strong WORM"
+    );
     println!("{}", "-".repeat(106));
     for r in &rows {
         println!("{:<42} {:<36} {:<28}", r.attack, r.softworm, r.strongworm);

@@ -16,13 +16,12 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scpu::{CostModel, VirtualClock};
-use serde::Serialize;
 use strongworm::{
     HashMode, RegulatoryAuthority, RetentionPolicy, WitnessMode, WormConfig, WormServer,
 };
+use worm_bench::json_record;
 use wormstore::{BlockDevice, DiskProfile, MemDisk, RecordStore, Shredder};
 
-#[derive(Serialize)]
 struct Row {
     mode: &'static str,
     record_bytes: usize,
@@ -31,6 +30,15 @@ struct Row {
     bottleneck: &'static str,
     effective_rps: f64,
 }
+
+json_record!(Row {
+    mode,
+    record_bytes,
+    scpu_ns_per_record,
+    disk_ns_per_record,
+    bottleneck,
+    effective_rps
+});
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -71,7 +79,7 @@ fn main() {
                 config.store_capacity,
                 DiskProfile::enterprise_2008(),
             ));
-            let mut server =
+            let server =
                 WormServer::with_store(store, config, clock, regulator.public()).expect("boot");
             server.reset_meters();
 

@@ -72,6 +72,9 @@ fn main() {
     println!("               hmac mode bounded only by DMA/bus and command dispatch.");
     println!();
     println!("context: one enterprise-2008 disk access costs 3.5 ms => a seek-bound");
-    println!("store tops out near {:.0} records/s, below the WORM layer in every", 1e9 / 3_500_000.0);
+    println!(
+        "store tops out near {:.0} records/s, below the WORM layer in every",
+        1e9 / 3_500_000.0
+    );
     println!("deferred mode — the paper's closing observation.");
 }

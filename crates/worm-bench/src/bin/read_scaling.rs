@@ -1,0 +1,127 @@
+//! Multi-threaded read-throughput scaling — the payoff measurement for
+//! the two-plane server split.
+//!
+//! Reads never touch the SCPU (§4.1), so with the read plane behind a
+//! shared lock their throughput should scale with reader threads until
+//! the machine runs out of cores. This binary measures aggregate verified
+//! read throughput at 1, 2, 4, and 8 reader threads against a server
+//! whose maintenance daemon keeps running in the background (the
+//! production deployment shape), and emits
+//! `results/BENCH_read_scaling.json` as JSON lines.
+//!
+//! Unlike the virtual-time write benchmarks, this measures *wall clock*:
+//! the quantity of interest is host-side parallelism, not modeled device
+//! latency. Interpret `speedup_vs_1` against `host_cores` — a single-core
+//! machine correctly reports a flat curve.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use strongworm::{DaemonConfig, RetentionDaemon, RetentionPolicy, SerialNumber};
+use worm_bench::{json_record, quick_server, to_json_lines};
+use wormstore::Shredder;
+
+/// One measured point of the scaling curve.
+#[derive(Clone, Debug)]
+struct ReadScalingPoint {
+    readers: usize,
+    host_cores: usize,
+    total_reads: u64,
+    wall_ms: f64,
+    reads_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+json_record!(ReadScalingPoint {
+    readers,
+    host_cores,
+    total_reads,
+    wall_ms,
+    reads_per_sec,
+    speedup_vs_1,
+});
+
+const CORPUS: usize = 64;
+const RECORD_BYTES: usize = 4 << 10;
+const MEASURE_WINDOW: Duration = Duration::from_millis(400);
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (server, _clock) = quick_server();
+    let server = Arc::new(server);
+
+    // A corpus of active records for the readers to sweep over.
+    let policy = RetentionPolicy::custom(Duration::from_secs(1_000_000), Shredder::ZeroFill);
+    let payload = vec![0xA7u8; RECORD_BYTES];
+    let sns: Vec<SerialNumber> = (0..CORPUS)
+        .map(|_| server.write(&[&payload], policy).expect("corpus write"))
+        .collect();
+    let sns = Arc::new(sns);
+
+    // Background maintenance keeps contending on the witness plane, as it
+    // would in production; it must not throttle the readers.
+    let daemon = RetentionDaemon::spawn(server.clone(), DaemonConfig::default());
+
+    let mut points: Vec<ReadScalingPoint> = Vec::new();
+    for &readers in &[1usize, 2, 4, 8] {
+        let total = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Arc::new(Barrier::new(readers + 1));
+        let threads: Vec<_> = (0..readers)
+            .map(|t| {
+                let server = server.clone();
+                let sns = sns.clone();
+                let total = total.clone();
+                let stop = stop.clone();
+                let start = start.clone();
+                std::thread::spawn(move || {
+                    start.wait();
+                    let mut n = 0u64;
+                    let mut i = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        let sn = sns[i % sns.len()];
+                        let outcome = server.read(sn).expect("read succeeds");
+                        assert_eq!(outcome.kind(), "data");
+                        n += 1;
+                        i += 1;
+                    }
+                    total.fetch_add(n, Ordering::Relaxed);
+                })
+            })
+            .collect();
+
+        start.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(MEASURE_WINDOW);
+        stop.store(true, Ordering::Relaxed);
+        for h in threads {
+            h.join().expect("reader thread panicked");
+        }
+        let wall = t0.elapsed();
+
+        let total_reads = total.load(Ordering::Relaxed);
+        let reads_per_sec = total_reads as f64 / wall.as_secs_f64();
+        let baseline = points.first().map_or(reads_per_sec, |p| p.reads_per_sec);
+        points.push(ReadScalingPoint {
+            readers,
+            host_cores: cores,
+            total_reads,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            reads_per_sec,
+            speedup_vs_1: reads_per_sec / baseline,
+        });
+        let p = points.last().unwrap();
+        println!(
+            "readers={:<2} total={:<9} rate={:>12.0} reads/s speedup={:.2}x",
+            p.readers, p.total_reads, p.reads_per_sec, p.speedup_vs_1
+        );
+    }
+
+    daemon.stop().expect("daemon stops cleanly");
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let out = to_json_lines(&points) + "\n";
+    std::fs::write("results/BENCH_read_scaling.json", out).expect("write results");
+    println!("wrote results/BENCH_read_scaling.json ({cores} host cores)");
+}

@@ -13,13 +13,12 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scpu::{CostModel, VirtualClock};
-use serde::Serialize;
 use strongworm::{
     HashMode, RegulatoryAuthority, RetentionPolicy, WitnessMode, WormCluster, WormConfig,
 };
+use worm_bench::json_record;
 use wormstore::Shredder;
 
-#[derive(Serialize)]
 struct Row {
     mode: &'static str,
     shards: usize,
@@ -27,6 +26,14 @@ struct Row {
     per_shard_rps: f64,
     scaling_efficiency: f64,
 }
+
+json_record!(Row {
+    mode,
+    shards,
+    aggregate_rps,
+    per_shard_rps,
+    scaling_efficiency
+});
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -63,7 +70,7 @@ fn main() {
                 },
                 ..WormConfig::default()
             };
-            let mut cluster =
+            let cluster =
                 WormCluster::new(shards, &config, clock, regulator.public()).expect("boot");
             let policy = RetentionPolicy::custom(
                 Duration::from_secs(10 * 365 * 24 * 3600),
@@ -72,12 +79,7 @@ fn main() {
             cluster.reset_meters();
             for i in 0..n {
                 cluster
-                    .write_with(
-                        &[format!("record-{i}").as_bytes()],
-                        policy,
-                        0,
-                        witness,
-                    )
+                    .write_with(&[format!("record-{i}").as_bytes()], policy, 0, witness)
                     .expect("write");
             }
             let busiest_ns = cluster.max_shard_busy_ns() as f64;

@@ -86,7 +86,10 @@ fn main() {
             function: "DMA xfer".into(),
             context: "end-to-end".into(),
             ibm4764: rate_mb_per_sec(block as f64, dev.cost_ns(Op::DmaIn { bytes: block }) as f64),
-            p4_model: rate_mb_per_sec(block as f64, host.cost_ns(Op::DmaIn { bytes: block }) as f64),
+            p4_model: rate_mb_per_sec(
+                block as f64,
+                host.cost_ns(Op::DmaIn { bytes: block }) as f64,
+            ),
             this_machine: rate_mb_per_sec(block as f64, mine),
         });
     }

@@ -55,9 +55,7 @@ fn knuth_d(u_in: &[u64], v_in: &[u64]) -> (Vec<u64>, Vec<u64>) {
         let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
         let mut qhat = top / v[n - 1] as u128;
         let mut rhat = top % v[n - 1] as u128;
-        while qhat >= b
-            || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-        {
+        while qhat >= b || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
             qhat -= 1;
             rhat += v[n - 1] as u128;
             if rhat >= b {
@@ -190,7 +188,9 @@ mod tests {
         let mut next = |bits: usize| {
             let mut limbs = Vec::new();
             for _ in 0..bits.div_ceil(64) {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 limbs.push(x);
             }
             Ubig::from_limbs(limbs)

@@ -68,7 +68,9 @@ impl Ubig {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut n = Ubig { limbs: vec![lo, hi] };
+        let mut n = Ubig {
+            limbs: vec![lo, hi],
+        };
         n.normalize();
         n
     }
@@ -204,7 +206,9 @@ impl Ubig {
     pub fn bit_len(&self) -> usize {
         match self.limbs.last() {
             None => 0,
-            Some(&top) => (self.limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - top.leading_zeros() as usize),
+            Some(&top) => {
+                (self.limbs.len() - 1) * LIMB_BITS + (LIMB_BITS - top.leading_zeros() as usize)
+            }
         }
     }
 
@@ -536,10 +540,7 @@ mod tests {
 
     #[test]
     fn leading_zero_bytes_ignored() {
-        assert_eq!(
-            Ubig::from_bytes_be(&[0, 0, 0, 5]),
-            Ubig::from_u64(5)
-        );
+        assert_eq!(Ubig::from_bytes_be(&[0, 0, 0, 5]), Ubig::from_u64(5));
     }
 
     #[test]

@@ -304,11 +304,7 @@ mod tests {
         // p prime, a^(p-1) = 1 mod p.
         let p = Ubig::from_hex("ffffffffffffffc5").unwrap(); // largest 64-bit prime
         for a in [2u64, 3, 65537, 0xdeadbeef] {
-            assert_eq!(
-                u(a).pow_mod(&p.sub(&Ubig::one()), &p),
-                Ubig::one(),
-                "a={a}"
-            );
+            assert_eq!(u(a).pow_mod(&p.sub(&Ubig::one()), &p), Ubig::one(), "a={a}");
         }
     }
 
@@ -316,10 +312,8 @@ mod tests {
     fn pow_mod_large_operands() {
         // Cross-check the windowed Montgomery path against naive
         // square-and-multiply with explicit reduction.
-        let n = Ubig::from_hex(
-            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
-        )
-        .unwrap();
+        let n = Ubig::from_hex("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855")
+            .unwrap();
         let n = if n.is_even() { n.add(&Ubig::one()) } else { n };
         let b = Ubig::from_hex("123456789abcdef0fedcba9876543210").unwrap();
         let e = Ubig::from_hex("10001").unwrap();

@@ -173,7 +173,9 @@ mod tests {
     #[test]
     fn small_composites_rejected() {
         let mut r = rng();
-        for c in [0u64, 1, 4, 6, 9, 15, 21, 10005, 65535, 341, 561 /* Carmichael */] {
+        for c in [
+            0u64, 1, 4, 6, 9, 15, 21, 10005, 65535, 341, 561, /* Carmichael */
+        ] {
             assert!(!Ubig::from_u64(c).is_probable_prime(&mut r), "c={c}");
         }
     }

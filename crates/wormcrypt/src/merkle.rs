@@ -238,10 +238,7 @@ mod tests {
             let root = t.root();
             for (i, d) in data.iter().enumerate() {
                 let proof = t.prove(i).unwrap();
-                assert!(
-                    MerkleTree::verify(&root, i, d, &proof),
-                    "n={n} leaf={i}"
-                );
+                assert!(MerkleTree::verify(&root, i, d, &proof), "n={n} leaf={i}");
                 // Wrong data fails.
                 assert!(!MerkleTree::verify(&root, i, b"bogus", &proof));
                 // Wrong index fails (except degenerate single-leaf tree).

@@ -26,12 +26,12 @@ impl HashAlg {
     fn digest_info_prefix(self) -> &'static [u8] {
         match self {
             HashAlg::Sha1 => &[
-                0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00,
-                0x04, 0x14,
+                0x30, 0x21, 0x30, 0x09, 0x06, 0x05, 0x2b, 0x0e, 0x03, 0x02, 0x1a, 0x05, 0x00, 0x04,
+                0x14,
             ],
             HashAlg::Sha256 => &[
-                0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04,
-                0x02, 0x01, 0x05, 0x00, 0x04, 0x20,
+                0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02,
+                0x01, 0x05, 0x00, 0x04, 0x20,
             ],
         }
     }
@@ -313,7 +313,9 @@ mod tests {
         bad[10] ^= 1;
         assert!(!key.public().verify(b"original", &bad, HashAlg::Sha256));
         // Wrong length.
-        assert!(!key.public().verify(b"original", &sig[..63], HashAlg::Sha256));
+        assert!(!key
+            .public()
+            .verify(b"original", &sig[..63], HashAlg::Sha256));
         assert!(!key.public().verify(b"original", &[], HashAlg::Sha256));
         // Wrong hash algorithm.
         assert!(!key.public().verify(b"original", &sig, HashAlg::Sha1));

@@ -197,6 +197,9 @@ mod tests {
 
     #[test]
     fn digest_array_matches_vec() {
-        assert_eq!(Sha256::digest_array(b"xyz").to_vec(), Sha256::digest(b"xyz"));
+        assert_eq!(
+            Sha256::digest_array(b"xyz").to_vec(),
+            Sha256::digest(b"xyz")
+        );
     }
 }

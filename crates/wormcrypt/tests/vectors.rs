@@ -37,8 +37,8 @@ fn pkcs1_v15_encoded_message_structure() {
     assert!(em[2..sep].iter().all(|&b| b == 0xFF));
     // DigestInfo for SHA-256 (RFC 8017 §9.2 note 1).
     const DI: [u8; 19] = [
-        0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02,
-        0x01, 0x05, 0x00, 0x04, 0x20,
+        0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01, 0x65, 0x03, 0x04, 0x02, 0x01,
+        0x05, 0x00, 0x04, 0x20,
     ];
     assert_eq!(&em[sep + 1..sep + 1 + 19], &DI);
     assert_eq!(&em[sep + 20..], &Sha256::digest(msg)[..]);
@@ -56,7 +56,9 @@ fn deterministic_signature_regression() {
     assert_eq!(sig1, sig2, "PKCS#1 v1.5 must be deterministic");
     // Structural regression: correct length and verifies.
     assert_eq!(sig1.len(), 64);
-    assert!(key.public().verify(b"pinned message", &sig1, HashAlg::Sha256));
+    assert!(key
+        .public()
+        .verify(b"pinned message", &sig1, HashAlg::Sha256));
     // And the raw m^e^d == m identity holds for the encoded block.
     let m = Ubig::from_u64(0x1234_5678);
     let c = m.pow_mod(key.public().e(), key.public().n());

@@ -46,7 +46,10 @@ impl std::fmt::Display for FsError {
                 write!(f, "{path} has no version {version}")
             }
             FsError::Expired { path, version } => {
-                write!(f, "{path} version {version} expired and was deleted per policy")
+                write!(
+                    f,
+                    "{path} version {version} expired and was deleted per policy"
+                )
             }
             FsError::Worm(e) => write!(f, "worm layer failure: {e}"),
             FsError::Verification(e) => write!(f, "integrity verification failed: {e}"),

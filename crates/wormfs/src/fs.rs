@@ -194,7 +194,11 @@ impl WormFs {
         self.read_version_inner(&path, version)
     }
 
-    fn read_version_inner(&mut self, path: &FsPath, version: usize) -> Result<VerifiedFile, FsError> {
+    fn read_version_inner(
+        &mut self,
+        path: &FsPath,
+        version: usize,
+    ) -> Result<VerifiedFile, FsError> {
         let fv = *match self.versions_of(path)?.get(version) {
             Some(v) => v,
             None => {

@@ -99,7 +99,12 @@ impl FsPath {
     /// [`FsError::InvalidPath`] if `child` is empty or contains `/`,
     /// NUL, or dot components.
     pub fn join(&self, child: &str) -> Result<FsPath, FsError> {
-        if child.is_empty() || child.contains('/') || child.contains('\0') || child == "." || child == ".." {
+        if child.is_empty()
+            || child.contains('/')
+            || child.contains('\0')
+            || child == "."
+            || child == ".."
+        {
             return Err(FsError::InvalidPath {
                 path: child.to_owned(),
                 reason: "invalid child component",
@@ -168,10 +173,7 @@ mod tests {
         let p = FsPath::new("/archive/2008/email.eml").unwrap();
         assert_eq!(p.file_name(), Some("email.eml"));
         assert_eq!(p.parent().unwrap().as_str(), "/archive/2008");
-        assert_eq!(
-            p.parent().unwrap().parent().unwrap().as_str(),
-            "/archive"
-        );
+        assert_eq!(p.parent().unwrap().parent().unwrap().as_str(), "/archive");
         assert_eq!(FsPath::new("/top").unwrap().parent(), Some(FsPath::root()));
         assert_eq!(FsPath::root().parent(), None);
         assert_eq!(FsPath::root().file_name(), None);

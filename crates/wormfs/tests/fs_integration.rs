@@ -17,8 +17,12 @@ fn regulator() -> &'static RegulatoryAuthority {
 
 fn fs() -> (WormFs, Arc<VirtualClock>) {
     let clock = VirtualClock::starting_at_millis(1_000_000);
-    let fs = WormFs::new(WormConfig::test_small(), clock.clone(), regulator().public())
-        .expect("fs boots");
+    let fs = WormFs::new(
+        WormConfig::test_small(),
+        clock.clone(),
+        regulator().public(),
+    )
+    .expect("fs boots");
     (fs, clock)
 }
 
@@ -29,7 +33,9 @@ fn policy(secs: u64) -> RetentionPolicy {
 #[test]
 fn create_read_roundtrip() {
     let (mut fs, _clock) = fs();
-    let v = fs.create("/docs/memo.txt", b"hello compliance", policy(1000)).unwrap();
+    let v = fs
+        .create("/docs/memo.txt", b"hello compliance", policy(1000))
+        .unwrap();
     assert_eq!(v, 0);
     let f = fs.read("/docs/memo.txt").unwrap();
     assert_eq!(&f.content[..], b"hello compliance");
@@ -47,7 +53,10 @@ fn writes_to_same_path_create_versions() {
     // Latest wins for plain reads...
     assert_eq!(&fs.read("/report").unwrap().content[..], b"final");
     // ...but history is immutable and fully addressable.
-    assert_eq!(&fs.read_version("/report", 0).unwrap().content[..], b"draft");
+    assert_eq!(
+        &fs.read_version("/report", 0).unwrap().content[..],
+        b"draft"
+    );
     let versions = fs.versions("/report").unwrap();
     assert_eq!(versions.len(), 2);
     assert_ne!(versions[0].sn, versions[1].sn);
@@ -103,7 +112,8 @@ fn retention_expiry_surfaces_as_expired() {
 #[test]
 fn read_falls_back_to_latest_live_version() {
     let (mut fs, clock) = fs();
-    fs.create("/doc", b"v0-longlived", policy(1_000_000)).unwrap();
+    fs.create("/doc", b"v0-longlived", policy(1_000_000))
+        .unwrap();
     fs.create("/doc", b"v1-shortlived", policy(50)).unwrap();
     assert_eq!(&fs.read("/doc").unwrap().content[..], b"v1-shortlived");
 
@@ -137,14 +147,18 @@ fn directory_listing() {
             DirEntry::File("y.txt".into()),
         ]
     );
-    assert_eq!(fs.list("/a/sub").unwrap(), vec![DirEntry::File("z.txt".into())]);
+    assert_eq!(
+        fs.list("/a/sub").unwrap(),
+        vec![DirEntry::File("z.txt".into())]
+    );
     assert_eq!(fs.list("/empty").unwrap(), vec![]);
 }
 
 #[test]
 fn tampering_with_stored_bytes_fails_verification() {
     let (mut fs, _clock) = fs();
-    fs.create("/evidence", b"the original statement", policy(100_000)).unwrap();
+    fs.create("/evidence", b"the original statement", policy(100_000))
+        .unwrap();
     let sn = fs.versions("/evidence").unwrap()[0].sn;
 
     // Mallory edits the medium underneath the filesystem.
@@ -218,8 +232,10 @@ fn empty_file_roundtrip() {
 fn litigation_hold_protects_a_file_version() {
     use scpu::Clock;
     let (mut fs, clock) = fs();
-    fs.create("/keepalive", b"anchor", policy(1_000_000)).unwrap();
-    fs.create("/contract", b"disputed terms", policy(100)).unwrap();
+    fs.create("/keepalive", b"anchor", policy(1_000_000))
+        .unwrap();
+    fs.create("/contract", b"disputed terms", policy(100))
+        .unwrap();
     let sn = fs.versions("/contract").unwrap()[0].sn;
 
     let hold_until = clock.now().after(Duration::from_secs(10_000));
@@ -229,7 +245,10 @@ fn litigation_hold_protects_a_file_version() {
     // Retention elapses under hold: the file survives.
     clock.advance(Duration::from_secs(200));
     fs.tick().unwrap();
-    assert_eq!(&fs.read("/contract").unwrap().content[..], b"disputed terms");
+    assert_eq!(
+        &fs.read("/contract").unwrap().content[..],
+        b"disputed terms"
+    );
 
     // Release; the overdue version is deleted at the next wake-up.
     fs.release(regulator().issue_release(sn, clock.now(), 501))

@@ -9,11 +9,18 @@
 //! Devices deliberately expose raw write access: the Strong WORM threat
 //! model's insider ("Mallory") has physical access to the medium, and the
 //! adversarial test suites mutate blocks directly through this interface.
+//!
+//! All device operations take `&self`: the read path of the WORM server
+//! (paper §4.1 — reads are served by the untrusted host alone) must be
+//! shareable across reader threads, so devices use interior mutability —
+//! the medium behind a reader-writer lock, the accounting in atomics.
 
 use bytes::Bytes;
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Latency profile charged per access.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -46,7 +53,7 @@ impl DiskProfile {
     }
 }
 
-/// I/O accounting shared by the device implementations.
+/// I/O accounting snapshot shared by the device implementations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct IoStats {
     /// Read operations issued.
@@ -59,6 +66,51 @@ pub struct IoStats {
     pub bytes_written: u64,
     /// Accumulated virtual latency in nanoseconds.
     pub busy_ns: u128,
+}
+
+/// Lock-free accounting cell behind [`IoStats`] snapshots. Counters are
+/// `Relaxed`: they are metrics, not synchronization, and a snapshot taken
+/// concurrently with traffic is allowed to be mid-operation.
+#[derive(Debug, Default)]
+struct AtomicIoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl AtomicIoStats {
+    fn record_read(&self, bytes: usize, cost_ns: u64) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.busy_ns.fetch_add(cost_ns, Ordering::Relaxed);
+    }
+
+    fn record_write(&self, bytes: usize, cost_ns: u64) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.busy_ns.fetch_add(cost_ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            busy_ns: u128::from(self.busy_ns.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+        self.busy_ns.store(0, Ordering::Relaxed);
+    }
 }
 
 /// Errors from block device operations.
@@ -108,7 +160,11 @@ impl From<std::io::Error> for BlockError {
 /// structure on top. Implementations must support arbitrary overwrite —
 /// WORM semantics are enforced *above* this layer (that is the point of
 /// the paper: the medium itself is rewritable and untrusted).
-pub trait BlockDevice: Send {
+///
+/// All operations take `&self` and implementations must be safe to share
+/// across threads (`Send + Sync`): the server's read plane issues
+/// concurrent reads against one device while the witness plane writes.
+pub trait BlockDevice: Send + Sync {
     /// Device capacity in bytes.
     fn capacity(&self) -> u64;
 
@@ -118,7 +174,7 @@ pub trait BlockDevice: Send {
     ///
     /// [`BlockError::OutOfRange`] if the range exceeds capacity;
     /// [`BlockError::Io`] on OS failures.
-    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError>;
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError>;
 
     /// Writes `data` at `offset`.
     ///
@@ -126,30 +182,34 @@ pub trait BlockDevice: Send {
     ///
     /// [`BlockError::OutOfRange`] if the range exceeds capacity;
     /// [`BlockError::Io`] on OS failures.
-    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), BlockError>;
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), BlockError>;
 
     /// I/O statistics since construction (or the last reset).
     fn stats(&self) -> IoStats;
 
     /// Zeroes the statistics counters.
-    fn reset_stats(&mut self);
+    fn reset_stats(&self);
 }
 
 /// In-memory device (the default substrate for tests and benchmarks).
 #[derive(Debug)]
 pub struct MemDisk {
-    data: Vec<u8>,
+    /// The medium. Individual accesses take the lock briefly; the
+    /// capacity is fixed at construction so bounds checks stay lock-free.
+    data: RwLock<Vec<u8>>,
+    capacity: u64,
     profile: DiskProfile,
-    stats: IoStats,
+    stats: AtomicIoStats,
 }
 
 impl MemDisk {
     /// Device of `capacity` bytes with the given latency profile.
     pub fn new(capacity: usize, profile: DiskProfile) -> Self {
         MemDisk {
-            data: vec![0u8; capacity],
+            data: RwLock::new(vec![0u8; capacity]),
+            capacity: capacity as u64,
             profile,
-            stats: IoStats::default(),
+            stats: AtomicIoStats::default(),
         }
     }
 
@@ -159,23 +219,24 @@ impl MemDisk {
     }
 
     /// Direct read-only view of the medium (Mallory's disk-platter view).
-    pub fn raw(&self) -> &[u8] {
-        &self.data
+    /// Holds the medium's read lock for the guard's lifetime.
+    pub fn raw(&self) -> RwLockReadGuard<'_, Vec<u8>> {
+        self.data.read()
     }
 
     /// Direct mutable view of the medium — the physical-access attack
     /// surface the paper's adversary exploits against soft-WORM systems.
-    pub fn raw_mut(&mut self) -> &mut [u8] {
-        &mut self.data
+    /// Holds the medium's write lock for the guard's lifetime.
+    pub fn raw_mut(&self) -> RwLockWriteGuard<'_, Vec<u8>> {
+        self.data.write()
     }
 
     fn check(&self, offset: u64, len: usize) -> Result<(), BlockError> {
-        let end = offset.checked_add(len as u64);
-        match end {
-            Some(e) if e <= self.data.len() as u64 => Ok(()),
+        match offset.checked_add(len as u64) {
+            Some(e) if e <= self.capacity => Ok(()),
             _ => Err(BlockError::OutOfRange {
                 offset,
-                capacity: self.data.len() as u64,
+                capacity: self.capacity,
             }),
         }
     }
@@ -183,35 +244,37 @@ impl MemDisk {
 
 impl BlockDevice for MemDisk {
     fn capacity(&self) -> u64 {
-        self.data.len() as u64
+        self.capacity
     }
 
-    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError> {
         self.check(offset, buf.len())?;
         let off = offset as usize;
-        buf.copy_from_slice(&self.data[off..off + buf.len()]);
-        self.stats.reads += 1;
-        self.stats.bytes_read += buf.len() as u64;
-        self.stats.busy_ns += self.profile.cost_ns(buf.len()) as u128;
+        let data = self.data.read();
+        buf.copy_from_slice(&data[off..off + buf.len()]);
+        drop(data);
+        self.stats
+            .record_read(buf.len(), self.profile.cost_ns(buf.len()));
         Ok(())
     }
 
-    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), BlockError> {
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), BlockError> {
         self.check(offset, data.len())?;
         let off = offset as usize;
-        self.data[off..off + data.len()].copy_from_slice(data);
-        self.stats.writes += 1;
-        self.stats.bytes_written += data.len() as u64;
-        self.stats.busy_ns += self.profile.cost_ns(data.len()) as u128;
+        let mut medium = self.data.write();
+        medium[off..off + data.len()].copy_from_slice(data);
+        drop(medium);
+        self.stats
+            .record_write(data.len(), self.profile.cost_ns(data.len()));
         Ok(())
     }
 
     fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+    fn reset_stats(&self) {
+        self.stats.reset();
     }
 }
 
@@ -221,7 +284,7 @@ pub struct FileDisk {
     file: File,
     capacity: u64,
     profile: DiskProfile,
-    stats: IoStats,
+    stats: AtomicIoStats,
 }
 
 impl FileDisk {
@@ -246,7 +309,7 @@ impl FileDisk {
             file,
             capacity,
             profile,
-            stats: IoStats::default(),
+            stats: AtomicIoStats::default(),
         })
     }
 
@@ -262,7 +325,7 @@ impl FileDisk {
             file,
             capacity,
             profile,
-            stats: IoStats::default(),
+            stats: AtomicIoStats::default(),
         })
     }
 
@@ -282,32 +345,29 @@ impl BlockDevice for FileDisk {
         self.capacity
     }
 
-    fn read_at(&mut self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError> {
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError> {
         self.check(offset, buf.len())?;
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.read_exact(buf)?;
-        self.stats.reads += 1;
-        self.stats.bytes_read += buf.len() as u64;
-        self.stats.busy_ns += self.profile.cost_ns(buf.len()) as u128;
+        // Positioned read: no shared cursor, safe under concurrency.
+        self.file.read_exact_at(buf, offset)?;
+        self.stats
+            .record_read(buf.len(), self.profile.cost_ns(buf.len()));
         Ok(())
     }
 
-    fn write_at(&mut self, offset: u64, data: &[u8]) -> Result<(), BlockError> {
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), BlockError> {
         self.check(offset, data.len())?;
-        self.file.seek(SeekFrom::Start(offset))?;
-        self.file.write_all(data)?;
-        self.stats.writes += 1;
-        self.stats.bytes_written += data.len() as u64;
-        self.stats.busy_ns += self.profile.cost_ns(data.len()) as u128;
+        self.file.write_all_at(data, offset)?;
+        self.stats
+            .record_write(data.len(), self.profile.cost_ns(data.len()));
         Ok(())
     }
 
     fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
     }
 
-    fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
+    fn reset_stats(&self) {
+        self.stats.reset();
     }
 }
 
@@ -317,7 +377,7 @@ impl BlockDevice for FileDisk {
 ///
 /// Propagates the device's [`BlockError`].
 pub fn read_bytes<D: BlockDevice + ?Sized>(
-    dev: &mut D,
+    dev: &D,
     offset: u64,
     len: usize,
 ) -> Result<Bytes, BlockError> {
@@ -332,7 +392,7 @@ mod tests {
 
     #[test]
     fn memdisk_roundtrip() {
-        let mut d = MemDisk::unmetered(1024);
+        let d = MemDisk::unmetered(1024);
         d.write_at(100, b"hello").unwrap();
         let mut buf = [0u8; 5];
         d.read_at(100, &mut buf).unwrap();
@@ -342,10 +402,13 @@ mod tests {
 
     #[test]
     fn memdisk_bounds() {
-        let mut d = MemDisk::unmetered(10);
+        let d = MemDisk::unmetered(10);
         assert!(matches!(
             d.write_at(8, b"abc"),
-            Err(BlockError::OutOfRange { offset: 8, capacity: 10 })
+            Err(BlockError::OutOfRange {
+                offset: 8,
+                capacity: 10
+            })
         ));
         let mut buf = [0u8; 4];
         assert!(d.read_at(7, &mut buf).is_err());
@@ -357,7 +420,7 @@ mod tests {
 
     #[test]
     fn memdisk_stats_and_latency() {
-        let mut d = MemDisk::new(4096, DiskProfile::enterprise_2008());
+        let d = MemDisk::new(4096, DiskProfile::enterprise_2008());
         d.write_at(0, &[0u8; 1000]).unwrap();
         let mut buf = [0u8; 1000];
         d.read_at(0, &mut buf).unwrap();
@@ -374,7 +437,7 @@ mod tests {
 
     #[test]
     fn raw_access_models_physical_attack() {
-        let mut d = MemDisk::unmetered(64);
+        let d = MemDisk::unmetered(64);
         d.write_at(0, b"compliance-record").unwrap();
         // Mallory edits the platter directly, bypassing write_at.
         d.raw_mut()[0] = b'X';
@@ -384,18 +447,41 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_readers_share_a_device() {
+        use std::sync::Arc;
+        let d = Arc::new(MemDisk::unmetered(4096));
+        d.write_at(0, &[7u8; 4096]).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let d = Arc::clone(&d);
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let mut buf = [0u8; 512];
+                        d.read_at(1024, &mut buf).unwrap();
+                        assert!(buf.iter().all(|&b| b == 7));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.stats().reads, 200);
+    }
+
+    #[test]
     fn filedisk_roundtrip_and_reopen() {
         let dir = std::env::temp_dir().join(format!("wormstore-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("disk.img");
         {
-            let mut d = FileDisk::create(&path, 4096, DiskProfile::free()).unwrap();
+            let d = FileDisk::create(&path, 4096, DiskProfile::free()).unwrap();
             d.write_at(123, b"persist me").unwrap();
             assert_eq!(d.capacity(), 4096);
         }
         {
-            let mut d = FileDisk::open(&path, DiskProfile::free()).unwrap();
-            let b = read_bytes(&mut d, 123, 10).unwrap();
+            let d = FileDisk::open(&path, DiskProfile::free()).unwrap();
+            let b = read_bytes(&d, 123, 10).unwrap();
             assert_eq!(&b[..], b"persist me");
             assert!(d.write_at(4090, b"toolong").is_err());
         }
@@ -404,9 +490,9 @@ mod tests {
 
     #[test]
     fn read_bytes_helper() {
-        let mut d = MemDisk::unmetered(32);
+        let d = MemDisk::unmetered(32);
         d.write_at(4, b"abcd").unwrap();
-        let b = read_bytes(&mut d, 4, 4).unwrap();
+        let b = read_bytes(&d, 4, 4).unwrap();
         assert_eq!(&b[..], b"abcd");
     }
 

@@ -38,10 +38,7 @@ impl RecordDescriptor {
     /// Whether two descriptors' extents overlap (zero-length extents
     /// overlap nothing).
     pub fn overlaps(&self, other: &RecordDescriptor) -> bool {
-        self.len > 0
-            && other.len > 0
-            && self.offset < other.end()
-            && other.offset < self.end()
+        self.len > 0 && other.len > 0 && self.offset < other.end() && other.offset < self.end()
     }
 }
 

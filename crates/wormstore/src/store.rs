@@ -4,8 +4,14 @@
 //! and deletion happens only at retention expiry, so allocation pressure
 //! is append-dominated; shredded extents are recycled first-fit to model
 //! long-lived stores.
+//!
+//! The store is shareable: reads go straight to the device with no store
+//! state touched, and allocation metadata lives behind a mutex, so one
+//! `RecordStore` can serve the server's concurrent read plane while the
+//! witness plane appends and shreds.
 
 use bytes::Bytes;
+use parking_lot::Mutex;
 use rand::RngCore;
 
 use crate::block::{BlockDevice, BlockError};
@@ -57,10 +63,10 @@ impl From<BlockError> for StoreError {
     }
 }
 
-/// Extent-allocating record store over a [`BlockDevice`].
+/// Allocator bookkeeping, guarded as one unit so an allocation decision
+/// and its watermark/free-list update are atomic.
 #[derive(Debug)]
-pub struct RecordStore<D: BlockDevice> {
-    dev: D,
+struct AllocState {
     next_id: u64,
     /// Bump pointer: everything below is allocated or on the free list.
     watermark: u64,
@@ -68,77 +74,8 @@ pub struct RecordStore<D: BlockDevice> {
     free_list: Vec<(u64, u64)>,
 }
 
-impl<D: BlockDevice> RecordStore<D> {
-    /// Wraps a device in a fresh store.
-    pub fn new(dev: D) -> Self {
-        RecordStore {
-            dev,
-            next_id: 1,
-            watermark: 0,
-            free_list: Vec::new(),
-        }
-    }
-
-    /// The underlying device (e.g., for I/O statistics).
-    pub fn device(&self) -> &D {
-        &self.dev
-    }
-
-    /// Mutable device access — this is Mallory's physical-attack surface
-    /// and the benches' stats hook; normal callers use `write`/`read`.
-    pub fn device_mut(&mut self) -> &mut D {
-        &mut self.dev
-    }
-
-    /// Bytes currently un-allocatable past the bump pointer.
-    pub fn watermark(&self) -> u64 {
-        self.watermark
-    }
-
-    /// Stores `data` as a new record.
-    ///
-    /// # Errors
-    ///
-    /// [`StoreError::OutOfSpace`] when no extent fits; device errors
-    /// otherwise.
-    pub fn write(&mut self, data: &[u8]) -> Result<RecordDescriptor, StoreError> {
-        let len = data.len() as u64;
-        let offset = self.allocate(len)?;
-        self.dev.write_at(offset, data)?;
-        let id = RecordId(self.next_id);
-        self.next_id += 1;
-        Ok(RecordDescriptor { id, offset, len })
-    }
-
-    /// Reads a record's bytes back.
-    ///
-    /// # Errors
-    ///
-    /// Propagates device errors (e.g., a stale descriptor past capacity).
-    pub fn read(&mut self, rd: &RecordDescriptor) -> Result<Bytes, StoreError> {
-        let mut buf = vec![0u8; rd.len as usize];
-        self.dev.read_at(rd.offset, &mut buf)?;
-        Ok(Bytes::from(buf))
-    }
-
-    /// Destroys a record with the given shredding discipline and recycles
-    /// its extent.
-    ///
-    /// # Errors
-    ///
-    /// Propagates device errors from the overwrite passes.
-    pub fn shred<R: RngCore + ?Sized>(
-        &mut self,
-        rd: &RecordDescriptor,
-        shredder: Shredder,
-        rng: &mut R,
-    ) -> Result<(), StoreError> {
-        shredder.shred(&mut self.dev, rd, rng)?;
-        self.release(rd.offset, rd.len);
-        Ok(())
-    }
-
-    fn allocate(&mut self, len: u64) -> Result<u64, StoreError> {
+impl AllocState {
+    fn allocate(&mut self, len: u64, capacity: u64) -> Result<u64, StoreError> {
         if len == 0 {
             return Ok(self.watermark);
         }
@@ -155,7 +92,7 @@ impl<D: BlockDevice> RecordStore<D> {
         // Bump allocation.
         let end = self.watermark.checked_add(len);
         match end {
-            Some(e) if e <= self.dev.capacity() => {
+            Some(e) if e <= capacity => {
                 let off = self.watermark;
                 self.watermark = e;
                 Ok(off)
@@ -168,7 +105,7 @@ impl<D: BlockDevice> RecordStore<D> {
                     .map(|&(_, l)| l)
                     .max()
                     .unwrap_or(0)
-                    .max(self.dev.capacity().saturating_sub(self.watermark)),
+                    .max(capacity.saturating_sub(self.watermark)),
             }),
         }
     }
@@ -178,9 +115,7 @@ impl<D: BlockDevice> RecordStore<D> {
             return;
         }
         // Insert sorted and coalesce with neighbours.
-        let pos = self
-            .free_list
-            .partition_point(|&(off, _)| off < offset);
+        let pos = self.free_list.partition_point(|&(off, _)| off < offset);
         self.free_list.insert(pos, (offset, len));
         // Coalesce right.
         if pos + 1 < self.free_list.len() {
@@ -201,10 +136,97 @@ impl<D: BlockDevice> RecordStore<D> {
             }
         }
     }
+}
+
+/// Extent-allocating record store over a [`BlockDevice`].
+///
+/// All operations take `&self`; `read` never touches allocator state, so
+/// concurrent readers proceed without contending on the allocation mutex.
+#[derive(Debug)]
+pub struct RecordStore<D: BlockDevice> {
+    dev: D,
+    alloc: Mutex<AllocState>,
+}
+
+impl<D: BlockDevice> RecordStore<D> {
+    /// Wraps a device in a fresh store.
+    pub fn new(dev: D) -> Self {
+        RecordStore {
+            dev,
+            alloc: Mutex::new(AllocState {
+                next_id: 1,
+                watermark: 0,
+                free_list: Vec::new(),
+            }),
+        }
+    }
+
+    /// The underlying device (e.g., for I/O statistics).
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
+    /// Mutable device access — this is Mallory's physical-attack surface
+    /// and the benches' stats hook; normal callers use `write`/`read`.
+    pub fn device_mut(&mut self) -> &mut D {
+        &mut self.dev
+    }
+
+    /// Bytes currently un-allocatable past the bump pointer.
+    pub fn watermark(&self) -> u64 {
+        self.alloc.lock().watermark
+    }
+
+    /// Stores `data` as a new record.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::OutOfSpace`] when no extent fits; device errors
+    /// otherwise.
+    pub fn write(&self, data: &[u8]) -> Result<RecordDescriptor, StoreError> {
+        let len = data.len() as u64;
+        let (offset, id) = {
+            let mut alloc = self.alloc.lock();
+            let offset = alloc.allocate(len, self.dev.capacity())?;
+            let id = RecordId(alloc.next_id);
+            alloc.next_id += 1;
+            (offset, id)
+        };
+        self.dev.write_at(offset, data)?;
+        Ok(RecordDescriptor { id, offset, len })
+    }
+
+    /// Reads a record's bytes back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (e.g., a stale descriptor past capacity).
+    pub fn read(&self, rd: &RecordDescriptor) -> Result<Bytes, StoreError> {
+        let mut buf = vec![0u8; rd.len as usize];
+        self.dev.read_at(rd.offset, &mut buf)?;
+        Ok(Bytes::from(buf))
+    }
+
+    /// Destroys a record with the given shredding discipline and recycles
+    /// its extent.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the overwrite passes.
+    pub fn shred<R: RngCore + ?Sized>(
+        &self,
+        rd: &RecordDescriptor,
+        shredder: Shredder,
+        rng: &mut R,
+    ) -> Result<(), StoreError> {
+        shredder.shred(&self.dev, rd, rng)?;
+        self.alloc.lock().release(rd.offset, rd.len);
+        Ok(())
+    }
 
     /// Number of entries on the free list (for fragmentation diagnostics).
     pub fn free_extents(&self) -> usize {
-        self.free_list.len()
+        self.alloc.lock().free_list.len()
     }
 }
 
@@ -221,7 +243,7 @@ mod tests {
 
     #[test]
     fn write_read_roundtrip() {
-        let mut s = store(1024);
+        let s = store(1024);
         let rd1 = s.write(b"first record").unwrap();
         let rd2 = s.write(b"second record").unwrap();
         assert_ne!(rd1.id, rd2.id);
@@ -232,7 +254,7 @@ mod tests {
 
     #[test]
     fn out_of_space() {
-        let mut s = store(16);
+        let s = store(16);
         s.write(b"0123456789").unwrap();
         match s.write(b"0123456789") {
             Err(StoreError::OutOfSpace {
@@ -245,7 +267,7 @@ mod tests {
 
     #[test]
     fn shred_recycles_extent() {
-        let mut s = store(32);
+        let s = store(32);
         let mut rng = StdRng::seed_from_u64(1);
         let rd1 = s.write(b"0123456789abcdef").unwrap(); // 16 bytes
         s.write(b"0123456789abcdef").unwrap(); // fills the disk
@@ -259,7 +281,7 @@ mod tests {
 
     #[test]
     fn free_list_coalesces() {
-        let mut s = store(64);
+        let s = store(64);
         let mut rng = StdRng::seed_from_u64(2);
         let rds: Vec<_> = (0..4).map(|_| s.write(&[7u8; 16]).unwrap()).collect();
         s.shred(&rds[0], Shredder::ZeroFill, &mut rng).unwrap();
@@ -275,7 +297,7 @@ mod tests {
 
     #[test]
     fn partial_reuse_splits_extent() {
-        let mut s = store(64);
+        let s = store(64);
         let mut rng = StdRng::seed_from_u64(3);
         let rd = s.write(&[1u8; 32]).unwrap();
         s.write(&[2u8; 32]).unwrap();
@@ -290,11 +312,38 @@ mod tests {
 
     #[test]
     fn zero_length_record() {
-        let mut s = store(8);
+        let s = store(8);
         let rd = s.write(b"").unwrap();
         assert_eq!(rd.len, 0);
         assert_eq!(s.read(&rd).unwrap().len(), 0);
         assert_eq!(s.watermark(), 0);
+    }
+
+    #[test]
+    fn concurrent_writers_get_disjoint_extents() {
+        use std::sync::Arc;
+        let s = Arc::new(store(64 * 1024));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|i| s.write(&[t as u8; 37]).map(|rd| (i, rd)).unwrap().1)
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut all: Vec<RecordDescriptor> = Vec::new();
+        for h in handles {
+            all.extend(h.join().unwrap());
+        }
+        // Unique ids, no overlapping extents.
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.id, b.id);
+                assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+            }
+        }
     }
 
     #[test]

@@ -2,13 +2,16 @@
 //! maintenance daemon (Retention Monitor driver, witness strengthening,
 //! window compaction) on a background thread.
 //!
+//! The server is shared as a plain `Arc<WormServer>` — no outer lock.
+//! The daemon's maintenance passes serialize on the witness plane only,
+//! so foreground reads stay concurrent with background work.
+//!
 //! Run with: `cargo run --example background_daemon`
 
 use std::error::Error;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scpu::VirtualClock;
@@ -22,16 +25,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let clock = VirtualClock::new();
     let mut rng = StdRng::seed_from_u64(12);
     let regulator = RegulatoryAuthority::generate(&mut rng, 512);
-    let server = Arc::new(Mutex::new(WormServer::new(
+    let server = Arc::new(WormServer::new(
         WormConfig::test_small(),
         clock.clone(),
         regulator.public(),
-    )?));
-    let verifier = Verifier::new(
-        server.lock().keys(),
-        Duration::from_secs(300),
-        clock.clone(),
-    )?;
+    )?);
+    let verifier = Verifier::new(server.keys(), Duration::from_secs(300), clock.clone())?;
 
     // Background maintenance: tick + idle + compact, every 10 ms.
     let daemon = RetentionDaemon::spawn(
@@ -49,30 +48,28 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut sns = Vec::new();
     for i in 0..50 {
         let body = format!("burst record {i}");
-        sns.push(server.lock().write_with(
-            &[body.as_bytes()],
-            policy,
-            0,
-            WitnessMode::Deferred,
-        )?);
+        sns.push(server.write_with(&[body.as_bytes()], policy, 0, WitnessMode::Deferred)?);
     }
     println!("foreground: 50 deferred-witness records committed");
 
     // The daemon strengthens them in the background — wait for it.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        if server.lock().firmware_for_test().pending_strengthen() == 0 {
+        if server.firmware_for_test().pending_strengthen() == 0 {
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "strengthening stalled");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "strengthening stalled"
+        );
         std::thread::sleep(Duration::from_millis(5));
     }
     println!("background: all witnesses strengthened to permanent signatures");
 
     // Reads verify at full strength without the foreground ever having
-    // driven maintenance itself.
+    // driven maintenance itself — and without waiting on it either.
     for &sn in &[sns[0], sns[49]] {
-        let outcome = server.lock().read(sn)?;
+        let outcome = server.read(sn)?;
         assert_eq!(
             verifier.verify_read(sn, &outcome)?,
             ReadVerdict::Intact { sn }
@@ -82,14 +79,14 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Short-retention record: the daemon deletes it once the (virtual)
     // clock passes the deadline.
-    let fleeting = server.lock().write(
+    let fleeting = server.write(
         &[b"temporary note"],
         RetentionPolicy::custom(Duration::from_secs(10), Shredder::ZeroFill),
     )?;
     clock.advance(Duration::from_secs(11));
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     loop {
-        if server.lock().read(fleeting)?.kind() == "deleted" {
+        if server.read(fleeting)?.kind() == "deleted" {
             break;
         }
         assert!(std::time::Instant::now() < deadline, "deletion stalled");

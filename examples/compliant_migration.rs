@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let clock = VirtualClock::new();
     let mut rng = StdRng::seed_from_u64(21);
     let regulator = RegulatoryAuthority::generate(&mut rng, 512);
-    let mut old_store = WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())?;
+    let old_store = WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())?;
     let auditor = Verifier::new(old_store.keys(), Duration::from_secs(300), clock.clone())?;
 
     // Fill the aging array.
@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     // --- Migration ----------------------------------------------------------
     // Copy every active VR's data to the new medium and rebuild its RDL;
     // signatures move untouched (they cover SN + content, not location).
-    let mut new_medium = RecordStore::new(MemDisk::unmetered(4 << 20));
+    let new_medium = RecordStore::new(MemDisk::unmetered(4 << 20));
     let mut migrated = Vec::new();
     for &sn in &sns {
         if let strongworm::ReadOutcome::Data { vrd, records, .. } = old_store.read(sn)? {

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let clock = VirtualClock::new();
     let mut rng = StdRng::seed_from_u64(9);
     let court = RegulatoryAuthority::generate(&mut rng, 512);
-    let mut hospital = WormServer::new(WormConfig::test_small(), clock.clone(), court.public())?;
+    let hospital = WormServer::new(WormConfig::test_small(), clock.clone(), court.public())?;
     let auditor = Verifier::new(hospital.keys(), Duration::from_secs(300), clock.clone())?;
 
     // Admit records for several patients.
@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn Error>> {
                 .expect("admit")
         })
         .collect();
-    println!("admitted {} patient records under HIPAA (6y retention)", charts.len());
+    println!(
+        "admitted {} patient records under HIPAA (6y retention)",
+        charts.len()
+    );
 
     // Year 5: a malpractice suit. The court orders a hold on patient 2's
     // record lasting until year 9.

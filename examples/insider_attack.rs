@@ -23,11 +23,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let clock = VirtualClock::new();
     let mut rng = StdRng::seed_from_u64(3);
     let regulator = RegulatoryAuthority::generate(&mut rng, 512);
-    let mut server = WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())?;
+    let server = WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())?;
     let bob = Verifier::new(server.keys(), Duration::from_secs(300), clock.clone())?;
 
     // Alice legitimately stores b2 — and immediately regrets it.
-    let policy = RetentionPolicy::custom(Duration::from_secs(6 * 365 * 24 * 3600), Shredder::ZeroFill);
+    let policy =
+        RetentionPolicy::custom(Duration::from_secs(6 * 365 * 24 * 3600), Shredder::ZeroFill);
     server.write(&[b"b1: ordinary memo"], policy)?;
     let b2 = server.write(&[b"b2: shred the Q3 numbers before the audit"], policy)?;
     server.refresh_head()?;
@@ -82,7 +83,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("\n[attack 4] Mallory replays a pre-b2 head certificate");
     let old_head = server.vrdt().head().unwrap().clone();
     clock.advance(Duration::from_secs(600)); // time passes; the head goes stale
-    let replay = server.mallory().deny_existence_with_replayed_head(b2, old_head);
+    let replay = server
+        .mallory()
+        .deny_existence_with_replayed_head(b2, old_head);
     match bob.verify_read(b2, &replay) {
         Err(VerifyError::StaleHead { age_ms }) => {
             println!("  -> Bob: head is {age_ms} ms old, beyond tolerance. DETECTED");
@@ -106,6 +109,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         bob.verify_read(b2, &server.read(b2)?)?,
         ReadVerdict::Intact { sn: b2 }
     );
-    println!("\nb2 remains verifiably intact at t={} — history was not rewritten", clock.now());
+    println!(
+        "\nb2 remains verifiably intact at t={} — history was not rewritten",
+        clock.now()
+    );
     Ok(())
 }

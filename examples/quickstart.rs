@@ -26,7 +26,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Boot the server: this generates the SCPU's witnessing keys inside
     // the (emulated) secure enclosure.
-    let mut server = WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())?;
+    let server = WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())?;
     println!("server booted; SCPU keys generated inside the enclosure");
 
     // Clients only need the SCPU's public keys and a rough clock.

@@ -15,8 +15,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scpu::{Clock, CostModel, VirtualClock};
 use strongworm::{
-    HashMode, ReadVerdict, RegulatoryAuthority, RetentionPolicy, Verifier, WitnessMode,
-    WormConfig, WormServer,
+    HashMode, ReadVerdict, RegulatoryAuthority, RetentionPolicy, Verifier, WitnessMode, WormConfig,
+    WormServer,
 };
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     config.hash_mode = HashMode::TrustHostHash;
     config.default_witness = WitnessMode::Deferred;
     config.store_capacity = 32 << 20;
-    let mut archive = WormServer::new(config, clock.clone(), regulator.public())?;
+    let archive = WormServer::new(config, clock.clone(), regulator.public())?;
     let mut compliance_officer =
         Verifier::new(archive.keys(), Duration::from_secs(300), clock.clone())?;
 
@@ -75,7 +75,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         archive.idle(100_000_000)?;
     }
     println!("overnight: backlog strengthened to 1024-bit permanent signatures");
-    assert!(archive.audit_failures().is_empty(), "host hashes audited clean");
+    assert!(
+        archive.audit_failures().is_empty(),
+        "host hashes audited clean"
+    );
 
     // Weak-key rotations may have published new certificates.
     for cert in archive.weak_certs().to_vec() {

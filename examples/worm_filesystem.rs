@@ -29,9 +29,21 @@ fn main() -> Result<(), Box<dyn Error>> {
         Duration::from_secs(7 * 365 * 24 * 3600),
         Shredder::MultiPass { passes: 3 },
     );
-    fs.create("/matters/acme-v-globex/complaint.pdf", b"COMPLAINT draft", seven_years)?;
-    fs.create("/matters/acme-v-globex/complaint.pdf", b"COMPLAINT as filed", seven_years)?;
-    fs.create("/matters/acme-v-globex/exhibits/a.eml", b"Exhibit A email", seven_years)?;
+    fs.create(
+        "/matters/acme-v-globex/complaint.pdf",
+        b"COMPLAINT draft",
+        seven_years,
+    )?;
+    fs.create(
+        "/matters/acme-v-globex/complaint.pdf",
+        b"COMPLAINT as filed",
+        seven_years,
+    )?;
+    fs.create(
+        "/matters/acme-v-globex/exhibits/a.eml",
+        b"Exhibit A email",
+        seven_years,
+    )?;
     fs.create(
         "/matters/acme-v-globex/notes.txt",
         b"strategy notes",
@@ -52,14 +64,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     assert_eq!(&latest.content[..], b"COMPLAINT as filed");
     let draft = fs.read_version("/matters/acme-v-globex/complaint.pdf", 0)?;
     assert_eq!(&draft.content[..], b"COMPLAINT draft");
-    println!("complaint.pdf: v{} verified ({} bytes); draft v0 still addressable", latest.version, latest.content.len());
+    println!(
+        "complaint.pdf: v{} verified ({} bytes); draft v0 still addressable",
+        latest.version,
+        latest.content.len()
+    );
 
     // 60 days later the short-retention notes expire with proof; the
     // filings remain.
     clock.advance(Duration::from_secs(60 * 24 * 3600));
     fs.tick()?;
     match fs.read("/matters/acme-v-globex/notes.txt") {
-        Err(FsError::Expired { .. }) => println!("notes.txt: expired per 30-day policy (proof available)"),
+        Err(FsError::Expired { .. }) => {
+            println!("notes.txt: expired per 30-day policy (proof available)")
+        }
         other => panic!("unexpected: {other:?}"),
     }
 

@@ -27,4 +27,8 @@ run disk_bottleneck --records 50
 run scaling --records 96
 run attack_matrix
 
+# Writes results/BENCH_read_scaling.json itself (wall-clock measurement).
+echo ">> read_scaling"
+cargo run --release -q -p worm-bench --bin read_scaling > /dev/null
+
 echo "done; artifacts in results/"

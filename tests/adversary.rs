@@ -21,9 +21,11 @@ use strongworm::{ReadVerdict, SerialNumber, VerifyError};
 /// Theorem 1: direct modification of record bytes on the medium.
 #[test]
 fn tampered_record_data_is_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
-    let sn = srv.write(&[b"incriminating email"], short_policy(3600)).unwrap();
+    let sn = srv
+        .write(&[b"incriminating email"], short_policy(3600))
+        .unwrap();
 
     assert!(srv.mallory().corrupt_record_data(sn));
 
@@ -38,7 +40,7 @@ fn tampered_record_data_is_detected() {
 /// on-disk VRDT without the SCPU.
 #[test]
 fn rewritten_attributes_are_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv.write(&[b"contract"], short_policy(100_000)).unwrap();
 
@@ -57,7 +59,7 @@ fn rewritten_attributes_are_detected() {
 /// Theorem 1: transplanting valid signatures between records.
 #[test]
 fn witness_transplant_is_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let a = srv.write(&[b"record a"], short_policy(3600)).unwrap();
     let b = srv.write(&[b"record b"], short_policy(7200)).unwrap();
@@ -77,14 +79,18 @@ fn witness_transplant_is_detected() {
 /// redirection) fails even though both payloads are SCPU-witnessed.
 #[test]
 fn record_substitution_is_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
-    let a = srv.write(&[b"version with the crime"], short_policy(3600)).unwrap();
-    let b = srv.write(&[b"sanitized version"], short_policy(3600)).unwrap();
+    let a = srv
+        .write(&[b"version with the crime"], short_policy(3600))
+        .unwrap();
+    let b = srv
+        .write(&[b"sanitized version"], short_policy(3600))
+        .unwrap();
 
     // Mallory points a's descriptor list at b's extents.
     {
-        let (vrdt, _) = srv.parts_mut_for_attack();
+        let (mut vrdt, _) = srv.parts_mut_for_attack();
         let b_rdl = match vrdt.lookup(b) {
             strongworm::vrdt::Lookup::Active(v) => v.rdl.clone(),
             _ => unreachable!(),
@@ -97,14 +103,17 @@ fn record_substitution_is_detected() {
     }
 
     let outcome = srv.read(a).unwrap();
-    assert_eq!(v.verify_read(a, &outcome), Err(VerifyError::DataHashMismatch));
+    assert_eq!(
+        v.verify_read(a, &outcome),
+        Err(VerifyError::DataHashMismatch)
+    );
 }
 
 /// Theorem 2: claiming an active record never existed, against a fresh
 /// head certificate.
 #[test]
 fn denial_of_existing_record_is_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv.write(&[b"exists"], short_policy(3600)).unwrap();
     srv.refresh_head().unwrap();
@@ -117,7 +126,7 @@ fn denial_of_existing_record_is_detected() {
 /// self-consistent — defeated by the head's timestamp (§4.2.1 (ii)).
 #[test]
 fn stale_head_replay_is_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
 
     // Capture the old (empty-store) head.
@@ -141,7 +150,7 @@ fn stale_head_replay_is_detected() {
 /// Theorem 2: a forged deletion proof (Mallory cannot sign with `d`).
 #[test]
 fn forged_deletion_proof_is_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv.write(&[b"to bury"], short_policy(100_000)).unwrap();
     srv.refresh_head().unwrap();
@@ -156,12 +165,14 @@ fn forged_deletion_proof_is_detected() {
 /// Theorem 2: replaying another record's legitimate deletion proof.
 #[test]
 fn replayed_deletion_proof_is_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     // Anchor keeps the base down so the proof stays resident.
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let victim = srv.write(&[b"expires soon"], short_policy(50)).unwrap();
-    let target = srv.write(&[b"still active"], short_policy(1_000_000)).unwrap();
+    let target = srv
+        .write(&[b"still active"], short_policy(1_000_000))
+        .unwrap();
 
     clock.advance(Duration::from_secs(60));
     srv.tick().unwrap();
@@ -187,7 +198,7 @@ fn replayed_deletion_proof_is_detected() {
 /// wider window covering an active record (§4.2.1's correlation attack).
 #[test]
 fn spliced_window_bounds_are_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
 
     // Layout: anchor, [2..4] short, active, [6..8] short, anchor.
@@ -237,7 +248,7 @@ fn spliced_window_bounds_are_detected() {
 /// does not actually contain it.
 #[test]
 fn wrong_window_evidence_is_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     srv.write(&[b"anchor-lo"], short_policy(1_000_000)).unwrap();
     for _ in 0..3 {
@@ -266,9 +277,10 @@ fn wrong_window_evidence_is_detected() {
 /// The completeness invariant catches crude entry removal.
 #[test]
 fn dropped_vrdt_entry_breaks_completeness() {
-    let (mut srv, _clock) = server();
+    let (srv, _clock) = server();
     for i in 0..5u64 {
-        srv.write(&[format!("r{i}").as_bytes()], short_policy(3600)).unwrap();
+        srv.write(&[format!("r{i}").as_bytes()], short_policy(3600))
+            .unwrap();
     }
     srv.refresh_head().unwrap();
     srv.vrdt().check_complete().unwrap();
@@ -287,7 +299,7 @@ fn dropped_vrdt_entry_breaks_completeness() {
 /// establish the record was due for deletion.
 #[test]
 fn resurrection_after_deletion_is_distinguishable() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let sn = srv.write(&[b"short-lived"], short_policy(50)).unwrap();
@@ -310,13 +322,16 @@ fn resurrection_after_deletion_is_distinguishable() {
     // resurrected VRD no longer matches the medium.
     srv.mallory().resurrect_entry(captured);
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome), Err(VerifyError::DataHashMismatch));
+    assert_eq!(
+        v.verify_read(sn, &outcome),
+        Err(VerifyError::DataHashMismatch)
+    );
 }
 
 /// Evidence for the wrong serial number in a data response.
 #[test]
 fn wrong_record_response_is_detected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let a = srv.write(&[b"a"], short_policy(3600)).unwrap();
     let b = srv.write(&[b"b"], short_policy(3600)).unwrap();

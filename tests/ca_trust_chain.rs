@@ -15,7 +15,7 @@ use strongworm::{CertificateAuthority, ReadVerdict, Verifier};
 
 #[test]
 fn client_bootstraps_from_ca_root_only() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let mut rng = StdRng::seed_from_u64(0xCA);
     let ca = CertificateAuthority::generate(&mut rng, 512);
 
@@ -39,7 +39,10 @@ fn client_bootstraps_from_ca_root_only() {
 
     let sn = srv.write(&[b"chained trust"], short_policy(1000)).unwrap();
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 }
 
 #[test]

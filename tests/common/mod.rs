@@ -1,5 +1,9 @@
 //! Shared fixtures for the integration suites.
 
+// Each integration binary compiles this module independently and uses a
+// different subset of the fixtures.
+#![allow(dead_code)]
+
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 

@@ -14,7 +14,7 @@ const ATTACHMENT: &[u8] = b"quarterly-results.xlsx: 48KB of spreadsheet bytes (s
 
 #[test]
 fn identical_records_are_stored_once() {
-    let (mut srv, _clock) = server();
+    let (srv, _clock) = server();
     let a = srv
         .write_dedup(&[b"email to alice", ATTACHMENT], short_policy(1000))
         .unwrap();
@@ -45,7 +45,7 @@ fn identical_records_are_stored_once() {
 
 #[test]
 fn shared_records_verify_in_both_vrs() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let a = srv
         .write_dedup(&[b"msg-1", ATTACHMENT], short_policy(1000))
@@ -55,13 +55,16 @@ fn shared_records_verify_in_both_vrs() {
         .unwrap();
     for sn in [a, b] {
         let outcome = srv.read(sn).unwrap();
-        assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+        assert_eq!(
+            v.verify_read(sn, &outcome).unwrap(),
+            ReadVerdict::Intact { sn }
+        );
     }
 }
 
 #[test]
 fn shared_extent_survives_first_deletion() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     // Anchor to keep the base from sweeping.
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
@@ -92,7 +95,7 @@ fn shared_extent_survives_first_deletion() {
 
 #[test]
 fn last_reference_deletion_shreds_the_extent() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let a = srv
         .write_dedup(&[b"m1", ATTACHMENT], short_policy(50))
@@ -107,7 +110,7 @@ fn last_reference_deletion_shreds_the_extent() {
     assert_eq!(srv.read(a).unwrap().kind(), "deleted");
     {
         let (_vrdt, store) = srv.parts_mut_for_attack();
-        assert!(contains(store.device().raw(), ATTACHMENT));
+        assert!(contains(&store.device().raw(), ATTACHMENT));
     }
 
     // Second (last) deletion: now the extent is shredded.
@@ -116,13 +119,13 @@ fn last_reference_deletion_shreds_the_extent() {
     assert_eq!(srv.read(b).unwrap().kind(), "deleted");
     {
         let (_vrdt, store) = srv.parts_mut_for_attack();
-        assert!(!contains(store.device().raw(), ATTACHMENT));
+        assert!(!contains(&store.device().raw(), ATTACHMENT));
     }
 }
 
 #[test]
 fn dedup_after_shredding_stores_fresh_copy() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let gone = srv.write_dedup(&[ATTACHMENT], short_policy(50)).unwrap();
     clock.advance(Duration::from_secs(60));
@@ -140,7 +143,7 @@ fn dedup_after_shredding_stores_fresh_copy() {
 
 #[test]
 fn non_dedup_writes_remain_independent() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let a = srv.write(&[ATTACHMENT], short_policy(50)).unwrap();
     let b = srv.write(&[ATTACHMENT], short_policy(100_000)).unwrap();

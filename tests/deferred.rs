@@ -6,20 +6,26 @@ mod common;
 use std::time::Duration;
 
 use common::{server, server_with, short_policy, verifier};
-use strongworm::{
-    HashMode, ReadOutcome, ReadVerdict, VerifyError, WitnessMode, WormConfig,
-};
+use strongworm::{HashMode, ReadOutcome, ReadVerdict, VerifyError, WitnessMode, WormConfig};
 
 #[test]
 fn weak_witness_verifies_within_lifetime() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv
-        .write_with(&[b"burst record"], short_policy(100_000), 0, WitnessMode::Deferred)
+        .write_with(
+            &[b"burst record"],
+            short_policy(100_000),
+            0,
+            WitnessMode::Deferred,
+        )
         .unwrap();
     // Still inside the weak lifetime: clients accept.
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
     // The VRD really does carry weak witnesses.
     match srv.read(sn).unwrap() {
         ReadOutcome::Data { vrd, .. } => {
@@ -32,10 +38,15 @@ fn weak_witness_verifies_within_lifetime() {
 
 #[test]
 fn expired_weak_witness_is_rejected_unstrengthened() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv
-        .write_with(&[b"burst record"], short_policy(10_000_000), 0, WitnessMode::Deferred)
+        .write_with(
+            &[b"burst record"],
+            short_policy(10_000_000),
+            0,
+            WitnessMode::Deferred,
+        )
         .unwrap();
 
     // Let the weak signature's security lifetime lapse without ever
@@ -51,10 +62,15 @@ fn expired_weak_witness_is_rejected_unstrengthened() {
 
 #[test]
 fn strengthening_during_idle_upgrades_witnesses() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv
-        .write_with(&[b"burst record"], short_policy(10_000_000), 0, WitnessMode::Deferred)
+        .write_with(
+            &[b"burst record"],
+            short_policy(10_000_000),
+            0,
+            WitnessMode::Deferred,
+        )
         .unwrap();
     assert_eq!(srv.firmware_for_test().pending_strengthen(), 2);
 
@@ -73,7 +89,10 @@ fn strengthening_during_idle_upgrades_witnesses() {
     // Strengthened records survive past the weak lifetime.
     clock.advance(Duration::from_secs(10 * 60 * 60));
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 }
 
 #[test]
@@ -81,7 +100,7 @@ fn strengthening_respects_idle_budget() {
     // Use the real IBM 4764 cost model so signatures have nonzero cost.
     let mut cfg = WormConfig::test_small();
     cfg.device.cost_model = scpu::CostModel::ibm4764();
-    let (mut srv, _clock) = server_with(cfg);
+    let (srv, _clock) = server_with(cfg);
 
     for i in 0..10u64 {
         srv.write_with(
@@ -107,10 +126,15 @@ fn strengthening_respects_idle_budget() {
 
 #[test]
 fn hmac_witness_is_unverifiable_until_strengthened() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv
-        .write_with(&[b"peak load"], short_policy(10_000_000), 0, WitnessMode::Hmac)
+        .write_with(
+            &[b"peak load"],
+            short_policy(10_000_000),
+            0,
+            WitnessMode::Hmac,
+        )
         .unwrap();
 
     let outcome = srv.read(sn).unwrap();
@@ -123,21 +147,34 @@ fn hmac_witness_is_unverifiable_until_strengthened() {
 
     srv.idle(1_000_000_000).unwrap();
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 }
 
 #[test]
 fn weak_key_rotates_and_old_certs_still_verify() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let mut v = verifier(&srv, clock.clone());
     let first = srv
-        .write_with(&[b"early"], short_policy(10_000_000), 0, WitnessMode::Deferred)
+        .write_with(
+            &[b"early"],
+            short_policy(10_000_000),
+            0,
+            WitnessMode::Deferred,
+        )
         .unwrap();
 
     // Advance past the rotation point (= weak lifetime) and write again.
     clock.advance(Duration::from_secs(121 * 60));
     let later = srv
-        .write_with(&[b"late"], short_policy(10_000_000), 0, WitnessMode::Deferred)
+        .write_with(
+            &[b"late"],
+            short_policy(10_000_000),
+            0,
+            WitnessMode::Deferred,
+        )
         .unwrap();
 
     // A rotation should have been published.
@@ -164,14 +201,19 @@ fn weak_key_rotates_and_old_certs_still_verify() {
 fn forged_weak_expiry_does_not_verify() {
     // Mallory cannot stretch a weak signature's lifetime: the expiry is
     // inside the signed wrapper.
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv
-        .write_with(&[b"burst"], short_policy(10_000_000), 0, WitnessMode::Deferred)
+        .write_with(
+            &[b"burst"],
+            short_policy(10_000_000),
+            0,
+            WitnessMode::Deferred,
+        )
         .unwrap();
 
     {
-        let (vrdt, _) = srv.parts_mut_for_attack();
+        let (mut vrdt, _) = srv.parts_mut_for_attack();
         if let Some(strongworm::vrdt::VrdtEntry::Active(vrd)) =
             vrdt.entries_mut_for_attack().get_mut(&sn)
         {
@@ -192,13 +234,16 @@ fn forged_weak_expiry_does_not_verify() {
 fn trust_host_hash_mode_audits_honest_host() {
     let mut cfg = WormConfig::test_small();
     cfg.hash_mode = HashMode::TrustHostHash;
-    let (mut srv, clock) = server_with(cfg);
+    let (srv, clock) = server_with(cfg);
     let v = verifier(&srv, clock.clone());
 
     let sn = srv.write(&[b"burst data"], short_policy(10_000)).unwrap();
     // Client verification works as usual (the hash is correct).
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 
     // Idle time triggers the SCPU audit; an honest host passes.
     srv.idle(1_000_000_000).unwrap();
@@ -209,7 +254,7 @@ fn trust_host_hash_mode_audits_honest_host() {
 fn trust_host_hash_audit_catches_data_swap() {
     let mut cfg = WormConfig::test_small();
     cfg.hash_mode = HashMode::TrustHostHash;
-    let (mut srv, _clock) = server_with(cfg);
+    let (srv, _clock) = server_with(cfg);
 
     let sn = srv.write(&[b"original"], short_policy(10_000)).unwrap();
     // Mallory swaps the on-disk bytes before the audit runs.
@@ -227,16 +272,26 @@ fn deferred_writes_are_cheaper_on_the_device() {
     cfg.weak_bits = 512;
     // Note: test_small overrides strong_bits; restore paper values but
     // keep the small store.
-    let (mut srv, _clock) = server_with(cfg);
+    let (srv, _clock) = server_with(cfg);
 
     srv.reset_meters();
-    srv.write_with(&[b"x".as_slice()], short_policy(10_000), 0, WitnessMode::Strong)
-        .unwrap();
+    srv.write_with(
+        &[b"x".as_slice()],
+        short_policy(10_000),
+        0,
+        WitnessMode::Strong,
+    )
+    .unwrap();
     let strong_ns = srv.device_meter().busy_ns();
 
     srv.reset_meters();
-    srv.write_with(&[b"x".as_slice()], short_policy(10_000), 0, WitnessMode::Deferred)
-        .unwrap();
+    srv.write_with(
+        &[b"x".as_slice()],
+        short_policy(10_000),
+        0,
+        WitnessMode::Deferred,
+    )
+    .unwrap();
     let weak_ns = srv.device_meter().busy_ns();
 
     assert!(
@@ -247,7 +302,7 @@ fn deferred_writes_are_cheaper_on_the_device() {
 
 #[test]
 fn deleted_record_cancels_pending_strengthening() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let sn = srv
         .write_with(&[b"fleeting"], short_policy(50), 0, WitnessMode::Deferred)

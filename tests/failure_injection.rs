@@ -13,7 +13,7 @@ use wormstore::Journal;
 
 #[test]
 fn vrdt_journal_recovers_identical_state_after_crash() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     for i in 0..10u64 {
         srv.write(&[format!("rec{i}").as_bytes()], short_policy(50 + i * 10))
             .unwrap();
@@ -33,7 +33,7 @@ fn vrdt_journal_recovers_identical_state_after_crash() {
 
 #[test]
 fn torn_final_frame_loses_only_last_operation() {
-    let (mut srv, _clock) = server();
+    let (srv, _clock) = server();
     srv.write(&[b"committed-1"], short_policy(1000)).unwrap();
     srv.write(&[b"committed-2"], short_policy(1000)).unwrap();
     let full_len = srv.vrdt().journal().len_bytes();
@@ -61,7 +61,7 @@ fn vexp_overflow_spills_and_readmits() {
     let mut cfg = WormConfig::test_small();
     // Room for roughly 3 VEXP entries after pending-queue use.
     cfg.device.secure_memory_bytes = 96;
-    let (mut srv, clock) = server_with(cfg);
+    let (srv, clock) = server_with(cfg);
 
     let mut sns = Vec::new();
     for i in 0..6u64 {
@@ -70,11 +70,15 @@ fn vexp_overflow_spills_and_readmits() {
                 .unwrap(),
         );
     }
-    let fw = srv.firmware_for_test();
-    assert!(fw.spilled_count() > 0, "some entries must have spilled");
-    assert!(fw.vexp_len() < 6);
-    let resident_before = fw.vexp_len();
-    assert_eq!(srv.spilled_vexp() as u64, srv.firmware_for_test().spilled_count());
+    // Scope the firmware guard: it serializes on the witness plane, so it
+    // must drop before any other server call.
+    let (spilled_count, resident_before) = {
+        let fw = srv.firmware_for_test();
+        (fw.spilled_count(), fw.vexp_len())
+    };
+    assert!(spilled_count > 0, "some entries must have spilled");
+    assert!(resident_before < 6);
+    assert_eq!(srv.spilled_vexp() as u64, spilled_count);
 
     // Records expire; resident entries are deleted, freeing memory; idle
     // re-admits the spilled ones, which then also get deleted.
@@ -98,7 +102,7 @@ fn vexp_overflow_spills_and_readmits() {
 fn forged_vexp_seal_is_rejected() {
     let mut cfg = WormConfig::test_small();
     cfg.device.secure_memory_bytes = 96;
-    let (mut srv, clock) = server_with(cfg);
+    let (srv, clock) = server_with(cfg);
     for i in 0..6u64 {
         srv.write(&[format!("r{i}").as_bytes()], short_policy(100_000))
             .unwrap();
@@ -116,7 +120,7 @@ fn forged_vexp_seal_is_rejected() {
 
 #[test]
 fn tamper_response_kills_updates_but_reads_keep_serving() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv.write(&[b"pre-tamper"], short_policy(100_000)).unwrap();
     srv.refresh_head().unwrap();
@@ -140,7 +144,10 @@ fn tamper_response_kills_updates_but_reads_keep_serving() {
 
     // Reads served from host state still verify while the head is fresh.
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 
     // Once the head goes stale, clients refuse — a dead SCPU cannot
     // silently keep vouching for the store.
@@ -160,7 +167,7 @@ fn tamper_response_kills_updates_but_reads_keep_serving() {
 
 #[test]
 fn tamper_zeroizes_firmware_state() {
-    let (mut srv, _clock) = server();
+    let (srv, _clock) = server();
     srv.write(&[b"secret"], short_policy(100)).unwrap();
     assert!(srv.firmware_for_test().vexp_len() > 0);
     srv.tamper_device(TamperCause::Radiation);

@@ -23,7 +23,7 @@ fn full_lifecycle_on_file_backed_disk() {
     let cfg = WormConfig::test_small();
     let disk = FileDisk::create(&path, cfg.store_capacity as u64, DiskProfile::free())
         .expect("create disk file");
-    let mut srv = WormServer::with_store(
+    let srv = WormServer::with_store(
         RecordStore::new(disk),
         cfg,
         clock.clone(),
@@ -34,10 +34,16 @@ fn full_lifecycle_on_file_backed_disk() {
 
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let sn = srv
-        .write(&[b"SECRET-MARKER-0xDEAD file-backed record"], short_policy(60))
+        .write(
+            &[b"SECRET-MARKER-0xDEAD file-backed record"],
+            short_policy(60),
+        )
         .unwrap();
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 
     // The plaintext is physically in the file while retained...
     let raw = std::fs::read(&path).unwrap();

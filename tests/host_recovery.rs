@@ -24,20 +24,29 @@ fn crash_and_resume(
 
 #[test]
 fn records_survive_host_crash_and_verify() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
-    let a = srv.write(&[b"pre-crash record A"], short_policy(10_000)).unwrap();
-    let b = srv.write(&[b"pre-crash record B"], short_policy(10_000)).unwrap();
+    let a = srv
+        .write(&[b"pre-crash record A"], short_policy(10_000))
+        .unwrap();
+    let b = srv
+        .write(&[b"pre-crash record B"], short_policy(10_000))
+        .unwrap();
 
-    let mut srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
+    let srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
 
     // Old records verify with the SAME verifier (device keys survived).
     for sn in [a, b] {
         let outcome = srv.read(sn).unwrap();
-        assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+        assert_eq!(
+            v.verify_read(sn, &outcome).unwrap(),
+            ReadVerdict::Intact { sn }
+        );
     }
     // New writes continue the serial-number sequence.
-    let c = srv.write(&[b"post-crash record"], short_policy(10_000)).unwrap();
+    let c = srv
+        .write(&[b"post-crash record"], short_policy(10_000))
+        .unwrap();
     assert_eq!(c, SerialNumber(3));
     assert_eq!(
         v.verify_read(c, &srv.read(c).unwrap()).unwrap(),
@@ -47,11 +56,11 @@ fn records_survive_host_crash_and_verify() {
 
 #[test]
 fn expirations_still_fire_after_crash() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let dies = srv.write(&[b"fleeting"], short_policy(100)).unwrap();
 
-    let mut srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
+    let srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
 
     clock.advance(Duration::from_secs(150));
     srv.tick().unwrap();
@@ -62,12 +71,12 @@ fn expirations_still_fire_after_crash() {
 fn crash_during_retention_does_not_extend_it() {
     // Even if Mallory "crashes" the host hoping recovery resets timers,
     // the retention deadline is inside the signed attributes.
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let sn = srv.write(&[b"fleeting"], short_policy(100)).unwrap();
 
     clock.advance(Duration::from_secs(50)); // halfway through retention
-    let mut srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
+    let srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
 
     clock.advance(Duration::from_secs(60)); // total 110 > 100
     srv.tick().unwrap();
@@ -76,14 +85,14 @@ fn crash_during_retention_does_not_extend_it() {
 
 #[test]
 fn litigation_holds_survive_recovery() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let sn = srv.write(&[b"disputed"], short_policy(100)).unwrap();
     let hold_until = clock.now().after(Duration::from_secs(10_000));
     srv.lit_hold(regulator().issue_hold(sn, clock.now(), 88, hold_until))
         .unwrap();
 
-    let mut srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
+    let srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
 
     // Retention elapses post-crash, but the (signed) hold still protects.
     clock.advance(Duration::from_secs(500));
@@ -98,7 +107,7 @@ fn litigation_holds_survive_recovery() {
 
 #[test]
 fn recovery_from_torn_journal_matches_device_head() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"committed"], short_policy(10_000)).unwrap();
     srv.write(&[b"torn-away"], short_policy(10_000)).unwrap();
 
@@ -106,9 +115,8 @@ fn recovery_from_torn_journal_matches_device_head() {
     // Tear the final journal frames: the host loses record 2's VRD.
     let mut torn = Journal::from_bytes(journal.as_bytes().to_vec());
     torn.truncate_tail(40);
-    let mut srv =
-        WormServer::resume(device, store, torn, WormConfig::test_small(), clock.clone())
-            .expect("resume");
+    let srv = WormServer::resume(device, store, torn, WormConfig::test_small(), clock.clone())
+        .expect("resume");
 
     // The device's head still counts 2 issued records, so the loss is
     // *visible*: the honest host cannot produce evidence for sn 2.
@@ -122,15 +130,17 @@ fn recovery_from_torn_journal_matches_device_head() {
 
 #[test]
 fn dedup_index_rebuilds_after_crash() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let shared: &[u8] = b"popular-attachment-bytes";
-    srv.write_dedup(&[b"m1", shared], short_policy(10_000)).unwrap();
+    srv.write_dedup(&[b"m1", shared], short_policy(10_000))
+        .unwrap();
     let before = srv.store().watermark();
 
-    let mut srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
+    let srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
 
     // Post-crash dedup writes still reuse the pre-crash extent.
-    srv.write_dedup(&[b"m2", shared], short_policy(10_000)).unwrap();
+    srv.write_dedup(&[b"m2", shared], short_policy(10_000))
+        .unwrap();
     let growth = srv.store().watermark() - before;
     assert!(
         growth < shared.len() as u64,
@@ -145,12 +155,14 @@ fn pre_crash_host_hash_lies_are_audited_after_resume() {
     // hash lie is still caught.
     let mut cfg = WormConfig::test_small();
     cfg.hash_mode = strongworm::HashMode::TrustHostHash;
-    let (mut srv, clock) = common::server_with(cfg.clone());
-    let sn = srv.write(&[b"burst record"], short_policy(100_000)).unwrap();
+    let (srv, clock) = common::server_with(cfg.clone());
+    let sn = srv
+        .write(&[b"burst record"], short_policy(100_000))
+        .unwrap();
     // Mallory swaps the data, then "crashes" the host before any idle.
     assert!(srv.mallory().corrupt_record_data(sn));
 
-    let mut srv = crash_and_resume(srv, cfg, clock);
+    let srv = crash_and_resume(srv, cfg, clock);
     srv.idle(1_000_000_000).unwrap();
     assert_eq!(
         srv.audit_failures(),

@@ -12,7 +12,7 @@ use strongworm::{ReadOutcome, ReadVerdict, RegulatoryAuthority, SerialNumber, Wo
 
 #[test]
 fn hold_prevents_deletion_past_retention() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let sn = srv.write(&[b"disputed record"], short_policy(100)).unwrap();
@@ -27,7 +27,10 @@ fn hold_prevents_deletion_past_retention() {
     srv.tick().unwrap();
     let outcome = srv.read(sn).unwrap();
     assert_eq!(outcome.kind(), "data");
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
     match &outcome {
         ReadOutcome::Data { vrd, .. } => {
             let hold = vrd.attr.litigation_hold.as_ref().expect("hold recorded");
@@ -44,7 +47,7 @@ fn hold_prevents_deletion_past_retention() {
 
 #[test]
 fn release_allows_prompt_deletion() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let sn = srv.write(&[b"disputed"], short_policy(100)).unwrap();
 
@@ -69,12 +72,17 @@ fn release_allows_prompt_deletion() {
 
 #[test]
 fn hold_from_unauthorized_party_is_rejected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let sn = srv.write(&[b"record"], short_policy(1000)).unwrap();
 
     // A different key pair pretending to be the regulator.
     let impostor = RegulatoryAuthority::generate(&mut StdRng::seed_from_u64(666), 512);
-    let cred = impostor.issue_hold(sn, clock.now(), 1, clock.now().after(Duration::from_secs(50)));
+    let cred = impostor.issue_hold(
+        sn,
+        clock.now(),
+        1,
+        clock.now().after(Duration::from_secs(50)),
+    );
     match srv.lit_hold(cred) {
         Err(WormError::Firmware(msg)) => assert!(msg.contains("regulator"), "{msg}"),
         other => panic!("expected firmware rejection, got {other:?}"),
@@ -83,9 +91,14 @@ fn hold_from_unauthorized_party_is_rejected() {
 
 #[test]
 fn release_requires_matching_litigation_id() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let sn = srv.write(&[b"record"], short_policy(100_000)).unwrap();
-    let cred = regulator().issue_hold(sn, clock.now(), 11, clock.now().after(Duration::from_secs(9_000)));
+    let cred = regulator().issue_hold(
+        sn,
+        clock.now(),
+        11,
+        clock.now().after(Duration::from_secs(9_000)),
+    );
     srv.lit_hold(cred).unwrap();
 
     let wrong = regulator().issue_release(sn, clock.now(), 12);
@@ -97,14 +110,19 @@ fn release_requires_matching_litigation_id() {
 
 #[test]
 fn hold_on_deleted_or_unissued_record_is_rejected() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"anchor"], short_policy(1_000_000)).unwrap();
     let gone = srv.write(&[b"expires"], short_policy(50)).unwrap();
     clock.advance(Duration::from_secs(60));
     srv.tick().unwrap();
 
     // Expired record: the server-side lookup already refuses.
-    let cred = regulator().issue_hold(gone, clock.now(), 1, clock.now().after(Duration::from_secs(500)));
+    let cred = regulator().issue_hold(
+        gone,
+        clock.now(),
+        1,
+        clock.now().after(Duration::from_secs(500)),
+    );
     assert!(matches!(srv.lit_hold(cred), Err(WormError::NotActive(_))));
 
     // Never-issued record.
@@ -119,11 +137,21 @@ fn hold_on_deleted_or_unissued_record_is_rejected() {
 
 #[test]
 fn double_hold_is_rejected_while_active() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let sn = srv.write(&[b"record"], short_policy(100_000)).unwrap();
-    let cred1 = regulator().issue_hold(sn, clock.now(), 1, clock.now().after(Duration::from_secs(5_000)));
+    let cred1 = regulator().issue_hold(
+        sn,
+        clock.now(),
+        1,
+        clock.now().after(Duration::from_secs(5_000)),
+    );
     srv.lit_hold(cred1).unwrap();
-    let cred2 = regulator().issue_hold(sn, clock.now(), 2, clock.now().after(Duration::from_secs(9_000)));
+    let cred2 = regulator().issue_hold(
+        sn,
+        clock.now(),
+        2,
+        clock.now().after(Duration::from_secs(9_000)),
+    );
     match srv.lit_hold(cred2) {
         Err(WormError::Firmware(msg)) => assert!(msg.contains("already held"), "{msg}"),
         other => panic!("expected firmware rejection, got {other:?}"),
@@ -132,7 +160,7 @@ fn double_hold_is_rejected_while_active() {
 
 #[test]
 fn expired_hold_timeout_is_rejected_at_placement() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let sn = srv.write(&[b"record"], short_policy(100_000)).unwrap();
     let past = clock.now().before(Duration::from_secs(10));
     let cred = regulator().issue_hold(sn, clock.now(), 1, past);
@@ -147,15 +175,23 @@ fn held_attr_changes_are_scpu_signed() {
     // After a hold, the updated attributes carry a fresh strong metasig —
     // Mallory editing the hold flag directly is caught like any other
     // attribute tampering.
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv.write(&[b"record"], short_policy(100_000)).unwrap();
-    let cred = regulator().issue_hold(sn, clock.now(), 3, clock.now().after(Duration::from_secs(5_000)));
+    let cred = regulator().issue_hold(
+        sn,
+        clock.now(),
+        3,
+        clock.now().after(Duration::from_secs(5_000)),
+    );
     srv.lit_hold(cred).unwrap();
 
     // Honest state verifies.
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 
     // Mallory silently strips the hold from the VRDT.
     assert!(srv.mallory().rewrite_attributes(sn, |attr| {
@@ -167,10 +203,15 @@ fn held_attr_changes_are_scpu_signed() {
 
 #[test]
 fn credential_for_one_record_cannot_hold_another() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let a = srv.write(&[b"a"], short_policy(100_000)).unwrap();
     let b = srv.write(&[b"b"], short_policy(100_000)).unwrap();
-    let cred_a = regulator().issue_hold(a, clock.now(), 1, clock.now().after(Duration::from_secs(5_000)));
+    let cred_a = regulator().issue_hold(
+        a,
+        clock.now(),
+        1,
+        clock.now().after(Duration::from_secs(5_000)),
+    );
 
     // Mallory rewrites the SN field of the credential to target b.
     let mut forged = cred_a;

@@ -19,18 +19,21 @@ fn multiset_config() -> WormConfig {
 
 #[test]
 fn multiset_scheme_roundtrips() {
-    let (mut srv, clock) = server_with(multiset_config());
+    let (srv, clock) = server_with(multiset_config());
     let v = verifier(&srv, clock.clone());
     let sn = srv
         .write(&[b"part-a", b"part-b", b"part-c"], short_policy(1000))
         .unwrap();
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 }
 
 #[test]
 fn multiset_scheme_detects_content_tampering() {
-    let (mut srv, clock) = server_with(multiset_config());
+    let (srv, clock) = server_with(multiset_config());
     let v = verifier(&srv, clock.clone());
     let sn = srv.write(&[b"sensitive"], short_policy(1000)).unwrap();
     assert!(srv.mallory().corrupt_record_data(sn));
@@ -42,13 +45,13 @@ fn multiset_scheme_detects_content_tampering() {
 
 #[test]
 fn multiset_scheme_detects_record_removal_and_addition() {
-    let (mut srv, clock) = server_with(multiset_config());
+    let (srv, clock) = server_with(multiset_config());
     let v = verifier(&srv, clock.clone());
     let sn = srv.write(&[b"one", b"two"], short_policy(1000)).unwrap();
 
     // Drop a record from the RDL.
     {
-        let (vrdt, _) = srv.parts_mut_for_attack();
+        let (mut vrdt, _) = srv.parts_mut_for_attack();
         if let Some(strongworm::vrdt::VrdtEntry::Active(vrd)) =
             vrdt.entries_mut_for_attack().get_mut(&sn)
         {
@@ -66,11 +69,13 @@ fn multiset_scheme_does_not_detect_reordering_by_design() {
     // The documented trade-off: multiset hashing has *set* semantics.
     // Reordering the RDL entries of a VR yields the same digest — chained
     // hashing must be chosen when record order is load-bearing.
-    let (mut srv, clock) = server_with(multiset_config());
+    let (srv, clock) = server_with(multiset_config());
     let v = verifier(&srv, clock.clone());
-    let sn = srv.write(&[b"first", b"second"], short_policy(1000)).unwrap();
+    let sn = srv
+        .write(&[b"first", b"second"], short_policy(1000))
+        .unwrap();
     {
-        let (vrdt, _) = srv.parts_mut_for_attack();
+        let (mut vrdt, _) = srv.parts_mut_for_attack();
         if let Some(strongworm::vrdt::VrdtEntry::Active(vrd)) =
             vrdt.entries_mut_for_attack().get_mut(&sn)
         {
@@ -87,11 +92,13 @@ fn multiset_scheme_does_not_detect_reordering_by_design() {
 #[test]
 fn chained_scheme_detects_reordering() {
     // Control: the default chained hash *does* bind record order.
-    let (mut srv, clock) = common::server();
+    let (srv, clock) = common::server();
     let v = verifier(&srv, clock.clone());
-    let sn = srv.write(&[b"first", b"second"], short_policy(1000)).unwrap();
+    let sn = srv
+        .write(&[b"first", b"second"], short_policy(1000))
+        .unwrap();
     {
-        let (vrdt, _) = srv.parts_mut_for_attack();
+        let (mut vrdt, _) = srv.parts_mut_for_attack();
         if let Some(strongworm::vrdt::VrdtEntry::Active(vrd)) =
             vrdt.entries_mut_for_attack().get_mut(&sn)
         {
@@ -108,9 +115,11 @@ fn chained_scheme_detects_reordering() {
 fn multiset_works_in_trust_host_hash_mode_with_audit() {
     let mut cfg = multiset_config();
     cfg.hash_mode = HashMode::TrustHostHash;
-    let (mut srv, clock) = server_with(cfg);
+    let (srv, clock) = server_with(cfg);
     let v = verifier(&srv, clock.clone());
-    let sn = srv.write(&[b"burst", b"records"], short_policy(1000)).unwrap();
+    let sn = srv
+        .write(&[b"burst", b"records"], short_policy(1000))
+        .unwrap();
     assert_eq!(
         v.verify_read(sn, &srv.read(sn).unwrap()).unwrap(),
         ReadVerdict::Intact { sn }

@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use common::{server, short_policy, verifier};
 use strongworm::{audit_journal, VerifyError};
-use wormstore::{BlockDevice, Journal};
+use wormstore::Journal;
 
 /// Runs the offline audit against a server's current journal + medium.
 fn run_audit(
@@ -22,7 +22,9 @@ fn run_audit(
     audit_journal(&journal, v, |rd| {
         let start = rd.offset as usize;
         let end = start + rd.len as usize;
-        snapshot.get(start..end).map(|s| bytes::Bytes::from(s.to_vec()))
+        snapshot
+            .get(start..end)
+            .map(|s| bytes::Bytes::from(s.to_vec()))
     })
     .expect("journal structurally sound")
 }
@@ -70,7 +72,7 @@ fn audit_pinpoints_tampered_record() {
 
 #[test]
 fn audit_pinpoints_dropped_entries_as_holes() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     for i in 0..4 {
         srv.write(&[format!("r{i}").as_bytes()], short_policy(1_000_000))
@@ -113,7 +115,7 @@ fn audit_pinpoints_dropped_entries_as_holes() {
 
 #[test]
 fn audit_rejects_unreadable_extents() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv.write(&[b"record"], short_policy(1_000_000)).unwrap();
     srv.refresh_head().unwrap();

@@ -15,7 +15,7 @@ use std::time::Duration;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use scpu::{Clock, Device, DeviceConfig, VirtualClock};
+use scpu::{Device, DeviceConfig, VirtualClock};
 use strongworm::firmware::{FirmwareConfig, WormFirmware, WormRequest, WormResponse, WriteData};
 use strongworm::{DataHashScheme, RegulatoryAuthority, RetentionPolicy, SerialNumber, WitnessMode};
 use wormstore::Shredder;
@@ -109,14 +109,11 @@ proptest! {
                 }
                 Ok(other) => prop_assert!(false, "unexpected response {other:?}"),
                 Err(_) => {
-                    // Rejections must only happen for short runs, live
-                    // records, or ranges overlapping prior windows (which
-                    // the firmware treats as covered, so re-requests of
-                    // fully covered ranges may also be accepted).
-                    prop_assert!(
-                        run_len < 3 || !all_expired || true,
-                        "spurious rejection of [{lo},{hi}]"
-                    );
+                    // Rejections are always permissible here: short runs,
+                    // live records, or ranges overlapping prior windows
+                    // (which the firmware treats as covered) all refuse —
+                    // and overlap is not reconstructible from this side.
+                    let _ = (run_len, all_expired);
                 }
             }
         }

@@ -43,7 +43,7 @@ proptest! {
 
     #[test]
     fn random_histories_agree_with_oracle(ops in proptest::collection::vec(op_strategy(), 1..24)) {
-        let (mut srv, clock) = server();
+        let (srv, clock) = server();
         let v = verifier(&srv, clock.clone());
         // Oracle: sn -> retention deadline (absolute millis).
         let mut model: Vec<(SerialNumber, u64)> = Vec::new();
@@ -107,7 +107,7 @@ proptest! {
     fn compaction_is_transparent_to_clients(
         retentions in proptest::collection::vec(20u64..200, 5..15),
     ) {
-        let (mut srv, clock) = server();
+        let (srv, clock) = server();
         let v = verifier(&srv, clock.clone());
         let mut sns = Vec::new();
         for r in &retentions {

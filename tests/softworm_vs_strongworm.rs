@@ -19,14 +19,16 @@ const FORGED: &[u8] = b"WIRE $100 TO THE CHARITY FUND ACCOUNT";
 fn rewrite_attack_softworm_fooled_strongworm_detects() {
     // --- soft-WORM: the forgery passes the store's own integrity check.
     let mut soft = SoftWormStore::new(1 << 16, VirtualClock::new());
-    let sid = soft.write(ORIGINAL, Duration::from_secs(1_000_000)).unwrap();
+    let sid = soft
+        .write(ORIGINAL, Duration::from_secs(1_000_000))
+        .unwrap();
     assert!(attack::rewrite_history(&mut soft, sid, FORGED));
     let out = soft.read(sid).expect("soft-WORM serves the forgery");
     assert!(out.integrity_checked, "soft-WORM vouches for forged data");
     assert!(out.data.starts_with(b"WIRE $100"));
 
     // --- Strong WORM: the equivalent manipulation is detected.
-    let (mut strong, clock) = server();
+    let (strong, clock) = server();
     let v = verifier(&strong, clock.clone());
     let sn = strong.write(&[ORIGINAL], short_policy(1_000_000)).unwrap();
     // Mallory rewrites the record bytes on the raw medium. She can also
@@ -44,8 +46,11 @@ fn rewrite_attack_softworm_fooled_strongworm_detects() {
 fn erase_attack_softworm_fooled_strongworm_detects() {
     // --- soft-WORM: full erasure leaves no contradiction.
     let mut soft = SoftWormStore::new(1 << 16, VirtualClock::new());
-    soft.write(b"innocent", Duration::from_secs(1_000_000)).unwrap();
-    let victim = soft.write(ORIGINAL, Duration::from_secs(1_000_000)).unwrap();
+    soft.write(b"innocent", Duration::from_secs(1_000_000))
+        .unwrap();
+    let victim = soft
+        .write(ORIGINAL, Duration::from_secs(1_000_000))
+        .unwrap();
     assert!(attack::erase_history(&mut soft, victim));
     assert_eq!(
         soft.read(victim).unwrap_err(),
@@ -55,7 +60,7 @@ fn erase_attack_softworm_fooled_strongworm_detects() {
 
     // --- Strong WORM: the fresh, timestamped head certificate proves the
     // serial number was issued; denial is caught (Theorem 2).
-    let (mut strong, clock) = server();
+    let (strong, clock) = server();
     let v = verifier(&strong, clock.clone());
     let sn = strong.write(&[ORIGINAL], short_policy(1_000_000)).unwrap();
     strong.refresh_head().unwrap();
@@ -76,14 +81,16 @@ fn early_deletion_softworm_only_software_checks_strongworm_needs_scpu() {
     // soft-WORM's retention check is a single `if` in attacker-controlled
     // software; erase_history simply goes around it.
     let mut soft = SoftWormStore::new(1 << 16, VirtualClock::new());
-    let sid = soft.write(ORIGINAL, Duration::from_secs(1_000_000)).unwrap();
+    let sid = soft
+        .write(ORIGINAL, Duration::from_secs(1_000_000))
+        .unwrap();
     assert_eq!(soft.delete(sid), Err(SoftWormError::RetentionActive(sid)));
     assert!(attack::erase_history(&mut soft, sid)); // bypassed
 
     // Strong WORM: only the SCPU's key `d` can mint deletion proofs, and
     // the Retention Monitor will not sign before the (SCPU-stamped)
     // retention deadline. A forged proof fails verification.
-    let (mut strong, clock) = server();
+    let (strong, clock) = server();
     let v = verifier(&strong, clock.clone());
     let sn = strong.write(&[ORIGINAL], short_policy(1_000_000)).unwrap();
     strong.refresh_head().unwrap();
@@ -105,7 +112,7 @@ fn both_systems_serve_honest_workloads_identically() {
     clock.advance(Duration::from_secs(101));
     soft.delete(sid).unwrap();
 
-    let (mut strong, sclock) = server();
+    let (strong, sclock) = server();
     let v = verifier(&strong, sclock.clone());
     let sn = strong.write(&[ORIGINAL], short_policy(100)).unwrap();
     assert!(v.verify_read(sn, &strong.read(sn).unwrap()).is_ok());

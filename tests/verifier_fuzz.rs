@@ -12,12 +12,8 @@ use strongworm::witness::Witness;
 use strongworm::{ReadVerdict, SerialNumber};
 
 /// Builds one honest, verifiable data outcome (shared across cases).
-fn honest() -> (
-    strongworm::Verifier,
-    SerialNumber,
-    ReadOutcome,
-) {
-    let (mut srv, clock) = server();
+fn honest() -> (strongworm::Verifier, SerialNumber, ReadOutcome) {
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv
         .write(&[b"record-one", b"record-two"], short_policy(100_000))

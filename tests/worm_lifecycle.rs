@@ -15,7 +15,7 @@ use strongworm::{
 
 #[test]
 fn write_read_verify_roundtrip() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
 
     let sn = srv
@@ -25,7 +25,10 @@ fn write_read_verify_roundtrip() {
 
     let outcome = srv.read(sn).unwrap();
     assert_eq!(outcome.kind(), "data");
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 
     // Serial numbers are consecutive and monotone.
     let sn2 = srv.write(&[b"order #2"], short_policy(3600)).unwrap();
@@ -34,7 +37,7 @@ fn write_read_verify_roundtrip() {
 
 #[test]
 fn read_of_never_written_record_is_provably_absent() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     srv.write(&[b"only record"], short_policy(3600)).unwrap();
 
@@ -52,7 +55,7 @@ fn read_of_never_written_record_is_provably_absent() {
 
 #[test]
 fn retention_expiry_deletes_with_proof() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     // A long-lived anchor below keeps the base from advancing past the
     // ephemeral record, so its per-record proof stays resident.
@@ -83,14 +86,17 @@ fn retention_expiry_deletes_with_proof() {
 
 #[test]
 fn shredding_destroys_data_on_the_medium() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let payload = b"THE-SMOKING-GUN-EMAIL";
     let sn = srv.write(&[payload], short_policy(10)).unwrap();
-    // The plaintext is on the medium while retained.
-    let (_vrdt, store) = srv.parts_mut_for_attack();
-    let raw: Vec<u8> = store.device().raw().to_vec();
-    assert!(contains(&raw, payload));
-    let _ = sn;
+    // The plaintext is on the medium while retained. (Scoped: the attack
+    // surface holds the VRDT write lock, which `tick` below also needs.)
+    {
+        let (_vrdt, store) = srv.parts_mut_for_attack();
+        let raw: Vec<u8> = store.device().raw().to_vec();
+        assert!(contains(&raw, payload));
+        let _ = sn;
+    }
 
     clock.advance(Duration::from_secs(11));
     srv.tick().unwrap();
@@ -109,7 +115,7 @@ fn contains(haystack: &[u8], needle: &[u8]) -> bool {
 
 #[test]
 fn records_expire_in_expiration_order_not_insertion_order() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let long = srv.write(&[b"keep me"], short_policy(1000)).unwrap();
     let short = srv.write(&[b"drop me"], short_policy(100)).unwrap();
 
@@ -126,7 +132,7 @@ fn records_expire_in_expiration_order_not_insertion_order() {
 
 #[test]
 fn base_advances_over_contiguous_expired_prefix() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     // Three short records followed by one long one.
     for _ in 0..3 {
@@ -140,7 +146,7 @@ fn base_advances_over_contiguous_expired_prefix() {
     // The base should have advanced past the three expired records, so
     // their per-record proofs are expelled and reads are answered with
     // the base certificate.
-    let base = srv.vrdt().base().expect("base cert");
+    let base = srv.vrdt().base().cloned().expect("base cert");
     assert_eq!(base.sn_base, SerialNumber(4));
     for i in 1..=3u64 {
         let outcome = srv.read(SerialNumber(i)).unwrap();
@@ -161,7 +167,7 @@ fn base_advances_over_contiguous_expired_prefix() {
 
 #[test]
 fn interior_expirations_compact_into_windows() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     // sn1 long, sn2..sn5 short, sn6 long: interior run of 4 expired.
     srv.write(&[b"anchor-lo"], short_policy(10_000)).unwrap();
@@ -202,7 +208,7 @@ fn interior_expirations_compact_into_windows() {
 
 #[test]
 fn compaction_below_minimum_run_is_refused() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     srv.write(&[b"lo"], short_policy(10_000)).unwrap();
     srv.write(&[b"a"], short_policy(50)).unwrap();
     srv.write(&[b"b"], short_policy(50)).unwrap();
@@ -217,17 +223,25 @@ fn compaction_below_minimum_run_is_refused() {
 
 #[test]
 fn multi_record_vr_roundtrips_all_records() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let records: Vec<&[u8]> = vec![b"part-1", b"part-2", b"part-3"];
     let sn = srv.write(&records, short_policy(3600)).unwrap();
     match srv.read(sn).unwrap() {
-        ReadOutcome::Data { records: got, vrd, head } => {
+        ReadOutcome::Data {
+            records: got,
+            vrd,
+            head,
+        } => {
             assert_eq!(got.len(), 3);
             assert_eq!(&got[0][..], b"part-1");
             assert_eq!(&got[2][..], b"part-3");
             assert_eq!(vrd.record_count(), 3);
-            let outcome = ReadOutcome::Data { vrd, records: got, head };
+            let outcome = ReadOutcome::Data {
+                vrd,
+                records: got,
+                head,
+            };
             v.verify_read(sn, &outcome).unwrap();
         }
         other => panic!("expected data, got {other:?}"),
@@ -236,18 +250,21 @@ fn multi_record_vr_roundtrips_all_records() {
 
 #[test]
 fn empty_vr_is_legal_and_verifiable() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     let v = verifier(&srv, clock.clone());
     let sn = srv.write(&[], short_policy(3600)).unwrap();
     let outcome = srv.read(sn).unwrap();
-    assert_eq!(v.verify_read(sn, &outcome).unwrap(), ReadVerdict::Intact { sn });
+    assert_eq!(
+        v.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::Intact { sn }
+    );
 }
 
 #[test]
 fn store_exhaustion_surfaces_as_error() {
     let mut cfg = WormConfig::test_small();
     cfg.store_capacity = 64;
-    let (mut srv, _clock) = server_with(cfg);
+    let (srv, _clock) = server_with(cfg);
     let big = vec![0u8; 128];
     match srv.write(&[&big], short_policy(60)) {
         Err(WormError::Store(_)) => {}
@@ -257,10 +274,13 @@ fn store_exhaustion_surfaces_as_error() {
 
 #[test]
 fn vrdt_completeness_invariant_holds_through_lifecycle() {
-    let (mut srv, clock) = server();
+    let (srv, clock) = server();
     for i in 0..20u64 {
-        srv.write(&[format!("r{i}").as_bytes()], short_policy(50 + (i % 5) * 100))
-            .unwrap();
+        srv.write(
+            &[format!("r{i}").as_bytes()],
+            short_policy(50 + (i % 5) * 100),
+        )
+        .unwrap();
     }
     srv.refresh_head().unwrap();
     srv.vrdt().check_complete().expect("complete after writes");
@@ -276,7 +296,7 @@ fn vrdt_completeness_invariant_holds_through_lifecycle() {
 
 #[test]
 fn regulation_presets_flow_through_attributes() {
-    let (mut srv, _clock) = server();
+    let (srv, _clock) = server();
     let sn = srv
         .write(&[b"patient record"], RetentionPolicy::hipaa())
         .unwrap();

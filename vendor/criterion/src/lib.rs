@@ -1,0 +1,339 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API that the workspace's bench
+//! targets use, measuring plain wall-clock means (warm-up, then timed
+//! iterations within a time budget) and printing one line per benchmark:
+//!
+//! ```text
+//! bench <group>/<id> ... <mean> ns/iter (<n> iters)[, <throughput>]
+//! ```
+//!
+//! No statistical analysis, outlier detection, HTML reports, or saved
+//! baselines — this exists so `cargo bench` produces usable numbers in
+//! an environment without crates.io access.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(
+            &id,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            None,
+            &mut f,
+        );
+        self
+    }
+}
+
+/// Named identifier within a group (`BenchmarkId::from_parameter(n)`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier rendered from a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Identifier with a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Units processed per iteration, for derived rates in the output.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup (ignored: setup is always run
+/// per batch and excluded from timing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small inputs, batched.
+    SmallInput,
+    /// Large inputs, batched.
+    LargeInput,
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the minimum number of timed iterations.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            self.throughput,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` against a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(
+            &full,
+            self.sample_size,
+            self.warm_up_time,
+            self.measurement_time,
+            self.throughput,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (numbers are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    min_iters: u64,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: untimed iterations within the warm-up budget.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.min_iters || start.elapsed() < self.measurement_time {
+            black_box(routine());
+            iters += 1;
+            if iters >= self.min_iters && start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: one untimed round.
+        black_box(routine(setup()));
+
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        while iters < self.min_iters || busy < self.measurement_time {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            busy += start.elapsed();
+            iters += 1;
+            if iters >= self.min_iters && busy >= self.measurement_time {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.elapsed = busy;
+    }
+}
+
+fn run_one<F>(
+    id: &str,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        warm_up_time,
+        measurement_time,
+        min_iters: sample_size.max(1) as u64,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("bench {id} ... no iterations recorded");
+        return;
+    }
+    let ns_per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => {
+            let mbps = n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0);
+            format!(", {mbps:.1} MiB/s")
+        }
+        Throughput::Elements(n) => {
+            let eps = n as f64 / ns_per_iter * 1e9;
+            format!(", {eps:.0} elem/s")
+        }
+    });
+    println!(
+        "bench {id} ... {ns_per_iter:.0} ns/iter ({} iters){}",
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.throughput(Throughput::Bytes(1024));
+        let mut count = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u32, |b, &n| {
+            b.iter_batched(|| n, |v| v + 1, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert!(count >= 5);
+    }
+}

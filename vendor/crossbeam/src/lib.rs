@@ -1,0 +1,179 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the `channel` subset this workspace uses (a bounded MPSC
+//! shutdown channel), backed by `std::sync::mpsc::sync_channel`. The
+//! real crate's channels are MPMC; nothing here clones a `Receiver`,
+//! so the std MPSC backing is sufficient.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! Bounded channels (std-backed subset).
+
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Creates a bounded channel of capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+
+    /// The sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued (errors if disconnected).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.inner.send(msg).map_err(|e| SendError(e.0))
+        }
+
+        /// Enqueues without blocking; errors if the channel is full or
+        /// disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            self.inner.try_send(msg).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+    }
+
+    /// The receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives (errors if disconnected).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.inner.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// The channel disconnected before the message could be sent.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Failure modes of [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    /// All senders dropped before a message arrived.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Failure modes of [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with no message.
+        Timeout,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    /// Failure modes of [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message waiting.
+        Empty,
+        /// All senders dropped.
+        Disconnected,
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use std::time::Duration;
+
+        #[test]
+        fn bounded_roundtrip() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.send(42).unwrap();
+            assert_eq!(rx.recv().unwrap(), 42);
+        }
+
+        #[test]
+        fn try_send_full_and_disconnected() {
+            let (tx, rx) = bounded::<u32>(1);
+            tx.try_send(1).unwrap();
+            assert!(matches!(tx.try_send(2), Err(TrySendError::Full(2))));
+            drop(rx);
+            // The queued message keeps `try_send` failing as disconnected.
+            assert!(matches!(
+                tx.try_send(3),
+                Err(TrySendError::Disconnected(3)) | Err(TrySendError::Full(3))
+            ));
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (_tx, rx) = bounded::<u32>(1);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Timeout)
+            );
+        }
+
+        #[test]
+        fn recv_timeout_disconnected() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn cross_thread() {
+            let (tx, rx) = bounded::<u32>(0);
+            let h = std::thread::spawn(move || tx.send(7).unwrap());
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+            h.join().unwrap();
+        }
+    }
+}

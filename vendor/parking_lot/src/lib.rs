@@ -1,0 +1,286 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind `parking_lot`'s poison-free API:
+//! `lock()`/`read()`/`write()` return guards directly (a poisoned std lock
+//! — a thread panicked while holding it — is propagated as a panic, which
+//! matches how this workspace treats lock poisoning: unrecoverable).
+//! Mapped guards are provided via a (guard, raw pointer) pair; the
+//! pointer is derived from the guard and lives strictly inside it, so the
+//! access is sound for the guard's lifetime.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, PoisonError};
+
+/// A mutual exclusion primitive (std-backed, poison-free API).
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: p.into_inner(),
+            }),
+            Err(sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<'a, T: ?Sized> MutexGuard<'a, T> {
+    /// Maps the guard to a component of the protected data.
+    pub fn map<U: ?Sized, F>(guard: Self, f: F) -> MappedMutexGuard<'a, T, U>
+    where
+        F: FnOnce(&mut T) -> &mut U,
+    {
+        let mut inner = guard.inner;
+        let ptr: *mut U = f(&mut inner);
+        MappedMutexGuard { _guard: inner, ptr }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+/// A guard projected to a component of the locked data.
+pub struct MappedMutexGuard<'a, T: ?Sized, U: ?Sized> {
+    _guard: sync::MutexGuard<'a, T>,
+    ptr: *mut U,
+}
+
+impl<T: ?Sized, U: ?Sized> Deref for MappedMutexGuard<'_, T, U> {
+    type Target = U;
+
+    fn deref(&self) -> &U {
+        // Sound: `ptr` was derived from the exclusive borrow held by
+        // `_guard`, which is alive for the guard's whole lifetime.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T: ?Sized, U: ?Sized> DerefMut for MappedMutexGuard<'_, T, U> {
+    fn deref_mut(&mut self) -> &mut U {
+        unsafe { &mut *self.ptr }
+    }
+}
+
+/// A reader-writer lock (std-backed, poison-free API).
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+impl<'a, T: ?Sized> RwLockReadGuard<'a, T> {
+    /// Maps the guard to a component of the protected data.
+    pub fn map<U: ?Sized, F>(guard: Self, f: F) -> MappedRwLockReadGuard<'a, T, U>
+    where
+        F: FnOnce(&T) -> &U,
+    {
+        let inner = guard.inner;
+        let ptr: *const U = f(&inner);
+        MappedRwLockReadGuard { _guard: inner, ptr }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// A read guard projected to a component of the locked data.
+pub struct MappedRwLockReadGuard<'a, T: ?Sized, U: ?Sized> {
+    _guard: sync::RwLockReadGuard<'a, T>,
+    ptr: *const U,
+}
+
+impl<T: ?Sized, U: ?Sized> Deref for MappedRwLockReadGuard<'_, T, U> {
+    type Target = U;
+
+    fn deref(&self) -> &U {
+        // Sound: `ptr` was derived from the shared borrow held by
+        // `_guard`, which is alive for the guard's whole lifetime.
+        unsafe { &*self.ptr }
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+        assert!(m.try_lock().is_some());
+        assert_eq!(m.into_inner(), 6);
+    }
+
+    #[test]
+    fn mutex_map() {
+        let m = Mutex::new((1, String::from("x")));
+        let mut s = MutexGuard::map(m.lock(), |t| &mut t.1);
+        s.push('y');
+        drop(s);
+        assert_eq!(m.lock().1, "xy");
+    }
+
+    #[test]
+    fn rwlock_concurrent_readers() {
+        let l = Arc::new(RwLock::new(7));
+        let g1 = l.read();
+        let g2 = l.read();
+        assert_eq!(*g1 + *g2, 14);
+        drop((g1, g2));
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+    }
+
+    #[test]
+    fn rwlock_read_map() {
+        let l = RwLock::new(vec![1, 2, 3]);
+        let first = RwLockReadGuard::map(l.read(), |v| &v[0]);
+        assert_eq!(*first, 1);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let m = Arc::new(Mutex::new(1));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison it");
+        })
+        .join();
+        // parking_lot semantics: no poisoning, the data is still there.
+        assert_eq!(*m.lock(), 1);
+    }
+}

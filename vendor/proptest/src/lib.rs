@@ -1,0 +1,838 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate reimplements the subset of proptest's API that the
+//! workspace's property tests use: the [`strategy::Strategy`] trait with
+//! `prop_map`/`prop_filter`/`boxed`, `any::<T>()` for primitives and
+//! byte arrays, integer-range and tuple strategies, a small regex-subset
+//! string strategy, `collection::vec`, `option::of`, `sample::Index`,
+//! weighted `prop_oneof!`, and the `proptest!`/`prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//! - **no shrinking** — a failing case reports its inputs (via the
+//!   assertion message) but is not minimized;
+//! - **deterministic seeding** — cases are derived from the test name
+//!   and case index, so runs are reproducible without a regressions
+//!   file (existing `.proptest-regressions` files are ignored);
+//! - the string strategy supports only the regex subset the tests use:
+//!   concatenations of `[...]`/`\PC`/literal atoms with `{m}`/`{m,n}`
+//!   repetition.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Case-running machinery behind the `proptest!` macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration (`cases` only).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases that must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was vacuous (`prop_assume!` failed): try another.
+        Reject(String),
+        /// A `prop_assert*!` failed: the property is violated.
+        Fail(String),
+    }
+
+    /// Deterministic per-case RNG: seeded from the test name (FNV-1a)
+    /// and the case ordinal, so failures reproduce across runs.
+    pub fn case_rng(test_name: &str, case: u64) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Runs `case_fn` until `config.cases` cases pass. `case_fn` does
+    /// both generation and checking (the macro inlines both), so a
+    /// rejected case simply draws a fresh seed.
+    pub fn run<F>(config: &ProptestConfig, name: &str, mut case_fn: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let mut passed: u32 = 0;
+        let mut attempts: u64 = 0;
+        let max_attempts = u64::from(config.cases) * 16 + 256;
+        while passed < config.cases {
+            attempts += 1;
+            if attempts > max_attempts {
+                panic!(
+                    "proptest '{name}': too many rejected cases \
+                     ({passed}/{} passed after {attempts} attempts)",
+                    config.cases
+                );
+            }
+            let mut rng = case_rng(name, attempts);
+            match case_fn(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => continue,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest '{name}' failed (case seed #{attempts}): {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree: `generate` draws a
+    /// plain value and failures are not shrunk.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Discards generated values failing `f` (regenerating in place).
+        fn prop_filter<F>(self, whence: impl Into<String>, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                whence: whence.into(),
+                f,
+            }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<V> {
+        inner: Box<dyn Strategy<Value = V>>,
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        source: S,
+        whence: String,
+        f: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.source.generate(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter '{}': rejected 1000 candidates", self.whence)
+        }
+    }
+
+    /// Weighted choice between type-erased strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<(u32, BoxedStrategy<V>)>,
+        total: u64,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union; weights must sum to a positive value.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            let mut pick = rng.next_u64() % self.total;
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Uniform draw from an integer range via `i128` arithmetic (all
+    /// workspace integer types fit; modulo bias is irrelevant here).
+    fn draw_i128(rng: &mut StdRng, lo: i128, hi_incl: i128) -> i128 {
+        debug_assert!(lo <= hi_incl);
+        let span = (hi_incl - lo + 1) as u128;
+        let r = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+        lo + (r % span) as i128
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for ::core::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    draw_i128(rng, self.start as i128, self.end as i128 - 1) as $t
+                }
+            }
+
+            impl Strategy for ::core::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    draw_i128(rng, *self.start() as i128, *self.end() as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate_from_pattern(self, rng)
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for the primitive types the workspace fuzzes with.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: Strategy<Value = Self>;
+
+        /// Returns the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    /// Function-pointer-backed strategy used by the `Arbitrary` impls.
+    pub struct FnStrategy<T>(pub fn(&mut StdRng) -> T);
+
+    impl<T> Strategy for FnStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    macro_rules! arb_prims {
+        ($($t:ty => $f:expr),+ $(,)?) => {$(
+            impl Arbitrary for $t {
+                type Strategy = FnStrategy<$t>;
+
+                fn arbitrary() -> Self::Strategy {
+                    FnStrategy($f as fn(&mut StdRng) -> $t)
+                }
+            }
+        )+};
+    }
+
+    arb_prims! {
+        u8 => |r| r.next_u64() as u8,
+        u16 => |r| r.next_u64() as u16,
+        u32 => |r| r.next_u64() as u32,
+        u64 => |r| r.next_u64(),
+        usize => |r| r.next_u64() as usize,
+        i8 => |r| r.next_u64() as i8,
+        i16 => |r| r.next_u64() as i16,
+        i32 => |r| r.next_u64() as i32,
+        i64 => |r| r.next_u64() as i64,
+        isize => |r| r.next_u64() as isize,
+        bool => |r| r.next_u64() & 1 == 1,
+    }
+
+    impl<const N: usize> Arbitrary for [u8; N] {
+        type Strategy = FnStrategy<[u8; N]>;
+
+        fn arbitrary() -> Self::Strategy {
+            FnStrategy(|rng| {
+                let mut a = [0u8; N];
+                rng.fill_bytes(&mut a);
+                a
+            })
+        }
+    }
+}
+
+pub mod sample {
+    //! Position sampling (`any::<prop::sample::Index>()`).
+
+    use crate::arbitrary::{Arbitrary, FnStrategy};
+
+    /// A deferred index into a collection of as-yet-unknown size.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolves against a collection of `size` elements (`size > 0`),
+        /// returning a position in `0..size`.
+        pub fn index(&self, size: usize) -> usize {
+            assert!(size > 0, "Index::index on an empty collection");
+            (self.0 % size as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = FnStrategy<Index>;
+
+        fn arbitrary() -> Self::Strategy {
+            FnStrategy(|rng| Index(rand::RngCore::next_u64(rng)))
+        }
+    }
+}
+
+pub mod collection {
+    //! `vec(element, size)`.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Inclusive bounds on a generated collection's length.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_incl: usize,
+    }
+
+    impl From<::core::ops::Range<usize>> for SizeRange {
+        fn from(r: ::core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_incl: r.end - 1,
+            }
+        }
+    }
+
+    impl From<::core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: ::core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_incl: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_incl: n }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for `Vec`s of `size.into()` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let span = (self.size.hi_incl - self.size.lo + 1) as u64;
+            let n = self.size.lo + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! `of(strategy)` — generates `Option`s.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Generates `None` one time in four, `Some(inner)` otherwise.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Strategy for `Option`s over `inner`'s values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.next_u64() % 4 == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod string {
+    //! Tiny regex-subset string generator backing `&str` strategies.
+    //!
+    //! Supported: concatenation of atoms, where an atom is a `[...]`
+    //! character class (literals and `a-z` ranges), `\PC` (any
+    //! non-control character; sampled from printable ASCII plus a few
+    //! multibyte code points), or a literal character; each atom may
+    //! carry `{m}` or `{m,n}` repetition. This covers every pattern in
+    //! the workspace's tests; anything else panics loudly.
+
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+
+    /// Non-control sample alphabet for `\PC`: all printable ASCII
+    /// (including '/' and space, which matter for path fuzzing) plus a
+    /// few multibyte characters to exercise UTF-8 boundaries.
+    fn pc_alphabet() -> Vec<char> {
+        let mut v: Vec<char> = (0x20u8..0x7f).map(char::from).collect();
+        v.extend(['é', 'ß', 'ø', 'λ', '中', '日', '🦀']);
+        v
+    }
+
+    fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+        let mut alphabet = Vec::new();
+        while i < chars.len() && chars[i] != ']' {
+            if chars[i + 1..].first() == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                assert!(lo <= hi, "inverted class range");
+                alphabet.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                alphabet.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(i < chars.len(), "unterminated character class");
+        (alphabet, i + 1) // skip ']'
+    }
+
+    fn parse_repeat(chars: &[char], mut i: usize) -> (usize, usize, usize) {
+        if chars.get(i) != Some(&'{') {
+            return (1, 1, i);
+        }
+        i += 1;
+        let mut lo = 0usize;
+        while chars[i].is_ascii_digit() {
+            lo = lo * 10 + chars[i].to_digit(10).unwrap() as usize;
+            i += 1;
+        }
+        let hi = if chars[i] == ',' {
+            i += 1;
+            let mut hi = 0usize;
+            while chars[i].is_ascii_digit() {
+                hi = hi * 10 + chars[i].to_digit(10).unwrap() as usize;
+                i += 1;
+            }
+            hi
+        } else {
+            lo
+        };
+        assert!(chars[i] == '}', "malformed repetition");
+        (lo, hi, i + 1)
+    }
+
+    /// Generates one string matching `pat` (see module docs for the
+    /// supported subset).
+    pub fn generate_from_pattern(pat: &str, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet = match chars[i] {
+                '[' => {
+                    let (a, next) = parse_class(&chars, i + 1);
+                    i = next;
+                    a
+                }
+                '\\' => match (chars.get(i + 1), chars.get(i + 2)) {
+                    (Some('P'), Some('C')) => {
+                        i += 3;
+                        pc_alphabet()
+                    }
+                    (Some(&c), _) => {
+                        i += 2;
+                        vec![c]
+                    }
+                    (None, _) => panic!("dangling backslash in pattern {pat:?}"),
+                },
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            let (lo, hi, next) = parse_repeat(&chars, i);
+            i = next;
+            assert!(!alphabet.is_empty(), "empty alphabet in pattern {pat:?}");
+            let n = lo + (rng.next_u64() % (hi - lo + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(alphabet[(rng.next_u64() % alphabet.len() as u64) as usize]);
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface (`use proptest::prelude::*`).
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! Qualified-path access (`prop::sample::Index` etc.).
+        pub use crate::{collection, option, sample, strategy, string};
+    }
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `left == right`\n  left: {left:?}\n right: {right:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if !(*left == *right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  left: {left:?}\n right: {right:?}", format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: `left != right`\n  both: {left:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        if *left == *right {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!("{}\n  both: {left:?}", format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Rejects the current case (vacuous input) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies that
+/// share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each `name in strategy` argument is drawn
+/// fresh per case and the body runs under `prop_assert*`/`prop_assume!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run(&config, stringify!($name), |__proptest_rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::test_runner::case_rng("ranges", 1);
+        for _ in 0..200 {
+            let v = Strategy::generate(&(10u64..500), &mut rng);
+            assert!((10..500).contains(&v));
+            let w = Strategy::generate(&(1u8..=255), &mut rng);
+            assert!(w >= 1);
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_shapes() {
+        let mut rng = crate::test_runner::case_rng("shapes", 1);
+        let s = crate::collection::vec((0u64..30, 0u64..12), 1..12);
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((1..12).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 30 && b < 12);
+            }
+        }
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut rng = crate::test_runner::case_rng("regex", 1);
+        for _ in 0..100 {
+            let s = Strategy::generate(&"[a-zA-Z0-9_.-]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.chars().count()));
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+            let t = Strategy::generate(&"\\PC{0,40}", &mut rng);
+            assert!(t.chars().count() <= 40);
+            assert!(t.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_filter_and_option() {
+        let mut rng = crate::test_runner::case_rng("oneof", 1);
+        let s = prop_oneof![
+            4 => (0u32..10).prop_map(|v| v as u64),
+            1 => Just(99u64),
+        ];
+        let mut saw_just = false;
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v < 10 || v == 99);
+            saw_just |= v == 99;
+        }
+        assert!(saw_just);
+
+        let f = (0u32..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(Strategy::generate(&f, &mut rng) % 2, 0);
+        }
+
+        let o = crate::option::of(0u32..5);
+        let mut nones = 0;
+        for _ in 0..200 {
+            if Strategy::generate(&o, &mut rng).is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 10 && nones < 120);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_end_to_end(a in 0u64..50, b in any::<bool>(), bytes in crate::collection::vec(any::<u8>(), 0..8)) {
+            prop_assume!(a != 13);
+            prop_assert!(a < 50);
+            prop_assert_eq!(b, b);
+            prop_assert!(bytes.len() < 8, "len was {}", bytes.len());
+        }
+    }
+}
