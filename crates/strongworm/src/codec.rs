@@ -5,15 +5,26 @@
 //! for the journal. Decoding is defensive: all of this lives on untrusted
 //! storage, so malformed input yields an error, never a panic.
 
+use bytes::Bytes;
 use scpu::Timestamp;
+use wormcrypt::RsaPublicKey;
 use wormstore::{RecordDescriptor, RecordId};
 
 use crate::attr::RecordAttributes;
-use crate::proofs::{BaseCert, DeletionProof, HeadCert, WindowProof};
+use crate::authority::{HoldCredential, ReleaseCredential};
+use crate::config::DataHashScheme;
+use crate::firmware::{DeviceKeys, WeakKeyCert};
+use crate::proofs::{
+    BaseCert, DeletionEvidence, DeletionProof, HeadCert, ReadOutcome, WindowProof,
+};
 use crate::sn::SerialNumber;
 use crate::vrd::Vrd;
 use crate::wire::{WireError, WireReader, WireWriter};
 use crate::witness::{Signature, Witness};
+
+/// Decoding cap on list lengths (RDL entries, records per outcome): a
+/// corrupt or hostile count must not drive unbounded allocation.
+const MAX_LIST_LEN: usize = 1 << 20;
 
 pub(crate) fn put_signature(w: &mut WireWriter, s: &Signature) {
     w.put_bytes(&s.key_id);
@@ -96,7 +107,7 @@ pub fn decode_vrd(bytes: &[u8]) -> Result<Vrd, WireError> {
     let attr = RecordAttributes::decode(r.get_bytes()?)?;
     let n = r.get_u32()? as usize;
     // Cap defensively: a corrupt count must not allocate unboundedly.
-    if n > 1 << 20 {
+    if n > MAX_LIST_LEN {
         return Err(WireError {
             expected: "sane rdl length",
         });
@@ -255,6 +266,293 @@ pub fn decode_base_cert(bytes: &[u8]) -> Result<BaseCert, WireError> {
     })
 }
 
+fn put_evidence(w: &mut WireWriter, evidence: &DeletionEvidence) {
+    match evidence {
+        DeletionEvidence::Proof(p) => {
+            w.put_u8(0);
+            w.put_bytes(&encode_deletion_proof(p));
+        }
+        DeletionEvidence::BelowBase(b) => {
+            w.put_u8(1);
+            w.put_bytes(&encode_base_cert(b));
+        }
+        DeletionEvidence::InWindow(win) => {
+            w.put_u8(2);
+            w.put_bytes(&encode_window_proof(win));
+        }
+    }
+}
+
+fn get_evidence(r: &mut WireReader<'_>) -> Result<DeletionEvidence, WireError> {
+    match r.get_u8()? {
+        0 => Ok(DeletionEvidence::Proof(decode_deletion_proof(
+            r.get_bytes()?,
+        )?)),
+        1 => Ok(DeletionEvidence::BelowBase(decode_base_cert(
+            r.get_bytes()?,
+        )?)),
+        2 => Ok(DeletionEvidence::InWindow(decode_window_proof(
+            r.get_bytes()?,
+        )?)),
+        _ => Err(WireError {
+            expected: "deletion evidence kind",
+        }),
+    }
+}
+
+/// Encodes a complete read outcome — what a serving host returns to a
+/// remote client, who re-verifies every embedded certificate.
+pub fn encode_read_outcome(o: &ReadOutcome) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.readoutcome.v1");
+    match o {
+        ReadOutcome::Data { vrd, records, head } => {
+            w.put_u8(0);
+            w.put_bytes(&encode_vrd(vrd));
+            w.put_u32(records.len() as u32);
+            for rec in records {
+                w.put_bytes(rec.as_ref());
+            }
+            w.put_bytes(&encode_head_cert(head));
+        }
+        ReadOutcome::Deleted { evidence, head } => {
+            w.put_u8(1);
+            put_evidence(&mut w, evidence);
+            w.put_bytes(&encode_head_cert(head));
+        }
+        ReadOutcome::NeverExisted { head } => {
+            w.put_u8(2);
+            w.put_bytes(&encode_head_cert(head));
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a read outcome received from an untrusted host.
+///
+/// Defensive like every decoder here: list lengths are capped and byte
+/// strings are bounded by the input actually present, so a hostile
+/// encoding cannot drive unbounded allocation.
+///
+/// # Errors
+///
+/// [`WireError`] on any truncation or malformed field.
+pub fn decode_read_outcome(bytes: &[u8]) -> Result<ReadOutcome, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.readoutcome.v1" {
+        return Err(WireError {
+            expected: "read outcome tag",
+        });
+    }
+    let outcome = match r.get_u8()? {
+        0 => {
+            let vrd = decode_vrd(r.get_bytes()?)?;
+            let n = r.get_u32()? as usize;
+            if n > MAX_LIST_LEN {
+                return Err(WireError {
+                    expected: "sane record count",
+                });
+            }
+            let mut records = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                records.push(Bytes::from(r.get_bytes()?.to_vec()));
+            }
+            let head = decode_head_cert(r.get_bytes()?)?;
+            ReadOutcome::Data { vrd, records, head }
+        }
+        1 => {
+            let evidence = get_evidence(&mut r)?;
+            let head = decode_head_cert(r.get_bytes()?)?;
+            ReadOutcome::Deleted { evidence, head }
+        }
+        2 => ReadOutcome::NeverExisted {
+            head: decode_head_cert(r.get_bytes()?)?,
+        },
+        _ => {
+            return Err(WireError {
+                expected: "read outcome variant",
+            })
+        }
+    };
+    r.expect_end()?;
+    Ok(outcome)
+}
+
+/// Encodes a litigation-hold credential for transport.
+pub fn encode_hold_credential(c: &HoldCredential) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.holdcredcodec.v1");
+    w.put_u64(c.sn.get());
+    w.put_u64(c.issued_at.as_millis());
+    w.put_u64(c.litigation_id);
+    w.put_u64(c.hold_until.as_millis());
+    put_signature(&mut w, &c.sig);
+    w.finish()
+}
+
+/// Decodes a litigation-hold credential.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed input.
+pub fn decode_hold_credential(bytes: &[u8]) -> Result<HoldCredential, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.holdcredcodec.v1" {
+        return Err(WireError {
+            expected: "hold credential tag",
+        });
+    }
+    let sn = SerialNumber(r.get_u64()?);
+    let issued_at = Timestamp::from_millis(r.get_u64()?);
+    let litigation_id = r.get_u64()?;
+    let hold_until = Timestamp::from_millis(r.get_u64()?);
+    let sig = get_signature(&mut r)?;
+    r.expect_end()?;
+    Ok(HoldCredential {
+        sn,
+        issued_at,
+        litigation_id,
+        hold_until,
+        sig,
+    })
+}
+
+/// Encodes a litigation-release credential for transport.
+pub fn encode_release_credential(c: &ReleaseCredential) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.releasecredcodec.v1");
+    w.put_u64(c.sn.get());
+    w.put_u64(c.issued_at.as_millis());
+    w.put_u64(c.litigation_id);
+    put_signature(&mut w, &c.sig);
+    w.finish()
+}
+
+/// Decodes a litigation-release credential.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed input.
+pub fn decode_release_credential(bytes: &[u8]) -> Result<ReleaseCredential, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.releasecredcodec.v1" {
+        return Err(WireError {
+            expected: "release credential tag",
+        });
+    }
+    let sn = SerialNumber(r.get_u64()?);
+    let issued_at = Timestamp::from_millis(r.get_u64()?);
+    let litigation_id = r.get_u64()?;
+    let sig = get_signature(&mut r)?;
+    r.expect_end()?;
+    Ok(ReleaseCredential {
+        sn,
+        issued_at,
+        litigation_id,
+        sig,
+    })
+}
+
+fn data_hash_code(s: DataHashScheme) -> u8 {
+    match s {
+        DataHashScheme::Chained => 0,
+        DataHashScheme::Multiset => 1,
+    }
+}
+
+fn data_hash_from_code(code: u8) -> Result<DataHashScheme, WireError> {
+    match code {
+        0 => Ok(DataHashScheme::Chained),
+        1 => Ok(DataHashScheme::Multiset),
+        _ => Err(WireError {
+            expected: "data hash scheme code",
+        }),
+    }
+}
+
+fn put_weak_cert(w: &mut WireWriter, c: &WeakKeyCert) {
+    w.put_bytes(&c.key.to_bytes());
+    w.put_u64(c.max_sig_expiry.as_millis());
+    put_signature(w, &c.sig);
+}
+
+fn get_weak_cert(r: &mut WireReader<'_>) -> Result<WeakKeyCert, WireError> {
+    let key = RsaPublicKey::from_bytes(r.get_bytes()?).map_err(|_| WireError {
+        expected: "rsa public key",
+    })?;
+    let max_sig_expiry = Timestamp::from_millis(r.get_u64()?);
+    let sig = get_signature(r)?;
+    Ok(WeakKeyCert {
+        key,
+        max_sig_expiry,
+        sig,
+    })
+}
+
+/// Encodes a weak-key certificate (network key bootstrap; §4.3 deferred
+/// witnesses are signed under these short-lived keys).
+pub fn encode_weak_key_cert(c: &WeakKeyCert) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.weakcert.v1");
+    put_weak_cert(&mut w, c);
+    w.finish()
+}
+
+/// Decodes a weak-key certificate.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed input or an unparsable RSA key.
+pub fn decode_weak_key_cert(bytes: &[u8]) -> Result<WeakKeyCert, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.weakcert.v1" {
+        return Err(WireError {
+            expected: "weak key cert tag",
+        });
+    }
+    let cert = get_weak_cert(&mut r)?;
+    r.expect_end()?;
+    Ok(cert)
+}
+
+/// Encodes the device's published keys and certificates — what a client
+/// bootstrapping over the network receives (and then validates against
+/// CA-issued certificates; the bytes themselves are untrusted).
+pub fn encode_device_keys(k: &DeviceKeys) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.devicekeys.v1");
+    w.put_u8(data_hash_code(k.data_hash));
+    w.put_bytes(&k.sign.to_bytes());
+    w.put_bytes(&k.delete.to_bytes());
+    put_weak_cert(&mut w, &k.weak_cert);
+    w.finish()
+}
+
+/// Decodes published device keys.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed input or unparsable RSA keys.
+pub fn decode_device_keys(bytes: &[u8]) -> Result<DeviceKeys, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.devicekeys.v1" {
+        return Err(WireError {
+            expected: "device keys tag",
+        });
+    }
+    let data_hash = data_hash_from_code(r.get_u8()?)?;
+    let rsa = |b: &[u8]| {
+        RsaPublicKey::from_bytes(b).map_err(|_| WireError {
+            expected: "rsa public key",
+        })
+    };
+    let sign = rsa(r.get_bytes()?)?;
+    let delete = rsa(r.get_bytes()?)?;
+    let weak_cert = get_weak_cert(&mut r)?;
+    r.expect_end()?;
+    Ok(DeviceKeys {
+        data_hash,
+        sign,
+        delete,
+        weak_cert,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +647,145 @@ mod tests {
             sig: sig(7),
         };
         assert_eq!(decode_base_cert(&encode_base_cert(&b)).unwrap(), b);
+    }
+
+    fn sample_head() -> HeadCert {
+        HeadCert {
+            sn_current: SerialNumber(100),
+            issued_at: Timestamp::from_millis(9),
+            sig: sig(6),
+        }
+    }
+
+    fn tiny_key(n: u8) -> RsaPublicKey {
+        // Structurally valid key material (decode only checks non-zero).
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&1u32.to_be_bytes());
+        raw.push(n);
+        raw.extend_from_slice(&1u32.to_be_bytes());
+        raw.push(3);
+        RsaPublicKey::from_bytes(&raw).unwrap()
+    }
+
+    #[test]
+    fn read_outcome_roundtrips_all_variants() {
+        let head = sample_head();
+        let outcomes = vec![
+            ReadOutcome::Data {
+                vrd: sample_vrd(),
+                records: vec![
+                    Bytes::from(b"alpha".to_vec()),
+                    Bytes::from(Vec::new()),
+                    Bytes::from(vec![0u8; 1024]),
+                ],
+                head: head.clone(),
+            },
+            ReadOutcome::Deleted {
+                evidence: DeletionEvidence::Proof(DeletionProof {
+                    sn: SerialNumber(3),
+                    deleted_at: Timestamp::from_millis(55),
+                    sig: sig(3),
+                }),
+                head: head.clone(),
+            },
+            ReadOutcome::Deleted {
+                evidence: DeletionEvidence::BelowBase(BaseCert {
+                    sn_base: SerialNumber(7),
+                    expires_at: Timestamp::from_millis(888),
+                    sig: sig(7),
+                }),
+                head: head.clone(),
+            },
+            ReadOutcome::Deleted {
+                evidence: DeletionEvidence::InWindow(WindowProof {
+                    window_id: 0xABCD,
+                    lo: SerialNumber(10),
+                    hi: SerialNumber(20),
+                    lo_sig: sig(4),
+                    hi_sig: sig(5),
+                }),
+                head: head.clone(),
+            },
+            ReadOutcome::NeverExisted { head },
+        ];
+        for o in outcomes {
+            let enc = encode_read_outcome(&o);
+            assert_eq!(decode_read_outcome(&enc).unwrap(), o);
+            // Truncation and trailing garbage are both rejected.
+            assert!(decode_read_outcome(&enc[..enc.len() - 1]).is_err());
+            let mut bad = enc.clone();
+            bad.push(0);
+            assert!(decode_read_outcome(&bad).is_err());
+        }
+    }
+
+    #[test]
+    fn read_outcome_decode_bounds_record_count() {
+        // A hostile count far beyond the payload must fail cleanly.
+        let mut w = WireWriter::tagged("strongworm.readoutcome.v1");
+        w.put_u8(0);
+        w.put_bytes(&encode_vrd(&sample_vrd()));
+        w.put_u32(u32::MAX);
+        assert!(decode_read_outcome(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn credential_roundtrips() {
+        let hold = HoldCredential {
+            sn: SerialNumber(7),
+            issued_at: Timestamp::from_millis(100),
+            litigation_id: 42,
+            hold_until: Timestamp::from_millis(9_000),
+            sig: sig(8),
+        };
+        assert_eq!(
+            decode_hold_credential(&encode_hold_credential(&hold)).unwrap(),
+            hold
+        );
+        let release = ReleaseCredential {
+            sn: SerialNumber(7),
+            issued_at: Timestamp::from_millis(200),
+            litigation_id: 42,
+            sig: sig(9),
+        };
+        assert_eq!(
+            decode_release_credential(&encode_release_credential(&release)).unwrap(),
+            release
+        );
+        // Cross-type decoding fails on the domain tag.
+        assert!(decode_release_credential(&encode_hold_credential(&hold)).is_err());
+        assert!(decode_hold_credential(&encode_release_credential(&release)).is_err());
+    }
+
+    #[test]
+    fn device_keys_roundtrip() {
+        let keys = DeviceKeys {
+            data_hash: DataHashScheme::Multiset,
+            sign: tiny_key(5),
+            delete: tiny_key(7),
+            weak_cert: WeakKeyCert {
+                key: tiny_key(11),
+                max_sig_expiry: Timestamp::from_millis(1234),
+                sig: sig(2),
+            },
+        };
+        let enc = encode_device_keys(&keys);
+        let dec = decode_device_keys(&enc).unwrap();
+        assert_eq!(dec.data_hash, keys.data_hash);
+        assert_eq!(dec.sign.fingerprint(), keys.sign.fingerprint());
+        assert_eq!(dec.delete.fingerprint(), keys.delete.fingerprint());
+        assert_eq!(
+            dec.weak_cert.key.fingerprint(),
+            keys.weak_cert.key.fingerprint()
+        );
+        assert_eq!(dec.weak_cert.max_sig_expiry, keys.weak_cert.max_sig_expiry);
+        assert_eq!(dec.weak_cert.sig, keys.weak_cert.sig);
+        assert!(decode_device_keys(&enc[..enc.len() - 1]).is_err());
+        assert!(decode_device_keys(b"garbage").is_err());
+
+        let wc = encode_weak_key_cert(&keys.weak_cert);
+        assert_eq!(decode_weak_key_cert(&wc).unwrap(), keys.weak_cert);
+        assert!(decode_weak_key_cert(&wc[..wc.len() - 1]).is_err());
     }
 
     #[test]

@@ -12,12 +12,22 @@
 //! The daemon holds a plain `Arc<WormServer>` — every maintenance pass
 //! serializes only against the *witness plane*, so foreground reads keep
 //! flowing while the pass runs (the whole point of the two-plane split).
+//!
+//! A failed pass does **not** stop the loop: one transient store or
+//! device hiccup must not silently halt all expiration processing. The
+//! daemon retries with bounded exponential backoff, counts consecutive
+//! failures, and exposes the most recent error on the handle so an
+//! operator (or test) can observe degraded maintenance while the loop
+//! keeps trying. Only an optional consecutive-failure limit makes it
+//! give up.
 
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
+use parking_lot::Mutex;
 use wormstore::BlockDevice;
 
 use crate::error::WormError;
@@ -32,6 +42,11 @@ pub struct DaemonConfig {
     pub idle_budget_ns: u64,
     /// Run window compaction every `compact_every` passes (0 = never).
     pub compact_every: u32,
+    /// Upper bound on the exponential retry backoff after failed passes.
+    pub max_backoff: Duration,
+    /// Give up (thread exits with the final error) after this many
+    /// *consecutive* failed passes; `0` retries forever.
+    pub max_consecutive_failures: u32,
 }
 
 impl Default for DaemonConfig {
@@ -40,18 +55,30 @@ impl Default for DaemonConfig {
             interval: Duration::from_millis(100),
             idle_budget_ns: 50_000_000,
             compact_every: 10,
+            max_backoff: Duration::from_secs(5),
+            max_consecutive_failures: 0,
         }
     }
+}
+
+/// Failure counters and last-error slot shared with the daemon thread.
+#[derive(Default)]
+struct DaemonStatus {
+    last_error: Mutex<Option<String>>,
+    consecutive_failures: AtomicU32,
+    total_failures: AtomicU64,
+    passes: AtomicU64,
 }
 
 /// Handle to a running maintenance daemon.
 ///
 /// Dropping the handle *without* calling [`RetentionDaemon::stop`] detaches
 /// the thread (it keeps maintaining the store until process exit) — call
-/// `stop` for an orderly shutdown that reports the last error, if any.
+/// `stop` for an orderly shutdown that reports the terminal error, if any.
 pub struct RetentionDaemon {
     shutdown: Sender<()>,
     handle: Option<JoinHandle<Result<(), WormError>>>,
+    status: Arc<DaemonStatus>,
 }
 
 impl RetentionDaemon {
@@ -63,20 +90,46 @@ impl RetentionDaemon {
         D: BlockDevice + 'static,
     {
         let (shutdown, rx) = bounded::<()>(1);
+        let status = Arc::new(DaemonStatus::default());
+        let thread_status = Arc::clone(&status);
         let handle = std::thread::Builder::new()
             .name("worm-retention-daemon".into())
             .spawn(move || -> Result<(), WormError> {
                 let mut pass: u32 = 0;
+                let mut backoff = config.interval;
                 loop {
                     // Sleep until the next pass or an orderly shutdown.
-                    if rx.recv_timeout(config.interval).is_ok() {
+                    // After a failure the sleep is the current backoff
+                    // instead of the regular interval.
+                    if rx.recv_timeout(backoff).is_ok() {
                         return Ok(());
                     }
                     pass = pass.wrapping_add(1);
-                    server.tick()?;
-                    server.idle(config.idle_budget_ns)?;
-                    if config.compact_every > 0 && pass.is_multiple_of(config.compact_every) {
-                        server.compact()?;
+                    let result = Self::run_pass(&server, &config, pass);
+                    thread_status.passes.fetch_add(1, Ordering::Relaxed);
+                    match result {
+                        Ok(()) => {
+                            thread_status
+                                .consecutive_failures
+                                .store(0, Ordering::Relaxed);
+                            backoff = config.interval;
+                        }
+                        Err(e) => {
+                            let streak = thread_status
+                                .consecutive_failures
+                                .fetch_add(1, Ordering::Relaxed)
+                                + 1;
+                            thread_status.total_failures.fetch_add(1, Ordering::Relaxed);
+                            *thread_status.last_error.lock() = Some(e.to_string());
+                            if config.max_consecutive_failures != 0
+                                && streak >= config.max_consecutive_failures
+                            {
+                                return Err(e);
+                            }
+                            // Bounded exponential backoff: double the
+                            // pause per consecutive failure, capped.
+                            backoff = (backoff * 2).min(config.max_backoff.max(config.interval));
+                        }
                     }
                 }
             })
@@ -84,14 +137,33 @@ impl RetentionDaemon {
         RetentionDaemon {
             shutdown,
             handle: Some(handle),
+            status,
         }
+    }
+
+    /// One maintenance pass: tick, idle grant, periodic compaction. The
+    /// first failing step aborts the pass (the next pass retries all of
+    /// them — every step is idempotent).
+    fn run_pass<D: BlockDevice>(
+        server: &WormServer<D>,
+        config: &DaemonConfig,
+        pass: u32,
+    ) -> Result<(), WormError> {
+        server.tick()?;
+        server.idle(config.idle_budget_ns)?;
+        if config.compact_every > 0 && pass.is_multiple_of(config.compact_every) {
+            server.compact()?;
+        }
+        Ok(())
     }
 
     /// Stops the loop and returns its final status.
     ///
     /// # Errors
     ///
-    /// The first maintenance error that terminated the loop, if any.
+    /// The error that made the daemon give up (consecutive-failure limit
+    /// reached), if it did. Transient failures the loop survived are *not*
+    /// reported here — inspect [`RetentionDaemon::last_error`] for those.
     pub fn stop(mut self) -> Result<(), WormError> {
         let _ = self.shutdown.send(());
         match self.handle.take() {
@@ -105,6 +177,29 @@ impl RetentionDaemon {
     /// Whether the daemon thread is still running.
     pub fn is_running(&self) -> bool {
         self.handle.as_ref().is_some_and(|h| !h.is_finished())
+    }
+
+    /// The most recent maintenance-pass error, if any pass has failed.
+    /// Stays populated after a later successful pass — it answers "what
+    /// went wrong last", not "is it failing now" (use
+    /// [`RetentionDaemon::consecutive_failures`] for that).
+    pub fn last_error(&self) -> Option<String> {
+        self.status.last_error.lock().clone()
+    }
+
+    /// How many passes in a row have failed (0 when healthy).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.status.consecutive_failures.load(Ordering::Relaxed)
+    }
+
+    /// Total failed passes over the daemon's lifetime.
+    pub fn total_failures(&self) -> u64 {
+        self.status.total_failures.load(Ordering::Relaxed)
+    }
+
+    /// Total maintenance passes attempted.
+    pub fn passes(&self) -> u64 {
+        self.status.passes.load(Ordering::Relaxed)
     }
 }
 
@@ -155,6 +250,7 @@ mod tests {
                 interval: Duration::from_millis(5),
                 idle_budget_ns: 1_000_000_000,
                 compact_every: 2,
+                ..DaemonConfig::default()
             },
         );
         assert!(daemon.is_running());
@@ -173,6 +269,7 @@ mod tests {
             );
             std::thread::sleep(Duration::from_millis(5));
         }
+        assert_eq!(daemon.last_error(), None);
         daemon.stop().unwrap();
     }
 
@@ -210,5 +307,68 @@ mod tests {
         let daemon = RetentionDaemon::spawn(server, DaemonConfig::default());
         assert!(daemon.is_running());
         daemon.stop().unwrap();
+    }
+
+    /// Regression: the loop used to exit on the first `tick()` error,
+    /// silently halting all expiration until someone called `stop()`. It
+    /// must instead keep retrying (with backoff), count the failures, and
+    /// expose the error on the handle.
+    #[test]
+    fn daemon_survives_injected_tick_errors() {
+        let (server, _clock) = fixture();
+        let daemon = RetentionDaemon::spawn(
+            server.clone(),
+            DaemonConfig {
+                interval: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(10),
+                ..DaemonConfig::default()
+            },
+        );
+        // Every subsequent tick fails at the device boundary.
+        server.tamper_device(scpu::TamperCause::Voltage);
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while daemon.total_failures() < 3 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon did not keep retrying after errors"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Still alive despite repeated failures, and the failure is
+        // observable on the handle.
+        assert!(daemon.is_running());
+        assert!(daemon.consecutive_failures() >= 3);
+        let err = daemon.last_error().expect("last error recorded");
+        assert!(err.contains("coprocessor"), "unexpected error: {err}");
+        // Orderly shutdown still works and is not itself an error.
+        daemon.stop().unwrap();
+    }
+
+    /// With a consecutive-failure limit configured, the daemon gives up
+    /// and `stop()` reports the terminal error.
+    #[test]
+    fn daemon_gives_up_after_consecutive_failure_limit() {
+        let (server, _clock) = fixture();
+        let daemon = RetentionDaemon::spawn(
+            server.clone(),
+            DaemonConfig {
+                interval: Duration::from_millis(2),
+                max_backoff: Duration::from_millis(5),
+                max_consecutive_failures: 4,
+                ..DaemonConfig::default()
+            },
+        );
+        server.tamper_device(scpu::TamperCause::Penetration);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while daemon.is_running() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon never hit its failure limit"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(daemon.total_failures(), 4);
+        assert!(matches!(daemon.stop(), Err(WormError::Device(_))));
     }
 }

@@ -87,7 +87,7 @@ pub enum DeletionEvidence {
 ///
 /// Every variant carries the freshest head certificate, which is what lets
 /// the client bound `SN_current` and detect hidden records (Theorem 2).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ReadOutcome {
     /// The record is live: descriptor plus its data records.
     Data {

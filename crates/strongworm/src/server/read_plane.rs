@@ -94,7 +94,13 @@ impl<D: BlockDevice> ReadPlane<D> {
     /// same VRDT read guard that proved it active.
     pub(crate) fn read(&self, sn: SerialNumber) -> Result<ReadStep, WormError> {
         let vrdt = self.vrdt.read();
-        let head = vrdt.head().cloned().expect("head installed at boot");
+        // The facade installs a head at boot, but this path is reachable
+        // from remote requests: if the head is absent (failed lazy
+        // refresh after a device tamper, or a hostile caller racing
+        // recovery) the request must fail, never take the server down.
+        let head = vrdt.head().cloned().ok_or_else(|| {
+            WormError::Firmware("no head certificate installed; freshness refresh failed".into())
+        })?;
         match vrdt.lookup(sn) {
             Lookup::Active(v) => {
                 let vrd = v.clone();

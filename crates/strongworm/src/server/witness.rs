@@ -166,6 +166,19 @@ impl<D: BlockDevice> WitnessPlane<D> {
         witness: WitnessMode,
         dedup: bool,
     ) -> Result<SerialNumber, WormError> {
+        // Records end up in length-prefixed wire encodings (journal VRDs,
+        // network read responses); reject anything the u32 prefix cannot
+        // represent at the API boundary instead of panicking deep in the
+        // encoder.
+        if let Some(i) = records
+            .iter()
+            .position(|r| r.len() as u64 > crate::wire::MAX_WIRE_BYTES)
+        {
+            return Err(WormError::Firmware(format!(
+                "record {i} exceeds the {} byte wire limit",
+                crate::wire::MAX_WIRE_BYTES
+            )));
+        }
         // 1. Host writes the data records to the store (reusing identical
         //    content when deduplication is requested).
         let mut rdl = Vec::with_capacity(records.len());
@@ -272,12 +285,11 @@ impl<D: BlockDevice> WitnessPlane<D> {
         if stale {
             self.refresh_base()?;
         }
-        Ok(self
-            .vrdt
-            .read()
-            .base()
-            .cloned()
-            .expect("base just installed"))
+        // Defensive: this sits on the read path (below-base evidence), so
+        // a missing base after a refresh is an error, not a panic.
+        self.vrdt.read().base().cloned().ok_or_else(|| {
+            WormError::Firmware("no base certificate installed after refresh".into())
+        })
     }
 
     pub(crate) fn refresh_head(&mut self) -> Result<(), WormError> {

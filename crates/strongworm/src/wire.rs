@@ -8,6 +8,11 @@
 //! variable-length byte strings with `u32` length prefixes, in a fixed
 //! field order defined by each caller.
 
+/// Largest byte string a `u32` length prefix can describe. Encoders must
+/// reject anything longer — `v.len() as u32` would silently wrap and
+/// produce a *valid-looking but corrupt* canonical encoding.
+pub const MAX_WIRE_BYTES: u64 = u32::MAX as u64;
+
 /// Canonical encoder.
 #[derive(Clone, Debug, Default)]
 pub struct WireWriter {
@@ -46,10 +51,33 @@ impl WireWriter {
     }
 
     /// Appends a length-prefixed byte string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is longer than [`MAX_WIRE_BYTES`] — a length that
+    /// cannot be represented in the `u32` prefix must never be silently
+    /// truncated into a corrupt encoding. Callers encoding data whose
+    /// size is not already bounded should use
+    /// [`WireWriter::try_put_bytes`].
     pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.put_u32(v.len() as u32);
-        self.buf.extend_from_slice(v);
+        self.try_put_bytes(v)
+            .expect("byte string exceeds the u32 wire length prefix");
         self
+    }
+
+    /// Appends a length-prefixed byte string, rejecting lengths the `u32`
+    /// prefix cannot represent.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if `v` is longer than [`MAX_WIRE_BYTES`].
+    pub fn try_put_bytes(&mut self, v: &[u8]) -> Result<&mut Self, WireError> {
+        let len = u32::try_from(v.len()).map_err(|_| WireError {
+            expected: "byte string within u32 length range",
+        })?;
+        self.put_u32(len);
+        self.buf.extend_from_slice(v);
+        Ok(self)
     }
 
     /// Appends a length-prefixed UTF-8 string.
@@ -145,6 +173,10 @@ impl<'a> WireReader<'a> {
 
     /// Reads a length-prefixed byte string.
     ///
+    /// The returned slice borrows the input, so a hostile length prefix
+    /// can never allocate: the claimed length is checked against the
+    /// bytes actually present *before* anything is consumed.
+    ///
     /// # Errors
     ///
     /// [`WireError`] if the prefix or payload is truncated.
@@ -156,6 +188,26 @@ impl<'a> WireReader<'a> {
         let (head, rest) = self.buf.split_at(len);
         self.buf = rest;
         Ok(head)
+    }
+
+    /// Reads a length-prefixed byte string, additionally rejecting any
+    /// string longer than `max` bytes.
+    ///
+    /// Decoders that copy the result into owned storage (network frames,
+    /// journal records) use this to bound what an untrusted length prefix
+    /// can make them allocate, independent of the total input size.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or when the string exceeds `max`.
+    pub fn get_bytes_bounded(&mut self, max: usize) -> Result<&'a [u8], WireError> {
+        let b = self.get_bytes()?;
+        if b.len() > max {
+            return Err(WireError {
+                expected: "byte string within decoder bound",
+            });
+        }
+        Ok(b)
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -253,6 +305,35 @@ mod tests {
         w.put_bytes(&[0xFF, 0xFE]);
         let buf = w.finish();
         assert!(WireReader::new(&buf).get_str().is_err());
+    }
+
+    /// Regression: `put_bytes` used to truncate lengths ≥ 4 GiB via
+    /// `len as u32`, silently producing a corrupt canonical encoding.
+    #[test]
+    #[cfg(target_pointer_width = "64")]
+    fn oversized_byte_string_rejected_not_truncated() {
+        // Zero-filled allocation is lazily mapped; nothing is copied
+        // because the length check fails before any write.
+        let huge = vec![0u8; MAX_WIRE_BYTES as usize + 1];
+        let mut w = WireWriter::new();
+        assert!(w.try_put_bytes(&huge).is_err());
+        // The failed append must not leave a partial prefix behind.
+        assert!(w.is_empty());
+        // The largest representable length is still accepted in principle:
+        // lengths at the boundary round-trip through the prefix.
+        assert_eq!(u32::try_from(MAX_WIRE_BYTES).unwrap(), u32::MAX);
+    }
+
+    #[test]
+    fn bounded_get_bytes_enforces_cap() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[7u8; 100]);
+        let buf = w.finish();
+        assert!(WireReader::new(&buf).get_bytes_bounded(99).is_err());
+        assert_eq!(
+            WireReader::new(&buf).get_bytes_bounded(100).unwrap().len(),
+            100
+        );
     }
 
     #[test]

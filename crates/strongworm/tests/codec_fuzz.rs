@@ -4,12 +4,16 @@
 //! valid encoding must either fail to decode or decode to a different
 //! value (no silent aliasing).
 
+use bytes::Bytes;
 use proptest::prelude::*;
 use scpu::Timestamp;
 use strongworm::attr::RecordAttributes;
+use strongworm::authority::{HoldCredential, ReleaseCredential};
 use strongworm::codec;
 use strongworm::policy::Regulation;
-use strongworm::proofs::{BaseCert, DeletionProof, HeadCert, WindowProof};
+use strongworm::proofs::{
+    BaseCert, DeletionEvidence, DeletionProof, HeadCert, ReadOutcome, WindowProof,
+};
 use strongworm::vrd::Vrd;
 use strongworm::witness::{Signature, Witness};
 use strongworm::SerialNumber;
@@ -93,6 +97,67 @@ fn arb_vrd() -> impl Strategy<Value = Vrd> {
         })
 }
 
+fn arb_head() -> impl Strategy<Value = HeadCert> {
+    (any::<u64>(), any::<u64>(), arb_sig()).prop_map(|(sn, t, sig)| HeadCert {
+        sn_current: SerialNumber(sn),
+        issued_at: Timestamp::from_millis(t),
+        sig,
+    })
+}
+
+fn arb_evidence() -> impl Strategy<Value = DeletionEvidence> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>(), arb_sig()).prop_map(|(sn, t, sig)| {
+            DeletionEvidence::Proof(DeletionProof {
+                sn: SerialNumber(sn),
+                deleted_at: Timestamp::from_millis(t),
+                sig,
+            })
+        }),
+        (any::<u64>(), any::<u64>(), arb_sig()).prop_map(|(sn, t, sig)| {
+            DeletionEvidence::BelowBase(BaseCert {
+                sn_base: SerialNumber(sn),
+                expires_at: Timestamp::from_millis(t),
+                sig,
+            })
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            0u64..1_000_000,
+            arb_sig(),
+            arb_sig()
+        )
+            .prop_map(|(id, lo, span, lo_sig, hi_sig)| {
+                DeletionEvidence::InWindow(WindowProof {
+                    window_id: id,
+                    lo: SerialNumber(lo),
+                    hi: SerialNumber(lo.saturating_add(span)),
+                    lo_sig,
+                    hi_sig,
+                })
+            }),
+    ]
+}
+
+fn arb_outcome() -> impl Strategy<Value = ReadOutcome> {
+    prop_oneof![
+        (
+            arb_vrd(),
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..4),
+            arb_head(),
+        )
+            .prop_map(|(vrd, records, head)| ReadOutcome::Data {
+                vrd,
+                records: records.into_iter().map(Bytes::from).collect(),
+                head,
+            }),
+        (arb_evidence(), arb_head())
+            .prop_map(|(evidence, head)| ReadOutcome::Deleted { evidence, head }),
+        arb_head().prop_map(|head| ReadOutcome::NeverExisted { head }),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -103,7 +168,61 @@ proptest! {
         let _ = codec::decode_window_proof(&bytes);
         let _ = codec::decode_head_cert(&bytes);
         let _ = codec::decode_base_cert(&bytes);
+        let _ = codec::decode_read_outcome(&bytes);
+        let _ = codec::decode_hold_credential(&bytes);
+        let _ = codec::decode_release_credential(&bytes);
+        let _ = codec::decode_device_keys(&bytes);
+        let _ = codec::decode_weak_key_cert(&bytes);
         let _ = RecordAttributes::decode(&bytes);
+    }
+
+    #[test]
+    fn read_outcome_roundtrip_holds(outcome in arb_outcome()) {
+        let enc = codec::encode_read_outcome(&outcome);
+        prop_assert_eq!(codec::decode_read_outcome(&enc).unwrap(), outcome);
+    }
+
+    #[test]
+    fn read_outcome_mutations_never_alias(outcome in arb_outcome(), pos in any::<prop::sample::Index>(), flip in 1u8..=255) {
+        let enc = codec::encode_read_outcome(&outcome);
+        let mut mutated = enc.clone();
+        let i = pos.index(mutated.len());
+        mutated[i] ^= flip;
+        match codec::decode_read_outcome(&mutated) {
+            Err(_) => {}
+            Ok(other) => prop_assert_ne!(other, outcome, "mutation at byte {} aliased", i),
+        }
+    }
+
+    #[test]
+    fn credential_roundtrips_hold(
+        sn in any::<u64>(),
+        t in any::<u64>(),
+        id in any::<u64>(),
+        until in any::<u64>(),
+        sig in arb_sig(),
+    ) {
+        let hold = HoldCredential {
+            sn: SerialNumber(sn),
+            issued_at: Timestamp::from_millis(t),
+            litigation_id: id,
+            hold_until: Timestamp::from_millis(until),
+            sig: sig.clone(),
+        };
+        prop_assert_eq!(
+            codec::decode_hold_credential(&codec::encode_hold_credential(&hold)).unwrap(),
+            hold
+        );
+        let release = ReleaseCredential {
+            sn: SerialNumber(sn),
+            issued_at: Timestamp::from_millis(t),
+            litigation_id: id,
+            sig,
+        };
+        prop_assert_eq!(
+            codec::decode_release_credential(&codec::encode_release_credential(&release)).unwrap(),
+            release
+        );
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Network read-throughput scaling over the `wormnet` serving layer.
+//!
+//! The paper's service model (§3) puts clients on the far side of a
+//! wire from the WORM box; this binary measures what the framed TCP
+//! protocol costs and how verified remote reads scale with concurrent
+//! client connections. Each client thread owns one TCP session and
+//! performs fully verified reads (signatures, data hash, freshness)
+//! against a loopback `NetServer`; the server's worker pool serves the
+//! sessions concurrently off the shared read plane. Emits
+//! `results/BENCH_net_throughput.json` as JSON lines.
+//!
+//! Like `read_scaling`, this measures *wall clock* — the quantity of
+//! interest is end-to-end serving parallelism. Compare `reads_per_sec`
+//! here against `BENCH_read_scaling.json` to see the framing + loopback
+//! + verification overhead per request.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use strongworm::{ReadVerdict, RetentionPolicy, SerialNumber, Verifier};
+use worm_bench::{json_record, quick_server, to_json_lines};
+use wormnet::{NetServer, NetServerConfig, RemoteWormClient};
+use wormstore::Shredder;
+
+/// One measured point of the scaling curve.
+#[derive(Clone, Debug)]
+struct NetThroughputPoint {
+    clients: usize,
+    host_cores: usize,
+    total_reads: u64,
+    wall_ms: f64,
+    reads_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+json_record!(NetThroughputPoint {
+    clients,
+    host_cores,
+    total_reads,
+    wall_ms,
+    reads_per_sec,
+    speedup_vs_1,
+});
+
+const CORPUS: usize = 64;
+const RECORD_BYTES: usize = 4 << 10;
+const MEASURE_WINDOW: Duration = Duration::from_millis(400);
+
+fn main() {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (server, clock) = quick_server();
+    let server = Arc::new(server);
+
+    // A corpus of active records for the clients to sweep over.
+    let policy = RetentionPolicy::custom(Duration::from_secs(1_000_000), Shredder::ZeroFill);
+    let payload = vec![0xA7u8; RECORD_BYTES];
+    let sns: Vec<SerialNumber> = (0..CORPUS)
+        .map(|_| server.write(&[&payload], policy).expect("corpus write"))
+        .collect();
+    let sns = Arc::new(sns);
+
+    // Enough workers that the client count, not the pool, is the
+    // variable under test.
+    let net = NetServer::bind(
+        server.clone(),
+        "127.0.0.1:0",
+        NetServerConfig {
+            workers: 8,
+            ..NetServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = net.local_addr();
+    let verifier =
+        Arc::new(Verifier::new(server.keys(), Duration::from_secs(300), clock).expect("verifier"));
+
+    let mut points: Vec<NetThroughputPoint> = Vec::new();
+    for &clients in &[1usize, 2, 4, 8] {
+        let total = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let start = Arc::new(Barrier::new(clients + 1));
+        let threads: Vec<_> = (0..clients)
+            .map(|t| {
+                let sns = sns.clone();
+                let verifier = verifier.clone();
+                let total = total.clone();
+                let stop = stop.clone();
+                let start = start.clone();
+                std::thread::spawn(move || {
+                    let mut client = RemoteWormClient::connect(addr).expect("connect");
+                    start.wait();
+                    let mut n = 0u64;
+                    let mut i = t;
+                    while !stop.load(Ordering::Relaxed) {
+                        let sn = sns[i % sns.len()];
+                        let (verdict, _) =
+                            client.read_verified(sn, &verifier).expect("verified read");
+                        assert_eq!(verdict, ReadVerdict::Intact { sn });
+                        n += 1;
+                        i += 1;
+                    }
+                    total.fetch_add(n, Ordering::Relaxed);
+                })
+            })
+            .collect();
+
+        start.wait();
+        let t0 = Instant::now();
+        std::thread::sleep(MEASURE_WINDOW);
+        stop.store(true, Ordering::Relaxed);
+        for h in threads {
+            h.join().expect("client thread panicked");
+        }
+        let wall = t0.elapsed();
+
+        let total_reads = total.load(Ordering::Relaxed);
+        let reads_per_sec = total_reads as f64 / wall.as_secs_f64();
+        let baseline = points.first().map_or(reads_per_sec, |p| p.reads_per_sec);
+        points.push(NetThroughputPoint {
+            clients,
+            host_cores: cores,
+            total_reads,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            reads_per_sec,
+            speedup_vs_1: reads_per_sec / baseline,
+        });
+        let p = points.last().unwrap();
+        println!(
+            "clients={:<2} total={:<9} rate={:>12.0} reads/s speedup={:.2}x",
+            p.clients, p.total_reads, p.reads_per_sec, p.speedup_vs_1
+        );
+    }
+
+    net.shutdown();
+
+    std::fs::create_dir_all("results").expect("results dir");
+    let out = to_json_lines(&points) + "\n";
+    std::fs::write("results/BENCH_net_throughput.json", out).expect("write results");
+    println!("wrote results/BENCH_net_throughput.json ({cores} host cores)");
+}

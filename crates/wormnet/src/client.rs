@@ -1,0 +1,233 @@
+//! Remote client: speaks the framed protocol and verifies everything.
+//!
+//! [`RemoteWormClient`] is a thin transport; the security argument
+//! lives in [`strongworm::Verifier`], which this client composes with
+//! so every remote read is checked end-to-end. A man-in-the-middle (or
+//! the server itself) altering a response in flight surfaces as a
+//! [`strongworm::VerifyError`], never as silently wrong data.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+use scpu::Clock;
+use strongworm::authority::{HoldCredential, ReleaseCredential};
+use strongworm::firmware::{DeviceKeys, WeakKeyCert};
+use strongworm::{ReadOutcome, ReadVerdict, RetentionPolicy, SerialNumber, Verifier, WitnessMode};
+
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::protocol::{decode_response, encode_request, NetRequest, NetResponse};
+use crate::NetError;
+
+/// A connected client session over one TCP stream.
+///
+/// Not `Sync`: one session serves one request at a time (the protocol
+/// is strictly request/response). Open one client per thread for
+/// concurrent load — sessions are independent.
+pub struct RemoteWormClient {
+    stream: TcpStream,
+    max_frame: u32,
+}
+
+impl RemoteWormClient {
+    /// Connects with default timeouts (10 s read/write) and frame cap.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors connecting or configuring the stream.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, NetError> {
+        Self::connect_with(addr, Duration::from_secs(10), DEFAULT_MAX_FRAME)
+    }
+
+    /// Connects with explicit socket timeout and frame cap.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors connecting or configuring the stream.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        timeout: Duration,
+        max_frame: u32,
+    ) -> Result<Self, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(RemoteWormClient { stream, max_frame })
+    }
+
+    fn call(&mut self, req: &NetRequest) -> Result<NetResponse, NetError> {
+        write_frame(&mut self.stream, &encode_request(req), self.max_frame)?;
+        let payload = read_frame(&mut self.stream, self.max_frame)?.ok_or(NetError::Truncated)?;
+        let resp = decode_response(&payload)?;
+        if let NetResponse::Error { code, message } = resp {
+            return Err(NetError::Remote { code, message });
+        }
+        Ok(resp)
+    }
+
+    /// Commits a virtual record with the server's default witness tier
+    /// semantics ([`WitnessMode::Strong`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn write(
+        &mut self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+    ) -> Result<SerialNumber, NetError> {
+        self.write_with(records, policy, 0, WitnessMode::Strong)
+    }
+
+    /// Commits a virtual record with explicit flags and witness tier.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn write_with(
+        &mut self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+        flags: u32,
+        witness: WitnessMode,
+    ) -> Result<SerialNumber, NetError> {
+        let records = records
+            .iter()
+            .map(|r| bytes::Bytes::from(r.to_vec()))
+            .collect();
+        match self.call(&NetRequest::Write {
+            records,
+            policy,
+            flags,
+            witness,
+        })? {
+            NetResponse::Written { sn } => Ok(sn),
+            _ => Err(NetError::Protocol("expected Written response")),
+        }
+    }
+
+    /// Reads a record *without* verifying the outcome. Prefer
+    /// [`RemoteWormClient::read_verified`]; this exists for callers
+    /// that verify in a separate step (or deliberately test tampering).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn read_raw(&mut self, sn: SerialNumber) -> Result<ReadOutcome, NetError> {
+        match self.call(&NetRequest::Read { sn })? {
+            NetResponse::Outcome(outcome) => Ok(outcome),
+            _ => Err(NetError::Protocol("expected Outcome response")),
+        }
+    }
+
+    /// Reads a record and verifies the outcome end-to-end: signatures,
+    /// data hash, freshness, deletion evidence. Any in-flight or
+    /// server-side tampering fails here as [`NetError::Verify`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-reported error, or verification
+    /// failure.
+    pub fn read_verified(
+        &mut self,
+        sn: SerialNumber,
+        verifier: &Verifier,
+    ) -> Result<(ReadVerdict, ReadOutcome), NetError> {
+        let outcome = self.read_raw(sn)?;
+        let verdict = verifier.verify_read(sn, &outcome)?;
+        Ok((verdict, outcome))
+    }
+
+    /// Drives retention maintenance for `sn` and returns the re-read
+    /// outcome. WORM semantics: only a record past its retention
+    /// deadline (and free of holds) is actually deleted; verify the
+    /// returned outcome to learn — with proof — which state holds.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn delete(&mut self, sn: SerialNumber) -> Result<ReadOutcome, NetError> {
+        match self.call(&NetRequest::Delete { sn })? {
+            NetResponse::Outcome(outcome) => Ok(outcome),
+            _ => Err(NetError::Protocol("expected Outcome response")),
+        }
+    }
+
+    /// Places a litigation hold.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error (e.g. a bad
+    /// credential signature).
+    pub fn lit_hold(&mut self, credential: HoldCredential) -> Result<(), NetError> {
+        match self.call(&NetRequest::LitHold(credential))? {
+            NetResponse::Ack => Ok(()),
+            _ => Err(NetError::Protocol("expected Ack response")),
+        }
+    }
+
+    /// Releases a litigation hold.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn lit_release(&mut self, credential: ReleaseCredential) -> Result<(), NetError> {
+        match self.call(&NetRequest::LitRelease(credential))? {
+            NetResponse::Ack => Ok(()),
+            _ => Err(NetError::Protocol("expected Ack response")),
+        }
+    }
+
+    /// Drives due device alarms (Retention Monitor, head heartbeat).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn tick(&mut self) -> Result<(), NetError> {
+        match self.call(&NetRequest::Tick)? {
+            NetResponse::Ack => Ok(()),
+            _ => Err(NetError::Protocol("expected Ack response")),
+        }
+    }
+
+    /// Fetches the device's published keys and all weak-key
+    /// certificates. The bytes are untrusted until validated against
+    /// CA-issued certificates (see
+    /// [`strongworm::Verifier::from_certificates`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn fetch_keys(&mut self) -> Result<(DeviceKeys, Vec<WeakKeyCert>), NetError> {
+        match self.call(&NetRequest::GetKeys)? {
+            NetResponse::Keys { keys, weak_certs } => Ok((keys, weak_certs)),
+            _ => Err(NetError::Protocol("expected Keys response")),
+        }
+    }
+
+    /// Fetches keys and builds a [`Verifier`] from them, registering
+    /// every published weak-key certificate.
+    ///
+    /// Convenience for tests and trusted-bootstrap deployments; when
+    /// the server is not trusted to introduce its own keys, fetch the
+    /// CA certificates out of band and use
+    /// [`Verifier::from_certificates`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-reported error, or an internally
+    /// inconsistent key bundle.
+    pub fn bootstrap_verifier(
+        &mut self,
+        tolerance: Duration,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Verifier, NetError> {
+        let (keys, weak_certs) = self.fetch_keys()?;
+        let mut verifier = Verifier::new(&keys, tolerance, clock)?;
+        for cert in weak_certs {
+            verifier.add_weak_cert(cert)?;
+        }
+        Ok(verifier)
+    }
+}

@@ -1,0 +1,157 @@
+//! Length-prefixed framing.
+//!
+//! Every message on the wire is `u32` big-endian payload length followed
+//! by the payload. The length is checked against a cap *before* any
+//! allocation, so a hostile peer announcing a 4 GiB frame costs the
+//! receiver four header bytes, not four gigabytes.
+
+use std::io::{ErrorKind, Read, Write};
+
+use crate::NetError;
+
+/// Default frame cap: 16 MiB, comfortably above the largest legitimate
+/// response (a full VRD with its records) for the configurations this
+/// workspace ships.
+pub const DEFAULT_MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Writes one frame: 4-byte big-endian length, then the payload.
+///
+/// # Errors
+///
+/// [`NetError::FrameTooLarge`] if the payload exceeds `max` (the local
+/// side refuses to emit frames its peer would reject); socket errors
+/// otherwise.
+pub fn write_frame(w: &mut impl Write, payload: &[u8], max: u32) -> Result<(), NetError> {
+    let len = u32::try_from(payload.len()).map_err(|_| NetError::FrameTooLarge {
+        len: payload.len() as u64,
+        max: u64::from(max),
+    })?;
+    if len > max {
+        return Err(NetError::FrameTooLarge {
+            len: u64::from(len),
+            max: u64::from(max),
+        });
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame, enforcing the size cap before allocating.
+///
+/// Returns `Ok(None)` on clean end-of-stream (the peer closed the
+/// connection between frames) — the normal way a client hangs up.
+///
+/// # Errors
+///
+/// [`NetError::FrameTooLarge`] for an oversized announcement,
+/// [`NetError::Truncated`] if the stream ends inside a frame, socket
+/// errors otherwise.
+pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Option<Vec<u8>>, NetError> {
+    let mut header = [0u8; 4];
+    match read_exact_or_eof(r, &mut header)? {
+        Filled::Eof => return Ok(None),
+        Filled::Partial => return Err(NetError::Truncated),
+        Filled::Full => {}
+    }
+    let len = u32::from_be_bytes(header);
+    if len > max {
+        return Err(NetError::FrameTooLarge {
+            len: u64::from(len),
+            max: u64::from(max),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    match read_exact_or_eof(r, &mut payload)? {
+        Filled::Full => Ok(Some(payload)),
+        Filled::Eof | Filled::Partial => Err(NetError::Truncated),
+    }
+}
+
+enum Filled {
+    /// The whole buffer was read.
+    Full,
+    /// The stream ended before the first byte.
+    Eof,
+    /// The stream ended after at least one byte.
+    Partial,
+}
+
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<Filled, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    Filled::Eof
+                } else {
+                    Filled::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(Filled::Full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", DEFAULT_MAX_FRAME).unwrap();
+        write_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some(&b"hello"[..])
+        );
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().as_deref(),
+            Some(&b""[..])
+        );
+        assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_header_rejected_without_allocation() {
+        // 4 GiB - 1 announced; only the 4 header bytes are consumed.
+        let buf = u32::MAX.to_be_bytes().to_vec();
+        let mut r = Cursor::new(buf);
+        match read_frame(&mut r, 1024) {
+            Err(NetError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn writer_refuses_oversized_payload() {
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &[0u8; 100], 10),
+            Err(NetError::FrameTooLarge { len: 100, max: 10 })
+        ));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn truncation_inside_header_and_payload() {
+        // Two header bytes, then EOF.
+        let mut r = Cursor::new(vec![0u8, 1]);
+        assert!(matches!(read_frame(&mut r, 1024), Err(NetError::Truncated)));
+        // Full header announcing 8 bytes, only 3 present.
+        let mut buf = 8u32.to_be_bytes().to_vec();
+        buf.extend_from_slice(&[1, 2, 3]);
+        let mut r = Cursor::new(buf);
+        assert!(matches!(read_frame(&mut r, 1024), Err(NetError::Truncated)));
+    }
+}

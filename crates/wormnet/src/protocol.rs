@@ -1,0 +1,452 @@
+//! Request/response protocol, layered on the canonical wire codec.
+//!
+//! Each frame payload is a domain-tagged [`strongworm::wire`] message.
+//! Structures that already have canonical encodings in
+//! [`strongworm::codec`] — read outcomes, credentials, device keys —
+//! are embedded as nested byte strings of those exact encodings, so a
+//! verifier sees the same canonical bytes it would see in-process.
+//! Decoding is defensive throughout: both sides treat the peer as
+//! hostile, and malformed input yields an error, never a panic or an
+//! unbounded allocation.
+
+use bytes::Bytes;
+use strongworm::authority::{HoldCredential, ReleaseCredential};
+use strongworm::codec::{
+    decode_device_keys, decode_hold_credential, decode_read_outcome, decode_release_credential,
+    decode_weak_key_cert, encode_device_keys, encode_hold_credential, encode_read_outcome,
+    encode_release_credential, encode_weak_key_cert,
+};
+use strongworm::firmware::{DeviceKeys, WeakKeyCert};
+use strongworm::wire::{WireError, WireReader, WireWriter};
+use strongworm::{ReadOutcome, Regulation, RetentionPolicy, SerialNumber, WitnessMode, WormError};
+use wormstore::Shredder;
+
+const REQ_TAG: &str = "wormnet.req.v1";
+const RESP_TAG: &str = "wormnet.resp.v1";
+
+/// Decoding cap on list lengths (records per write, weak certs per key
+/// bundle): a hostile count must not drive unbounded allocation.
+const MAX_LIST_LEN: usize = 1 << 20;
+
+/// A client request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetRequest {
+    /// Commit a virtual record (§4.2.2 *Write*).
+    Write {
+        /// The data records of the VR, in order.
+        records: Vec<Bytes>,
+        /// Retention policy to stamp into the record's attributes.
+        policy: RetentionPolicy,
+        /// Application flag bits.
+        flags: u32,
+        /// Witness tier (§4.3 deferred strength).
+        witness: WitnessMode,
+    },
+    /// Read a record by serial number (§4.2.2 *Read*).
+    Read {
+        /// The serial number to read.
+        sn: SerialNumber,
+    },
+    /// Drive retention maintenance, then re-read `sn` so the caller can
+    /// verify the resulting deletion evidence. WORM semantics: there is
+    /// no unilateral delete — only records past their retention
+    /// deadline are actually removed, and the response proves whichever
+    /// state holds.
+    Delete {
+        /// The serial number whose deletion is being driven.
+        sn: SerialNumber,
+    },
+    /// Place a litigation hold (§4.2.2 *LitHold*).
+    LitHold(
+        /// Regulator-signed hold credential.
+        HoldCredential,
+    ),
+    /// Release a litigation hold (§4.2.2 *LitRelease*).
+    LitRelease(
+        /// Regulator-signed release credential.
+        ReleaseCredential,
+    ),
+    /// Drive due device alarms (Retention Monitor wake-ups, head
+    /// heartbeats).
+    Tick,
+    /// Fetch the device's published keys and weak-key certificates, for
+    /// bootstrapping a [`strongworm::Verifier`]. The bytes are
+    /// untrusted until validated against CA certificates.
+    GetKeys,
+}
+
+/// A server response.
+#[derive(Clone, Debug)]
+pub enum NetResponse {
+    /// The request failed server-side.
+    Error {
+        /// Numeric error class from [`error_code`].
+        code: u8,
+        /// Human-readable message. Untrusted — display only.
+        message: String,
+    },
+    /// A write committed.
+    Written {
+        /// The serial number the SCPU assigned.
+        sn: SerialNumber,
+    },
+    /// A read (or delete re-read) outcome, carrying SCPU-signed
+    /// evidence for the client to verify.
+    Outcome(
+        /// The outcome, in its canonical encoding.
+        ReadOutcome,
+    ),
+    /// The request succeeded with nothing to return.
+    Ack,
+    /// The device's published keys.
+    Keys {
+        /// Permanent keys plus the current weak-key certificate.
+        keys: DeviceKeys,
+        /// All weak-key certificates issued so far (deferred witnesses
+        /// may be signed under rotated-out keys).
+        weak_certs: Vec<WeakKeyCert>,
+    },
+}
+
+/// Maps a server-side error to a stable numeric class for the wire.
+pub fn error_code(e: &WormError) -> u8 {
+    match e {
+        WormError::Device(_) => 1,
+        WormError::Store(_) => 2,
+        WormError::Firmware(_) => 3,
+        WormError::NotActive(_) => 4,
+        WormError::Wire(_) => 5,
+        // `WormError` is non_exhaustive; future variants class as 0.
+        _ => 0,
+    }
+}
+
+/// Error class a server uses for requests it could not even decode.
+pub const CODE_BAD_REQUEST: u8 = 6;
+
+fn put_policy(w: &mut WireWriter, p: &RetentionPolicy) {
+    w.put_u8(p.regulation.code());
+    w.put_u64(u64::try_from(p.retention.as_millis()).unwrap_or(u64::MAX));
+    let (kind, arg) = match p.shredder {
+        Shredder::ZeroFill => (0, 0),
+        Shredder::MultiPass { passes } => (1, passes),
+        Shredder::RandomPass => (2, 0),
+    };
+    w.put_u8(kind);
+    w.put_u8(arg);
+}
+
+fn get_policy(r: &mut WireReader<'_>) -> Result<RetentionPolicy, WireError> {
+    let regulation = Regulation::from_code(r.get_u8()?).ok_or(WireError {
+        expected: "regulation code",
+    })?;
+    let retention = std::time::Duration::from_millis(r.get_u64()?);
+    let kind = r.get_u8()?;
+    let arg = r.get_u8()?;
+    let shredder = match kind {
+        0 => Shredder::ZeroFill,
+        1 => Shredder::MultiPass { passes: arg },
+        2 => Shredder::RandomPass,
+        _ => {
+            return Err(WireError {
+                expected: "shredder kind",
+            })
+        }
+    };
+    Ok(RetentionPolicy {
+        regulation,
+        retention,
+        shredder,
+    })
+}
+
+fn witness_code(m: WitnessMode) -> u8 {
+    match m {
+        WitnessMode::Strong => 0,
+        WitnessMode::Deferred => 1,
+        WitnessMode::Hmac => 2,
+    }
+}
+
+fn witness_from_code(code: u8) -> Result<WitnessMode, WireError> {
+    match code {
+        0 => Ok(WitnessMode::Strong),
+        1 => Ok(WitnessMode::Deferred),
+        2 => Ok(WitnessMode::Hmac),
+        _ => Err(WireError {
+            expected: "witness mode code",
+        }),
+    }
+}
+
+/// Encodes a request frame payload.
+pub fn encode_request(req: &NetRequest) -> Vec<u8> {
+    let mut w = WireWriter::tagged(REQ_TAG);
+    match req {
+        NetRequest::Write {
+            records,
+            policy,
+            flags,
+            witness,
+        } => {
+            w.put_u8(1);
+            w.put_u32(records.len() as u32);
+            for rec in records {
+                w.put_bytes(rec);
+            }
+            put_policy(&mut w, policy);
+            w.put_u32(*flags);
+            w.put_u8(witness_code(*witness));
+        }
+        NetRequest::Read { sn } => {
+            w.put_u8(2);
+            w.put_u64(sn.0);
+        }
+        NetRequest::Delete { sn } => {
+            w.put_u8(3);
+            w.put_u64(sn.0);
+        }
+        NetRequest::LitHold(cred) => {
+            w.put_u8(4);
+            w.put_bytes(&encode_hold_credential(cred));
+        }
+        NetRequest::LitRelease(cred) => {
+            w.put_u8(5);
+            w.put_bytes(&encode_release_credential(cred));
+        }
+        NetRequest::Tick => {
+            w.put_u8(6);
+        }
+        NetRequest::GetKeys => {
+            w.put_u8(7);
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a request frame payload.
+///
+/// # Errors
+///
+/// [`WireError`] on an unknown tag or opcode, malformed fields,
+/// truncation, or trailing bytes.
+pub fn decode_request(bytes: &[u8]) -> Result<NetRequest, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != REQ_TAG {
+        return Err(WireError {
+            expected: "request tag",
+        });
+    }
+    let req = match r.get_u8()? {
+        1 => {
+            let n = r.get_u32()? as usize;
+            if n > MAX_LIST_LEN {
+                return Err(WireError {
+                    expected: "record count within bounds",
+                });
+            }
+            let mut records = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                records.push(Bytes::from(r.get_bytes()?.to_vec()));
+            }
+            let policy = get_policy(&mut r)?;
+            let flags = r.get_u32()?;
+            let witness = witness_from_code(r.get_u8()?)?;
+            NetRequest::Write {
+                records,
+                policy,
+                flags,
+                witness,
+            }
+        }
+        2 => NetRequest::Read {
+            sn: SerialNumber(r.get_u64()?),
+        },
+        3 => NetRequest::Delete {
+            sn: SerialNumber(r.get_u64()?),
+        },
+        4 => NetRequest::LitHold(decode_hold_credential(r.get_bytes()?)?),
+        5 => NetRequest::LitRelease(decode_release_credential(r.get_bytes()?)?),
+        6 => NetRequest::Tick,
+        7 => NetRequest::GetKeys,
+        _ => {
+            return Err(WireError {
+                expected: "request opcode",
+            })
+        }
+    };
+    r.expect_end()?;
+    Ok(req)
+}
+
+/// Encodes a response frame payload.
+pub fn encode_response(resp: &NetResponse) -> Vec<u8> {
+    let mut w = WireWriter::tagged(RESP_TAG);
+    match resp {
+        NetResponse::Error { code, message } => {
+            w.put_u8(0);
+            w.put_u8(*code);
+            w.put_str(message);
+        }
+        NetResponse::Written { sn } => {
+            w.put_u8(1);
+            w.put_u64(sn.0);
+        }
+        NetResponse::Outcome(outcome) => {
+            w.put_u8(2);
+            w.put_bytes(&encode_read_outcome(outcome));
+        }
+        NetResponse::Ack => {
+            w.put_u8(3);
+        }
+        NetResponse::Keys { keys, weak_certs } => {
+            w.put_u8(4);
+            w.put_bytes(&encode_device_keys(keys));
+            w.put_u32(weak_certs.len() as u32);
+            for cert in weak_certs {
+                w.put_bytes(&encode_weak_key_cert(cert));
+            }
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a response frame payload.
+///
+/// # Errors
+///
+/// [`WireError`] on an unknown tag or discriminant, malformed fields,
+/// truncation, or trailing bytes.
+pub fn decode_response(bytes: &[u8]) -> Result<NetResponse, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != RESP_TAG {
+        return Err(WireError {
+            expected: "response tag",
+        });
+    }
+    let resp = match r.get_u8()? {
+        0 => NetResponse::Error {
+            code: r.get_u8()?,
+            message: r.get_str()?.to_string(),
+        },
+        1 => NetResponse::Written {
+            sn: SerialNumber(r.get_u64()?),
+        },
+        2 => NetResponse::Outcome(decode_read_outcome(r.get_bytes()?)?),
+        3 => NetResponse::Ack,
+        4 => {
+            let keys = decode_device_keys(r.get_bytes()?)?;
+            let n = r.get_u32()? as usize;
+            if n > MAX_LIST_LEN {
+                return Err(WireError {
+                    expected: "weak cert count within bounds",
+                });
+            }
+            let mut weak_certs = Vec::with_capacity(n.min(r.remaining()));
+            for _ in 0..n {
+                weak_certs.push(decode_weak_key_cert(r.get_bytes()?)?);
+            }
+            NetResponse::Keys { keys, weak_certs }
+        }
+        _ => {
+            return Err(WireError {
+                expected: "response discriminant",
+            })
+        }
+    };
+    r.expect_end()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+    use strongworm::witness::Signature;
+
+    fn sig(b: u8) -> Signature {
+        Signature {
+            key_id: [b; 8],
+            bytes: vec![b; 32],
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = vec![
+            NetRequest::Write {
+                records: vec![Bytes::from(b"a".to_vec()), Bytes::from(Vec::new())],
+                policy: RetentionPolicy::custom(
+                    Duration::from_secs(30),
+                    Shredder::MultiPass { passes: 3 },
+                ),
+                flags: 0xDEAD_BEEF,
+                witness: WitnessMode::Deferred,
+            },
+            NetRequest::Read {
+                sn: SerialNumber(42),
+            },
+            NetRequest::Delete {
+                sn: SerialNumber(7),
+            },
+            NetRequest::LitHold(HoldCredential {
+                sn: SerialNumber(9),
+                issued_at: scpu::Timestamp::from_millis(4),
+                litigation_id: 77,
+                hold_until: scpu::Timestamp::from_millis(9999),
+                sig: sig(1),
+            }),
+            NetRequest::LitRelease(ReleaseCredential {
+                sn: SerialNumber(9),
+                issued_at: scpu::Timestamp::from_millis(5),
+                litigation_id: 77,
+                sig: sig(2),
+            }),
+            NetRequest::Tick,
+            NetRequest::GetKeys,
+        ];
+        for req in reqs {
+            let enc = encode_request(&req);
+            assert_eq!(decode_request(&enc).unwrap(), req);
+            assert!(decode_request(&enc[..enc.len() - 1]).is_err());
+            let mut noisy = enc.clone();
+            noisy.push(0);
+            assert!(decode_request(&noisy).is_err());
+        }
+    }
+
+    #[test]
+    fn hostile_write_count_is_bounded() {
+        let mut w = WireWriter::tagged("wormnet.req.v1");
+        w.put_u8(1);
+        w.put_u32(u32::MAX);
+        assert!(decode_request(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn unknown_opcode_and_tag_rejected() {
+        let mut w = WireWriter::tagged("wormnet.req.v1");
+        w.put_u8(200);
+        assert!(decode_request(&w.finish()).is_err());
+        let mut w = WireWriter::tagged("wormnet.resp.v2");
+        w.put_u8(3);
+        assert!(decode_response(&w.finish()).is_err());
+        assert!(decode_request(b"").is_err());
+        assert!(decode_response(b"").is_err());
+    }
+
+    #[test]
+    fn error_response_roundtrips() {
+        let enc = encode_response(&NetResponse::Error {
+            code: CODE_BAD_REQUEST,
+            message: "no".into(),
+        });
+        match decode_response(&enc).unwrap() {
+            NetResponse::Error { code, message } => {
+                assert_eq!(code, CODE_BAD_REQUEST);
+                assert_eq!(message, "no");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Thread-pool TCP acceptor fronting an `Arc<WormServer>`.
+//!
+//! The network layer adds no trust: it is part of the untrusted host.
+//! Worker threads call straight into the [`WormServer`] facade, so
+//! concurrent connections exercise the read plane in parallel while
+//! mutations serialize on the witness plane's mutex — exactly the
+//! concurrency discipline in-process callers get.
+
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use strongworm::{WormError, WormServer};
+use wormstore::BlockDevice;
+
+use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::protocol::{
+    decode_request, encode_response, error_code, NetRequest, NetResponse, CODE_BAD_REQUEST,
+};
+use crate::NetError;
+
+/// Tuning knobs for [`NetServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct NetServerConfig {
+    /// Worker threads handling connections (each worker owns one
+    /// connection at a time).
+    pub workers: usize,
+    /// Hard cap on request frame size; oversized announcements are
+    /// rejected before allocation and the connection is dropped.
+    pub max_frame: u32,
+    /// Per-connection socket read timeout — an idle or stalled peer is
+    /// disconnected after this long without a complete request.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Accepted connections queued ahead of a free worker; beyond this
+    /// the acceptor sheds load by dropping the connection.
+    pub queue_depth: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            workers: 4,
+            max_frame: DEFAULT_MAX_FRAME,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            queue_depth: 64,
+        }
+    }
+}
+
+/// How often blocked loops re-check the shutdown flag.
+const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+
+/// A running network front-end. Dropping the handle leaks the threads;
+/// call [`NetServer::shutdown`] for a graceful stop.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    served: Arc<AtomicU64>,
+}
+
+impl NetServer {
+    /// Binds `addr` and starts the acceptor plus worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors binding or configuring the listener.
+    pub fn bind<D, A>(
+        server: Arc<WormServer<D>>,
+        addr: A,
+        config: NetServerConfig,
+    ) -> Result<NetServer, NetError>
+    where
+        D: BlockDevice + 'static,
+        A: ToSocketAddrs,
+    {
+        let listener = TcpListener::bind(addr)?;
+        // Non-blocking accept so the loop can observe the stop flag.
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let served = Arc::new(AtomicU64::new(0));
+        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_depth);
+
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = rx.clone();
+                let stop = stop.clone();
+                let server = server.clone();
+                let served = served.clone();
+                std::thread::spawn(move || worker_loop(&rx, &stop, &server, &served, config))
+            })
+            .collect();
+
+        let acceptor = {
+            let stop = stop.clone();
+            std::thread::spawn(move || accept_loop(&listener, &tx, &stop))
+        };
+
+        Ok(NetServer {
+            addr,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+            served,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when bound to `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests committed or served so far, across all workers.
+    pub fn requests_served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains in-flight connections, and joins every
+    /// thread. In-progress requests complete; idle connections are
+    /// closed at their next shutdown-flag poll.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, stop: &AtomicBool) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _peer)) => {
+                // Back-pressure: if every worker is busy and the queue
+                // is full, shed the connection rather than grow without
+                // bound.
+                if let Err(TrySendError::Full(conn) | TrySendError::Disconnected(conn)) =
+                    tx.try_send(conn)
+                {
+                    drop(conn);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(SHUTDOWN_POLL);
+            }
+            Err(_) => std::thread::sleep(SHUTDOWN_POLL),
+        }
+    }
+}
+
+fn worker_loop<D: BlockDevice>(
+    rx: &Receiver<TcpStream>,
+    stop: &AtomicBool,
+    server: &WormServer<D>,
+    served: &AtomicU64,
+    config: NetServerConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let conn = match rx.recv_timeout(SHUTDOWN_POLL) {
+            Ok(conn) => conn,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        // Per-connection errors only ever kill that connection.
+        let _ = serve_connection(conn, stop, server, served, config);
+    }
+}
+
+fn serve_connection<D: BlockDevice>(
+    conn: TcpStream,
+    stop: &AtomicBool,
+    server: &WormServer<D>,
+    served: &AtomicU64,
+    config: NetServerConfig,
+) -> Result<(), NetError> {
+    conn.set_read_timeout(Some(config.read_timeout))?;
+    conn.set_write_timeout(Some(config.write_timeout))?;
+    conn.set_nodelay(true)?;
+    let mut reader = conn.try_clone()?;
+    let mut writer = BufWriter::new(conn);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match read_frame(&mut reader, config.max_frame) {
+            Ok(Some(payload)) => payload,
+            // Peer hung up between frames: normal end of session.
+            Ok(None) => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let resp = match decode_request(&payload) {
+            Ok(req) => handle(server, req),
+            Err(e) => NetResponse::Error {
+                code: CODE_BAD_REQUEST,
+                message: format!("undecodable request: {e}"),
+            },
+        };
+        write_frame(&mut writer, &encode_response(&resp), config.max_frame)?;
+        served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+fn handle<D: BlockDevice>(server: &WormServer<D>, req: NetRequest) -> NetResponse {
+    let result = (|| -> Result<NetResponse, WormError> {
+        match req {
+            NetRequest::Write {
+                records,
+                policy,
+                flags,
+                witness,
+            } => {
+                let views: Vec<&[u8]> = records.iter().map(|b| b.as_ref()).collect();
+                let sn = server.write_with(&views, policy, flags, witness)?;
+                Ok(NetResponse::Written { sn })
+            }
+            NetRequest::Read { sn } => Ok(NetResponse::Outcome(server.read(sn)?)),
+            NetRequest::Delete { sn } => {
+                // Drive maintenance so any due expiry executes, then
+                // return the re-read: the client verifies either the
+                // deletion evidence or — if retention has not lapsed —
+                // proof the record is still intact. No unilateral
+                // delete exists in a WORM store.
+                server.tick()?;
+                Ok(NetResponse::Outcome(server.read(sn)?))
+            }
+            NetRequest::LitHold(cred) => {
+                server.lit_hold(cred)?;
+                Ok(NetResponse::Ack)
+            }
+            NetRequest::LitRelease(cred) => {
+                server.lit_release(cred)?;
+                Ok(NetResponse::Ack)
+            }
+            NetRequest::Tick => {
+                server.tick()?;
+                Ok(NetResponse::Ack)
+            }
+            NetRequest::GetKeys => Ok(NetResponse::Keys {
+                keys: server.keys().clone(),
+                weak_certs: server.weak_certs(),
+            }),
+        }
+    })();
+    result.unwrap_or_else(|e| NetResponse::Error {
+        code: error_code(&e),
+        message: e.to_string(),
+    })
+}

@@ -1,0 +1,112 @@
+//! Fuzz-style property tests of the network layer: frames and protocol
+//! payloads arrive from an untrusted peer, so decoding must be total —
+//! errors, never panics, never unbounded allocation — and valid
+//! encodings must survive a roundtrip bit-for-bit.
+
+use std::io::Cursor;
+use std::time::Duration;
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use strongworm::{RetentionPolicy, SerialNumber, WitnessMode};
+use wormnet::frame::{read_frame, write_frame};
+use wormnet::protocol::{decode_request, decode_response, encode_request, NetRequest};
+use wormnet::NetError;
+use wormstore::Shredder;
+
+fn arb_policy() -> impl Strategy<Value = RetentionPolicy> {
+    (any::<u32>(), 0u8..4).prop_map(|(secs, kind)| {
+        let shredder = match kind {
+            0 => Shredder::ZeroFill,
+            1 => Shredder::MultiPass { passes: 3 },
+            _ => Shredder::RandomPass,
+        };
+        RetentionPolicy::custom(Duration::from_secs(u64::from(secs)), shredder)
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = NetRequest> {
+    prop_oneof![
+        (
+            proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..5),
+            arb_policy(),
+            any::<u32>(),
+            0u8..3,
+        )
+            .prop_map(|(records, policy, flags, w)| NetRequest::Write {
+                records: records.into_iter().map(Bytes::from).collect(),
+                policy,
+                flags,
+                witness: match w {
+                    0 => WitnessMode::Strong,
+                    1 => WitnessMode::Deferred,
+                    _ => WitnessMode::Hmac,
+                },
+            }),
+        any::<u64>().prop_map(|sn| NetRequest::Read {
+            sn: SerialNumber(sn)
+        }),
+        any::<u64>().prop_map(|sn| NetRequest::Delete {
+            sn: SerialNumber(sn)
+        }),
+        Just(NetRequest::Tick),
+        Just(NetRequest::GetKeys),
+    ]
+}
+
+proptest! {
+    /// Arbitrary bytes never panic either decoder.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+
+    /// Valid requests roundtrip exactly; every strict prefix fails.
+    #[test]
+    fn requests_roundtrip_and_reject_prefixes(req in arb_request()) {
+        let enc = encode_request(&req);
+        prop_assert_eq!(decode_request(&enc).unwrap(), req);
+        for cut in 0..enc.len() {
+            prop_assert!(decode_request(&enc[..cut]).is_err());
+        }
+    }
+
+    /// Single-byte mutations either fail to decode or decode to a
+    /// different request — no silent aliasing of hostile edits.
+    #[test]
+    fn mutations_never_alias(req in arb_request(), pos in any::<prop::sample::Index>(), flip in 1u8..255) {
+        let enc = encode_request(&req);
+        let mut bad = enc.clone();
+        let i = pos.index(bad.len());
+        bad[i] ^= flip;
+        if let Ok(decoded) = decode_request(&bad) {
+            prop_assert_ne!(decoded, req);
+        }
+    }
+
+    /// Frame layer roundtrips arbitrary payloads under the cap.
+    #[test]
+    fn frames_roundtrip(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload, 1024).unwrap();
+        let mut r = Cursor::new(buf);
+        prop_assert_eq!(read_frame(&mut r, 1024).unwrap(), Some(payload));
+        prop_assert!(read_frame(&mut r, 1024).unwrap().is_none());
+    }
+
+    /// Truncating a framed message at any byte yields Truncated (or a
+    /// clean EOF when cut exactly at the frame boundary start).
+    #[test]
+    fn truncated_frames_error_cleanly(payload in proptest::collection::vec(any::<u8>(), 1..128), pos in any::<prop::sample::Index>()) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload, 1024).unwrap();
+        let cut = pos.index(buf.len());
+        let mut r = Cursor::new(&buf[..cut]);
+        match read_frame(&mut r, 1024) {
+            Ok(None) => prop_assert_eq!(cut, 0),
+            Err(NetError::Truncated) => prop_assert!(cut > 0),
+            other => prop_assert!(false, "unexpected result: {:?}", other),
+        }
+    }
+}

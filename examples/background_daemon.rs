@@ -39,6 +39,7 @@ fn main() -> Result<(), Box<dyn Error>> {
             interval: Duration::from_millis(10),
             idle_budget_ns: 1_000_000_000,
             compact_every: 5,
+            ..DaemonConfig::default()
         },
     );
     println!("maintenance daemon running: {}", daemon.is_running());

@@ -31,4 +31,9 @@ run attack_matrix
 echo ">> read_scaling"
 cargo run --release -q -p worm-bench --bin read_scaling > /dev/null
 
+# Writes results/BENCH_net_throughput.json itself: verified reads over
+# the wormnet TCP serving layer at 1/2/4/8 client connections.
+echo ">> net_throughput"
+cargo run --release -q -p worm-bench --bin net_throughput > /dev/null
+
 echo "done; artifacts in results/"

@@ -79,6 +79,7 @@ fn readers_writer_and_daemon_all_verify() {
             interval: Duration::from_millis(2),
             idle_budget_ns: 500_000_000,
             compact_every: 3,
+            ..DaemonConfig::default()
         },
     );
 

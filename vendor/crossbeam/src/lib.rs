@@ -1,9 +1,9 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Provides the `channel` subset this workspace uses (a bounded MPSC
-//! shutdown channel), backed by `std::sync::mpsc::sync_channel`. The
-//! real crate's channels are MPMC; nothing here clones a `Receiver`,
-//! so the std MPSC backing is sufficient.
+//! Provides the `channel` subset this workspace uses: bounded MPMC
+//! channels backed by `std::sync::mpsc::sync_channel` with the
+//! receiving half shared behind a mutex, so `Receiver` is `Clone` like
+//! the real crate's and a worker pool can compete for messages.
 
 #![forbid(unsafe_code)]
 
@@ -11,13 +11,18 @@ pub mod channel {
     //! Bounded channels (std-backed subset).
 
     use std::fmt;
-    use std::sync::mpsc;
+    use std::sync::{mpsc, Arc, Mutex};
     use std::time::Duration;
 
     /// Creates a bounded channel of capacity `cap`.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender { inner: tx }, Receiver { inner: rx })
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
     }
 
     /// The sending half of a bounded channel.
@@ -55,9 +60,19 @@ pub mod channel {
         }
     }
 
-    /// The receiving half of a bounded channel.
+    /// The receiving half of a bounded channel. Cloneable: clones
+    /// compete for messages (each message is delivered once), matching
+    /// the real crate's MPMC semantics.
     pub struct Receiver<T> {
-        inner: mpsc::Receiver<T>,
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: self.inner.clone(),
+            }
+        }
     }
 
     impl<T> fmt::Debug for Receiver<T> {
@@ -67,14 +82,27 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        fn guard(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            // A poisoned mutex means a holder panicked *between* mpsc
+            // calls; the channel itself is still consistent.
+            match self.inner.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            }
+        }
+
         /// Blocks until a message arrives (errors if disconnected).
         pub fn recv(&self) -> Result<T, RecvError> {
-            self.inner.recv().map_err(|_| RecvError)
+            self.guard().recv().map_err(|_| RecvError)
         }
 
         /// Blocks up to `timeout` for a message.
+        ///
+        /// Note: clones contend on one lock, so a waiter can hold the
+        /// lock for up to `timeout` while sibling clones block longer.
+        /// The workspace uses short poll timeouts, where this is fine.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-            self.inner.recv_timeout(timeout).map_err(|e| match e {
+            self.guard().recv_timeout(timeout).map_err(|e| match e {
                 mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
                 mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
             })
@@ -82,7 +110,7 @@ pub mod channel {
 
         /// Returns a pending message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            self.inner.try_recv().map_err(|e| match e {
+            self.guard().try_recv().map_err(|e| match e {
                 mpsc::TryRecvError::Empty => TryRecvError::Empty,
                 mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
             })
