@@ -25,6 +25,15 @@ pub trait Applet {
     /// secure memory budget, and cost metering.
     fn handle(&mut self, env: &mut Env, request: Self::Request) -> Self::Response;
 
+    /// Stable instrumentation label for `request`, used by the device's
+    /// optional trace registry to key per-command counters and latency
+    /// histograms. Firmware images override this to split the generic
+    /// bucket into per-command series (e.g. `"scpu.write"`).
+    fn kind_of(request: &Self::Request) -> &'static str {
+        let _ = request;
+        "scpu.command"
+    }
+
     /// Next scheduled wake-up, if any (e.g., the Retention Monitor's next
     /// expiration time). The device invokes [`Applet::on_alarm`] once the
     /// trusted clock passes this instant.

@@ -116,6 +116,7 @@ pub struct Device<A: Applet> {
     applet: A,
     env: Env,
     tamper: TamperCircuit,
+    trace: Option<Arc<wormtrace::Registry>>,
 }
 
 impl<A: Applet> Device<A> {
@@ -132,6 +133,26 @@ impl<A: Applet> Device<A> {
                 memory: SecureMemory::new(config.secure_memory_bytes),
             },
             tamper: TamperCircuit::new(),
+            trace: None,
+        }
+    }
+
+    /// Attaches a trace registry. Each command, alarm, and idle grant
+    /// then records its **virtual-time** cost (meter `busy_ns` delta)
+    /// into the op named by [`Applet::kind_of`] — deterministic across
+    /// runs, unlike wall-clock latency.
+    pub fn attach_trace(&mut self, trace: Arc<wormtrace::Registry>) {
+        self.trace = Some(trace);
+    }
+
+    fn record_op(&self, kind: &'static str, busy_before: u128, ok: bool) {
+        if let Some(trace) = &self.trace {
+            if trace.enabled() {
+                let delta = self.env.meter.busy_ns().saturating_sub(busy_before);
+                trace
+                    .op(kind)
+                    .record(u64::try_from(delta).unwrap_or(u64::MAX), ok);
+            }
         }
     }
 
@@ -145,10 +166,17 @@ impl<A: Applet> Device<A> {
     /// Returns [`DeviceError::Tampered`] once the tamper response has
     /// fired; the command is not executed.
     pub fn execute(&mut self, request: A::Request) -> Result<A::Response, DeviceError> {
-        self.check_alive()?;
+        let kind = A::kind_of(&request);
+        if let Err(dead) = self.check_alive() {
+            self.record_op(kind, self.env.meter.busy_ns(), false);
+            return Err(dead);
+        }
         self.run_due_alarms();
+        let busy_before = self.env.meter.busy_ns();
         self.env.charge(Op::Command);
-        Ok(self.applet.handle(&mut self.env, request))
+        let response = self.applet.handle(&mut self.env, request);
+        self.record_op(kind, busy_before, true);
+        Ok(response)
     }
 
     /// Runs any due alarms without sending a command (host-side clock tick).
@@ -163,7 +191,9 @@ impl<A: Applet> Device<A> {
     pub fn idle(&mut self, budget_ns: u64) -> Result<(), DeviceError> {
         self.check_alive()?;
         self.run_due_alarms();
+        let busy_before = self.env.meter.busy_ns();
         self.applet.on_idle(&mut self.env, budget_ns);
+        self.record_op("scpu.idle", busy_before, true);
         Ok(())
     }
 
@@ -172,7 +202,11 @@ impl<A: Applet> Device<A> {
         // one expired record per wake-up).
         for _ in 0..1_000_000 {
             match self.applet.next_alarm() {
-                Some(t) if t <= self.env.now() => self.applet.on_alarm(&mut self.env),
+                Some(t) if t <= self.env.now() => {
+                    let busy_before = self.env.meter.busy_ns();
+                    self.applet.on_alarm(&mut self.env);
+                    self.record_op("scpu.alarm", busy_before, true);
+                }
                 _ => break,
             }
         }
@@ -358,6 +392,30 @@ mod tests {
         assert!(d.meter().busy_ns() > 0);
         d.reset_meter();
         assert_eq!(d.meter().busy_ns(), 0);
+    }
+
+    #[test]
+    fn attached_trace_records_virtual_time() {
+        let (mut d, clock) = device();
+        let trace = Arc::new(wormtrace::Registry::new());
+        d.attach_trace(trace.clone());
+        d.execute(Req::Incr).unwrap();
+        d.execute(Req::Get).unwrap();
+        let op_snap = trace.snapshot();
+        let cmd = op_snap.op("scpu.command").expect("scpu.command registered");
+        assert_eq!(cmd.ok, 2);
+        assert_eq!(cmd.err, 0);
+        // Virtual-time cost of Incr (an RSA sign) dominates the sum.
+        assert!(cmd.latency.sum_ns > 0);
+        // Alarms record under their own op name.
+        d.execute(Req::ArmAlarm(Timestamp::from_millis(1))).unwrap();
+        clock.advance(std::time::Duration::from_millis(5));
+        d.tick().unwrap();
+        assert_eq!(trace.snapshot().op("scpu.alarm").unwrap().ok, 1);
+        // Tampered commands count as errors.
+        d.trigger_tamper(TamperCause::Penetration);
+        let _ = d.execute(Req::Get);
+        assert_eq!(trace.snapshot().op("scpu.command").unwrap().err, 1);
     }
 
     #[test]

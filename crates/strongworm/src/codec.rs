@@ -553,6 +553,155 @@ pub fn decode_device_keys(bytes: &[u8]) -> Result<DeviceKeys, WireError> {
     })
 }
 
+/// Sparse histograms never carry more than one entry per bucket.
+const MAX_HISTOGRAM_ENTRIES: usize = wormtrace::NUM_BUCKETS;
+
+/// Decoding cap on instrument-list lengths in a stats snapshot. Far
+/// above anything this stack registers, far below unbounded allocation.
+const MAX_STATS_ENTRIES: usize = 1 << 16;
+
+fn put_histogram(w: &mut WireWriter, h: &wormtrace::HistogramSnapshot) {
+    // Sparse encoding: most ops populate a handful of adjacent log2
+    // buckets, so (index, count) pairs beat 32 fixed u64s on the wire.
+    let nonzero = h.buckets.iter().filter(|&&c| c != 0).count();
+    w.put_u32(nonzero as u32);
+    for (i, &count) in h.buckets.iter().enumerate() {
+        if count != 0 {
+            w.put_u8(i as u8);
+            w.put_u64(count);
+        }
+    }
+    w.put_u64(h.sum_ns);
+}
+
+fn get_histogram(r: &mut WireReader<'_>) -> Result<wormtrace::HistogramSnapshot, WireError> {
+    let n = r.get_u32()? as usize;
+    if n > MAX_HISTOGRAM_ENTRIES {
+        return Err(WireError {
+            expected: "sane histogram entry count",
+        });
+    }
+    let mut h = wormtrace::HistogramSnapshot::default();
+    let mut prev: Option<usize> = None;
+    for _ in 0..n {
+        let idx = r.get_u8()? as usize;
+        // Strictly ascending indices with non-zero counts: every
+        // snapshot has exactly one canonical encoding.
+        if idx >= wormtrace::NUM_BUCKETS || prev.is_some_and(|p| idx <= p) {
+            return Err(WireError {
+                expected: "ascending histogram bucket index",
+            });
+        }
+        let count = r.get_u64()?;
+        if count == 0 {
+            return Err(WireError {
+                expected: "non-zero histogram bucket count",
+            });
+        }
+        h.buckets[idx] = count;
+        prev = Some(idx);
+    }
+    h.sum_ns = r.get_u64()?;
+    Ok(h)
+}
+
+fn check_name_order(prev: &mut Option<String>, name: &str) -> Result<(), WireError> {
+    if prev.as_deref().is_some_and(|p| name <= p) {
+        return Err(WireError {
+            expected: "strictly ascending instrument names",
+        });
+    }
+    *prev = Some(name.to_string());
+    Ok(())
+}
+
+/// Encodes a [`wormtrace::StatsSnapshot`] canonically: equal snapshots
+/// always produce identical bytes (the snapshot's name-sorted order is
+/// preserved verbatim, and histograms encode sparsely).
+pub fn encode_stats_snapshot(s: &wormtrace::StatsSnapshot) -> Vec<u8> {
+    let mut w = WireWriter::tagged("wormtrace.stats.v1");
+    w.put_u32(s.ops.len() as u32);
+    for (name, op) in &s.ops {
+        w.put_str(name);
+        w.put_u64(op.ok);
+        w.put_u64(op.err);
+        put_histogram(&mut w, &op.latency);
+    }
+    w.put_u32(s.counters.len() as u32);
+    for (name, v) in &s.counters {
+        w.put_str(name);
+        w.put_u64(*v);
+    }
+    w.put_u32(s.gauges.len() as u32);
+    for (name, v) in &s.gauges {
+        w.put_str(name);
+        w.put_u64(*v);
+    }
+    w.put_u64(s.events_dropped);
+    w.finish()
+}
+
+/// Decodes a stats snapshot, enforcing the canonical form: bounded
+/// entry counts, strictly ascending names per section, ascending sparse
+/// histogram buckets, and no trailing bytes.
+///
+/// # Errors
+///
+/// [`WireError`] on any truncation, oversized count, or ordering
+/// violation — never a panic and never an unbounded allocation.
+pub fn decode_stats_snapshot(bytes: &[u8]) -> Result<wormtrace::StatsSnapshot, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "wormtrace.stats.v1" {
+        return Err(WireError {
+            expected: "stats snapshot tag",
+        });
+    }
+    let mut s = wormtrace::StatsSnapshot::default();
+    let n_ops = r.get_u32()? as usize;
+    if n_ops > MAX_STATS_ENTRIES {
+        return Err(WireError {
+            expected: "sane op count",
+        });
+    }
+    let mut prev = None;
+    for _ in 0..n_ops {
+        let name = r.get_str()?.to_string();
+        check_name_order(&mut prev, &name)?;
+        let ok = r.get_u64()?;
+        let err = r.get_u64()?;
+        let latency = get_histogram(&mut r)?;
+        s.ops
+            .push((name, wormtrace::OpSnapshot { ok, err, latency }));
+    }
+    let n_counters = r.get_u32()? as usize;
+    if n_counters > MAX_STATS_ENTRIES {
+        return Err(WireError {
+            expected: "sane counter count",
+        });
+    }
+    let mut prev = None;
+    for _ in 0..n_counters {
+        let name = r.get_str()?.to_string();
+        check_name_order(&mut prev, &name)?;
+        s.counters.push((name, r.get_u64()?));
+    }
+    let n_gauges = r.get_u32()? as usize;
+    if n_gauges > MAX_STATS_ENTRIES {
+        return Err(WireError {
+            expected: "sane gauge count",
+        });
+    }
+    let mut prev = None;
+    for _ in 0..n_gauges {
+        let name = r.get_str()?.to_string();
+        check_name_order(&mut prev, &name)?;
+        s.gauges.push((name, r.get_u64()?));
+    }
+    s.events_dropped = r.get_u64()?;
+    r.expect_end()?;
+    Ok(s)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -797,5 +946,35 @@ mod tests {
         };
         // A deletion proof cannot decode as a window proof.
         assert!(decode_window_proof(&encode_deletion_proof(&p)).is_err());
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrip_and_canonical_form() {
+        let reg = wormtrace::Registry::new();
+        reg.op("server.read").record(1234, true);
+        reg.op("server.read").record(0, false);
+        reg.op("server.write").record(987_654, true);
+        reg.counter("net.frames_in").add(41);
+        reg.gauge("net.queue_depth").set(3);
+        let snap = reg.snapshot();
+
+        let enc = encode_stats_snapshot(&snap);
+        assert_eq!(decode_stats_snapshot(&enc).unwrap(), snap);
+        // Canonical: equal snapshots encode to identical bytes.
+        assert_eq!(enc, encode_stats_snapshot(&reg.snapshot()));
+        // Truncations and garbage error rather than panic.
+        for cut in 0..enc.len() {
+            assert!(decode_stats_snapshot(&enc[..cut]).is_err());
+        }
+        assert!(decode_stats_snapshot(b"garbage").is_err());
+        // Trailing bytes are rejected.
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert!(decode_stats_snapshot(&padded).is_err());
+        // Out-of-order instrument names are rejected.
+        let mut unsorted = snap.clone();
+        unsorted.counters.push(("aaa".into(), 1));
+        let bad = encode_stats_snapshot(&unsorted);
+        assert!(decode_stats_snapshot(&bad).is_err());
     }
 }

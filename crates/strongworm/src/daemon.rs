@@ -92,6 +92,11 @@ impl RetentionDaemon {
         let (shutdown, rx) = bounded::<()>(1);
         let status = Arc::new(DaemonStatus::default());
         let thread_status = Arc::clone(&status);
+        // Trace instruments, resolved once before the loop starts.
+        let trace = Arc::clone(server.trace());
+        let pass_op = trace.op("daemon.pass");
+        let backoff_gauge = trace.gauge("daemon.backoff_ms");
+        let failures_gauge = trace.gauge("daemon.consecutive_failures");
         let handle = std::thread::Builder::new()
             .name("worm-retention-daemon".into())
             .spawn(move || -> Result<(), WormError> {
@@ -105,8 +110,10 @@ impl RetentionDaemon {
                         return Ok(());
                     }
                     pass = pass.wrapping_add(1);
+                    let timer = trace.timer();
                     let result = Self::run_pass(&server, &config, pass);
                     thread_status.passes.fetch_add(1, Ordering::Relaxed);
+                    pass_op.finish(timer, result.is_ok());
                     match result {
                         Ok(()) => {
                             thread_status
@@ -121,9 +128,19 @@ impl RetentionDaemon {
                                 + 1;
                             thread_status.total_failures.fetch_add(1, Ordering::Relaxed);
                             *thread_status.last_error.lock() = Some(e.to_string());
+                            // Failed passes are rare and diagnostic gold:
+                            // always ring them.
+                            trace.emit(wormtrace::TraceEvent {
+                                op: "daemon.pass",
+                                plane: wormtrace::Plane::Daemon,
+                                sn: None,
+                                duration_ns: 0,
+                                ok: false,
+                            });
                             if config.max_consecutive_failures != 0
                                 && streak >= config.max_consecutive_failures
                             {
+                                failures_gauge.set(streak as u64);
                                 return Err(e);
                             }
                             // Bounded exponential backoff: double the
@@ -131,6 +148,9 @@ impl RetentionDaemon {
                             backoff = (backoff * 2).min(config.max_backoff.max(config.interval));
                         }
                     }
+                    backoff_gauge.set(backoff.as_millis() as u64);
+                    failures_gauge
+                        .set(thread_status.consecutive_failures.load(Ordering::Relaxed) as u64);
                 }
             })
             .expect("daemon thread spawns");

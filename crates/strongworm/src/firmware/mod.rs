@@ -408,6 +408,22 @@ impl Applet for WormFirmware {
         self.dispatch(env, request)
     }
 
+    fn kind_of(request: &WormRequest) -> &'static str {
+        match request {
+            WormRequest::Init { .. } => "scpu.init",
+            WormRequest::GetKeys => "scpu.get_keys",
+            WormRequest::Write { .. } => "scpu.write",
+            WormRequest::RefreshHead => "scpu.refresh_head",
+            WormRequest::RefreshBase => "scpu.refresh_base",
+            WormRequest::CompactWindow { .. } => "scpu.compact_window",
+            WormRequest::LitHold { .. } => "scpu.lit_hold",
+            WormRequest::LitRelease { .. } => "scpu.lit_release",
+            WormRequest::SyncVexpFromAttr { .. } | WormRequest::SyncVexp { .. } => "scpu.sync_vexp",
+            WormRequest::AuditData { .. } => "scpu.audit",
+            WormRequest::DrainOutbox => "scpu.drain_outbox",
+        }
+    }
+
     fn next_alarm(&self) -> Option<Timestamp> {
         let rm = self.vexp.next_wakeup();
         let head = self

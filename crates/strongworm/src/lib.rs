@@ -90,3 +90,4 @@ pub use proofs::{DeletionEvidence, ReadOutcome};
 pub use server::{ReadPlane, WitnessPlane, WormServer};
 pub use sn::SerialNumber;
 pub use vrd::Vrd;
+pub use vrdt::RecoveryStats;

@@ -54,6 +54,36 @@ pub struct WormServer<D: BlockDevice = MemDisk> {
     keys: DeviceKeys,
     read_plane: ReadPlane<D>,
     witness: Mutex<WitnessPlane<D>>,
+    trace: Arc<wormtrace::Registry>,
+    ops: ServerOps,
+}
+
+/// Facade-level instrument handles, resolved once at assembly so the
+/// hot read path records through pure atomics (no registry lookups).
+struct ServerOps {
+    read: Arc<wormtrace::OpStats>,
+    read_slow_path: Arc<wormtrace::Counter>,
+    write: Arc<wormtrace::OpStats>,
+    lit_hold: Arc<wormtrace::OpStats>,
+    lit_release: Arc<wormtrace::OpStats>,
+    tick: Arc<wormtrace::OpStats>,
+    idle: Arc<wormtrace::OpStats>,
+    compact: Arc<wormtrace::OpStats>,
+}
+
+impl ServerOps {
+    fn new(trace: &wormtrace::Registry) -> Self {
+        ServerOps {
+            read: trace.op("server.read"),
+            read_slow_path: trace.counter("server.read_slow_path"),
+            write: trace.op("server.write"),
+            lit_hold: trace.op("server.lit_hold"),
+            lit_release: trace.op("server.lit_release"),
+            tick: trace.op("server.tick"),
+            idle: trace.op("server.idle"),
+            compact: trace.op("server.compact"),
+        }
+    }
 }
 
 impl WormServer<MemDisk> {
@@ -115,16 +145,27 @@ impl<D: BlockDevice> WormServer<D> {
         Ok(server)
     }
 
-    /// Wires the two planes around the shared VRDT and store.
+    /// Wires the two planes around the shared VRDT and store, and
+    /// creates the server's trace registry (attached to the device so
+    /// SCPU commands record their virtual-time cost alongside the host
+    /// planes' wall-clock timings).
     fn assemble(
         vrdt: Vrdt,
         store: RecordStore<D>,
-        device: Device<WormFirmware>,
+        mut device: Device<WormFirmware>,
         keys: DeviceKeys,
         config: WormConfig,
         clock: Arc<dyn Clock>,
         rng_seed: u64,
     ) -> Self {
+        let trace = Arc::new(wormtrace::Registry::new());
+        device.attach_trace(Arc::clone(&trace));
+        let recovery = vrdt.recovery_stats();
+        trace.counter("recovery.replayed").add(recovery.replayed);
+        trace
+            .counter("recovery.torn_tail")
+            .add(u64::from(recovery.torn_tail));
+        let ops = ServerOps::new(&trace);
         let vrdt = Arc::new(RwLock::new(vrdt));
         let store = Arc::new(store);
         let read_plane = ReadPlane::new(
@@ -141,11 +182,49 @@ impl<D: BlockDevice> WormServer<D> {
             store,
             keys.weak_cert.clone(),
             rng_seed,
+            &trace,
         );
         WormServer {
             keys,
             read_plane,
             witness: Mutex::new(witness),
+            trace,
+            ops,
+        }
+    }
+
+    /// The server's trace registry: per-op latency histograms and
+    /// outcome counters, subsystem counters/gauges, and the structured
+    /// event ring. Handed to the retention daemon and network layer so
+    /// the whole stack reports into one snapshot.
+    pub fn trace(&self) -> &Arc<wormtrace::Registry> {
+        &self.trace
+    }
+
+    /// A point-in-time, name-sorted copy of every instrument (what the
+    /// network layer serves for `Stats` requests).
+    pub fn stats_snapshot(&self) -> wormtrace::StatsSnapshot {
+        self.trace.snapshot()
+    }
+
+    /// Records a completed witness-plane operation and emits its trace
+    /// event (witness-path ops are low-rate, so every one is ringed).
+    fn finish_witnessed(
+        &self,
+        op: &wormtrace::OpStats,
+        name: &'static str,
+        timer: wormtrace::OpTimer,
+        sn: Option<u64>,
+        ok: bool,
+    ) {
+        if let Some((ns, _)) = op.finish(timer, ok) {
+            self.trace.emit(wormtrace::TraceEvent {
+                op: name,
+                plane: wormtrace::Plane::Witness,
+                sn,
+                duration_ns: ns,
+                ok,
+            });
         }
     }
 
@@ -280,9 +359,24 @@ impl<D: BlockDevice> WormServer<D> {
         records: &[&[u8]],
         policy: RetentionPolicy,
     ) -> Result<SerialNumber, WormError> {
-        let mut w = self.witness.lock();
-        let witness = w.config.default_witness;
-        w.write_inner(records, policy, 0, witness, false)
+        let timer = self.trace.timer();
+        let result = {
+            let mut w = self.witness.lock();
+            let witness = w.config.default_witness;
+            w.write_inner(records, policy, 0, witness, false)
+        };
+        self.finish_write(timer, &result);
+        result
+    }
+
+    fn finish_write(&self, timer: wormtrace::OpTimer, result: &Result<SerialNumber, WormError>) {
+        self.finish_witnessed(
+            &self.ops.write,
+            "server.write",
+            timer,
+            result.as_ref().ok().map(|sn| sn.0),
+            result.is_ok(),
+        );
     }
 
     /// Writes with an explicit witness tier and flag bits (§4.2.2 Write,
@@ -298,9 +392,13 @@ impl<D: BlockDevice> WormServer<D> {
         flags: u32,
         witness: WitnessMode,
     ) -> Result<SerialNumber, WormError> {
-        self.witness
+        let timer = self.trace.timer();
+        let result = self
+            .witness
             .lock()
-            .write_inner(records, policy, flags, witness, false)
+            .write_inner(records, policy, flags, witness, false);
+        self.finish_write(timer, &result);
+        result
     }
 
     /// Writes a VR whose records are deduplicated against previously
@@ -317,9 +415,14 @@ impl<D: BlockDevice> WormServer<D> {
         records: &[&[u8]],
         policy: RetentionPolicy,
     ) -> Result<SerialNumber, WormError> {
-        let mut w = self.witness.lock();
-        let witness = w.config.default_witness;
-        w.write_inner(records, policy, 0, witness, true)
+        let timer = self.trace.timer();
+        let result = {
+            let mut w = self.witness.lock();
+            let witness = w.config.default_witness;
+            w.write_inner(records, policy, 0, witness, true)
+        };
+        self.finish_write(timer, &result);
+        result
     }
 
     /// Reads a record by serial number — main-CPU cycles only (§4.2.2),
@@ -335,14 +438,35 @@ impl<D: BlockDevice> WormServer<D> {
     /// Device failures (only on lazy freshness refresh), store failures,
     /// or an internally inconsistent VRDT.
     pub fn read(&self, sn: SerialNumber) -> Result<ReadOutcome, WormError> {
+        let timer = self.trace.timer();
+        let result = self.read_inner(sn);
+        if let Some((ns, prior)) = self.ops.read.finish(timer, result.is_ok()) {
+            // Counters and the histogram are exact; only the ring event
+            // is sampled, keeping the mutex push off most reads.
+            if prior % wormtrace::READ_EVENT_SAMPLE == 0 || result.is_err() {
+                self.trace.emit(wormtrace::TraceEvent {
+                    op: "server.read",
+                    plane: wormtrace::Plane::Read,
+                    sn: Some(sn.0),
+                    duration_ns: ns,
+                    ok: result.is_ok(),
+                });
+            }
+        }
+        result
+    }
+
+    fn read_inner(&self, sn: SerialNumber) -> Result<ReadOutcome, WormError> {
         if self.read_plane.head_stale() {
             // Serialize only the refresh; the staleness re-check inside
             // collapses racing readers into one device round-trip.
+            self.ops.read_slow_path.inc();
             self.witness.lock().ensure_fresh_head()?;
         }
         match self.read_plane.read(sn)? {
             ReadStep::Done(outcome) => Ok(outcome),
             ReadStep::NeedFreshBase { head } => {
+                self.ops.read_slow_path.inc();
                 let base = self.witness.lock().ensure_fresh_base()?;
                 Ok(ReadOutcome::Deleted {
                     evidence: DeletionEvidence::BelowBase(base),
@@ -377,7 +501,17 @@ impl<D: BlockDevice> WormServer<D> {
     /// [`WormError::NotActive`] if the record is not live; firmware
     /// rejections for bad credentials.
     pub fn lit_hold(&self, credential: crate::authority::HoldCredential) -> Result<(), WormError> {
-        self.witness.lock().lit_hold(credential)
+        let sn = credential.sn.0;
+        let timer = self.trace.timer();
+        let result = self.witness.lock().lit_hold(credential);
+        self.finish_witnessed(
+            &self.ops.lit_hold,
+            "server.lit_hold",
+            timer,
+            Some(sn),
+            result.is_ok(),
+        );
+        result
     }
 
     /// Releases a litigation hold (§4.2.2).
@@ -390,7 +524,17 @@ impl<D: BlockDevice> WormServer<D> {
         &self,
         credential: crate::authority::ReleaseCredential,
     ) -> Result<(), WormError> {
-        self.witness.lock().lit_release(credential)
+        let sn = credential.sn.0;
+        let timer = self.trace.timer();
+        let result = self.witness.lock().lit_release(credential);
+        self.finish_witnessed(
+            &self.ops.lit_release,
+            "server.lit_release",
+            timer,
+            Some(sn),
+            result.is_ok(),
+        );
+        result
     }
 
     /// Drives due device alarms (Retention Monitor wake-ups, head
@@ -400,7 +544,10 @@ impl<D: BlockDevice> WormServer<D> {
     ///
     /// Device or store failures.
     pub fn tick(&self) -> Result<(), WormError> {
-        self.witness.lock().tick()
+        let timer = self.trace.timer();
+        let result = self.witness.lock().tick();
+        self.finish_witnessed(&self.ops.tick, "server.tick", timer, None, result.is_ok());
+        result
     }
 
     /// Grants the SCPU an idle budget (virtual nanoseconds) for deferred
@@ -411,7 +558,10 @@ impl<D: BlockDevice> WormServer<D> {
     ///
     /// Device or store failures.
     pub fn idle(&self, budget_ns: u64) -> Result<(), WormError> {
-        self.witness.lock().idle(budget_ns)
+        let timer = self.trace.timer();
+        let result = self.witness.lock().idle(budget_ns);
+        self.finish_witnessed(&self.ops.idle, "server.idle", timer, None, result.is_ok());
+        result
     }
 
     /// Compacts every eligible contiguous run of expired entries into
@@ -422,7 +572,16 @@ impl<D: BlockDevice> WormServer<D> {
     ///
     /// Device or firmware failures.
     pub fn compact(&self) -> Result<usize, WormError> {
-        self.witness.lock().compact()
+        let timer = self.trace.timer();
+        let result = self.witness.lock().compact();
+        self.finish_witnessed(
+            &self.ops.compact,
+            "server.compact",
+            timer,
+            None,
+            result.is_ok(),
+        );
+        result
     }
 
     /// Verifies the chain hash of a record against host state (utility

@@ -44,6 +44,28 @@ struct SpilledVexp {
     seal: Vec<u8>,
 }
 
+/// Witness-plane instrument handles, resolved once at construction so
+/// the outbox-drain loop records through pure atomics.
+struct WitnessStats {
+    deletion_proofs: Arc<wormtrace::Counter>,
+    strengthened: Arc<wormtrace::Counter>,
+    audit_failures: Arc<wormtrace::Counter>,
+    weak_key_rotations: Arc<wormtrace::Counter>,
+    spilled_vexp: Arc<wormtrace::Gauge>,
+}
+
+impl WitnessStats {
+    fn new(trace: &wormtrace::Registry) -> Self {
+        WitnessStats {
+            deletion_proofs: trace.counter("witness.deletion_proof"),
+            strengthened: trace.counter("witness.strengthened"),
+            audit_failures: trace.counter("witness.audit_failure"),
+            weak_key_rotations: trace.counter("witness.weak_key_rotation"),
+            spilled_vexp: trace.gauge("witness.spilled_vexp"),
+        }
+    }
+}
+
 /// The mutating half of the server: owns the SCPU device and all
 /// update-path bookkeeping; shares the VRDT and store with the read
 /// plane (see module docs).
@@ -77,9 +99,14 @@ pub struct WitnessPlane<D: BlockDevice> {
     /// Records whose expiration scheduling must be retried (crash
     /// recovery with exhausted secure memory).
     resync: Vec<SerialNumber>,
+    /// Trace instrument handles (see [`WitnessStats`]).
+    stats: WitnessStats,
 }
 
 impl<D: BlockDevice> WitnessPlane<D> {
+    // One-time assembly wiring: every argument is a distinct shared
+    // handle, and bundling them into a struct would just move the list.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         config: WormConfig,
         clock: Arc<dyn Clock>,
@@ -88,6 +115,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
         store: Arc<RecordStore<D>>,
         initial_weak_cert: WeakKeyCert,
         rng_seed: u64,
+        trace: &wormtrace::Registry,
     ) -> Self {
         WitnessPlane {
             config,
@@ -106,6 +134,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
             record_hashes: HashMap::new(),
             refcounts: HashMap::new(),
             resync: Vec::new(),
+            stats: WitnessStats::new(trace),
         }
     }
 
@@ -251,6 +280,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
                 shredder: policy.shredder,
                 seal,
             });
+            self.stats.spilled_vexp.set(self.spilled.len() as u64);
         }
         if self.config.hash_mode == HashMode::TrustHostHash {
             self.unaudited.insert(receipt.sn);
@@ -394,6 +424,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
             }
         }
         self.spilled = remaining;
+        self.stats.spilled_vexp.set(self.spilled.len() as u64);
         // Retry crash-recovery expiration re-arming that previously hit
         // exhausted secure memory.
         let mut still_pending = Vec::new();
@@ -510,8 +541,10 @@ impl<D: BlockDevice> WitnessPlane<D> {
                     for rd in &to_shred {
                         self.store.shred(rd, shredder, &mut self.rng)?;
                     }
+                    self.stats.deletion_proofs.inc();
                 }
                 OutboxItem::Strengthened { sn, field, witness } => {
+                    self.stats.strengthened.inc();
                     let mut vrdt = self.vrdt.write();
                     let updated = match vrdt.lookup(sn) {
                         Lookup::Active(v) => {
@@ -530,8 +563,14 @@ impl<D: BlockDevice> WitnessPlane<D> {
                 }
                 OutboxItem::NewBase(b) => self.vrdt.write().set_base(b),
                 OutboxItem::NewHead(h) => self.vrdt.write().set_head(h),
-                OutboxItem::NewWeakKey(cert) => self.weak_certs.push(cert),
-                OutboxItem::AuditFailure { sn } => self.audit_failures.push(sn),
+                OutboxItem::NewWeakKey(cert) => {
+                    self.stats.weak_key_rotations.inc();
+                    self.weak_certs.push(cert);
+                }
+                OutboxItem::AuditFailure { sn } => {
+                    self.stats.audit_failures.inc();
+                    self.audit_failures.push(sn);
+                }
             }
         }
         Ok(())

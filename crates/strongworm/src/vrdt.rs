@@ -55,6 +55,18 @@ const OP_HEAD: u8 = 4;
 const OP_BASE: u8 = 5;
 const OP_REPLACE: u8 = 6;
 
+/// What [`Vrdt::recover`] observed while replaying a journal. Published
+/// as the `recovery.replayed` / `recovery.torn_tail` counters in the
+/// server's trace registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Valid journal frames replayed into the table.
+    pub replayed: u64,
+    /// Whether the log ended in a torn or corrupt tail that replay
+    /// discarded (the expected signature of a mid-append crash).
+    pub torn_tail: bool,
+}
+
 /// The host-side table of virtual record descriptors.
 ///
 /// Invariant: `windows` holds *disjoint* intervals (an honest server only
@@ -69,6 +81,7 @@ pub struct Vrdt {
     head: Option<HeadCert>,
     base: Option<BaseCert>,
     journal: Journal,
+    recovery: RecoveryStats,
 }
 
 impl Vrdt {
@@ -88,7 +101,12 @@ impl Vrdt {
     /// crash).
     pub fn recover(journal: Journal) -> Result<Self, WireError> {
         let mut t = Vrdt::new();
-        let frames: Vec<Vec<u8>> = journal.replay().collect();
+        let mut replay = journal.replay();
+        let frames: Vec<Vec<u8>> = replay.by_ref().collect();
+        t.recovery = RecoveryStats {
+            replayed: frames.len() as u64,
+            torn_tail: replay.consumed_bytes() < journal.len_bytes(),
+        };
         for frame in frames {
             let (&op, payload) = frame.split_first().ok_or(WireError {
                 expected: "journal opcode",
@@ -131,6 +149,12 @@ impl Vrdt {
     /// The underlying journal bytes (what a real host would persist).
     pub fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    /// What the most recent [`Vrdt::recover`] observed (all-zero for a
+    /// table that was never recovered).
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.recovery
     }
 
     fn log(&mut self, op: u8, payload: &[u8]) {

@@ -18,6 +18,7 @@ use strongworm::vrd::Vrd;
 use strongworm::witness::{Signature, Witness};
 use strongworm::SerialNumber;
 use wormstore::{RecordDescriptor, RecordId, Shredder};
+use wormtrace::{HistogramSnapshot, OpSnapshot, StatsSnapshot, NUM_BUCKETS};
 
 fn arb_sig() -> impl Strategy<Value = Signature> {
     (
@@ -138,6 +139,51 @@ fn arb_evidence() -> impl Strategy<Value = DeletionEvidence> {
                 })
             }),
     ]
+}
+
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (
+        proptest::collection::vec(any::<u64>(), NUM_BUCKETS),
+        any::<u64>(),
+    )
+        .prop_map(|(v, sum_ns)| {
+            let mut buckets = [0u64; NUM_BUCKETS];
+            buckets.copy_from_slice(&v);
+            HistogramSnapshot { buckets, sum_ns }
+        })
+}
+
+/// Sorted, deduplicated name lists — the canonical form the codec
+/// demands of a snapshot's instrument sections.
+fn arb_instrument_names(max: usize) -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[a-z.]{1,12}", 0..max).prop_map(|mut v| {
+        v.sort();
+        v.dedup();
+        v
+    })
+}
+
+fn arb_stats() -> impl Strategy<Value = StatsSnapshot> {
+    (
+        arb_instrument_names(4),
+        arb_instrument_names(4),
+        arb_instrument_names(4),
+        proptest::collection::vec((any::<u64>(), any::<u64>(), arb_histogram()), 4),
+        proptest::collection::vec(any::<u64>(), 4),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(op_names, counter_names, gauge_names, ops, vals, events_dropped)| StatsSnapshot {
+                ops: op_names
+                    .into_iter()
+                    .zip(ops)
+                    .map(|(n, (ok, err, latency))| (n, OpSnapshot { ok, err, latency }))
+                    .collect(),
+                counters: counter_names.into_iter().zip(vals.clone()).collect(),
+                gauges: gauge_names.into_iter().zip(vals).collect(),
+                events_dropped,
+            },
+        )
 }
 
 fn arb_outcome() -> impl Strategy<Value = ReadOutcome> {
@@ -301,6 +347,48 @@ proptest! {
     }
 
     #[test]
+    fn stats_snapshot_roundtrip_holds(stats in arb_stats()) {
+        let enc = codec::encode_stats_snapshot(&stats);
+        prop_assert_eq!(codec::decode_stats_snapshot(&enc).unwrap(), stats);
+    }
+
+    #[test]
+    fn stats_snapshot_truncation_always_rejected(stats in arb_stats(), cut in any::<prop::sample::Index>()) {
+        let enc = codec::encode_stats_snapshot(&stats);
+        let keep = cut.index(enc.len()); // strictly shorter than enc
+        prop_assert!(
+            codec::decode_stats_snapshot(&enc[..keep]).is_err(),
+            "every field is mandatory, so any prefix must fail"
+        );
+    }
+
+    #[test]
+    fn stats_snapshot_oversized_frame_rejected(stats in arb_stats(), extra in 1usize..16) {
+        // Trailing bytes past the canonical encoding are an error, not
+        // ignored padding — expect_end guards frame-splicing tricks.
+        let mut enc = codec::encode_stats_snapshot(&stats);
+        enc.extend(vec![0u8; extra]);
+        prop_assert!(codec::decode_stats_snapshot(&enc).is_err());
+    }
+
+    #[test]
+    fn stats_snapshot_mutations_never_alias(stats in arb_stats(), pos in any::<prop::sample::Index>(), flip in 1u8..=255) {
+        let enc = codec::encode_stats_snapshot(&stats);
+        let mut mutated = enc.clone();
+        let i = pos.index(mutated.len());
+        mutated[i] ^= flip;
+        match codec::decode_stats_snapshot(&mutated) {
+            Err(_) => {}
+            Ok(other) => prop_assert_ne!(other, stats, "mutation at byte {} aliased", i),
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = codec::decode_stats_snapshot(&bytes);
+    }
+
+    #[test]
     fn cross_type_decoding_always_fails(
         sn in any::<u64>(),
         t in any::<u64>(),
@@ -317,5 +405,17 @@ proptest! {
         prop_assert!(codec::decode_base_cert(&enc).is_err());
         prop_assert!(codec::decode_window_proof(&enc).is_err());
         prop_assert!(codec::decode_vrd(&enc).is_err());
+        prop_assert!(codec::decode_stats_snapshot(&enc).is_err());
     }
+}
+
+#[test]
+fn stats_snapshot_count_bomb_rejected() {
+    // A forged section count far beyond the decode cap must be rejected
+    // up front — not drive an unbounded allocation loop.
+    let enc = codec::encode_stats_snapshot(&StatsSnapshot::default());
+    let ops_count_at = 4 + "wormtrace.stats.v1".len();
+    let mut bomb = enc;
+    bomb[ops_count_at..ops_count_at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+    assert!(codec::decode_stats_snapshot(&bomb).is_err());
 }

@@ -191,6 +191,22 @@ impl RemoteWormClient {
         }
     }
 
+    /// Polls the server's observability snapshot: every registered
+    /// counter, gauge, and per-op latency histogram, frozen at one
+    /// instant. Stats are diagnostic only — nothing in the snapshot is
+    /// signed, so it is *not* compliance evidence; use verified reads
+    /// for that.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn stats(&mut self) -> Result<wormtrace::StatsSnapshot, NetError> {
+        match self.call(&NetRequest::Stats)? {
+            NetResponse::Stats(snapshot) => Ok(snapshot),
+            _ => Err(NetError::Protocol("expected Stats response")),
+        }
+    }
+
     /// Fetches the device's published keys and all weak-key
     /// certificates. The bytes are untrusted until validated against
     /// CA-issued certificates (see

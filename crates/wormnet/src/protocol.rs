@@ -13,8 +13,8 @@ use bytes::Bytes;
 use strongworm::authority::{HoldCredential, ReleaseCredential};
 use strongworm::codec::{
     decode_device_keys, decode_hold_credential, decode_read_outcome, decode_release_credential,
-    decode_weak_key_cert, encode_device_keys, encode_hold_credential, encode_read_outcome,
-    encode_release_credential, encode_weak_key_cert,
+    decode_stats_snapshot, decode_weak_key_cert, encode_device_keys, encode_hold_credential,
+    encode_read_outcome, encode_release_credential, encode_stats_snapshot, encode_weak_key_cert,
 };
 use strongworm::firmware::{DeviceKeys, WeakKeyCert};
 use strongworm::wire::{WireError, WireReader, WireWriter};
@@ -73,6 +73,11 @@ pub enum NetRequest {
     /// bootstrapping a [`strongworm::Verifier`]. The bytes are
     /// untrusted until validated against CA certificates.
     GetKeys,
+    /// Fetch a point-in-time snapshot of the server's trace registry:
+    /// per-op latency histograms, outcome counters, and subsystem
+    /// gauges. Observability only — nothing in it is signed, so it is
+    /// diagnostic data, not compliance evidence.
+    Stats,
 }
 
 /// A server response.
@@ -106,6 +111,11 @@ pub enum NetResponse {
         /// may be signed under rotated-out keys).
         weak_certs: Vec<WeakKeyCert>,
     },
+    /// A stats snapshot, in its canonical encoding.
+    Stats(
+        /// Every instrument registered server-side, name-sorted.
+        wormtrace::StatsSnapshot,
+    ),
 }
 
 /// Maps a server-side error to a stable numeric class for the wire.
@@ -220,6 +230,9 @@ pub fn encode_request(req: &NetRequest) -> Vec<u8> {
         NetRequest::GetKeys => {
             w.put_u8(7);
         }
+        NetRequest::Stats => {
+            w.put_u8(8);
+        }
     }
     w.finish()
 }
@@ -269,6 +282,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<NetRequest, WireError> {
         5 => NetRequest::LitRelease(decode_release_credential(r.get_bytes()?)?),
         6 => NetRequest::Tick,
         7 => NetRequest::GetKeys,
+        8 => NetRequest::Stats,
         _ => {
             return Err(WireError {
                 expected: "request opcode",
@@ -306,6 +320,10 @@ pub fn encode_response(resp: &NetResponse) -> Vec<u8> {
             for cert in weak_certs {
                 w.put_bytes(&encode_weak_key_cert(cert));
             }
+        }
+        NetResponse::Stats(snapshot) => {
+            w.put_u8(5);
+            w.put_bytes(&encode_stats_snapshot(snapshot));
         }
     }
     w.finish()
@@ -348,6 +366,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<NetResponse, WireError> {
             }
             NetResponse::Keys { keys, weak_certs }
         }
+        5 => NetResponse::Stats(decode_stats_snapshot(r.get_bytes()?)?),
         _ => {
             return Err(WireError {
                 expected: "response discriminant",
@@ -404,6 +423,7 @@ mod tests {
             }),
             NetRequest::Tick,
             NetRequest::GetKeys,
+            NetRequest::Stats,
         ];
         for req in reqs {
             let enc = encode_request(&req);
@@ -433,6 +453,22 @@ mod tests {
         assert!(decode_response(&w.finish()).is_err());
         assert!(decode_request(b"").is_err());
         assert!(decode_response(b"").is_err());
+    }
+
+    #[test]
+    fn stats_response_roundtrips() {
+        let reg = wormtrace::Registry::new();
+        reg.op("server.read").record(512, true);
+        reg.counter("net.frames_in").add(7);
+        let enc = encode_response(&NetResponse::Stats(reg.snapshot()));
+        match decode_response(&enc).unwrap() {
+            NetResponse::Stats(s) => {
+                assert_eq!(s, reg.snapshot());
+                assert_eq!(s.counter("net.frames_in"), 7);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(decode_response(&enc[..enc.len() - 1]).is_err());
     }
 
     #[test]

@@ -57,6 +57,55 @@ impl Default for NetServerConfig {
 /// How often blocked loops re-check the shutdown flag.
 const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
 
+/// Frame header size added to payload length for byte accounting.
+const FRAME_HEADER_BYTES: u64 = 4;
+
+/// Net-layer instrument handles into the fronted server's trace
+/// registry, resolved once at bind so per-frame accounting is pure
+/// atomics.
+#[derive(Clone)]
+struct NetStats {
+    trace: Arc<wormtrace::Registry>,
+    request: Arc<wormtrace::OpStats>,
+    conn_accepted: Arc<wormtrace::Counter>,
+    conn_shed: Arc<wormtrace::Counter>,
+    frames_in: Arc<wormtrace::Counter>,
+    frames_out: Arc<wormtrace::Counter>,
+    bytes_in: Arc<wormtrace::Counter>,
+    bytes_out: Arc<wormtrace::Counter>,
+    timeouts: Arc<wormtrace::Counter>,
+    queue_depth: Arc<wormtrace::Gauge>,
+}
+
+impl NetStats {
+    fn new(trace: Arc<wormtrace::Registry>) -> Self {
+        NetStats {
+            request: trace.op("net.request"),
+            conn_accepted: trace.counter("net.conn_accepted"),
+            conn_shed: trace.counter("net.conn_shed"),
+            frames_in: trace.counter("net.frames_in"),
+            frames_out: trace.counter("net.frames_out"),
+            bytes_in: trace.counter("net.bytes_in"),
+            bytes_out: trace.counter("net.bytes_out"),
+            timeouts: trace.counter("net.timeouts"),
+            queue_depth: trace.gauge("net.queue_depth"),
+            trace,
+        }
+    }
+
+    /// Counts a socket-level read failure, classifying timeouts.
+    fn note_read_error(&self, e: &NetError) {
+        if let NetError::Io(io) = e {
+            if matches!(
+                io.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                self.timeouts.inc();
+            }
+        }
+    }
+}
+
 /// A running network front-end. Dropping the handle leaks the threads;
 /// call [`NetServer::shutdown`] for a graceful stop.
 pub struct NetServer {
@@ -88,6 +137,7 @@ impl NetServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
+        let stats = NetStats::new(Arc::clone(server.trace()));
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_depth);
 
         let workers = (0..config.workers.max(1))
@@ -96,13 +146,16 @@ impl NetServer {
                 let stop = stop.clone();
                 let server = server.clone();
                 let served = served.clone();
-                std::thread::spawn(move || worker_loop(&rx, &stop, &server, &served, config))
+                let stats = stats.clone();
+                std::thread::spawn(move || {
+                    worker_loop(&rx, &stop, &server, &served, &stats, config)
+                })
             })
             .collect();
 
         let acceptor = {
             let stop = stop.clone();
-            std::thread::spawn(move || accept_loop(&listener, &tx, &stop))
+            std::thread::spawn(move || accept_loop(&listener, &tx, &stop, &stats))
         };
 
         Ok(NetServer {
@@ -138,17 +191,25 @@ impl NetServer {
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &Sender<TcpStream>, stop: &AtomicBool) {
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &Sender<TcpStream>,
+    stop: &AtomicBool,
+    stats: &NetStats,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((conn, _peer)) => {
+                stats.conn_accepted.inc();
                 // Back-pressure: if every worker is busy and the queue
                 // is full, shed the connection rather than grow without
                 // bound.
-                if let Err(TrySendError::Full(conn) | TrySendError::Disconnected(conn)) =
-                    tx.try_send(conn)
-                {
-                    drop(conn);
+                match tx.try_send(conn) {
+                    Ok(()) => stats.queue_depth.inc(),
+                    Err(TrySendError::Full(conn) | TrySendError::Disconnected(conn)) => {
+                        stats.conn_shed.inc();
+                        drop(conn);
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -164,6 +225,7 @@ fn worker_loop<D: BlockDevice>(
     stop: &AtomicBool,
     server: &WormServer<D>,
     served: &AtomicU64,
+    stats: &NetStats,
     config: NetServerConfig,
 ) {
     while !stop.load(Ordering::SeqCst) {
@@ -172,8 +234,9 @@ fn worker_loop<D: BlockDevice>(
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => return,
         };
+        stats.queue_depth.dec();
         // Per-connection errors only ever kill that connection.
-        let _ = serve_connection(conn, stop, server, served, config);
+        let _ = serve_connection(conn, stop, server, served, stats, config);
     }
 }
 
@@ -182,6 +245,7 @@ fn serve_connection<D: BlockDevice>(
     stop: &AtomicBool,
     server: &WormServer<D>,
     served: &AtomicU64,
+    stats: &NetStats,
     config: NetServerConfig,
 ) -> Result<(), NetError> {
     conn.set_read_timeout(Some(config.read_timeout))?;
@@ -197,8 +261,16 @@ fn serve_connection<D: BlockDevice>(
             Ok(Some(payload)) => payload,
             // Peer hung up between frames: normal end of session.
             Ok(None) => return Ok(()),
-            Err(e) => return Err(e),
+            Err(e) => {
+                stats.note_read_error(&e);
+                return Err(e);
+            }
         };
+        stats.frames_in.inc();
+        stats
+            .bytes_in
+            .add(payload.len() as u64 + FRAME_HEADER_BYTES);
+        let timer = stats.trace.timer();
         let resp = match decode_request(&payload) {
             Ok(req) => handle(server, req),
             Err(e) => NetResponse::Error {
@@ -206,7 +278,30 @@ fn serve_connection<D: BlockDevice>(
                 message: format!("undecodable request: {e}"),
             },
         };
-        write_frame(&mut writer, &encode_response(&resp), config.max_frame)?;
+        let ok = !matches!(resp, NetResponse::Error { .. });
+        let encoded = encode_response(&resp);
+        if let Err(e) = write_frame(&mut writer, &encoded, config.max_frame) {
+            stats.request.finish(timer, false);
+            return Err(e);
+        }
+        stats.frames_out.inc();
+        stats
+            .bytes_out
+            .add(encoded.len() as u64 + FRAME_HEADER_BYTES);
+        if let Some((ns, prior)) = stats.request.finish(timer, ok) {
+            // Counters stay exact; the ring event is sampled like the
+            // read plane's (net traffic is read-dominated), except that
+            // failures always ring.
+            if prior % wormtrace::READ_EVENT_SAMPLE == 0 || !ok {
+                stats.trace.emit(wormtrace::TraceEvent {
+                    op: "net.request",
+                    plane: wormtrace::Plane::Net,
+                    sn: None,
+                    duration_ns: ns,
+                    ok,
+                });
+            }
+        }
         served.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -250,6 +345,7 @@ fn handle<D: BlockDevice>(server: &WormServer<D>, req: NetRequest) -> NetRespons
                 keys: server.keys().clone(),
                 weak_certs: server.weak_certs(),
             }),
+            NetRequest::Stats => Ok(NetResponse::Stats(server.stats_snapshot())),
         }
     })();
     result.unwrap_or_else(|e| NetResponse::Error {

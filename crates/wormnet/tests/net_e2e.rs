@@ -216,6 +216,129 @@ fn in_flight_tampering_fails_verification() {
 }
 
 #[test]
+fn stats_deltas_match_operations_over_the_wire() {
+    let h = boot(NetServerConfig::default());
+    let mut client = RemoteWormClient::connect(h.net.local_addr()).unwrap();
+    let verifier = client
+        .bootstrap_verifier(Duration::from_secs(300), h.clock.clone())
+        .unwrap();
+
+    let sn = client.write(&[b"measured record"], policy(60)).unwrap();
+    let before = client.stats().unwrap();
+
+    // A burst of verified reads, one store, one (expired) delete — all
+    // on this single connection, so the wire deltas are exact.
+    const READS: u64 = 10;
+    for _ in 0..READS {
+        assert_eq!(
+            client.read_verified(sn, &verifier).unwrap().0,
+            ReadVerdict::Intact { sn }
+        );
+    }
+    let sn2 = client.write(&[b"second record"], policy(3600)).unwrap();
+    assert_eq!(
+        client.read_verified(sn2, &verifier).unwrap().0,
+        ReadVerdict::Intact { sn: sn2 }
+    );
+    h.clock.advance(Duration::from_secs(61));
+    let outcome = client.delete(sn).unwrap();
+    assert!(matches!(
+        verifier.verify_read(sn, &outcome).unwrap(),
+        ReadVerdict::ConfirmedDeleted { .. }
+    ));
+    let after = client.stats().unwrap();
+
+    let op_delta = |name: &str| {
+        after.op(name).map_or(0, |o| o.total()) - before.op(name).map_or(0, |o| o.total())
+    };
+    // Server-side op counts: each verified read is one server.read, the
+    // delete re-reads once more; one server.write for the store.
+    assert_eq!(op_delta("server.read"), READS + 2);
+    assert_eq!(op_delta("server.write"), 1);
+    // The expired delete minted exactly one deletion proof.
+    assert_eq!(
+        after.counter("witness.deletion_proof") - before.counter("witness.deletion_proof"),
+        1
+    );
+    // Wire accounting: requests between the snapshots plus the second
+    // Stats poll itself (frames_in is counted before a request is
+    // handled, so each snapshot includes its own request's frame).
+    let requests_between = READS + 3; // reads + write + read-back + delete
+    assert_eq!(
+        after.counter("net.frames_in") - before.counter("net.frames_in"),
+        requests_between + 1
+    );
+    assert_eq!(
+        after.counter("net.frames_out") - before.counter("net.frames_out"),
+        requests_between + 1
+    );
+    assert!(after.counter("net.bytes_in") > before.counter("net.bytes_in"));
+    assert!(after.counter("net.bytes_out") > before.counter("net.bytes_out"));
+    // The request op settles after its response is written, so the
+    // delta also comes out to requests-between plus one Stats poll
+    // (the first poll's completion replaces the second's).
+    assert_eq!(op_delta("net.request"), requests_between + 1);
+    assert!(after.counter("net.conn_accepted") >= 1);
+
+    // The registry invariant holds for every op that crossed the wire.
+    for (name, op) in &after.ops {
+        assert_eq!(
+            op.ok + op.err,
+            op.latency.count(),
+            "op {name} histogram count must match its counters"
+        );
+    }
+    h.net.shutdown();
+}
+
+/// One-connection proxy that flips the FIRST payload byte of every
+/// server→client frame. The first byte sits in the response's domain
+/// tag, so corruption is guaranteed to surface as a decode error (the
+/// stats snapshot is unsigned — flipping a trailing value byte would
+/// alter a counter silently, which is exactly why stats are documented
+/// as diagnostics, not evidence).
+fn first_byte_tampering_proxy(upstream: SocketAddr) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        let (client_side, _) = listener.accept().unwrap();
+        let server_side = TcpStream::connect(upstream).unwrap();
+        let mut c_read = client_side.try_clone().unwrap();
+        let mut s_write = server_side.try_clone().unwrap();
+        std::thread::spawn(move || {
+            while let Ok(Some(frame)) = read_frame(&mut c_read, DEFAULT_MAX_FRAME) {
+                if write_frame(&mut s_write, &frame, DEFAULT_MAX_FRAME).is_err() {
+                    break;
+                }
+            }
+        });
+        let mut s_read = server_side;
+        let mut c_write = client_side;
+        while let Ok(Some(mut frame)) = read_frame(&mut s_read, DEFAULT_MAX_FRAME) {
+            if let Some(first) = frame.first_mut() {
+                *first ^= 0xFF;
+            }
+            if write_frame(&mut c_write, &frame, DEFAULT_MAX_FRAME).is_err() {
+                break;
+            }
+        }
+    });
+    addr
+}
+
+#[test]
+fn corrupted_stats_frame_is_a_decode_error_not_a_panic() {
+    let h = boot(NetServerConfig::default());
+    let proxy = first_byte_tampering_proxy(h.net.local_addr());
+    let mut victim = RemoteWormClient::connect(proxy).unwrap();
+    match victim.stats() {
+        Err(NetError::Wire(_)) => {}
+        other => panic!("corrupted stats frame must fail decoding, got {other:?}"),
+    }
+    h.net.shutdown();
+}
+
+#[test]
 fn hostile_and_malformed_clients_cannot_break_the_server() {
     let h = boot(NetServerConfig {
         max_frame: 4096,

@@ -91,6 +91,16 @@ pub struct Replay<'a> {
     pos: usize,
 }
 
+impl Replay<'_> {
+    /// Bytes consumed by the valid frames yielded so far. After the
+    /// iterator is exhausted, a value short of
+    /// [`Journal::len_bytes`] means the log ends in a torn or corrupt
+    /// tail that replay skipped.
+    pub fn consumed_bytes(&self) -> usize {
+        self.pos
+    }
+}
+
 impl Iterator for Replay<'_> {
     type Item = Vec<u8>;
 
@@ -156,8 +166,11 @@ mod tests {
         j.append(b"committed");
         j.append(b"torn-entry-payload");
         j.truncate_tail(5); // rip bytes off the final frame
-        let got: Vec<_> = j.replay().collect();
+        let mut replay = j.replay();
+        let got: Vec<_> = replay.by_ref().collect();
         assert_eq!(got, vec![b"committed".to_vec()]);
+        // The torn frame's bytes are present but unconsumed.
+        assert!(replay.consumed_bytes() < j.len_bytes());
         // The journal can keep appending after recovery from the valid
         // prefix (a real implementation would first truncate to it).
     }

@@ -1,0 +1,52 @@
+//! # wormtrace — observability for the Strong WORM stack
+//!
+//! The paper's argument is quantitative: reads are served "at full
+//! throughput, with main CPU cycles only" while every regulated update
+//! pays an SCPU round-trip (§4.1). This crate makes that split visible
+//! at runtime without distorting it:
+//!
+//! * [`Counter`] / [`Gauge`] — single relaxed atomics.
+//! * [`Histogram`] — fixed log2 buckets of atomics; recording is two
+//!   relaxed RMWs, and [`HistogramSnapshot`]s merge associatively and
+//!   commutatively without losing counts (so per-shard or per-node
+//!   histograms aggregate exactly).
+//! * [`OpStats`] — the unit every instrumented operation records into:
+//!   an ok counter, an err counter, and a latency histogram, always
+//!   updated together, so `ok + err == histogram count` is an invariant
+//!   tests can assert under arbitrary concurrency.
+//! * [`Registry`] — get-or-register named metrics behind a read-mostly
+//!   lock. Subsystems resolve their handles **once** at construction;
+//!   the hot path never touches the registry lock.
+//! * [`EventRing`] + [`TraceSink`] — a bounded ring of structured
+//!   [`TraceEvent`]s (op, plane, SN, duration, outcome) with an
+//!   optional pluggable sink for external exporters.
+//! * [`StatsSnapshot`] — a point-in-time, order-canonical copy of the
+//!   whole registry, cheap to ship over a wire (the canonical byte
+//!   codec lives with the other codecs in `strongworm::codec`).
+//!
+//! ## Hot-path budget
+//!
+//! The read path is the product; instrumentation must not tax it. An
+//! instrumented read costs one `Instant` pair (start/stop), three
+//! relaxed atomic RMWs, and — for a 1-in-[`READ_EVENT_SAMPLE`] sample —
+//! one short mutex-guarded ring push. When a [`Registry`] is disabled
+//! ([`Registry::set_enabled`]), [`Registry::timer`] returns an inert
+//! timer and the whole record path collapses to one relaxed load, which
+//! is what the `worm-bench` `observability` binary uses to measure the
+//! overhead delta.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod registry;
+mod snapshot;
+mod trace;
+
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, OpSnapshot, OpStats,
+    OpTimer, NUM_BUCKETS,
+};
+pub use registry::{Registry, READ_EVENT_SAMPLE};
+pub use snapshot::StatsSnapshot;
+pub use trace::{EventRing, Plane, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY};

@@ -1,0 +1,251 @@
+//! The metrics registry: named instruments behind a read-mostly lock.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::metrics::{Counter, Gauge, OpStats, OpTimer};
+use crate::snapshot::StatsSnapshot;
+use crate::trace::{EventRing, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY};
+
+/// Read-plane events are sampled 1-in-this-many (witness, daemon, and
+/// net events are always emitted). Counters and histograms are exact
+/// regardless — sampling only thins the flight-recorder ring, keeping
+/// the mutex-guarded push off most of the hot read path.
+pub const READ_EVENT_SAMPLE: u64 = 64;
+
+/// A process-wide (or server-wide) collection of named instruments.
+///
+/// Registration takes a write lock; lookup takes a read lock. The
+/// intended pattern is for each subsystem to resolve `Arc` handles to
+/// its instruments **once** at construction and record through the
+/// handles thereafter, so steady-state recording is pure atomics.
+#[derive(Debug)]
+pub struct Registry {
+    ops: RwLock<BTreeMap<String, Arc<OpStats>>>,
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    ring: EventRing,
+    sink: RwLock<Option<Arc<dyn TraceSink>>>,
+    has_sink: AtomicBool,
+    enabled: AtomicBool,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::with_ring_capacity(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for dyn TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TraceSink")
+    }
+}
+
+impl Registry {
+    /// Registry with the default event-ring capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registry with an explicit event-ring capacity.
+    pub fn with_ring_capacity(capacity: usize) -> Self {
+        Registry {
+            ops: RwLock::new(BTreeMap::new()),
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            ring: EventRing::new(capacity),
+            sink: RwLock::new(None),
+            has_sink: AtomicBool::new(false),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// Whether instruments driven through [`Registry::timer`] and
+    /// [`Registry::emit`] are live.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Enables or disables recording. Disabling makes [`Registry::timer`]
+    /// return inert timers and [`Registry::emit`] a no-op; direct
+    /// counter/gauge handles keep working (they are too cheap to gate).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// A latency timer: live when the registry is enabled, inert (and
+    /// free) when it is not. The only `Instant` an instrumented hot
+    /// path takes is the pair inside this timer.
+    pub fn timer(&self) -> OpTimer {
+        if self.enabled() {
+            OpTimer::started()
+        } else {
+            OpTimer::inert()
+        }
+    }
+
+    fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+        if let Some(found) = map.read().expect("registry lock").get(name) {
+            return Arc::clone(found);
+        }
+        let mut write = map.write().expect("registry lock");
+        Arc::clone(write.entry(name.to_string()).or_default())
+    }
+
+    /// Get-or-register the [`OpStats`] called `name`.
+    pub fn op(&self, name: &str) -> Arc<OpStats> {
+        Self::get_or_insert(&self.ops, name)
+    }
+
+    /// Get-or-register the [`Counter`] called `name`.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Self::get_or_insert(&self.counters, name)
+    }
+
+    /// Get-or-register the [`Gauge`] called `name`.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        Self::get_or_insert(&self.gauges, name)
+    }
+
+    /// Emits a structured event to the ring and, if one is attached,
+    /// the external sink. No-op while disabled.
+    pub fn emit(&self, event: TraceEvent) {
+        if !self.enabled() {
+            return;
+        }
+        if self.has_sink.load(Ordering::Relaxed) {
+            if let Some(sink) = self.sink.read().expect("sink lock").as_ref() {
+                sink.on_event(&event);
+            }
+        }
+        self.ring.push(event);
+    }
+
+    /// Attaches (or replaces) the external event sink.
+    pub fn set_sink(&self, sink: Arc<dyn TraceSink>) {
+        *self.sink.write().expect("sink lock") = Some(sink);
+        self.has_sink.store(true, Ordering::Relaxed);
+    }
+
+    /// Detaches the external event sink, if any.
+    pub fn clear_sink(&self) {
+        self.has_sink.store(false, Ordering::Relaxed);
+        *self.sink.write().expect("sink lock") = None;
+    }
+
+    /// The flight-recorder ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// A point-in-time, name-sorted copy of every registered
+    /// instrument. Sorted order comes for free from the `BTreeMap`s and
+    /// makes the snapshot's canonical encoding deterministic.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            ops: self
+                .ops
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, op)| (name.clone(), op.snapshot()))
+                .collect(),
+            counters: self
+                .counters
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .expect("registry lock")
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            events_dropped: self.ring.dropped(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Plane;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn handles_are_shared() {
+        let r = Registry::new();
+        let a = r.op("x");
+        let b = r.op("x");
+        a.record(10, true);
+        b.record(20, false);
+        let snap = r.snapshot();
+        let (name, op) = &snap.ops[0];
+        assert_eq!(name, "x");
+        assert_eq!(op.ok, 1);
+        assert_eq!(op.err, 1);
+        assert_eq!(op.latency.count(), 2);
+    }
+
+    #[test]
+    fn disabled_registry_yields_inert_timers_and_drops_events() {
+        let r = Registry::new();
+        r.set_enabled(false);
+        assert!(r.op("x").finish(r.timer(), true).is_none());
+        r.emit(TraceEvent {
+            op: "x",
+            plane: Plane::Read,
+            sn: None,
+            duration_ns: 1,
+            ok: true,
+        });
+        assert!(r.ring().is_empty());
+        r.set_enabled(true);
+        assert!(r.op("x").finish(r.timer(), true).is_some());
+    }
+
+    #[test]
+    fn sink_sees_emitted_events() {
+        struct CountingSink(AtomicU64);
+        impl TraceSink for CountingSink {
+            fn on_event(&self, _event: &TraceEvent) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let r = Registry::new();
+        let sink = Arc::new(CountingSink(AtomicU64::new(0)));
+        r.set_sink(sink.clone());
+        let event = TraceEvent {
+            op: "x",
+            plane: Plane::Net,
+            sn: Some(3),
+            duration_ns: 7,
+            ok: true,
+        };
+        r.emit(event.clone());
+        r.clear_sink();
+        r.emit(event);
+        assert_eq!(sink.0.load(Ordering::Relaxed), 1);
+        assert_eq!(r.ring().len(), 2);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted() {
+        let r = Registry::new();
+        r.op("zeta");
+        r.op("alpha");
+        r.counter("c2").add(2);
+        r.counter("c1").add(1);
+        r.gauge("g").set(9);
+        let snap = r.snapshot();
+        assert_eq!(snap.ops[0].0, "alpha");
+        assert_eq!(snap.ops[1].0, "zeta");
+        assert_eq!(snap.counters, vec![("c1".into(), 1), ("c2".into(), 2)]);
+        assert_eq!(snap.gauge("g"), Some(9));
+    }
+}

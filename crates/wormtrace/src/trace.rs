@@ -1,0 +1,168 @@
+//! Structured trace events: a bounded ring plus a pluggable sink.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Which half of the architecture an event happened on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Plane {
+    /// The concurrent, SCPU-free read plane.
+    Read,
+    /// The serialized witness plane (update path).
+    Witness,
+    /// Inside the secure coprocessor (virtual time).
+    Scpu,
+    /// The background retention daemon.
+    Daemon,
+    /// The network serving layer.
+    Net,
+}
+
+impl Plane {
+    /// Stable display label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Plane::Read => "read",
+            Plane::Witness => "witness",
+            Plane::Scpu => "scpu",
+            Plane::Daemon => "daemon",
+            Plane::Net => "net",
+        }
+    }
+}
+
+/// One completed, instrumented operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Registry op name (e.g. `"server.read"`).
+    pub op: &'static str,
+    /// The plane the operation ran on.
+    pub plane: Plane,
+    /// Serial number involved, when the operation has one.
+    pub sn: Option<u64>,
+    /// Duration in nanoseconds (wall, or virtual for SCPU commands).
+    pub duration_ns: u64,
+    /// Whether the operation succeeded.
+    pub ok: bool,
+}
+
+/// Receiver for trace events, for wiring external exporters (logging,
+/// OTLP bridges, test probes). Implementations must be cheap and must
+/// not block: they run inline on the instrumented path.
+pub trait TraceSink: Send + Sync {
+    /// Called once per emitted event.
+    fn on_event(&self, event: &TraceEvent);
+}
+
+/// Default ring capacity: enough recent history for a postmortem
+/// without unbounded memory.
+pub const DEFAULT_RING_CAPACITY: usize = 1024;
+
+/// A bounded ring of the most recent [`TraceEvent`]s.
+///
+/// When full, the oldest event is overwritten and counted as dropped —
+/// the ring is a flight recorder, not a durable log.
+#[derive(Debug)]
+pub struct EventRing {
+    inner: Mutex<RingInner>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct RingInner {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        EventRing {
+            inner: Mutex::new(RingInner::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Appends an event, evicting (and counting) the oldest when full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut inner = self.inner.lock().expect("ring lock");
+        if inner.events.len() == self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        inner.events.push_back(event);
+    }
+
+    /// The most recent events, oldest first (up to `n`).
+    pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
+        let inner = self.inner.lock().expect("ring lock");
+        let skip = inner.events.len().saturating_sub(n);
+        inner.events.iter().skip(skip).cloned().collect()
+    }
+
+    /// How many events have been evicted unobserved.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring lock").dropped
+    }
+
+    /// Current number of resident events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring lock").events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for EventRing {
+    fn default() -> Self {
+        Self::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent {
+            op: "test.op",
+            plane: Plane::Read,
+            sn: Some(i),
+            duration_ns: i,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn ring_bounds_and_counts_drops() {
+        let ring = EventRing::new(3);
+        for i in 0..5 {
+            ring.push(ev(i));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let recent = ring.recent(2);
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].sn, Some(3));
+        assert_eq!(recent[1].sn, Some(4));
+        assert!(!ring.is_empty());
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let ring = EventRing::new(0);
+        ring.push(ev(1));
+        ring.push(ev(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.recent(10)[0].sn, Some(2));
+    }
+}

@@ -36,4 +36,9 @@ cargo run --release -q -p worm-bench --bin read_scaling > /dev/null
 echo ">> net_throughput"
 cargo run --release -q -p worm-bench --bin net_throughput > /dev/null
 
+# Writes results/BENCH_observability.json itself: wormtrace
+# instrumentation overhead on the read path, enabled vs kill-switched.
+echo ">> observability"
+cargo run --release -q -p worm-bench --bin observability > /dev/null
+
 echo "done; artifacts in results/"

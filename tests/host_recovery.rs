@@ -129,6 +129,53 @@ fn recovery_from_torn_journal_matches_device_head() {
 }
 
 #[test]
+fn recovery_counters_report_torn_tail_and_replay() {
+    let (srv, clock) = server();
+    let v = verifier(&srv, clock.clone());
+    srv.write(&[b"anchor"], short_policy(10_000)).unwrap();
+    let kept = srv
+        .write(&[b"survives the tear"], short_policy(10_000))
+        .unwrap();
+    srv.write(&[b"torn-away"], short_policy(10_000)).unwrap();
+
+    // A clean resume replays everything and reports no torn tail.
+    let srv = crash_and_resume(srv, WormConfig::test_small(), clock.clone());
+    let clean = srv.stats_snapshot();
+    assert!(
+        clean.counter("recovery.replayed") >= 3,
+        "all journal frames replay cleanly"
+    );
+    assert_eq!(clean.counter("recovery.torn_tail"), 0);
+
+    // Crash again, this time tearing the journal mid-entry.
+    let (device, store, journal) = srv.into_parts();
+    let whole_frames = journal.replay().count() as u64;
+    let mut torn = Journal::from_bytes(journal.as_bytes().to_vec());
+    torn.truncate_tail(40);
+    let srv = WormServer::resume(device, store, torn, WormConfig::test_small(), clock.clone())
+        .expect("resume survives a torn tail");
+
+    // The new counters flag the incident: fewer frames replayed than
+    // the intact journal held, and the torn tail detected (the partial
+    // trailing entry was visible but unusable).
+    let stats = srv.stats_snapshot();
+    assert_eq!(stats.counter("recovery.torn_tail"), 1);
+    let replayed = stats.counter("recovery.replayed");
+    assert!(
+        replayed >= 1 && replayed < whole_frames,
+        "torn recovery must replay fewer frames ({replayed} vs {whole_frames})"
+    );
+
+    // And the recovered head still verifies end-to-end.
+    srv.refresh_head().unwrap();
+    let outcome = srv.read(kept).unwrap();
+    assert_eq!(
+        v.verify_read(kept, &outcome).unwrap(),
+        ReadVerdict::Intact { sn: kept }
+    );
+}
+
+#[test]
 fn dedup_index_rebuilds_after_crash() {
     let (srv, clock) = server();
     let shared: &[u8] = b"popular-attachment-bytes";
