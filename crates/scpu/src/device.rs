@@ -146,14 +146,18 @@ impl<A: Applet> Device<A> {
     }
 
     fn record_op(&self, kind: &'static str, busy_before: u128, ok: bool) {
+        let delta = self.env.meter.busy_ns().saturating_sub(busy_before);
+        let delta = u64::try_from(delta).unwrap_or(u64::MAX);
         if let Some(trace) = &self.trace {
             if trace.enabled() {
-                let delta = self.env.meter.busy_ns().saturating_sub(busy_before);
-                trace
-                    .op(kind)
-                    .record(u64::try_from(delta).unwrap_or(u64::MAX), ok);
+                trace.op(kind).record(delta, ok);
             }
         }
+        // If the calling thread carries a request trace, attribute the
+        // command's virtual-time cost as a leaf span of that request —
+        // this is the only place SCPU cost enters a span tree, since
+        // everything in the enclosure runs under `execute`.
+        wormtrace::span::leaf(kind, wormtrace::Plane::Scpu, delta, ok, None);
     }
 
     /// Sends one command over the channel.

@@ -702,6 +702,173 @@ pub fn decode_stats_snapshot(bytes: &[u8]) -> Result<wormtrace::StatsSnapshot, W
     Ok(s)
 }
 
+/// Decoding cap on captured traces per message. The server-side flight
+/// recorder holds a few dozen; a hostile count must not drive
+/// allocation.
+const MAX_CAPTURED_TRACES: usize = 1 << 10;
+
+/// Decoding cap on op-name length inside a span (registry op names are
+/// short dotted identifiers).
+const MAX_SPAN_OP_LEN: usize = 256;
+
+fn plane_code(p: wormtrace::Plane) -> u8 {
+    match p {
+        wormtrace::Plane::Read => 0,
+        wormtrace::Plane::Witness => 1,
+        wormtrace::Plane::Scpu => 2,
+        wormtrace::Plane::Daemon => 3,
+        wormtrace::Plane::Net => 4,
+        wormtrace::Plane::Store => 5,
+    }
+}
+
+fn plane_from_code(code: u8) -> Result<wormtrace::Plane, WireError> {
+    Ok(match code {
+        0 => wormtrace::Plane::Read,
+        1 => wormtrace::Plane::Witness,
+        2 => wormtrace::Plane::Scpu,
+        3 => wormtrace::Plane::Daemon,
+        4 => wormtrace::Plane::Net,
+        5 => wormtrace::Plane::Store,
+        _ => {
+            return Err(WireError {
+                expected: "span plane code",
+            })
+        }
+    })
+}
+
+fn get_bool(r: &mut WireReader<'_>) -> Result<bool, WireError> {
+    match r.get_u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        _ => Err(WireError {
+            expected: "canonical boolean (0 or 1)",
+        }),
+    }
+}
+
+/// Encodes a batch of flight-recorder captures canonically. Span
+/// trace-ids are implied by the enclosing trace and not repeated per
+/// span.
+pub fn encode_captured_traces(traces: &[wormtrace::CapturedTrace]) -> Vec<u8> {
+    let mut w = WireWriter::tagged("wormtrace.traces.v1");
+    w.put_u32(traces.len() as u32);
+    for t in traces {
+        w.put_u64(t.trace_id);
+        w.put_u8(match t.trigger {
+            wormtrace::TraceTrigger::Slow => 0,
+            wormtrace::TraceTrigger::Error => 1,
+        });
+        w.put_u64(t.total_ns);
+        w.put_u64(t.truncated_spans);
+        w.put_u32(t.spans.len() as u32);
+        for s in &t.spans {
+            w.put_u64(s.span_id);
+            w.put_u64(s.parent_span);
+            w.put_str(&s.op);
+            w.put_u8(plane_code(s.plane));
+            w.put_u64(s.start_ns);
+            w.put_u64(s.duration_ns);
+            match s.sn {
+                Some(sn) => {
+                    w.put_u8(1);
+                    w.put_u64(sn);
+                }
+                None => {
+                    w.put_u8(0);
+                }
+            }
+            w.put_u8(u8::from(s.ok));
+        }
+    }
+    w.finish()
+}
+
+/// Decodes a batch of captured traces, enforcing bounded counts,
+/// bounded op names, in-range plane/trigger codes, and canonical
+/// booleans.
+///
+/// # Errors
+///
+/// [`WireError`] on any truncation, oversized count, or out-of-range
+/// code — never a panic and never an unbounded allocation.
+pub fn decode_captured_traces(bytes: &[u8]) -> Result<Vec<wormtrace::CapturedTrace>, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "wormtrace.traces.v1" {
+        return Err(WireError {
+            expected: "captured traces tag",
+        });
+    }
+    let n_traces = r.get_u32()? as usize;
+    if n_traces > MAX_CAPTURED_TRACES {
+        return Err(WireError {
+            expected: "sane captured trace count",
+        });
+    }
+    let mut traces = Vec::with_capacity(n_traces.min(r.remaining()));
+    for _ in 0..n_traces {
+        let trace_id = r.get_u64()?;
+        let trigger = match r.get_u8()? {
+            0 => wormtrace::TraceTrigger::Slow,
+            1 => wormtrace::TraceTrigger::Error,
+            _ => {
+                return Err(WireError {
+                    expected: "trace trigger code",
+                })
+            }
+        };
+        let total_ns = r.get_u64()?;
+        let truncated_spans = r.get_u64()?;
+        let n_spans = r.get_u32()? as usize;
+        if n_spans > wormtrace::MAX_SPANS_PER_TRACE {
+            return Err(WireError {
+                expected: "span count within per-trace bound",
+            });
+        }
+        let mut spans = Vec::with_capacity(n_spans.min(r.remaining()));
+        for _ in 0..n_spans {
+            let span_id = r.get_u64()?;
+            let parent_span = r.get_u64()?;
+            let op = r.get_str()?;
+            if op.len() > MAX_SPAN_OP_LEN {
+                return Err(WireError {
+                    expected: "span op name within bounds",
+                });
+            }
+            let op = op.to_string();
+            let plane = plane_from_code(r.get_u8()?)?;
+            let start_ns = r.get_u64()?;
+            let duration_ns = r.get_u64()?;
+            let sn = if get_bool(&mut r)? {
+                Some(r.get_u64()?)
+            } else {
+                None
+            };
+            let ok = get_bool(&mut r)?;
+            spans.push(wormtrace::SpanRecord {
+                span_id,
+                parent_span,
+                op,
+                plane,
+                start_ns,
+                duration_ns,
+                sn,
+                ok,
+            });
+        }
+        traces.push(wormtrace::CapturedTrace {
+            trace_id,
+            trigger,
+            total_ns,
+            truncated_spans,
+            spans,
+        });
+    }
+    r.expect_end()?;
+    Ok(traces)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -976,5 +1143,106 @@ mod tests {
         unsorted.counters.push(("aaa".into(), 1));
         let bad = encode_stats_snapshot(&unsorted);
         assert!(decode_stats_snapshot(&bad).is_err());
+    }
+
+    fn sample_traces() -> Vec<wormtrace::CapturedTrace> {
+        let span = |id, parent, op: &str, plane, sn, ok| wormtrace::SpanRecord {
+            span_id: id,
+            parent_span: parent,
+            op: op.into(),
+            plane,
+            start_ns: id * 10,
+            duration_ns: id * 100,
+            sn,
+            ok,
+        };
+        vec![
+            wormtrace::CapturedTrace {
+                trace_id: 0xDEAD_BEEF,
+                trigger: wormtrace::TraceTrigger::Slow,
+                total_ns: 5_000_000,
+                truncated_spans: 0,
+                spans: vec![
+                    span(1, 0, "net.request", wormtrace::Plane::Net, None, true),
+                    span(2, 1, "server.read", wormtrace::Plane::Read, Some(7), true),
+                    span(3, 2, "store.read", wormtrace::Plane::Store, None, true),
+                ],
+            },
+            wormtrace::CapturedTrace {
+                trace_id: 2,
+                trigger: wormtrace::TraceTrigger::Error,
+                total_ns: 10,
+                truncated_spans: 3,
+                spans: vec![span(
+                    1,
+                    0,
+                    "scpu.command",
+                    wormtrace::Plane::Scpu,
+                    None,
+                    false,
+                )],
+            },
+        ]
+    }
+
+    #[test]
+    fn captured_traces_roundtrip_and_reject_malformed() {
+        let traces = sample_traces();
+        let enc = encode_captured_traces(&traces);
+        assert_eq!(decode_captured_traces(&enc).unwrap(), traces);
+        assert_eq!(
+            decode_captured_traces(&encode_captured_traces(&[])).unwrap(),
+            vec![]
+        );
+        // Truncations and garbage error rather than panic.
+        for cut in 0..enc.len() {
+            assert!(decode_captured_traces(&enc[..cut]).is_err());
+        }
+        assert!(decode_captured_traces(b"garbage").is_err());
+        let mut padded = enc.clone();
+        padded.push(0);
+        assert!(decode_captured_traces(&padded).is_err());
+    }
+
+    #[test]
+    fn captured_traces_counts_and_codes_are_bounded() {
+        // Hostile trace count.
+        let mut w = WireWriter::tagged("wormtrace.traces.v1");
+        w.put_u32(u32::MAX);
+        assert!(decode_captured_traces(&w.finish()).is_err());
+        // Hostile span count (above the per-trace bound).
+        let mut w = WireWriter::tagged("wormtrace.traces.v1");
+        w.put_u32(1);
+        w.put_u64(1);
+        w.put_u8(0);
+        w.put_u64(1);
+        w.put_u64(0);
+        w.put_u32(wormtrace::MAX_SPANS_PER_TRACE as u32 + 1);
+        assert!(decode_captured_traces(&w.finish()).is_err());
+        // Out-of-range trigger, plane, and boolean codes are each
+        // rejected at their exact position.
+        let hostile = |trigger: u8, plane: u8, sn_flag: u8, ok: u8| {
+            let mut w = WireWriter::tagged("wormtrace.traces.v1");
+            w.put_u32(1);
+            w.put_u64(1);
+            w.put_u8(trigger);
+            w.put_u64(1);
+            w.put_u64(0);
+            w.put_u32(1);
+            w.put_u64(1);
+            w.put_u64(0);
+            w.put_str("net.request");
+            w.put_u8(plane);
+            w.put_u64(0);
+            w.put_u64(1);
+            w.put_u8(sn_flag);
+            w.put_u8(ok);
+            w.finish()
+        };
+        assert!(decode_captured_traces(&hostile(0, 4, 0, 1)).is_ok());
+        assert!(decode_captured_traces(&hostile(2, 4, 0, 1)).is_err());
+        assert!(decode_captured_traces(&hostile(0, 6, 0, 1)).is_err());
+        assert!(decode_captured_traces(&hostile(0, 4, 7, 1)).is_err());
+        assert!(decode_captured_traces(&hostile(0, 4, 0, 9)).is_err());
     }
 }

@@ -360,23 +360,25 @@ impl<D: BlockDevice> WormServer<D> {
         policy: RetentionPolicy,
     ) -> Result<SerialNumber, WormError> {
         let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.write", wormtrace::Plane::Witness);
         let result = {
             let mut w = self.witness.lock();
             let witness = w.config.default_witness;
             w.write_inner(records, policy, 0, witness, false)
         };
-        self.finish_write(timer, &result);
+        self.finish_write(timer, span, &result);
         result
     }
 
-    fn finish_write(&self, timer: wormtrace::OpTimer, result: &Result<SerialNumber, WormError>) {
-        self.finish_witnessed(
-            &self.ops.write,
-            "server.write",
-            timer,
-            result.as_ref().ok().map(|sn| sn.0),
-            result.is_ok(),
-        );
+    fn finish_write(
+        &self,
+        timer: wormtrace::OpTimer,
+        span: Option<wormtrace::span::OpenSpan>,
+        result: &Result<SerialNumber, WormError>,
+    ) {
+        let sn = result.as_ref().ok().map(|sn| sn.0);
+        wormtrace::span::finish(span, result.is_ok(), sn);
+        self.finish_witnessed(&self.ops.write, "server.write", timer, sn, result.is_ok());
     }
 
     /// Writes with an explicit witness tier and flag bits (§4.2.2 Write,
@@ -393,11 +395,12 @@ impl<D: BlockDevice> WormServer<D> {
         witness: WitnessMode,
     ) -> Result<SerialNumber, WormError> {
         let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.write", wormtrace::Plane::Witness);
         let result = self
             .witness
             .lock()
             .write_inner(records, policy, flags, witness, false);
-        self.finish_write(timer, &result);
+        self.finish_write(timer, span, &result);
         result
     }
 
@@ -416,12 +419,13 @@ impl<D: BlockDevice> WormServer<D> {
         policy: RetentionPolicy,
     ) -> Result<SerialNumber, WormError> {
         let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.write", wormtrace::Plane::Witness);
         let result = {
             let mut w = self.witness.lock();
             let witness = w.config.default_witness;
             w.write_inner(records, policy, 0, witness, true)
         };
-        self.finish_write(timer, &result);
+        self.finish_write(timer, span, &result);
         result
     }
 
@@ -439,7 +443,9 @@ impl<D: BlockDevice> WormServer<D> {
     /// or an internally inconsistent VRDT.
     pub fn read(&self, sn: SerialNumber) -> Result<ReadOutcome, WormError> {
         let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.read", wormtrace::Plane::Read);
         let result = self.read_inner(sn);
+        wormtrace::span::finish(span, result.is_ok(), Some(sn.0));
         if let Some((ns, prior)) = self.ops.read.finish(timer, result.is_ok()) {
             // Counters and the histogram are exact; only the ring event
             // is sampled, keeping the mutex push off most reads.
@@ -503,7 +509,9 @@ impl<D: BlockDevice> WormServer<D> {
     pub fn lit_hold(&self, credential: crate::authority::HoldCredential) -> Result<(), WormError> {
         let sn = credential.sn.0;
         let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.lit_hold", wormtrace::Plane::Witness);
         let result = self.witness.lock().lit_hold(credential);
+        wormtrace::span::finish(span, result.is_ok(), Some(sn));
         self.finish_witnessed(
             &self.ops.lit_hold,
             "server.lit_hold",
@@ -526,7 +534,9 @@ impl<D: BlockDevice> WormServer<D> {
     ) -> Result<(), WormError> {
         let sn = credential.sn.0;
         let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.lit_release", wormtrace::Plane::Witness);
         let result = self.witness.lock().lit_release(credential);
+        wormtrace::span::finish(span, result.is_ok(), Some(sn));
         self.finish_witnessed(
             &self.ops.lit_release,
             "server.lit_release",
@@ -545,7 +555,9 @@ impl<D: BlockDevice> WormServer<D> {
     /// Device or store failures.
     pub fn tick(&self) -> Result<(), WormError> {
         let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.tick", wormtrace::Plane::Witness);
         let result = self.witness.lock().tick();
+        wormtrace::span::finish(span, result.is_ok(), None);
         self.finish_witnessed(&self.ops.tick, "server.tick", timer, None, result.is_ok());
         result
     }
@@ -559,7 +571,9 @@ impl<D: BlockDevice> WormServer<D> {
     /// Device or store failures.
     pub fn idle(&self, budget_ns: u64) -> Result<(), WormError> {
         let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.idle", wormtrace::Plane::Witness);
         let result = self.witness.lock().idle(budget_ns);
+        wormtrace::span::finish(span, result.is_ok(), None);
         self.finish_witnessed(&self.ops.idle, "server.idle", timer, None, result.is_ok());
         result
     }
@@ -573,7 +587,9 @@ impl<D: BlockDevice> WormServer<D> {
     /// Device or firmware failures.
     pub fn compact(&self) -> Result<usize, WormError> {
         let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.compact", wormtrace::Plane::Witness);
         let result = self.witness.lock().compact();
+        wormtrace::span::finish(span, result.is_ok(), None);
         self.finish_witnessed(
             &self.ops.compact,
             "server.compact",

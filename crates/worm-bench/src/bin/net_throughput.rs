@@ -32,6 +32,11 @@ struct NetThroughputPoint {
     wall_ms: f64,
     reads_per_sec: f64,
     speedup_vs_1: f64,
+    /// Wire-request latency quantiles from the server's registry
+    /// (log2-bucket upper bounds), cumulative up to this point — the
+    /// same figures `wormtop` renders live.
+    request_p50_ns: u64,
+    request_p99_ns: u64,
 }
 
 json_record!(NetThroughputPoint {
@@ -41,6 +46,8 @@ json_record!(NetThroughputPoint {
     wall_ms,
     reads_per_sec,
     speedup_vs_1,
+    request_p50_ns,
+    request_p99_ns,
 });
 
 const CORPUS: usize = 64;
@@ -117,6 +124,7 @@ fn main() {
         let total_reads = total.load(Ordering::Relaxed);
         let reads_per_sec = total_reads as f64 / wall.as_secs_f64();
         let baseline = points.first().map_or(reads_per_sec, |p| p.reads_per_sec);
+        let snap = server.stats_snapshot();
         points.push(NetThroughputPoint {
             clients,
             host_cores: cores,
@@ -124,6 +132,8 @@ fn main() {
             wall_ms: wall.as_secs_f64() * 1e3,
             reads_per_sec,
             speedup_vs_1: reads_per_sec / baseline,
+            request_p50_ns: snap.p50_ns("net.request").unwrap_or(0),
+            request_p99_ns: snap.p99_ns("net.request").unwrap_or(0),
         });
         let p = points.last().unwrap();
         println!(

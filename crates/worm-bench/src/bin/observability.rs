@@ -47,6 +47,11 @@ struct ObservabilityPoint {
     /// Whether the <3% budget holds. Judged on the verified-read
     /// summary row; vacuously true elsewhere.
     within_target: bool,
+    /// `server.read` latency quantiles from the registry's histogram
+    /// (log2-bucket upper bounds), cumulative over the enabled-mode
+    /// reads of the whole run. Same figure `wormtop` renders live.
+    read_p50_ns: u64,
+    read_p99_ns: u64,
 }
 
 json_record!(ObservabilityPoint {
@@ -57,6 +62,8 @@ json_record!(ObservabilityPoint {
     reads_per_sec,
     overhead_pct,
     within_target,
+    read_p50_ns,
+    read_p99_ns,
 });
 
 const CORPUS: usize = 64;
@@ -177,6 +184,9 @@ fn main() {
 
     let verified_overhead = overhead_pct(verified_on, verified_off);
     let raw_overhead = overhead_pct(raw_on, raw_off);
+    let snap = server.stats_snapshot();
+    let read_p50_ns = snap.p50_ns("server.read").unwrap_or(0);
+    let read_p99_ns = snap.p99_ns("server.read").unwrap_or(0);
     let row = |mode: &str, batches: u64, ns: f64, pct: f64, ok: bool| ObservabilityPoint {
         mode: mode.into(),
         batches_per_mode: batches,
@@ -185,6 +195,8 @@ fn main() {
         reads_per_sec: if ns > 0.0 { 1e9 / ns } else { 0.0 },
         overhead_pct: pct,
         within_target: ok,
+        read_p50_ns,
+        read_p99_ns,
     };
     let points = vec![
         row(

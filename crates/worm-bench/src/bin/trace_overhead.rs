@@ -1,0 +1,166 @@
+//! Causal-tracing overhead on remote verified reads.
+//!
+//! PR cost question: request-scoped span collection threads through
+//! the net worker, both server planes, the SCPU dispatch, and the
+//! record store. Every remote request now allocates an `ActiveTrace`,
+//! opens a handful of spans, and offers the finished tree to the
+//! flight recorder. This binary prices that against the kill switch:
+//!
+//! * **traced** — registry enabled and the client wrapping every
+//!   request in a trace-context envelope (opcode 9), so the server
+//!   collects a full span tree per read;
+//! * **untraced** — `Registry::set_enabled(false)` and bare requests:
+//!   span collection short-circuits to one thread-local check per
+//!   instrumentation point, restoring the pre-tracing configuration.
+//!
+//! Methodology matches `observability.rs`: modes alternate per batch
+//! so drift hits both equally, and each mode keeps its *minimum*
+//! per-read batch time (least-noise estimate). The denominator is the
+//! full remote verified read — TCP round-trip, decode, plane
+//! traversal, signature verification — the operation the <5% target
+//! in the issue applies to. Emits `results/BENCH_trace_overhead.json`
+//! as JSON lines.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use strongworm::{ReadVerdict, RetentionPolicy, SerialNumber, Verifier};
+use worm_bench::{json_record, quick_server, to_json_lines};
+use wormnet::{NetServer, NetServerConfig, RemoteWormClient};
+use wormstore::Shredder;
+
+/// One measured row (a mode, or the summary).
+#[derive(Clone, Debug)]
+struct TraceOverheadPoint {
+    mode: String,
+    batches_per_mode: u64,
+    reads_per_batch: u64,
+    min_ns_per_read: f64,
+    reads_per_sec: f64,
+    /// Traced minus untraced, as a percentage of untraced; zero on the
+    /// per-mode rows, filled on the summary row.
+    overhead_pct: f64,
+    /// Whether the <5% budget holds. Judged on the summary row;
+    /// vacuously true elsewhere.
+    within_target: bool,
+}
+
+json_record!(TraceOverheadPoint {
+    mode,
+    batches_per_mode,
+    reads_per_batch,
+    min_ns_per_read,
+    reads_per_sec,
+    overhead_pct,
+    within_target,
+});
+
+const CORPUS: usize = 64;
+const RECORD_BYTES: usize = 4 << 10;
+const BATCHES_PER_MODE: u64 = 100;
+const BATCH: u64 = 200;
+const OVERHEAD_TARGET_PCT: f64 = 5.0;
+
+/// Times one batch of remote verified reads in ns/read.
+fn batch(
+    client: &mut RemoteWormClient,
+    verifier: &Verifier,
+    sns: &[SerialNumber],
+    start: u64,
+) -> f64 {
+    let t0 = Instant::now();
+    for i in start..start + BATCH {
+        let sn = sns[(i as usize) % sns.len()];
+        let (verdict, _) = client.read_verified(sn, verifier).expect("verified read");
+        assert_eq!(verdict, ReadVerdict::Intact { sn });
+    }
+    t0.elapsed().as_nanos() as f64 / BATCH as f64
+}
+
+fn main() {
+    let (server, clock) = quick_server();
+    let server = Arc::new(server);
+    let verifier = Verifier::new(server.keys(), Duration::from_secs(300), clock).expect("verifier");
+
+    let policy = RetentionPolicy::custom(Duration::from_secs(1_000_000), Shredder::ZeroFill);
+    let payload = vec![0x33u8; RECORD_BYTES];
+    let sns: Vec<SerialNumber> = (0..CORPUS)
+        .map(|_| server.write(&[&payload], policy).expect("corpus write"))
+        .collect();
+
+    // Default config: the flight recorder keeps its production 250 ms
+    // threshold, so the traced mode pays trace *collection* (the
+    // per-request cost under test), not capture retention.
+    let net = NetServer::bind(
+        Arc::clone(&server),
+        "127.0.0.1:0",
+        NetServerConfig::default(),
+    )
+    .expect("bind loopback");
+    let mut client = RemoteWormClient::connect(net.local_addr()).expect("connect");
+
+    let set_mode = |client: &mut RemoteWormClient, traced: bool| {
+        server.trace().set_enabled(traced);
+        client.set_request_tracing(traced);
+    };
+
+    // Warm both paths before any timed batch.
+    let mut pos = 0u64;
+    for &traced in &[true, false] {
+        set_mode(&mut client, traced);
+        batch(&mut client, &verifier, &sns, pos);
+        pos += BATCH;
+    }
+    let mut min_traced = f64::INFINITY;
+    let mut min_untraced = f64::INFINITY;
+    for _ in 0..BATCHES_PER_MODE {
+        for &traced in &[true, false] {
+            set_mode(&mut client, traced);
+            let ns = batch(&mut client, &verifier, &sns, pos);
+            pos += BATCH;
+            if traced {
+                min_traced = min_traced.min(ns);
+            } else {
+                min_untraced = min_untraced.min(ns);
+            }
+        }
+    }
+    set_mode(&mut client, true);
+
+    let overhead = (min_traced - min_untraced) / min_untraced * 100.0;
+    let row = |mode: &str, ns: f64, pct: f64, ok: bool| TraceOverheadPoint {
+        mode: mode.into(),
+        batches_per_mode: BATCHES_PER_MODE,
+        reads_per_batch: BATCH,
+        min_ns_per_read: ns,
+        reads_per_sec: if ns > 0.0 { 1e9 / ns } else { 0.0 },
+        overhead_pct: pct,
+        within_target: ok,
+    };
+    let points = vec![
+        row("traced", min_traced, 0.0, true),
+        row("untraced", min_untraced, 0.0, true),
+        row(
+            "overhead",
+            min_traced - min_untraced,
+            overhead,
+            overhead < OVERHEAD_TARGET_PCT,
+        ),
+    ];
+
+    println!(
+        "traced={min_traced:.0} untraced={min_untraced:.0} ns/read — overhead {overhead:.2}% \
+         (target < {OVERHEAD_TARGET_PCT}%) — {}",
+        if overhead < OVERHEAD_TARGET_PCT {
+            "within budget"
+        } else {
+            "OVER BUDGET"
+        }
+    );
+
+    net.shutdown();
+    std::fs::create_dir_all("results").expect("results dir");
+    let out = to_json_lines(&points) + "\n";
+    std::fs::write("results/BENCH_trace_overhead.json", out).expect("write results");
+    println!("wrote results/BENCH_trace_overhead.json");
+}

@@ -16,7 +16,9 @@ use strongworm::firmware::{DeviceKeys, WeakKeyCert};
 use strongworm::{ReadOutcome, ReadVerdict, RetentionPolicy, SerialNumber, Verifier, WitnessMode};
 
 use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
-use crate::protocol::{decode_response, encode_request, NetRequest, NetResponse};
+use crate::protocol::{
+    decode_response, encode_request, encode_request_traced, NetRequest, NetResponse,
+};
 use crate::NetError;
 
 /// A connected client session over one TCP stream.
@@ -27,6 +29,11 @@ use crate::NetError;
 pub struct RemoteWormClient {
     stream: TcpStream,
     max_frame: u32,
+    /// When set, every request is wrapped in a trace-context envelope
+    /// (opcode 9) carrying a fresh client-minted trace id, so the
+    /// server's span tree for the request is findable by that id.
+    tracing: bool,
+    last_trace_id: Option<u64>,
 }
 
 impl RemoteWormClient {
@@ -53,11 +60,44 @@ impl RemoteWormClient {
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
-        Ok(RemoteWormClient { stream, max_frame })
+        Ok(RemoteWormClient {
+            stream,
+            max_frame,
+            tracing: false,
+            last_trace_id: None,
+        })
+    }
+
+    /// Enables (or disables) wire-propagated trace context. While on,
+    /// each request carries a fresh trace id, retrievable afterwards
+    /// via [`RemoteWormClient::last_trace_id`] to correlate with traces
+    /// captured by the server's flight recorder.
+    ///
+    /// Requires a server that understands the opcode-9 envelope (this
+    /// repo's `NetServer`); older servers reject enveloped requests as
+    /// bad requests without dropping the connection.
+    pub fn set_request_tracing(&mut self, on: bool) {
+        self.tracing = on;
+    }
+
+    /// The trace id sent with the most recent enveloped request, if
+    /// any. `None` until a request is sent with tracing enabled.
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.last_trace_id
     }
 
     fn call(&mut self, req: &NetRequest) -> Result<NetResponse, NetError> {
-        write_frame(&mut self.stream, &encode_request(req), self.max_frame)?;
+        let encoded = if self.tracing {
+            let ctx = wormtrace::TraceContext {
+                trace_id: wormtrace::span::fresh_trace_id(),
+                parent_span: 0,
+            };
+            self.last_trace_id = Some(ctx.trace_id);
+            encode_request_traced(req, ctx)
+        } else {
+            encode_request(req)
+        };
+        write_frame(&mut self.stream, &encoded, self.max_frame)?;
         let payload = read_frame(&mut self.stream, self.max_frame)?.ok_or(NetError::Truncated)?;
         let resp = decode_response(&payload)?;
         if let NetResponse::Error { code, message } = resp {
@@ -204,6 +244,20 @@ impl RemoteWormClient {
         match self.call(&NetRequest::Stats)? {
             NetResponse::Stats(snapshot) => Ok(snapshot),
             _ => Err(NetError::Protocol("expected Stats response")),
+        }
+    }
+
+    /// Fetches the server's flight recorder contents: the span trees of
+    /// recent requests that errored or exceeded the slow threshold,
+    /// newest last. Like stats, traces are diagnostic only.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn traces(&mut self) -> Result<Vec<wormtrace::CapturedTrace>, NetError> {
+        match self.call(&NetRequest::Traces)? {
+            NetResponse::Traces(traces) => Ok(traces),
+            _ => Err(NetError::Protocol("expected Traces response")),
         }
     }
 

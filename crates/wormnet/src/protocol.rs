@@ -12,9 +12,10 @@
 use bytes::Bytes;
 use strongworm::authority::{HoldCredential, ReleaseCredential};
 use strongworm::codec::{
-    decode_device_keys, decode_hold_credential, decode_read_outcome, decode_release_credential,
-    decode_stats_snapshot, decode_weak_key_cert, encode_device_keys, encode_hold_credential,
-    encode_read_outcome, encode_release_credential, encode_stats_snapshot, encode_weak_key_cert,
+    decode_captured_traces, decode_device_keys, decode_hold_credential, decode_read_outcome,
+    decode_release_credential, decode_stats_snapshot, decode_weak_key_cert, encode_captured_traces,
+    encode_device_keys, encode_hold_credential, encode_read_outcome, encode_release_credential,
+    encode_stats_snapshot, encode_weak_key_cert,
 };
 use strongworm::firmware::{DeviceKeys, WeakKeyCert};
 use strongworm::wire::{WireError, WireReader, WireWriter};
@@ -78,6 +79,9 @@ pub enum NetRequest {
     /// gauges. Observability only — nothing in it is signed, so it is
     /// diagnostic data, not compliance evidence.
     Stats,
+    /// Fetch the flight recorder's retained slow/error span trees
+    /// (newest last). Like `Stats`, unsigned diagnostic data only.
+    Traces,
 }
 
 /// A server response.
@@ -115,6 +119,11 @@ pub enum NetResponse {
     Stats(
         /// Every instrument registered server-side, name-sorted.
         wormtrace::StatsSnapshot,
+    ),
+    /// The flight recorder's retained span trees, oldest first.
+    Traces(
+        /// Captured slow/error traces, in their canonical encoding.
+        Vec<wormtrace::CapturedTrace>,
     ),
 }
 
@@ -233,24 +242,86 @@ pub fn encode_request(req: &NetRequest) -> Vec<u8> {
         NetRequest::Stats => {
             w.put_u8(8);
         }
+        NetRequest::Traces => {
+            w.put_u8(10);
+        }
     }
     w.finish()
 }
 
-/// Decodes a request frame payload.
+/// Wraps an already-meaningful request in the versioned trace-context
+/// envelope (opcode 9): trace id, parent span id, then the inner
+/// request's complete canonical encoding as a nested byte string. A
+/// server that understands the envelope serves the inner request with
+/// its spans joined to the caller's trace; an old server rejects the
+/// unknown opcode with a decode error and the connection survives —
+/// tracing is strictly opt-in per request.
+pub fn encode_request_traced(req: &NetRequest, ctx: wormtrace::TraceContext) -> Vec<u8> {
+    let mut w = WireWriter::tagged(REQ_TAG);
+    w.put_u8(9);
+    w.put_u64(ctx.trace_id);
+    w.put_u64(ctx.parent_span);
+    w.put_bytes(&encode_request(req));
+    w.finish()
+}
+
+/// Decodes a request frame payload (context-free form). An envelope
+/// (opcode 9) is rejected here — servers use
+/// [`decode_request_traced`], which accepts both forms.
 ///
 /// # Errors
 ///
 /// [`WireError`] on an unknown tag or opcode, malformed fields,
 /// truncation, or trailing bytes.
 pub fn decode_request(bytes: &[u8]) -> Result<NetRequest, WireError> {
+    decode_request_inner(bytes, false).map(|(req, _)| req)
+}
+
+/// Decodes a request frame payload, accepting either a bare request or
+/// a trace-context envelope. Envelopes nest exactly one level: an
+/// envelope inside an envelope is malformed.
+///
+/// # Errors
+///
+/// [`WireError`] on an unknown tag or opcode, malformed fields or
+/// trace context, truncation, or trailing bytes — never a panic.
+pub fn decode_request_traced(
+    bytes: &[u8],
+) -> Result<(NetRequest, Option<wormtrace::TraceContext>), WireError> {
+    decode_request_inner(bytes, true)
+}
+
+fn decode_request_inner(
+    bytes: &[u8],
+    allow_envelope: bool,
+) -> Result<(NetRequest, Option<wormtrace::TraceContext>), WireError> {
     let mut r = WireReader::new(bytes);
     if r.get_str()? != REQ_TAG {
         return Err(WireError {
             expected: "request tag",
         });
     }
-    let req = match r.get_u8()? {
+    let opcode = r.get_u8()?;
+    if opcode == 9 {
+        if !allow_envelope {
+            return Err(WireError {
+                expected: "bare request opcode (envelope rejected here)",
+            });
+        }
+        let trace_id = r.get_u64()?;
+        let parent_span = r.get_u64()?;
+        let inner = r.get_bytes()?;
+        let (req, _) = decode_request_inner(inner, false)?;
+        r.expect_end()?;
+        return Ok((
+            req,
+            Some(wormtrace::TraceContext {
+                trace_id,
+                parent_span,
+            }),
+        ));
+    }
+    let req = match opcode {
         1 => {
             let n = r.get_u32()? as usize;
             if n > MAX_LIST_LEN {
@@ -283,6 +354,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<NetRequest, WireError> {
         6 => NetRequest::Tick,
         7 => NetRequest::GetKeys,
         8 => NetRequest::Stats,
+        10 => NetRequest::Traces,
         _ => {
             return Err(WireError {
                 expected: "request opcode",
@@ -290,7 +362,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<NetRequest, WireError> {
         }
     };
     r.expect_end()?;
-    Ok(req)
+    Ok((req, None))
 }
 
 /// Encodes a response frame payload.
@@ -324,6 +396,10 @@ pub fn encode_response(resp: &NetResponse) -> Vec<u8> {
         NetResponse::Stats(snapshot) => {
             w.put_u8(5);
             w.put_bytes(&encode_stats_snapshot(snapshot));
+        }
+        NetResponse::Traces(traces) => {
+            w.put_u8(6);
+            w.put_bytes(&encode_captured_traces(traces));
         }
     }
     w.finish()
@@ -367,6 +443,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<NetResponse, WireError> {
             NetResponse::Keys { keys, weak_certs }
         }
         5 => NetResponse::Stats(decode_stats_snapshot(r.get_bytes()?)?),
+        6 => NetResponse::Traces(decode_captured_traces(r.get_bytes()?)?),
         _ => {
             return Err(WireError {
                 expected: "response discriminant",
@@ -424,6 +501,7 @@ mod tests {
             NetRequest::Tick,
             NetRequest::GetKeys,
             NetRequest::Stats,
+            NetRequest::Traces,
         ];
         for req in reqs {
             let enc = encode_request(&req);
@@ -432,7 +510,86 @@ mod tests {
             let mut noisy = enc.clone();
             noisy.push(0);
             assert!(decode_request(&noisy).is_err());
+            // The traced form roundtrips request and context together.
+            let ctx = wormtrace::TraceContext {
+                trace_id: 0xABCD,
+                parent_span: 17,
+            };
+            let traced = encode_request_traced(&req, ctx);
+            assert_eq!(
+                decode_request_traced(&traced).unwrap(),
+                (req.clone(), Some(ctx))
+            );
+            // A bare request decodes through the traced entry point too,
+            // with no context — old clients keep working.
+            assert_eq!(decode_request_traced(&enc).unwrap(), (req, None));
+            // The context-free decoder rejects envelopes (old servers).
+            assert!(decode_request(&traced).is_err());
+            for cut in 0..traced.len() {
+                assert!(decode_request_traced(&traced[..cut]).is_err());
+            }
         }
+    }
+
+    #[test]
+    fn envelope_cannot_nest_and_garbage_context_rejected() {
+        let inner = encode_request_traced(
+            &NetRequest::Stats,
+            wormtrace::TraceContext {
+                trace_id: 1,
+                parent_span: 0,
+            },
+        );
+        // An envelope wrapping an envelope is malformed.
+        let mut w = WireWriter::tagged(REQ_TAG);
+        w.put_u8(9);
+        w.put_u64(2);
+        w.put_u64(0);
+        w.put_bytes(&inner);
+        assert!(decode_request_traced(&w.finish()).is_err());
+        // An envelope around garbage inner bytes is malformed.
+        let mut w = WireWriter::tagged(REQ_TAG);
+        w.put_u8(9);
+        w.put_u64(2);
+        w.put_u64(0);
+        w.put_bytes(b"not a request");
+        assert!(decode_request_traced(&w.finish()).is_err());
+        // Trailing bytes after the envelope are rejected.
+        let mut padded = encode_request_traced(
+            &NetRequest::Tick,
+            wormtrace::TraceContext {
+                trace_id: 3,
+                parent_span: 4,
+            },
+        );
+        padded.push(0);
+        assert!(decode_request_traced(&padded).is_err());
+    }
+
+    #[test]
+    fn traces_response_roundtrips() {
+        let trace = wormtrace::CapturedTrace {
+            trace_id: 9,
+            trigger: wormtrace::TraceTrigger::Error,
+            total_ns: 1234,
+            truncated_spans: 0,
+            spans: vec![wormtrace::SpanRecord {
+                span_id: 1,
+                parent_span: 0,
+                op: "net.request".into(),
+                plane: wormtrace::Plane::Net,
+                start_ns: 0,
+                duration_ns: 1234,
+                sn: None,
+                ok: false,
+            }],
+        };
+        let enc = encode_response(&NetResponse::Traces(vec![trace.clone()]));
+        match decode_response(&enc).unwrap() {
+            NetResponse::Traces(got) => assert_eq!(got, vec![trace]),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(decode_response(&enc[..enc.len() - 1]).is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use wormstore::BlockDevice;
 
 use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use crate::protocol::{
-    decode_request, encode_response, error_code, NetRequest, NetResponse, CODE_BAD_REQUEST,
+    decode_request_traced, encode_response, error_code, NetRequest, NetResponse, CODE_BAD_REQUEST,
 };
 use crate::NetError;
 
@@ -40,6 +40,11 @@ pub struct NetServerConfig {
     /// Accepted connections queued ahead of a free worker; beyond this
     /// the acceptor sheds load by dropping the connection.
     pub queue_depth: usize,
+    /// Latency at/above which a successful request's span tree is kept
+    /// by the flight recorder (applied to the fronted server's trace
+    /// registry at bind; errors always capture). Also runtime-settable
+    /// via `Registry::flight().set_slow_threshold_ns`.
+    pub slow_trace_threshold: Duration,
 }
 
 impl Default for NetServerConfig {
@@ -50,6 +55,7 @@ impl Default for NetServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             queue_depth: 64,
+            slow_trace_threshold: Duration::from_millis(250),
         }
     }
 }
@@ -75,6 +81,7 @@ struct NetStats {
     bytes_out: Arc<wormtrace::Counter>,
     timeouts: Arc<wormtrace::Counter>,
     queue_depth: Arc<wormtrace::Gauge>,
+    traces_captured: Arc<wormtrace::Counter>,
 }
 
 impl NetStats {
@@ -89,6 +96,7 @@ impl NetStats {
             bytes_out: trace.counter("net.bytes_out"),
             timeouts: trace.counter("net.timeouts"),
             queue_depth: trace.gauge("net.queue_depth"),
+            traces_captured: trace.counter("net.traces_captured"),
             trace,
         }
     }
@@ -114,6 +122,11 @@ pub struct NetServer {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     served: Arc<AtomicU64>,
+    /// Kept so [`NetServer::shutdown`] can drain connections the
+    /// acceptor queued but no worker ever received (each carries a
+    /// pending `net.queue_depth` increment).
+    rx: Receiver<TcpStream>,
+    queue_depth: Arc<wormtrace::Gauge>,
 }
 
 impl NetServer {
@@ -138,6 +151,9 @@ impl NetServer {
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
         let stats = NetStats::new(Arc::clone(server.trace()));
+        stats.trace.flight().set_slow_threshold_ns(
+            u64::try_from(config.slow_trace_threshold.as_nanos()).unwrap_or(u64::MAX),
+        );
         let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_depth);
 
         let workers = (0..config.workers.max(1))
@@ -155,6 +171,7 @@ impl NetServer {
 
         let acceptor = {
             let stop = stop.clone();
+            let stats = stats.clone();
             std::thread::spawn(move || accept_loop(&listener, &tx, &stop, &stats))
         };
 
@@ -164,6 +181,8 @@ impl NetServer {
             acceptor: Some(acceptor),
             workers,
             served,
+            rx,
+            queue_depth: stats.queue_depth,
         })
     }
 
@@ -187,6 +206,14 @@ impl NetServer {
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // Connections the acceptor queued (incrementing the gauge) but
+        // no worker received before stopping would otherwise leak their
+        // queue-depth increment forever; drain and close them so the
+        // gauge returns to the true depth: zero.
+        while let Ok(conn) = self.rx.try_recv() {
+            self.queue_depth.dec();
+            drop(conn);
         }
     }
 }
@@ -271,12 +298,33 @@ fn serve_connection<D: BlockDevice>(
             .bytes_in
             .add(payload.len() as u64 + FRAME_HEADER_BYTES);
         let timer = stats.trace.timer();
-        let resp = match decode_request(&payload) {
-            Ok(req) => handle(server, req),
-            Err(e) => NetResponse::Error {
-                code: CODE_BAD_REQUEST,
-                message: format!("undecodable request: {e}"),
-            },
+        let (resp, traced) = match decode_request_traced(&payload) {
+            // A trace is collected per request whenever the registry is
+            // live: thread-attach the trace, open the root span, and
+            // serve — every span the planes/SCPU/store open on this
+            // thread lands under that root. Wire context (envelope
+            // opcode 9) supplies the identity; bare requests root a
+            // server-minted trace.
+            Ok((req, ctx)) if stats.trace.enabled() => {
+                let trace_id = ctx.map_or_else(wormtrace::span::fresh_trace_id, |c| c.trace_id);
+                let base_parent = ctx.map_or(0, |c| c.parent_span);
+                let active = Arc::new(wormtrace::ActiveTrace::new(trace_id));
+                let scope = wormtrace::span::enter(Arc::clone(&active), base_parent);
+                let root = wormtrace::span::begin("net.request", wormtrace::Plane::Net);
+                let resp = handle(server, req);
+                let ok = !matches!(resp, NetResponse::Error { .. });
+                wormtrace::span::finish(root, ok, None);
+                drop(scope);
+                (resp, Some(active))
+            }
+            Ok((req, _)) => (handle(server, req), None),
+            Err(e) => (
+                NetResponse::Error {
+                    code: CODE_BAD_REQUEST,
+                    message: format!("undecodable request: {e}"),
+                },
+                None,
+            ),
         };
         let ok = !matches!(resp, NetResponse::Error { .. });
         let encoded = encode_response(&resp);
@@ -300,6 +348,13 @@ fn serve_connection<D: BlockDevice>(
                     duration_ns: ns,
                     ok,
                 });
+            }
+            // Tail capture: the flight recorder keeps the span tree of
+            // every errored or over-threshold request, bounded memory.
+            if let Some(active) = traced {
+                if stats.trace.flight().offer(&active, ns, ok) {
+                    stats.traces_captured.inc();
+                }
             }
         }
         served.fetch_add(1, Ordering::Relaxed);
@@ -346,6 +401,10 @@ fn handle<D: BlockDevice>(server: &WormServer<D>, req: NetRequest) -> NetRespons
                 weak_certs: server.weak_certs(),
             }),
             NetRequest::Stats => Ok(NetResponse::Stats(server.stats_snapshot())),
+            NetRequest::Traces => {
+                let flight = server.trace().flight();
+                Ok(NetResponse::Traces(flight.recent(flight.capacity())))
+            }
         }
     })();
     result.unwrap_or_else(|e| NetResponse::Error {

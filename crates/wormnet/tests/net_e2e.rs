@@ -21,6 +21,9 @@ const CLIENTS: usize = 4;
 
 struct Harness {
     net: NetServer,
+    /// Retained so tests can inspect gauges and the flight recorder
+    /// after `net.shutdown()` (the registry outlives the listener).
+    server: Arc<WormServer>,
     clock: Arc<VirtualClock>,
     regulator: RegulatoryAuthority,
 }
@@ -32,9 +35,10 @@ fn boot(config: NetServerConfig) -> Harness {
     let server = Arc::new(
         WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public()).unwrap(),
     );
-    let net = NetServer::bind(server, "127.0.0.1:0", config).unwrap();
+    let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", config).unwrap();
     Harness {
         net,
+        server,
         clock,
         regulator,
     }
@@ -380,4 +384,240 @@ fn hostile_and_malformed_clients_cannot_break_the_server() {
         ReadVerdict::Intact { sn }
     );
     h.net.shutdown();
+}
+
+#[test]
+fn remote_request_span_trees_link_net_to_planes_and_store() {
+    let h = boot(NetServerConfig::default());
+    // Threshold 0: every request counts as "slow", so every span tree
+    // is captured — the test's injection knob for deterministic capture.
+    h.server.trace().flight().set_slow_threshold_ns(0);
+    let mut client = RemoteWormClient::connect(h.net.local_addr()).unwrap();
+    client.set_request_tracing(true);
+    let verifier = client
+        .bootstrap_verifier(Duration::from_secs(300), h.clock.clone())
+        .unwrap();
+
+    let sn = client.write(&[b"traced record"], policy(3600)).unwrap();
+    let write_trace = client.last_trace_id().expect("write minted a trace id");
+    assert_eq!(
+        client.read_verified(sn, &verifier).unwrap().0,
+        ReadVerdict::Intact { sn }
+    );
+    let read_trace = client.last_trace_id().expect("read minted a trace id");
+    assert_ne!(write_trace, read_trace, "each request gets its own trace");
+
+    // Ids must be saved BEFORE this call — fetching traces is itself a
+    // traced request that advances last_trace_id.
+    let traces = client.traces().unwrap();
+    let find = |id: u64| {
+        traces
+            .iter()
+            .find(|t| t.trace_id == id)
+            .unwrap_or_else(|| panic!("trace {id:#x} not captured"))
+    };
+
+    // Read request: net.request (rooted at the client's parent 0)
+    // → server.read (read plane) → store.read (device I/O).
+    let rt = find(read_trace);
+    let span = |op: &str| {
+        rt.spans
+            .iter()
+            .find(|s| s.op == op)
+            .unwrap_or_else(|| panic!("span {op} missing from read trace"))
+    };
+    let root = span("net.request");
+    assert_eq!(root.parent_span, 0);
+    assert_eq!(root.plane, wormtrace::Plane::Net);
+    let read = span("server.read");
+    assert_eq!(read.parent_span, root.span_id);
+    assert_eq!(read.sn, Some(sn.0));
+    let store = span("store.read");
+    assert_eq!(store.parent_span, read.span_id);
+    assert_eq!(store.plane, wormtrace::Plane::Store);
+    assert!(rt.spans.iter().all(|s| s.ok), "read path spans all succeed");
+    // The tree is connected: every non-root parent is a span in it.
+    for s in &rt.spans {
+        assert!(
+            s.parent_span == 0 || rt.spans.iter().any(|p| p.span_id == s.parent_span),
+            "span {} has a dangling parent",
+            s.op
+        );
+    }
+
+    // Write request: the SCPU's virtual-time cost and the store append
+    // both attribute under the witness-plane span.
+    let wt = find(write_trace);
+    let wspan = |op: &str| {
+        wt.spans
+            .iter()
+            .find(|s| s.op == op)
+            .unwrap_or_else(|| panic!("span {op} missing from write trace"))
+    };
+    let wroot = wspan("net.request");
+    let write = wspan("server.write");
+    assert_eq!(write.parent_span, wroot.span_id);
+    assert_eq!(write.plane, wormtrace::Plane::Witness);
+    assert_eq!(write.sn, Some(sn.0));
+    let scpu = wspan("scpu.write");
+    assert_eq!(scpu.parent_span, write.span_id);
+    assert_eq!(scpu.plane, wormtrace::Plane::Scpu);
+    let append = wspan("store.write");
+    assert_eq!(append.parent_span, write.span_id);
+    h.net.shutdown();
+}
+
+#[test]
+fn untraced_requests_still_served_and_rooted_with_server_minted_ids() {
+    let h = boot(NetServerConfig::default());
+    h.server.trace().flight().set_slow_threshold_ns(0);
+    // A pre-envelope client: plain opcodes, no trace context on the
+    // wire (tracing stays off — this is the old wire format).
+    let mut client = RemoteWormClient::connect(h.net.local_addr()).unwrap();
+    client.tick().unwrap();
+    assert!(client.last_trace_id().is_none());
+    let traces = client.traces().unwrap();
+    assert!(!traces.is_empty(), "untraced requests still capture");
+    for t in &traces {
+        assert_ne!(t.trace_id, 0, "server must mint a nonzero trace id");
+        let root = t
+            .spans
+            .iter()
+            .find(|s| s.op == "net.request")
+            .expect("every capture has a net root span");
+        assert_eq!(root.parent_span, 0);
+    }
+    h.net.shutdown();
+}
+
+#[test]
+fn malformed_trace_envelope_is_bad_request_and_connection_survives() {
+    let h = boot(NetServerConfig::default());
+    let mut raw = TcpStream::connect(h.net.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    let good = wormnet::protocol::encode_request_traced(
+        &wormnet::protocol::NetRequest::Tick,
+        wormtrace::TraceContext {
+            trace_id: 42,
+            parent_span: 7,
+        },
+    );
+    let expect_bad_request = |raw: &mut TcpStream, frame: &[u8]| {
+        write_frame(raw, frame, DEFAULT_MAX_FRAME).unwrap();
+        let resp = read_frame(raw, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        match wormnet::protocol::decode_response(&resp).unwrap() {
+            wormnet::protocol::NetResponse::Error { code, .. } => {
+                assert_eq!(code, wormnet::protocol::CODE_BAD_REQUEST);
+            }
+            other => panic!("malformed envelope must fail, got {other:?}"),
+        }
+    };
+
+    // Truncations throughout the envelope — mid-context, mid-length,
+    // mid-inner-request — all come back as errors, never a hangup.
+    for len in [good.len() - 1, good.len() / 2, 15, 9] {
+        expect_bad_request(&mut raw, &good[..len]);
+    }
+    // Garbage where the inner request should be.
+    let mut garbage = good.clone();
+    let n = garbage.len();
+    for b in &mut garbage[n - 8..] {
+        *b ^= 0xA5;
+    }
+    expect_bad_request(&mut raw, &garbage);
+
+    // The same connection still serves a well-formed request after all
+    // five rejections.
+    write_frame(
+        &mut raw,
+        &wormnet::protocol::encode_request(&wormnet::protocol::NetRequest::Tick),
+        DEFAULT_MAX_FRAME,
+    )
+    .unwrap();
+    let resp = read_frame(&mut raw, DEFAULT_MAX_FRAME).unwrap().unwrap();
+    assert!(matches!(
+        wormnet::protocol::decode_response(&resp).unwrap(),
+        wormnet::protocol::NetResponse::Ack
+    ));
+    h.net.shutdown();
+}
+
+#[test]
+fn flight_recorder_bounds_memory_and_captures_slow_and_failing_requests() {
+    let h = boot(NetServerConfig::default());
+    let flight = h.server.trace().flight();
+    let capacity = flight.capacity();
+
+    // Injected slowness: threshold 0 makes every request over-threshold.
+    flight.set_slow_threshold_ns(0);
+    let mut client = RemoteWormClient::connect(h.net.local_addr()).unwrap();
+    client.set_request_tracing(true);
+    let total = capacity as u64 + 10;
+    for _ in 0..total {
+        client.tick().unwrap();
+    }
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.counter("net.traces_captured") >= total,
+        "every over-threshold request must be offered and captured"
+    );
+    let traces = client.traces().unwrap();
+    assert!(
+        traces.len() <= capacity,
+        "ring holds {} traces, capacity {capacity}: memory bound violated",
+        traces.len()
+    );
+    assert!(traces
+        .iter()
+        .all(|t| t.trigger == wormtrace::TraceTrigger::Slow));
+
+    // Injected failure: with the threshold at MAX, only errors capture.
+    flight.set_slow_threshold_ns(u64::MAX);
+    let captured_before = client.stats().unwrap().counter("net.traces_captured");
+    let sn = client.write(&[b"held"], policy(60)).unwrap();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let imposter = RegulatoryAuthority::generate(&mut rng, 512);
+    let now = h.clock.now();
+    let bad_hold = imposter.issue_hold(sn, now, 1, now.after(Duration::from_secs(60)));
+    let failing_trace = match client.lit_hold(bad_hold) {
+        Err(NetError::Remote { .. }) => client.last_trace_id().unwrap(),
+        other => panic!("imposter hold must be rejected, got {other:?}"),
+    };
+    let traces = client.traces().unwrap();
+    let errored = traces
+        .iter()
+        .find(|t| t.trace_id == failing_trace)
+        .expect("failing request captured by trigger=error");
+    assert_eq!(errored.trigger, wormtrace::TraceTrigger::Error);
+    assert!(errored.spans.iter().any(|s| s.op == "net.request" && !s.ok));
+    // The successful write/stats/traces requests in between did not
+    // capture: exactly one new entry.
+    let captured_after = client.stats().unwrap().counter("net.traces_captured");
+    assert_eq!(captured_after, captured_before + 1);
+    h.net.shutdown();
+}
+
+#[test]
+fn queue_depth_gauge_drains_to_zero_after_connection_storm_and_shutdown() {
+    let h = boot(NetServerConfig {
+        workers: 1,
+        queue_depth: 4,
+        read_timeout: Duration::from_millis(200),
+        ..NetServerConfig::default()
+    });
+    let addr = h.net.local_addr();
+    // Storm of idle connections: one occupies the lone worker, a few
+    // sit queued, the rest are shed by the acceptor. None sends a
+    // request, so queued entries are still in flight at shutdown —
+    // exactly the case that used to leak gauge increments.
+    let conns: Vec<TcpStream> = (0..16).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    std::thread::sleep(Duration::from_millis(100));
+    h.net.shutdown();
+    drop(conns);
+    assert_eq!(
+        h.server.stats_snapshot().gauge("net.queue_depth"),
+        Some(0),
+        "queue depth gauge must drain to zero on shutdown"
+    );
 }

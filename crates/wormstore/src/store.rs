@@ -184,6 +184,13 @@ impl<D: BlockDevice> RecordStore<D> {
     /// [`StoreError::OutOfSpace`] when no extent fits; device errors
     /// otherwise.
     pub fn write(&self, data: &[u8]) -> Result<RecordDescriptor, StoreError> {
+        let span = wormtrace::span::begin("store.write", wormtrace::Plane::Store);
+        let result = self.write_inner(data);
+        wormtrace::span::finish(span, result.is_ok(), None);
+        result
+    }
+
+    fn write_inner(&self, data: &[u8]) -> Result<RecordDescriptor, StoreError> {
         let len = data.len() as u64;
         let (offset, id) = {
             let mut alloc = self.alloc.lock();
@@ -202,9 +209,16 @@ impl<D: BlockDevice> RecordStore<D> {
     ///
     /// Propagates device errors (e.g., a stale descriptor past capacity).
     pub fn read(&self, rd: &RecordDescriptor) -> Result<Bytes, StoreError> {
-        let mut buf = vec![0u8; rd.len as usize];
-        self.dev.read_at(rd.offset, &mut buf)?;
-        Ok(Bytes::from(buf))
+        // Span attribution costs one thread-local check when no request
+        // trace is attached — negligible next to the read's allocation.
+        let span = wormtrace::span::begin("store.read", wormtrace::Plane::Store);
+        let result = (|| {
+            let mut buf = vec![0u8; rd.len as usize];
+            self.dev.read_at(rd.offset, &mut buf)?;
+            Ok(Bytes::from(buf))
+        })();
+        wormtrace::span::finish(span, result.is_ok(), None);
+        result
     }
 
     /// Destroys a record with the given shredding discipline and recycles
@@ -219,7 +233,10 @@ impl<D: BlockDevice> RecordStore<D> {
         shredder: Shredder,
         rng: &mut R,
     ) -> Result<(), StoreError> {
-        shredder.shred(&self.dev, rd, rng)?;
+        let span = wormtrace::span::begin("store.shred", wormtrace::Plane::Store);
+        let result = shredder.shred(&self.dev, rd, rng).map_err(StoreError::from);
+        wormtrace::span::finish(span, result.is_ok(), None);
+        result?;
         self.alloc.lock().release(rd.offset, rd.len);
         Ok(())
     }

@@ -1,0 +1,510 @@
+//! `wormtop` — live introspection for a Strong WORM network server.
+//!
+//! Polls a `NetServer`'s stats and flight-recorder endpoints over the
+//! ordinary wire protocol (no privileged side channel: what wormtop
+//! sees is exactly what any client can see) and renders per-op request
+//! rates, p50/p99 latency estimates, queue depth, retention-daemon
+//! health, and the span trees of recently captured slow or failing
+//! requests.
+//!
+//! Modes:
+//!
+//! - default: full-screen refresh every `--interval` (top(1)-style);
+//! - `--once`: a single poll emitted as one machine-readable JSON line,
+//!   for scripts and CI smoke tests;
+//! - `--self-test`: boot an in-process server on a loopback port and
+//!   monitor it, generating enough traffic (including one failing
+//!   request) that every panel has data. Combined with `--once` this
+//!   exercises the whole observability path with zero setup.
+
+#![forbid(unsafe_code)]
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scpu::{Clock, VirtualClock};
+use strongworm::{RegulatoryAuthority, RetentionPolicy, WormConfig, WormServer};
+use wormnet::{NetServer, NetServerConfig, RemoteWormClient};
+use wormstore::Shredder;
+use wormtrace::{CapturedTrace, SpanRecord, StatsSnapshot};
+
+const USAGE: &str = "\
+wormtop — live introspection for a Strong WORM network server
+
+USAGE:
+    wormtop [OPTIONS]
+
+OPTIONS:
+    --addr HOST:PORT     Server to monitor (default 127.0.0.1:7474)
+    --interval MS        Poll interval in milliseconds (default 1000)
+    -n, --iterations N   Stop after N polls (default: run until killed)
+    --once               Poll once and print one JSON line, then exit
+    --self-test          Boot an in-process server with sample traffic
+                         and monitor that instead of --addr
+    -h, --help           Show this help
+";
+
+struct Options {
+    addr: String,
+    interval: Duration,
+    iterations: Option<u64>,
+    once: bool,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:7474".to_string(),
+        interval: Duration::from_millis(1000),
+        iterations: None,
+        once: false,
+        self_test: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--interval" => {
+                let ms: u64 = value("--interval")?
+                    .parse()
+                    .map_err(|e| format!("--interval: {e}"))?;
+                opts.interval = Duration::from_millis(ms.max(1));
+            }
+            "-n" | "--iterations" => {
+                opts.iterations = Some(
+                    value("--iterations")?
+                        .parse()
+                        .map_err(|e| format!("--iterations: {e}"))?,
+                );
+            }
+            "--once" => opts.once = true,
+            "--self-test" => opts.self_test = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("wormtop: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    // Self-test: the harness must outlive the polling loop, so the
+    // server handle is held here until exit.
+    let harness = if opts.self_test {
+        Some(self_test_boot())
+    } else {
+        None
+    };
+    let addr = harness
+        .as_ref()
+        .map_or_else(|| opts.addr.clone(), |h| h.addr.to_string());
+
+    let mut client = match RemoteWormClient::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("wormtop: cannot connect to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if opts.once {
+        match poll(&mut client) {
+            Ok((stats, traces)) => println!("{}", to_json_line(&addr, &stats, &traces)),
+            Err(e) => {
+                eprintln!("wormtop: poll failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        if let Some(h) = harness {
+            h.net.shutdown();
+        }
+        return;
+    }
+
+    let mut prev: Option<(Instant, StatsSnapshot)> = None;
+    let mut polls: u64 = 0;
+    loop {
+        match poll(&mut client) {
+            Ok((stats, traces)) => {
+                polls += 1;
+                render(&addr, polls, opts.interval, prev.as_ref(), &stats, &traces);
+                prev = Some((Instant::now(), stats));
+            }
+            Err(e) => {
+                eprintln!("wormtop: poll failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        if opts.iterations.is_some_and(|n| polls >= n) {
+            break;
+        }
+        std::thread::sleep(opts.interval);
+    }
+    if let Some(h) = harness {
+        h.net.shutdown();
+    }
+}
+
+fn poll(
+    client: &mut RemoteWormClient,
+) -> Result<(StatsSnapshot, Vec<CapturedTrace>), wormnet::NetError> {
+    let stats = client.stats()?;
+    let traces = client.traces()?;
+    Ok((stats, traces))
+}
+
+// ---------------------------------------------------------------------
+// Self-test harness
+// ---------------------------------------------------------------------
+
+struct SelfTest {
+    net: NetServer,
+    addr: SocketAddr,
+}
+
+/// Boots a loopback server and drives sample traffic through it:
+/// writes, verified reads, and one rejected litigation hold, with the
+/// flight-recorder threshold dropped to zero so every request's span
+/// tree is captured. The monitor then has live data in every panel.
+fn self_test_boot() -> SelfTest {
+    let clock = VirtualClock::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let regulator = RegulatoryAuthority::generate(&mut rng, 512);
+    let server = Arc::new(
+        WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())
+            .expect("self-test server boots"),
+    );
+    // Threshold zero: every request is "slow", so each one's span tree
+    // lands in the flight recorder — the monitor has traces to show.
+    let config = NetServerConfig {
+        slow_trace_threshold: Duration::ZERO,
+        ..NetServerConfig::default()
+    };
+    let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", config)
+        .expect("self-test server binds a loopback port");
+    let addr = net.local_addr();
+
+    let mut client = RemoteWormClient::connect(addr).expect("self-test client connects");
+    client.set_request_tracing(true);
+    let verifier = client
+        .bootstrap_verifier(Duration::from_secs(300), clock.clone())
+        .expect("self-test verifier bootstraps");
+    let policy = RetentionPolicy::custom(Duration::from_secs(3600), Shredder::ZeroFill);
+    let sns: Vec<_> = (0..8)
+        .map(|i| {
+            client
+                .write(&[format!("self-test record {i}").as_bytes()], policy)
+                .expect("self-test write")
+        })
+        .collect();
+    for &sn in &sns {
+        client
+            .read_verified(sn, &verifier)
+            .expect("self-test verified read");
+    }
+    // One failing request, so the flight recorder shows an error
+    // capture: a hold signed by an authority the device doesn't trust.
+    let imposter = RegulatoryAuthority::generate(&mut rng, 512);
+    let now = clock.now();
+    let bad = imposter.issue_hold(sns[0], now, 1, now.after(Duration::from_secs(60)));
+    assert!(
+        client.lit_hold(bad).is_err(),
+        "imposter hold must be rejected"
+    );
+    SelfTest { net, addr }
+}
+
+// ---------------------------------------------------------------------
+// Live rendering
+// ---------------------------------------------------------------------
+
+fn render(
+    addr: &str,
+    polls: u64,
+    interval: Duration,
+    prev: Option<&(Instant, StatsSnapshot)>,
+    stats: &StatsSnapshot,
+    traces: &[CapturedTrace],
+) {
+    let mut out = String::new();
+    // Full-screen refresh: clear + home.
+    out.push_str("\x1b[2J\x1b[H");
+    out.push_str(&format!(
+        "wormtop — {addr}   poll {polls}   interval {:.1}s\n",
+        interval.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "queue depth {}   conns accepted {}   shed {}   timeouts {}   events dropped {}\n",
+        stats.gauge("net.queue_depth").unwrap_or(0),
+        stats.counter("net.conn_accepted"),
+        stats.counter("net.conn_shed"),
+        stats.counter("net.timeouts"),
+        stats.events_dropped,
+    ));
+    let daemon_passes = stats.op("daemon.pass").map_or(0, |o| o.total());
+    out.push_str(&format!(
+        "daemon: passes {}   backoff {} ms   consecutive failures {}\n\n",
+        daemon_passes,
+        stats.gauge("daemon.backoff_ms").unwrap_or(0),
+        stats.gauge("daemon.consecutive_failures").unwrap_or(0),
+    ));
+
+    out.push_str(&format!(
+        "{:<24} {:>10} {:>10} {:>6} {:>9} {:>9} {:>9}\n",
+        "OP", "TOTAL", "OK", "ERR", "RATE/s", "P50", "P99"
+    ));
+    for (name, op) in &stats.ops {
+        let rate = prev
+            .map(|(at, p)| {
+                let before = p.op(name).map_or(0, |o| o.total());
+                let elapsed = at.elapsed().as_secs_f64().max(1e-9);
+                (op.total().saturating_sub(before)) as f64 / elapsed
+            })
+            .unwrap_or(0.0);
+        out.push_str(&format!(
+            "{:<24} {:>10} {:>10} {:>6} {:>9.1} {:>9} {:>9}\n",
+            name,
+            op.total(),
+            op.ok,
+            op.err,
+            rate,
+            fmt_ns(op.p50_ns()),
+            fmt_ns(op.p99_ns()),
+        ));
+    }
+
+    out.push_str(&format!(
+        "\nflight recorder: {} trace(s) held, {} captured since boot\n",
+        traces.len(),
+        stats.counter("net.traces_captured"),
+    ));
+    const SHOW: usize = 4;
+    for t in traces.iter().rev().take(SHOW) {
+        out.push_str(&format!(
+            "  trace {:#018x} [{}] total {}{}\n",
+            t.trace_id,
+            t.trigger.as_str(),
+            fmt_ns(t.total_ns),
+            if t.truncated_spans > 0 {
+                format!(" ({} spans truncated)", t.truncated_spans)
+            } else {
+                String::new()
+            }
+        ));
+        for (depth, span) in tree_order(&t.spans) {
+            out.push_str(&format!(
+                "    {}{} [{}] {}{}{}\n",
+                "  ".repeat(depth),
+                span.op,
+                span.plane.as_str(),
+                fmt_ns(span.duration_ns),
+                span.sn.map_or(String::new(), |sn| format!(" sn={sn}")),
+                if span.ok { "" } else { " ERR" },
+            ));
+        }
+    }
+    print!("{out}");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+}
+
+/// Depth-first order over a captured span list: children grouped under
+/// parents, siblings by start time. Spans whose parent is not in the
+/// capture (the root, or a remote parent from the wire context) rank
+/// as roots.
+fn tree_order(spans: &[SpanRecord]) -> Vec<(usize, &SpanRecord)> {
+    let mut by_start: Vec<&SpanRecord> = spans.iter().collect();
+    by_start.sort_by_key(|s| s.start_ns);
+    let mut out = Vec::with_capacity(spans.len());
+    fn visit<'a>(
+        node: &'a SpanRecord,
+        depth: usize,
+        all: &[&'a SpanRecord],
+        out: &mut Vec<(usize, &'a SpanRecord)>,
+    ) {
+        out.push((depth, node));
+        for child in all.iter().filter(|s| s.parent_span == node.span_id) {
+            visit(child, depth + 1, all, out);
+        }
+    }
+    let local: std::collections::HashSet<u64> = spans.iter().map(|s| s.span_id).collect();
+    for root in by_start
+        .iter()
+        .filter(|s| s.parent_span == 0 || !local.contains(&s.parent_span))
+    {
+        visit(root, 0, &by_start, &mut out);
+    }
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+// ---------------------------------------------------------------------
+// --once machine-readable output
+// ---------------------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSON object on one line: the full snapshot plus every held
+/// trace. Hand-rolled (the workspace has no serde); keys are emitted
+/// in a fixed order so output is diffable across runs.
+fn to_json_line(addr: &str, stats: &StatsSnapshot, traces: &[CapturedTrace]) -> String {
+    let mut s = String::with_capacity(4096);
+    s.push_str(&format!("{{\"addr\":\"{}\"", json_escape(addr)));
+    s.push_str(&format!(",\"events_dropped\":{}", stats.events_dropped));
+
+    s.push_str(",\"counters\":{");
+    for (i, (name, v)) in stats.counters.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{v}", json_escape(name)));
+    }
+    s.push_str("},\"gauges\":{");
+    for (i, (name, v)) in stats.gauges.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{v}", json_escape(name)));
+    }
+    s.push_str("},\"ops\":{");
+    for (i, (name, op)) in stats.ops.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\"{}\":{{\"total\":{},\"ok\":{},\"err\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+            json_escape(name),
+            op.total(),
+            op.ok,
+            op.err,
+            op.p50_ns(),
+            op.p99_ns(),
+        ));
+    }
+    s.push_str("},\"traces\":[");
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"trace_id\":{},\"trigger\":\"{}\",\"total_ns\":{},\"truncated_spans\":{},\"spans\":[",
+            t.trace_id,
+            t.trigger.as_str(),
+            t.total_ns,
+            t.truncated_spans,
+        ));
+        for (j, span) in t.spans.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"span_id\":{},\"parent_span\":{},\"op\":\"{}\",\"plane\":\"{}\",\"start_ns\":{},\"duration_ns\":{},\"sn\":{},\"ok\":{}}}",
+                span.span_id,
+                span.parent_span,
+                json_escape(&span.op),
+                span.plane.as_str(),
+                span.start_ns,
+                span.duration_ns,
+                span.sn.map_or("null".to_string(), |sn| sn.to_string()),
+                span.ok,
+            ));
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_handles_specials() {
+        assert_eq!(json_escape("plain.op"), "plain.op");
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn tree_order_nests_children_under_parents() {
+        let mk = |span_id, parent_span, op: &str, start_ns| SpanRecord {
+            span_id,
+            parent_span,
+            op: op.to_string(),
+            plane: wormtrace::Plane::Net,
+            start_ns,
+            duration_ns: 1,
+            sn: None,
+            ok: true,
+        };
+        let spans = vec![
+            mk(3, 2, "store.read", 20),
+            mk(1, 0, "net.request", 0),
+            mk(2, 1, "server.read", 10),
+        ];
+        let order: Vec<_> = tree_order(&spans)
+            .into_iter()
+            .map(|(d, s)| (d, s.op.clone()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (0, "net.request".to_string()),
+                (1, "server.read".to_string()),
+                (2, "store.read".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_line_is_well_formed_for_empty_snapshot() {
+        let line = to_json_line("x:1", &StatsSnapshot::default(), &[]);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"counters\":{}"));
+        assert!(line.contains("\"traces\":[]"));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -23,6 +23,11 @@
 //! * [`StatsSnapshot`] — a point-in-time, order-canonical copy of the
 //!   whole registry, cheap to ship over a wire (the canonical byte
 //!   codec lives with the other codecs in `strongworm::codec`).
+//! * [`span`] — request-scoped causal span trees (trace id / span id /
+//!   parent id) attached to the handling thread, plus the
+//!   [`FlightRecorder`]: a bounded ring retaining the complete span
+//!   tree of any request that errors or exceeds a configurable latency
+//!   threshold.
 //!
 //! ## Hot-path budget
 //!
@@ -41,6 +46,7 @@
 mod metrics;
 mod registry;
 mod snapshot;
+pub mod span;
 mod trace;
 
 pub use metrics::{
@@ -49,4 +55,8 @@ pub use metrics::{
 };
 pub use registry::{Registry, READ_EVENT_SAMPLE};
 pub use snapshot::StatsSnapshot;
+pub use span::{
+    ActiveTrace, CapturedTrace, FlightRecorder, SpanRecord, TraceContext, TraceTrigger,
+    DEFAULT_FLIGHT_CAPACITY, MAX_SPANS_PER_TRACE,
+};
 pub use trace::{EventRing, Plane, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY};

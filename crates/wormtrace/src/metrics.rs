@@ -290,6 +290,16 @@ impl OpSnapshot {
         self.ok.saturating_add(self.err)
     }
 
+    /// Median latency estimate in ns ([`HistogramSnapshot::quantile_ns`]).
+    pub fn p50_ns(&self) -> u64 {
+        self.latency.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile latency estimate in ns.
+    pub fn p99_ns(&self) -> u64 {
+        self.latency.quantile_ns(0.99)
+    }
+
     /// Folds `other` into `self` (counter adds, histogram merge).
     pub fn merge(&mut self, other: &OpSnapshot) {
         self.ok = self.ok.saturating_add(other.ok);

@@ -6,6 +6,7 @@ use std::sync::{Arc, RwLock};
 
 use crate::metrics::{Counter, Gauge, OpStats, OpTimer};
 use crate::snapshot::StatsSnapshot;
+use crate::span::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 use crate::trace::{EventRing, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY};
 
 /// Read-plane events are sampled 1-in-this-many (witness, daemon, and
@@ -26,6 +27,7 @@ pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     ring: EventRing,
+    flight: FlightRecorder,
     sink: RwLock<Option<Arc<dyn TraceSink>>>,
     has_sink: AtomicBool,
     enabled: AtomicBool,
@@ -51,11 +53,17 @@ impl Registry {
 
     /// Registry with an explicit event-ring capacity.
     pub fn with_ring_capacity(capacity: usize) -> Self {
+        Self::with_capacities(capacity, DEFAULT_FLIGHT_CAPACITY)
+    }
+
+    /// Registry with explicit event-ring and flight-recorder capacities.
+    pub fn with_capacities(ring_capacity: usize, flight_capacity: usize) -> Self {
         Registry {
             ops: RwLock::new(BTreeMap::new()),
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
-            ring: EventRing::new(capacity),
+            ring: EventRing::new(ring_capacity),
+            flight: FlightRecorder::new(flight_capacity),
             sink: RwLock::new(None),
             has_sink: AtomicBool::new(false),
             enabled: AtomicBool::new(true),
@@ -138,6 +146,12 @@ impl Registry {
     /// The flight-recorder ring.
     pub fn ring(&self) -> &EventRing {
         &self.ring
+    }
+
+    /// The span-tree flight recorder: captured slow/error request
+    /// traces (see [`crate::span`]).
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
     }
 
     /// A point-in-time, name-sorted copy of every registered

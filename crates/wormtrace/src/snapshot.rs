@@ -77,6 +77,19 @@ impl StatsSnapshot {
             .map_or(0, |i| self.counters[i].1)
     }
 
+    /// Median latency estimate for op `name` in ns, if recorded (an
+    /// upper-bound log2-bucket estimate; see
+    /// [`crate::HistogramSnapshot::quantile_ns`]).
+    pub fn p50_ns(&self, name: &str) -> Option<u64> {
+        self.op(name).map(OpSnapshot::p50_ns)
+    }
+
+    /// 99th-percentile latency estimate for op `name` in ns, if
+    /// recorded.
+    pub fn p99_ns(&self, name: &str) -> Option<u64> {
+        self.op(name).map(OpSnapshot::p99_ns)
+    }
+
     /// The gauge named `name`, if present.
     pub fn gauge(&self, name: &str) -> Option<u64> {
         self.gauges
@@ -133,5 +146,24 @@ mod tests {
         });
         assert_eq!(a.gauge("q"), Some(5));
         assert_eq!(a.events_dropped, 2);
+    }
+
+    #[test]
+    fn quantile_helpers_mirror_histogram_estimates() {
+        let mut op = OpSnapshot::default();
+        for ns in [100u64, 100, 100, 100_000] {
+            op.latency.buckets[crate::bucket_index(ns)] += 1;
+            op.latency.sum_ns += ns;
+        }
+        op.ok = 4;
+        let snap = StatsSnapshot {
+            ops: vec![("server.read".into(), op.clone())],
+            ..StatsSnapshot::default()
+        };
+        assert_eq!(snap.p50_ns("server.read"), Some(op.p50_ns()));
+        assert_eq!(snap.p99_ns("server.read"), Some(op.p99_ns()));
+        assert_eq!(op.p50_ns(), op.latency.quantile_ns(0.50));
+        assert!(op.p99_ns() >= op.p50_ns());
+        assert_eq!(snap.p50_ns("missing"), None);
     }
 }

@@ -16,6 +16,8 @@ pub enum Plane {
     Daemon,
     /// The network serving layer.
     Net,
+    /// The record store (block-device I/O).
+    Store,
 }
 
 impl Plane {
@@ -27,6 +29,7 @@ impl Plane {
             Plane::Scpu => "scpu",
             Plane::Daemon => "daemon",
             Plane::Net => "net",
+            Plane::Store => "store",
         }
     }
 }

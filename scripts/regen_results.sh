@@ -41,4 +41,9 @@ cargo run --release -q -p worm-bench --bin net_throughput > /dev/null
 echo ">> observability"
 cargo run --release -q -p worm-bench --bin observability > /dev/null
 
+# Writes results/BENCH_trace_overhead.json itself: causal tracing +
+# flight recorder cost on remote verified reads, traced vs kill-switched.
+echo ">> trace_overhead"
+cargo run --release -q -p worm-bench --bin trace_overhead > /dev/null
+
 echo "done; artifacts in results/"
