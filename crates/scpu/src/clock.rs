@@ -85,8 +85,10 @@ impl VirtualClock {
 
     /// Moves time forward by `d`.
     pub fn advance(&self, d: Duration) {
-        self.millis
-            .fetch_add(d.as_millis() as u64, Ordering::SeqCst);
+        let ms = d.as_millis() as u64;
+        // ordering: single atomic cell; any cross-thread hand-off that makes an advance
+        // observable (channel send, lock release) already orders it, so Relaxed suffices.
+        self.millis.fetch_add(ms, Ordering::Relaxed);
     }
 
     /// Jumps directly to `t`.
@@ -95,20 +97,23 @@ impl VirtualClock {
     ///
     /// Panics if `t` is in the past — trusted clocks never run backwards.
     pub fn jump_to(&self, t: Timestamp) {
-        let cur = self.millis.load(Ordering::SeqCst);
+        // ordering: coherence on the single cell keeps each reader's view monotonic; the
+        // backwards-jump assert is a sanity check, not a synchronization point.
+        let cur = self.millis.load(Ordering::Relaxed);
         assert!(
             t.as_millis() >= cur,
             "virtual clock cannot move backwards ({} -> {})",
             cur,
             t.as_millis()
         );
-        self.millis.store(t.as_millis(), Ordering::SeqCst);
+        self.millis.store(t.as_millis(), Ordering::Relaxed); // ordering: as above
     }
 }
 
 impl Clock for VirtualClock {
     fn now(&self) -> Timestamp {
-        Timestamp(self.millis.load(Ordering::SeqCst))
+        // ordering: a time read orders nothing else; coherence alone keeps it monotonic.
+        Timestamp(self.millis.load(Ordering::Relaxed))
     }
 }
 

@@ -191,7 +191,10 @@ fn interp_loglog(anchors: &[(f64, f64)], x: f64) -> f64 {
             return (y0.ln() + t * (y1.ln() - y0.ln())).exp();
         }
     }
-    unreachable!("x inside anchor range but no segment matched");
+    // Only reachable when x is NaN (it fails every range comparison,
+    // including the endpoint clamps above); charge the last anchor's cost
+    // rather than panicking the cost model over a degenerate input.
+    last.1
 }
 
 /// Virtual-time accounting: accumulated busy nanoseconds and op counts.

@@ -8,7 +8,7 @@
 
 use rand::RngCore;
 use scpu::Timestamp;
-use wormcrypt::{HashAlg, RsaPrivateKey, RsaPublicKey};
+use wormcrypt::{RsaPrivateKey, RsaPublicKey};
 
 use crate::attr::{hold_credential_message, release_credential_message};
 use crate::sn::SerialNumber;
@@ -54,17 +54,10 @@ impl CertificateAuthority {
     /// Issues a certificate binding `key` to `role`.
     pub fn certify(&self, role: KeyRole, key: &RsaPublicKey) -> KeyCertificate {
         let payload = key_cert_payload(role, key);
-        let bytes = self
-            .key
-            .sign(&payload, HashAlg::Sha256)
-            .expect("CA modulus sized for SHA-256");
         KeyCertificate {
             role,
             key: key.clone(),
-            sig: Signature {
-                key_id: self.key.public().fingerprint(),
-                bytes,
-            },
+            sig: Signature::sign(&self.key, &payload),
         }
     }
 }
@@ -151,10 +144,7 @@ impl RegulatoryAuthority {
             issued_at,
             litigation_id,
             hold_until,
-            sig: Signature {
-                key_id: self.key.public().fingerprint(),
-                bytes: self.key.sign(&msg, HashAlg::Sha256).expect("modulus sized"),
-            },
+            sig: Signature::sign(&self.key, &msg),
         }
     }
 
@@ -170,10 +160,7 @@ impl RegulatoryAuthority {
             sn,
             issued_at,
             litigation_id,
-            sig: Signature {
-                key_id: self.key.public().fingerprint(),
-                bytes: self.key.sign(&msg, HashAlg::Sha256).expect("modulus sized"),
-            },
+            sig: Signature::sign(&self.key, &msg),
         }
     }
 }

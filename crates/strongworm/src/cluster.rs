@@ -127,6 +127,8 @@ impl WormCluster {
 
     /// Advances the round-robin cursor atomically.
     fn next_shard(&self) -> usize {
+        // ordering: the cursor only load-balances; fetch_add is already atomic, and no other
+        // memory depends on which shard a writer lands on, so Relaxed suffices.
         self.next.fetch_add(1, Ordering::Relaxed) % self.shards.len()
     }
 

@@ -80,7 +80,7 @@ pub fn encode_vrd(v: &Vrd) -> Vec<u8> {
     let mut w = WireWriter::tagged("strongworm.vrd.v1");
     w.put_u64(v.sn.get());
     w.put_bytes(&v.attr.encode());
-    w.put_u32(v.rdl.len() as u32);
+    w.put_count(v.rdl.len());
     for rd in &v.rdl {
         w.put_u64(rd.id.0);
         w.put_u64(rd.offset);
@@ -105,7 +105,7 @@ pub fn decode_vrd(bytes: &[u8]) -> Result<Vrd, WireError> {
     }
     let sn = SerialNumber(r.get_u64()?);
     let attr = RecordAttributes::decode(r.get_bytes()?)?;
-    let n = r.get_u32()? as usize;
+    let n = r.get_count()?;
     // Cap defensively: a corrupt count must not allocate unboundedly.
     if n > MAX_LIST_LEN {
         return Err(WireError {
@@ -308,7 +308,7 @@ pub fn encode_read_outcome(o: &ReadOutcome) -> Vec<u8> {
         ReadOutcome::Data { vrd, records, head } => {
             w.put_u8(0);
             w.put_bytes(&encode_vrd(vrd));
-            w.put_u32(records.len() as u32);
+            w.put_count(records.len());
             for rec in records {
                 w.put_bytes(rec.as_ref());
             }
@@ -346,7 +346,7 @@ pub fn decode_read_outcome(bytes: &[u8]) -> Result<ReadOutcome, WireError> {
     let outcome = match r.get_u8()? {
         0 => {
             let vrd = decode_vrd(r.get_bytes()?)?;
-            let n = r.get_u32()? as usize;
+            let n = r.get_count()?;
             if n > MAX_LIST_LEN {
                 return Err(WireError {
                     expected: "sane record count",
@@ -564,9 +564,10 @@ fn put_histogram(w: &mut WireWriter, h: &wormtrace::HistogramSnapshot) {
     // Sparse encoding: most ops populate a handful of adjacent log2
     // buckets, so (index, count) pairs beat 32 fixed u64s on the wire.
     let nonzero = h.buckets.iter().filter(|&&c| c != 0).count();
-    w.put_u32(nonzero as u32);
+    w.put_count(nonzero);
     for (i, &count) in h.buckets.iter().enumerate() {
         if count != 0 {
+            // wormlint: allow(cast) -- i indexes h.buckets, so i < NUM_BUCKETS = 32 always fits u8
             w.put_u8(i as u8);
             w.put_u64(count);
         }
@@ -575,7 +576,7 @@ fn put_histogram(w: &mut WireWriter, h: &wormtrace::HistogramSnapshot) {
 }
 
 fn get_histogram(r: &mut WireReader<'_>) -> Result<wormtrace::HistogramSnapshot, WireError> {
-    let n = r.get_u32()? as usize;
+    let n = r.get_count()?;
     if n > MAX_HISTOGRAM_ENTRIES {
         return Err(WireError {
             expected: "sane histogram entry count",
@@ -584,7 +585,7 @@ fn get_histogram(r: &mut WireReader<'_>) -> Result<wormtrace::HistogramSnapshot,
     let mut h = wormtrace::HistogramSnapshot::default();
     let mut prev: Option<usize> = None;
     for _ in 0..n {
-        let idx = r.get_u8()? as usize;
+        let idx = usize::from(r.get_u8()?);
         // Strictly ascending indices with non-zero counts: every
         // snapshot has exactly one canonical encoding.
         if idx >= wormtrace::NUM_BUCKETS || prev.is_some_and(|p| idx <= p) {
@@ -598,7 +599,9 @@ fn get_histogram(r: &mut WireReader<'_>) -> Result<wormtrace::HistogramSnapshot,
                 expected: "non-zero histogram bucket count",
             });
         }
-        h.buckets[idx] = count;
+        if let Some(slot) = h.buckets.get_mut(idx) {
+            *slot = count;
+        }
         prev = Some(idx);
     }
     h.sum_ns = r.get_u64()?;
@@ -620,19 +623,19 @@ fn check_name_order(prev: &mut Option<String>, name: &str) -> Result<(), WireErr
 /// preserved verbatim, and histograms encode sparsely).
 pub fn encode_stats_snapshot(s: &wormtrace::StatsSnapshot) -> Vec<u8> {
     let mut w = WireWriter::tagged("wormtrace.stats.v1");
-    w.put_u32(s.ops.len() as u32);
+    w.put_count(s.ops.len());
     for (name, op) in &s.ops {
         w.put_str(name);
         w.put_u64(op.ok);
         w.put_u64(op.err);
         put_histogram(&mut w, &op.latency);
     }
-    w.put_u32(s.counters.len() as u32);
+    w.put_count(s.counters.len());
     for (name, v) in &s.counters {
         w.put_str(name);
         w.put_u64(*v);
     }
-    w.put_u32(s.gauges.len() as u32);
+    w.put_count(s.gauges.len());
     for (name, v) in &s.gauges {
         w.put_str(name);
         w.put_u64(*v);
@@ -657,7 +660,7 @@ pub fn decode_stats_snapshot(bytes: &[u8]) -> Result<wormtrace::StatsSnapshot, W
         });
     }
     let mut s = wormtrace::StatsSnapshot::default();
-    let n_ops = r.get_u32()? as usize;
+    let n_ops = r.get_count()?;
     if n_ops > MAX_STATS_ENTRIES {
         return Err(WireError {
             expected: "sane op count",
@@ -673,7 +676,7 @@ pub fn decode_stats_snapshot(bytes: &[u8]) -> Result<wormtrace::StatsSnapshot, W
         s.ops
             .push((name, wormtrace::OpSnapshot { ok, err, latency }));
     }
-    let n_counters = r.get_u32()? as usize;
+    let n_counters = r.get_count()?;
     if n_counters > MAX_STATS_ENTRIES {
         return Err(WireError {
             expected: "sane counter count",
@@ -685,7 +688,7 @@ pub fn decode_stats_snapshot(bytes: &[u8]) -> Result<wormtrace::StatsSnapshot, W
         check_name_order(&mut prev, &name)?;
         s.counters.push((name, r.get_u64()?));
     }
-    let n_gauges = r.get_u32()? as usize;
+    let n_gauges = r.get_count()?;
     if n_gauges > MAX_STATS_ENTRIES {
         return Err(WireError {
             expected: "sane gauge count",
@@ -753,7 +756,7 @@ fn get_bool(r: &mut WireReader<'_>) -> Result<bool, WireError> {
 /// span.
 pub fn encode_captured_traces(traces: &[wormtrace::CapturedTrace]) -> Vec<u8> {
     let mut w = WireWriter::tagged("wormtrace.traces.v1");
-    w.put_u32(traces.len() as u32);
+    w.put_count(traces.len());
     for t in traces {
         w.put_u64(t.trace_id);
         w.put_u8(match t.trigger {
@@ -762,7 +765,7 @@ pub fn encode_captured_traces(traces: &[wormtrace::CapturedTrace]) -> Vec<u8> {
         });
         w.put_u64(t.total_ns);
         w.put_u64(t.truncated_spans);
-        w.put_u32(t.spans.len() as u32);
+        w.put_count(t.spans.len());
         for s in &t.spans {
             w.put_u64(s.span_id);
             w.put_u64(s.parent_span);
@@ -800,7 +803,7 @@ pub fn decode_captured_traces(bytes: &[u8]) -> Result<Vec<wormtrace::CapturedTra
             expected: "captured traces tag",
         });
     }
-    let n_traces = r.get_u32()? as usize;
+    let n_traces = r.get_count()?;
     if n_traces > MAX_CAPTURED_TRACES {
         return Err(WireError {
             expected: "sane captured trace count",
@@ -820,7 +823,7 @@ pub fn decode_captured_traces(bytes: &[u8]) -> Result<Vec<wormtrace::CapturedTra
         };
         let total_ns = r.get_u64()?;
         let truncated_spans = r.get_u64()?;
-        let n_spans = r.get_u32()? as usize;
+        let n_spans = r.get_count()?;
         if n_spans > wormtrace::MAX_SPANS_PER_TRACE {
             return Err(WireError {
                 expected: "span count within per-trace bound",

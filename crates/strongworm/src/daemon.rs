@@ -85,6 +85,7 @@ impl RetentionDaemon {
     /// Spawns the maintenance loop over a shared server. Maintenance
     /// passes contend only on the witness plane; concurrent readers are
     /// never blocked by a pass.
+    #[allow(clippy::expect_used)]
     pub fn spawn<D>(server: Arc<WormServer<D>>, config: DaemonConfig) -> Self
     where
         D: BlockDevice + 'static,
@@ -112,20 +113,24 @@ impl RetentionDaemon {
                     pass = pass.wrapping_add(1);
                     let timer = trace.timer();
                     let result = Self::run_pass(&server, &config, pass);
+                    // ordering: status counters are read by observers
+                    // for display only; the daemon thread is the sole
+                    // writer, so no cross-field ordering is needed.
                     thread_status.passes.fetch_add(1, Ordering::Relaxed);
                     pass_op.finish(timer, result.is_ok());
                     match result {
                         Ok(()) => {
                             thread_status
                                 .consecutive_failures
-                                .store(0, Ordering::Relaxed);
+                                .store(0, Ordering::Relaxed); // ordering: status, see above
                             backoff = config.interval;
                         }
                         Err(e) => {
                             let streak = thread_status
                                 .consecutive_failures
-                                .fetch_add(1, Ordering::Relaxed)
+                                .fetch_add(1, Ordering::Relaxed) // ordering: status, see above
                                 + 1;
+                            // ordering: status, see above
                             thread_status.total_failures.fetch_add(1, Ordering::Relaxed);
                             *thread_status.last_error.lock() = Some(e.to_string());
                             // Failed passes are rare and diagnostic gold:
@@ -150,9 +155,12 @@ impl RetentionDaemon {
                     }
                     backoff_gauge.set(backoff.as_millis() as u64);
                     failures_gauge
+                        // ordering: same-thread read-back of the status
+                        // counter stored above; trivially coherent.
                         .set(thread_status.consecutive_failures.load(Ordering::Relaxed) as u64);
                 }
             })
+            // wormlint: allow(panic) -- one thread spawned once at startup; failure means OS resource exhaustion before the server ever served, and the caller cannot run without its retention daemon
             .expect("daemon thread spawns");
         RetentionDaemon {
             shutdown,
@@ -209,17 +217,19 @@ impl RetentionDaemon {
 
     /// How many passes in a row have failed (0 when healthy).
     pub fn consecutive_failures(&self) -> u32 {
+        // ordering: display-only status read; a stale value is as
+        // informative as one an instant fresher.
         self.status.consecutive_failures.load(Ordering::Relaxed)
     }
 
     /// Total failed passes over the daemon's lifetime.
     pub fn total_failures(&self) -> u64 {
-        self.status.total_failures.load(Ordering::Relaxed)
+        self.status.total_failures.load(Ordering::Relaxed) // ordering: status, see above
     }
 
     /// Total maintenance passes attempted.
     pub fn passes(&self) -> u64 {
-        self.status.passes.load(Ordering::Relaxed)
+        self.status.passes.load(Ordering::Relaxed) // ordering: status, see above
     }
 }
 

@@ -443,10 +443,10 @@ impl Applet for WormFirmware {
         let now = env.now();
         // Head heartbeat (§4.2.1: the SCPU updates the signed timestamp
         // every few minutes even in the absence of data updates).
-        let due_head = {
-            let s = self.state.as_ref().expect("booted");
-            s.last_head_issue.after(self.cfg.head_refresh_interval) <= now
-        };
+        let due_head = self
+            .state
+            .as_ref()
+            .is_some_and(|s| s.last_head_issue.after(self.cfg.head_refresh_interval) <= now);
         if due_head {
             if let Ok(head) = self.refresh_head(env) {
                 self.outbox.push(OutboxItem::NewHead(head));

@@ -72,11 +72,11 @@ impl VexpTable {
         mem: &mut SecureMemory,
         now: Timestamp,
     ) -> Option<(SerialNumber, Timestamp, Shredder)> {
-        let (&(t, sn), _) = self.entries.iter().next()?;
+        let (&(t, _), _) = self.entries.iter().next()?;
         if t > now {
             return None;
         }
-        let shredder = self.entries.remove(&(t, sn)).expect("entry just observed");
+        let ((t, sn), shredder) = self.entries.pop_first()?;
         self.index.remove(&sn);
         mem.release(VEXP_ENTRY_BYTES);
         Some((sn, t, shredder))
@@ -122,9 +122,10 @@ impl WormFirmware {
                     // the bytes `pop_due` released above with nothing in
                     // between, so it cannot fail — and a deletion schedule
                     // must never be dropped silently, so assert it.
-                    self.vexp
-                        .insert(env.memory(), sn, hold_until, shredder)
-                        .expect("re-reserving bytes released by pop_due");
+                    let r = self.vexp.insert(env.memory(), sn, hold_until, shredder);
+                    #[allow(clippy::expect_used)]
+                    // wormlint: allow(panic) -- re-reserves exactly the bytes pop_due just released, so failure is impossible; silently dropping a deletion schedule would violate the retention contract
+                    r.expect("re-reserving bytes released by pop_due");
                     continue;
                 }
                 self.holds.remove(&sn);

@@ -7,7 +7,7 @@
 //! lifetime".
 
 use scpu::{Env, Op, Timestamp};
-use wormcrypt::{ct_eq, HashAlg, Hmac, Sha256};
+use wormcrypt::{ct_eq, Hmac, Sha256};
 
 use crate::attr::RecordAttributes;
 use crate::config::WitnessMode;
@@ -155,16 +155,7 @@ impl WormFirmware {
                     let s = self.booted()?;
                     let expires_at = now.after(lifetime).min(s.weak_cert.max_sig_expiry);
                     let wrapped = weak_wrap(payload, expires_at);
-                    (
-                        Signature {
-                            key_id: s.weak_key.public().fingerprint(),
-                            bytes: s
-                                .weak_key
-                                .sign(&wrapped, HashAlg::Sha256)
-                                .expect("weak modulus holds sha-256"),
-                        },
-                        expires_at,
-                    )
+                    (Signature::sign(&s.weak_key, &wrapped), expires_at)
                 };
                 self.register_pending(env, sn, field, payload);
                 Ok(Witness::Weak { sig, expires_at })
@@ -188,14 +179,8 @@ impl WormFirmware {
         env.charge(Op::RsaSign {
             bits: self.cfg.strong_bits,
         });
-        let s = self.state.as_ref().expect("booted");
-        Witness::Strong(Signature {
-            key_id: s.sign_key.public().fingerprint(),
-            bytes: s
-                .sign_key
-                .sign(payload, HashAlg::Sha256)
-                .expect("strong modulus sized"),
-        })
+        let s = self.booted_invariant();
+        Witness::Strong(Signature::sign(&s.sign_key, payload))
     }
 
     /// Signs a deletion payload with the deletion key `d`.
@@ -203,14 +188,8 @@ impl WormFirmware {
         env.charge(Op::RsaSign {
             bits: self.cfg.strong_bits,
         });
-        let s = self.state.as_ref().expect("booted");
-        Signature {
-            key_id: s.del_key.public().fingerprint(),
-            bytes: s
-                .del_key
-                .sign(payload, HashAlg::Sha256)
-                .expect("strong modulus sized"),
-        }
+        let s = self.booted_invariant();
+        Signature::sign(&s.del_key, payload)
     }
 
     /// Queues a deferred witness for strengthening. If secure memory is
@@ -259,11 +238,9 @@ impl WormFirmware {
         });
         let mut spent = 0u64;
         while spent + per_sig <= budget_ns || (per_sig == 0 && !self.pending.is_empty()) {
-            let key = match self.pending.keys().next().copied() {
-                Some(k) => k,
-                None => break,
+            let Some((key, entry)) = self.pending.pop_first() else {
+                break;
             };
-            let entry = self.pending.remove(&key).expect("key just observed");
             env.memory().release(entry.reserved);
             let witness = self.sign_strong(env, &entry.payload);
             spent += per_sig;

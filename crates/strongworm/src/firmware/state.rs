@@ -10,7 +10,7 @@
 use std::collections::BTreeSet;
 
 use scpu::{Env, Op, Timestamp};
-use wormcrypt::{HashAlg, Hmac, RsaPrivateKey, RsaPublicKey, Sha256};
+use wormcrypt::{Hmac, RsaPrivateKey, RsaPublicKey, Sha256};
 
 use crate::proofs::{BaseCert, HeadCert, WindowProof};
 use crate::sn::SerialNumber;
@@ -74,6 +74,17 @@ impl WormFirmware {
             .ok_or_else(|| FirmwareError("device not initialized".into()))
     }
 
+    /// The booted state on internal paths that cannot be reached before
+    /// `Init`: every command handler gates on [`WormFirmware::booted`]
+    /// first, and the alarm/idle hooks return early while `state` is
+    /// `None`. A `None` here is firmware memory corruption, and the
+    /// enclosure halts rather than fabricate evidence.
+    #[allow(clippy::expect_used)]
+    pub(crate) fn booted_invariant(&self) -> &BootedState {
+        // wormlint: allow(panic) -- reachable only behind a `booted()?` gate or an explicit `state.is_none()` early return (see doc); a `None` here must halt the enclosure
+        self.state.as_ref().expect("booted invariant")
+    }
+
     /// `Init`: generates all key material inside the enclosure.
     pub(crate) fn init(
         &mut self,
@@ -129,12 +140,7 @@ impl WormFirmware {
         WeakKeyCert {
             key: weak_pub.clone(),
             max_sig_expiry,
-            sig: Signature {
-                key_id: sign_key.public().fingerprint(),
-                bytes: sign_key
-                    .sign(&payload, HashAlg::Sha256)
-                    .expect("strong modulus sized for sha-256"),
-            },
+            sig: Signature::sign(sign_key, &payload),
         }
     }
 
@@ -185,13 +191,7 @@ impl WormFirmware {
         let cert = HeadCert {
             sn_current: s.sn_current,
             issued_at: now,
-            sig: Signature {
-                key_id: s.sign_key.public().fingerprint(),
-                bytes: s
-                    .sign_key
-                    .sign(&payload, HashAlg::Sha256)
-                    .expect("strong modulus sized"),
-            },
+            sig: Signature::sign(&s.sign_key, &payload),
         };
         s.last_head_issue = now;
         Ok(cert)
@@ -209,20 +209,17 @@ impl WormFirmware {
         Ok(BaseCert {
             sn_base: s.sn_base,
             expires_at,
-            sig: Signature {
-                key_id: s.sign_key.public().fingerprint(),
-                bytes: s
-                    .sign_key
-                    .sign(&payload, HashAlg::Sha256)
-                    .expect("strong modulus sized"),
-            },
+            sig: Signature::sign(&s.sign_key, &payload),
         })
     }
 
     /// Records that `sn` was deleted and advances the base past any
     /// contiguous deleted prefix. Returns `true` if the base moved.
     pub(crate) fn mark_expired(&mut self, sn: SerialNumber) -> bool {
-        let s = self.state.as_mut().expect("booted");
+        // Unbooted firmware has no base to advance.
+        let Some(s) = self.state.as_mut() else {
+            return false;
+        };
         if sn >= s.sn_base {
             s.expired.insert(sn);
         }
@@ -287,27 +284,14 @@ impl WormFirmware {
         env.charge(Op::RsaSign { bits });
         env.charge(Op::RsaSign { bits });
         let s = self.booted_mut()?;
-        let fingerprint = s.sign_key.public().fingerprint();
-        let lo_sig = Signature {
-            key_id: fingerprint,
-            bytes: s
-                .sign_key
-                .sign(
-                    &window_payload(window_id, lo, WindowSide::Lower),
-                    HashAlg::Sha256,
-                )
-                .expect("strong modulus sized"),
-        };
-        let hi_sig = Signature {
-            key_id: fingerprint,
-            bytes: s
-                .sign_key
-                .sign(
-                    &window_payload(window_id, hi, WindowSide::Upper),
-                    HashAlg::Sha256,
-                )
-                .expect("strong modulus sized"),
-        };
+        let lo_sig = Signature::sign(
+            &s.sign_key,
+            &window_payload(window_id, lo, WindowSide::Lower),
+        );
+        let hi_sig = Signature::sign(
+            &s.sign_key,
+            &window_payload(window_id, hi, WindowSide::Upper),
+        );
         // Externalize: per-SN knowledge is replaced by the interval.
         let mut sn = lo;
         while sn <= hi {
@@ -333,7 +317,7 @@ impl WormFirmware {
         expires_at: Timestamp,
         shredder_code: u8,
     ) -> Vec<u8> {
-        let s = self.state.as_ref().expect("booted");
+        let s = self.booted_invariant();
         let mut payload = crate::witness::sealed_expiry_payload(sn, expires_at);
         payload.push(shredder_code);
         Hmac::<Sha256>::mac(&s.seal_key, &payload)

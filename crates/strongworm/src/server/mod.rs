@@ -247,9 +247,11 @@ impl<D: BlockDevice> WormServer<D> {
         drop(read_plane);
         let (device, vrdt, store) = witness.into_inner().into_shared_parts();
         let vrdt = Arc::try_unwrap(vrdt)
+            // wormlint: allow(panic) -- see "# Panics": unreachable through the public API, and leaking a live VRDT handle across a restart boundary must halt, not limp
             .unwrap_or_else(|_| unreachable!("read plane dropped; sole VRDT handle remains"))
             .into_inner();
         let store = Arc::try_unwrap(store)
+            // wormlint: allow(panic) -- as above: both planes were just consumed, so a surviving store handle means a broken caller, not a recoverable state
             .unwrap_or_else(|_| unreachable!("read plane dropped; sole store handle remains"));
         let journal = wormstore::Journal::from_bytes(vrdt.journal().as_bytes().to_vec());
         (device, store, journal)

@@ -11,6 +11,7 @@
 /// Largest byte string a `u32` length prefix can describe. Encoders must
 /// reject anything longer — `v.len() as u32` would silently wrap and
 /// produce a *valid-looking but corrupt* canonical encoding.
+// wormlint: allow(cast) -- lossless u32→u64 widening; `u64::from` is not usable in const context
 pub const MAX_WIRE_BYTES: u64 = u32::MAX as u64;
 
 /// Canonical encoder.
@@ -59,9 +60,11 @@ impl WireWriter {
     /// truncated into a corrupt encoding. Callers encoding data whose
     /// size is not already bounded should use
     /// [`WireWriter::try_put_bytes`].
+    #[allow(clippy::expect_used)]
     pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
-        self.try_put_bytes(v)
-            .expect("byte string exceeds the u32 wire length prefix");
+        let appended = self.try_put_bytes(v);
+        // wormlint: allow(panic) -- the documented contract above: encoders feeding unbounded data must use try_put_bytes; silently truncating a length prefix would mint a corrupt canonical encoding
+        appended.expect("byte string exceeds the u32 length prefix");
         self
     }
 
@@ -83,6 +86,19 @@ impl WireWriter {
     /// Appends a length-prefixed UTF-8 string.
     pub fn put_str(&mut self, v: &str) -> &mut Self {
         self.put_bytes(v.as_bytes())
+    }
+
+    /// Appends a collection count into a `u32` slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` — mirrors [`WireWriter::put_bytes`]:
+    /// a count the prefix cannot represent must never wrap into a
+    /// valid-looking but corrupt canonical encoding.
+    #[allow(clippy::expect_used)]
+    pub fn put_count(&mut self, n: usize) -> &mut Self {
+        // wormlint: allow(panic) -- documented contract above: a count above u32::MAX must halt rather than wrap into a corrupt canonical encoding, and every in-memory collection this stack encodes sits orders of magnitude below that bound
+        self.put_u32(u32::try_from(n).expect("collection count exceeds the u32 wire slot"))
     }
 
     /// Consumes the writer, returning the encoded bytes.
@@ -149,12 +165,12 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError`] if fewer than 4 bytes remain.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        if self.buf.len() < 4 {
-            return Err(WireError { expected: "u32" });
-        }
-        let (head, rest) = self.buf.split_at(4);
+        let (head, rest) = self
+            .buf
+            .split_first_chunk::<4>()
+            .ok_or(WireError { expected: "u32" })?;
         self.buf = rest;
-        Ok(u32::from_be_bytes(head.try_into().expect("4 bytes")))
+        Ok(u32::from_be_bytes(*head))
     }
 
     /// Reads a big-endian `u64`.
@@ -163,12 +179,12 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError`] if fewer than 8 bytes remain.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        if self.buf.len() < 8 {
-            return Err(WireError { expected: "u64" });
-        }
-        let (head, rest) = self.buf.split_at(8);
+        let (head, rest) = self
+            .buf
+            .split_first_chunk::<8>()
+            .ok_or(WireError { expected: "u64" })?;
         self.buf = rest;
-        Ok(u64::from_be_bytes(head.try_into().expect("8 bytes")))
+        Ok(u64::from_be_bytes(*head))
     }
 
     /// Reads a length-prefixed byte string.
@@ -181,13 +197,30 @@ impl<'a> WireReader<'a> {
     ///
     /// [`WireError`] if the prefix or payload is truncated.
     pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
-        let len = self.get_u32()? as usize;
+        let len = usize::try_from(self.get_u32()?).map_err(|_| WireError {
+            expected: "length within address space",
+        })?;
         if self.buf.len() < len {
             return Err(WireError { expected: "bytes" });
         }
         let (head, rest) = self.buf.split_at(len);
         self.buf = rest;
         Ok(head)
+    }
+
+    /// Reads a `u32` collection count as `usize`.
+    ///
+    /// Callers still bound the result against their own caps before
+    /// allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or a count the address space cannot
+    /// hold.
+    pub fn get_count(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.get_u32()?).map_err(|_| WireError {
+            expected: "count within address space",
+        })
     }
 
     /// Reads a length-prefixed byte string, additionally rejecting any

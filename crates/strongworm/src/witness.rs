@@ -16,7 +16,7 @@
 //! and HMACs verifiable only by the SCPU itself.
 
 use scpu::Timestamp;
-use wormcrypt::{HashAlg, RsaPublicKey};
+use wormcrypt::{HashAlg, RsaPrivateKey, RsaPublicKey};
 
 use crate::sn::SerialNumber;
 use crate::wire::WireWriter;
@@ -57,6 +57,24 @@ pub struct Signature {
 }
 
 impl Signature {
+    /// Signs `msg` with `key` (SHA-256, PKCS#1 v1.5), tagging the
+    /// signature with the key's fingerprint.
+    ///
+    /// Every signing key in this stack — SCPU keys minted at `Init`,
+    /// authority keys from `generate` — is created with a modulus sized
+    /// to hold a SHA-256 digest, so signing cannot fail. A failure here
+    /// means the key material itself is corrupt, and the enclosure must
+    /// halt rather than emit unsigned evidence.
+    #[allow(clippy::expect_used)]
+    pub fn sign(key: &RsaPrivateKey, msg: &[u8]) -> Signature {
+        let sig = key.sign(msg, HashAlg::Sha256);
+        Signature {
+            key_id: key.public().fingerprint(),
+            // wormlint: allow(panic) -- every signing key is minted with a modulus sized for a SHA-256 digest (see doc); failure means corrupt key material and must halt the enclosure
+            bytes: sig.expect("modulus sized for SHA-256"),
+        }
+    }
+
     /// Verifies this signature over `msg` with `key`, also checking the
     /// fingerprint matches.
     pub fn verify(&self, key: &RsaPublicKey, msg: &[u8]) -> bool {

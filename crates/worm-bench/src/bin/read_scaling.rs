@@ -79,6 +79,8 @@ fn main() {
                     start.wait();
                     let mut n = 0u64;
                     let mut i = t;
+                    // ordering: stop flag needs timeliness, not ordering; the final
+                    // count is published by the join, not by this load.
                     while !stop.load(Ordering::Relaxed) {
                         let sn = sns[i % sns.len()];
                         let outcome = server.read(sn).expect("read succeeds");
@@ -86,6 +88,7 @@ fn main() {
                         n += 1;
                         i += 1;
                     }
+                    // ordering: joined before reading; the join edge orders this.
                     total.fetch_add(n, Ordering::Relaxed);
                 })
             })
@@ -94,12 +97,13 @@ fn main() {
         start.wait();
         let t0 = Instant::now();
         std::thread::sleep(MEASURE_WINDOW);
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // ordering: see the reader-side note
         for h in threads {
             h.join().expect("reader thread panicked");
         }
         let wall = t0.elapsed();
 
+        // ordering: every writer thread was joined above; Relaxed reads the final sum.
         let total_reads = total.load(Ordering::Relaxed);
         let reads_per_sec = total_reads as f64 / wall.as_secs_f64();
         let baseline = points.first().map_or(reads_per_sec, |p| p.reads_per_sec);

@@ -1,0 +1,477 @@
+//! A lightweight Rust lexer: just enough tokenization for wormlint's
+//! pattern rules, with line-accurate positions.
+//!
+//! The lexer understands everything that could make a naive regex
+//! scanner lie about source structure — line and nested block
+//! comments, regular/raw/byte string literals, char literals versus
+//! lifetimes, raw identifiers — so a `panic!` inside a string or a
+//! `.unwrap()` in a doc comment is never mistaken for code. It does
+//! *not* build an AST; rules work on the flat token stream plus the
+//! comment side-channel.
+
+/// Token classification. Only the distinctions the rules need.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`, with the `r#`
+    /// stripped from the reported text).
+    Ident,
+    /// Integer literal.
+    Int,
+    /// Any other literal: float, string, raw string, byte string, char.
+    Lit,
+    /// Lifetime or loop label (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation byte. Multi-byte operators appear as
+    /// consecutive punct tokens (`::` is `:` then `:`).
+    Punct(u8),
+}
+
+/// One lexed token with its source span and 1-based line number.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text within `src`. For raw identifiers the `r#`
+    /// prefix is included in the span; use [`Token::ident_text`] for
+    /// name comparisons.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Identifier text with any raw `r#` prefix stripped.
+    pub fn ident_text<'a>(&self, src: &'a str) -> &'a str {
+        let t = self.text(src);
+        t.strip_prefix("r#").unwrap_or(t)
+    }
+
+    /// Whether this token is the punctuation byte `b`.
+    pub fn is_punct(&self, b: u8) -> bool {
+        self.kind == TokKind::Punct(b)
+    }
+}
+
+/// A comment with its span and the range of lines it covers.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub start: usize,
+    pub end: usize,
+    /// First line of the comment, 1-based.
+    pub line: u32,
+    /// Last line (equals `line` for `//` comments).
+    pub end_line: u32,
+}
+
+impl Comment {
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexer output: the token stream plus comments as a side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Parses an integer literal's value (decimal, hex, octal, binary,
+/// with `_` separators and an optional type suffix). `None` when the
+/// value overflows `u64` or the text is malformed.
+pub fn int_value(text: &str) -> Option<u64> {
+    let t = text.replace('_', "");
+    let (radix, digits) = if let Some(h) = t.strip_prefix("0x").or_else(|| t.strip_prefix("0X")) {
+        (16, h)
+    } else if let Some(o) = t.strip_prefix("0o") {
+        (8, o)
+    } else if let Some(b) = t.strip_prefix("0b") {
+        (2, b)
+    } else {
+        (10, t.as_str())
+    };
+    // Strip a type suffix (u8, i64, usize, ...): the suffix starts at
+    // the first char that is not a digit in this radix.
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
+/// Tokenizes `src`. Never panics on malformed input: an unterminated
+/// literal or comment simply runs to end of file.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+
+    // Byte offset just past position index i (or src.len()).
+    let at = |i: usize| -> usize {
+        if i < n {
+            chars[i].0
+        } else {
+            src.len()
+        }
+    };
+    let ch = |i: usize| -> Option<char> { chars.get(i).map(|&(_, c)| c) };
+
+    while i < n {
+        let (pos, c) = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if ch(i + 1) == Some('/') => {
+                let start_line = line;
+                let mut j = i + 2;
+                while j < n && chars[j].1 != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    start: pos,
+                    end: at(j),
+                    line: start_line,
+                    end_line: start_line,
+                });
+                i = j;
+            }
+            '/' if ch(i + 1) == Some('*') => {
+                let start_line = line;
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    match chars[j].1 {
+                        '\n' => {
+                            line += 1;
+                            j += 1;
+                        }
+                        '/' if ch(j + 1) == Some('*') => {
+                            depth += 1;
+                            j += 2;
+                        }
+                        '*' if ch(j + 1) == Some('/') => {
+                            depth -= 1;
+                            j += 2;
+                        }
+                        _ => j += 1,
+                    }
+                }
+                out.comments.push(Comment {
+                    start: pos,
+                    end: at(j),
+                    line: start_line,
+                    end_line: line,
+                });
+                i = j;
+            }
+            '"' => {
+                let (j, endl) = scan_string(&chars, i, line);
+                out.tokens.push(Token {
+                    kind: TokKind::Lit,
+                    start: pos,
+                    end: at(j),
+                    line,
+                });
+                line = endl;
+                i = j;
+            }
+            '\'' => {
+                // Lifetime vs char literal. `'a` followed by `'` is the
+                // char 'a'; `'a` followed by anything else is a
+                // lifetime. Escapes (`'\n'`) are always char literals.
+                if ch(i + 1) == Some('\\') {
+                    let mut j = i + 2;
+                    // Skip the escaped payload up to the closing quote.
+                    while j < n && chars[j].1 != '\'' {
+                        j += 1;
+                    }
+                    j = (j + 1).min(n);
+                    out.tokens.push(Token {
+                        kind: TokKind::Lit,
+                        start: pos,
+                        end: at(j),
+                        line,
+                    });
+                    i = j;
+                } else if ch(i + 1).is_some_and(is_ident_start) && ch(i + 2) != Some('\'') {
+                    let mut j = i + 1;
+                    while j < n && is_ident_continue(chars[j].1) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        start: pos,
+                        end: at(j),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    // Plain char literal like 'a' or '{'.
+                    let mut j = i + 1;
+                    if j < n {
+                        j += 1; // the char payload
+                    }
+                    if ch(j) == Some('\'') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lit,
+                        start: pos,
+                        end: at(j),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if is_ident_start(c) => {
+                // Check string-literal prefixes before the generic
+                // identifier path: r"..", r#"..."#, b"..", b'..', br".
+                if let Some((j, endl)) = scan_prefixed_literal(&chars, i, line) {
+                    out.tokens.push(Token {
+                        kind: TokKind::Lit,
+                        start: pos,
+                        end: at(j),
+                        line,
+                    });
+                    line = endl;
+                    i = j;
+                    continue;
+                }
+                // Raw identifier r#name.
+                let mut j = i;
+                if c == 'r' && ch(i + 1) == Some('#') && ch(i + 2).is_some_and(is_ident_start) {
+                    j = i + 2;
+                }
+                while j < n && is_ident_continue(chars[j].1) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    start: pos,
+                    end: at(j),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < n && (is_ident_continue(chars[j].1)) {
+                    j += 1;
+                }
+                let mut kind = TokKind::Int;
+                // Fractional part: `.` followed by a digit (so `0..9`
+                // stays an int followed by a range).
+                if ch(j) == Some('.') && ch(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    kind = TokKind::Lit;
+                    j += 1;
+                    while j < n && is_ident_continue(chars[j].1) {
+                        j += 1;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind,
+                    start: pos,
+                    end: at(j),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                let mut buf = [0u8; 4];
+                let b = c.encode_utf8(&mut buf).as_bytes()[0];
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(b),
+                    start: pos,
+                    end: at(i + 1),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scans a `"`-delimited string starting at `i`; returns the index
+/// past the closing quote and the updated line counter.
+fn scan_string(chars: &[(usize, char)], i: usize, mut line: u32) -> (usize, u32) {
+    let n = chars.len();
+    let mut j = i + 1;
+    while j < n {
+        match chars[j].1 {
+            '\\' => j += 2,
+            '\n' => {
+                line += 1;
+                j += 1;
+            }
+            '"' => return (j + 1, line),
+            _ => j += 1,
+        }
+    }
+    (n, line)
+}
+
+/// Scans raw/byte string prefixes (`r"`, `r#"`, `b"`, `b'`, `br#"`).
+/// Returns `None` when position `i` does not start a prefixed literal.
+fn scan_prefixed_literal(chars: &[(usize, char)], i: usize, line: u32) -> Option<(usize, u32)> {
+    let n = chars.len();
+    let ch = |k: usize| -> Option<char> { chars.get(k).map(|&(_, c)| c) };
+    let c = ch(i)?;
+    // Determine prefix shape: (raw, after-prefix index).
+    let (raw, mut j) = match c {
+        'r' => (true, i + 1),
+        'b' => match ch(i + 1) {
+            Some('r') => (true, i + 2),
+            Some('"') => (false, i + 1),
+            Some('\'') => {
+                // Byte char literal b'x' / b'\n'.
+                let mut k = i + 2;
+                if ch(k) == Some('\\') {
+                    k += 1;
+                }
+                while k < n && ch(k) != Some('\'') {
+                    k += 1;
+                }
+                return Some(((k + 1).min(n), line));
+            }
+            _ => return None,
+        },
+        _ => return None,
+    };
+    if raw {
+        let mut hashes = 0usize;
+        while ch(j) == Some('#') {
+            hashes += 1;
+            j += 1;
+        }
+        if ch(j) != Some('"') {
+            return None; // r#ident or plain identifier starting with r/br
+        }
+        j += 1;
+        let mut line = line;
+        // Scan for `"` followed by `hashes` `#`s. No escapes in raw strings.
+        while j < n {
+            if chars[j].1 == '\n' {
+                line += 1;
+                j += 1;
+                continue;
+            }
+            if chars[j].1 == '"' {
+                let mut k = j + 1;
+                let mut seen = 0usize;
+                while seen < hashes && ch(k) == Some('#') {
+                    seen += 1;
+                    k += 1;
+                }
+                if seen == hashes {
+                    return Some((k, line));
+                }
+            }
+            j += 1;
+        }
+        Some((n, line))
+    } else {
+        if ch(j) != Some('"') {
+            return None;
+        }
+        let (end, line) = scan_string(chars, j, line);
+        Some((end, line))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.ident_text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // panic! in a line comment
+            /* .unwrap() in /* a nested */ block */
+            let s = "panic!(\"no\")";
+            let r = r#"unreachable!()"#;
+            let b = b"expect";
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids
+            .iter()
+            .any(|i| i == "panic" || i == "unwrap" || i == "expect"));
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lit && t.text(src) == "'x'"));
+    }
+
+    #[test]
+    fn int_values_parse() {
+        assert_eq!(int_value("42"), Some(42));
+        assert_eq!(int_value("0xFF_u8"), Some(255));
+        assert_eq!(int_value("1_000u64"), Some(1000));
+        assert_eq!(int_value("0b101"), Some(5));
+        assert_eq!(int_value("zzz"), None);
+    }
+
+    #[test]
+    fn float_vs_range() {
+        let src = "let a = 1.5; for i in 0..9 {}";
+        let lexed = lex(src);
+        let ints: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Int)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(ints, vec!["0", "9"]);
+    }
+
+    #[test]
+    fn lines_are_accurate() {
+        let src = "a\nb\n  c";
+        let lexed = lex(src);
+        let lines: Vec<u32> = lexed.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,163 @@
+//! Fixture-based self-test: each fixture under `tests/fixtures/`
+//! carries `//~ <rule>` expectation markers on its violating lines;
+//! the analyzer must produce exactly those diagnostics and no others.
+//! Runs from the embedded copies, so `wormlint --self-test` works from
+//! any directory (and in CI before the test harness).
+
+use crate::analysis::SourceFile;
+use crate::rules::{lint_file, Scope};
+
+const SERVING: Scope = Scope {
+    serving: true,
+    codec_path: false,
+};
+const CODEC: Scope = Scope {
+    serving: true,
+    codec_path: true,
+};
+
+/// The embedded fixture corpus: (name, scope, source).
+pub const FIXTURES: &[(&str, Scope, &str)] = &[
+    (
+        "l0_bad.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l0_bad.rs"),
+    ),
+    (
+        "l1_bad.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l1_bad.rs"),
+    ),
+    (
+        "l1_good.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l1_good.rs"),
+    ),
+    (
+        "l1_index_bad.rs",
+        CODEC,
+        include_str!("../tests/fixtures/l1_index_bad.rs"),
+    ),
+    (
+        "l1_index_good.rs",
+        CODEC,
+        include_str!("../tests/fixtures/l1_index_good.rs"),
+    ),
+    (
+        "l2_bad.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l2_bad.rs"),
+    ),
+    (
+        "l2_good.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l2_good.rs"),
+    ),
+    (
+        "l3_bad.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l3_bad.rs"),
+    ),
+    (
+        "l3_good.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l3_good.rs"),
+    ),
+    (
+        "l4_bad.rs",
+        CODEC,
+        include_str!("../tests/fixtures/l4_bad.rs"),
+    ),
+    (
+        "l4_good.rs",
+        CODEC,
+        include_str!("../tests/fixtures/l4_good.rs"),
+    ),
+];
+
+/// Every rule name a marker may reference; anything else in an
+/// expectation marker is a fixture authoring error.
+const MARKER_RULES: &[&str] = &[
+    "panic",
+    "index",
+    "ordering",
+    "codec-pair",
+    "codec-test",
+    "opcode",
+    "cast",
+    "allow-syntax",
+    "allow-unused",
+];
+
+/// Expected diagnostics parsed from `//~ rule [rule ...]` markers.
+fn expectations(src: &str) -> Result<Vec<(String, u32)>, String> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(idx) = line.find("//~") {
+            for rule in line[idx + 3..].split_whitespace() {
+                if !MARKER_RULES.contains(&rule) {
+                    return Err(format!("line {}: unknown marker rule `{rule}`", i + 1));
+                }
+                out.push((rule.to_string(), i as u32 + 1));
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Runs the whole corpus. `Ok(summary)` when every fixture matches its
+/// markers exactly; `Err(details)` listing every mismatch otherwise.
+pub fn run() -> Result<String, String> {
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for (name, scope, src) in FIXTURES {
+        let f = SourceFile::parse(name, (*src).to_string());
+        let report = lint_file(&f, *scope);
+        let mut got: Vec<(String, u32)> = report
+            .diags
+            .iter()
+            .map(|d| (d.rule.to_string(), d.line))
+            .collect();
+        got.sort();
+        let want = match expectations(src) {
+            Ok(w) => w,
+            Err(e) => {
+                failures.push(format!("{name}: {e}"));
+                continue;
+            }
+        };
+        if got != want {
+            for (rule, line) in want.iter().filter(|w| !got.contains(w)) {
+                failures.push(format!(
+                    "{name}:{line}: expected `{rule}` diagnostic, got none"
+                ));
+            }
+            for (rule, line) in got.iter().filter(|g| !want.contains(g)) {
+                failures.push(format!("{name}:{line}: unexpected `{rule}` diagnostic"));
+            }
+        }
+        checked += 1;
+    }
+    if failures.is_empty() {
+        Ok(format!(
+            "self-test ok: {checked} fixtures, {} expectations matched exactly",
+            FIXTURES
+                .iter()
+                .map(|(_, _, s)| expectations(s).map_or(0, |e| e.len()))
+                .sum::<usize>()
+        ))
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn corpus_matches_markers() {
+        if let Err(e) = super::run() {
+            panic!("wormlint self-test failed:\n{e}");
+        }
+    }
+}

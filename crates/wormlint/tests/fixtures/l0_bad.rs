@@ -1,0 +1,15 @@
+//! L0 fixture: escape-hatch hygiene. Malformed allow comments and
+//! allows that suppress nothing are themselves violations.
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    v.unwrap() // wormlint: allow(panic) //~ allow-syntax panic
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    v.unwrap() // wormlint: allow(bogus) -- not a rule //~ allow-syntax panic
+}
+
+pub fn stale_allow(v: Option<u32>) -> u32 {
+    // wormlint: allow(panic) -- nothing on the next line panics //~ allow-unused
+    v.unwrap_or(0)
+}

@@ -1,0 +1,39 @@
+//! L1 fixture: panicking constructs in non-test serving-crate code.
+//! Lines carrying an expectation marker must produce exactly that
+//! diagnostic; every other line must be clean.
+
+pub fn hot_path(v: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = v.unwrap(); //~ panic
+    let b = r.expect("must hold"); //~ panic
+    if a > b {
+        panic!("inverted"); //~ panic
+    }
+    match a {
+        0 => unreachable!(), //~ panic
+        1 => todo!(), //~ panic
+        2 => unimplemented!(), //~ panic
+        _ => a + b,
+    }
+}
+
+pub fn error_side(r: Result<u32, ()>) -> () {
+    let _ = r.unwrap_err(); //~ panic
+}
+
+// A mention of unwrap() in a comment, or "panic!" in a string, is not
+// a violation:
+pub fn strings_do_not_count() -> &'static str {
+    "call .unwrap() and panic!(now)"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if false {
+            panic!("fine in tests");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! L1 fixture: the same shapes made clean — typed errors, combinators,
+//! or justified escape hatches.
+
+pub fn hot_path(v: Option<u32>, r: Result<u32, ()>) -> Result<u32, ()> {
+    let a = v.ok_or(())?;
+    let b = r?;
+    Ok(a.checked_add(b).unwrap_or(u32::MAX))
+}
+
+pub fn justified(v: Option<u32>) -> u32 {
+    // wormlint: allow(panic) -- value is set unconditionally in new(), fixture demonstrates the escape hatch
+    v.unwrap()
+}
+
+pub fn trailing_justified(v: Option<u32>) -> u32 {
+    v.unwrap() // wormlint: allow(panic) -- invariant: caller checked is_some above
+}
+
+pub fn unwrap_or_family_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(0) + v.unwrap_or_default() + v.unwrap_or_else(|| 1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_allowed_here() {
+        super::hot_path(None, Err(())).unwrap_err();
+    }
+}

@@ -1,0 +1,15 @@
+//! L1 `index` fixture (codec-path scope): indexing expressions panic
+//! on hostile input and are flagged in wire-facing modules.
+
+pub fn decode_header(buf: &[u8]) -> u8 {
+    let first = buf[0]; //~ index
+    let window = &buf[1..4]; //~ index
+    first ^ window.len() as u8 //~ cast
+}
+
+pub fn non_expression_brackets(x: &[u8; 4]) -> Vec<u8> {
+    // Slice types, attributes and macros are not indexing:
+    let v: Vec<u8> = vec![1, 2, 3];
+    let _arr: [u8; 2] = [x.len() as u8, 0]; //~ cast
+    v
+}

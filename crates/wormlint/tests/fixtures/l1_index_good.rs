@@ -1,0 +1,12 @@
+//! L1 `index` fixture: checked accessors or justified indexing.
+
+pub fn decode_header(buf: &[u8]) -> Option<u8> {
+    let first = buf.first().copied()?;
+    let window = buf.get(1..4)?;
+    Some(first ^ u8::try_from(window.len()).unwrap_or(u8::MAX))
+}
+
+pub fn justified(buf: &[u8]) -> u8 {
+    // wormlint: allow(index) -- length validated by the frame header check above
+    buf[0]
+}

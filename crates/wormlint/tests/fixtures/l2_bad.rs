@@ -1,0 +1,14 @@
+//! L2 fixture: atomic orderings without justification comments.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn unjustified(x: &AtomicU64) -> u64 {
+    x.store(1, Ordering::Release); //~ ordering
+    x.fetch_add(1, Ordering::AcqRel); //~ ordering
+    x.load(Ordering::Acquire) //~ ordering
+}
+
+pub fn wrong_comment(x: &AtomicU64) -> u64 {
+    // This comment talks about the ordering but lacks the marker.
+    x.load(Ordering::Relaxed) //~ ordering
+}

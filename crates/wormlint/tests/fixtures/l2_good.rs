@@ -1,0 +1,23 @@
+//! L2 fixture: every ordering choice carries an adjacent
+//! `// ordering:` justification — trailing or in the comment block
+//! immediately above.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub fn justified(x: &AtomicU64, flag: &AtomicBool) -> u64 {
+    x.store(1, Ordering::Release); // ordering: publishes the init writes to acquiring readers
+    // ordering: pairs with the Release store in justified(); the load
+    // must observe the fully initialized value.
+    let v = x.load(Ordering::Acquire);
+    // ordering: monotonic counter, no data published under it
+    x.fetch_add(1, Ordering::Relaxed);
+    if flag.load(Ordering::SeqCst) { // ordering: total order with the rare shutdown store
+        return v;
+    }
+    v
+}
+
+pub fn seqcst(flag: &AtomicBool) -> bool {
+    // ordering: total order with the shutdown store, both rare
+    flag.load(Ordering::SeqCst)
+}

@@ -1,0 +1,26 @@
+//! L3 fixture: encoder/decoder pairs in the same module.
+
+pub struct Widget {
+    pub id: u64,
+}
+
+pub fn encode_widget(w: &Widget) -> Vec<u8> {
+    w.id.to_be_bytes().to_vec()
+}
+
+pub fn decode_widget(bytes: &[u8]) -> Option<Widget> {
+    let id = u64::from_be_bytes(bytes.try_into().ok()?);
+    Some(Widget { id })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let w = Widget { id: 7 };
+        let d = decode_widget(&encode_widget(&w)).unwrap();
+        assert_eq!(d.id, 7);
+    }
+}

@@ -1,0 +1,20 @@
+//! L4 fixture (codec-path scope): bare `as` numeric casts can
+//! silently truncate a length into a corrupt canonical encoding.
+
+pub fn encode_len(len: usize) -> [u8; 4] {
+    let n = len as u32; //~ cast
+    n.to_be_bytes()
+}
+
+pub fn decode_len(prefix: u32) -> usize {
+    prefix as usize //~ cast
+}
+
+pub fn widen(x: u32) -> u64 {
+    x as u64 //~ cast
+}
+
+pub fn non_numeric_casts_are_fine(x: &dyn std::any::Any) -> bool {
+    // `as` to a non-numeric type is not this rule's concern.
+    x.is::<u8>()
+}

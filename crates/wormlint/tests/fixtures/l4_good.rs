@@ -1,0 +1,15 @@
+//! L4 fixture: checked or lossless conversions, or a justified cast.
+
+pub fn encode_len(len: usize) -> Option<[u8; 4]> {
+    let n = u32::try_from(len).ok()?;
+    Some(n.to_be_bytes())
+}
+
+pub fn decode_len(prefix: u32) -> usize {
+    // wormlint: allow(cast) -- u32 -> usize is lossless on every supported target (>= 32-bit)
+    prefix as usize
+}
+
+pub fn widen(x: u32) -> u64 {
+    u64::from(x)
+}

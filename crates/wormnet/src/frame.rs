@@ -23,6 +23,7 @@ pub const DEFAULT_MAX_FRAME: u32 = 16 * 1024 * 1024;
 /// otherwise.
 pub fn write_frame(w: &mut impl Write, payload: &[u8], max: u32) -> Result<(), NetError> {
     let len = u32::try_from(payload.len()).map_err(|_| NetError::FrameTooLarge {
+        // wormlint: allow(cast) -- lossless usize→u64 widening on every supported target
         len: payload.len() as u64,
         max: u64::from(max),
     })?;
@@ -62,6 +63,7 @@ pub fn read_frame(r: &mut impl Read, max: u32) -> Result<Option<Vec<u8>>, NetErr
             max: u64::from(max),
         });
     }
+    // wormlint: allow(cast) -- lossless u32→usize widening on the ≥32-bit targets this server supports; len is already capped at `max`
     let mut payload = vec![0u8; len as usize];
     match read_exact_or_eof(r, &mut payload)? {
         Filled::Full => Ok(Some(payload)),
@@ -80,8 +82,8 @@ enum Filled {
 
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<Filled, NetError> {
     let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
+    while let Some(dst) = buf.get_mut(filled..).filter(|d| !d.is_empty()) {
+        match r.read(dst) {
             Ok(0) => {
                 return Ok(if filled == 0 {
                     Filled::Eof

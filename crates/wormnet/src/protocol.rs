@@ -209,7 +209,7 @@ pub fn encode_request(req: &NetRequest) -> Vec<u8> {
             witness,
         } => {
             w.put_u8(1);
-            w.put_u32(records.len() as u32);
+            w.put_count(records.len());
             for rec in records {
                 w.put_bytes(rec);
             }
@@ -323,7 +323,7 @@ fn decode_request_inner(
     }
     let req = match opcode {
         1 => {
-            let n = r.get_u32()? as usize;
+            let n = r.get_count()?;
             if n > MAX_LIST_LEN {
                 return Err(WireError {
                     expected: "record count within bounds",
@@ -388,7 +388,7 @@ pub fn encode_response(resp: &NetResponse) -> Vec<u8> {
         NetResponse::Keys { keys, weak_certs } => {
             w.put_u8(4);
             w.put_bytes(&encode_device_keys(keys));
-            w.put_u32(weak_certs.len() as u32);
+            w.put_count(weak_certs.len());
             for cert in weak_certs {
                 w.put_bytes(&encode_weak_key_cert(cert));
             }
@@ -430,7 +430,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<NetResponse, WireError> {
         3 => NetResponse::Ack,
         4 => {
             let keys = decode_device_keys(r.get_bytes()?)?;
-            let n = r.get_u32()? as usize;
+            let n = r.get_count()?;
             if n > MAX_LIST_LEN {
                 return Err(WireError {
                     expected: "weak cert count within bounds",

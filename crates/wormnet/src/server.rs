@@ -193,6 +193,7 @@ impl NetServer {
 
     /// Requests committed or served so far, across all workers.
     pub fn requests_served(&self) -> u64 {
+        // ordering: monitoring counter; readers need a recent value, not an ordered one.
         self.served.load(Ordering::Relaxed)
     }
 
@@ -200,6 +201,8 @@ impl NetServer {
     /// thread. In-progress requests complete; idle connections are
     /// closed at their next shutdown-flag poll.
     pub fn shutdown(mut self) {
+        // ordering: one-shot shutdown flag on a cold path; SeqCst costs nothing here and
+        // keeps the store/poll pairing obvious without auditing an Acquire/Release chain.
         self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
@@ -224,6 +227,8 @@ fn accept_loop(
     stop: &AtomicBool,
     stats: &NetStats,
 ) {
+    // ordering: polls the one-shot shutdown flag; SeqCst pairs with the store in
+    // `shutdown` on a path that blocks on `accept` anyway.
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((conn, _peer)) => {
@@ -255,6 +260,8 @@ fn worker_loop<D: BlockDevice>(
     stats: &NetStats,
     config: NetServerConfig,
 ) {
+    // ordering: same one-shot shutdown flag; the recv_timeout bound, not the memory
+    // ordering, is what bounds shutdown latency.
     while !stop.load(Ordering::SeqCst) {
         let conn = match rx.recv_timeout(SHUTDOWN_POLL) {
             Ok(conn) => conn,
@@ -281,6 +288,7 @@ fn serve_connection<D: BlockDevice>(
     let mut reader = conn.try_clone()?;
     let mut writer = BufWriter::new(conn);
     loop {
+        // ordering: per-frame poll of the one-shot shutdown flag (see `shutdown`).
         if stop.load(Ordering::SeqCst) {
             return Ok(());
         }
@@ -357,6 +365,7 @@ fn serve_connection<D: BlockDevice>(
                 }
             }
         }
+        // ordering: monitoring counter; no other memory is published through it.
         served.fetch_add(1, Ordering::Relaxed);
     }
 }

@@ -81,35 +81,39 @@ struct AtomicIoStats {
 }
 
 impl AtomicIoStats {
+    // Each `ordering:` note below defers to the type-level contract
+    // above: counters are statistics, never synchronization.
     fn record_read(&self, bytes: usize, cost_ns: u64) {
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed);
-        self.busy_ns.fetch_add(cost_ns, Ordering::Relaxed);
+        self.reads.fetch_add(1, Ordering::Relaxed); // ordering: metric, see type doc
+        self.bytes_read.fetch_add(bytes as u64, Ordering::Relaxed); // ordering: metric
+        self.busy_ns.fetch_add(cost_ns, Ordering::Relaxed); // ordering: metric
     }
 
     fn record_write(&self, bytes: usize, cost_ns: u64) {
-        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.writes.fetch_add(1, Ordering::Relaxed); // ordering: metric, see type doc
         self.bytes_written
-            .fetch_add(bytes as u64, Ordering::Relaxed);
-        self.busy_ns.fetch_add(cost_ns, Ordering::Relaxed);
+            .fetch_add(bytes as u64, Ordering::Relaxed); // ordering: metric
+        self.busy_ns.fetch_add(cost_ns, Ordering::Relaxed); // ordering: metric
     }
 
     fn snapshot(&self) -> IoStats {
         IoStats {
+            // ordering: per-field-consistent metric reads, see type doc
             reads: self.reads.load(Ordering::Relaxed),
-            writes: self.writes.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            busy_ns: u128::from(self.busy_ns.load(Ordering::Relaxed)),
+            writes: self.writes.load(Ordering::Relaxed), // ordering: as above
+            bytes_read: self.bytes_read.load(Ordering::Relaxed), // ordering: as above
+            bytes_written: self.bytes_written.load(Ordering::Relaxed), // ordering: as above
+            busy_ns: u128::from(self.busy_ns.load(Ordering::Relaxed)), // ordering: as above
         }
     }
 
     fn reset(&self) {
+        // ordering: metric zeroing, racy-by-design against traffic
         self.reads.store(0, Ordering::Relaxed);
-        self.writes.store(0, Ordering::Relaxed);
-        self.bytes_read.store(0, Ordering::Relaxed);
-        self.bytes_written.store(0, Ordering::Relaxed);
-        self.busy_ns.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed); // ordering: as above
+        self.bytes_read.store(0, Ordering::Relaxed); // ordering: as above
+        self.bytes_written.store(0, Ordering::Relaxed); // ordering: as above
+        self.busy_ns.store(0, Ordering::Relaxed); // ordering: as above
     }
 }
 

@@ -106,11 +106,10 @@ impl Iterator for Replay<'_> {
 
     fn next(&mut self) -> Option<Vec<u8>> {
         let rest = &self.log[self.pos..];
-        if rest.len() < HEADER_LEN {
-            return None;
-        }
-        let len = u32::from_be_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
-        let crc = u32::from_be_bytes(rest[4..8].try_into().expect("4 bytes"));
+        let (len_bytes, after_len) = rest.split_first_chunk::<4>()?;
+        let (crc_bytes, _) = after_len.split_first_chunk::<4>()?;
+        let len = u32::from_be_bytes(*len_bytes) as usize;
+        let crc = u32::from_be_bytes(*crc_bytes);
         if rest.len() < HEADER_LEN + len {
             return None; // torn write
         }

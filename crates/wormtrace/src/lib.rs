@@ -42,11 +42,13 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod metrics;
 mod registry;
 mod snapshot;
 pub mod span;
+mod sync;
 mod trace;
 
 pub use metrics::{

@@ -44,6 +44,8 @@ impl Counter {
     /// Adds `n`, returning the value *before* the addition (useful for
     /// cheap deterministic sampling).
     pub fn add(&self, n: u64) -> u64 {
+        // ordering: pure statistic — fetch_add is atomic at every
+        // ordering, and the count orders nothing else.
         self.0.fetch_add(n, Ordering::Relaxed)
     }
 
@@ -54,7 +56,7 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: statistic read; see `add`
     }
 }
 
@@ -71,27 +73,29 @@ impl Gauge {
 
     /// Sets the level.
     pub fn set(&self, v: u64) {
+        // ordering: a gauge is an approximate level indicator; no
+        // reader makes a control decision that needs happens-before.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Raises the level by one.
     pub fn inc(&self) {
-        self.0.fetch_add(1, Ordering::Relaxed);
+        self.0.fetch_add(1, Ordering::Relaxed); // ordering: see `set`
     }
 
     /// Lowers the level by one, saturating at zero (a racy decrement
     /// below zero indicates a bookkeeping bug, not a panic).
     pub fn dec(&self) {
-        let _ = self
-            .0
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-                Some(v.saturating_sub(1))
-            });
+        let floor = |v: u64| Some(v.saturating_sub(1));
+        let cell = &self.0;
+        // ordering: see `set`; the CAS loop itself guarantees the
+        // saturating decrement is lossless regardless of ordering.
+        let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, floor);
     }
 
     /// Current level.
     pub fn get(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.load(Ordering::Relaxed) // ordering: see `set`
     }
 }
 
@@ -125,15 +129,19 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&self, ns: u64) {
+        // ordering: the documented lock-free histogram contract — each
+        // cell is independently atomic, snapshots are per-field
+        // consistent, and exactness holds once recorders quiesce.
         self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
-        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed); // ordering: see above
     }
 
     /// Point-in-time copy.
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
+            // ordering: per-field-consistent reads; see `record`.
             buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
-            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed), // ordering: see `record`
         }
     }
 }

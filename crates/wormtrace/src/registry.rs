@@ -7,6 +7,7 @@ use std::sync::{Arc, RwLock};
 use crate::metrics::{Counter, Gauge, OpStats, OpTimer};
 use crate::snapshot::StatsSnapshot;
 use crate::span::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+use crate::sync;
 use crate::trace::{EventRing, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY};
 
 /// Read-plane events are sampled 1-in-this-many (witness, daemon, and
@@ -73,6 +74,8 @@ impl Registry {
     /// Whether instruments driven through [`Registry::timer`] and
     /// [`Registry::emit`] are live.
     pub fn enabled(&self) -> bool {
+        // ordering: advisory on/off flag; a stale read just records (or
+        // skips) a few more events, no data is guarded by it.
         self.enabled.load(Ordering::Relaxed)
     }
 
@@ -80,6 +83,7 @@ impl Registry {
     /// return inert timers and [`Registry::emit`] a no-op; direct
     /// counter/gauge handles keep working (they are too cheap to gate).
     pub fn set_enabled(&self, enabled: bool) {
+        // ordering: see `enabled()` — the flag publishes nothing.
         self.enabled.store(enabled, Ordering::Relaxed);
     }
 
@@ -95,10 +99,10 @@ impl Registry {
     }
 
     fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
-        if let Some(found) = map.read().expect("registry lock").get(name) {
+        if let Some(found) = sync::read(map).get(name) {
             return Arc::clone(found);
         }
-        let mut write = map.write().expect("registry lock");
+        let mut write = sync::write(map);
         Arc::clone(write.entry(name.to_string()).or_default())
     }
 
@@ -123,8 +127,11 @@ impl Registry {
         if !self.enabled() {
             return;
         }
+        // ordering: cheap maybe-stale hint that skips the sink lock on
+        // the common no-sink path; the lock acquire below is the real
+        // synchronization point, so a stale hint only costs one event.
         if self.has_sink.load(Ordering::Relaxed) {
-            if let Some(sink) = self.sink.read().expect("sink lock").as_ref() {
+            if let Some(sink) = sync::read(&self.sink).as_ref() {
                 sink.on_event(&event);
             }
         }
@@ -133,14 +140,19 @@ impl Registry {
 
     /// Attaches (or replaces) the external event sink.
     pub fn set_sink(&self, sink: Arc<dyn TraceSink>) {
-        *self.sink.write().expect("sink lock") = Some(sink);
+        *sync::write(&self.sink) = Some(sink);
+        // ordering: hint only — emitters that miss the flip skip this
+        // event's sink call; the sink itself is published by the lock.
         self.has_sink.store(true, Ordering::Relaxed);
     }
 
     /// Detaches the external event sink, if any.
     pub fn clear_sink(&self) {
+        // ordering: hint only (see `set_sink`); an emitter racing the
+        // clear may still deliver one event through the lock, which is
+        // indistinguishable from the event preceding the clear.
         self.has_sink.store(false, Ordering::Relaxed);
-        *self.sink.write().expect("sink lock") = None;
+        *sync::write(&self.sink) = None;
     }
 
     /// The flight-recorder ring.
@@ -159,24 +171,15 @@ impl Registry {
     /// makes the snapshot's canonical encoding deterministic.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            ops: self
-                .ops
-                .read()
-                .expect("registry lock")
+            ops: sync::read(&self.ops)
                 .iter()
                 .map(|(name, op)| (name.clone(), op.snapshot()))
                 .collect(),
-            counters: self
-                .counters
-                .read()
-                .expect("registry lock")
+            counters: sync::read(&self.counters)
                 .iter()
                 .map(|(name, c)| (name.clone(), c.get()))
                 .collect(),
-            gauges: self
-                .gauges
-                .read()
-                .expect("registry lock")
+            gauges: sync::read(&self.gauges)
                 .iter()
                 .map(|(name, g)| (name.clone(), g.get()))
                 .collect(),

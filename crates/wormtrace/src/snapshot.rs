@@ -32,26 +32,40 @@ fn merge_sorted<T: Clone>(
     mut combine: impl FnMut(&mut T, &T),
 ) {
     let mut merged: Vec<(String, T)> = Vec::with_capacity(ours.len() + theirs.len());
-    let mut a = std::mem::take(ours).into_iter().peekable();
-    let mut b = theirs.iter().peekable();
+    let mut a = std::mem::take(ours).into_iter();
+    let mut b = theirs.iter();
+    // One-element lookahead per side, consumed by `take()` and refilled
+    // from its iterator — the ownership never needs a fallible unwrap.
+    let mut next_a = a.next();
+    let mut next_b = b.next();
     loop {
-        match (a.peek(), b.peek()) {
-            (Some((an, _)), Some((bn, _))) => match an.cmp(bn) {
-                std::cmp::Ordering::Less => merged.push(a.next().expect("peeked")),
+        match (next_a.take(), next_b.take()) {
+            (Some(x), Some(y)) => match x.0.cmp(&y.0) {
+                std::cmp::Ordering::Less => {
+                    merged.push(x);
+                    next_a = a.next();
+                    next_b = Some(y);
+                }
                 std::cmp::Ordering::Greater => {
-                    let (n, v) = b.next().expect("peeked");
-                    merged.push((n.clone(), v.clone()));
+                    merged.push((y.0.clone(), y.1.clone()));
+                    next_a = Some(x);
+                    next_b = b.next();
                 }
                 std::cmp::Ordering::Equal => {
-                    let (n, mut v) = a.next().expect("peeked");
-                    combine(&mut v, &b.next().expect("peeked").1);
+                    let (n, mut v) = x;
+                    combine(&mut v, &y.1);
                     merged.push((n, v));
+                    next_a = a.next();
+                    next_b = b.next();
                 }
             },
-            (Some(_), None) => merged.push(a.next().expect("peeked")),
-            (None, Some(_)) => {
-                let (n, v) = b.next().expect("peeked");
-                merged.push((n.clone(), v.clone()));
+            (Some(x), None) => {
+                merged.push(x);
+                next_a = a.next();
+            }
+            (None, Some(y)) => {
+                merged.push((y.0.clone(), y.1.clone()));
+                next_b = b.next();
             }
             (None, None) => break,
         }

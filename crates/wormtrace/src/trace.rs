@@ -3,6 +3,8 @@
 use std::collections::VecDeque;
 use std::sync::Mutex;
 
+use crate::sync;
+
 /// Which half of the architecture an event happened on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Plane {
@@ -88,7 +90,7 @@ impl EventRing {
 
     /// Appends an event, evicting (and counting) the oldest when full.
     pub fn push(&self, event: TraceEvent) {
-        let mut inner = self.inner.lock().expect("ring lock");
+        let mut inner = sync::lock(&self.inner);
         if inner.events.len() == self.capacity {
             inner.events.pop_front();
             inner.dropped += 1;
@@ -98,19 +100,19 @@ impl EventRing {
 
     /// The most recent events, oldest first (up to `n`).
     pub fn recent(&self, n: usize) -> Vec<TraceEvent> {
-        let inner = self.inner.lock().expect("ring lock");
+        let inner = sync::lock(&self.inner);
         let skip = inner.events.len().saturating_sub(n);
         inner.events.iter().skip(skip).cloned().collect()
     }
 
     /// How many events have been evicted unobserved.
     pub fn dropped(&self) -> u64 {
-        self.inner.lock().expect("ring lock").dropped
+        sync::lock(&self.inner).dropped
     }
 
     /// Current number of resident events.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("ring lock").events.len()
+        sync::lock(&self.inner).events.len()
     }
 
     /// Whether the ring holds no events.

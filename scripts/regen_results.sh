@@ -12,6 +12,11 @@ fi
 
 mkdir -p results
 
+# Writes results/ATOMICS_AUDIT.json: the wormlint.atomics.v1 inventory
+# of every atomic Ordering site and its justification.
+echo ">> wormlint atomics audit"
+cargo run --release -q -p wormlint -- --workspace --audit-out results/ATOMICS_AUDIT.json
+
 run() {
   local name="$1"; shift
   echo ">> $name"
