@@ -14,15 +14,16 @@ use scpu::{Clock, Timestamp};
 use wormcrypt::RsaPublicKey;
 
 use crate::authority::KeyCertificate;
+use crate::codec::composite_root;
 use crate::config::DataHashScheme;
 use crate::error::VerifyError;
 use crate::firmware::{DeviceKeys, WeakKeyCert};
-use crate::proofs::{DeletionEvidence, HeadCert, ReadOutcome};
+use crate::proofs::{CompositeHead, DeletionEvidence, HeadCert, ReadOutcome};
 use crate::sn::SerialNumber;
 use crate::vrd::{data_hash, Vrd};
 use crate::witness::{
-    base_payload, data_payload, deletion_payload, head_payload, meta_payload, weak_cert_payload,
-    weak_wrap, window_payload, KeyRole, WindowSide, Witness,
+    base_payload, composite_payload, data_payload, deletion_payload, head_payload, meta_payload,
+    weak_cert_payload, weak_wrap, window_payload, KeyRole, WindowSide, Witness,
 };
 
 /// What a verified read means.
@@ -41,6 +42,22 @@ pub enum ReadVerdict {
     },
     /// No record with this serial number was ever written.
     ConfirmedNeverExisted,
+}
+
+/// Uniform read-verification interface over single-SCPU and sharded
+/// deployments, so transports (e.g. `wormnet`'s remote client) can be
+/// generic over [`Verifier`] and [`CompositeVerifier`].
+pub trait VerifyRead {
+    /// Verifies a complete read outcome for `requested`.
+    ///
+    /// # Errors
+    ///
+    /// A [`VerifyError`] naming the first check that failed.
+    fn verify_read(
+        &self,
+        requested: SerialNumber,
+        outcome: &ReadOutcome,
+    ) -> Result<ReadVerdict, VerifyError>;
 }
 
 /// A WORM client's verifier.
@@ -295,5 +312,134 @@ impl Verifier {
             });
         }
         Ok(())
+    }
+}
+
+impl VerifyRead for Verifier {
+    fn verify_read(
+        &self,
+        requested: SerialNumber,
+        outcome: &ReadOutcome,
+    ) -> Result<ReadVerdict, VerifyError> {
+        Verifier::verify_read(self, requested, outcome)
+    }
+}
+
+impl<T: VerifyRead + ?Sized> VerifyRead for std::sync::Arc<T> {
+    fn verify_read(
+        &self,
+        requested: SerialNumber,
+        outcome: &ReadOutcome,
+    ) -> Result<ReadVerdict, VerifyError> {
+        (**self).verify_read(requested, outcome)
+    }
+}
+
+impl<T: VerifyRead + ?Sized> VerifyRead for &T {
+    fn verify_read(
+        &self,
+        requested: SerialNumber,
+        outcome: &ReadOutcome,
+    ) -> Result<ReadVerdict, VerifyError> {
+        (**self).verify_read(requested, outcome)
+    }
+}
+
+/// Verifier for a sharded witness plane.
+///
+/// Holds one [`Verifier`] per shard lane (each shard's SCPU has its own
+/// key pair); lane 0's verifier doubles as the coordinator that signed
+/// the composite binding. Every read is routed to the lane its serial
+/// number belongs to *before* any signature is checked, so evidence
+/// signed by shard A can never satisfy a query that shard B owns —
+/// Theorems 1 and 2 then hold per lane exactly as in the single-SCPU
+/// case, and the composite binding extends Theorem 2 across lanes by
+/// making the shard count itself a signed statement.
+#[derive(Debug)]
+pub struct CompositeVerifier {
+    shards: Vec<Verifier>,
+}
+
+impl CompositeVerifier {
+    /// Builds a composite verifier from per-shard verifiers, indexed by
+    /// lane (element 0 = coordinator shard).
+    pub fn new(shards: Vec<Verifier>) -> Self {
+        CompositeVerifier { shards }
+    }
+
+    /// Number of shard lanes this verifier covers.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The verifier owning shard lane `lane`, if any.
+    pub fn shard(&self, lane: u32) -> Option<&Verifier> {
+        self.shards.get(usize::try_from(lane).ok()?)
+    }
+
+    fn coordinator(&self) -> Result<&Verifier, VerifyError> {
+        self.shards
+            .first()
+            .ok_or(VerifyError::ShardNotBound { lane: 0 })
+    }
+
+    /// Verifies a composite freshness head end-to-end: the coordinator
+    /// signature over `(shard_count, root, t)`, the binding's freshness,
+    /// that the presented per-shard heads hash to the signed root, and
+    /// each constituent head under its own shard's key.
+    ///
+    /// # Errors
+    ///
+    /// A [`VerifyError`] naming the first check that failed;
+    /// [`VerifyError::CompositeRootMismatch`] means the host mixed or
+    /// altered shard heads after the coordinator signed.
+    pub fn verify_composite(&self, composite: &CompositeHead) -> Result<(), VerifyError> {
+        let coordinator = self.coordinator()?;
+        let binding = &composite.binding;
+        if usize::try_from(binding.shard_count).ok() != Some(self.shards.len()) {
+            return Err(VerifyError::BadSignature("composite shard count"));
+        }
+        let payload = composite_payload(binding.shard_count, &binding.root, binding.issued_at);
+        if !binding.sig.verify(&coordinator.sign_key, &payload) {
+            return Err(VerifyError::BadSignature("composite binding"));
+        }
+        let age = coordinator.clock.now().since(binding.issued_at);
+        if age > coordinator.tolerance {
+            return Err(VerifyError::StaleHead {
+                age_ms: age.as_millis() as u64,
+            });
+        }
+        if composite.heads.len() != self.shards.len() {
+            return Err(VerifyError::CompositeRootMismatch);
+        }
+        if composite_root(&composite.heads) != binding.root {
+            return Err(VerifyError::CompositeRootMismatch);
+        }
+        for (lane, (head, shard)) in composite.heads.iter().zip(&self.shards).enumerate() {
+            shard.check_head(head)?;
+            let origin = SerialNumber::lane_origin(u32::try_from(lane).unwrap_or(u32::MAX));
+            if head.sn_current.get() < origin {
+                // A shard head below its own lane origin is structurally
+                // impossible for honest firmware.
+                return Err(VerifyError::BadSignature("shard head lane"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl VerifyRead for CompositeVerifier {
+    /// Routes `requested` to its owning shard lane first, then verifies
+    /// the outcome exclusively under that shard's keys.
+    fn verify_read(
+        &self,
+        requested: SerialNumber,
+        outcome: &ReadOutcome,
+    ) -> Result<ReadVerdict, VerifyError> {
+        let lane = requested.lane();
+        let shard = self
+            .shard(lane)
+            .ok_or(VerifyError::ShardNotBound { lane })?;
+        shard.verify_read(requested, outcome)
     }
 }

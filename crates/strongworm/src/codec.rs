@@ -7,7 +7,7 @@
 
 use bytes::Bytes;
 use scpu::Timestamp;
-use wormcrypt::RsaPublicKey;
+use wormcrypt::{Digest, RsaPublicKey, Sha256};
 use wormstore::{RecordDescriptor, RecordId};
 
 use crate::attr::RecordAttributes;
@@ -15,7 +15,8 @@ use crate::authority::{HoldCredential, ReleaseCredential};
 use crate::config::DataHashScheme;
 use crate::firmware::{DeviceKeys, WeakKeyCert};
 use crate::proofs::{
-    BaseCert, DeletionEvidence, DeletionProof, HeadCert, ReadOutcome, WindowProof,
+    BaseCert, CompositeBinding, CompositeHead, DeletionEvidence, DeletionProof, HeadCert,
+    ReadOutcome, WindowProof,
 };
 use crate::sn::SerialNumber;
 use crate::vrd::Vrd;
@@ -231,6 +232,82 @@ pub fn decode_head_cert(bytes: &[u8]) -> Result<HeadCert, WireError> {
         sn_current,
         issued_at,
         sig,
+    })
+}
+
+/// Computes the composite-head root: SHA-256 over the canonical
+/// encodings of every shard's head certificate, in lane order, prefixed
+/// with the count. This is the exact byte string whose digest the
+/// coordinator SCPU signs into a
+/// [`CompositeBinding`](crate::proofs::CompositeBinding), so host and
+/// client must agree on it byte-for-byte.
+pub fn composite_root(heads: &[HeadCert]) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.compositeroot.v1");
+    w.put_count(heads.len());
+    for h in heads {
+        w.put_bytes(&encode_head_cert(h));
+    }
+    Sha256::digest(&w.finish())
+}
+
+/// Encodes a composite freshness head (per-shard heads + binding).
+pub fn encode_composite_head(c: &CompositeHead) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.compositehead.v1");
+    w.put_count(c.heads.len());
+    for h in &c.heads {
+        w.put_u64(h.sn_current.get());
+        w.put_u64(h.issued_at.as_millis());
+        put_signature(&mut w, &h.sig);
+    }
+    w.put_u32(c.binding.shard_count);
+    w.put_bytes(&c.binding.root);
+    w.put_u64(c.binding.issued_at.as_millis());
+    put_signature(&mut w, &c.binding.sig);
+    w.finish()
+}
+
+/// Decodes a composite freshness head.
+///
+/// # Errors
+///
+/// [`WireError`] on malformed input.
+pub fn decode_composite_head(bytes: &[u8]) -> Result<CompositeHead, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.compositehead.v1" {
+        return Err(WireError {
+            expected: "composite head tag",
+        });
+    }
+    let n = r.get_count()?;
+    if n > MAX_LIST_LEN {
+        return Err(WireError {
+            expected: "shard head count within bounds",
+        });
+    }
+    let mut heads = Vec::with_capacity(n);
+    for _ in 0..n {
+        let sn_current = SerialNumber(r.get_u64()?);
+        let issued_at = Timestamp::from_millis(r.get_u64()?);
+        let sig = get_signature(&mut r)?;
+        heads.push(HeadCert {
+            sn_current,
+            issued_at,
+            sig,
+        });
+    }
+    let shard_count = r.get_u32()?;
+    let root = r.get_bytes()?.to_vec();
+    let issued_at = Timestamp::from_millis(r.get_u64()?);
+    let sig = get_signature(&mut r)?;
+    r.expect_end()?;
+    Ok(CompositeHead {
+        heads,
+        binding: CompositeBinding {
+            shard_count,
+            root,
+            issued_at,
+            sig,
+        },
     })
 }
 
@@ -974,6 +1051,64 @@ mod tests {
             issued_at: Timestamp::from_millis(9),
             sig: sig(6),
         }
+    }
+
+    fn sample_composite() -> CompositeHead {
+        let heads = vec![
+            sample_head(),
+            HeadCert {
+                sn_current: SerialNumber(SerialNumber::lane_origin(1) + 3),
+                issued_at: Timestamp::from_millis(9),
+                sig: sig(8),
+            },
+        ];
+        let root = composite_root(&heads);
+        CompositeHead {
+            heads,
+            binding: CompositeBinding {
+                shard_count: 2,
+                root,
+                issued_at: Timestamp::from_millis(11),
+                sig: sig(9),
+            },
+        }
+    }
+
+    #[test]
+    fn composite_head_roundtrip() {
+        let c = sample_composite();
+        assert_eq!(
+            decode_composite_head(&encode_composite_head(&c)).unwrap(),
+            c
+        );
+    }
+
+    #[test]
+    fn composite_head_rejects_corruption() {
+        let enc = encode_composite_head(&sample_composite());
+        for cut in 0..enc.len() {
+            assert!(decode_composite_head(&enc[..cut]).is_err(), "cut {cut}");
+        }
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(decode_composite_head(&trailing).is_err());
+    }
+
+    #[test]
+    fn composite_head_rejects_count_bomb() {
+        let mut w = WireWriter::tagged("strongworm.compositehead.v1");
+        w.put_u32(u32::MAX);
+        assert!(decode_composite_head(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn composite_root_is_order_and_content_sensitive() {
+        let c = sample_composite();
+        let mut swapped = c.heads.clone();
+        swapped.swap(0, 1);
+        assert_ne!(composite_root(&c.heads), composite_root(&swapped));
+        assert_ne!(composite_root(&c.heads), composite_root(&c.heads[..1]));
+        assert_eq!(composite_root(&c.heads).len(), 32);
     }
 
     fn tiny_key(n: u8) -> RsaPublicKey {

@@ -74,6 +74,11 @@ pub struct WormConfig {
     pub device: DeviceConfig,
     /// Storage capacity of the record store in bytes.
     pub store_capacity: usize,
+    /// Pre-first serial value this SCPU boots `SN_current` to. 0 for a
+    /// single-SCPU deployment; shard `i` of a sharded witness plane uses
+    /// [`SerialNumber::lane_origin(i)`](crate::SerialNumber::lane_origin)
+    /// so each shard issues dense SNs in its own lane of the SN space.
+    pub sn_origin: u64,
 }
 
 impl Default for WormConfig {
@@ -91,6 +96,7 @@ impl Default for WormConfig {
             min_compaction_run: 3,
             device: DeviceConfig::default(),
             store_capacity: 64 << 20,
+            sn_origin: 0,
         }
     }
 }

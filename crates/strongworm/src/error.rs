@@ -17,6 +17,14 @@ pub enum WormError {
     NotActive(SerialNumber),
     /// A persisted structure failed to decode.
     Wire(WireError),
+    /// The serial number's shard lane is outside this deployment (no
+    /// shard owns it, so no SCPU could ever have issued it).
+    NoSuchShard {
+        /// The lane the serial number routes to.
+        lane: u32,
+        /// How many shards this deployment runs.
+        shard_count: u32,
+    },
 }
 
 impl std::fmt::Display for WormError {
@@ -27,6 +35,10 @@ impl std::fmt::Display for WormError {
             WormError::Firmware(msg) => write!(f, "firmware rejected request: {msg}"),
             WormError::NotActive(sn) => write!(f, "{sn} is not an active record"),
             WormError::Wire(e) => write!(f, "persisted structure corrupt: {e}"),
+            WormError::NoSuchShard { lane, shard_count } => write!(
+                f,
+                "serial number routes to shard lane {lane}, but only {shard_count} shards exist"
+            ),
         }
     }
 }
@@ -100,6 +112,16 @@ pub enum VerifyError {
     ExpiredCertificate(&'static str),
     /// A record was deleted before its retention period elapsed.
     PrematureDeletion,
+    /// The composite binding's root does not match the presented
+    /// per-shard head certificates — the host mixed head sets from
+    /// different instants (or altered one) after the coordinator signed.
+    CompositeRootMismatch,
+    /// The requested serial number routes to a shard lane the composite
+    /// head does not bind — the host is hiding an entire shard.
+    ShardNotBound {
+        /// The lane the serial number routes to.
+        lane: u32,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -136,6 +158,12 @@ impl std::fmt::Display for VerifyError {
             VerifyError::ExpiredCertificate(what) => write!(f, "{what} certificate expired"),
             VerifyError::PrematureDeletion => {
                 f.write_str("record was deleted before its retention period elapsed")
+            }
+            VerifyError::CompositeRootMismatch => {
+                f.write_str("composite binding root does not match the presented shard heads")
+            }
+            VerifyError::ShardNotBound { lane } => {
+                write!(f, "shard lane {lane} is not bound by the composite head")
             }
         }
     }

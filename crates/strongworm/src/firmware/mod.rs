@@ -34,7 +34,7 @@ use crate::attr::RecordAttributes;
 use crate::authority::{HoldCredential, ReleaseCredential};
 use crate::config::{DataHashScheme, WitnessMode};
 use crate::policy::RetentionPolicy;
-use crate::proofs::{BaseCert, DeletionProof, HeadCert, WindowProof};
+use crate::proofs::{BaseCert, CompositeBinding, DeletionProof, HeadCert, WindowProof};
 use crate::sn::SerialNumber;
 use crate::witness::{Signature, Witness};
 
@@ -172,6 +172,17 @@ pub enum WormRequest {
     RefreshHead,
     /// Re-issues the base certificate.
     RefreshBase,
+    /// Signs a composite-freshness binding over the given shard count and
+    /// per-shard head root (coordinator shard of a sharded deployment).
+    /// The SCPU stamps the trusted issue time itself; it only attests
+    /// "these heads were presented together at time t", which is exactly
+    /// the statement clients need to reject mixed-instant head sets.
+    SignComposite {
+        /// Number of shards folded into the root.
+        shard_count: u32,
+        /// SHA-256 over the canonical per-shard head encodings.
+        root: Vec<u8>,
+    },
     /// Requests a signed deleted-window pair over `[lo, hi]` (§4.2.1).
     CompactWindow {
         /// First SN of the expired segment.
@@ -242,6 +253,8 @@ pub enum WormResponse {
     Head(HeadCert),
     /// Fresh base certificate.
     Base(BaseCert),
+    /// Signed composite-freshness binding.
+    Composite(CompositeBinding),
     /// Signed deleted-window pair.
     Window(WindowProof),
     /// Litigation hold/release applied: updated attributes and metasig.
@@ -292,6 +305,9 @@ pub struct FirmwareConfig {
     pub min_compaction_run: usize,
     /// Which incremental hash binds record lists into `datasig`.
     pub data_hash: DataHashScheme,
+    /// Pre-first serial value `Init` boots `SN_current` to (a shard's
+    /// lane origin; 0 for a single-SCPU deployment).
+    pub sn_origin: u64,
 }
 
 impl Default for FirmwareConfig {
@@ -304,6 +320,7 @@ impl Default for FirmwareConfig {
             base_cert_lifetime: Duration::from_secs(24 * 60 * 60),
             min_compaction_run: 3,
             data_hash: DataHashScheme::Chained,
+            sn_origin: 0,
         }
     }
 }
@@ -374,6 +391,9 @@ impl WormFirmware {
             } => self.write(env, policy, flags, data, witness),
             WormRequest::RefreshHead => self.refresh_head(env).map(WormResponse::Head),
             WormRequest::RefreshBase => self.refresh_base(env).map(WormResponse::Base),
+            WormRequest::SignComposite { shard_count, root } => self
+                .sign_composite(env, shard_count, root)
+                .map(WormResponse::Composite),
             WormRequest::CompactWindow { lo, hi } => self.compact_window(env, lo, hi),
             WormRequest::LitHold {
                 attr,
@@ -415,6 +435,7 @@ impl Applet for WormFirmware {
             WormRequest::Write { .. } => "scpu.write",
             WormRequest::RefreshHead => "scpu.refresh_head",
             WormRequest::RefreshBase => "scpu.refresh_base",
+            WormRequest::SignComposite { .. } => "scpu.sign_composite",
             WormRequest::CompactWindow { .. } => "scpu.compact_window",
             WormRequest::LitHold { .. } => "scpu.lit_hold",
             WormRequest::LitRelease { .. } => "scpu.lit_release",

@@ -12,10 +12,11 @@ use std::collections::BTreeSet;
 use scpu::{Env, Op, Timestamp};
 use wormcrypt::{Hmac, RsaPrivateKey, RsaPublicKey, Sha256};
 
-use crate::proofs::{BaseCert, HeadCert, WindowProof};
+use crate::proofs::{BaseCert, CompositeBinding, HeadCert, WindowProof};
 use crate::sn::SerialNumber;
 use crate::witness::{
-    base_payload, head_payload, weak_cert_payload, window_payload, Signature, WindowSide,
+    base_payload, composite_payload, head_payload, weak_cert_payload, window_payload, Signature,
+    WindowSide,
 };
 
 use super::{
@@ -118,8 +119,12 @@ impl WormFirmware {
             hmac_key,
             seal_key,
             regulator,
-            sn_current: SerialNumber::ZERO,
-            sn_base: SerialNumber(1),
+            // Boot the counter at the configured origin: 0 for a lone
+            // SCPU, or the shard's lane origin `i·2^56` in a sharded
+            // deployment — within a lane numbering stays dense, so the
+            // base-advance and window-adjacency invariants hold verbatim.
+            sn_current: SerialNumber(self.cfg.sn_origin),
+            sn_base: SerialNumber(self.cfg.sn_origin + 1),
             expired: BTreeSet::new(),
             windows: Vec::new(),
             last_head_issue: now,
@@ -195,6 +200,37 @@ impl WormFirmware {
         };
         s.last_head_issue = now;
         Ok(cert)
+    }
+
+    /// `SignComposite`: signs a composite-freshness binding over a shard
+    /// count and per-shard head root. The SCPU stamps the trusted issue
+    /// time; the host supplies the root, so the statement signed is only
+    /// "these shard heads were presented together at time t" — each
+    /// constituent head is still independently signed by its own shard.
+    pub(crate) fn sign_composite(
+        &mut self,
+        env: &mut Env,
+        shard_count: u32,
+        root: Vec<u8>,
+    ) -> Result<CompositeBinding, FirmwareError> {
+        self.booted()?;
+        if shard_count == 0 {
+            return reject("composite binding over zero shards");
+        }
+        if root.len() != 32 {
+            return reject("composite root must be a SHA-256 digest");
+        }
+        let now = env.now();
+        let bits = self.cfg.strong_bits;
+        env.charge(Op::RsaSign { bits });
+        let s = self.booted()?;
+        let payload = composite_payload(shard_count, &root, now);
+        Ok(CompositeBinding {
+            shard_count,
+            root,
+            issued_at: now,
+            sig: Signature::sign(&s.sign_key, &payload),
+        })
     }
 
     /// Issues a fresh base certificate.

@@ -80,15 +80,15 @@ mod server;
 mod sn;
 
 pub use authority::{CertificateAuthority, HoldCredential, RegulatoryAuthority, ReleaseCredential};
-pub use client::{ReadVerdict, Verifier};
+pub use client::{CompositeVerifier, ReadVerdict, Verifier, VerifyRead};
 pub use cluster::{ClusterRecordId, WormCluster};
 pub use config::{DataHashScheme, HashMode, WitnessMode, WormConfig};
 pub use daemon::{DaemonConfig, RetentionDaemon};
 pub use error::{VerifyError, WormError};
 pub use offline::{audit_journal, OfflineAuditReport};
 pub use policy::{Regulation, RetentionPolicy};
-pub use proofs::{DeletionEvidence, ReadOutcome};
-pub use server::{ReadPlane, WitnessPlane, WormServer};
-pub use sn::SerialNumber;
+pub use proofs::{CompositeBinding, CompositeHead, DeletionEvidence, ReadOutcome};
+pub use server::{ReadPlane, ShardRouter, ShardedWormServer, WitnessPlane, WormServer};
+pub use sn::{SerialNumber, MAX_SHARDS, SHARD_LANE_BITS};
 pub use vrd::Vrd;
 pub use vrdt::RecoveryStats;

@@ -25,6 +25,48 @@ pub struct HeadCert {
     pub sig: Signature,
 }
 
+/// Coordinator-signed binding of a sharded deployment's per-shard heads.
+///
+/// `root` is SHA-256 over the canonical encodings of every shard's
+/// [`HeadCert`] in lane order; the coordinator shard's SCPU signs
+/// `(shard_count, root, t)`. A host serving N shards therefore cannot
+/// mix head certificates from different instants, omit a shard, or
+/// claim a different shard count without forging this signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompositeBinding {
+    /// Number of shards bound into the root (also the number of SN
+    /// lanes the deployment may route to).
+    pub shard_count: u32,
+    /// SHA-256 over the canonical per-shard head-certificate encodings,
+    /// in lane order.
+    pub root: Vec<u8>,
+    /// Trusted issue time stamped by the coordinator SCPU.
+    pub issued_at: Timestamp,
+    /// Signature under the coordinator SCPU's permanent key `s`.
+    pub sig: Signature,
+}
+
+/// The composite freshness head of a sharded witness plane: every
+/// shard's timestamped head certificate plus the coordinator-signed
+/// binding folding them into one verifiable root.
+///
+/// A single-shard deployment degenerates to a one-element composite, so
+/// clients can verify against either shape uniformly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompositeHead {
+    /// Per-shard head certificates, indexed by shard lane.
+    pub heads: Vec<HeadCert>,
+    /// The coordinator-signed binding over them.
+    pub binding: CompositeBinding,
+}
+
+impl CompositeHead {
+    /// The head certificate of shard lane `lane`, if bound.
+    pub fn head_for_lane(&self, lane: u32) -> Option<&HeadCert> {
+        self.heads.get(usize::try_from(lane).ok()?)
+    }
+}
+
 /// Base certificate `S_s(SN_base)` with anti-replay expiry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BaseCert {

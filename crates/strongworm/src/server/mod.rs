@@ -22,9 +22,11 @@
 //! detect it.
 
 mod read_plane;
+mod shard;
 mod witness;
 
 pub use read_plane::ReadPlane;
+pub use shard::{ShardRouter, ShardedWormServer};
 pub use witness::WitnessPlane;
 
 use std::sync::Arc;
@@ -40,7 +42,7 @@ use crate::firmware::{
     DeviceKeys, FirmwareConfig, WeakKeyCert, WormFirmware, WormRequest, WormResponse,
 };
 use crate::policy::RetentionPolicy;
-use crate::proofs::{DeletionEvidence, ReadOutcome};
+use crate::proofs::{CompositeBinding, CompositeHead, DeletionEvidence, HeadCert, ReadOutcome};
 use crate::sn::SerialNumber;
 use crate::vrd::data_chain_hash;
 use crate::vrdt::Vrdt;
@@ -122,6 +124,7 @@ impl<D: BlockDevice> WormServer<D> {
             base_cert_lifetime: config.base_cert_lifetime,
             min_compaction_run: config.min_compaction_run,
             data_hash: config.data_hash,
+            sn_origin: config.sn_origin,
         });
         let mut device = Device::new(firmware, config.device.clone(), clock.clone());
         execute(
@@ -491,6 +494,60 @@ impl<D: BlockDevice> WormServer<D> {
     /// Device or firmware failures.
     pub fn refresh_head(&self) -> Result<(), WormError> {
         self.witness.lock().refresh_head()
+    }
+
+    /// The freshest head certificate held host-side, lazily refreshed
+    /// through the SCPU when stale (same slow path as reads).
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures during a lazy refresh.
+    pub fn current_head(&self) -> Result<HeadCert, WormError> {
+        if self.read_plane.head_stale() {
+            self.witness.lock().ensure_fresh_head()?;
+        }
+        self.vrdt()
+            .head()
+            .cloned()
+            .ok_or_else(|| WormError::Firmware("no head certificate published".into()))
+    }
+
+    /// Asks this server's SCPU to sign a composite-freshness binding over
+    /// `shard_count` shard heads folded into `root`. Only meaningful on
+    /// the coordinator shard of a sharded deployment (shard lane 0).
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures (e.g. a root that is not a SHA-256
+    /// digest).
+    pub fn sign_composite(
+        &self,
+        shard_count: u32,
+        root: Vec<u8>,
+    ) -> Result<CompositeBinding, WormError> {
+        let mut w = self.witness.lock();
+        match execute(
+            &mut w.device,
+            WormRequest::SignComposite { shard_count, root },
+        )? {
+            WormResponse::Composite(binding) => Ok(binding),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Mints a single-shard composite freshness head: this server's own
+    /// head certificate bound under its own key. Lets transports serve
+    /// one uniform composite shape whether the deployment is sharded or
+    /// not.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures.
+    pub fn composite_head(&self) -> Result<CompositeHead, WormError> {
+        let heads = vec![self.current_head()?];
+        let root = crate::codec::composite_root(&heads);
+        let binding = self.sign_composite(1, root)?;
+        Ok(CompositeHead { heads, binding })
     }
 
     /// Forces a base-certificate refresh through the SCPU.

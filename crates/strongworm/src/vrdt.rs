@@ -334,7 +334,14 @@ impl Vrdt {
             Some(h) => h.sn_current,
             None => return Ok(()),
         };
-        let mut sn = SerialNumber(1);
+        // Everything below the base is accounted for by definition
+        // (Lookup::Deleted via the base certificate), so start the walk
+        // there. With no base yet, start at the head's lane origin —
+        // walking up from SN 1 would take ~2^56 steps on a non-zero lane.
+        let mut sn = match &self.base {
+            Some(b) => b.sn_base,
+            None => SerialNumber(SerialNumber::lane_origin(head.lane()) + 1),
+        };
         while sn <= head {
             if matches!(self.lookup(sn), Lookup::Unknown) {
                 return Err(sn);

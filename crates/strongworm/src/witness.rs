@@ -159,6 +159,19 @@ pub fn base_payload(sn_base: SerialNumber, expires_at: Timestamp) -> Vec<u8> {
     w.finish()
 }
 
+/// Payload of the composite freshness head binding: the coordinator
+/// shard's SCPU signs the shard count and the root hash folding every
+/// shard's head certificate, so a host cannot present shard heads from
+/// different instants (or hide a shard entirely) without forging a
+/// signature — cross-shard equivocation becomes provable, not trusted.
+pub fn composite_payload(shard_count: u32, root: &[u8], issued_at: Timestamp) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.composite.v1");
+    w.put_u32(shard_count);
+    w.put_bytes(root);
+    w.put_u64(issued_at.as_millis());
+    w.finish()
+}
+
 /// Which end of a deleted window a bound signature covers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WindowSide {
@@ -275,6 +288,7 @@ mod tests {
             window_payload(1, sn, WindowSide::Upper),
             deletion_payload(sn, t),
             sealed_expiry_payload(sn, t),
+            composite_payload(1, b"x", t),
         ];
         for i in 0..payloads.len() {
             for j in 0..payloads.len() {

@@ -17,6 +17,7 @@ use strongworm::proofs::{
 use strongworm::vrd::Vrd;
 use strongworm::witness::{Signature, Witness};
 use strongworm::SerialNumber;
+use strongworm::{CompositeBinding, CompositeHead};
 use wormstore::{RecordDescriptor, RecordId, Shredder};
 use wormtrace::{HistogramSnapshot, OpSnapshot, StatsSnapshot, NUM_BUCKETS};
 
@@ -104,6 +105,25 @@ fn arb_head() -> impl Strategy<Value = HeadCert> {
         issued_at: Timestamp::from_millis(t),
         sig,
     })
+}
+
+fn arb_composite() -> impl Strategy<Value = CompositeHead> {
+    (
+        proptest::collection::vec(arb_head(), 0..5),
+        any::<u32>(),
+        proptest::collection::vec(any::<u8>(), 0..48),
+        any::<u64>(),
+        arb_sig(),
+    )
+        .prop_map(|(heads, shard_count, root, t, sig)| CompositeHead {
+            heads,
+            binding: CompositeBinding {
+                shard_count,
+                root,
+                issued_at: Timestamp::from_millis(t),
+                sig,
+            },
+        })
 }
 
 fn arb_evidence() -> impl Strategy<Value = DeletionEvidence> {
@@ -219,7 +239,47 @@ proptest! {
         let _ = codec::decode_release_credential(&bytes);
         let _ = codec::decode_device_keys(&bytes);
         let _ = codec::decode_weak_key_cert(&bytes);
+        let _ = codec::decode_composite_head(&bytes);
         let _ = RecordAttributes::decode(&bytes);
+    }
+
+    #[test]
+    fn composite_head_roundtrip_holds(composite in arb_composite()) {
+        let enc = codec::encode_composite_head(&composite);
+        prop_assert_eq!(codec::decode_composite_head(&enc).unwrap(), composite);
+    }
+
+    #[test]
+    fn composite_head_truncations_always_error(composite in arb_composite(), cut in any::<prop::sample::Index>()) {
+        let enc = codec::encode_composite_head(&composite);
+        let i = cut.index(enc.len());
+        prop_assert!(codec::decode_composite_head(&enc[..i]).is_err());
+    }
+
+    #[test]
+    fn composite_head_mutations_never_alias(composite in arb_composite(), pos in any::<prop::sample::Index>(), flip in 1u8..=255) {
+        let enc = codec::encode_composite_head(&composite);
+        let mut mutated = enc.clone();
+        let i = pos.index(mutated.len());
+        mutated[i] ^= flip;
+        match codec::decode_composite_head(&mutated) {
+            Err(_) => {}
+            Ok(other) => prop_assert_ne!(other, composite, "mutation at byte {} aliased", i),
+        }
+    }
+
+    #[test]
+    fn composite_root_is_deterministic_and_content_bound(
+        heads in proptest::collection::vec(arb_head(), 0..5),
+        extra in arb_head(),
+    ) {
+        let root = codec::composite_root(&heads);
+        prop_assert_eq!(root.len(), 32);
+        prop_assert_eq!(&codec::composite_root(&heads), &root);
+        let mut extended = heads.clone();
+        extended.push(extra);
+        prop_assert_ne!(codec::composite_root(&extended), root,
+            "appending a head must change the root");
     }
 
     #[test]

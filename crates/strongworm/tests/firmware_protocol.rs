@@ -26,6 +26,7 @@ fn fw_config() -> FirmwareConfig {
         base_cert_lifetime: Duration::from_secs(86400),
         min_compaction_run: 3,
         data_hash: strongworm::DataHashScheme::Chained,
+        sn_origin: 0,
     }
 }
 

@@ -22,6 +22,7 @@ use strongworm::{ReadVerdict, RetentionPolicy, SerialNumber, Verifier};
 use worm_bench::{json_record, quick_server, to_json_lines};
 use wormnet::{NetServer, NetServerConfig, RemoteWormClient};
 use wormstore::Shredder;
+use wormtrace::{OpSnapshot, OpStats, OpTimer};
 
 /// One measured point of the scaling curve.
 #[derive(Clone, Debug)]
@@ -37,6 +38,17 @@ struct NetThroughputPoint {
     /// same figures `wormtop` renders live.
     request_p50_ns: u64,
     request_p99_ns: u64,
+    /// Client-observed read latency quantiles for *this point only*
+    /// (each client times its own verified reads into an `OpStats`;
+    /// the per-client histograms merge here). Unlike the cumulative
+    /// server-side figures above, these make a tail-latency regression
+    /// at high client counts visible instead of averaging it away.
+    client_p50_ns: u64,
+    client_p99_ns: u64,
+    /// The worst single client's p99 at this point — fairness check:
+    /// if one connection starves behind the worker pool, it shows here
+    /// long before it moves the merged p99.
+    client_worst_p99_ns: u64,
 }
 
 json_record!(NetThroughputPoint {
@@ -48,6 +60,9 @@ json_record!(NetThroughputPoint {
     speedup_vs_1,
     request_p50_ns,
     request_p99_ns,
+    client_p50_ns,
+    client_p99_ns,
+    client_worst_p99_ns,
 });
 
 const CORPUS: usize = 64;
@@ -96,6 +111,10 @@ fn main() {
                 let start = start.clone();
                 std::thread::spawn(move || {
                     let mut client = RemoteWormClient::connect(addr).expect("connect");
+                    // This client's own end-to-end read latencies —
+                    // fresh per point, so each client count stands on
+                    // its own numbers.
+                    let lat = OpStats::new();
                     start.wait();
                     let mut n = 0u64;
                     let mut i = t;
@@ -103,14 +122,17 @@ fn main() {
                     // count is published by the join, not by this load.
                     while !stop.load(Ordering::Relaxed) {
                         let sn = sns[i % sns.len()];
+                        let timer = OpTimer::started();
                         let (verdict, _) =
                             client.read_verified(sn, &verifier).expect("verified read");
+                        lat.finish(timer, true);
                         assert_eq!(verdict, ReadVerdict::Intact { sn });
                         n += 1;
                         i += 1;
                     }
                     // ordering: joined before reading; the join edge orders this.
                     total.fetch_add(n, Ordering::Relaxed);
+                    lat.snapshot()
                 })
             })
             .collect();
@@ -119,10 +141,20 @@ fn main() {
         let t0 = Instant::now();
         std::thread::sleep(MEASURE_WINDOW);
         stop.store(true, Ordering::Relaxed); // ordering: see the reader-side note
-        for h in threads {
-            h.join().expect("client thread panicked");
-        }
+        let per_client: Vec<OpSnapshot> = threads
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect();
         let wall = t0.elapsed();
+
+        // Merge the per-client histograms for this point's quantiles
+        // and keep the worst single client's tail separately.
+        let mut merged = OpSnapshot::default();
+        let mut worst_p99 = 0u64;
+        for snap in &per_client {
+            merged.latency.merge(&snap.latency);
+            worst_p99 = worst_p99.max(snap.p99_ns());
+        }
 
         // ordering: every writer thread was joined above; Relaxed reads the final sum.
         let total_reads = total.load(Ordering::Relaxed);
@@ -138,11 +170,20 @@ fn main() {
             speedup_vs_1: reads_per_sec / baseline,
             request_p50_ns: snap.p50_ns("net.request").unwrap_or(0),
             request_p99_ns: snap.p99_ns("net.request").unwrap_or(0),
+            client_p50_ns: merged.p50_ns(),
+            client_p99_ns: merged.p99_ns(),
+            client_worst_p99_ns: worst_p99,
         });
         let p = points.last().unwrap();
         println!(
-            "clients={:<2} total={:<9} rate={:>12.0} reads/s speedup={:.2}x",
-            p.clients, p.total_reads, p.reads_per_sec, p.speedup_vs_1
+            "clients={:<2} total={:<9} rate={:>12.0} reads/s speedup={:.2}x p50={}ns p99={}ns (worst client p99 {}ns)",
+            p.clients,
+            p.total_reads,
+            p.reads_per_sec,
+            p.speedup_vs_1,
+            p.client_p50_ns,
+            p.client_p99_ns,
+            p.client_worst_p99_ns
         );
     }
 

@@ -13,7 +13,10 @@ use std::time::Duration;
 use scpu::Clock;
 use strongworm::authority::{HoldCredential, ReleaseCredential};
 use strongworm::firmware::{DeviceKeys, WeakKeyCert};
-use strongworm::{ReadOutcome, ReadVerdict, RetentionPolicy, SerialNumber, Verifier, WitnessMode};
+use strongworm::{
+    CompositeHead, CompositeVerifier, ReadOutcome, ReadVerdict, RetentionPolicy, SerialNumber,
+    Verifier, VerifyRead, WitnessMode,
+};
 
 use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use crate::protocol::{
@@ -165,14 +168,19 @@ impl RemoteWormClient {
     /// data hash, freshness, deletion evidence. Any in-flight or
     /// server-side tampering fails here as [`NetError::Verify`].
     ///
+    /// Accepts any [`VerifyRead`] implementation: a single-shard
+    /// [`Verifier`] or a [`CompositeVerifier`], which routes the check
+    /// to the SN's owning shard lane — so the same call verifies reads
+    /// against sharded deployments transparently.
+    ///
     /// # Errors
     ///
     /// Transport failures, a server-reported error, or verification
     /// failure.
-    pub fn read_verified(
+    pub fn read_verified<V: VerifyRead + ?Sized>(
         &mut self,
         sn: SerialNumber,
-        verifier: &Verifier,
+        verifier: &V,
     ) -> Result<(ReadVerdict, ReadOutcome), NetError> {
         let outcome = self.read_raw(sn)?;
         let verdict = verifier.verify_read(sn, &outcome)?;
@@ -299,5 +307,84 @@ impl RemoteWormClient {
             verifier.add_weak_cert(cert)?;
         }
         Ok(verifier)
+    }
+
+    /// Fetches every shard's published keys and weak-key certificates,
+    /// in lane order. A single-SCPU server answers with one lane.
+    /// Untrusted until validated, exactly like
+    /// [`RemoteWormClient::fetch_keys`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    #[allow(clippy::type_complexity)]
+    pub fn fetch_shard_keys(&mut self) -> Result<Vec<(DeviceKeys, Vec<WeakKeyCert>)>, NetError> {
+        match self.call(&NetRequest::GetShardKeys)? {
+            NetResponse::ShardKeys(shards) => Ok(shards),
+            _ => Err(NetError::Protocol("expected ShardKeys response")),
+        }
+    }
+
+    /// Fetches the deployment's composite freshness head *without*
+    /// verifying it. Prefer
+    /// [`RemoteWormClient::composite_head_verified`]; this exists for
+    /// callers that verify separately (or deliberately test tampering).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn composite_head_raw(&mut self) -> Result<CompositeHead, NetError> {
+        match self.call(&NetRequest::GetCompositeHead)? {
+            NetResponse::CompositeHead(composite) => Ok(composite),
+            _ => Err(NetError::Protocol("expected CompositeHead response")),
+        }
+    }
+
+    /// Fetches the composite freshness head and verifies it end-to-end:
+    /// the coordinator's binding signature, the folded root, shard
+    /// count, freshness, and every per-shard head certificate. A host
+    /// hiding a shard, splicing heads from different instants, or
+    /// doctoring the root fails here as [`NetError::Verify`] — the
+    /// connection itself stays usable.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-reported error, or verification
+    /// failure.
+    pub fn composite_head_verified(
+        &mut self,
+        verifier: &CompositeVerifier,
+    ) -> Result<CompositeHead, NetError> {
+        let composite = self.composite_head_raw()?;
+        verifier.verify_composite(&composite)?;
+        Ok(composite)
+    }
+
+    /// Fetches per-shard keys and builds a [`CompositeVerifier`] over
+    /// them, registering every published weak-key certificate per lane.
+    ///
+    /// Convenience for tests and trusted-bootstrap deployments, with
+    /// the same caveat as [`RemoteWormClient::bootstrap_verifier`]:
+    /// when the server is not trusted to introduce its own keys, fetch
+    /// CA certificates out of band instead.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server-reported error, or an internally
+    /// inconsistent key bundle.
+    pub fn bootstrap_composite_verifier(
+        &mut self,
+        tolerance: Duration,
+        clock: Arc<dyn Clock>,
+    ) -> Result<CompositeVerifier, NetError> {
+        let mut shards = Vec::new();
+        for (keys, weak_certs) in self.fetch_shard_keys()? {
+            let mut verifier = Verifier::new(&keys, tolerance, clock.clone())?;
+            for cert in weak_certs {
+                verifier.add_weak_cert(cert)?;
+            }
+            shards.push(verifier);
+        }
+        Ok(CompositeVerifier::new(shards))
     }
 }

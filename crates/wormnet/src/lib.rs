@@ -48,7 +48,7 @@ pub mod server;
 pub use client::RemoteWormClient;
 pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 pub use protocol::{NetRequest, NetResponse};
-pub use server::{NetServer, NetServerConfig};
+pub use server::{NetServer, NetServerConfig, WormBackend};
 
 use strongworm::wire::WireError;
 use strongworm::VerifyError;

@@ -12,14 +12,16 @@
 use bytes::Bytes;
 use strongworm::authority::{HoldCredential, ReleaseCredential};
 use strongworm::codec::{
-    decode_captured_traces, decode_device_keys, decode_hold_credential, decode_read_outcome,
-    decode_release_credential, decode_stats_snapshot, decode_weak_key_cert, encode_captured_traces,
-    encode_device_keys, encode_hold_credential, encode_read_outcome, encode_release_credential,
-    encode_stats_snapshot, encode_weak_key_cert,
+    decode_captured_traces, decode_composite_head, decode_device_keys, decode_hold_credential,
+    decode_read_outcome, decode_release_credential, decode_stats_snapshot, decode_weak_key_cert,
+    encode_captured_traces, encode_composite_head, encode_device_keys, encode_hold_credential,
+    encode_read_outcome, encode_release_credential, encode_stats_snapshot, encode_weak_key_cert,
 };
 use strongworm::firmware::{DeviceKeys, WeakKeyCert};
 use strongworm::wire::{WireError, WireReader, WireWriter};
-use strongworm::{ReadOutcome, Regulation, RetentionPolicy, SerialNumber, WitnessMode, WormError};
+use strongworm::{
+    CompositeHead, ReadOutcome, Regulation, RetentionPolicy, SerialNumber, WitnessMode, WormError,
+};
 use wormstore::Shredder;
 
 const REQ_TAG: &str = "wormnet.req.v1";
@@ -82,6 +84,16 @@ pub enum NetRequest {
     /// Fetch the flight recorder's retained slow/error span trees
     /// (newest last). Like `Stats`, unsigned diagnostic data only.
     Traces,
+    /// Fetch the deployment's composite freshness head: every shard's
+    /// head certificate folded into one coordinator-signed root. A
+    /// single-SCPU server answers with a degenerate one-shard
+    /// composite, so clients need not know the deployment shape.
+    GetCompositeHead,
+    /// Fetch every shard's published keys and weak-key certificates, in
+    /// lane order, for bootstrapping a
+    /// [`strongworm::CompositeVerifier`]. Untrusted until validated,
+    /// exactly like `GetKeys`.
+    GetShardKeys,
 }
 
 /// A server response.
@@ -124,6 +136,19 @@ pub enum NetResponse {
     Traces(
         /// Captured slow/error traces, in their canonical encoding.
         Vec<wormtrace::CapturedTrace>,
+    ),
+    /// The composite freshness head, in its canonical encoding. The
+    /// client verifies the coordinator's binding signature, the root,
+    /// and every per-shard head before trusting any of it.
+    CompositeHead(
+        /// Per-shard heads plus the signed binding.
+        CompositeHead,
+    ),
+    /// Every shard's published keys, in lane order.
+    ShardKeys(
+        /// `(keys, weak_certs)` per shard lane; untrusted until
+        /// validated against CA certificates.
+        Vec<(DeviceKeys, Vec<WeakKeyCert>)>,
     ),
 }
 
@@ -177,6 +202,45 @@ fn get_policy(r: &mut WireReader<'_>) -> Result<RetentionPolicy, WireError> {
         retention,
         shredder,
     })
+}
+
+fn put_shard_keys(w: &mut WireWriter, shards: &[(DeviceKeys, Vec<WeakKeyCert>)]) {
+    w.put_count(shards.len());
+    for (keys, weak_certs) in shards {
+        w.put_bytes(&encode_device_keys(keys));
+        w.put_count(weak_certs.len());
+        for cert in weak_certs {
+            w.put_bytes(&encode_weak_key_cert(cert));
+        }
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn get_shard_keys(
+    r: &mut WireReader<'_>,
+) -> Result<Vec<(DeviceKeys, Vec<WeakKeyCert>)>, WireError> {
+    let n = r.get_count()?;
+    if n > MAX_LIST_LEN {
+        return Err(WireError {
+            expected: "shard count within bounds",
+        });
+    }
+    let mut shards = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        let keys = decode_device_keys(r.get_bytes()?)?;
+        let m = r.get_count()?;
+        if m > MAX_LIST_LEN {
+            return Err(WireError {
+                expected: "weak cert count within bounds",
+            });
+        }
+        let mut weak_certs = Vec::with_capacity(m.min(r.remaining()));
+        for _ in 0..m {
+            weak_certs.push(decode_weak_key_cert(r.get_bytes()?)?);
+        }
+        shards.push((keys, weak_certs));
+    }
+    Ok(shards)
 }
 
 fn witness_code(m: WitnessMode) -> u8 {
@@ -244,6 +308,12 @@ pub fn encode_request(req: &NetRequest) -> Vec<u8> {
         }
         NetRequest::Traces => {
             w.put_u8(10);
+        }
+        NetRequest::GetCompositeHead => {
+            w.put_u8(11);
+        }
+        NetRequest::GetShardKeys => {
+            w.put_u8(12);
         }
     }
     w.finish()
@@ -355,6 +425,8 @@ fn decode_request_inner(
         7 => NetRequest::GetKeys,
         8 => NetRequest::Stats,
         10 => NetRequest::Traces,
+        11 => NetRequest::GetCompositeHead,
+        12 => NetRequest::GetShardKeys,
         _ => {
             return Err(WireError {
                 expected: "request opcode",
@@ -401,6 +473,14 @@ pub fn encode_response(resp: &NetResponse) -> Vec<u8> {
             w.put_u8(6);
             w.put_bytes(&encode_captured_traces(traces));
         }
+        NetResponse::CompositeHead(composite) => {
+            w.put_u8(7);
+            w.put_bytes(&encode_composite_head(composite));
+        }
+        NetResponse::ShardKeys(shards) => {
+            w.put_u8(8);
+            put_shard_keys(&mut w, shards);
+        }
     }
     w.finish()
 }
@@ -444,6 +524,8 @@ pub fn decode_response(bytes: &[u8]) -> Result<NetResponse, WireError> {
         }
         5 => NetResponse::Stats(decode_stats_snapshot(r.get_bytes()?)?),
         6 => NetResponse::Traces(decode_captured_traces(r.get_bytes()?)?),
+        7 => NetResponse::CompositeHead(decode_composite_head(r.get_bytes()?)?),
+        8 => NetResponse::ShardKeys(get_shard_keys(&mut r)?),
         _ => {
             return Err(WireError {
                 expected: "response discriminant",
@@ -502,6 +584,8 @@ mod tests {
             NetRequest::GetKeys,
             NetRequest::Stats,
             NetRequest::Traces,
+            NetRequest::GetCompositeHead,
+            NetRequest::GetShardKeys,
         ];
         for req in reqs {
             let enc = encode_request(&req);
@@ -626,6 +710,105 @@ mod tests {
             other => panic!("wrong variant: {other:?}"),
         }
         assert!(decode_response(&enc[..enc.len() - 1]).is_err());
+    }
+
+    fn tiny_key(n: u8) -> wormcrypt::RsaPublicKey {
+        // Structurally valid key material (decode only checks non-zero).
+        let mut raw = Vec::new();
+        raw.extend_from_slice(&1u32.to_be_bytes());
+        raw.push(n);
+        raw.extend_from_slice(&1u32.to_be_bytes());
+        raw.push(3);
+        wormcrypt::RsaPublicKey::from_bytes(&raw).unwrap()
+    }
+
+    fn sample_shard_keys(lanes: u8) -> Vec<(DeviceKeys, Vec<WeakKeyCert>)> {
+        (0..lanes)
+            .map(|i| {
+                let weak_cert = WeakKeyCert {
+                    key: tiny_key(10 + i),
+                    max_sig_expiry: scpu::Timestamp::from_millis(u64::from(i) * 100),
+                    sig: sig(i),
+                };
+                let keys = DeviceKeys {
+                    data_hash: strongworm::DataHashScheme::Multiset,
+                    sign: tiny_key(20 + i),
+                    delete: tiny_key(40 + i),
+                    weak_cert: weak_cert.clone(),
+                };
+                (keys, vec![weak_cert])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn composite_head_response_roundtrips() {
+        let heads = vec![
+            strongworm::proofs::HeadCert {
+                sn_current: SerialNumber(3),
+                issued_at: scpu::Timestamp::from_millis(50),
+                sig: sig(7),
+            },
+            strongworm::proofs::HeadCert {
+                sn_current: SerialNumber(SerialNumber::lane_origin(1) + 2),
+                issued_at: scpu::Timestamp::from_millis(50),
+                sig: sig(8),
+            },
+        ];
+        let composite = CompositeHead {
+            binding: strongworm::CompositeBinding {
+                shard_count: 2,
+                root: strongworm::codec::composite_root(&heads),
+                issued_at: scpu::Timestamp::from_millis(51),
+                sig: sig(9),
+            },
+            heads,
+        };
+        let enc = encode_response(&NetResponse::CompositeHead(composite.clone()));
+        match decode_response(&enc).unwrap() {
+            NetResponse::CompositeHead(got) => assert_eq!(got, composite),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        assert!(decode_response(&enc[..enc.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn shard_keys_response_roundtrips() {
+        for lanes in [0u8, 1, 3] {
+            let shards = sample_shard_keys(lanes);
+            let enc = encode_response(&NetResponse::ShardKeys(shards.clone()));
+            match decode_response(&enc).unwrap() {
+                NetResponse::ShardKeys(got) => {
+                    assert_eq!(got.len(), shards.len());
+                    for ((gk, gc), (wk, wc)) in got.iter().zip(shards.iter()) {
+                        assert_eq!(gk.sign.fingerprint(), wk.sign.fingerprint());
+                        assert_eq!(gk.delete.fingerprint(), wk.delete.fingerprint());
+                        assert_eq!(gc, wc);
+                    }
+                }
+                other => panic!("wrong variant: {other:?}"),
+            }
+            if lanes > 0 {
+                assert!(decode_response(&enc[..enc.len() - 1]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_shard_keys_count_is_bounded() {
+        // A hostile shard count must not drive unbounded allocation.
+        let mut w = WireWriter::tagged("wormnet.resp.v1");
+        w.put_u8(8);
+        w.put_u32(u32::MAX);
+        assert!(decode_response(&w.finish()).is_err());
+        // Same for the nested weak-cert count.
+        let (keys, _) = sample_shard_keys(1).pop().unwrap();
+        let mut w = WireWriter::tagged("wormnet.resp.v1");
+        w.put_u8(8);
+        w.put_count(1);
+        w.put_bytes(&encode_device_keys(&keys));
+        w.put_u32(u32::MAX);
+        assert!(decode_response(&w.finish()).is_err());
     }
 
     #[test]

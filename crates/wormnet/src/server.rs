@@ -1,10 +1,12 @@
-//! Thread-pool TCP acceptor fronting an `Arc<WormServer>`.
+//! Thread-pool TCP acceptor fronting any [`WormBackend`].
 //!
 //! The network layer adds no trust: it is part of the untrusted host.
-//! Worker threads call straight into the [`WormServer`] facade, so
-//! concurrent connections exercise the read plane in parallel while
-//! mutations serialize on the witness plane's mutex — exactly the
-//! concurrency discipline in-process callers get.
+//! Worker threads call straight into the fronted facade — a single
+//! [`WormServer`] or a sharded [`ShardedWormServer`] — so concurrent
+//! connections exercise the read plane in parallel while mutations
+//! serialize per witness plane — exactly the concurrency discipline
+//! in-process callers get. Against a sharded backend, writes fan out
+//! round-robin across shard lanes and only same-shard writes contend.
 
 use std::io::BufWriter;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -14,7 +16,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
-use strongworm::{WormError, WormServer};
+use strongworm::authority::{HoldCredential, ReleaseCredential};
+use strongworm::firmware::{DeviceKeys, WeakKeyCert};
+use strongworm::{
+    CompositeHead, ReadOutcome, RetentionPolicy, SerialNumber, ShardedWormServer, WitnessMode,
+    WormError, WormServer,
+};
 use wormstore::BlockDevice;
 
 use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
@@ -22,6 +29,185 @@ use crate::protocol::{
     decode_request_traced, encode_response, error_code, NetRequest, NetResponse, CODE_BAD_REQUEST,
 };
 use crate::NetError;
+
+/// The server-side surface [`NetServer`] fronts.
+///
+/// Implemented by the single-SCPU [`WormServer`] and by the sharded
+/// facade [`ShardedWormServer`], so one network layer serves both
+/// deployment shapes. A single server answers the shard-aware requests
+/// (`GetCompositeHead`, `GetShardKeys`) with degenerate one-shard
+/// forms, so clients need not know the deployment shape in advance.
+pub trait WormBackend: Send + Sync {
+    /// Commits a virtual record with explicit flags and witness tier.
+    ///
+    /// # Errors
+    ///
+    /// Store, device, or firmware failures on the owning shard.
+    fn write_with(
+        &self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+        flags: u32,
+        witness: WitnessMode,
+    ) -> Result<SerialNumber, WormError>;
+
+    /// Reads a record by serial number, host-only.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures (sharded backends) or store failures.
+    fn read(&self, sn: SerialNumber) -> Result<ReadOutcome, WormError>;
+
+    /// Drives due device alarms on every SCPU.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures.
+    fn tick(&self) -> Result<(), WormError>;
+
+    /// Places a litigation hold, routed by the credential's SN.
+    ///
+    /// # Errors
+    ///
+    /// Routing, credential, or firmware failures.
+    fn lit_hold(&self, credential: HoldCredential) -> Result<(), WormError>;
+
+    /// Releases a litigation hold, routed by the credential's SN.
+    ///
+    /// # Errors
+    ///
+    /// Routing, credential, or firmware failures.
+    fn lit_release(&self, credential: ReleaseCredential) -> Result<(), WormError>;
+
+    /// The coordinator device's published keys.
+    fn keys(&self) -> DeviceKeys;
+
+    /// All weak-key certificates the coordinator has issued so far.
+    fn weak_certs(&self) -> Vec<WeakKeyCert>;
+
+    /// The composite freshness head over every shard lane.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures while refreshing heads or signing
+    /// the binding.
+    fn composite_head(&self) -> Result<CompositeHead, WormError>;
+
+    /// Every shard's published keys and weak-key certificates, in lane
+    /// order.
+    fn shard_keys(&self) -> Vec<(DeviceKeys, Vec<WeakKeyCert>)>;
+
+    /// A point-in-time snapshot of every registered instrument.
+    fn stats_snapshot(&self) -> wormtrace::StatsSnapshot;
+
+    /// The trace registry the network layer registers its instruments
+    /// into (and whose flight recorder serves `Traces` requests).
+    fn trace(&self) -> &Arc<wormtrace::Registry>;
+}
+
+impl<D: BlockDevice> WormBackend for WormServer<D> {
+    fn write_with(
+        &self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+        flags: u32,
+        witness: WitnessMode,
+    ) -> Result<SerialNumber, WormError> {
+        WormServer::write_with(self, records, policy, flags, witness)
+    }
+
+    fn read(&self, sn: SerialNumber) -> Result<ReadOutcome, WormError> {
+        WormServer::read(self, sn)
+    }
+
+    fn tick(&self) -> Result<(), WormError> {
+        WormServer::tick(self)
+    }
+
+    fn lit_hold(&self, credential: HoldCredential) -> Result<(), WormError> {
+        WormServer::lit_hold(self, credential)
+    }
+
+    fn lit_release(&self, credential: ReleaseCredential) -> Result<(), WormError> {
+        WormServer::lit_release(self, credential)
+    }
+
+    fn keys(&self) -> DeviceKeys {
+        WormServer::keys(self).clone()
+    }
+
+    fn weak_certs(&self) -> Vec<WeakKeyCert> {
+        WormServer::weak_certs(self)
+    }
+
+    fn composite_head(&self) -> Result<CompositeHead, WormError> {
+        WormServer::composite_head(self)
+    }
+
+    fn shard_keys(&self) -> Vec<(DeviceKeys, Vec<WeakKeyCert>)> {
+        vec![(WormServer::keys(self).clone(), WormServer::weak_certs(self))]
+    }
+
+    fn stats_snapshot(&self) -> wormtrace::StatsSnapshot {
+        WormServer::stats_snapshot(self)
+    }
+
+    fn trace(&self) -> &Arc<wormtrace::Registry> {
+        WormServer::trace(self)
+    }
+}
+
+impl<D: BlockDevice> WormBackend for ShardedWormServer<D> {
+    fn write_with(
+        &self,
+        records: &[&[u8]],
+        policy: RetentionPolicy,
+        flags: u32,
+        witness: WitnessMode,
+    ) -> Result<SerialNumber, WormError> {
+        ShardedWormServer::write_with(self, records, policy, flags, witness)
+    }
+
+    fn read(&self, sn: SerialNumber) -> Result<ReadOutcome, WormError> {
+        ShardedWormServer::read(self, sn)
+    }
+
+    fn tick(&self) -> Result<(), WormError> {
+        ShardedWormServer::tick(self)
+    }
+
+    fn lit_hold(&self, credential: HoldCredential) -> Result<(), WormError> {
+        ShardedWormServer::lit_hold(self, credential)
+    }
+
+    fn lit_release(&self, credential: ReleaseCredential) -> Result<(), WormError> {
+        ShardedWormServer::lit_release(self, credential)
+    }
+
+    fn keys(&self) -> DeviceKeys {
+        self.coordinator().keys().clone()
+    }
+
+    fn weak_certs(&self) -> Vec<WeakKeyCert> {
+        self.coordinator().weak_certs()
+    }
+
+    fn composite_head(&self) -> Result<CompositeHead, WormError> {
+        ShardedWormServer::composite_head(self)
+    }
+
+    fn shard_keys(&self) -> Vec<(DeviceKeys, Vec<WeakKeyCert>)> {
+        ShardedWormServer::shard_keys(self)
+    }
+
+    fn stats_snapshot(&self) -> wormtrace::StatsSnapshot {
+        ShardedWormServer::stats_snapshot(self)
+    }
+
+    fn trace(&self) -> &Arc<wormtrace::Registry> {
+        ShardedWormServer::trace(self)
+    }
+}
 
 /// Tuning knobs for [`NetServer`].
 #[derive(Clone, Copy, Debug)]
@@ -135,13 +321,13 @@ impl NetServer {
     /// # Errors
     ///
     /// Socket errors binding or configuring the listener.
-    pub fn bind<D, A>(
-        server: Arc<WormServer<D>>,
+    pub fn bind<B, A>(
+        server: Arc<B>,
         addr: A,
         config: NetServerConfig,
     ) -> Result<NetServer, NetError>
     where
-        D: BlockDevice + 'static,
+        B: WormBackend + 'static,
         A: ToSocketAddrs,
     {
         let listener = TcpListener::bind(addr)?;
@@ -164,7 +350,7 @@ impl NetServer {
                 let served = served.clone();
                 let stats = stats.clone();
                 std::thread::spawn(move || {
-                    worker_loop(&rx, &stop, &server, &served, &stats, config)
+                    worker_loop(&rx, &stop, server.as_ref(), &served, &stats, config)
                 })
             })
             .collect();
@@ -252,10 +438,10 @@ fn accept_loop(
     }
 }
 
-fn worker_loop<D: BlockDevice>(
+fn worker_loop<B: WormBackend>(
     rx: &Receiver<TcpStream>,
     stop: &AtomicBool,
-    server: &WormServer<D>,
+    server: &B,
     served: &AtomicU64,
     stats: &NetStats,
     config: NetServerConfig,
@@ -274,10 +460,10 @@ fn worker_loop<D: BlockDevice>(
     }
 }
 
-fn serve_connection<D: BlockDevice>(
+fn serve_connection<B: WormBackend>(
     conn: TcpStream,
     stop: &AtomicBool,
-    server: &WormServer<D>,
+    server: &B,
     served: &AtomicU64,
     stats: &NetStats,
     config: NetServerConfig,
@@ -370,7 +556,7 @@ fn serve_connection<D: BlockDevice>(
     }
 }
 
-fn handle<D: BlockDevice>(server: &WormServer<D>, req: NetRequest) -> NetResponse {
+fn handle<B: WormBackend>(server: &B, req: NetRequest) -> NetResponse {
     let result = (|| -> Result<NetResponse, WormError> {
         match req {
             NetRequest::Write {
@@ -406,7 +592,7 @@ fn handle<D: BlockDevice>(server: &WormServer<D>, req: NetRequest) -> NetRespons
                 Ok(NetResponse::Ack)
             }
             NetRequest::GetKeys => Ok(NetResponse::Keys {
-                keys: server.keys().clone(),
+                keys: server.keys(),
                 weak_certs: server.weak_certs(),
             }),
             NetRequest::Stats => Ok(NetResponse::Stats(server.stats_snapshot())),
@@ -414,6 +600,10 @@ fn handle<D: BlockDevice>(server: &WormServer<D>, req: NetRequest) -> NetRespons
                 let flight = server.trace().flight();
                 Ok(NetResponse::Traces(flight.recent(flight.capacity())))
             }
+            NetRequest::GetCompositeHead => {
+                Ok(NetResponse::CompositeHead(server.composite_head()?))
+            }
+            NetRequest::GetShardKeys => Ok(NetResponse::ShardKeys(server.shard_keys())),
         }
     })();
     result.unwrap_or_else(|e| NetResponse::Error {

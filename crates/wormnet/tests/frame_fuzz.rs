@@ -51,6 +51,8 @@ fn arb_request() -> impl Strategy<Value = NetRequest> {
         }),
         Just(NetRequest::Tick),
         Just(NetRequest::GetKeys),
+        Just(NetRequest::GetCompositeHead),
+        Just(NetRequest::GetShardKeys),
     ]
 }
 

@@ -11,7 +11,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scpu::{Clock, VirtualClock};
 use strongworm::{
-    ReadVerdict, RegulatoryAuthority, RetentionPolicy, SerialNumber, WormConfig, WormServer,
+    ReadVerdict, RegulatoryAuthority, RetentionPolicy, SerialNumber, ShardedWormServer, WormConfig,
+    WormServer,
 };
 use wormnet::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 use wormnet::{NetError, NetServer, NetServerConfig, RemoteWormClient};
@@ -595,6 +596,157 @@ fn flight_recorder_bounds_memory_and_captures_slow_and_failing_requests() {
     // capture: exactly one new entry.
     let captured_after = client.stats().unwrap().counter("net.traces_captured");
     assert_eq!(captured_after, captured_before + 1);
+    h.net.shutdown();
+}
+
+struct ShardedHarness {
+    net: NetServer,
+    server: Arc<ShardedWormServer>,
+    clock: Arc<VirtualClock>,
+}
+
+fn boot_sharded(shards: u32, config: NetServerConfig) -> ShardedHarness {
+    let clock = VirtualClock::new();
+    let mut rng = StdRng::seed_from_u64(4242);
+    let regulator = RegulatoryAuthority::generate(&mut rng, 512);
+    let server = Arc::new(
+        ShardedWormServer::new(
+            WormConfig::test_small(),
+            clock.clone(),
+            regulator.public(),
+            shards,
+        )
+        .unwrap(),
+    );
+    let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", config).unwrap();
+    ShardedHarness { net, server, clock }
+}
+
+#[test]
+fn sharded_writes_fan_out_and_reads_verify_across_lanes() {
+    let h = boot_sharded(3, NetServerConfig::default());
+    let addr = h.net.local_addr();
+
+    // Bootstrap one composite verifier over the wire: per-shard keys in
+    // lane order, coordinator first.
+    let verifier = {
+        let mut c = RemoteWormClient::connect(addr).unwrap();
+        Arc::new(
+            c.bootstrap_composite_verifier(Duration::from_secs(300), h.clock.clone())
+                .unwrap(),
+        )
+    };
+    assert_eq!(verifier.shard_count(), 3);
+
+    // Concurrent clients write; each verifies its own records as it
+    // goes. Round-robin on the server fans the writes across lanes.
+    let start = Arc::new(Barrier::new(CLIENTS + 1));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let verifier = verifier.clone();
+            let start = start.clone();
+            std::thread::spawn(move || {
+                let mut client = RemoteWormClient::connect(addr).unwrap();
+                start.wait();
+                (0..3u8)
+                    .map(|i| {
+                        let body = format!("client-{t} record-{i}");
+                        let sn = client.write(&[body.as_bytes()], policy(100_000)).unwrap();
+                        let (verdict, _) = client.read_verified(sn, &verifier).unwrap();
+                        assert_eq!(verdict, ReadVerdict::Intact { sn });
+                        sn
+                    })
+                    .collect::<Vec<SerialNumber>>()
+            })
+        })
+        .collect();
+    start.wait();
+    let mut sns = Vec::new();
+    for t in threads {
+        sns.extend(t.join().expect("client thread panicked"));
+    }
+
+    // The writes really fanned out: every shard lane got some.
+    let lanes: std::collections::BTreeSet<u32> = sns.iter().map(|sn| sn.lane()).collect();
+    assert_eq!(lanes.len(), 3, "12 round-robin writes must touch 3 lanes");
+
+    // Cross-shard verified reads: one connection reads every record,
+    // spanning every shard boundary, each outcome verified under the
+    // owning lane's keys.
+    let mut reader = RemoteWormClient::connect(addr).unwrap();
+    for sn in &sns {
+        let (verdict, outcome) = reader.read_verified(*sn, &verifier).unwrap();
+        assert_eq!(verdict, ReadVerdict::Intact { sn: *sn });
+        assert_eq!(outcome.kind(), "data");
+    }
+
+    // The composite freshness head covers all three lanes and verifies
+    // end-to-end on the same connection.
+    let composite = reader.composite_head_verified(&verifier).unwrap();
+    assert_eq!(composite.binding.shard_count, 3);
+    assert_eq!(composite.heads.len(), 3);
+
+    // An SN outside every lane is a clean remote error, not a hangup.
+    let foreign = SerialNumber(SerialNumber::lane_origin(9) + 1);
+    match reader.read_raw(foreign) {
+        Err(NetError::Remote { .. }) => {}
+        other => panic!("out-of-lane SN must be a remote error, got {other:?}"),
+    }
+    // ... and the connection still serves verified reads afterwards.
+    let first = *sns.first().unwrap();
+    let (verdict, _) = reader.read_verified(first, &verifier).unwrap();
+    assert_eq!(verdict, ReadVerdict::Intact { sn: first });
+    h.net.shutdown();
+}
+
+#[test]
+fn tampered_composite_head_fails_verification_without_dropping_connection() {
+    let h = boot_sharded(2, NetServerConfig::default());
+    let mut client = RemoteWormClient::connect(h.net.local_addr()).unwrap();
+    let verifier = client
+        .bootstrap_composite_verifier(Duration::from_secs(300), h.clock.clone())
+        .unwrap();
+
+    let sn = client.write(&[b"cross-checked"], policy(100_000)).unwrap();
+
+    // Mint the composite, then poison the cached copy server-side: the
+    // host now serves a composite whose signed root does not match its
+    // heads — the model of a host doctoring freshness evidence.
+    h.server.composite_head().unwrap();
+    h.server.tamper_composite_for_test();
+    match client.composite_head_verified(&verifier) {
+        Err(NetError::Verify(_)) => {}
+        other => panic!("tampered composite must fail verification, got {other:?}"),
+    }
+
+    // The connection survives the rejection: the same client still
+    // performs verified reads against the owning shard.
+    let (verdict, _) = client.read_verified(sn, &verifier).unwrap();
+    assert_eq!(verdict, ReadVerdict::Intact { sn });
+
+    // Once the cache lapses, the lazily re-minted composite verifies
+    // again on this same connection — the poison washes out.
+    h.clock.advance(Duration::from_secs(10_000));
+    let composite = client.composite_head_verified(&verifier).unwrap();
+    assert_eq!(composite.binding.shard_count, 2);
+    h.net.shutdown();
+}
+
+#[test]
+fn single_server_answers_shard_aware_requests_degenerately() {
+    // A client that only speaks the shard-aware bootstrap still works
+    // against a single-SCPU server: one lane, degenerate composite.
+    let h = boot(NetServerConfig::default());
+    let mut client = RemoteWormClient::connect(h.net.local_addr()).unwrap();
+    let verifier = client
+        .bootstrap_composite_verifier(Duration::from_secs(300), h.clock.clone())
+        .unwrap();
+    assert_eq!(verifier.shard_count(), 1);
+    let sn = client.write(&[b"one lane"], policy(3600)).unwrap();
+    let (verdict, _) = client.read_verified(sn, &verifier).unwrap();
+    assert_eq!(verdict, ReadVerdict::Intact { sn });
+    let composite = client.composite_head_verified(&verifier).unwrap();
+    assert_eq!(composite.binding.shard_count, 1);
     h.net.shutdown();
 }
 

@@ -26,7 +26,10 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scpu::{Clock, VirtualClock};
-use strongworm::{RegulatoryAuthority, RetentionPolicy, WormConfig, WormServer};
+use strongworm::{
+    DaemonConfig, RegulatoryAuthority, RetentionDaemon, RetentionPolicy, ShardedWormServer,
+    WormConfig, WormServer,
+};
 use wormnet::{NetServer, NetServerConfig, RemoteWormClient};
 use wormstore::Shredder;
 use wormtrace::{CapturedTrace, SpanRecord, StatsSnapshot};
@@ -44,6 +47,9 @@ OPTIONS:
     --once               Poll once and print one JSON line, then exit
     --self-test          Boot an in-process server with sample traffic
                          and monitor that instead of --addr
+    --shards N           With --self-test: boot a sharded witness plane
+                         of N SCPUs with per-shard retention daemons
+                         (default 1, the single-SCPU server)
     -h, --help           Show this help
 ";
 
@@ -53,6 +59,7 @@ struct Options {
     iterations: Option<u64>,
     once: bool,
     self_test: bool,
+    shards: u32,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -62,6 +69,7 @@ fn parse_args() -> Result<Options, String> {
         iterations: None,
         once: false,
         self_test: false,
+        shards: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -86,6 +94,12 @@ fn parse_args() -> Result<Options, String> {
             }
             "--once" => opts.once = true,
             "--self-test" => opts.self_test = true,
+            "--shards" => {
+                opts.shards = value("--shards")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("--shards: {e}"))?
+                    .max(1);
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -108,7 +122,7 @@ fn main() {
     // Self-test: the harness must outlive the polling loop, so the
     // server handle is held here until exit.
     let harness = if opts.self_test {
-        Some(self_test_boot())
+        Some(self_test_boot(opts.shards))
     } else {
         None
     };
@@ -177,34 +191,63 @@ fn poll(
 struct SelfTest {
     net: NetServer,
     addr: SocketAddr,
+    /// Per-shard retention daemons (sharded self-test only) — held so
+    /// their health gauges stay live while the monitor polls.
+    _daemons: Vec<RetentionDaemon>,
 }
 
 /// Boots a loopback server and drives sample traffic through it:
 /// writes, verified reads, and one rejected litigation hold, with the
 /// flight-recorder threshold dropped to zero so every request's span
 /// tree is captured. The monitor then has live data in every panel.
-fn self_test_boot() -> SelfTest {
+/// With `shards > 1` the server is a sharded witness plane — writes fan
+/// out across lanes, reads are verified under a composite verifier, and
+/// one retention daemon runs per shard so the shard panel has health
+/// rows.
+fn self_test_boot(shards: u32) -> SelfTest {
     let clock = VirtualClock::new();
     let mut rng = StdRng::seed_from_u64(42);
     let regulator = RegulatoryAuthority::generate(&mut rng, 512);
-    let server = Arc::new(
-        WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())
-            .expect("self-test server boots"),
-    );
     // Threshold zero: every request is "slow", so each one's span tree
     // lands in the flight recorder — the monitor has traces to show.
     let config = NetServerConfig {
         slow_trace_threshold: Duration::ZERO,
         ..NetServerConfig::default()
     };
-    let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", config)
-        .expect("self-test server binds a loopback port");
+    let (net, _daemons) = if shards > 1 {
+        let server = Arc::new(
+            ShardedWormServer::new(
+                WormConfig::test_small(),
+                clock.clone(),
+                regulator.public(),
+                shards,
+            )
+            .expect("self-test sharded server boots"),
+        );
+        let daemons = server.spawn_daemons(DaemonConfig {
+            interval: Duration::from_millis(100),
+            ..DaemonConfig::default()
+        });
+        let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", config)
+            .expect("self-test server binds a loopback port");
+        (net, daemons)
+    } else {
+        let server = Arc::new(
+            WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public())
+                .expect("self-test server boots"),
+        );
+        let net = NetServer::bind(Arc::clone(&server), "127.0.0.1:0", config)
+            .expect("self-test server binds a loopback port");
+        (net, Vec::new())
+    };
     let addr = net.local_addr();
 
     let mut client = RemoteWormClient::connect(addr).expect("self-test client connects");
     client.set_request_tracing(true);
+    // The composite bootstrap works against both deployment shapes (a
+    // single server answers with one degenerate lane).
     let verifier = client
-        .bootstrap_verifier(Duration::from_secs(300), clock.clone())
+        .bootstrap_composite_verifier(Duration::from_secs(300), clock.clone())
         .expect("self-test verifier bootstraps");
     let policy = RetentionPolicy::custom(Duration::from_secs(3600), Shredder::ZeroFill);
     let sns: Vec<_> = (0..8)
@@ -219,6 +262,9 @@ fn self_test_boot() -> SelfTest {
             .read_verified(sn, &verifier)
             .expect("self-test verified read");
     }
+    client
+        .composite_head_verified(&verifier)
+        .expect("self-test composite head verifies");
     // One failing request, so the flight recorder shows an error
     // capture: a hold signed by an authority the device doesn't trust.
     let imposter = RegulatoryAuthority::generate(&mut rng, 512);
@@ -228,7 +274,75 @@ fn self_test_boot() -> SelfTest {
         client.lit_hold(bad).is_err(),
         "imposter hold must be rejected"
     );
-    SelfTest { net, addr }
+    SelfTest {
+        net,
+        addr,
+        _daemons,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shard panel
+// ---------------------------------------------------------------------
+
+/// One shard lane's health, extracted from the merged snapshot's
+/// `shard{i}.`-prefixed instruments (a single-SCPU server publishes no
+/// such prefixes, so the panel is empty there).
+#[derive(Debug, PartialEq, Eq)]
+struct ShardRow {
+    lane: u32,
+    writes: u64,
+    reads: u64,
+    daemon_passes: u64,
+    backoff_ms: u64,
+    consecutive_failures: u64,
+}
+
+/// Splits a `shard{i}.rest` instrument name into its lane and the
+/// unprefixed name. Names without the prefix (router- or net-level
+/// instruments) return `None`.
+fn shard_split(name: &str) -> Option<(u32, &str)> {
+    let rest = name.strip_prefix("shard")?;
+    let (lane, op) = rest.split_once('.')?;
+    Some((lane.parse().ok()?, op))
+}
+
+/// Per-shard rows in lane order, from the shard-prefixed instruments of
+/// a merged snapshot.
+fn shard_rows(stats: &StatsSnapshot) -> Vec<ShardRow> {
+    let mut lanes: Vec<u32> = stats
+        .ops
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .chain(stats.gauges.iter().map(|(n, _)| n.as_str()))
+        .chain(stats.counters.iter().map(|(n, _)| n.as_str()))
+        .filter_map(|n| shard_split(n).map(|(lane, _)| lane))
+        .collect();
+    lanes.sort_unstable();
+    lanes.dedup();
+    lanes
+        .into_iter()
+        .map(|lane| {
+            let op_total = |name: &str| {
+                stats
+                    .op(&format!("shard{lane}.{name}"))
+                    .map_or(0, |o| o.total())
+            };
+            let gauge = |name: &str| {
+                stats
+                    .gauge(&format!("shard{lane}.{name}"))
+                    .unwrap_or_default()
+            };
+            ShardRow {
+                lane,
+                writes: op_total("server.write"),
+                reads: op_total("server.read"),
+                daemon_passes: op_total("daemon.pass"),
+                backoff_ms: gauge("daemon.backoff_ms"),
+                consecutive_failures: gauge("daemon.consecutive_failures"),
+            }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------
@@ -265,6 +379,23 @@ fn render(
         stats.gauge("daemon.backoff_ms").unwrap_or(0),
         stats.gauge("daemon.consecutive_failures").unwrap_or(0),
     ));
+
+    // Sharded deployments: one health row per shard lane, extracted
+    // from the merged snapshot's `shard{i}.` prefixes.
+    let rows = shard_rows(stats);
+    if !rows.is_empty() {
+        out.push_str(&format!(
+            "{:<8} {:>10} {:>10} {:>14} {:>11} {:>7}\n",
+            "SHARD", "WRITES", "READS", "DAEMON PASSES", "BACKOFF ms", "FAILS"
+        ));
+        for r in &rows {
+            out.push_str(&format!(
+                "shard{:<3} {:>10} {:>10} {:>14} {:>11} {:>7}\n",
+                r.lane, r.writes, r.reads, r.daemon_passes, r.backoff_ms, r.consecutive_failures,
+            ));
+        }
+        out.push('\n');
+    }
 
     out.push_str(&format!(
         "{:<24} {:>10} {:>10} {:>6} {:>9} {:>9} {:>9}\n",
@@ -423,7 +554,17 @@ fn to_json_line(addr: &str, stats: &StatsSnapshot, traces: &[CapturedTrace]) -> 
             op.p99_ns(),
         ));
     }
-    s.push_str("},\"traces\":[");
+    s.push_str("},\"shards\":[");
+    for (i, r) in shard_rows(stats).iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"lane\":{},\"writes\":{},\"reads\":{},\"daemon_passes\":{},\"backoff_ms\":{},\"consecutive_failures\":{}}}",
+            r.lane, r.writes, r.reads, r.daemon_passes, r.backoff_ms, r.consecutive_failures,
+        ));
+    }
+    s.push_str("],\"traces\":[");
     for (i, t) in traces.iter().enumerate() {
         if i > 0 {
             s.push(',');
@@ -505,6 +646,80 @@ mod tests {
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"counters\":{}"));
         assert!(line.contains("\"traces\":[]"));
+        assert!(line.contains("\"shards\":[]"));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn shard_split_parses_lane_prefixes() {
+        assert_eq!(
+            shard_split("shard0.server.write"),
+            Some((0, "server.write"))
+        );
+        assert_eq!(
+            shard_split("shard12.daemon.backoff_ms"),
+            Some((12, "daemon.backoff_ms"))
+        );
+        assert_eq!(shard_split("server.write"), None);
+        assert_eq!(shard_split("shardx.server.write"), None);
+        assert_eq!(shard_split("shard3"), None);
+    }
+
+    fn sharded_snapshot() -> StatsSnapshot {
+        let op = |ok, err| wormtrace::OpSnapshot {
+            ok,
+            err,
+            ..Default::default()
+        };
+        StatsSnapshot {
+            ops: vec![
+                ("net.request".to_string(), op(9, 0)),
+                ("shard0.daemon.pass".to_string(), op(4, 0)),
+                ("shard0.server.read".to_string(), op(2, 1)),
+                ("shard0.server.write".to_string(), op(5, 0)),
+                ("shard2.server.write".to_string(), op(7, 0)),
+            ],
+            counters: Vec::new(),
+            gauges: vec![
+                ("net.queue_depth".to_string(), 3),
+                ("shard0.daemon.backoff_ms".to_string(), 250),
+                ("shard2.daemon.consecutive_failures".to_string(), 1),
+            ],
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn shard_rows_extract_per_lane_health() {
+        let rows = shard_rows(&sharded_snapshot());
+        assert_eq!(
+            rows,
+            vec![
+                ShardRow {
+                    lane: 0,
+                    writes: 5,
+                    reads: 3,
+                    daemon_passes: 4,
+                    backoff_ms: 250,
+                    consecutive_failures: 0,
+                },
+                ShardRow {
+                    lane: 2,
+                    writes: 7,
+                    reads: 0,
+                    daemon_passes: 0,
+                    backoff_ms: 0,
+                    consecutive_failures: 1,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn shard_rows_reach_json_line() {
+        let line = to_json_line("x:1", &sharded_snapshot(), &[]);
+        assert!(line.contains("\"shards\":[{\"lane\":0,"));
+        assert!(line.contains("\"lane\":2,\"writes\":7"));
+        assert!(line.contains("\"backoff_ms\":250"));
     }
 }

@@ -41,6 +41,13 @@ cargo run --release -q -p worm-bench --bin read_scaling > /dev/null
 echo ">> net_throughput"
 cargo run --release -q -p worm-bench --bin net_throughput > /dev/null
 
+# Writes results/BENCH_shard_scaling.json itself: ablation A7, write
+# throughput of the sharded witness plane at 1/2/4/8 SCPUs, with
+# cross-shard wire reads verified against the composite head. The bin
+# asserts monotone scaling and exits nonzero on a regression.
+echo ">> shard_scaling"
+cargo run --release -q -p worm-bench --bin shard_scaling > /dev/null
+
 # Writes results/BENCH_observability.json itself: wormtrace
 # instrumentation overhead on the read path, enabled vs kill-switched.
 echo ">> observability"

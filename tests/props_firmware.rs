@@ -33,6 +33,7 @@ fn boot() -> (Fw, Arc<VirtualClock>) {
             base_cert_lifetime: Duration::from_secs(86_400),
             min_compaction_run: 3,
             data_hash: DataHashScheme::Chained,
+            sn_origin: 0,
         }),
         DeviceConfig {
             cost_model: scpu::CostModel::free(),
