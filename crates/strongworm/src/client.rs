@@ -7,11 +7,12 @@
 //! if the read succeeds, or — if it fails — that (ii) it was deleted
 //! according to policy, or (iii) it never existed in this store.
 
-use std::sync::Arc;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, RwLock};
 use std::time::Duration;
 
 use scpu::{Clock, Timestamp};
-use wormcrypt::RsaPublicKey;
+use wormcrypt::{Digest, RsaPublicKey, Sha256};
 
 use crate::authority::KeyCertificate;
 use crate::codec::composite_root;
@@ -23,8 +24,133 @@ use crate::sn::SerialNumber;
 use crate::vrd::{data_hash, Vrd};
 use crate::witness::{
     base_payload, composite_payload, data_payload, deletion_payload, head_payload, meta_payload,
-    weak_cert_payload, weak_wrap, window_payload, KeyRole, WindowSide, Witness,
+    weak_cert_payload, weak_wrap, window_payload, KeyRole, Signature, WindowSide, Witness,
 };
+
+/// Bound on the verified-signature memo before it resets. 32 bytes per
+/// entry; the cap keeps a long-lived verifier's footprint fixed while
+/// comfortably covering a hot working set of records.
+const SIG_MEMO_CAP: usize = 8192;
+
+/// A bounded memo of signature checks that have already *succeeded*.
+///
+/// RSA verification dominates client-side read cost; real read traffic
+/// re-presents the same signed statements constantly (the head
+/// certificate repeats verbatim between heartbeats, and hot records are
+/// re-read with identical VRDs). Memoizing success is sound because the
+/// memo key is a SHA-256 over the signing key's fingerprint, the exact
+/// payload, and the exact signature bytes: a hit means a byte-identical
+/// check passed before, and producing a *different* (payload, sig) pair
+/// with the same key would be a SHA-256 collision. Nothing
+/// time-dependent is memoized — freshness and expiry checks still run
+/// on every read, only the signature arithmetic is skipped. Failures
+/// are never cached (a host that alternates good and bad bytes gets the
+/// bad ones rejected every time).
+#[derive(Debug, Default)]
+struct SigMemo {
+    seen: RwLock<HashSet<[u8; 32]>>,
+}
+
+impl SigMemo {
+    fn key(key_id: [u8; 8], payload: &[u8], sig: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&key_id);
+        // Length prefix keeps (payload, sig) framing unambiguous.
+        h.update(&(payload.len() as u64).to_be_bytes());
+        h.update(payload);
+        h.update(sig);
+        let mut out = [0u8; 32];
+        out.copy_from_slice(&h.finalize());
+        out
+    }
+
+    fn contains(&self, k: &[u8; 32]) -> bool {
+        // A poisoned lock degrades to cache-miss, never to acceptance.
+        self.seen.read().is_ok_and(|s| s.contains(k))
+    }
+
+    fn insert(&self, k: [u8; 32]) {
+        if let Ok(mut s) = self.seen.write() {
+            if s.len() >= SIG_MEMO_CAP {
+                s.clear();
+            }
+            s.insert(k);
+        }
+    }
+}
+
+/// Bound on the data-chain memo before it resets. Entries hold a clone
+/// of the verified record bytes (`bytes::Bytes` handles, so hot records
+/// decoded from a shared buffer are not duplicated); at 4 KiB records
+/// the cap bounds the memo near a few MiB.
+const CHAIN_MEMO_CAP: usize = 1024;
+
+/// A bounded memo of data-chain hashes over records that already
+/// verified.
+///
+/// Hashing the record payload dominates warm-path read verification
+/// (the signature memo above removes the RSA cost, leaving the SHA-256
+/// over every data byte). `data_hash` is a pure function of the scheme
+/// and the record bytes, so when a serial number is re-read the memo
+/// compares the received bytes against the copy that verified last
+/// time: byte equality implies hash equality, and a memcmp over the
+/// records is an order of magnitude cheaper than re-hashing them. Any
+/// difference — scheme, record count, or a single byte — falls back to
+/// a full recompute, so a host that alternates good and tampered bytes
+/// still gets the tampered ones hashed (and rejected) every time.
+#[derive(Debug, Default)]
+struct ChainMemo {
+    seen: RwLock<HashMap<SerialNumber, ChainEntry>>,
+}
+
+#[derive(Debug)]
+struct ChainEntry {
+    scheme: DataHashScheme,
+    records: Vec<bytes::Bytes>,
+    chain: Vec<u8>,
+}
+
+impl ChainMemo {
+    /// Returns the memoized chain for `sn` when `records` are
+    /// byte-identical to the ones that verified before.
+    fn lookup(
+        &self,
+        sn: SerialNumber,
+        scheme: DataHashScheme,
+        records: &[bytes::Bytes],
+    ) -> Option<Vec<u8>> {
+        // A poisoned lock degrades to cache-miss, never to acceptance.
+        let seen = self.seen.read().ok()?;
+        let e = seen.get(&sn)?;
+        if e.scheme == scheme && e.records == records {
+            Some(e.chain.clone())
+        } else {
+            None
+        }
+    }
+
+    fn insert(
+        &self,
+        sn: SerialNumber,
+        scheme: DataHashScheme,
+        records: &[bytes::Bytes],
+        chain: Vec<u8>,
+    ) {
+        if let Ok(mut s) = self.seen.write() {
+            if s.len() >= CHAIN_MEMO_CAP && !s.contains_key(&sn) {
+                s.clear();
+            }
+            s.insert(
+                sn,
+                ChainEntry {
+                    scheme,
+                    records: records.to_vec(),
+                    chain,
+                },
+            );
+        }
+    }
+}
 
 /// What a verified read means.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -70,9 +196,18 @@ pub struct Verifier {
     data_hash: DataHashScheme,
     sign_key: RsaPublicKey,
     del_key: RsaPublicKey,
+    /// Fingerprints of `sign_key` / `del_key`, computed once — the memo
+    /// fast path compares these on every check and recomputing the
+    /// key-bytes hash per read is measurable.
+    sign_fp: [u8; 8],
+    del_fp: [u8; 8],
     weak_certs: Vec<WeakKeyCert>,
     tolerance: Duration,
     clock: Arc<dyn Clock>,
+    /// Memo of signature checks that already succeeded (see [`SigMemo`]).
+    memo: SigMemo,
+    /// Memo of data-chain hashes over verified records (see [`ChainMemo`]).
+    chain_memo: ChainMemo,
 }
 
 impl Verifier {
@@ -89,11 +224,15 @@ impl Verifier {
     ) -> Result<Self, VerifyError> {
         let mut v = Verifier {
             data_hash: keys.data_hash,
+            sign_fp: keys.sign.fingerprint(),
+            del_fp: keys.delete.fingerprint(),
             sign_key: keys.sign.clone(),
             del_key: keys.delete.clone(),
             weak_certs: Vec::new(),
             tolerance,
             clock,
+            memo: SigMemo::default(),
+            chain_memo: ChainMemo::default(),
         };
         v.add_weak_cert(keys.weak_cert.clone())?;
         Ok(v)
@@ -123,11 +262,15 @@ impl Verifier {
         }
         let mut v = Verifier {
             data_hash: DataHashScheme::Chained,
+            sign_fp: sign_cert.key.fingerprint(),
+            del_fp: del_cert.key.fingerprint(),
             sign_key: sign_cert.key.clone(),
             del_key: del_cert.key.clone(),
             weak_certs: Vec::new(),
             tolerance,
             clock,
+            memo: SigMemo::default(),
+            chain_memo: ChainMemo::default(),
         };
         v.add_weak_cert(weak_cert)?;
         Ok(v)
@@ -198,7 +341,11 @@ impl Verifier {
         let meta = meta_payload(vrd.sn, &vrd.attr.encode());
         self.verify_witness(&meta, &vrd.metasig, "metasig")?;
 
-        let chain = data_hash(self.data_hash, records.iter().map(|b| b.as_ref()));
+        let memo_hit = self.chain_memo.lookup(vrd.sn, self.data_hash, records);
+        let chain = match &memo_hit {
+            Some(chain) => chain.clone(),
+            None => data_hash(self.data_hash, records.iter().map(|b| b.as_ref())),
+        };
         let datap = data_payload(vrd.sn, &chain);
         self.verify_witness(&datap, &vrd.datasig, "datasig")
             .map_err(|e| match e {
@@ -206,7 +353,12 @@ impl Verifier {
                 // recomputed hash means the data (or the hash) was altered.
                 VerifyError::BadSignature("datasig") => VerifyError::DataHashMismatch,
                 other => other,
-            })
+            })?;
+        if memo_hit.is_none() {
+            self.chain_memo
+                .insert(vrd.sn, self.data_hash, records, chain);
+        }
+        Ok(())
     }
 
     /// Verifies a single witness over `payload`.
@@ -218,7 +370,7 @@ impl Verifier {
     ) -> Result<(), VerifyError> {
         match witness {
             Witness::Strong(sig) => {
-                if sig.verify(&self.sign_key, payload) {
+                if self.verify_memoized(&self.sign_key, self.sign_fp, payload, sig) {
                     Ok(())
                 } else {
                     Err(VerifyError::BadSignature(field))
@@ -231,7 +383,8 @@ impl Verifier {
                 }
                 let wrapped = weak_wrap(payload, *expires_at);
                 let ok = self.weak_certs.iter().any(|cert| {
-                    *expires_at <= cert.max_sig_expiry && sig.verify(&cert.key, &wrapped)
+                    *expires_at <= cert.max_sig_expiry
+                        && self.verify_memoized(&cert.key, cert.key.fingerprint(), &wrapped, sig)
                 });
                 if ok {
                     Ok(())
@@ -241,6 +394,32 @@ impl Verifier {
             }
             Witness::Mac { .. } => Err(VerifyError::UnverifiableMac { field }),
         }
+    }
+
+    /// Checks `sig` over `payload` under `key`, short-circuiting
+    /// through the verifier's memo of byte-identical checks that
+    /// already succeeded. Failures are computed (and re-computed)
+    /// honestly every time.
+    fn verify_memoized(
+        &self,
+        key: &RsaPublicKey,
+        key_fp: [u8; 8],
+        payload: &[u8],
+        sig: &Signature,
+    ) -> bool {
+        debug_assert_eq!(key_fp, key.fingerprint());
+        if sig.key_id != key_fp {
+            return false;
+        }
+        let k = SigMemo::key(sig.key_id, payload, &sig.bytes);
+        if self.memo.contains(&k) {
+            return true;
+        }
+        let ok = sig.verify(key, payload);
+        if ok {
+            self.memo.insert(k);
+        }
+        ok
     }
 
     /// Verifies deletion evidence for `requested`.
@@ -255,7 +434,7 @@ impl Verifier {
                     return Err(VerifyError::EvidenceDoesNotCoverSn);
                 }
                 let payload = deletion_payload(p.sn, p.deleted_at);
-                if !p.sig.verify(&self.del_key, &payload) {
+                if !self.verify_memoized(&self.del_key, self.del_fp, &payload, &p.sig) {
                     return Err(VerifyError::BadSignature("deletion proof"));
                 }
                 Ok(ReadVerdict::ConfirmedDeleted {
@@ -267,7 +446,7 @@ impl Verifier {
                     return Err(VerifyError::ExpiredCertificate("base"));
                 }
                 let payload = base_payload(base.sn_base, base.expires_at);
-                if !base.sig.verify(&self.sign_key, &payload) {
+                if !self.verify_memoized(&self.sign_key, self.sign_fp, &payload, &base.sig) {
                     return Err(VerifyError::BadSignature("base certificate"));
                 }
                 if requested >= base.sn_base {
@@ -284,8 +463,8 @@ impl Verifier {
                 // (§4.2.1).
                 let lo_payload = window_payload(w.window_id, w.lo, WindowSide::Lower);
                 let hi_payload = window_payload(w.window_id, w.hi, WindowSide::Upper);
-                if !w.lo_sig.verify(&self.sign_key, &lo_payload)
-                    || !w.hi_sig.verify(&self.sign_key, &hi_payload)
+                if !self.verify_memoized(&self.sign_key, self.sign_fp, &lo_payload, &w.lo_sig)
+                    || !self.verify_memoized(&self.sign_key, self.sign_fp, &hi_payload, &w.hi_sig)
                 {
                     return Err(VerifyError::BadSignature("window bound"));
                 }
@@ -302,7 +481,7 @@ impl Verifier {
     /// [`VerifyError::BadSignature`] / [`VerifyError::StaleHead`].
     pub fn check_head(&self, head: &HeadCert) -> Result<(), VerifyError> {
         let payload = head_payload(head.sn_current, head.issued_at);
-        if !head.sig.verify(&self.sign_key, &payload) {
+        if !self.verify_memoized(&self.sign_key, self.sign_fp, &payload, &head.sig) {
             return Err(VerifyError::BadSignature("head certificate"));
         }
         let age = self.clock.now().since(head.issued_at);
@@ -400,7 +579,12 @@ impl CompositeVerifier {
             return Err(VerifyError::BadSignature("composite shard count"));
         }
         let payload = composite_payload(binding.shard_count, &binding.root, binding.issued_at);
-        if !binding.sig.verify(&coordinator.sign_key, &payload) {
+        if !coordinator.verify_memoized(
+            &coordinator.sign_key,
+            coordinator.sign_fp,
+            &payload,
+            &binding.sig,
+        ) {
             return Err(VerifyError::BadSignature("composite binding"));
         }
         let age = coordinator.clock.now().since(binding.issued_at);

@@ -380,7 +380,17 @@ fn get_evidence(r: &mut WireReader<'_>) -> Result<DeletionEvidence, WireError> {
 /// Encodes a complete read outcome — what a serving host returns to a
 /// remote client, who re-verifies every embedded certificate.
 pub fn encode_read_outcome(o: &ReadOutcome) -> Vec<u8> {
-    let mut w = WireWriter::tagged("strongworm.readoutcome.v1");
+    let mut w = WireWriter::new();
+    encode_read_outcome_into(&mut w, o);
+    w.finish()
+}
+
+/// Encodes a read outcome directly into an existing writer — the
+/// serving path nests outcomes inside response frames, and writing in
+/// place avoids re-copying every record payload.
+// wormlint: allow(codec) -- in-place variant of the tested encode_read_outcome/decode_read_outcome pair; it emits byte-identical output, so the same decoder covers it
+pub fn encode_read_outcome_into(w: &mut WireWriter, o: &ReadOutcome) {
+    w.put_str("strongworm.readoutcome.v1");
     match o {
         ReadOutcome::Data { vrd, records, head } => {
             w.put_u8(0);
@@ -393,7 +403,7 @@ pub fn encode_read_outcome(o: &ReadOutcome) -> Vec<u8> {
         }
         ReadOutcome::Deleted { evidence, head } => {
             w.put_u8(1);
-            put_evidence(&mut w, evidence);
+            put_evidence(w, evidence);
             w.put_bytes(&encode_head_cert(head));
         }
         ReadOutcome::NeverExisted { head } => {
@@ -401,7 +411,6 @@ pub fn encode_read_outcome(o: &ReadOutcome) -> Vec<u8> {
             w.put_bytes(&encode_head_cert(head));
         }
     }
-    w.finish()
 }
 
 /// Decodes a read outcome received from an untrusted host.
@@ -414,6 +423,36 @@ pub fn encode_read_outcome(o: &ReadOutcome) -> Vec<u8> {
 ///
 /// [`WireError`] on any truncation or malformed field.
 pub fn decode_read_outcome(bytes: &[u8]) -> Result<ReadOutcome, WireError> {
+    decode_read_outcome_with(bytes, &|s| Bytes::from(s.to_vec()))
+}
+
+/// Decodes a read outcome whose record payloads *share* the source
+/// buffer instead of being copied out of it.
+///
+/// The returned records are [`Bytes`] slices into `src` (refcounted
+/// views), so decoding a data response costs no per-record copy — the
+/// dominant cost of [`decode_read_outcome`] on large records. The
+/// trade-off is lifetime, not safety: each record handle keeps the
+/// whole source frame alive until dropped.
+///
+/// # Errors
+///
+/// [`WireError`] on any truncation or malformed field.
+pub fn decode_read_outcome_shared(src: &Bytes) -> Result<ReadOutcome, WireError> {
+    let base = src.as_ptr() as usize; // wormlint: allow(cast) -- pointer identity, not a length
+    decode_read_outcome_with(src, &|s| {
+        // wormlint: allow(cast) -- subslice offset via pointer identity; cannot truncate
+        let off = (s.as_ptr() as usize).wrapping_sub(base);
+        src.slice(off..off + s.len())
+    })
+}
+
+/// Shared body of the two decoders above: `mk` materializes a record
+/// from its wire subslice (copy, or refcounted view into the source).
+fn decode_read_outcome_with(
+    bytes: &[u8],
+    mk: &dyn Fn(&[u8]) -> Bytes,
+) -> Result<ReadOutcome, WireError> {
     let mut r = WireReader::new(bytes);
     if r.get_str()? != "strongworm.readoutcome.v1" {
         return Err(WireError {
@@ -431,7 +470,7 @@ pub fn decode_read_outcome(bytes: &[u8]) -> Result<ReadOutcome, WireError> {
             }
             let mut records = Vec::with_capacity(n.min(r.remaining()));
             for _ in 0..n {
-                records.push(Bytes::from(r.get_bytes()?.to_vec()));
+                records.push(mk(r.get_bytes()?));
             }
             let head = decode_head_cert(r.get_bytes()?)?;
             ReadOutcome::Data { vrd, records, head }
@@ -1165,8 +1204,17 @@ mod tests {
         for o in outcomes {
             let enc = encode_read_outcome(&o);
             assert_eq!(decode_read_outcome(&enc).unwrap(), o);
+            // The in-place encoder is byte-identical (it IS the encoder,
+            // writing into a caller-owned writer instead of a fresh one).
+            let mut w = WireWriter::new();
+            encode_read_outcome_into(&mut w, &o);
+            assert_eq!(w.finish(), enc);
+            // The shared-buffer decoder agrees with the copying one.
+            let shared = Bytes::from(enc.clone());
+            assert_eq!(decode_read_outcome_shared(&shared).unwrap(), o);
             // Truncation and trailing garbage are both rejected.
             assert!(decode_read_outcome(&enc[..enc.len() - 1]).is_err());
+            assert!(decode_read_outcome_shared(&shared.slice(0..shared.len() - 1)).is_err());
             let mut bad = enc.clone();
             bad.push(0);
             assert!(decode_read_outcome(&bad).is_err());

@@ -101,6 +101,31 @@ impl WireWriter {
         self.put_u32(u32::try_from(n).expect("collection count exceeds the u32 wire slot"))
     }
 
+    /// Appends a length-prefixed nested encoding written in place.
+    ///
+    /// Byte-identical to building the nested encoding in its own writer
+    /// and appending it with [`WireWriter::put_bytes`], without the
+    /// intermediate allocation and copy — the `u32` prefix is reserved
+    /// up front and backpatched once the closure has written the body.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nested body exceeds [`MAX_WIRE_BYTES`] — same
+    /// contract as [`WireWriter::put_bytes`].
+    #[allow(clippy::expect_used)]
+    pub fn put_nested<F: FnOnce(&mut Self)>(&mut self, f: F) -> &mut Self {
+        let at = self.buf.len();
+        self.put_u32(0);
+        f(self);
+        let body_len = self.buf.len() - at - 4;
+        // wormlint: allow(panic) -- mirrors the put_bytes contract: a nested body the u32 prefix cannot represent must halt rather than mint a corrupt canonical encoding
+        let prefix = u32::try_from(body_len).expect("nested body exceeds u32 prefix");
+        if let Some(slot) = self.buf.get_mut(at..at + 4) {
+            slot.copy_from_slice(&prefix.to_be_bytes());
+        }
+        self
+    }
+
     /// Consumes the writer, returning the encoded bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf

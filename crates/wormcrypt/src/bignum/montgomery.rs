@@ -176,6 +176,12 @@ impl Ubig {
         }
         if modulus.is_odd() {
             let ctx = Montgomery::new(modulus).expect("odd modulus");
+            // Short exponents (RSA verification's e = 65537) don't earn
+            // back a 14-multiply window table; plain square-and-multiply
+            // does strictly fewer multiplications below ~64 bits.
+            if exp.bit_len() < 64 {
+                return pow_mod_mont_binary(&ctx, &base, exp);
+            }
             return pow_mod_mont(&ctx, &base, exp);
         }
         // Even modulus fallback (not used by RSA; kept for completeness).
@@ -191,6 +197,22 @@ impl Ubig {
         }
         result
     }
+}
+
+/// Left-to-right binary exponentiation in Montgomery space, for short
+/// exponents where a window table costs more than it saves. The caller
+/// guarantees `exp != 0` and `base != 0 mod n`.
+fn pow_mod_mont_binary(ctx: &Montgomery, base: &Ubig, exp: &Ubig) -> Ubig {
+    let base_m = ctx.to_mont(base);
+    let mut acc = base_m.clone();
+    // The top bit is consumed by seeding `acc = base`.
+    for i in (0..exp.bit_len().saturating_sub(1)).rev() {
+        acc = ctx.mont_mul(&acc, &acc);
+        if exp.bit(i) {
+            acc = ctx.mont_mul(&acc, &base_m);
+        }
+    }
+    ctx.from_mont(&acc)
 }
 
 /// 4-bit fixed-window exponentiation in Montgomery space.

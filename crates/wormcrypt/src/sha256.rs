@@ -61,16 +61,16 @@ impl Digest for Sha256 {
             data = &data[take..];
             if self.buf_len == 64 {
                 let block = self.buf;
-                self.compress(&block);
+                self.compress_blocks(&block);
                 self.buf_len = 0;
             }
         }
-        while data.len() >= 64 {
-            let (block, rest) = data.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
-            data = rest;
+        let whole = data.len() - data.len() % 64;
+        if whole > 0 {
+            // One bulk call over every complete block: the hardware path
+            // (when present) amortizes its dispatch over the whole run.
+            self.compress_blocks(&data[..whole]);
+            data = &data[whole..];
         }
         if !data.is_empty() {
             self.buf[..data.len()].copy_from_slice(data);
@@ -86,7 +86,7 @@ impl Digest for Sha256 {
         }
         self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
         let block = self.buf;
-        self.compress(&block);
+        self.compress_blocks(&block);
         let mut out = Vec::with_capacity(32);
         for w in self.state {
             out.extend_from_slice(&w.to_be_bytes());
@@ -103,6 +103,21 @@ impl Sha256 {
         let mut out = [0u8; 32];
         out.copy_from_slice(&v);
         out
+    }
+
+    /// Compresses a run of whole 64-byte blocks, preferring the
+    /// hardware SHA extensions (via the vendored safe `shani` shim —
+    /// this crate itself stays `forbid(unsafe_code)`) and falling back
+    /// to the portable scalar rounds when the CPU lacks them.
+    fn compress_blocks(&mut self, blocks: &[u8]) {
+        debug_assert_eq!(blocks.len() % 64, 0);
+        if shani::sha256_compress(&mut self.state, blocks) {
+            return;
+        }
+        for block in blocks.chunks_exact(64) {
+            let b: &[u8; 64] = block.try_into().expect("64-byte chunk");
+            self.compress(b);
+        }
     }
 
     fn compress(&mut self, block: &[u8; 64]) {

@@ -6,6 +6,7 @@
 //! the server itself) altering a response in flight surfaces as a
 //! [`strongworm::VerifyError`], never as silently wrong data.
 
+use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
@@ -18,25 +19,37 @@ use strongworm::{
     Verifier, VerifyRead, WitnessMode,
 };
 
-use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::frame::{append_frame, read_frame, write_frame, DEFAULT_MAX_FRAME};
 use crate::protocol::{
-    decode_response, encode_request, encode_request_traced, NetRequest, NetResponse,
+    decode_response_shared, encode_request, encode_request_traced, NetRequest, NetResponse,
 };
 use crate::NetError;
 
 /// A connected client session over one TCP stream.
 ///
-/// Not `Sync`: one session serves one request at a time (the protocol
-/// is strictly request/response). Open one client per thread for
-/// concurrent load — sessions are independent.
+/// Not `Sync`: one session serves one caller at a time. The default
+/// methods are strictly request/response; [`RemoteWormClient::pipeline`]
+/// opens a windowed mode that keeps several requests in flight on the
+/// same connection (the server guarantees responses in request order).
+/// Open one client per thread for concurrent load — sessions are
+/// independent.
 pub struct RemoteWormClient {
     stream: TcpStream,
+    /// Buffered read half (a cloned handle of the same socket): frame
+    /// headers and payloads arrive in few large reads instead of two
+    /// syscalls per frame, which matters once pipelining has many
+    /// responses back-to-back on the wire.
+    reader: BufReader<TcpStream>,
     max_frame: u32,
     /// When set, every request is wrapped in a trace-context envelope
     /// (opcode 9) carrying a fresh client-minted trace id, so the
     /// server's span tree for the request is findable by that id.
     tracing: bool,
     last_trace_id: Option<u64>,
+    /// Set when a [`Pipeline`] was dropped with responses still in
+    /// flight: the stream holds replies to requests nobody will match
+    /// up, so every subsequent call would read the wrong frame.
+    desynced: bool,
 }
 
 impl RemoteWormClient {
@@ -63,11 +76,14 @@ impl RemoteWormClient {
         stream.set_read_timeout(Some(timeout))?;
         stream.set_write_timeout(Some(timeout))?;
         stream.set_nodelay(true)?;
+        let reader = BufReader::with_capacity(64 << 10, stream.try_clone()?);
         Ok(RemoteWormClient {
             stream,
+            reader,
             max_frame,
             tracing: false,
             last_trace_id: None,
+            desynced: false,
         })
     }
 
@@ -89,8 +105,10 @@ impl RemoteWormClient {
         self.last_trace_id
     }
 
-    fn call(&mut self, req: &NetRequest) -> Result<NetResponse, NetError> {
-        let encoded = if self.tracing {
+    /// Encodes a request, minting and recording a trace envelope when
+    /// tracing is on. Shared by the call path and [`Pipeline`].
+    fn next_request_bytes(&mut self, req: &NetRequest) -> Vec<u8> {
+        if self.tracing {
             let ctx = wormtrace::TraceContext {
                 trace_id: wormtrace::span::fresh_trace_id(),
                 parent_span: 0,
@@ -99,14 +117,70 @@ impl RemoteWormClient {
             encode_request_traced(req, ctx)
         } else {
             encode_request(req)
-        };
-        write_frame(&mut self.stream, &encoded, self.max_frame)?;
-        let payload = read_frame(&mut self.stream, self.max_frame)?.ok_or(NetError::Truncated)?;
-        let resp = decode_response(&payload)?;
+        }
+    }
+
+    /// Fails fast on a session a dropped [`Pipeline`] left with
+    /// unmatched responses in flight.
+    fn check_sync(&self) -> Result<(), NetError> {
+        if self.desynced {
+            return Err(NetError::Protocol(
+                "pipeline dropped with responses in flight; reconnect",
+            ));
+        }
+        Ok(())
+    }
+
+    fn call(&mut self, req: &NetRequest) -> Result<NetResponse, NetError> {
+        self.check_sync()?;
+        let encoded = self.next_request_bytes(req);
+        if let Err(e) = write_frame(&mut self.stream, &encoded, self.max_frame) {
+            // A write that dies on a broken connection may be racing a
+            // courtesy error frame the server sent before closing (load
+            // shed at admission sends CODE_BUSY, then hangs up). Drain
+            // it so the caller sees *why* the server hung up instead of
+            // a bare EPIPE; if there is nothing to read, surface the
+            // original write error.
+            if let Ok(Some(payload)) = read_frame(&mut self.reader, self.max_frame) {
+                let payload = bytes::Bytes::from(payload);
+                if let Ok(NetResponse::Error { code, message }) = decode_response_shared(&payload) {
+                    return Err(NetError::Remote { code, message });
+                }
+            }
+            return Err(e);
+        }
+        let payload = read_frame(&mut self.reader, self.max_frame)?.ok_or(NetError::Truncated)?;
+        let payload = bytes::Bytes::from(payload);
+        let resp = decode_response_shared(&payload)?;
         if let NetResponse::Error { code, message } = resp {
             return Err(NetError::Remote { code, message });
         }
         Ok(resp)
+    }
+
+    /// Opens a pipelined batch session over this connection: up to
+    /// `depth` requests stay in flight before the oldest response is
+    /// collected, amortizing the round trip the strict call path pays
+    /// per request. The server answers in request order, so
+    /// [`Pipeline::send`] / [`Pipeline::recv`] pair responses to
+    /// requests by position alone.
+    ///
+    /// Unlike the typed convenience methods, the pipeline returns raw
+    /// [`NetResponse`] values — including `Error` responses, which are
+    /// *not* turned into `Err` — because a batch may mix request kinds.
+    /// Callers match and verify each response themselves.
+    ///
+    /// Dropping a `Pipeline` with responses still in flight poisons the
+    /// session (subsequent calls fail with a protocol error) — the
+    /// stream would otherwise hand old responses to new requests. Call
+    /// [`Pipeline::finish`] to drain cleanly.
+    pub fn pipeline(&mut self, depth: usize) -> Pipeline<'_> {
+        Pipeline {
+            depth: depth.max(1),
+            outbuf: Vec::new(),
+            in_flight: 0,
+            client: self,
+        }
     }
 
     /// Commits a virtual record with the server's default witness tier
@@ -386,5 +460,125 @@ impl RemoteWormClient {
             shards.push(verifier);
         }
         Ok(CompositeVerifier::new(shards))
+    }
+}
+
+/// A windowed, pipelined request batch over a [`RemoteWormClient`],
+/// created by [`RemoteWormClient::pipeline`].
+///
+/// Frames queue locally and flush in coalesced writes; the server
+/// answers in request order, so responses pair with requests by
+/// position. The strict call path pays a full round trip per request;
+/// a pipeline at depth *d* keeps *d* requests in flight and pays one
+/// round trip per *window*.
+pub struct Pipeline<'c> {
+    depth: usize,
+    /// Encoded frames not yet pushed to the socket.
+    outbuf: Vec<u8>,
+    in_flight: usize,
+    client: &'c mut RemoteWormClient,
+}
+
+impl Pipeline<'_> {
+    /// Queues one request. While fewer than `depth` requests are in
+    /// flight this is purely local and returns `Ok(None)`; once the
+    /// window is full, queued frames flush and the *oldest* in-flight
+    /// response is collected and returned, keeping the window exactly
+    /// `depth` deep.
+    ///
+    /// Server `Error` responses come back as `Ok(Some(Error { .. }))`,
+    /// not `Err` — a batch may mix requests, and one request's failure
+    /// does not disturb its neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, an over-cap request frame (the request is
+    /// not queued), or an undecodable response.
+    pub fn send(&mut self, req: &NetRequest) -> Result<Option<NetResponse>, NetError> {
+        self.client.check_sync()?;
+        let encoded = self.client.next_request_bytes(req);
+        append_frame(&mut self.outbuf, &encoded, self.client.max_frame)?;
+        self.in_flight += 1;
+        if self.in_flight <= self.depth {
+            return Ok(None);
+        }
+        self.recv()
+    }
+
+    /// Requests sent (or queued) whose responses are not yet collected.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Toggles wire trace-context envelopes for frames sent *after*
+    /// this call. Each frame is encoded at send time, so a batch may
+    /// interleave traced and untraced frames freely.
+    pub fn set_request_tracing(&mut self, on: bool) {
+        self.client.tracing = on;
+    }
+
+    /// The trace id minted for the most recent enveloped frame (see
+    /// [`RemoteWormClient::last_trace_id`]).
+    pub fn last_trace_id(&self) -> Option<u64> {
+        self.client.last_trace_id
+    }
+
+    /// Pushes every queued frame to the socket in one coalesced write,
+    /// without waiting for any response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn flush(&mut self) -> Result<(), NetError> {
+        if !self.outbuf.is_empty() {
+            use std::io::Write as _;
+            self.client.stream.write_all(&self.outbuf)?;
+            self.outbuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Collects the oldest in-flight response, flushing queued frames
+    /// first. `Ok(None)` when nothing is in flight.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an undecodable response.
+    pub fn recv(&mut self) -> Result<Option<NetResponse>, NetError> {
+        if self.in_flight == 0 {
+            return Ok(None);
+        }
+        self.flush()?;
+        let payload = read_frame(&mut self.client.reader, self.client.max_frame)?
+            .ok_or(NetError::Truncated)?;
+        // The frame is consumed whether or not it decodes: the window
+        // position is spent either way.
+        self.in_flight -= 1;
+        let payload = bytes::Bytes::from(payload);
+        Ok(Some(decode_response_shared(&payload)?))
+    }
+
+    /// Drains every outstanding response, in request order, and closes
+    /// the batch cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an undecodable response. The batch is
+    /// dropped mid-drain in that case, poisoning the session (see
+    /// [`RemoteWormClient::pipeline`]).
+    pub fn finish(mut self) -> Result<Vec<NetResponse>, NetError> {
+        let mut responses = Vec::with_capacity(self.in_flight);
+        while let Some(resp) = self.recv()? {
+            responses.push(resp);
+        }
+        Ok(responses)
+    }
+}
+
+impl Drop for Pipeline<'_> {
+    fn drop(&mut self) {
+        if self.in_flight > 0 {
+            self.client.desynced = true;
+        }
     }
 }

@@ -39,6 +39,65 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8], max: u32) -> Result<(), N
     Ok(())
 }
 
+/// Appends one frame (header + payload) to an in-memory buffer with no
+/// I/O: the building block for deferred-flush responses, where every
+/// frame of a readiness burst coalesces into one vectored write.
+///
+/// # Errors
+///
+/// [`NetError::FrameTooLarge`] if the payload exceeds `max`; `out` is
+/// untouched in that case.
+pub fn append_frame(out: &mut Vec<u8>, payload: &[u8], max: u32) -> Result<(), NetError> {
+    let len = u32::try_from(payload.len()).map_err(|_| NetError::FrameTooLarge {
+        // wormlint: allow(cast) -- lossless usize→u64 widening on every supported target
+        len: payload.len() as u64,
+        max: u64::from(max),
+    })?;
+    if len > max {
+        return Err(NetError::FrameTooLarge {
+            len: u64::from(len),
+            max: u64::from(max),
+        });
+    }
+    out.reserve(4 + payload.len());
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+/// Examines the front of an in-memory buffer for one complete frame,
+/// without consuming or copying anything: the building block for
+/// batched decode from a per-connection read buffer.
+///
+/// Returns `Ok(Some((payload, consumed)))` when a whole frame is
+/// buffered — `payload` borrows the frame body and `consumed` is the
+/// total bytes (header + body) the caller should drain afterwards —
+/// and `Ok(None)` when more bytes are needed.
+///
+/// # Errors
+///
+/// [`NetError::FrameTooLarge`] the moment a header announces a payload
+/// beyond `max`, before that payload is buffered: an oversized
+/// announcement costs four bytes of buffer, never a large allocation.
+pub fn parse_frame(buf: &[u8], max: u32) -> Result<Option<(&[u8], usize)>, NetError> {
+    let Some(header) = buf.first_chunk::<4>() else {
+        return Ok(None);
+    };
+    let len = u32::from_be_bytes(*header);
+    if len > max {
+        return Err(NetError::FrameTooLarge {
+            len: u64::from(len),
+            max: u64::from(max),
+        });
+    }
+    // wormlint: allow(cast) -- lossless u32→usize widening on the ≥32-bit targets this server supports; len is already capped at `max`
+    let total = 4 + len as usize;
+    match buf.get(4..total) {
+        Some(payload) => Ok(Some((payload, total))),
+        None => Ok(None),
+    }
+}
+
 /// Reads one frame, enforcing the size cap before allocating.
 ///
 /// Returns `Ok(None)` on clean end-of-stream (the peer closed the
@@ -119,6 +178,67 @@ mod tests {
             Some(&b""[..])
         );
         assert!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_frame_walks_a_pipelined_buffer() {
+        let mut buf = Vec::new();
+        append_frame(&mut buf, b"first", DEFAULT_MAX_FRAME).unwrap();
+        append_frame(&mut buf, b"", DEFAULT_MAX_FRAME).unwrap();
+        append_frame(&mut buf, b"third frame", DEFAULT_MAX_FRAME).unwrap();
+        // Trailing partial frame: header promising more than buffered.
+        buf.extend_from_slice(&8u32.to_be_bytes());
+        buf.extend_from_slice(&[1, 2, 3]);
+
+        let mut seen = Vec::new();
+        let mut rest = buf.as_slice();
+        while let Some((payload, consumed)) = parse_frame(rest, DEFAULT_MAX_FRAME).unwrap() {
+            seen.push(payload.to_vec());
+            rest = rest.get(consumed..).unwrap();
+        }
+        assert_eq!(
+            seen,
+            vec![b"first".to_vec(), Vec::new(), b"third frame".to_vec()]
+        );
+        // The partial tail stays unconsumed until more bytes arrive.
+        assert_eq!(rest.len(), 7);
+        assert!(parse_frame(rest, DEFAULT_MAX_FRAME).unwrap().is_none());
+        // Partial header alone is also "need more".
+        assert!(parse_frame(&[0, 0], DEFAULT_MAX_FRAME).unwrap().is_none());
+        assert!(parse_frame(&[], DEFAULT_MAX_FRAME).unwrap().is_none());
+    }
+
+    #[test]
+    fn parse_frame_rejects_oversized_header_before_buffering() {
+        let mut buf = u32::MAX.to_be_bytes().to_vec();
+        buf.push(0); // one byte of the impossible payload
+        match parse_frame(&buf, 1024) {
+            Err(NetError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(max, 1024);
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn append_frame_matches_write_frame_bytes_and_refuses_oversize() {
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, b"same bytes", DEFAULT_MAX_FRAME).unwrap();
+        let mut appended = Vec::new();
+        append_frame(&mut appended, b"same bytes", DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(streamed, appended);
+
+        let mut out = vec![0xAA];
+        assert!(matches!(
+            append_frame(&mut out, &[0u8; 100], 10),
+            Err(NetError::FrameTooLarge { len: 100, max: 10 })
+        ));
+        assert_eq!(
+            out,
+            vec![0xAA],
+            "failed append must leave the buffer untouched"
+        );
     }
 
     #[test]

@@ -28,13 +28,18 @@
 //!   size cap, so a hostile peer cannot drive unbounded allocation.
 //! - [`protocol`]: [`NetRequest`]/[`NetResponse`] and their codecs,
 //!   layered on [`strongworm::wire`].
-//! - [`server`]: [`NetServer`], a thread-pool acceptor fronting an
-//!   `Arc<WormServer>`. Concurrent connections exercise the read plane
-//!   in parallel; mutations funnel through the witness plane's mutex
+//! - [`server`]: [`NetServer`], an event-driven front-end fronting an
+//!   `Arc<WormServer>`. Each worker thread runs a readiness loop (the
+//!   private `reactor` module, `poll(2)` via the vendored `netpoll`
+//!   shim) over its share of the connections, so a handful of workers
+//!   serve many more connections than threads. Requests on one
+//!   connection may be pipelined; responses come back in request
+//!   order. Mutations still funnel through the witness plane's mutex
 //!   exactly as in-process callers do.
 //! - [`client`]: [`RemoteWormClient`], which composes with
 //!   [`strongworm::Verifier`] so every remote read is verified
-//!   end-to-end.
+//!   end-to-end, and whose [`client::Pipeline`] mode keeps a window of
+//!   requests in flight on one connection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,9 +48,10 @@
 pub mod client;
 pub mod frame;
 pub mod protocol;
+mod reactor;
 pub mod server;
 
-pub use client::RemoteWormClient;
+pub use client::{Pipeline, RemoteWormClient};
 pub use frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
 pub use protocol::{NetRequest, NetResponse};
 pub use server::{NetServer, NetServerConfig, WormBackend};

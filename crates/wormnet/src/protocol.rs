@@ -13,9 +13,10 @@ use bytes::Bytes;
 use strongworm::authority::{HoldCredential, ReleaseCredential};
 use strongworm::codec::{
     decode_captured_traces, decode_composite_head, decode_device_keys, decode_hold_credential,
-    decode_read_outcome, decode_release_credential, decode_stats_snapshot, decode_weak_key_cert,
-    encode_captured_traces, encode_composite_head, encode_device_keys, encode_hold_credential,
-    encode_read_outcome, encode_release_credential, encode_stats_snapshot, encode_weak_key_cert,
+    decode_read_outcome, decode_read_outcome_shared, decode_release_credential,
+    decode_stats_snapshot, decode_weak_key_cert, encode_captured_traces, encode_composite_head,
+    encode_device_keys, encode_hold_credential, encode_read_outcome_into,
+    encode_release_credential, encode_stats_snapshot, encode_weak_key_cert,
 };
 use strongworm::firmware::{DeviceKeys, WeakKeyCert};
 use strongworm::wire::{WireError, WireReader, WireWriter};
@@ -167,6 +168,13 @@ pub fn error_code(e: &WormError) -> u8 {
 
 /// Error class a server uses for requests it could not even decode.
 pub const CODE_BAD_REQUEST: u8 = 6;
+
+/// Error class a server sends — as the sole frame on the connection,
+/// immediately before closing it — when admission control sheds the
+/// connection (every worker saturated or the connection cap reached).
+/// Distinguishes deliberate load-shedding from a network failure: a
+/// client seeing `CODE_BUSY` should back off and retry, not alert.
+pub const CODE_BUSY: u8 = 7;
 
 fn put_policy(w: &mut WireWriter, p: &RetentionPolicy) {
     w.put_u8(p.regulation.code());
@@ -452,7 +460,10 @@ pub fn encode_response(resp: &NetResponse) -> Vec<u8> {
         }
         NetResponse::Outcome(outcome) => {
             w.put_u8(2);
-            w.put_bytes(&encode_read_outcome(outcome));
+            // In place: outcomes carry whole record payloads, and the
+            // serving loop encodes one per read — skip the intermediate
+            // buffer-and-recopy.
+            w.put_nested(|w| encode_read_outcome_into(w, outcome));
         }
         NetResponse::Ack => {
             w.put_u8(3);
@@ -492,6 +503,32 @@ pub fn encode_response(resp: &NetResponse) -> Vec<u8> {
 /// [`WireError`] on an unknown tag or discriminant, malformed fields,
 /// truncation, or trailing bytes.
 pub fn decode_response(bytes: &[u8]) -> Result<NetResponse, WireError> {
+    decode_response_with(bytes, &decode_read_outcome)
+}
+
+/// Decodes a response whose read-outcome records *share* the frame
+/// buffer instead of being copied out of it (see
+/// [`decode_read_outcome_shared`]): the zero-copy path pipelined
+/// clients use, where the per-record copy is measurable at depth.
+///
+/// # Errors
+///
+/// Exactly as [`decode_response`].
+pub fn decode_response_shared(src: &Bytes) -> Result<NetResponse, WireError> {
+    let base = src.as_ptr() as usize; // wormlint: allow(cast) -- pointer identity, not a length
+    decode_response_with(src, &|s| {
+        // wormlint: allow(cast) -- subslice offset via pointer identity; cannot truncate
+        let off = (s.as_ptr() as usize).wrapping_sub(base);
+        decode_read_outcome_shared(&src.slice(off..off + s.len()))
+    })
+}
+
+/// Shared body of the two response decoders: `outcome_dec` decodes the
+/// nested read outcome from its wire subslice.
+fn decode_response_with(
+    bytes: &[u8],
+    outcome_dec: &dyn Fn(&[u8]) -> Result<ReadOutcome, WireError>,
+) -> Result<NetResponse, WireError> {
     let mut r = WireReader::new(bytes);
     if r.get_str()? != RESP_TAG {
         return Err(WireError {
@@ -506,7 +543,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<NetResponse, WireError> {
         1 => NetResponse::Written {
             sn: SerialNumber(r.get_u64()?),
         },
-        2 => NetResponse::Outcome(decode_read_outcome(r.get_bytes()?)?),
+        2 => NetResponse::Outcome(outcome_dec(r.get_bytes()?)?),
         3 => NetResponse::Ack,
         4 => {
             let keys = decode_device_keys(r.get_bytes()?)?;

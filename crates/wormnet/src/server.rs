@@ -1,21 +1,31 @@
-//! Thread-pool TCP acceptor fronting any [`WormBackend`].
+//! Event-driven TCP front-end for any [`WormBackend`].
 //!
 //! The network layer adds no trust: it is part of the untrusted host.
-//! Worker threads call straight into the fronted facade — a single
+//! Serving is a small reactor (see [`crate::reactor`]): each worker
+//! thread runs a readiness loop over *all* the connections assigned to
+//! it — `poll(2)` via the vendored [`netpoll`] shim — so N workers
+//! serve M ≫ N connections fairly instead of each worker owning one
+//! connection for its lifetime. Requests on one connection may be
+//! pipelined; responses return in request order, with decode batched
+//! from a per-connection read buffer and flushes coalesced per
+//! readiness burst.
+//!
+//! Workers call straight into the fronted facade — a single
 //! [`WormServer`] or a sharded [`ShardedWormServer`] — so concurrent
 //! connections exercise the read plane in parallel while mutations
-//! serialize per witness plane — exactly the concurrency discipline
+//! serialize per witness plane, exactly the concurrency discipline
 //! in-process callers get. Against a sharded backend, writes fan out
 //! round-robin across shard lanes and only same-shard writes contend.
 
-use std::io::BufWriter;
+use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use strongworm::authority::{HoldCredential, ReleaseCredential};
 use strongworm::firmware::{DeviceKeys, WeakKeyCert};
 use strongworm::{
@@ -24,10 +34,12 @@ use strongworm::{
 };
 use wormstore::BlockDevice;
 
-use crate::frame::{read_frame, write_frame, DEFAULT_MAX_FRAME};
+use crate::frame::{write_frame, DEFAULT_MAX_FRAME};
 use crate::protocol::{
     decode_request_traced, encode_response, error_code, NetRequest, NetResponse, CODE_BAD_REQUEST,
+    CODE_BUSY,
 };
+use crate::reactor;
 use crate::NetError;
 
 /// The server-side surface [`NetServer`] fronts.
@@ -212,20 +224,27 @@ impl<D: BlockDevice> WormBackend for ShardedWormServer<D> {
 /// Tuning knobs for [`NetServer`].
 #[derive(Clone, Copy, Debug)]
 pub struct NetServerConfig {
-    /// Worker threads handling connections (each worker owns one
-    /// connection at a time).
+    /// Worker threads, each running a readiness event loop over its
+    /// share of the connections. Connections are multiplexed, not
+    /// owned: a worker interleaves every connection assigned to it.
     pub workers: usize,
     /// Hard cap on request frame size; oversized announcements are
     /// rejected before allocation and the connection is dropped.
     pub max_frame: u32,
-    /// Per-connection socket read timeout — an idle or stalled peer is
-    /// disconnected after this long without a complete request.
+    /// A connection with no inbound bytes for this long is closed.
     pub read_timeout: Duration,
-    /// Per-connection socket write timeout.
+    /// A connection whose pending output makes no progress for this
+    /// long (peer not draining) is closed.
     pub write_timeout: Duration,
-    /// Accepted connections queued ahead of a free worker; beyond this
-    /// the acceptor sheds load by dropping the connection.
+    /// Per-worker hand-off inbox bound: connections accepted but not
+    /// yet swept into a worker's set. A full inbox falls through to the
+    /// next worker; when every inbox is full the acceptor sheds the
+    /// connection with a [`CODE_BUSY`] frame.
     pub queue_depth: usize,
+    /// Server-wide cap on concurrently open connections; beyond it the
+    /// acceptor sheds new arrivals with a [`CODE_BUSY`] frame before
+    /// closing them, so clients can tell load-shedding from a crash.
+    pub max_connections: usize,
     /// Latency at/above which a successful request's span tree is kept
     /// by the flight recorder (applied to the fronted server's trace
     /// registry at bind; errors always capture). Also runtime-settable
@@ -241,33 +260,49 @@ impl Default for NetServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             queue_depth: 64,
+            max_connections: 1024,
             slow_trace_threshold: Duration::from_millis(250),
         }
     }
 }
 
-/// How often blocked loops re-check the shutdown flag.
-const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
+/// How long blocked loops wait in `poll(2)` before re-checking the
+/// shutdown flag (wakers usually cut this short).
+pub(crate) const SHUTDOWN_POLL: Duration = Duration::from_millis(50);
 
 /// Frame header size added to payload length for byte accounting.
-const FRAME_HEADER_BYTES: u64 = 4;
+pub(crate) const FRAME_HEADER_BYTES: u64 = 4;
+
+/// Consecutive non-`WouldBlock` accept failures before the acceptor
+/// backs off. A lone transient failure (`ECONNABORTED`, a blip of
+/// `EMFILE`) must not add latency to the next accept; only a
+/// persistent failure streak earns a sleep.
+const ACCEPT_ERROR_STREAK: u32 = 16;
+
+/// How long the acceptor spends pushing a [`CODE_BUSY`] frame to a
+/// connection it is shedding. Best effort: a peer that will not take
+/// one small frame promptly forfeits the courtesy.
+const BUSY_FRAME_TIMEOUT: Duration = Duration::from_millis(100);
 
 /// Net-layer instrument handles into the fronted server's trace
 /// registry, resolved once at bind so per-frame accounting is pure
 /// atomics.
 #[derive(Clone)]
-struct NetStats {
-    trace: Arc<wormtrace::Registry>,
-    request: Arc<wormtrace::OpStats>,
-    conn_accepted: Arc<wormtrace::Counter>,
-    conn_shed: Arc<wormtrace::Counter>,
-    frames_in: Arc<wormtrace::Counter>,
-    frames_out: Arc<wormtrace::Counter>,
-    bytes_in: Arc<wormtrace::Counter>,
-    bytes_out: Arc<wormtrace::Counter>,
-    timeouts: Arc<wormtrace::Counter>,
-    queue_depth: Arc<wormtrace::Gauge>,
-    traces_captured: Arc<wormtrace::Counter>,
+pub(crate) struct NetStats {
+    pub(crate) trace: Arc<wormtrace::Registry>,
+    pub(crate) request: Arc<wormtrace::OpStats>,
+    pub(crate) conn_accepted: Arc<wormtrace::Counter>,
+    pub(crate) conn_shed: Arc<wormtrace::Counter>,
+    pub(crate) frames_in: Arc<wormtrace::Counter>,
+    pub(crate) frames_out: Arc<wormtrace::Counter>,
+    pub(crate) bytes_in: Arc<wormtrace::Counter>,
+    pub(crate) bytes_out: Arc<wormtrace::Counter>,
+    pub(crate) timeouts: Arc<wormtrace::Counter>,
+    pub(crate) accept_errors: Arc<wormtrace::Counter>,
+    pub(crate) queue_depth: Arc<wormtrace::Gauge>,
+    pub(crate) queue_peak: Arc<wormtrace::Gauge>,
+    pub(crate) conns_open: Arc<wormtrace::Gauge>,
+    pub(crate) traces_captured: Arc<wormtrace::Counter>,
 }
 
 impl NetStats {
@@ -281,21 +316,12 @@ impl NetStats {
             bytes_in: trace.counter("net.bytes_in"),
             bytes_out: trace.counter("net.bytes_out"),
             timeouts: trace.counter("net.timeouts"),
+            accept_errors: trace.counter("net.accept_errors"),
             queue_depth: trace.gauge("net.queue_depth"),
+            queue_peak: trace.gauge("net.queue_peak"),
+            conns_open: trace.gauge("net.conns_open"),
             traces_captured: trace.counter("net.traces_captured"),
             trace,
-        }
-    }
-
-    /// Counts a socket-level read failure, classifying timeouts.
-    fn note_read_error(&self, e: &NetError) {
-        if let NetError::Io(io) = e {
-            if matches!(
-                io.kind(),
-                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-            ) {
-                self.timeouts.inc();
-            }
         }
     }
 }
@@ -308,19 +334,20 @@ pub struct NetServer {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     served: Arc<AtomicU64>,
-    /// Kept so [`NetServer::shutdown`] can drain connections the
-    /// acceptor queued but no worker ever received (each carries a
-    /// pending `net.queue_depth` increment).
-    rx: Receiver<TcpStream>,
-    queue_depth: Arc<wormtrace::Gauge>,
+    /// One self-pipe writer per worker, so shutdown interrupts a
+    /// mid-`poll` worker immediately instead of waiting out the poll
+    /// timeout.
+    wakers: Vec<Arc<netpoll::WakeWriter>>,
 }
 
 impl NetServer {
-    /// Binds `addr` and starts the acceptor plus worker pool.
+    /// Binds `addr` and starts the acceptor plus the worker event
+    /// loops.
     ///
     /// # Errors
     ///
-    /// Socket errors binding or configuring the listener.
+    /// Socket errors binding or configuring the listener; resource
+    /// errors creating the worker wake pipes or threads.
     pub fn bind<B, A>(
         server: Arc<B>,
         addr: A,
@@ -331,34 +358,87 @@ impl NetServer {
         A: ToSocketAddrs,
     {
         let listener = TcpListener::bind(addr)?;
-        // Non-blocking accept so the loop can observe the stop flag.
+        // Non-blocking accept; readiness comes from polling the
+        // listener fd, so the loop observes the stop flag promptly
+        // without busy-spinning.
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let served = Arc::new(AtomicU64::new(0));
+        // Connections admitted and not yet closed, shared between the
+        // acceptor (admission control) and workers (close accounting).
+        let live = Arc::new(AtomicUsize::new(0));
         let stats = NetStats::new(Arc::clone(server.trace()));
         stats.trace.flight().set_slow_threshold_ns(
             u64::try_from(config.slow_trace_threshold.as_nanos()).unwrap_or(u64::MAX),
         );
-        let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = bounded(config.queue_depth);
 
-        let workers = (0..config.workers.max(1))
-            .map(|_| {
-                let rx = rx.clone();
-                let stop = stop.clone();
-                let server = server.clone();
-                let served = served.clone();
-                let stats = stats.clone();
-                std::thread::spawn(move || {
-                    worker_loop(&rx, &stop, server.as_ref(), &served, &stats, config)
+        // Shared read-cache invalidation generation (see [`ReadCache`]).
+        let cache_gen = Arc::new(AtomicU64::new(0));
+        let mut txs: Vec<Sender<TcpStream>> = Vec::new();
+        let mut wakers: Vec<Arc<netpoll::WakeWriter>> = Vec::new();
+        let mut workers = Vec::new();
+        for idx in 0..config.workers.max(1) {
+            let (tx, rx) = bounded(config.queue_depth.max(1));
+            let (wake_r, wake_w) = netpoll::wake_pipe()?;
+            txs.push(tx);
+            wakers.push(Arc::new(wake_w));
+            let worker_stop = stop.clone();
+            let server = server.clone();
+            let served = served.clone();
+            let stats = stats.clone();
+            let live = live.clone();
+            let cache = ReadCache::new(Arc::clone(&cache_gen));
+            let handle = std::thread::Builder::new()
+                .name(format!("wormnet-worker{idx}"))
+                .spawn(move || {
+                    reactor::worker_loop(
+                        idx,
+                        &rx,
+                        &wake_r,
+                        &worker_stop,
+                        server.as_ref(),
+                        &served,
+                        &stats,
+                        &live,
+                        &config,
+                        cache,
+                    )
                 })
-            })
-            .collect();
+                .map_err(|e| {
+                    // Already-spawned workers see the flag and exit.
+                    // ordering: one-shot shutdown flag (see `shutdown`).
+                    stop.store(true, Ordering::SeqCst);
+                    NetError::Io(e)
+                })?;
+            workers.push(handle);
+        }
 
         let acceptor = {
-            let stop = stop.clone();
+            let acceptor_stop = stop.clone();
+            let acceptor_wakers = wakers.clone();
             let stats = stats.clone();
-            std::thread::spawn(move || accept_loop(&listener, &tx, &stop, &stats))
+            std::thread::Builder::new()
+                .name("wormnet-acceptor".to_string())
+                .spawn(move || {
+                    accept_loop(
+                        &listener,
+                        &txs,
+                        &acceptor_wakers,
+                        &acceptor_stop,
+                        &stats,
+                        &live,
+                        &config,
+                    )
+                })
+                .map_err(|e| {
+                    // ordering: one-shot shutdown flag (see `shutdown`).
+                    stop.store(true, Ordering::SeqCst);
+                    for w in &wakers {
+                        w.wake();
+                    }
+                    NetError::Io(e)
+                })?
         };
 
         Ok(NetServer {
@@ -367,8 +447,7 @@ impl NetServer {
             acceptor: Some(acceptor),
             workers,
             served,
-            rx,
-            queue_depth: stats.queue_depth,
+            wakers,
         })
     }
 
@@ -383,177 +462,317 @@ impl NetServer {
         self.served.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, drains in-flight connections, and joins every
-    /// thread. In-progress requests complete; idle connections are
-    /// closed at their next shutdown-flag poll.
+    /// Stops accepting, flushes responses already produced, closes
+    /// every connection, and joins every thread. Requests already
+    /// buffered but unserved when the flag lands are dropped with their
+    /// connection — clients see EOF and treat it like any other
+    /// connection loss against an untrusted transport.
     pub fn shutdown(mut self) {
         // ordering: one-shot shutdown flag on a cold path; SeqCst costs nothing here and
         // keeps the store/poll pairing obvious without auditing an Acquire/Release chain.
         self.stop.store(true, Ordering::SeqCst);
+        // Acceptor first, so no new connections race into worker
+        // inboxes after the workers drain them.
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
+        }
+        for w in &self.wakers {
+            w.wake();
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
-        // Connections the acceptor queued (incrementing the gauge) but
-        // no worker received before stopping would otherwise leak their
-        // queue-depth increment forever; drain and close them so the
-        // gauge returns to the true depth: zero.
-        while let Ok(conn) = self.rx.try_recv() {
-            self.queue_depth.dec();
-            drop(conn);
-        }
     }
 }
 
+/// Accepts connections as the listener becomes readable, applies
+/// admission control, and hands admitted connections to workers
+/// round-robin.
 fn accept_loop(
     listener: &TcpListener,
-    tx: &Sender<TcpStream>,
+    txs: &[Sender<TcpStream>],
+    wakers: &[Arc<netpoll::WakeWriter>],
     stop: &AtomicBool,
     stats: &NetStats,
+    live: &AtomicUsize,
+    config: &NetServerConfig,
 ) {
+    let mut next = 0usize;
+    let mut error_streak = 0u32;
     // ordering: polls the one-shot shutdown flag; SeqCst pairs with the store in
-    // `shutdown` on a path that blocks on `accept` anyway.
+    // `shutdown` on a path that waits in `poll` anyway.
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((conn, _peer)) => {
+                error_streak = 0;
                 stats.conn_accepted.inc();
-                // Back-pressure: if every worker is busy and the queue
-                // is full, shed the connection rather than grow without
-                // bound.
-                match tx.try_send(conn) {
-                    Ok(()) => stats.queue_depth.inc(),
-                    Err(TrySendError::Full(conn) | TrySendError::Disconnected(conn)) => {
-                        stats.conn_shed.inc();
-                        drop(conn);
-                    }
-                }
+                admit(conn, txs, wakers, &mut next, stats, live, config);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(SHUTDOWN_POLL);
+                // Nothing pending: wait for listener readiness (or the
+                // shutdown-poll bound), not a fixed sleep after which a
+                // waiting SYN would still sit unserved.
+                let mut fds = [netpoll::PollFd::new(listener.as_raw_fd(), netpoll::POLLIN)];
+                let _ = netpoll::poll(&mut fds, Some(SHUTDOWN_POLL));
             }
-            Err(_) => std::thread::sleep(SHUTDOWN_POLL),
-        }
-    }
-}
-
-fn worker_loop<B: WormBackend>(
-    rx: &Receiver<TcpStream>,
-    stop: &AtomicBool,
-    server: &B,
-    served: &AtomicU64,
-    stats: &NetStats,
-    config: NetServerConfig,
-) {
-    // ordering: same one-shot shutdown flag; the recv_timeout bound, not the memory
-    // ordering, is what bounds shutdown latency.
-    while !stop.load(Ordering::SeqCst) {
-        let conn = match rx.recv_timeout(SHUTDOWN_POLL) {
-            Ok(conn) => conn,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        stats.queue_depth.dec();
-        // Per-connection errors only ever kill that connection.
-        let _ = serve_connection(conn, stop, server, served, stats, config);
-    }
-}
-
-fn serve_connection<B: WormBackend>(
-    conn: TcpStream,
-    stop: &AtomicBool,
-    server: &B,
-    served: &AtomicU64,
-    stats: &NetStats,
-    config: NetServerConfig,
-) -> Result<(), NetError> {
-    conn.set_read_timeout(Some(config.read_timeout))?;
-    conn.set_write_timeout(Some(config.write_timeout))?;
-    conn.set_nodelay(true)?;
-    let mut reader = conn.try_clone()?;
-    let mut writer = BufWriter::new(conn);
-    loop {
-        // ordering: per-frame poll of the one-shot shutdown flag (see `shutdown`).
-        if stop.load(Ordering::SeqCst) {
-            return Ok(());
-        }
-        let payload = match read_frame(&mut reader, config.max_frame) {
-            Ok(Some(payload)) => payload,
-            // Peer hung up between frames: normal end of session.
-            Ok(None) => return Ok(()),
-            Err(e) => {
-                stats.note_read_error(&e);
-                return Err(e);
-            }
-        };
-        stats.frames_in.inc();
-        stats
-            .bytes_in
-            .add(payload.len() as u64 + FRAME_HEADER_BYTES);
-        let timer = stats.trace.timer();
-        let (resp, traced) = match decode_request_traced(&payload) {
-            // A trace is collected per request whenever the registry is
-            // live: thread-attach the trace, open the root span, and
-            // serve — every span the planes/SCPU/store open on this
-            // thread lands under that root. Wire context (envelope
-            // opcode 9) supplies the identity; bare requests root a
-            // server-minted trace.
-            Ok((req, ctx)) if stats.trace.enabled() => {
-                let trace_id = ctx.map_or_else(wormtrace::span::fresh_trace_id, |c| c.trace_id);
-                let base_parent = ctx.map_or(0, |c| c.parent_span);
-                let active = Arc::new(wormtrace::ActiveTrace::new(trace_id));
-                let scope = wormtrace::span::enter(Arc::clone(&active), base_parent);
-                let root = wormtrace::span::begin("net.request", wormtrace::Plane::Net);
-                let resp = handle(server, req);
-                let ok = !matches!(resp, NetResponse::Error { .. });
-                wormtrace::span::finish(root, ok, None);
-                drop(scope);
-                (resp, Some(active))
-            }
-            Ok((req, _)) => (handle(server, req), None),
-            Err(e) => (
-                NetResponse::Error {
-                    code: CODE_BAD_REQUEST,
-                    message: format!("undecodable request: {e}"),
-                },
-                None,
-            ),
-        };
-        let ok = !matches!(resp, NetResponse::Error { .. });
-        let encoded = encode_response(&resp);
-        if let Err(e) = write_frame(&mut writer, &encoded, config.max_frame) {
-            stats.request.finish(timer, false);
-            return Err(e);
-        }
-        stats.frames_out.inc();
-        stats
-            .bytes_out
-            .add(encoded.len() as u64 + FRAME_HEADER_BYTES);
-        if let Some((ns, prior)) = stats.request.finish(timer, ok) {
-            // Counters stay exact; the ring event is sampled like the
-            // read plane's (net traffic is read-dominated), except that
-            // failures always ring.
-            if prior % wormtrace::READ_EVENT_SAMPLE == 0 || !ok {
-                stats.trace.emit(wormtrace::TraceEvent {
-                    op: "net.request",
-                    plane: wormtrace::Plane::Net,
-                    sn: None,
-                    duration_ns: ns,
-                    ok,
-                });
-            }
-            // Tail capture: the flight recorder keeps the span tree of
-            // every errored or over-threshold request, bounded memory.
-            if let Some(active) = traced {
-                if stats.trace.flight().offer(&active, ns, ok) {
-                    stats.traces_captured.inc();
+            Err(_) => {
+                stats.accept_errors.inc();
+                error_streak = error_streak.saturating_add(1);
+                // Transient failures (ECONNABORTED, a blip of EMFILE)
+                // retry immediately; only a persistent streak backs off,
+                // and never indefinitely.
+                if error_streak >= ACCEPT_ERROR_STREAK {
+                    std::thread::sleep(SHUTDOWN_POLL);
                 }
             }
         }
-        // ordering: monitoring counter; no other memory is published through it.
-        served.fetch_add(1, Ordering::Relaxed);
     }
+}
+
+/// Admission control plus round-robin hand-off. Sheds — with a
+/// [`CODE_BUSY`] frame — when the server is at its connection cap or
+/// every worker inbox is full.
+fn admit(
+    conn: TcpStream,
+    txs: &[Sender<TcpStream>],
+    wakers: &[Arc<netpoll::WakeWriter>],
+    next: &mut usize,
+    stats: &NetStats,
+    live: &AtomicUsize,
+    config: &NetServerConfig,
+) {
+    // ordering: advisory admission counter — the acceptor is the only
+    // incrementer and a momentarily stale read only lets the count
+    // overshoot the cap by in-flight closes, which is acceptable.
+    if live.load(Ordering::Relaxed) >= config.max_connections {
+        shed_busy(conn, stats, config);
+        return;
+    }
+    // ordering: advisory admission counter (see above).
+    live.fetch_add(1, Ordering::Relaxed);
+    let mut conn = conn;
+    for step in 0..txs.len() {
+        let i = (*next + step) % txs.len();
+        let (Some(tx), Some(wake)) = (txs.get(i), wakers.get(i)) else {
+            break;
+        };
+        match tx.try_send(conn) {
+            Ok(()) => {
+                stats.queue_depth.inc();
+                let depth = stats.queue_depth.get();
+                if depth > stats.queue_peak.get() {
+                    stats.queue_peak.set(depth);
+                }
+                wake.wake();
+                *next = (i + 1) % txs.len();
+                return;
+            }
+            // A full (or, during shutdown, disconnected) inbox falls
+            // through to the next worker.
+            Err(TrySendError::Full(c) | TrySendError::Disconnected(c)) => conn = c,
+        }
+    }
+    // ordering: advisory admission counter (see above).
+    live.fetch_sub(1, Ordering::Relaxed);
+    shed_busy(conn, stats, config);
+}
+
+/// Sends a best-effort [`CODE_BUSY`] error frame on a connection being
+/// shed, then closes it — so a client can tell load-shedding from a
+/// crash (silent EOF) and back off instead of failing hard.
+fn shed_busy(conn: TcpStream, stats: &NetStats, config: &NetServerConfig) {
+    stats.conn_shed.inc();
+    let encoded = encode_response(&NetResponse::Error {
+        code: CODE_BUSY,
+        message: "server at capacity; back off and retry".to_string(),
+    });
+    let mut conn = conn;
+    let _ = conn.set_write_timeout(Some(BUSY_FRAME_TIMEOUT));
+    let _ = write_frame(&mut conn, &encoded, config.max_frame);
+}
+
+/// Cap on per-worker cached read responses; clear-when-full keeps the
+/// footprint bounded without an eviction policy (at 4 KiB records the
+/// cap bounds each worker's cache near 16 MiB, and a working set that
+/// overflows it simply re-encodes).
+const READ_CACHE_CAP: usize = 4096;
+
+/// Per-worker cache of encoded responses for *untraced* reads.
+///
+/// A read response is a pure function of backend state: the VRD and
+/// records were fixed at commit time and the head certificate only
+/// changes on heartbeats — so between mutations the server re-reads,
+/// re-encodes, and re-sends byte-identical responses. The cache keys on
+/// the serial number and is invalidated wholesale by a shared state
+/// generation that every mutating request (write, delete, hold,
+/// release, tick) bumps; an entry only serves while the generation it
+/// was filled under is still current. Traced requests bypass the cache
+/// entirely (their spans must reflect real work), as does the whole
+/// path while trace collection is enabled.
+pub(crate) struct ReadCache {
+    /// Shared mutation generation — bumped by any worker, read by all.
+    generation: Arc<AtomicU64>,
+    map: HashMap<SerialNumber, (u64, Vec<u8>)>,
+}
+
+impl ReadCache {
+    pub(crate) fn new(generation: Arc<AtomicU64>) -> Self {
+        ReadCache {
+            generation,
+            map: HashMap::new(),
+        }
+    }
+
+    fn current(&self) -> u64 {
+        // ordering: Acquire pairs with the Release bump in `invalidate`
+        // so a hit can only serve bytes at least as fresh as the last
+        // completed mutation.
+        self.generation.load(Ordering::Acquire)
+    }
+
+    fn invalidate(&self) {
+        // ordering: Release publishes the backend mutation (already
+        // completed by `handle` on this thread) before the bumped
+        // generation becomes visible to other workers' Acquire loads.
+        self.generation.fetch_add(1, Ordering::Release);
+    }
+
+    fn get(&self, sn: SerialNumber) -> Option<Vec<u8>> {
+        let now = self.current();
+        self.map
+            .get(&sn)
+            .filter(|(gen, _)| *gen == now)
+            .map(|(_, bytes)| bytes.clone())
+    }
+
+    fn insert(&mut self, sn: SerialNumber, gen: u64, bytes: Vec<u8>) {
+        if self.map.len() >= READ_CACHE_CAP && !self.map.contains_key(&sn) {
+            self.map.clear();
+        }
+        self.map.insert(sn, (gen, bytes));
+    }
+}
+
+/// Serves one already-parsed request frame: full per-request
+/// accounting, tracing, dispatch, and encoding. Returns the encoded
+/// response payload for the caller to frame into its write buffer.
+pub(crate) fn respond<B: WormBackend>(
+    server: &B,
+    stats: &NetStats,
+    served: &AtomicU64,
+    payload: &[u8],
+    cache: &mut ReadCache,
+) -> Vec<u8> {
+    stats.frames_in.inc();
+    stats
+        .bytes_in
+        .add(payload.len() as u64 + FRAME_HEADER_BYTES);
+    let timer = stats.trace.timer();
+    let decoded = decode_request_traced(payload);
+    let tracing_live = stats.trace.enabled();
+    // Cache fast path: an untraced read while collection is off can be
+    // answered from the bytes encoded last time (see [`ReadCache`]).
+    if !tracing_live {
+        if let Ok((NetRequest::Read { sn }, None)) = &decoded {
+            if let Some(hit) = cache.get(*sn) {
+                if let Some((ns, prior)) = stats.request.finish(timer, true) {
+                    if prior % wormtrace::READ_EVENT_SAMPLE == 0 {
+                        stats.trace.emit(wormtrace::TraceEvent {
+                            op: "net.request",
+                            plane: wormtrace::Plane::Net,
+                            sn: None,
+                            duration_ns: ns,
+                            ok: true,
+                        });
+                    }
+                }
+                // ordering: monitoring counter; no other memory is
+                // published through it.
+                served.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+        }
+    }
+    // Snapshot *before* dispatch: a mutation racing with this read
+    // bumps the generation past the snapshot, so the entry filled
+    // below can never serve state older than that mutation.
+    let gen_before = cache.current();
+    let cache_sn = match &decoded {
+        Ok((NetRequest::Read { sn }, None)) if !tracing_live => Some(*sn),
+        _ => None,
+    };
+    let mutating = matches!(
+        &decoded,
+        Ok((
+            NetRequest::Write { .. }
+                | NetRequest::Delete { .. }
+                | NetRequest::LitHold(_)
+                | NetRequest::LitRelease(_)
+                | NetRequest::Tick,
+            _
+        ))
+    );
+    let (resp, traced) = match decoded {
+        // A trace is collected per request whenever the registry is
+        // live: thread-attach the trace, open the root span, and
+        // serve — every span the planes/SCPU/store open on this
+        // thread lands under that root. Wire context (envelope
+        // opcode 9) supplies the identity; bare requests root a
+        // server-minted trace.
+        Ok((req, ctx)) if stats.trace.enabled() => {
+            let trace_id = ctx.map_or_else(wormtrace::span::fresh_trace_id, |c| c.trace_id);
+            let base_parent = ctx.map_or(0, |c| c.parent_span);
+            let active = Arc::new(wormtrace::ActiveTrace::new(trace_id));
+            let scope = wormtrace::span::enter(Arc::clone(&active), base_parent);
+            let root = wormtrace::span::begin("net.request", wormtrace::Plane::Net);
+            let resp = handle(server, req);
+            let ok = !matches!(resp, NetResponse::Error { .. });
+            wormtrace::span::finish(root, ok, None);
+            drop(scope);
+            (resp, Some(active))
+        }
+        Ok((req, _)) => (handle(server, req), None),
+        Err(e) => (
+            NetResponse::Error {
+                code: CODE_BAD_REQUEST,
+                message: format!("undecodable request: {e}"),
+            },
+            None,
+        ),
+    };
+    let ok = !matches!(resp, NetResponse::Error { .. });
+    let encoded = encode_response(&resp);
+    if mutating {
+        cache.invalidate();
+    } else if ok {
+        if let Some(sn) = cache_sn {
+            cache.insert(sn, gen_before, encoded.clone());
+        }
+    }
+    if let Some((ns, prior)) = stats.request.finish(timer, ok) {
+        // Counters stay exact; the ring event is sampled like the
+        // read plane's (net traffic is read-dominated), except that
+        // failures always ring.
+        if prior % wormtrace::READ_EVENT_SAMPLE == 0 || !ok {
+            stats.trace.emit(wormtrace::TraceEvent {
+                op: "net.request",
+                plane: wormtrace::Plane::Net,
+                sn: None,
+                duration_ns: ns,
+                ok,
+            });
+        }
+        // Tail capture: the flight recorder keeps the span tree of
+        // every errored or over-threshold request, bounded memory.
+        if let Some(active) = traced {
+            if stats.trace.flight().offer(&active, ns, ok) {
+                stats.traces_captured.inc();
+            }
+        }
+    }
+    // ordering: monitoring counter; no other memory is published through it.
+    served.fetch_add(1, Ordering::Relaxed);
+    encoded
 }
 
 fn handle<B: WormBackend>(server: &B, req: NetRequest) -> NetResponse {

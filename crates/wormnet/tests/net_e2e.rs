@@ -773,3 +773,256 @@ fn queue_depth_gauge_drains_to_zero_after_connection_storm_and_shutdown() {
         "queue depth gauge must drain to zero on shutdown"
     );
 }
+
+#[test]
+fn shed_connections_receive_a_busy_frame_not_silent_eof() {
+    let h = boot(NetServerConfig {
+        max_connections: 2,
+        ..NetServerConfig::default()
+    });
+    let addr = h.net.local_addr();
+
+    // Fill the admission cap with idle connections, then wait until the
+    // reactor has actually registered both — a fixed sleep races the
+    // accept loop under load, and a connection that lands before the
+    // cap-fillers are counted is admitted instead of shed.
+    let _held: Vec<TcpStream> = (0..2).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let snap = h.server.stats_snapshot();
+        let conns: u64 = (0..8)
+            .filter_map(|i| snap.gauge(&format!("net.worker{i}.conns")))
+            .sum();
+        if conns >= 2 || std::time::Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // The next arrival is shed — but with an explicit CODE_BUSY error
+    // frame before the close, so the client can tell load-shedding
+    // from a crash.
+    let mut shed = TcpStream::connect(addr).unwrap();
+    shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let payload = read_frame(&mut shed, DEFAULT_MAX_FRAME)
+        .unwrap()
+        .expect("shed connection must get a busy frame, not silent EOF");
+    match wormnet::protocol::decode_response(&payload).unwrap() {
+        wormnet::protocol::NetResponse::Error { code, .. } => {
+            assert_eq!(code, wormnet::protocol::CODE_BUSY);
+        }
+        other => panic!("expected busy error frame, got {other:?}"),
+    }
+    // After the courtesy frame the connection is closed.
+    assert!(matches!(
+        read_frame(&mut shed, DEFAULT_MAX_FRAME),
+        Ok(None) | Err(_)
+    ));
+
+    // The typed client surfaces the same shed as a Remote error.
+    let mut typed = RemoteWormClient::connect(addr).unwrap();
+    match typed.tick() {
+        Err(NetError::Remote { code, .. }) => assert_eq!(code, wormnet::protocol::CODE_BUSY),
+        other => panic!("expected remote busy error, got {other:?}"),
+    }
+
+    h.net.shutdown();
+    let snapshot = h.server.stats_snapshot();
+    assert!(snapshot.counter("net.conn_shed") >= 2);
+}
+
+#[test]
+fn pipelined_responses_arrive_in_request_order_and_verify() {
+    let h = boot(NetServerConfig::default());
+    let addr = h.net.local_addr();
+    let mut client = RemoteWormClient::connect(addr).unwrap();
+    let verifier = client
+        .bootstrap_verifier(Duration::from_secs(300), h.clock.clone())
+        .unwrap();
+
+    let sns: Vec<SerialNumber> = (0..12)
+        .map(|i| {
+            client
+                .write(&[format!("pipelined record {i}").as_bytes()], policy(3600))
+                .unwrap()
+        })
+        .collect();
+
+    // Window of 4, twelve reads in flight: responses must come back in
+    // request order, every one verifying as the SN it was asked for.
+    let mut responses = Vec::new();
+    let mut pipe = client.pipeline(4);
+    for sn in &sns {
+        if let Some(resp) = pipe.send(&wormnet::NetRequest::Read { sn: *sn }).unwrap() {
+            responses.push(resp);
+        }
+    }
+    assert!(pipe.in_flight() > 0);
+    responses.extend(pipe.finish().unwrap());
+
+    assert_eq!(responses.len(), sns.len());
+    for (sn, resp) in sns.iter().zip(&responses) {
+        match resp {
+            wormnet::NetResponse::Outcome(outcome) => {
+                assert_eq!(
+                    verifier.verify_read(*sn, outcome).unwrap(),
+                    ReadVerdict::Intact { sn: *sn },
+                    "response out of order or tampered for {sn:?}"
+                );
+            }
+            other => panic!("expected Outcome, got {other:?}"),
+        }
+    }
+
+    // Abandoning a pipeline mid-flight poisons the session instead of
+    // silently desynchronizing request/response pairing.
+    {
+        let mut pipe = client.pipeline(4);
+        pipe.send(&wormnet::NetRequest::Tick).unwrap();
+        // Dropped with one response in flight.
+    }
+    assert!(matches!(client.tick(), Err(NetError::Protocol(_))));
+
+    h.net.shutdown();
+}
+
+#[test]
+fn interleaved_traced_and_untraced_frames_share_one_pipelined_connection() {
+    let h = boot(NetServerConfig::default());
+    let addr = h.net.local_addr();
+    let mut client = RemoteWormClient::connect(addr).unwrap();
+    let sn = client.write(&[b"traced and bare"], policy(3600)).unwrap();
+
+    // Alternate bare frames and opcode-9 trace envelopes within one
+    // pipelined batch: the server must serve both shapes interleaved
+    // on a single connection, in order.
+    let mut responses = Vec::new();
+    let mut traced_ids = Vec::new();
+    {
+        let mut pipe = client.pipeline(3);
+        for i in 0..10 {
+            // Safety of toggling mid-batch: encoding happens at send
+            // time, so each frame independently carries (or omits) its
+            // envelope.
+            pipe.set_request_tracing(i % 2 == 0);
+            if let Some(resp) = pipe.send(&wormnet::NetRequest::Read { sn }).unwrap() {
+                responses.push(resp);
+            }
+            if i % 2 == 0 {
+                traced_ids.push(pipe.last_trace_id());
+            }
+        }
+        responses.extend(pipe.finish().unwrap());
+    }
+    assert_eq!(responses.len(), 10);
+    for resp in &responses {
+        assert!(
+            matches!(resp, wormnet::NetResponse::Outcome(o) if o.kind() == "data"),
+            "every interleaved request must be served, got {resp:?}"
+        );
+    }
+    // Every traced frame minted a distinct id.
+    let ids: Vec<u64> = traced_ids.into_iter().flatten().collect();
+    assert_eq!(ids.len(), 5);
+    let dedup: std::collections::HashSet<u64> = ids.iter().copied().collect();
+    assert_eq!(dedup.len(), ids.len());
+
+    h.net.shutdown();
+}
+
+#[test]
+fn malformed_frame_mid_pipeline_kills_only_that_connection() {
+    let h = boot(NetServerConfig {
+        max_frame: 4096,
+        ..NetServerConfig::default()
+    });
+    let addr = h.net.local_addr();
+
+    // One write carrying two valid pipelined requests followed by an
+    // oversized frame announcement.
+    let mut bad = TcpStream::connect(addr).unwrap();
+    bad.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut burst = Vec::new();
+    for _ in 0..2 {
+        wormnet::frame::append_frame(
+            &mut burst,
+            &wormnet::protocol::encode_request(&wormnet::NetRequest::GetKeys),
+            DEFAULT_MAX_FRAME,
+        )
+        .unwrap();
+    }
+    burst.extend_from_slice(&u32::MAX.to_be_bytes());
+    {
+        use std::io::Write as _;
+        bad.write_all(&burst).unwrap();
+    }
+
+    // The valid prefix is answered — responses owed before the
+    // violation still flush — then the connection dies.
+    for _ in 0..2 {
+        let payload = read_frame(&mut bad, DEFAULT_MAX_FRAME).unwrap().unwrap();
+        assert!(matches!(
+            wormnet::protocol::decode_response(&payload).unwrap(),
+            wormnet::protocol::NetResponse::Keys { .. }
+        ));
+    }
+    assert!(matches!(
+        read_frame(&mut bad, DEFAULT_MAX_FRAME),
+        Ok(None) | Err(_)
+    ));
+
+    // A neighbour connection is untouched by the violation.
+    let mut client = RemoteWormClient::connect(addr).unwrap();
+    let verifier = client
+        .bootstrap_verifier(Duration::from_secs(300), h.clock.clone())
+        .unwrap();
+    let sn = client
+        .write(&[b"unaffected neighbour"], policy(3600))
+        .unwrap();
+    assert_eq!(
+        client.read_verified(sn, &verifier).unwrap().0,
+        ReadVerdict::Intact { sn }
+    );
+    h.net.shutdown();
+}
+
+#[test]
+fn shutdown_with_frames_in_flight_neither_hangs_nor_leaks_gauges() {
+    let h = boot(NetServerConfig {
+        workers: 2,
+        ..NetServerConfig::default()
+    });
+    let addr = h.net.local_addr();
+
+    // Stuff unread pipelined requests into several connections and
+    // shut down without collecting any response: shutdown must join
+    // cleanly (requests in flight are dropped with their connections)
+    // and every connection-tracking gauge must drain to zero.
+    let conns: Vec<TcpStream> = (0..6)
+        .map(|_| {
+            let mut c = TcpStream::connect(addr).unwrap();
+            let mut burst = Vec::new();
+            for _ in 0..8 {
+                wormnet::frame::append_frame(
+                    &mut burst,
+                    &wormnet::protocol::encode_request(&wormnet::NetRequest::Tick),
+                    DEFAULT_MAX_FRAME,
+                )
+                .unwrap();
+            }
+            use std::io::Write as _;
+            c.write_all(&burst).unwrap();
+            c
+        })
+        .collect();
+
+    h.net.shutdown();
+    drop(conns);
+    let snapshot = h.server.stats_snapshot();
+    assert_eq!(snapshot.gauge("net.queue_depth"), Some(0));
+    assert_eq!(
+        snapshot.gauge("net.conns_open"),
+        Some(0),
+        "open-connection gauge must return to zero after shutdown"
+    );
+}

@@ -345,6 +345,49 @@ fn shard_rows(stats: &StatsSnapshot) -> Vec<ShardRow> {
         .collect()
 }
 
+/// One serving worker's live load, from the `net.worker{i}.*`
+/// instruments the event loop maintains.
+#[derive(Debug, PartialEq, Eq)]
+struct WorkerRow {
+    idx: u32,
+    /// Connections currently owned by this worker (gauge).
+    conns: u64,
+    /// Frames this worker has served since boot (counter).
+    frames: u64,
+}
+
+/// Splits a `net.worker{i}.rest` instrument name into the worker index
+/// and the unprefixed name.
+fn worker_split(name: &str) -> Option<(u32, &str)> {
+    let rest = name.strip_prefix("net.worker")?;
+    let (idx, op) = rest.split_once('.')?;
+    Some((idx.parse().ok()?, op))
+}
+
+/// Per-worker rows in index order — the load-balance view: connection
+/// hand-off should spread sessions across workers, and a worker whose
+/// frame counter stalls while it holds connections is starving them.
+fn worker_rows(stats: &StatsSnapshot) -> Vec<WorkerRow> {
+    let mut idxs: Vec<u32> = stats
+        .gauges
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .chain(stats.counters.iter().map(|(n, _)| n.as_str()))
+        .filter_map(|n| worker_split(n).map(|(idx, _)| idx))
+        .collect();
+    idxs.sort_unstable();
+    idxs.dedup();
+    idxs.into_iter()
+        .map(|idx| WorkerRow {
+            idx,
+            conns: stats
+                .gauge(&format!("net.worker{idx}.conns"))
+                .unwrap_or_default(),
+            frames: stats.counter(&format!("net.worker{idx}.frames")),
+        })
+        .collect()
+}
+
 // ---------------------------------------------------------------------
 // Live rendering
 // ---------------------------------------------------------------------
@@ -392,6 +435,29 @@ fn render(
             out.push_str(&format!(
                 "shard{:<3} {:>10} {:>10} {:>14} {:>11} {:>7}\n",
                 r.lane, r.writes, r.reads, r.daemon_passes, r.backoff_ms, r.consecutive_failures,
+            ));
+        }
+        out.push('\n');
+    }
+
+    // Event-loop workers: connection spread and per-worker serve rate.
+    let wrows = worker_rows(stats);
+    if !wrows.is_empty() {
+        out.push_str(&format!(
+            "{:<9} {:>7} {:>12} {:>10}\n",
+            "WORKER", "CONNS", "FRAMES", "FRAMES/s"
+        ));
+        for r in &wrows {
+            let rate = prev
+                .map(|(at, p)| {
+                    let before = p.counter(&format!("net.worker{}.frames", r.idx));
+                    let elapsed = at.elapsed().as_secs_f64().max(1e-9);
+                    r.frames.saturating_sub(before) as f64 / elapsed
+                })
+                .unwrap_or(0.0);
+            out.push_str(&format!(
+                "worker{:<3} {:>7} {:>12} {:>10.1}\n",
+                r.idx, r.conns, r.frames, rate,
             ));
         }
         out.push('\n');
@@ -564,6 +630,16 @@ fn to_json_line(addr: &str, stats: &StatsSnapshot, traces: &[CapturedTrace]) -> 
             r.lane, r.writes, r.reads, r.daemon_passes, r.backoff_ms, r.consecutive_failures,
         ));
     }
+    s.push_str("],\"workers\":[");
+    for (i, r) in worker_rows(stats).iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "{{\"worker\":{},\"conns\":{},\"frames\":{}}}",
+            r.idx, r.conns, r.frames,
+        ));
+    }
     s.push_str("],\"traces\":[");
     for (i, t) in traces.iter().enumerate() {
         if i > 0 {
@@ -721,5 +797,58 @@ mod tests {
         assert!(line.contains("\"shards\":[{\"lane\":0,"));
         assert!(line.contains("\"lane\":2,\"writes\":7"));
         assert!(line.contains("\"backoff_ms\":250"));
+    }
+
+    fn worker_snapshot() -> StatsSnapshot {
+        StatsSnapshot {
+            ops: Vec::new(),
+            // Name-sorted: snapshot lookups binary-search.
+            counters: vec![
+                ("net.conn_accepted".to_string(), 9),
+                ("net.worker0.frames".to_string(), 120),
+                ("net.worker2.frames".to_string(), 40),
+            ],
+            gauges: vec![
+                ("net.queue_depth".to_string(), 1),
+                ("net.worker0.conns".to_string(), 3),
+            ],
+            events_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn worker_split_parses_only_worker_instruments() {
+        assert_eq!(worker_split("net.worker0.conns"), Some((0, "conns")));
+        assert_eq!(worker_split("net.worker12.frames"), Some((12, "frames")));
+        assert_eq!(worker_split("net.conn_accepted"), None);
+        assert_eq!(worker_split("net.workerx.conns"), None);
+        assert_eq!(worker_split("net.worker3"), None);
+    }
+
+    #[test]
+    fn worker_rows_extract_per_worker_load() {
+        let rows = worker_rows(&worker_snapshot());
+        assert_eq!(
+            rows,
+            vec![
+                WorkerRow {
+                    idx: 0,
+                    conns: 3,
+                    frames: 120,
+                },
+                WorkerRow {
+                    idx: 2,
+                    conns: 0,
+                    frames: 40,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn worker_rows_reach_json_line() {
+        let line = to_json_line("x:1", &worker_snapshot(), &[]);
+        assert!(line.contains("\"workers\":[{\"worker\":0,\"conns\":3,\"frames\":120}"));
+        assert!(line.contains("{\"worker\":2,\"conns\":0,\"frames\":40}"));
     }
 }

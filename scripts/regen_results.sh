@@ -36,8 +36,11 @@ run attack_matrix
 echo ">> read_scaling"
 cargo run --release -q -p worm-bench --bin read_scaling > /dev/null
 
-# Writes results/BENCH_net_throughput.json itself: verified reads over
-# the wormnet TCP serving layer at 1/2/4/8 client connections.
+# Writes results/BENCH_net_throughput.json itself: verified pipelined
+# reads over the wormnet TCP serving layer at 1/2/4/8/16 client
+# connections. Doubles as a regression gate: the binary exits nonzero
+# if the scaling curve dips below 0.9x of the previous point or any
+# connection was shed mid-measurement.
 echo ">> net_throughput"
 cargo run --release -q -p worm-bench --bin net_throughput > /dev/null
 

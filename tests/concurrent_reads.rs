@@ -139,8 +139,10 @@ fn readers_writer_and_daemon_all_verify() {
 
     start.wait();
     // Let the threads contend, then expire the short-retention records so
-    // the daemon shreds them *while reads are in flight*.
-    std::thread::sleep(Duration::from_millis(30));
+    // the daemon shreds them *while reads are in flight*. The window is
+    // short: warm-path reads are fast enough that the readers can finish
+    // their full quota within tens of milliseconds.
+    std::thread::sleep(Duration::from_millis(10));
     clock.advance(Duration::from_secs(61));
 
     for r in readers {
@@ -148,14 +150,23 @@ fn readers_writer_and_daemon_all_verify() {
     }
     stop_writer.store(true, Ordering::Relaxed);
     writer.join().expect("writer thread panicked");
-    daemon.stop().unwrap();
 
     // The short-retention seeds really were deleted out from under the
     // readers (so the run exercised concurrent shredding) and yet every
-    // read verified above.
-    let deleted = seeded[1..]
-        .iter()
-        .filter(|&&sn| srv.read(sn).unwrap().kind() == "deleted")
-        .count();
-    assert!(deleted > 0, "no record expired during the stress window");
+    // read verified above. The daemon runs on its own cadence, so give
+    // it a bounded grace period to complete a pass after the clock
+    // advance before declaring the expiry missing.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let expired = loop {
+        let deleted = seeded[1..]
+            .iter()
+            .filter(|&&sn| srv.read(sn).unwrap().kind() == "deleted")
+            .count();
+        if deleted > 0 || std::time::Instant::now() > deadline {
+            break deleted;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    daemon.stop().unwrap();
+    assert!(expired > 0, "no record expired during the stress window");
 }

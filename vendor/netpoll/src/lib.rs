@@ -1,0 +1,365 @@
+//! Offline vendored readiness shim for a minimal reactor.
+//!
+//! The workspace builds with no registry access, so instead of `mio`
+//! or `polling` this crate wraps the two syscalls a single-threaded
+//! readiness loop actually needs behind a safe API:
+//!
+//! * [`poll`] — `poll(2)` over a caller-owned slice of [`PollFd`]s.
+//!   Level-triggered, no registration state, O(n) per wait: exactly
+//!   right for a worker owning tens-to-hundreds of connections, and
+//!   portable to every unix without an epoll/kqueue split.
+//! * [`wake_pipe`] — a nonblocking self-pipe, so another thread can
+//!   interrupt a `poll` sleep (new connection handed off, shutdown).
+//!
+//! All `unsafe` is contained here; callers see only safe functions on
+//! raw fds they already own. The shim never closes an fd it did not
+//! create (the waker pipe fds are the only ones it owns and drops).
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::time::Duration;
+
+/// Readiness: fd has bytes to read (or a pending accept).
+pub const POLLIN: i16 = 0x001;
+/// Readiness: fd can accept writes without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Condition: error on the fd (always polled, never requested).
+pub const POLLERR: i16 = 0x008;
+/// Condition: peer hung up (always polled, never requested).
+pub const POLLHUP: i16 = 0x010;
+/// Condition: fd not open (always polled, never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One fd's interest set and, after [`poll`] returns, its readiness.
+///
+/// Layout matches `struct pollfd` exactly so a `&mut [PollFd]` can be
+/// handed to the kernel as-is.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Interest in `events` (a bitmask of [`POLLIN`] / [`POLLOUT`]) on
+    /// `fd`.
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The fd this entry polls.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Readable (or: a connection is waiting to be accepted)?
+    pub fn readable(&self) -> bool {
+        self.revents & POLLIN != 0
+    }
+
+    /// Writable without blocking?
+    pub fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+
+    /// Error, hangup, or invalid-fd condition? Callers should attempt
+    /// a read anyway (a hangup may still have buffered bytes) and let
+    /// the read's result classify the failure.
+    pub fn errored(&self) -> bool {
+        self.revents & (POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// Any readiness or condition at all?
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+    use std::io;
+
+    #[cfg(target_os = "linux")]
+    type NFds = std::ffi::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type NFds = std::ffi::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: NFds, timeout: std::ffi::c_int) -> std::ffi::c_int;
+        fn pipe(fds: *mut std::ffi::c_int) -> std::ffi::c_int;
+        fn fcntl(
+            fd: std::ffi::c_int,
+            cmd: std::ffi::c_int,
+            arg: std::ffi::c_int,
+        ) -> std::ffi::c_int;
+        fn read(fd: std::ffi::c_int, buf: *mut std::ffi::c_void, count: usize) -> isize;
+        fn write(fd: std::ffi::c_int, buf: *const std::ffi::c_void, count: usize) -> isize;
+        fn close(fd: std::ffi::c_int) -> std::ffi::c_int;
+    }
+
+    const F_SETFL: std::ffi::c_int = 4;
+    const F_GETFL: std::ffi::c_int = 3;
+    const O_NONBLOCK: std::ffi::c_int = 0o4000;
+
+    pub fn poll_impl(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice whose
+        // element layout is `struct pollfd` (`repr(C)`, i32/i16/i16);
+        // the kernel reads `events` and writes `revents` within the
+        // slice bounds given by `len()`.
+        let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as NFds, timeout_ms) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                // A signal cut the sleep short: report "nothing ready"
+                // and let the caller's loop re-poll.
+                return Ok(0);
+            }
+            return Err(e);
+        }
+        Ok(n as usize)
+    }
+
+    pub fn pipe_impl() -> io::Result<(i32, i32)> {
+        let mut fds = [0 as std::ffi::c_int; 2];
+        // SAFETY: `fds` is a valid 2-element array the kernel fills.
+        if unsafe { pipe(fds.as_mut_ptr()) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            // SAFETY: `fd` was just returned by `pipe`; F_GETFL/F_SETFL
+            // only toggle status flags on it.
+            let flags = unsafe { fcntl(fd, F_GETFL, 0) };
+            if flags < 0 || unsafe { fcntl(fd, F_SETFL, flags | O_NONBLOCK) } < 0 {
+                let e = io::Error::last_os_error();
+                close_impl(fds[0]);
+                close_impl(fds[1]);
+                return Err(e);
+            }
+        }
+        Ok((fds[0], fds[1]))
+    }
+
+    pub fn drain_impl(fd: i32) {
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: `buf` is a valid writable buffer of the length
+            // passed; the fd is the caller's open pipe read end.
+            let n = unsafe { read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                // Empty (EAGAIN), closed, or a transient error: in every
+                // case the pipe is as drained as it is going to get.
+                return;
+            }
+        }
+    }
+
+    pub fn wake_impl(fd: i32) {
+        let buf = [1u8];
+        // SAFETY: one readable byte from a live buffer; the fd is the
+        // caller's open pipe write end. A full pipe (EAGAIN) is fine —
+        // the sleeper is already due to wake.
+        let _ = unsafe { write(fd, buf.as_ptr().cast(), 1) };
+    }
+
+    pub fn close_impl(fd: i32) {
+        // SAFETY: only ever called on pipe fds this crate created and
+        // is dropping; double-close is prevented by ownership.
+        let _ = unsafe { close(fd) };
+    }
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::PollFd;
+    use std::io;
+
+    pub fn poll_impl(_fds: &mut [PollFd], _timeout_ms: i32) -> io::Result<usize> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "netpoll requires a unix host",
+        ))
+    }
+
+    pub fn pipe_impl() -> io::Result<(i32, i32)> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "netpoll requires a unix host",
+        ))
+    }
+
+    pub fn drain_impl(_fd: i32) {}
+    pub fn wake_impl(_fd: i32) {}
+    pub fn close_impl(_fd: i32) {}
+}
+
+/// Waits until at least one entry is ready or `timeout` elapses.
+///
+/// Level-triggered: an fd that stays readable reports readable on
+/// every call until drained. `None` blocks indefinitely. Returns the
+/// number of entries with any readiness set (0 on timeout or on a
+/// signal interrupting the sleep).
+///
+/// # Errors
+///
+/// The underlying `poll(2)` failure, `Interrupted` excepted.
+pub fn poll(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: i32 = match timeout {
+        None => -1,
+        Some(t) => i32::try_from(t.as_millis()).unwrap_or(i32::MAX).max(0),
+    };
+    sys::poll_impl(fds, timeout_ms)
+}
+
+/// The read end of a waker pipe: registered in a poll set so wakes
+/// interrupt the sleep. Closes its fd on drop.
+#[derive(Debug)]
+pub struct WakeReader {
+    fd: i32,
+}
+
+impl WakeReader {
+    /// The fd to include (with [`POLLIN`]) in the poll set.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Discards every pending wake byte, so a level-triggered poll
+    /// stops reporting the pipe readable until the next wake.
+    pub fn drain(&self) {
+        sys::drain_impl(self.fd);
+    }
+}
+
+impl Drop for WakeReader {
+    fn drop(&mut self) {
+        sys::close_impl(self.fd);
+    }
+}
+
+/// The write end of a waker pipe. `Send + Sync`: any thread may wake
+/// the sleeper. Closes its fd on drop.
+#[derive(Debug)]
+pub struct WakeWriter {
+    fd: i32,
+}
+
+impl WakeWriter {
+    /// Interrupts the reader's current (or next) poll sleep. Never
+    /// blocks and never fails: a full pipe already guarantees a wake.
+    pub fn wake(&self) {
+        sys::wake_impl(self.fd);
+    }
+}
+
+impl Drop for WakeWriter {
+    fn drop(&mut self) {
+        sys::close_impl(self.fd);
+    }
+}
+
+/// Creates a nonblocking self-pipe: wakes written to the writer make
+/// the reader's fd poll readable.
+///
+/// # Errors
+///
+/// The underlying `pipe(2)`/`fcntl(2)` failure (fd exhaustion).
+pub fn wake_pipe() -> io::Result<(WakeReader, WakeWriter)> {
+    let (r, w) = sys::pipe_impl()?;
+    Ok((WakeReader { fd: r }, WakeWriter { fd: w }))
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    #[test]
+    fn poll_times_out_on_quiet_fd() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let t0 = Instant::now();
+        let n = poll(&mut fds, Some(Duration::from_millis(30))).unwrap();
+        assert_eq!(n, 0);
+        assert!(!fds[0].ready());
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn poll_reports_listener_readable_on_pending_accept() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _conn = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let mut fds = [PollFd::new(listener.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(listener.accept().is_ok());
+    }
+
+    #[test]
+    fn poll_reports_stream_readable_and_writable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut fds = [PollFd::new(server_side.as_raw_fd(), POLLIN | POLLOUT)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        assert!(fds[0].writable());
+    }
+
+    #[test]
+    fn waker_interrupts_sleep_and_drains() {
+        let (reader, writer) = wake_pipe().unwrap();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            writer.wake();
+            writer
+        });
+        let mut fds = [PollFd::new(reader.fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].readable());
+        reader.drain();
+        // Drained: the next poll times out instead of reporting ready.
+        let mut fds = [PollFd::new(reader.fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_millis(10))).unwrap();
+        assert_eq!(n, 0);
+        // Multiple wakes coalesce into a single readable drain.
+        let writer = handle.join().unwrap();
+        writer.wake();
+        writer.wake();
+        writer.wake();
+        let mut fds = [PollFd::new(reader.fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_secs(5))).unwrap(), 1);
+        reader.drain();
+        let mut fds = [PollFd::new(reader.fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, Some(Duration::from_millis(10))).unwrap(), 0);
+    }
+
+    #[test]
+    fn hangup_reports_a_condition() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        drop(client);
+        let mut fds = [PollFd::new(server_side.as_raw_fd(), POLLIN)];
+        let n = poll(&mut fds, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        // EOF surfaces as POLLIN (read returns 0) and/or POLLHUP.
+        assert!(fds[0].readable() || fds[0].errored());
+        let mut buf = [0u8; 8];
+        assert_eq!((&server_side).read(&mut buf).unwrap(), 0);
+    }
+}
