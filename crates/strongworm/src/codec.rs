@@ -8,7 +8,7 @@
 use bytes::Bytes;
 use scpu::Timestamp;
 use wormcrypt::{Digest, RsaPublicKey, Sha256};
-use wormstore::{RecordDescriptor, RecordId};
+use wormstore::{RecordDescriptor, RecordId, Shredder};
 
 use crate::attr::RecordAttributes;
 use crate::authority::{HoldCredential, ReleaseCredential};
@@ -20,6 +20,7 @@ use crate::proofs::{
 };
 use crate::sn::SerialNumber;
 use crate::vrd::Vrd;
+use crate::vrdt::ShredState;
 use crate::wire::{WireError, WireReader, WireWriter};
 use crate::witness::{Signature, Witness};
 
@@ -341,6 +342,126 @@ pub fn decode_base_cert(bytes: &[u8]) -> Result<BaseCert, WireError> {
         expires_at,
         sig,
     })
+}
+
+/// Encodes an in-flight shred's progress state (journal `SHRED_BEGIN`
+/// payload): the doomed extent, its overwrite discipline, and the next
+/// pass to run.
+pub fn encode_shred_state(s: &ShredState) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.shredstate.v1");
+    w.put_u64(s.rd.id.0);
+    w.put_u64(s.rd.offset);
+    w.put_u64(s.rd.len);
+    // Same canonical (kind, arg) pair as `RecordAttributes::encode`.
+    match s.shredder {
+        Shredder::ZeroFill => {
+            w.put_u8(0);
+            w.put_u8(0);
+        }
+        Shredder::MultiPass { passes } => {
+            w.put_u8(1);
+            w.put_u8(passes);
+        }
+        Shredder::RandomPass => {
+            w.put_u8(2);
+            w.put_u8(0);
+        }
+    }
+    w.put_u32(s.next_pass);
+    w.finish()
+}
+
+/// Decodes a journalled shred progress state.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation, unknown shredder codes, or trailing bytes.
+pub fn decode_shred_state(bytes: &[u8]) -> Result<ShredState, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.shredstate.v1" {
+        return Err(WireError {
+            expected: "shred state tag",
+        });
+    }
+    let rd = RecordDescriptor {
+        id: RecordId(r.get_u64()?),
+        offset: r.get_u64()?,
+        len: r.get_u64()?,
+    };
+    let shred_kind = r.get_u8()?;
+    let shred_arg = r.get_u8()?;
+    // Canonical decoding: argument-less shredders must carry a zero
+    // argument byte, so no two distinct encodings decode equal.
+    let shredder = match (shred_kind, shred_arg) {
+        (0, 0) => Shredder::ZeroFill,
+        (1, passes) => Shredder::MultiPass { passes },
+        (2, 0) => Shredder::RandomPass,
+        _ => {
+            return Err(WireError {
+                expected: "shredder code",
+            })
+        }
+    };
+    let next_pass = r.get_u32()?;
+    r.expect_end()?;
+    Ok(ShredState {
+        rd,
+        shredder,
+        next_pass,
+    })
+}
+
+/// Encodes a shred pass-completion marker (journal `SHRED_PASS` payload):
+/// extent offset (the pending-shred key) and the 0-based pass that just
+/// finished.
+pub fn encode_shred_pass(offset: u64, pass: u32) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.shredpass.v1");
+    w.put_u64(offset);
+    w.put_u32(pass);
+    w.finish()
+}
+
+/// Decodes a shred pass-completion marker into `(offset, pass)`.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or trailing bytes.
+pub fn decode_shred_pass(bytes: &[u8]) -> Result<(u64, u32), WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.shredpass.v1" {
+        return Err(WireError {
+            expected: "shred pass tag",
+        });
+    }
+    let offset = r.get_u64()?;
+    let pass = r.get_u32()?;
+    r.expect_end()?;
+    Ok((offset, pass))
+}
+
+/// Encodes a shred completion marker (journal `SHRED_DONE` payload): the
+/// extent offset whose every pass has been applied.
+pub fn encode_shred_done(offset: u64) -> Vec<u8> {
+    let mut w = WireWriter::tagged("strongworm.shreddone.v1");
+    w.put_u64(offset);
+    w.finish()
+}
+
+/// Decodes a shred completion marker into the extent offset.
+///
+/// # Errors
+///
+/// [`WireError`] on truncation or trailing bytes.
+pub fn decode_shred_done(bytes: &[u8]) -> Result<u64, WireError> {
+    let mut r = WireReader::new(bytes);
+    if r.get_str()? != "strongworm.shreddone.v1" {
+        return Err(WireError {
+            expected: "shred done tag",
+        });
+    }
+    let offset = r.get_u64()?;
+    r.expect_end()?;
+    Ok(offset)
 }
 
 fn put_evidence(w: &mut WireWriter, evidence: &DeletionEvidence) {
@@ -1029,6 +1150,70 @@ mod tests {
     fn vrd_roundtrip() {
         let v = sample_vrd();
         assert_eq!(decode_vrd(&encode_vrd(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn shred_state_roundtrip() {
+        for shredder in [
+            Shredder::ZeroFill,
+            Shredder::MultiPass { passes: 3 },
+            Shredder::RandomPass,
+        ] {
+            let s = ShredState {
+                rd: RecordDescriptor {
+                    id: RecordId(9),
+                    offset: 4096,
+                    len: 128,
+                },
+                shredder,
+                next_pass: 2,
+            };
+            assert_eq!(decode_shred_state(&encode_shred_state(&s)).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn shred_state_decode_rejects_corruption() {
+        let s = ShredState {
+            rd: RecordDescriptor {
+                id: RecordId(1),
+                offset: 64,
+                len: 32,
+            },
+            shredder: Shredder::ZeroFill,
+            next_pass: 0,
+        };
+        let enc = encode_shred_state(&s);
+        assert!(decode_shred_state(&enc[..enc.len() - 1]).is_err());
+        assert!(decode_shred_state(b"").is_err());
+        let mut trailing = enc.clone();
+        trailing.push(0);
+        assert!(decode_shred_state(&trailing).is_err());
+        // Non-canonical zero-arg shredder (kind 2, arg 1) must not decode.
+        let mut bad = enc;
+        let kind_at = bad.len() - 6; // tail is [kind:1][arg:1][next_pass:4]
+        assert_eq!(bad[kind_at], 0);
+        bad[kind_at] = 2;
+        bad[kind_at + 1] = 1;
+        assert!(decode_shred_state(&bad).is_err());
+    }
+
+    #[test]
+    fn shred_pass_roundtrip() {
+        let enc = encode_shred_pass(777, 3);
+        assert_eq!(decode_shred_pass(&enc).unwrap(), (777, 3));
+        assert!(decode_shred_pass(&enc[..enc.len() - 1]).is_err());
+        assert!(decode_shred_pass(b"").is_err());
+    }
+
+    #[test]
+    fn shred_done_roundtrip() {
+        let enc = encode_shred_done(4242);
+        assert_eq!(decode_shred_done(&enc).unwrap(), 4242);
+        assert!(decode_shred_done(&enc[..enc.len() - 1]).is_err());
+        let mut trailing = enc;
+        trailing.push(1);
+        assert!(decode_shred_done(&trailing).is_err());
     }
 
     #[test]

@@ -11,10 +11,16 @@ pub enum WormError {
     Device(scpu::DeviceError),
     /// The record store failed.
     Store(wormstore::StoreError),
+    /// The durable journal region failed (device error or region full).
+    Journal(wormstore::JournalError),
     /// The firmware rejected the request (reason inside).
     Firmware(String),
     /// The serial number does not name an active record.
     NotActive(SerialNumber),
+    /// A staged VRDT transaction is open: plain (self-committing) table
+    /// mutations are refused until commit or abort, so crash rollback is
+    /// always a pure journal-suffix truncation.
+    TxnOpen,
     /// A persisted structure failed to decode.
     Wire(WireError),
     /// The serial number's shard lane is outside this deployment (no
@@ -32,8 +38,12 @@ impl std::fmt::Display for WormError {
         match self {
             WormError::Device(e) => write!(f, "secure coprocessor failure: {e}"),
             WormError::Store(e) => write!(f, "record store failure: {e}"),
+            WormError::Journal(e) => write!(f, "durable journal failure: {e}"),
             WormError::Firmware(msg) => write!(f, "firmware rejected request: {msg}"),
             WormError::NotActive(sn) => write!(f, "{sn} is not an active record"),
+            WormError::TxnOpen => {
+                f.write_str("a staged transaction is open; commit or abort it first")
+            }
             WormError::Wire(e) => write!(f, "persisted structure corrupt: {e}"),
             WormError::NoSuchShard { lane, shard_count } => write!(
                 f,
@@ -48,6 +58,7 @@ impl std::error::Error for WormError {
         match self {
             WormError::Device(e) => Some(e),
             WormError::Store(e) => Some(e),
+            WormError::Journal(e) => Some(e),
             WormError::Wire(e) => Some(e),
             _ => None,
         }
@@ -63,6 +74,12 @@ impl From<scpu::DeviceError> for WormError {
 impl From<wormstore::StoreError> for WormError {
     fn from(e: wormstore::StoreError) -> Self {
         WormError::Store(e)
+    }
+}
+
+impl From<wormstore::JournalError> for WormError {
+    fn from(e: wormstore::JournalError) -> Self {
+        WormError::Journal(e)
     }
 }
 

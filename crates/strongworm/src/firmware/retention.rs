@@ -161,6 +161,11 @@ impl WormFirmware {
     /// verifies `metasig` with its own keys, so the host cannot shorten
     /// the retention or change the shredding discipline; litigation holds
     /// embedded in the attributes are re-armed as well.
+    ///
+    /// If the monitor has already expired the record (the host crashed
+    /// after the proof was signed but before its deletion transaction
+    /// committed, then rolled back), the deletion is re-driven through
+    /// the outbox so host and monitor converge instead of wedging.
     pub(crate) fn sync_vexp_from_attr(
         &mut self,
         env: &mut Env,
@@ -168,21 +173,31 @@ impl WormFirmware {
         attr: crate::attr::RecordAttributes,
         metasig: crate::witness::Witness,
     ) -> Result<WormResponse, FirmwareError> {
-        {
+        let already_deleted = {
             let s = self.booted()?;
             if sn == SerialNumber(0) || sn > s.sn_current {
                 return reject(format!("{sn} was never issued"));
             }
-            if sn < s.sn_base
+            sn < s.sn_base
                 || s.expired.contains(&sn)
                 || s.windows.iter().any(|&(lo, hi)| lo <= sn && sn <= hi)
-            {
-                return reject(format!("{sn} has already been deleted"));
-            }
-        }
+        };
         let payload = crate::witness::meta_payload(sn, &attr.encode());
         if !self.verify_own_witness(env.now(), &payload, &metasig) {
             return reject("presented attributes fail metasig verification");
+        }
+        if already_deleted {
+            // The monitor already committed this deletion — the proof was
+            // signed and the VEXP entry consumed — yet the host presents
+            // the record as live: it crashed before the deletion became
+            // durable and rolled its journal back. Refusing here would
+            // wedge the record forever (the host cannot delete without a
+            // proof, and the monitor never fires twice). Roll the host
+            // FORWARD instead: re-sign the deletion proof and re-order
+            // the shred through the outbox. The statement is true — the
+            // record is deleted — so re-issuing it forges nothing.
+            self.delete_record(env, sn, attr.shredder);
+            return Ok(WormResponse::Synced);
         }
         if let Some(hold) = &attr.litigation_hold {
             if hold.hold_until > env.now() {

@@ -67,6 +67,7 @@ pub mod daemon;
 pub mod firmware;
 pub mod offline;
 pub mod policy;
+pub mod powerfail;
 pub mod proofs;
 pub mod vrd;
 pub mod vrdt;

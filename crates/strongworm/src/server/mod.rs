@@ -29,12 +29,15 @@ pub use read_plane::ReadPlane;
 pub use shard::{ShardRouter, ShardedWormServer};
 pub use witness::WitnessPlane;
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use scpu::{Clock, Device, Meter};
 use wormcrypt::{Digest, RsaPublicKey, Sha256};
-use wormstore::{BlockDevice, MemDisk, RecordStore};
+use wormstore::{
+    BlockDevice, DiskJournal, DurableLog, MemDisk, Partition, RecordDescriptor, RecordStore,
+};
 
 use crate::config::{WitnessMode, WormConfig};
 use crate::error::WormError;
@@ -71,6 +74,7 @@ struct ServerOps {
     tick: Arc<wormtrace::OpStats>,
     idle: Arc<wormtrace::OpStats>,
     compact: Arc<wormtrace::OpStats>,
+    compact_store: Arc<wormtrace::OpStats>,
 }
 
 impl ServerOps {
@@ -84,6 +88,7 @@ impl ServerOps {
             tick: trace.op("server.tick"),
             idle: trace.op("server.idle"),
             compact: trace.op("server.compact"),
+            compact_store: trace.op("server.compact_store"),
         }
     }
 }
@@ -116,6 +121,23 @@ impl<D: BlockDevice> WormServer<D> {
         clock: Arc<dyn Clock>,
         regulator: &RsaPublicKey,
     ) -> Result<Self, WormError> {
+        Self::boot(store, config, clock, regulator, None)
+    }
+
+    /// Shared boot path: initializes the SCPU, wires the planes, and
+    /// publishes the initial head and base.
+    ///
+    /// When a durable journal `sink` is supplied it is attached to the
+    /// fresh VRDT *before* assembly — the head/base refresh below already
+    /// journals frames, and a sink attached afterwards could never see
+    /// them (its tail only moves backward).
+    fn boot(
+        store: RecordStore<D>,
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        regulator: &RsaPublicKey,
+        sink: Option<Box<dyn DurableLog>>,
+    ) -> Result<Self, WormError> {
         let firmware = WormFirmware::new(FirmwareConfig {
             strong_bits: config.strong_bits,
             weak_bits: config.weak_bits,
@@ -137,7 +159,11 @@ impl<D: BlockDevice> WormServer<D> {
             WormResponse::Keys(k) => k,
             other => return Err(unexpected(other)),
         };
-        let server = Self::assemble(Vrdt::new(), store, device, keys, config, clock, 0x4057);
+        let mut vrdt = Vrdt::new();
+        if let Some(sink) = sink {
+            vrdt.attach_sink(sink)?;
+        }
+        let server = Self::assemble(vrdt, store, device, keys, config, clock, 0x4057);
         // Publish the initial head and base so clients always have
         // freshness evidence.
         {
@@ -168,6 +194,9 @@ impl<D: BlockDevice> WormServer<D> {
         trace
             .counter("recovery.torn_tail")
             .add(u64::from(recovery.torn_tail));
+        trace
+            .counter("recovery.rolled_back")
+            .add(recovery.rolled_back);
         let ops = ServerOps::new(&trace);
         let vrdt = Arc::new(RwLock::new(vrdt));
         let store = Arc::new(store);
@@ -292,6 +321,7 @@ impl<D: BlockDevice> WormServer<D> {
         {
             let mut w = server.witness.lock();
             w.rebuild_after_recovery()?;
+            w.complete_pending_shreds()?;
             w.refresh_head()?;
             w.refresh_base()?;
             w.drain_outbox()?;
@@ -659,6 +689,35 @@ impl<D: BlockDevice> WormServer<D> {
         result
     }
 
+    /// Compacts the record *store*: relocates live extents into lower
+    /// free space and shreds the vacated originals, reclaiming contiguous
+    /// room at the top of the medium. (Distinct from
+    /// [`WormServer::compact`], which compacts the *table* into signed
+    /// deleted windows.) Returns how many extents moved. Intended for
+    /// idle periods.
+    ///
+    /// Each relocation is journaled as one staged transaction, so a power
+    /// cut mid-compaction never loses a record and never leaves relocated
+    /// plaintext unshredded (see [`WitnessPlane`] internals).
+    ///
+    /// # Errors
+    ///
+    /// Store, journal, or device failures.
+    pub fn compact_store(&self) -> Result<usize, WormError> {
+        let timer = self.trace.timer();
+        let span = wormtrace::span::begin("server.compact_store", wormtrace::Plane::Witness);
+        let result = self.witness.lock().compact_store();
+        wormtrace::span::finish(span, result.is_ok(), None);
+        self.finish_witnessed(
+            &self.ops.compact_store,
+            "server.compact_store",
+            timer,
+            None,
+            result.is_ok(),
+        );
+        result
+    }
+
     /// Verifies the chain hash of a record against host state (utility
     /// for tools; clients do their own verification).
     pub fn local_chain_hash(records: &[&[u8]]) -> Vec<u8> {
@@ -689,6 +748,146 @@ impl<D: BlockDevice> WormServer<D> {
     #[doc(hidden)]
     pub fn firmware_for_test(&self) -> FirmwareGuard<'_, D> {
         FirmwareGuard(self.witness.lock())
+    }
+}
+
+impl<D> WormServer<Partition<D>>
+where
+    D: BlockDevice + Clone + Send + Sync + 'static,
+{
+    /// Splits `dev` into a journal region and a data partition.
+    ///
+    /// # Errors
+    ///
+    /// `journal_bytes` exceeding the device capacity.
+    fn layout(dev: &D, journal_bytes: u64) -> Result<u64, WormError> {
+        dev.capacity().checked_sub(journal_bytes).ok_or_else(|| {
+            wormstore::JournalError::Device(wormstore::BlockError::OutOfRange {
+                offset: journal_bytes,
+                capacity: dev.capacity(),
+            })
+            .into()
+        })
+    }
+
+    /// Boots a fresh crash-atomic server over one raw medium: the first
+    /// `journal_bytes` of `dev` become the VRDT journal region, the rest
+    /// the record store. Every table mutation hits the journal region
+    /// *before* host memory, so a power cut at any write boundary is
+    /// recoverable via [`WormServer::recover_durable`].
+    ///
+    /// # Errors
+    ///
+    /// Device failures during region setup or key generation, or a
+    /// `journal_bytes` that exceeds the device.
+    pub fn with_durable(
+        dev: D,
+        journal_bytes: u64,
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        regulator: &RsaPublicKey,
+    ) -> Result<Self, WormError> {
+        let store_bytes = Self::layout(&dev, journal_bytes)?;
+        let journal = DiskJournal::create(dev.clone(), 0, journal_bytes)?;
+        let data =
+            Partition::new(dev, journal_bytes, store_bytes).map_err(wormstore::StoreError::from)?;
+        let store = RecordStore::new(data);
+        Self::boot(store, config, clock, regulator, Some(Box::new(journal)))
+    }
+
+    /// Recovers a crash-atomic server from its medium after a power cut:
+    /// scans the journal region, replays the valid frame prefix (rolling
+    /// any uncommitted staged transaction back — durably), rebuilds the
+    /// store's allocation map from the recovered descriptor set (leaked
+    /// pre-commit extents return to free space; pending-shred extents
+    /// stay reserved), finishes every half-done shred from its persisted
+    /// pass marker, and re-arms expirations inside the SCPU.
+    ///
+    /// The battery-backed `device` survives power cuts on its own; on
+    /// failure it is handed back alongside the error so the caller can
+    /// retry — losing it would lose the keys.
+    ///
+    /// # Errors
+    ///
+    /// Journal corruption (including tampering signatures such as a plain
+    /// frame inside a staged transaction), device failures, or an
+    /// inconsistent descriptor set.
+    // The SCPU device rides in the error variant by design (see above);
+    // recovery is cold-path, so the large Err is irrelevant to perf.
+    #[allow(clippy::result_large_err)]
+    pub fn recover_durable(
+        dev: D,
+        journal_bytes: u64,
+        mut device: Device<WormFirmware>,
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Result<Self, (WormError, Device<WormFirmware>)> {
+        // Phase 1: host-side state only; the SCPU is untouched, so any
+        // failure hands it straight back.
+        let host = (|| -> Result<(Vrdt, RecordStore<Partition<D>>), WormError> {
+            let store_bytes = Self::layout(&dev, journal_bytes)?;
+            let (disk_journal, journal, scan) =
+                DiskJournal::open(dev.clone(), 0, journal_bytes).map_err(WormError::from)?;
+            let mut vrdt = Vrdt::recover(journal)?;
+            if scan.torn_tail {
+                vrdt.mark_torn_tail();
+            }
+            // Attaching the sink truncates + erases the region tail,
+            // making any in-memory rollback durable before we serve.
+            vrdt.attach_sink(Box::new(disk_journal))?;
+            let data = Partition::new(dev, journal_bytes, store_bytes)
+                .map_err(wormstore::StoreError::from)?;
+            // The journal is the authority on occupied space: live
+            // extents (deduped — overlapping VRs share them) survive,
+            // pending-shred extents stay reserved for their remaining
+            // passes, everything else returns to the free list.
+            let mut live: Vec<RecordDescriptor> = Vec::new();
+            let mut seen = BTreeSet::new();
+            for vrd in vrdt.iter_active() {
+                for rd in &vrd.rdl {
+                    if seen.insert(rd.offset) {
+                        live.push(*rd);
+                    }
+                }
+            }
+            let reserved: Vec<RecordDescriptor> =
+                vrdt.pending_shreds().values().map(|s| s.rd).collect();
+            let store = RecordStore::recover(data, &live, &reserved)?;
+            // Reclaimed extents (rolled-back data writes, abandoned
+            // relocation copies) may hold live-record plaintext; zero
+            // them so plaintext exists only inside live extents.
+            store.scrub_free()?;
+            Ok((vrdt, store))
+        })();
+        let (vrdt, store) = match host {
+            Ok(parts) => parts,
+            Err(e) => return Err((e, device)),
+        };
+        // Phase 2: the SCPU round-trip.
+        let keys = match execute(&mut device, WormRequest::GetKeys) {
+            Ok(WormResponse::Keys(k)) => k,
+            Ok(other) => return Err((unexpected(other), device)),
+            Err(e) => return Err((e, device)),
+        };
+        let server = Self::assemble(vrdt, store, device, keys, config, clock, 0x4059);
+        // Phase 3: post-assembly recovery work; the device now lives
+        // inside the server, so failures decompose it to hand it back.
+        let post = (|| -> Result<(), WormError> {
+            let mut w = server.witness.lock();
+            w.rebuild_after_recovery()?;
+            w.complete_pending_shreds()?;
+            w.refresh_head()?;
+            w.refresh_base()?;
+            w.drain_outbox()?;
+            Ok(())
+        })();
+        match post {
+            Ok(()) => Ok(server),
+            Err(e) => {
+                let (device, _, _) = server.into_parts();
+                Err((e, device))
+            }
+        }
     }
 }
 

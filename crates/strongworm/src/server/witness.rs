@@ -33,7 +33,7 @@ use crate::policy::RetentionPolicy;
 use crate::proofs::BaseCert;
 use crate::sn::SerialNumber;
 use crate::vrd::Vrd;
-use crate::vrdt::{Lookup, Vrdt};
+use crate::vrdt::{Lookup, ShredState, Vrdt};
 
 /// A VEXP entry the firmware spilled to the host, awaiting re-submission.
 #[derive(Clone, Debug)]
@@ -52,6 +52,10 @@ struct WitnessStats {
     audit_failures: Arc<wormtrace::Counter>,
     weak_key_rotations: Arc<wormtrace::Counter>,
     spilled_vexp: Arc<wormtrace::Gauge>,
+    /// Pending shreds completed during crash recovery.
+    resumed_shreds: Arc<wormtrace::Counter>,
+    /// Live extents relocated downward by store compaction.
+    compact_relocations: Arc<wormtrace::Counter>,
 }
 
 impl WitnessStats {
@@ -62,6 +66,8 @@ impl WitnessStats {
             audit_failures: trace.counter("witness.audit_failure"),
             weak_key_rotations: trace.counter("witness.weak_key_rotation"),
             spilled_vexp: trace.gauge("witness.spilled_vexp"),
+            resumed_shreds: trace.counter("recovery.resumed_shreds"),
+            compact_relocations: trace.counter("store.compact.relocated"),
         }
     }
 }
@@ -272,7 +278,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
             metasig: receipt.metasig,
             datasig: receipt.datasig,
         };
-        self.vrdt.write().insert(vrd);
+        self.vrdt.write().insert(vrd)?;
         if let Some(seal) = receipt.vexp_seal {
             self.spilled.push(SpilledVexp {
                 sn: receipt.sn,
@@ -325,7 +331,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
     pub(crate) fn refresh_head(&mut self) -> Result<(), WormError> {
         match execute(&mut self.device, WormRequest::RefreshHead)? {
             WormResponse::Head(h) => {
-                self.vrdt.write().set_head(h);
+                self.vrdt.write().set_head(h)?;
                 Ok(())
             }
             other => Err(unexpected(other)),
@@ -335,7 +341,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
     pub(crate) fn refresh_base(&mut self) -> Result<(), WormError> {
         match execute(&mut self.device, WormRequest::RefreshBase)? {
             WormResponse::Base(b) => {
-                self.vrdt.write().set_base(b);
+                self.vrdt.write().set_base(b)?;
                 Ok(())
             }
             other => Err(unexpected(other)),
@@ -363,7 +369,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
                 let mut updated = vrd;
                 updated.attr = attr;
                 updated.metasig = metasig;
-                self.vrdt.write().replace(updated);
+                self.vrdt.write().replace(updated)?;
                 Ok(())
             }
             other => Err(unexpected(other)),
@@ -391,7 +397,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
                 let mut updated = vrd;
                 updated.attr = attr;
                 updated.metasig = metasig;
-                self.vrdt.write().replace(updated);
+                self.vrdt.write().replace(updated)?;
                 Ok(())
             }
             other => Err(unexpected(other)),
@@ -491,7 +497,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
         for (lo, hi) in runs {
             match execute(&mut self.device, WormRequest::CompactWindow { lo, hi })? {
                 WormResponse::Window(w) => {
-                    self.vrdt.write().compact(w);
+                    self.vrdt.write().compact(w)?;
                     created += 1;
                 }
                 other => return Err(unexpected(other)),
@@ -499,6 +505,133 @@ impl<D: BlockDevice> WitnessPlane<D> {
         }
         self.drain_outbox()?;
         Ok(created)
+    }
+
+    /// Runs the remaining passes of a journaled shred, persisting a
+    /// progress marker after each pass lands on the medium, then journals
+    /// completion and returns the extent to the free list.
+    ///
+    /// The marker is written *after* its pass: a crash between the two
+    /// re-runs that pass on recovery, which is idempotent — pass order is
+    /// never skipped, so the final random pass always lands last.
+    fn run_shred(&mut self, state: ShredState) -> Result<(), WormError> {
+        let ShredState {
+            rd,
+            shredder,
+            next_pass,
+        } = state;
+        for pass in next_pass..shredder.pass_count() {
+            shredder
+                .write_pass(self.store.device(), &rd, &mut self.rng, pass)
+                .map_err(wormstore::StoreError::from)?;
+            self.vrdt.write().note_shred_pass(rd.offset, pass)?;
+        }
+        self.vrdt.write().note_shred_done(rd.offset)?;
+        self.store.note_shredded(&rd);
+        self.store.release(&rd);
+        Ok(())
+    }
+
+    /// Finishes every shred the journal recorded as begun but not done —
+    /// called once during crash recovery, before the store serves reads.
+    /// Each resumes at its persisted pass marker (see [`Self::run_shred`]).
+    pub(crate) fn complete_pending_shreds(&mut self) -> Result<usize, WormError> {
+        let pending: Vec<ShredState> = self
+            .vrdt
+            .read()
+            .pending_shreds()
+            .values()
+            .copied()
+            .collect();
+        let n = pending.len();
+        for state in pending {
+            self.run_shred(state)?;
+            self.stats.resumed_shreds.inc();
+        }
+        Ok(n)
+    }
+
+    /// Compacts the record store: copies live extents into lower free
+    /// space and shreds the vacated originals, reclaiming contiguous room
+    /// at the top of the region. Returns how many extents moved.
+    ///
+    /// Each relocation commits as ONE staged journal transaction — every
+    /// referencing VRD's descriptor swap plus the shred intent for the old
+    /// extent — so a crash either rolls the whole move back (old extent
+    /// still live, leaked copy reclaimed by the next recover) or replays
+    /// it and resumes destroying the vacated bytes. A relocated record's
+    /// old plaintext is exactly as sensitive as its current bytes: leaving
+    /// it unshredded would survive the record's eventual deletion.
+    pub(crate) fn compact_store(&mut self) -> Result<usize, WormError> {
+        // Unique live extents, highest offset first: draining from the
+        // top frees contiguous space at the tail of the region.
+        let mut extents: Vec<RecordDescriptor> = Vec::new();
+        {
+            let vrdt = self.vrdt.read();
+            let mut seen = BTreeSet::new();
+            for vrd in vrdt.iter_active() {
+                for rd in &vrd.rdl {
+                    if seen.insert(rd.offset) {
+                        extents.push(*rd);
+                    }
+                }
+            }
+        }
+        extents.sort_by_key(|rd| std::cmp::Reverse(rd.offset));
+        let mut moved = 0usize;
+        for old in extents {
+            let Some(new_rd) = self.store.relocate_down(&old)? else {
+                continue;
+            };
+            // Rewrite every active VRD referencing the old extent, and
+            // take the first referent's shredder for the vacated bytes.
+            let mut updated: Vec<Vrd> = Vec::new();
+            let mut shredder: Option<Shredder> = None;
+            {
+                let vrdt = self.vrdt.read();
+                for vrd in vrdt.iter_active() {
+                    if vrd.rdl.iter().any(|rd| rd.offset == old.offset) {
+                        shredder.get_or_insert(vrd.attr.shredder);
+                        let mut v = vrd.clone();
+                        for rd in &mut v.rdl {
+                            if rd.offset == old.offset {
+                                *rd = new_rd;
+                            }
+                        }
+                        updated.push(v);
+                    }
+                }
+            }
+            let Some(shredder) = shredder else {
+                // Raced a deletion: nothing references the copy we just
+                // made. Hand the new extent back untouched — the deletion
+                // path owns shredding the original.
+                self.store.release(&new_rd);
+                continue;
+            };
+            let state = ShredState {
+                rd: old,
+                shredder,
+                next_pass: 0,
+            };
+            {
+                let mut vrdt = self.vrdt.write();
+                for v in &updated {
+                    vrdt.stage_replace(v)?;
+                }
+                vrdt.stage_shred_begin(&state)?;
+                vrdt.commit_txn()?;
+            }
+            // The extent moved but the record id did not: repoint the
+            // content-addressed index at the new copy.
+            if let Some(digest) = self.record_hashes.get(&old.id) {
+                self.dedup_index.insert(*digest, new_rd);
+            }
+            self.run_shred(state)?;
+            self.stats.compact_relocations.inc();
+            moved += 1;
+        }
+        Ok(moved)
     }
 
     /// Applies all queued outbox items from the firmware.
@@ -515,7 +648,14 @@ impl<D: BlockDevice> WitnessPlane<D> {
                     // lock is dropped. Readers holding the read lock have
                     // finished their store reads before we got the write
                     // lock; later readers see the deletion proof.
-                    let mut to_shred: Vec<RecordDescriptor> = Vec::new();
+                    //
+                    // The expiration and every shred intent commit as ONE
+                    // staged journal transaction: a crash either rolls the
+                    // whole group back (record still active, nothing
+                    // destroyed) or replays past the commit marker and
+                    // resumes every pending shred — never a deleted record
+                    // whose plaintext quietly survives.
+                    let mut to_shred: Vec<ShredState> = Vec::new();
                     {
                         let mut vrdt = self.vrdt.write();
                         let rdl: Vec<RecordDescriptor> = match vrdt.lookup(proof.sn) {
@@ -532,14 +672,22 @@ impl<D: BlockDevice> WitnessPlane<D> {
                                 if let Some(digest) = self.record_hashes.remove(&rd.id) {
                                     self.dedup_index.remove(&digest);
                                 }
-                                to_shred.push(*rd);
+                                to_shred.push(ShredState {
+                                    rd: *rd,
+                                    shredder,
+                                    next_pass: 0,
+                                });
                             }
                         }
                         self.unaudited.remove(&proof.sn);
-                        vrdt.expire(proof);
+                        vrdt.stage_expire(&proof)?;
+                        for state in &to_shred {
+                            vrdt.stage_shred_begin(state)?;
+                        }
+                        vrdt.commit_txn()?;
                     }
-                    for rd in &to_shred {
-                        self.store.shred(rd, shredder, &mut self.rng)?;
+                    for state in to_shred {
+                        self.run_shred(state)?;
                     }
                     self.stats.deletion_proofs.inc();
                 }
@@ -558,11 +706,11 @@ impl<D: BlockDevice> WitnessPlane<D> {
                         _ => None,
                     };
                     if let Some(updated) = updated {
-                        vrdt.replace(updated);
+                        vrdt.replace(updated)?;
                     }
                 }
-                OutboxItem::NewBase(b) => self.vrdt.write().set_base(b),
-                OutboxItem::NewHead(h) => self.vrdt.write().set_head(h),
+                OutboxItem::NewBase(b) => self.vrdt.write().set_base(b)?,
+                OutboxItem::NewHead(h) => self.vrdt.write().set_head(h)?,
                 OutboxItem::NewWeakKey(cert) => {
                     self.stats.weak_key_rotations.inc();
                     self.weak_certs.push(cert);

@@ -27,7 +27,8 @@ fn build_windowed(windows: usize, run: usize) -> Vrdt {
                 sn: SerialNumber(sn),
                 deleted_at: Timestamp::from_millis(1),
                 sig: sig(1),
-            });
+            })
+            .expect("expire");
             sn += 1;
         }
         t.compact(WindowProof {
@@ -36,7 +37,8 @@ fn build_windowed(windows: usize, run: usize) -> Vrdt {
             hi: SerialNumber(sn - 1),
             lo_sig: sig(2),
             hi_sig: sig(3),
-        });
+        })
+        .expect("compact");
         sn += 1; // gap so windows stay disjoint
     }
     t
@@ -64,7 +66,8 @@ fn bench_expired_run_scan(c: &mut Criterion) {
                 sn: SerialNumber(i * 2), // every other SN: runs of length 1
                 deleted_at: Timestamp::from_millis(1),
                 sig: sig(1),
-            });
+            })
+            .expect("expire");
         }
         group.bench_with_input(BenchmarkId::from_parameter(n), &t, |b, t| {
             b.iter(|| t.expired_runs(3).len());
@@ -85,7 +88,8 @@ fn bench_compaction_throughput(c: &mut Criterion) {
                         sn: SerialNumber(i),
                         deleted_at: Timestamp::from_millis(1),
                         sig: sig(1),
-                    });
+                    })
+                    .expect("expire");
                 }
                 t
             },
@@ -96,7 +100,8 @@ fn bench_compaction_throughput(c: &mut Criterion) {
                     hi: SerialNumber(1000),
                     lo_sig: sig(2),
                     hi_sig: sig(3),
-                });
+                })
+                .expect("compact");
                 assert_eq!(t.resident_entries(), 0);
             },
             criterion::BatchSize::SmallInput,

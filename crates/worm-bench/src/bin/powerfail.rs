@@ -1,0 +1,198 @@
+//! Power-fail torture at benchmark scale.
+//!
+//! Drives `strongworm::powerfail::Torture` over a scenario an order of
+//! magnitude larger than the exhaustive-but-small integration test:
+//! dozens of expiring and surviving records, the full deletion + shred +
+//! compaction lifecycle, and a cut at *every* write boundary in all four
+//! torn-sector styles. Each cut recovers with `recover_durable` and
+//! re-verifies the Theorem 1/2 invariants end-to-end, so a single dirty
+//! recovery fails the run.
+//!
+//! Emits `results/BENCH_powerfail.json` as JSON lines: one row per cut
+//! style plus a summary row carrying the gates —
+//!
+//! * ≥ 1000 distinct cut points explored (the acceptance floor), and
+//! * 100% clean recovery across all of them.
+//!
+//! `--smoke` subsamples the boundary range for CI (same scenario, same
+//! styles, proportionally lower cut-point floor). The process exits
+//! nonzero if any gate fails, so CI can wire the binary in directly.
+
+use std::time::Instant;
+
+use strongworm::powerfail::{Scenario, Torture};
+use worm_bench::{json_record, to_json_lines};
+use wormstore::{CutPlan, CutStyle};
+
+/// One row of `BENCH_powerfail.json`: a per-style sweep or the summary.
+#[derive(Clone, Debug)]
+struct PowerfailPoint {
+    mode: String,
+    cut_points: u64,
+    clean_recoveries: u64,
+    clean_pct: f64,
+    min_recovery_us: f64,
+    mean_recovery_us: f64,
+    max_recovery_us: f64,
+    /// Cut-point floor this run was held to (1000 full, 100 smoke).
+    gate_min_cut_points: u64,
+    /// Both gates: floor reached and 100% clean. Judged on the summary
+    /// row; vacuously true on per-style rows.
+    gate_pass: bool,
+}
+
+json_record!(PowerfailPoint {
+    mode,
+    cut_points,
+    clean_recoveries,
+    clean_pct,
+    min_recovery_us,
+    mean_recovery_us,
+    max_recovery_us,
+    gate_min_cut_points,
+    gate_pass,
+});
+
+/// Per-style accumulator over the sweep.
+#[derive(Default)]
+struct StyleTally {
+    cut_points: u64,
+    clean: u64,
+    min_ns: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl StyleTally {
+    fn record(&mut self, clean: bool, nanos: u64) {
+        self.cut_points += 1;
+        if clean {
+            self.clean += 1;
+            self.min_ns = if self.min_ns == 0 {
+                nanos
+            } else {
+                self.min_ns.min(nanos)
+            };
+            self.sum_ns += nanos;
+            self.max_ns = self.max_ns.max(nanos);
+        }
+    }
+
+    fn point(&self, mode: &str, floor: u64) -> PowerfailPoint {
+        let mean = if self.clean > 0 {
+            self.sum_ns as f64 / self.clean as f64
+        } else {
+            0.0
+        };
+        PowerfailPoint {
+            mode: mode.to_string(),
+            cut_points: self.cut_points,
+            clean_recoveries: self.clean,
+            clean_pct: if self.cut_points > 0 {
+                100.0 * self.clean as f64 / self.cut_points as f64
+            } else {
+                0.0
+            },
+            min_recovery_us: self.min_ns as f64 / 1_000.0,
+            mean_recovery_us: mean / 1_000.0,
+            max_recovery_us: self.max_ns as f64 / 1_000.0,
+            gate_min_cut_points: floor,
+            gate_pass: true,
+        }
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // 1 MiB medium, 256 KiB journal region: room for the large scenario's
+    // journal traffic plus compaction relocations.
+    let rig = Torture::new(1 << 20, 1 << 18);
+    // Sized so the sweep clears the 1000-cut-point floor with ~30%
+    // headroom while a full run stays in low single-digit minutes.
+    let sc = Scenario {
+        victims: 26,
+        keepers: 8,
+        compact: true,
+        tail_writes: 3,
+    };
+    let range = rig.profile(&sc).expect("scenario profiles cleanly");
+    let boundaries = range.last - range.first + 1;
+    // Full runs take every boundary; smoke subsamples down to ~32 while
+    // keeping all four styles per boundary.
+    let stride = if smoke { (boundaries / 32).max(1) } else { 1 };
+    let floor = if smoke { 100 } else { 1_000 };
+    eprintln!(
+        "powerfail: {boundaries} write boundaries x {} styles, stride {stride}",
+        CutStyle::ALL.len()
+    );
+
+    let started = Instant::now();
+    let mut tallies: Vec<(CutStyle, StyleTally)> = CutStyle::ALL
+        .iter()
+        .map(|&s| (s, StyleTally::default()))
+        .collect();
+    let mut failures: Vec<String> = Vec::new();
+    let mut at = range.first;
+    while at <= range.last {
+        for (style, tally) in &mut tallies {
+            let plan = CutPlan {
+                at_write: at,
+                style: *style,
+                seed: 0x5EED ^ at,
+            };
+            match rig.torture(&sc, plan, None) {
+                Ok(out) => tally.record(true, out.recovery_nanos),
+                Err(e) => {
+                    tally.record(false, 0);
+                    failures.push(format!("cut at write {at} ({style}): {e}"));
+                }
+            }
+        }
+        at += stride;
+    }
+
+    let mut total = StyleTally::default();
+    let mut points = Vec::new();
+    for (style, tally) in &tallies {
+        total.cut_points += tally.cut_points;
+        total.clean += tally.clean;
+        total.min_ns = if total.min_ns == 0 {
+            tally.min_ns
+        } else if tally.min_ns > 0 {
+            total.min_ns.min(tally.min_ns)
+        } else {
+            total.min_ns
+        };
+        total.sum_ns += tally.sum_ns;
+        total.max_ns = total.max_ns.max(tally.max_ns);
+        points.push(tally.point(&format!("{style}"), floor));
+    }
+    let all_clean = total.clean == total.cut_points;
+    let mut summary = total.point("summary", floor);
+    summary.gate_pass = all_clean && total.cut_points >= floor;
+    points.push(summary.clone());
+
+    let out = to_json_lines(&points) + "\n";
+    std::fs::write("results/BENCH_powerfail.json", out).expect("write results");
+    println!("wrote results/BENCH_powerfail.json");
+    println!(
+        "{} cut points, {} clean ({:.1}%), mean recovery {:.0} us, in {:.1}s",
+        summary.cut_points,
+        summary.clean_recoveries,
+        summary.clean_pct,
+        summary.mean_recovery_us,
+        started.elapsed().as_secs_f64()
+    );
+    for f in failures.iter().take(10) {
+        eprintln!("FAIL {f}");
+    }
+    if !summary.gate_pass {
+        eprintln!(
+            "GATE FAILED: {} cut points (floor {}), {} dirty recoveries",
+            summary.cut_points,
+            floor,
+            summary.cut_points - summary.clean_recoveries
+        );
+        std::process::exit(1);
+    }
+}

@@ -155,7 +155,7 @@ impl WormFs {
             created_at,
             retention_until,
         };
-        self.journal_entry(&path, &version);
+        self.journal_entry(&path, &version)?;
         let versions = self.namespace.entry(path).or_default();
         versions.push(version);
         Ok(versions.len() - 1)
@@ -378,14 +378,17 @@ impl WormFs {
 
     // --- Namespace index persistence ------------------------------------
 
-    fn journal_entry(&mut self, path: &FsPath, v: &FileVersion) {
+    fn journal_entry(&mut self, path: &FsPath, v: &FileVersion) -> Result<(), FsError> {
         let mut frame = Vec::new();
         frame.extend_from_slice(&v.sn.get().to_be_bytes());
         frame.extend_from_slice(&v.len.to_be_bytes());
         frame.extend_from_slice(&v.created_at.as_millis().to_be_bytes());
         frame.extend_from_slice(&v.retention_until.as_millis().to_be_bytes());
         frame.extend_from_slice(path.as_str().as_bytes());
-        self.index_journal.append(&frame);
+        self.index_journal
+            .append(&frame)
+            .map_err(strongworm::WormError::from)?;
+        Ok(())
     }
 
     /// Raw bytes of the namespace journal (what a host would persist).

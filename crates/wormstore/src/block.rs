@@ -130,6 +130,14 @@ pub enum BlockError {
     },
     /// Underlying OS-level I/O failure (file-backed devices).
     Io(std::io::Error),
+    /// The device lost power mid-operation (fault injection — see
+    /// [`crate::TornDisk`]). Every access fails with this until the
+    /// "host" reboots and revives the device for recovery.
+    PowerLost {
+        /// Which write boundary the cut fired at (1-based count of
+        /// writes issued to the device, including the torn one).
+        at_write: u64,
+    },
 }
 
 impl std::fmt::Display for BlockError {
@@ -139,6 +147,9 @@ impl std::fmt::Display for BlockError {
                 write!(f, "access at {offset} beyond device capacity {capacity}")
             }
             BlockError::Io(e) => write!(f, "i/o failure: {e}"),
+            BlockError::PowerLost { at_write } => {
+                write!(f, "power lost at write boundary {at_write}")
+            }
         }
     }
 }
@@ -235,14 +246,24 @@ impl MemDisk {
         self.data.write()
     }
 
-    fn check(&self, offset: u64, len: usize) -> Result<(), BlockError> {
-        match offset.checked_add(len as u64) {
-            Some(e) if e <= self.capacity => Ok(()),
-            _ => Err(BlockError::OutOfRange {
-                offset,
-                capacity: self.capacity,
-            }),
+    /// Resolves `offset..offset+len` to an in-bounds index range of the
+    /// medium, *fully* validated before any mutation happens: offset
+    /// arithmetic is overflow-checked in `u64`, the end is checked
+    /// against the fixed capacity, and the `usize` conversions are
+    /// checked too (a 32-bit host must not wrap a >4 GiB offset into a
+    /// small index and half-apply an oversized write).
+    fn range(&self, offset: u64, len: usize) -> Result<std::ops::Range<usize>, BlockError> {
+        let oob = || BlockError::OutOfRange {
+            offset,
+            capacity: self.capacity,
+        };
+        let end = offset.checked_add(len as u64).ok_or_else(oob)?;
+        if end > self.capacity {
+            return Err(oob());
         }
+        let start = usize::try_from(offset).map_err(|_| oob())?;
+        let end = usize::try_from(end).map_err(|_| oob())?;
+        Ok(start..end)
     }
 }
 
@@ -252,10 +273,16 @@ impl BlockDevice for MemDisk {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError> {
-        self.check(offset, buf.len())?;
-        let off = offset as usize;
+        let range = self.range(offset, buf.len())?;
         let data = self.data.read();
-        buf.copy_from_slice(&data[off..off + buf.len()]);
+        // The range was validated against the fixed capacity, which
+        // equals the medium length by construction; `get` keeps even a
+        // broken invariant from panicking the serving path.
+        let src = data.get(range).ok_or(BlockError::OutOfRange {
+            offset,
+            capacity: self.capacity,
+        })?;
+        buf.copy_from_slice(src);
         drop(data);
         self.stats
             .record_read(buf.len(), self.profile.cost_ns(buf.len()));
@@ -263,10 +290,15 @@ impl BlockDevice for MemDisk {
     }
 
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), BlockError> {
-        self.check(offset, data.len())?;
-        let off = offset as usize;
+        // Validate the whole range BEFORE taking the write lock: either
+        // every byte of `data` lands on the medium or none does.
+        let range = self.range(offset, data.len())?;
         let mut medium = self.data.write();
-        medium[off..off + data.len()].copy_from_slice(data);
+        let dst = medium.get_mut(range).ok_or(BlockError::OutOfRange {
+            offset,
+            capacity: self.capacity,
+        })?;
+        dst.copy_from_slice(data);
         drop(medium);
         self.stats
             .record_write(data.len(), self.profile.cost_ns(data.len()));
@@ -375,6 +407,106 @@ impl BlockDevice for FileDisk {
     }
 }
 
+/// Shared handles to one device: a durable deployment carves a journal
+/// region and a data region out of the same medium, each behind its own
+/// [`Partition`] over a cloned `Arc` of the device.
+impl<D: BlockDevice + ?Sized> BlockDevice for std::sync::Arc<D> {
+    fn capacity(&self) -> u64 {
+        (**self).capacity()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError> {
+        (**self).read_at(offset, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), BlockError> {
+        (**self).write_at(offset, data)
+    }
+
+    fn stats(&self) -> IoStats {
+        (**self).stats()
+    }
+
+    fn reset_stats(&self) {
+        (**self).reset_stats()
+    }
+}
+
+/// A [`BlockDevice`] view over a byte sub-range of another device.
+///
+/// The durable store layout puts the VRDT journal and the record data on
+/// one medium; each layer sees only its own partition, so a bug in one
+/// cannot scribble over the other and bounds checks stay local. Offsets
+/// are translated by `base`; accesses past `len` fail with the
+/// *partition's* capacity, not the device's.
+#[derive(Clone, Debug)]
+pub struct Partition<D> {
+    inner: D,
+    base: u64,
+    len: u64,
+}
+
+impl<D: BlockDevice> Partition<D> {
+    /// A view of `len` bytes of `inner` starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// [`BlockError::OutOfRange`] if `base + len` exceeds the inner
+    /// device's capacity.
+    pub fn new(inner: D, base: u64, len: u64) -> Result<Self, BlockError> {
+        match base.checked_add(len) {
+            Some(end) if end <= inner.capacity() => Ok(Partition { inner, base, len }),
+            _ => Err(BlockError::OutOfRange {
+                offset: base,
+                capacity: inner.capacity(),
+            }),
+        }
+    }
+
+    /// The underlying device handle.
+    pub fn inner(&self) -> &D {
+        &self.inner
+    }
+
+    fn translate(&self, offset: u64, len: usize) -> Result<u64, BlockError> {
+        let oob = || BlockError::OutOfRange {
+            offset,
+            capacity: self.len,
+        };
+        let end = offset.checked_add(len as u64).ok_or_else(oob)?;
+        if end > self.len {
+            return Err(oob());
+        }
+        // base + end <= base + len <= inner capacity, checked at
+        // construction, so this cannot overflow.
+        Ok(self.base + offset)
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for Partition<D> {
+    fn capacity(&self) -> u64 {
+        self.len
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError> {
+        let at = self.translate(offset, buf.len())?;
+        self.inner.read_at(at, buf)
+    }
+
+    fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), BlockError> {
+        let at = self.translate(offset, data.len())?;
+        self.inner.write_at(at, data)
+    }
+
+    fn stats(&self) -> IoStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats()
+    }
+}
+
 /// Convenience: reads a whole range as [`Bytes`].
 ///
 /// # Errors
@@ -393,6 +525,7 @@ pub fn read_bytes<D: BlockDevice + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn memdisk_roundtrip() {
@@ -452,7 +585,6 @@ mod tests {
 
     #[test]
     fn concurrent_readers_share_a_device() {
-        use std::sync::Arc;
         let d = Arc::new(MemDisk::unmetered(4096));
         d.write_at(0, &[7u8; 4096]).unwrap();
         let handles: Vec<_> = (0..4)
@@ -507,5 +639,56 @@ mod tests {
             capacity: 50,
         };
         assert!(e.to_string().contains("100"));
+        assert!(BlockError::PowerLost { at_write: 7 }
+            .to_string()
+            .contains("7"));
+    }
+
+    #[test]
+    fn oversized_write_mutates_nothing() {
+        // Regression: an out-of-range write must be rejected *before*
+        // any byte lands on the medium — no half-applied prefix.
+        let d = MemDisk::unmetered(16);
+        d.write_at(0, &[0xAA; 16]).unwrap();
+        assert!(d.write_at(8, &[0xBB; 16]).is_err());
+        assert!(d.write_at(8, &[0xBB; 9]).is_err());
+        assert!(d.write_at(u64::MAX - 4, &[0xBB; 8]).is_err()); // offset overflow
+        assert!(
+            d.raw().iter().all(|&b| b == 0xAA),
+            "failed write left partial bytes on the medium"
+        );
+        // Writes also don't count toward stats when rejected.
+        assert_eq!(d.stats().writes, 1);
+    }
+
+    #[test]
+    fn partition_translates_and_bounds() {
+        let d = Arc::new(MemDisk::unmetered(100));
+        let p = Partition::new(Arc::clone(&d), 40, 20).unwrap();
+        assert_eq!(p.capacity(), 20);
+        p.write_at(0, b"edge").unwrap();
+        let mut buf = [0u8; 4];
+        d.read_at(40, &mut buf).unwrap();
+        assert_eq!(&buf, b"edge");
+        // End of partition is fine; one past is not.
+        p.write_at(16, b"tail").unwrap();
+        assert!(matches!(
+            p.write_at(17, b"tail"),
+            Err(BlockError::OutOfRange { capacity: 20, .. })
+        ));
+        assert!(p.write_at(u64::MAX, b"x").is_err());
+        // A partition cannot extend past the device.
+        assert!(Partition::new(Arc::clone(&d), 90, 20).is_err());
+    }
+
+    #[test]
+    fn arc_device_shares_medium() {
+        let d = Arc::new(MemDisk::unmetered(32));
+        let a = Arc::clone(&d);
+        a.write_at(0, b"shared").unwrap();
+        let mut buf = [0u8; 6];
+        d.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf, b"shared");
+        assert_eq!(d.stats().writes, 1);
     }
 }

@@ -25,9 +25,15 @@ mod journal;
 mod record;
 mod shred;
 mod store;
+mod torn;
 
-pub use block::{read_bytes, BlockDevice, BlockError, DiskProfile, FileDisk, IoStats, MemDisk};
-pub use journal::{crc32, Journal, Replay};
+pub use block::{
+    read_bytes, BlockDevice, BlockError, DiskProfile, FileDisk, IoStats, MemDisk, Partition,
+};
+pub use journal::{
+    crc32, DiskJournal, DurableLog, Journal, JournalError, RegionScan, Replay, MAX_ENTRY_LEN,
+};
 pub use record::{RecordDescriptor, RecordId};
 pub use shred::Shredder;
-pub use store::{RecordStore, StoreError};
+pub use store::{RecordStore, StoreError, StoreLifetime};
+pub use torn::{CutPlan, CutStyle, TornDisk};

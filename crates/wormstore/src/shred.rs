@@ -48,27 +48,71 @@ impl Shredder {
         D: BlockDevice + ?Sized,
         R: RngCore + ?Sized,
     {
-        let len = rd.len as usize;
-        match self {
-            Shredder::ZeroFill => {
-                dev.write_at(rd.offset, &vec![0u8; len])?;
-            }
-            Shredder::MultiPass { passes } => {
-                for p in 0..*passes {
-                    let fill = if p % 2 == 0 { 0x00 } else { 0xFF };
-                    dev.write_at(rd.offset, &vec![fill; len])?;
-                }
-                let mut noise = vec![0u8; len];
-                rng.fill_bytes(&mut noise);
-                dev.write_at(rd.offset, &noise)?;
-            }
-            Shredder::RandomPass => {
-                let mut noise = vec![0u8; len];
-                rng.fill_bytes(&mut noise);
-                dev.write_at(rd.offset, &noise)?;
-            }
+        self.shred_from(dev, rd, rng, 0)
+    }
+
+    /// Resumes a shred at pass `start_pass` (0-based), running it and every
+    /// later pass. A crash mid-[`Shredder::MultiPass`] resumes from its
+    /// persisted progress marker instead of restarting, so pass *order*
+    /// (patterns before the final random pass) is preserved across power
+    /// loss.
+    ///
+    /// `start_pass >= pass_count()` is a completed shred: a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn shred_from<D, R>(
+        &self,
+        dev: &D,
+        rd: &RecordDescriptor,
+        rng: &mut R,
+        start_pass: u32,
+    ) -> Result<(), BlockError>
+    where
+        D: BlockDevice + ?Sized,
+        R: RngCore + ?Sized,
+    {
+        for pass in start_pass..self.pass_count() {
+            self.write_pass(dev, rd, rng, pass)?;
         }
         Ok(())
+    }
+
+    /// Performs exactly one overwrite pass (0-based; the caller persists a
+    /// progress marker between passes to make the shred crash-resumable).
+    /// Passes at or beyond [`Shredder::pass_count`] are no-ops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors.
+    pub fn write_pass<D, R>(
+        &self,
+        dev: &D,
+        rd: &RecordDescriptor,
+        rng: &mut R,
+        pass: u32,
+    ) -> Result<(), BlockError>
+    where
+        D: BlockDevice + ?Sized,
+        R: RngCore + ?Sized,
+    {
+        if pass >= self.pass_count() {
+            return Ok(());
+        }
+        let len = rd.len as usize;
+        match self {
+            Shredder::ZeroFill => dev.write_at(rd.offset, &vec![0u8; len]),
+            Shredder::MultiPass { passes } if pass < *passes as u32 => {
+                let fill = if pass.is_multiple_of(2) { 0x00 } else { 0xFF };
+                dev.write_at(rd.offset, &vec![fill; len])
+            }
+            Shredder::MultiPass { .. } | Shredder::RandomPass => {
+                let mut noise = vec![0u8; len];
+                rng.fill_bytes(&mut noise);
+                dev.write_at(rd.offset, &noise)
+            }
+        }
     }
 }
 
@@ -142,6 +186,63 @@ mod tests {
             len: 32,
         };
         assert!(Shredder::ZeroFill.shred(&dev, &rd, &mut rng).is_err());
+    }
+
+    #[test]
+    fn resume_from_every_pass_completes_and_erases() {
+        let s = Shredder::MultiPass { passes: 3 };
+        for start in 0..=s.pass_count() {
+            let (dev, rd, mut rng) = setup();
+            // Crash after `start` passes already ran: perform them, then
+            // resume from the marker.
+            for p in 0..start {
+                s.write_pass(&dev, &rd, &mut rng, p).unwrap();
+            }
+            dev.reset_stats();
+            s.shred_from(&dev, &rd, &mut rng, start).unwrap();
+            assert_eq!(
+                dev.stats().writes,
+                (s.pass_count() - start) as u64,
+                "resume from pass {start} must run exactly the remaining passes"
+            );
+            if start < s.pass_count() {
+                assert_ne!(
+                    &dev.raw()[64..96],
+                    b"highly sensitive compliance data",
+                    "resumed shred (from {start}) left plaintext"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pass_beyond_count_is_noop() {
+        let (dev, rd, mut rng) = setup();
+        dev.reset_stats();
+        Shredder::ZeroFill
+            .write_pass(&dev, &rd, &mut rng, 7)
+            .unwrap();
+        Shredder::ZeroFill
+            .shred_from(&dev, &rd, &mut rng, 1)
+            .unwrap();
+        assert_eq!(dev.stats().writes, 0);
+        assert_eq!(&dev.raw()[64..96], b"highly sensitive compliance data");
+    }
+
+    #[test]
+    fn multipass_pass_order_is_stable_across_resume() {
+        // Pass 1 of MultiPass{2} is the 0xFF pattern whether run inline or
+        // resumed — order, not just count, survives the crash.
+        let s = Shredder::MultiPass { passes: 2 };
+        let (dev, rd, mut rng) = setup();
+        s.write_pass(&dev, &rd, &mut rng, 0).unwrap();
+        s.write_pass(&dev, &rd, &mut rng, 1).unwrap();
+        assert!(dev.raw()[64..96].iter().all(|&b| b == 0xFF));
+        let (dev2, rd2, mut rng2) = setup();
+        s.write_pass(&dev2, &rd2, &mut rng2, 0).unwrap();
+        // "crash" — resume from pass 1.
+        s.shred_from(&dev2, &rd2, &mut rng2, 1).unwrap();
+        assert!(dev2.raw()[64..96].iter().any(|&b| b != 0));
     }
 
     #[test]

@@ -31,6 +31,17 @@ pub enum StoreError {
     },
     /// Underlying device failure.
     Device(BlockError),
+    /// Recovery was handed a descriptor set that cannot describe live
+    /// records on this device (overlap or out of capacity) — the
+    /// descriptor source (the VRDT) and the medium disagree.
+    InvalidDescriptor {
+        /// Record id of the offending descriptor.
+        id: u64,
+        /// Claimed extent offset.
+        offset: u64,
+        /// Claimed extent length.
+        len: u64,
+    },
 }
 
 impl std::fmt::Display for StoreError {
@@ -44,6 +55,10 @@ impl std::fmt::Display for StoreError {
                 "out of space: requested {requested} bytes, largest free extent {largest_free}"
             ),
             StoreError::Device(e) => write!(f, "device failure: {e}"),
+            StoreError::InvalidDescriptor { id, offset, len } => write!(
+                f,
+                "invalid descriptor at recovery: record {id} claims [{offset}, +{len})"
+            ),
         }
     }
 }
@@ -63,6 +78,30 @@ impl From<BlockError> for StoreError {
     }
 }
 
+/// Cumulative byte/record accounting over a store's life — how much work
+/// the medium has absorbed, how much was destroyed, and how much
+/// compaction moved. Survives recovery only as far as the caller re-seeds
+/// it; a fresh [`RecordStore::recover`] starts the clock at the recovered
+/// state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreLifetime {
+    /// Bytes written as new records.
+    pub bytes_written: u64,
+    /// Records written.
+    pub records_written: u64,
+    /// Bytes destroyed by shredding.
+    pub bytes_shredded: u64,
+    /// Records destroyed by shredding.
+    pub records_shredded: u64,
+    /// Bytes copied by compaction relocations.
+    pub bytes_relocated: u64,
+    /// Compaction relocations performed.
+    pub relocations: u64,
+    /// Bytes returned to the allocator (shredded extents, rolled-back or
+    /// leaked extents reclaimed at recovery, vacated relocation sources).
+    pub bytes_reclaimed: u64,
+}
+
 /// Allocator bookkeeping, guarded as one unit so an allocation decision
 /// and its watermark/free-list update are atomic.
 #[derive(Debug)]
@@ -72,6 +111,9 @@ struct AllocState {
     watermark: u64,
     /// Recycled extents `(offset, len)`, kept sorted by offset.
     free_list: Vec<(u64, u64)>,
+    /// Lifetime accounting, under the same lock as the decisions it
+    /// tallies.
+    lifetime: StoreLifetime,
 }
 
 impl AllocState {
@@ -114,6 +156,7 @@ impl AllocState {
         if len == 0 {
             return;
         }
+        self.lifetime.bytes_reclaimed += len;
         // Insert sorted and coalesce with neighbours.
         let pos = self.free_list.partition_point(|&(off, _)| off < offset);
         self.free_list.insert(pos, (offset, len));
@@ -133,6 +176,21 @@ impl AllocState {
             if poff + pl == off {
                 self.free_list[pos - 1] = (poff, pl + l);
                 self.free_list.remove(pos);
+            }
+        }
+        self.trim_watermark();
+    }
+
+    /// Returns freed space touching the bump pointer to the bump region,
+    /// so compaction that vacates the top of the store actually lowers
+    /// the high-water mark.
+    fn trim_watermark(&mut self) {
+        while let Some(&(off, len)) = self.free_list.last() {
+            if off + len == self.watermark {
+                self.watermark = off;
+                self.free_list.pop();
+            } else {
+                break;
             }
         }
     }
@@ -157,8 +215,77 @@ impl<D: BlockDevice> RecordStore<D> {
                 next_id: 1,
                 watermark: 0,
                 free_list: Vec::new(),
+                lifetime: StoreLifetime::default(),
             }),
         }
+    }
+
+    /// Rebuilds a store around a crashed medium from the authoritative
+    /// descriptor set the recovered VRDT reports.
+    ///
+    /// `live` are the extents that must survive; `reserved` are extents
+    /// that are *not* readable records but must not be reallocated yet
+    /// (pending shreds still owed their remaining passes). Everything
+    /// else below the rebuilt watermark — leaked pre-commit data writes,
+    /// vacated compaction sources, rolled-back transaction extents — is
+    /// reclaimed onto the free list. This is the paper's commitment rule
+    /// made operational: only descriptors the journal committed define
+    /// occupied space.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::InvalidDescriptor`] when the set overlaps itself or
+    /// falls outside the device.
+    pub fn recover(
+        dev: D,
+        live: &[RecordDescriptor],
+        reserved: &[RecordDescriptor],
+    ) -> Result<Self, StoreError> {
+        let capacity = dev.capacity();
+        let mut extents: Vec<&RecordDescriptor> = live.iter().chain(reserved.iter()).collect();
+        extents.sort_by_key(|rd| (rd.offset, rd.len));
+        let mut next_id = 1u64;
+        let mut watermark = 0u64;
+        let mut free_list = Vec::new();
+        let mut cursor = 0u64;
+        let mut reclaimed = 0u64;
+        for rd in extents {
+            let bad = || StoreError::InvalidDescriptor {
+                id: rd.id.0,
+                offset: rd.offset,
+                len: rd.len,
+            };
+            let end = rd.offset.checked_add(rd.len).ok_or_else(bad)?;
+            if end > capacity {
+                return Err(bad());
+            }
+            next_id = next_id.max(rd.id.0.saturating_add(1));
+            if rd.len == 0 {
+                continue;
+            }
+            if rd.offset < cursor {
+                return Err(bad()); // overlap with the previous extent
+            }
+            if rd.offset > cursor {
+                free_list.push((cursor, rd.offset - cursor));
+                reclaimed += rd.offset - cursor;
+            }
+            cursor = end;
+            watermark = end;
+        }
+        let lifetime = StoreLifetime {
+            bytes_reclaimed: reclaimed,
+            ..StoreLifetime::default()
+        };
+        Ok(RecordStore {
+            dev,
+            alloc: Mutex::new(AllocState {
+                next_id,
+                watermark,
+                free_list,
+                lifetime,
+            }),
+        })
     }
 
     /// The underlying device (e.g., for I/O statistics).
@@ -200,6 +327,11 @@ impl<D: BlockDevice> RecordStore<D> {
             (offset, id)
         };
         self.dev.write_at(offset, data)?;
+        {
+            let mut alloc = self.alloc.lock();
+            alloc.lifetime.bytes_written += len;
+            alloc.lifetime.records_written += 1;
+        }
         Ok(RecordDescriptor { id, offset, len })
     }
 
@@ -237,13 +369,132 @@ impl<D: BlockDevice> RecordStore<D> {
         let result = shredder.shred(&self.dev, rd, rng).map_err(StoreError::from);
         wormtrace::span::finish(span, result.is_ok(), None);
         result?;
-        self.alloc.lock().release(rd.offset, rd.len);
+        let mut alloc = self.alloc.lock();
+        alloc.lifetime.bytes_shredded += rd.len;
+        alloc.lifetime.records_shredded += 1;
+        alloc.release(rd.offset, rd.len);
         Ok(())
+    }
+
+    /// Returns an extent to the allocator without touching its bytes.
+    ///
+    /// Used by the crash-safe deletion protocol, where the overwrite
+    /// passes and the release are separate journaled steps: the extent is
+    /// released only after the `shred-done` marker committed, and by a
+    /// compaction that vacates a relocation source after its `replace`
+    /// record committed.
+    pub fn release(&self, rd: &RecordDescriptor) {
+        self.alloc.lock().release(rd.offset, rd.len);
+    }
+
+    /// Records that `rd`'s bytes were destroyed by externally driven
+    /// overwrite passes (the journaled shred protocol drives
+    /// [`crate::Shredder::write_pass`] itself so it can persist progress
+    /// markers between passes).
+    pub fn note_shredded(&self, rd: &RecordDescriptor) {
+        let mut alloc = self.alloc.lock();
+        alloc.lifetime.bytes_shredded += rd.len;
+        alloc.lifetime.records_shredded += 1;
+    }
+
+    /// Zeroes every free-list extent on the medium, returning the bytes
+    /// scrubbed.
+    ///
+    /// Crash recovery reclaims extents the journal never committed —
+    /// rolled-back transaction data, leaked relocation copies — onto the
+    /// free list, but reclaiming is bookkeeping only: the *bytes* of a
+    /// live record's abandoned copy would otherwise survive until some
+    /// future write happens to land there, outliving even the record's
+    /// eventual shred. Scrubbing after [`RecordStore::recover`] restores
+    /// the invariant that plaintext exists only inside live extents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (a partially scrubbed free list is safe
+    /// to re-scrub).
+    pub fn scrub_free(&self) -> Result<u64, StoreError> {
+        let extents: Vec<(u64, u64)> = self.alloc.lock().free_list.clone();
+        let mut scrubbed = 0u64;
+        for (offset, len) in extents {
+            self.dev.write_at(offset, &vec![0u8; len as usize])?;
+            scrubbed += len;
+        }
+        Ok(scrubbed)
+    }
+
+    /// Copies a live record into the lowest free extent below its current
+    /// offset, returning the new descriptor (same id and length). Returns
+    /// `Ok(None)` when no strictly lower free extent fits.
+    ///
+    /// The source extent is *not* released — the caller does that once
+    /// the descriptor replacement has durably committed, so a crash
+    /// between copy and commit merely leaks the copy (reclaimed by the
+    /// next [`RecordStore::recover`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from the copy.
+    pub fn relocate_down(
+        &self,
+        rd: &RecordDescriptor,
+    ) -> Result<Option<RecordDescriptor>, StoreError> {
+        if rd.len == 0 {
+            return Ok(None);
+        }
+        let target = {
+            let mut alloc = self.alloc.lock();
+            let slot = alloc
+                .free_list
+                .iter()
+                .position(|&(off, flen)| off < rd.offset && flen >= rd.len);
+            match slot {
+                None => return Ok(None),
+                Some(i) => {
+                    let (off, flen) = alloc.free_list[i];
+                    if flen == rd.len {
+                        alloc.free_list.remove(i);
+                    } else {
+                        alloc.free_list[i] = (off + rd.len, flen - rd.len);
+                    }
+                    off
+                }
+            }
+        };
+        let copy = (|| {
+            let mut buf = vec![0u8; rd.len as usize];
+            self.dev.read_at(rd.offset, &mut buf)?;
+            self.dev.write_at(target, &buf)
+        })();
+        let mut alloc = self.alloc.lock();
+        if let Err(e) = copy {
+            // Hand the slot back; the medium may hold a torn copy but the
+            // extent is free space either way.
+            alloc.release(target, rd.len);
+            return Err(e.into());
+        }
+        alloc.lifetime.bytes_relocated += rd.len;
+        alloc.lifetime.relocations += 1;
+        Ok(Some(RecordDescriptor {
+            id: rd.id,
+            offset: target,
+            len: rd.len,
+        }))
+    }
+
+    /// Lifetime accounting snapshot.
+    pub fn lifetime(&self) -> StoreLifetime {
+        self.alloc.lock().lifetime
     }
 
     /// Number of entries on the free list (for fragmentation diagnostics).
     pub fn free_extents(&self) -> usize {
         self.alloc.lock().free_list.len()
+    }
+
+    /// Total free-list bytes (excludes the untouched region past the
+    /// watermark).
+    pub fn free_bytes(&self) -> u64 {
+        self.alloc.lock().free_list.iter().map(|&(_, l)| l).sum()
     }
 }
 
@@ -280,6 +531,36 @@ mod tests {
             }) => {}
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn scrub_free_zeroes_reclaimed_gaps() {
+        let dev = MemDisk::unmetered(64);
+        // A leaked (uncommitted) extent full of plaintext sits between
+        // two live records after a crash.
+        dev.write_at(0, b"live-one").unwrap();
+        dev.write_at(8, b"LEAKED-PLAINTEXT").unwrap();
+        dev.write_at(24, b"live-two").unwrap();
+        let live = [
+            RecordDescriptor {
+                id: RecordId(1),
+                offset: 0,
+                len: 8,
+            },
+            RecordDescriptor {
+                id: RecordId(2),
+                offset: 24,
+                len: 8,
+            },
+        ];
+        let s = RecordStore::recover(dev, &live, &[]).unwrap();
+        assert_eq!(s.scrub_free().unwrap(), 16);
+        let mut gap = [0u8; 16];
+        s.device().read_at(8, &mut gap).unwrap();
+        assert_eq!(gap, [0u8; 16], "reclaimed gap must be zeroed");
+        // Live extents are untouched.
+        assert_eq!(&s.read(&live[0]).unwrap()[..], b"live-one");
+        assert_eq!(&s.read(&live[1]).unwrap()[..], b"live-two");
     }
 
     #[test]
@@ -361,6 +642,127 @@ mod tests {
                 assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
             }
         }
+    }
+
+    #[test]
+    fn recover_reclaims_gaps_and_preserves_live_extents() {
+        let dev = MemDisk::unmetered(256);
+        dev.write_at(32, b"live-one").unwrap();
+        dev.write_at(96, b"live-two").unwrap();
+        let live = [
+            RecordDescriptor {
+                id: RecordId(3),
+                offset: 32,
+                len: 8,
+            },
+            RecordDescriptor {
+                id: RecordId(7),
+                offset: 96,
+                len: 8,
+            },
+        ];
+        let s = RecordStore::recover(dev, &live, &[]).unwrap();
+        // Gaps [0,32) and [40,96) are free; watermark sits at 104.
+        assert_eq!(s.watermark(), 104);
+        assert_eq!(s.free_extents(), 2);
+        assert_eq!(s.free_bytes(), 32 + 56);
+        assert_eq!(s.lifetime().bytes_reclaimed, 88);
+        // Live bytes readable; new writes land in reclaimed space and ids
+        // never collide with recovered ones.
+        assert_eq!(&s.read(&live[0]).unwrap()[..], b"live-one");
+        let new = s.write(b"post-crash").unwrap();
+        assert!(new.id.0 > 7);
+        assert_eq!(new.offset, 0);
+        assert!(!new.overlaps(&live[0]) && !new.overlaps(&live[1]));
+    }
+
+    #[test]
+    fn recover_reserves_pending_shred_extents() {
+        let dev = MemDisk::unmetered(64);
+        let live = [RecordDescriptor {
+            id: RecordId(1),
+            offset: 0,
+            len: 16,
+        }];
+        let pending = [RecordDescriptor {
+            id: RecordId(2),
+            offset: 16,
+            len: 16,
+        }];
+        let s = RecordStore::recover(dev, &live, &pending).unwrap();
+        // The pending-shred extent must not be handed out.
+        let rd = s.write(&[1u8; 16]).unwrap();
+        assert_eq!(rd.offset, 32);
+        // Once the shred completes, the caller releases it explicitly.
+        s.release(&pending[0]);
+        let rd2 = s.write(&[2u8; 16]).unwrap();
+        assert_eq!(rd2.offset, 16);
+    }
+
+    #[test]
+    fn recover_rejects_overlap_and_out_of_capacity() {
+        let dev = MemDisk::unmetered(64);
+        let overlapping = [
+            RecordDescriptor {
+                id: RecordId(1),
+                offset: 0,
+                len: 16,
+            },
+            RecordDescriptor {
+                id: RecordId(2),
+                offset: 8,
+                len: 16,
+            },
+        ];
+        assert!(matches!(
+            RecordStore::recover(MemDisk::unmetered(64), &overlapping, &[]),
+            Err(StoreError::InvalidDescriptor { id: 2, .. })
+        ));
+        let oob = [RecordDescriptor {
+            id: RecordId(1),
+            offset: 60,
+            len: 16,
+        }];
+        assert!(matches!(
+            RecordStore::recover(dev, &oob, &[]),
+            Err(StoreError::InvalidDescriptor { id: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn relocate_down_moves_into_lowest_hole_keeping_id() {
+        let s = store(128);
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = s.write(&[1u8; 32]).unwrap();
+        let b = s.write(&[2u8; 32]).unwrap();
+        s.shred(&a, Shredder::ZeroFill, &mut rng).unwrap();
+        // `b` sits at 32..64 with a 32-byte hole below it.
+        let moved = s.relocate_down(&b).unwrap().expect("hole fits");
+        assert_eq!(moved.id, b.id);
+        assert_eq!(moved.offset, 0);
+        assert_eq!(&s.read(&moved).unwrap()[..], &[2u8; 32][..]);
+        // Caller releases the vacated source after committing.
+        s.release(&b);
+        assert_eq!(s.watermark(), 32, "vacating the top trims the watermark");
+        assert_eq!(s.lifetime().relocations, 1);
+        assert_eq!(s.lifetime().bytes_relocated, 32);
+        // Nothing lower available now: no-op.
+        assert!(s.relocate_down(&moved).unwrap().is_none());
+    }
+
+    #[test]
+    fn lifetime_counters_track_writes_and_shreds() {
+        let s = store(128);
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = s.write(&[1u8; 10]).unwrap();
+        s.write(&[2u8; 20]).unwrap();
+        s.shred(&a, Shredder::ZeroFill, &mut rng).unwrap();
+        let lt = s.lifetime();
+        assert_eq!(lt.records_written, 2);
+        assert_eq!(lt.bytes_written, 30);
+        assert_eq!(lt.records_shredded, 1);
+        assert_eq!(lt.bytes_shredded, 10);
+        assert_eq!(lt.bytes_reclaimed, 10);
     }
 
     #[test]

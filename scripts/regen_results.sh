@@ -51,6 +51,19 @@ cargo run --release -q -p worm-bench --bin net_throughput > /dev/null
 echo ">> shard_scaling"
 cargo run --release -q -p worm-bench --bin shard_scaling > /dev/null
 
+# Writes results/BENCH_powerfail.json itself: the benchmark-scale
+# power-fail sweep — a cut at every write boundary of a full record
+# lifecycle (writes, deletions, shredding, compaction) in all four
+# torn-sector styles, each recovered and re-verified. Gates on >=1000
+# distinct cut points with 100% clean recovery and exits nonzero
+# otherwise. --quick subsamples boundaries (same gate shape, lower floor).
+echo ">> powerfail"
+if [[ "${1:-}" == "--quick" ]]; then
+  cargo run --release -q -p worm-bench --bin powerfail -- --smoke > /dev/null
+else
+  cargo run --release -q -p worm-bench --bin powerfail > /dev/null
+fi
+
 # Writes results/BENCH_observability.json itself: wormtrace
 # instrumentation overhead on the read path, enabled vs kill-switched.
 echo ">> observability"

@@ -7,10 +7,13 @@ mod common;
 
 use std::time::Duration;
 
+use std::sync::Arc;
+
 use common::{regulator, server, short_policy, verifier};
-use scpu::Clock;
-use strongworm::{ReadVerdict, SerialNumber, WormConfig, WormServer};
-use wormstore::Journal;
+use scpu::{Clock, VirtualClock};
+use strongworm::powerfail::{is_power_cut, TornMedium, TornServer};
+use strongworm::{ReadVerdict, SerialNumber, Verifier, WormConfig, WormServer};
+use wormstore::{CutPlan, CutStyle, Journal, MemDisk, TornDisk};
 
 /// Crash the host and bring it back from the surviving parts.
 fn crash_and_resume(
@@ -192,6 +195,252 @@ fn dedup_index_rebuilds_after_crash() {
     assert!(
         growth < shared.len() as u64,
         "dedup must survive recovery (grew {growth} bytes)"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Exact-count counter assertions on the durable (on-disk journal) path,
+// with power cuts injected at precise write boundaries via `TornDisk`.
+// Unlike the torture sweep (which asserts the Theorem 1/2 invariants),
+// these pin the *accounting*: each recovery reports exactly what the cut
+// destroyed — nothing more, nothing less.
+// ---------------------------------------------------------------------------
+
+const TORN_CAP: usize = 1 << 17;
+const TORN_JOURNAL: u64 = 1 << 15;
+
+/// Boots a durable server on a fresh torn medium with one long-lived
+/// anchor record already committed.
+fn anchor_rig() -> (TornServer, TornMedium, Arc<VirtualClock>) {
+    let clock = VirtualClock::starting_at_millis(1_000_000);
+    let dev = TornDisk::new(MemDisk::unmetered(TORN_CAP));
+    let srv = TornServer::with_durable(
+        dev.clone(),
+        TORN_JOURNAL,
+        WormConfig::test_small(),
+        clock.clone(),
+        regulator().public(),
+    )
+    .expect("durable boot");
+    srv.write(&[b"anchor"], short_policy(1_000_000))
+        .expect("anchor");
+    (srv, dev, clock)
+}
+
+/// `anchor_rig` plus a victim record with 100-second retention.
+fn victim_rig() -> (TornServer, TornMedium, Arc<VirtualClock>) {
+    let (srv, dev, clock) = anchor_rig();
+    srv.write(&[b"doomed victim"], short_policy(100))
+        .expect("victim");
+    (srv, dev, clock)
+}
+
+/// The write-index window (exclusive start, inclusive end) spanned by the
+/// expiry tick that deletes and shreds the victim.
+fn tick_window() -> (u64, u64) {
+    let (srv, dev, clock) = victim_rig();
+    clock.advance(Duration::from_secs(150));
+    let before = dev.writes_seen();
+    srv.tick().expect("clean tick");
+    (before, dev.writes_seen())
+}
+
+/// Replays the deterministic victim scenario with `plan` armed over the
+/// expiry tick, then revives the medium and recovers.
+fn cut_tick_and_recover(plan: CutPlan) -> (TornServer, Arc<VirtualClock>) {
+    let (srv, dev, clock) = victim_rig();
+    clock.advance(Duration::from_secs(150));
+    dev.arm(plan);
+    if let Err(e) = srv.tick() {
+        assert!(is_power_cut(&e), "unexpected tick failure: {e}");
+    }
+    let (device, _, _) = srv.into_parts();
+    dev.revive();
+    let srv = TornServer::recover_durable(
+        dev,
+        TORN_JOURNAL,
+        device,
+        WormConfig::test_small(),
+        clock.clone(),
+    )
+    .map_err(|(e, _)| e)
+    .expect("recovery succeeds");
+    (srv, clock)
+}
+
+#[test]
+fn deletion_txn_counters_are_exact_at_every_cut_point() {
+    let (w0, w1) = tick_window();
+    assert!(w1 > w0, "the expiry tick must hit the disk");
+    let mut rolled = Vec::new();
+    let mut resumed = Vec::new();
+    for at in (w0 + 1)..=w1 {
+        let (srv, _clock) = cut_tick_and_recover(CutPlan {
+            at_write: at,
+            style: CutStyle::Drop,
+            seed: 0xC0DE ^ at,
+        });
+        let stats = srv.stats_snapshot();
+        rolled.push(stats.counter("recovery.rolled_back"));
+        resumed.push(stats.counter("recovery.resumed_shreds"));
+        // A dropped write never tears a frame: the journal always ends
+        // on a clean boundary.
+        assert_eq!(stats.counter("recovery.torn_tail"), 0, "cut at {at}");
+        // Whatever the cut point, recovery itself converges: the anchor
+        // is intact, and the victim's deletion — rolled back and then
+        // re-driven by the monitor, or rolled forward and resumed — is
+        // complete before the server accepts traffic.
+        assert_eq!(
+            srv.read(SerialNumber(1)).unwrap().kind(),
+            "data",
+            "cut at {at}"
+        );
+        assert_eq!(
+            srv.read(SerialNumber(2)).unwrap().kind(),
+            "deleted",
+            "cut at {at}"
+        );
+    }
+    // The deletion transaction stages exactly two frames (expire +
+    // shred-begin) before its commit marker, so the sweep sees an exact
+    // staircase: one boundary catches one staged frame, the next catches
+    // both, and everywhere else the journal is transactionally clean.
+    let c = rolled
+        .iter()
+        .position(|&r| r == 2)
+        .unwrap_or_else(|| panic!("no cut rolled back the full txn: {rolled:?}"));
+    let mut want = vec![0u64; rolled.len()];
+    want[c - 1] = 1;
+    want[c] = 2;
+    assert_eq!(rolled, want, "rolled_back staircase");
+    // Once the commit marker lands, rollback is off the table and the
+    // pending shred resumes instead: one pass write, one pass marker,
+    // one done marker — exactly three boundaries with a shred to resume.
+    let mut want = vec![0u64; resumed.len()];
+    for slot in want.iter_mut().skip(c + 1).take(3) {
+        *slot = 1;
+    }
+    assert_eq!(resumed, want, "resumed_shreds run");
+}
+
+#[test]
+fn torn_tail_counter_is_exact_under_injected_cuts() {
+    // Profile the victim write: its final device write is the record's
+    // VRD journal frame (data extents land first, the frame seals them).
+    let (srv, dev, _clock) = anchor_rig();
+    srv.write(&[b"doomed victim"], short_policy(100))
+        .expect("victim");
+    let frame_at = dev.writes_seen();
+
+    let mut replayed = Vec::new();
+    for (style, want_torn) in [(CutStyle::Garbage, 1), (CutStyle::Drop, 0)] {
+        let (srv, dev, clock) = anchor_rig();
+        dev.arm(CutPlan {
+            at_write: frame_at,
+            style,
+            seed: 0x7EA2,
+        });
+        let err = srv
+            .write(&[b"doomed victim"], short_policy(100))
+            .expect_err("the armed cut fires inside the write");
+        assert!(is_power_cut(&err), "unexpected write failure: {err}");
+        let (device, _, _) = srv.into_parts();
+        dev.revive();
+        let srv =
+            TornServer::recover_durable(dev, TORN_JOURNAL, device, WormConfig::test_small(), clock)
+                .map_err(|(e, _)| e)
+                .expect("recovery succeeds");
+        let stats = srv.stats_snapshot();
+        // Garbage in the frame's sectors is a detectable torn tail;
+        // a dropped frame is a clean boundary. Exactly one or zero —
+        // never more, no matter the style.
+        assert_eq!(stats.counter("recovery.torn_tail"), want_torn, "{style}");
+        assert_eq!(stats.counter("recovery.rolled_back"), 0, "no txn open");
+        replayed.push(stats.counter("recovery.replayed"));
+        assert_eq!(srv.read(SerialNumber(1)).unwrap().kind(), "data");
+    }
+    // Both recoveries replay the identical committed prefix: the torn
+    // frame contributes nothing, exactly like the missing one.
+    assert_eq!(replayed[0], replayed[1], "committed prefix must agree");
+}
+
+#[test]
+fn rollback_counts_repeat_exactly_when_recovery_itself_crashes() {
+    // Locate the commit-marker boundary: the unique cut that leaves both
+    // staged frames on disk with no commit marker.
+    let (w0, w1) = tick_window();
+    let mut commit_at = None;
+    for at in (w0 + 1)..=w1 {
+        let (srv, _clock) = cut_tick_and_recover(CutPlan {
+            at_write: at,
+            style: CutStyle::Drop,
+            seed: 0xBEEF ^ at,
+        });
+        if srv.stats_snapshot().counter("recovery.rolled_back") == 2 {
+            commit_at = Some(at);
+            break;
+        }
+    }
+    let commit_at = commit_at.expect("commit boundary exists in the window");
+
+    // First cut: drop the commit marker mid-deletion-transaction.
+    let (srv, dev, clock) = victim_rig();
+    clock.advance(Duration::from_secs(150));
+    dev.arm(CutPlan {
+        at_write: commit_at,
+        style: CutStyle::Drop,
+        seed: 1,
+    });
+    let err = srv.tick().expect_err("the armed cut fires inside the tick");
+    assert!(is_power_cut(&err), "unexpected tick failure: {err}");
+    let (device, _, _) = srv.into_parts();
+
+    // Second cut: kill recovery on its very first device write — the
+    // journal-tail erase that would have made the rollback durable.
+    dev.revive();
+    dev.arm(CutPlan {
+        at_write: 1,
+        style: CutStyle::Drop,
+        seed: 2,
+    });
+    let device = match TornServer::recover_durable(
+        dev.clone(),
+        TORN_JOURNAL,
+        device,
+        WormConfig::test_small(),
+        clock.clone(),
+    ) {
+        Ok(_) => panic!("recovery must hit the armed cut"),
+        Err((e, device)) => {
+            assert!(is_power_cut(&e), "unexpected recovery failure: {e}");
+            device
+        }
+    };
+
+    // The rollback never became durable, so the second recovery sees the
+    // SAME two staged frames and reports rolling them back again —
+    // exactly two, exactly like the first attempt would have.
+    dev.revive();
+    let srv = TornServer::recover_durable(
+        dev,
+        TORN_JOURNAL,
+        device,
+        WormConfig::test_small(),
+        clock.clone(),
+    )
+    .map_err(|(e, _)| e)
+    .expect("second recovery succeeds");
+    let stats = srv.stats_snapshot();
+    assert_eq!(stats.counter("recovery.rolled_back"), 2);
+    assert_eq!(stats.counter("recovery.torn_tail"), 0);
+    // And it converges: the monitor re-drives the deletion during
+    // recovery, and the anchor still verifies end-to-end.
+    assert_eq!(srv.read(SerialNumber(2)).unwrap().kind(), "deleted");
+    let v = Verifier::new(srv.keys(), Duration::from_secs(300), clock).expect("verifier");
+    let sn = SerialNumber(1);
+    assert_eq!(
+        v.verify_read(sn, &srv.read(sn).unwrap()).unwrap(),
+        ReadVerdict::Intact { sn }
     );
 }
 

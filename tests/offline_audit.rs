@@ -93,7 +93,7 @@ fn audit_pinpoints_dropped_entries_as_holes() {
     for (i, frame) in original.replay().enumerate() {
         // Frame 3 is sn 2's insert (boot writes head+base first).
         if i != 3 {
-            filtered.append(&frame);
+            filtered.append(&frame).expect("append");
         }
     }
     let (_vrdt, store) = srv.parts_mut_for_attack();
