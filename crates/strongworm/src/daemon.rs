@@ -146,6 +146,16 @@ impl RetentionDaemon {
                                 && streak >= config.max_consecutive_failures
                             {
                                 failures_gauge.set(streak as u64);
+                                // Retention enforcement stopping is an
+                                // integrity event: the registry sink
+                                // promotes this into the audit chain.
+                                trace.emit(wormtrace::TraceEvent {
+                                    op: "daemon.giveup",
+                                    plane: wormtrace::Plane::Daemon,
+                                    sn: None,
+                                    duration_ns: 0,
+                                    ok: false,
+                                });
                                 return Err(e);
                             }
                             // Bounded exponential backoff: double the

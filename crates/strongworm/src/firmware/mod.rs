@@ -183,6 +183,16 @@ pub enum WormRequest {
         /// SHA-256 over the canonical per-shard head encodings.
         root: Vec<u8>,
     },
+    /// Signs an audit-chain anchor: "audit event `seq` had chain hash
+    /// `chain_hash` at trusted time t". The SCPU stamps the issue time
+    /// itself, so the host cannot back- or forward-date the statement;
+    /// the audit journal thereby inherits the device's tamper evidence.
+    SignAuditAnchor {
+        /// Sequence number of the chain tip being anchored.
+        seq: u64,
+        /// SHA-256 chain hash of that event.
+        chain_hash: Vec<u8>,
+    },
     /// Requests a signed deleted-window pair over `[lo, hi]` (§4.2.1).
     CompactWindow {
         /// First SN of the expired segment.
@@ -257,6 +267,8 @@ pub enum WormResponse {
     Composite(CompositeBinding),
     /// Signed deleted-window pair.
     Window(WindowProof),
+    /// SCPU-signed audit-chain anchor.
+    AuditAnchor(wormaudit::AuditAnchor),
     /// Litigation hold/release applied: updated attributes and metasig.
     AttrUpdated {
         /// New attributes (hold set or cleared).
@@ -394,6 +406,9 @@ impl WormFirmware {
             WormRequest::SignComposite { shard_count, root } => self
                 .sign_composite(env, shard_count, root)
                 .map(WormResponse::Composite),
+            WormRequest::SignAuditAnchor { seq, chain_hash } => self
+                .sign_audit_anchor(env, seq, chain_hash)
+                .map(WormResponse::AuditAnchor),
             WormRequest::CompactWindow { lo, hi } => self.compact_window(env, lo, hi),
             WormRequest::LitHold {
                 attr,
@@ -436,6 +451,7 @@ impl Applet for WormFirmware {
             WormRequest::RefreshHead => "scpu.refresh_head",
             WormRequest::RefreshBase => "scpu.refresh_base",
             WormRequest::SignComposite { .. } => "scpu.sign_composite",
+            WormRequest::SignAuditAnchor { .. } => "scpu.sign_audit_anchor",
             WormRequest::CompactWindow { .. } => "scpu.compact_window",
             WormRequest::LitHold { .. } => "scpu.lit_hold",
             WormRequest::LitRelease { .. } => "scpu.lit_release",

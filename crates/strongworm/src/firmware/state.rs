@@ -233,6 +233,41 @@ impl WormFirmware {
         })
     }
 
+    /// Signs an audit-chain anchor over `(seq, chain_hash)` with the
+    /// permanent key `s`, stamping the trusted issue time itself. The
+    /// payload is domain-separated (`wormaudit.anchor.v1`), so the
+    /// signature can never be replayed as any other SCPU statement.
+    pub(crate) fn sign_audit_anchor(
+        &mut self,
+        env: &mut Env,
+        seq: u64,
+        chain_hash: Vec<u8>,
+    ) -> Result<wormaudit::AuditAnchor, FirmwareError> {
+        self.booted()?;
+        if chain_hash.len() != 32 {
+            return reject("audit chain hash must be a SHA-256 digest");
+        }
+        let now = env.now();
+        let bits = self.cfg.strong_bits;
+        env.charge(Op::RsaSign { bits });
+        let s = self.booted()?;
+        let issued_at_ms = now.as_millis();
+        let payload = wormaudit::anchor_payload(seq, &chain_hash, issued_at_ms);
+        let sig = Signature::sign(&s.sign_key, &payload);
+        let chain_hash: [u8; 32] = chain_hash.as_slice().try_into().map_err(|_| {
+            // Length was checked above; this arm is unreachable but kept
+            // typed rather than panicking inside the enclosure.
+            FirmwareError("audit chain hash must be a SHA-256 digest".into())
+        })?;
+        Ok(wormaudit::AuditAnchor {
+            seq,
+            chain_hash,
+            issued_at_ms,
+            key_id: sig.key_id,
+            sig: sig.bytes,
+        })
+    }
+
     /// Issues a fresh base certificate.
     pub(crate) fn refresh_base(&mut self, env: &mut Env) -> Result<BaseCert, FirmwareError> {
         let now = env.now();

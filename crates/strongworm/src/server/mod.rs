@@ -34,6 +34,7 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use scpu::{Clock, Device, Meter};
+use wormaudit::{AuditClass, AuditLog, AuditTraceSink};
 use wormcrypt::{Digest, RsaPublicKey, Sha256};
 use wormstore::{
     BlockDevice, DiskJournal, DurableLog, MemDisk, Partition, RecordDescriptor, RecordStore,
@@ -60,6 +61,7 @@ pub struct WormServer<D: BlockDevice = MemDisk> {
     read_plane: ReadPlane<D>,
     witness: Mutex<WitnessPlane<D>>,
     trace: Arc<wormtrace::Registry>,
+    audit: Arc<AuditLog>,
     ops: ServerOps,
 }
 
@@ -121,7 +123,21 @@ impl<D: BlockDevice> WormServer<D> {
         clock: Arc<dyn Clock>,
         regulator: &RsaPublicKey,
     ) -> Result<Self, WormError> {
-        Self::boot(store, config, clock, regulator, None)
+        Self::boot(store, config, clock, regulator, None, None)
+    }
+
+    /// Boots a shard whose integrity events land in a shared,
+    /// deployment-wide audit journal (see [`ShardedWormServer`]): all
+    /// lanes chain into one journal, anchored by whichever shard's SCPU
+    /// ticks past an unanchored tip.
+    pub(crate) fn with_store_and_audit(
+        store: RecordStore<D>,
+        config: WormConfig,
+        clock: Arc<dyn Clock>,
+        regulator: &RsaPublicKey,
+        audit: Arc<AuditLog>,
+    ) -> Result<Self, WormError> {
+        Self::boot(store, config, clock, regulator, None, Some(audit))
     }
 
     /// Shared boot path: initializes the SCPU, wires the planes, and
@@ -137,6 +153,7 @@ impl<D: BlockDevice> WormServer<D> {
         clock: Arc<dyn Clock>,
         regulator: &RsaPublicKey,
         sink: Option<Box<dyn DurableLog>>,
+        shared_audit: Option<Arc<AuditLog>>,
     ) -> Result<Self, WormError> {
         let firmware = WormFirmware::new(FirmwareConfig {
             strong_bits: config.strong_bits,
@@ -163,7 +180,16 @@ impl<D: BlockDevice> WormServer<D> {
         if let Some(sink) = sink {
             vrdt.attach_sink(sink)?;
         }
-        let server = Self::assemble(vrdt, store, device, keys, config, clock, 0x4057);
+        let server = Self::assemble(
+            vrdt,
+            store,
+            device,
+            keys,
+            config,
+            clock,
+            0x4057,
+            shared_audit,
+        );
         // Publish the initial head and base so clients always have
         // freshness evidence.
         {
@@ -178,6 +204,13 @@ impl<D: BlockDevice> WormServer<D> {
     /// creates the server's trace registry (attached to the device so
     /// SCPU commands record their virtual-time cost alongside the host
     /// planes' wall-clock timings).
+    ///
+    /// `shared_audit` lets a sharded deployment hand every shard one
+    /// common audit journal (anchored once, by the coordinator's SCPU);
+    /// a standalone server builds its own against its own registry.
+    // One-time assembly wiring; bundling the handles would just move the
+    // list (same shape as `WitnessPlane::new`).
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         vrdt: Vrdt,
         store: RecordStore<D>,
@@ -186,9 +219,21 @@ impl<D: BlockDevice> WormServer<D> {
         config: WormConfig,
         clock: Arc<dyn Clock>,
         rng_seed: u64,
+        shared_audit: Option<Arc<AuditLog>>,
     ) -> Self {
         let trace = Arc::new(wormtrace::Registry::new());
         device.attach_trace(Arc::clone(&trace));
+        let audit = shared_audit.unwrap_or_else(|| {
+            let audit_clock = Arc::clone(&clock);
+            Arc::new(AuditLog::new(
+                wormaudit::DEFAULT_JOURNAL_CAPACITY,
+                &trace,
+                Box::new(move || audit_clock.now().as_millis()),
+            ))
+        });
+        // Integrity-relevant trace events (failed reads, sheds, daemon
+        // give-ups) are promoted into the audit chain by the ring sink.
+        trace.set_sink(Arc::new(AuditTraceSink::new(Arc::clone(&audit))));
         let recovery = vrdt.recovery_stats();
         trace.counter("recovery.replayed").add(recovery.replayed);
         trace
@@ -197,6 +242,23 @@ impl<D: BlockDevice> WormServer<D> {
         trace
             .counter("recovery.rolled_back")
             .add(recovery.rolled_back);
+        if recovery.torn_tail {
+            audit.emit(
+                AuditClass::RecoveryTornTail,
+                None,
+                "crash recovery discarded a torn journal tail",
+            );
+        }
+        if recovery.rolled_back > 0 {
+            audit.emit(
+                AuditClass::RecoveryRollback,
+                None,
+                &format!(
+                    "crash recovery rolled back {} unwitnessed frame(s)",
+                    recovery.rolled_back
+                ),
+            );
+        }
         let ops = ServerOps::new(&trace);
         let vrdt = Arc::new(RwLock::new(vrdt));
         let store = Arc::new(store);
@@ -215,12 +277,14 @@ impl<D: BlockDevice> WormServer<D> {
             keys.weak_cert.clone(),
             rng_seed,
             &trace,
+            Arc::clone(&audit),
         );
         WormServer {
             keys,
             read_plane,
             witness: Mutex::new(witness),
             trace,
+            audit,
             ops,
         }
     }
@@ -231,6 +295,24 @@ impl<D: BlockDevice> WormServer<D> {
     /// the whole stack reports into one snapshot.
     pub fn trace(&self) -> &Arc<wormtrace::Registry> {
         &self.trace
+    }
+
+    /// The tamper-evident integrity-event journal (see `wormaudit`):
+    /// hash-chained, sequence-numbered, periodically anchored by an SCPU
+    /// signature over the chain tip during [`WormServer::tick`].
+    pub fn audit(&self) -> &Arc<AuditLog> {
+        &self.audit
+    }
+
+    /// Forces an SCPU anchor over the current audit-chain tip (normally
+    /// done lazily by [`WormServer::tick`]). No-op when the tip is
+    /// already anchored.
+    ///
+    /// # Errors
+    ///
+    /// Device or firmware failures.
+    pub fn anchor_audit(&self) -> Result<(), WormError> {
+        self.witness.lock().anchor_audit()
     }
 
     /// A point-in-time, name-sorted copy of every instrument (what the
@@ -317,7 +399,7 @@ impl<D: BlockDevice> WormServer<D> {
             WormResponse::Keys(k) => k,
             other => return Err(unexpected(other)),
         };
-        let server = Self::assemble(vrdt, store, device, keys, config, clock, 0x4058);
+        let server = Self::assemble(vrdt, store, device, keys, config, clock, 0x4058, None);
         {
             let mut w = server.witness.lock();
             w.rebuild_after_recovery()?;
@@ -484,7 +566,7 @@ impl<D: BlockDevice> WormServer<D> {
         if let Some((ns, prior)) = self.ops.read.finish(timer, result.is_ok()) {
             // Counters and the histogram are exact; only the ring event
             // is sampled, keeping the mutex push off most reads.
-            if prior % wormtrace::READ_EVENT_SAMPLE == 0 || result.is_err() {
+            if prior % self.trace.read_event_sample() == 0 || result.is_err() {
                 self.trace.emit(wormtrace::TraceEvent {
                     op: "server.read",
                     plane: wormtrace::Plane::Read,
@@ -792,7 +874,14 @@ where
         let data =
             Partition::new(dev, journal_bytes, store_bytes).map_err(wormstore::StoreError::from)?;
         let store = RecordStore::new(data);
-        Self::boot(store, config, clock, regulator, Some(Box::new(journal)))
+        Self::boot(
+            store,
+            config,
+            clock,
+            regulator,
+            Some(Box::new(journal)),
+            None,
+        )
     }
 
     /// Recovers a crash-atomic server from its medium after a power cut:
@@ -869,7 +958,7 @@ where
             Ok(other) => return Err((unexpected(other), device)),
             Err(e) => return Err((e, device)),
         };
-        let server = Self::assemble(vrdt, store, device, keys, config, clock, 0x4059);
+        let server = Self::assemble(vrdt, store, device, keys, config, clock, 0x4059, None);
         // Phase 3: post-assembly recovery work; the device now lives
         // inside the server, so failures decompose it to hand it back.
         let post = (|| -> Result<(), WormError> {

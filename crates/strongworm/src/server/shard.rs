@@ -28,6 +28,7 @@ use std::time::Duration;
 
 use parking_lot::RwLock;
 use scpu::Clock;
+use wormaudit::AuditLog;
 use wormcrypt::RsaPublicKey;
 use wormstore::{BlockDevice, MemDisk, RecordStore};
 
@@ -123,6 +124,10 @@ pub struct ShardedWormServer<D: BlockDevice = MemDisk> {
     /// distinct from the per-shard registries, merged unprefixed into
     /// [`ShardedWormServer::stats_snapshot`].
     trace: Arc<wormtrace::Registry>,
+    /// One deployment-wide audit journal shared by every lane: shard
+    /// events chain into a single sequence, and its `audit.*` counters
+    /// register on the router registry (so pollers see them unprefixed).
+    audit: Arc<AuditLog>,
 }
 
 impl ShardedWormServer<MemDisk> {
@@ -172,6 +177,16 @@ impl<D: BlockDevice> ShardedWormServer<D> {
                     stores.len()
                 ))
             })?;
+        // Router registry and the shared audit journal come first: every
+        // shard emits into the one journal, whose counters live on the
+        // router registry (merged unprefixed into the stats snapshot).
+        let trace = Arc::new(wormtrace::Registry::new());
+        let audit_clock = Arc::clone(&clock);
+        let audit = Arc::new(AuditLog::new(
+            wormaudit::DEFAULT_JOURNAL_CAPACITY,
+            &trace,
+            Box::new(move || audit_clock.now().as_millis()),
+        ));
         let mut shards = Vec::with_capacity(stores.len());
         for (i, store) in stores.into_iter().enumerate() {
             let lane = i as u64;
@@ -181,17 +196,19 @@ impl<D: BlockDevice> ShardedWormServer<D> {
             // material and serial identity.
             shard_config.device.serial = config.device.serial.wrapping_add(lane);
             shard_config.device.rng_seed = config.device.rng_seed.wrapping_add(1 + lane);
-            shards.push(Arc::new(WormServer::with_store(
+            shards.push(Arc::new(WormServer::with_store_and_audit(
                 store,
                 shard_config,
                 clock.clone(),
                 regulator,
+                Arc::clone(&audit),
             )?));
         }
         Ok(ShardedWormServer {
             shards,
             router: ShardRouter::new(shard_count, config.head_refresh_interval, clock),
-            trace: Arc::new(wormtrace::Registry::new()),
+            trace,
+            audit,
         })
     }
 
@@ -200,6 +217,15 @@ impl<D: BlockDevice> ShardedWormServer<D> {
     /// rather than to any one shard.
     pub fn trace(&self) -> &Arc<wormtrace::Registry> {
         &self.trace
+    }
+
+    /// The deployment-wide audit journal (shared by every lane): one
+    /// hash chain over all shards' integrity events, anchored by
+    /// whichever shard's SCPU ticks past an unanchored tip. Anchors from
+    /// different lanes carry different key fingerprints; auditors verify
+    /// against the full [`ShardedWormServer::shard_keys`] set.
+    pub fn audit(&self) -> &Arc<AuditLog> {
+        &self.audit
     }
 
     /// Number of shards (= SN lanes) in this deployment.

@@ -21,6 +21,7 @@ use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use scpu::{Clock, Device, Meter, Op, Timestamp};
+use wormaudit::{AuditClass, AuditLog};
 use wormcrypt::Sha256;
 use wormstore::{BlockDevice, RecordDescriptor, RecordStore, Shredder};
 
@@ -107,6 +108,11 @@ pub struct WitnessPlane<D: BlockDevice> {
     resync: Vec<SerialNumber>,
     /// Trace instrument handles (see [`WitnessStats`]).
     stats: WitnessStats,
+    /// The tamper-evident integrity-event journal. Witness-path events
+    /// with SCPU evidence (outbox items, shreds, compaction) emit here
+    /// directly; the same log also receives promoted trace events via
+    /// the registry sink.
+    audit: Arc<AuditLog>,
 }
 
 impl<D: BlockDevice> WitnessPlane<D> {
@@ -122,6 +128,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
         initial_weak_cert: WeakKeyCert,
         rng_seed: u64,
         trace: &wormtrace::Registry,
+        audit: Arc<AuditLog>,
     ) -> Self {
         WitnessPlane {
             config,
@@ -141,6 +148,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
             refcounts: HashMap::new(),
             resync: Vec::new(),
             stats: WitnessStats::new(trace),
+            audit,
         }
     }
 
@@ -331,6 +339,8 @@ impl<D: BlockDevice> WitnessPlane<D> {
     pub(crate) fn refresh_head(&mut self) -> Result<(), WormError> {
         match execute(&mut self.device, WormRequest::RefreshHead)? {
             WormResponse::Head(h) => {
+                self.audit
+                    .emit(AuditClass::HeadRefresh, None, "head refreshed");
                 self.vrdt.write().set_head(h)?;
                 Ok(())
             }
@@ -406,7 +416,30 @@ impl<D: BlockDevice> WitnessPlane<D> {
 
     pub(crate) fn tick(&mut self) -> Result<(), WormError> {
         self.device.tick()?;
-        self.drain_outbox()
+        self.drain_outbox()?;
+        self.anchor_audit()
+    }
+
+    /// Asks the SCPU to sign the audit chain tip if it has advanced past
+    /// the last anchor. One RSA signature per tick with an unanchored
+    /// tip — a no-op (no device round-trip) when the chain is quiet.
+    pub(crate) fn anchor_audit(&mut self) -> Result<(), WormError> {
+        let Some((seq, chain_hash)) = self.audit.needs_anchor() else {
+            return Ok(());
+        };
+        match execute(
+            &mut self.device,
+            WormRequest::SignAuditAnchor {
+                seq,
+                chain_hash: chain_hash.to_vec(),
+            },
+        )? {
+            WormResponse::AuditAnchor(anchor) => {
+                self.audit.install_anchor(anchor);
+                Ok(())
+            }
+            other => Err(unexpected(other)),
+        }
     }
 
     pub(crate) fn idle(&mut self, budget_ns: u64) -> Result<(), WormError> {
@@ -529,6 +562,15 @@ impl<D: BlockDevice> WitnessPlane<D> {
         self.vrdt.write().note_shred_done(rd.offset)?;
         self.store.note_shredded(&rd);
         self.store.release(&rd);
+        self.audit.emit(
+            AuditClass::ShredComplete,
+            None,
+            &format!(
+                "extent@{} shredded ({} passes)",
+                rd.offset,
+                shredder.pass_count()
+            ),
+        );
         Ok(())
     }
 
@@ -545,6 +587,14 @@ impl<D: BlockDevice> WitnessPlane<D> {
             .collect();
         let n = pending.len();
         for state in pending {
+            self.audit.emit(
+                AuditClass::ShredResume,
+                None,
+                &format!(
+                    "resuming shred of extent@{} at pass {}",
+                    state.rd.offset, state.next_pass
+                ),
+            );
             self.run_shred(state)?;
             self.stats.resumed_shreds.inc();
         }
@@ -631,6 +681,13 @@ impl<D: BlockDevice> WitnessPlane<D> {
             self.stats.compact_relocations.inc();
             moved += 1;
         }
+        if moved > 0 {
+            self.audit.emit(
+                AuditClass::StoreCompaction,
+                None,
+                &format!("{moved} extents relocated"),
+            );
+        }
         Ok(moved)
     }
 
@@ -710,13 +767,22 @@ impl<D: BlockDevice> WitnessPlane<D> {
                     }
                 }
                 OutboxItem::NewBase(b) => self.vrdt.write().set_base(b)?,
-                OutboxItem::NewHead(h) => self.vrdt.write().set_head(h)?,
+                OutboxItem::NewHead(h) => {
+                    self.audit
+                        .emit(AuditClass::HeadRemint, None, "head re-minted on heartbeat");
+                    self.vrdt.write().set_head(h)?;
+                }
                 OutboxItem::NewWeakKey(cert) => {
                     self.stats.weak_key_rotations.inc();
                     self.weak_certs.push(cert);
                 }
                 OutboxItem::AuditFailure { sn } => {
                     self.stats.audit_failures.inc();
+                    self.audit.emit(
+                        AuditClass::TamperDetected,
+                        Some(sn.0),
+                        "scpu audit: host-claimed data hash did not match",
+                    );
                     self.audit_failures.push(sn);
                 }
             }

@@ -224,6 +224,75 @@ fn arb_outcome() -> impl Strategy<Value = ReadOutcome> {
     ]
 }
 
+fn arb_audit_event() -> impl Strategy<Value = wormaudit::AuditEvent> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<prop::sample::Index>(),
+        proptest::option::of(any::<u64>()),
+        proptest::collection::vec(97u8..123, 0..16),
+        any::<[u8; 32]>(),
+    )
+        .prop_map(
+            |(seq, at_ms, class, sn, detail, prev_hash)| wormaudit::AuditEvent {
+                seq,
+                at_ms,
+                class: wormaudit::ALL_CLASSES[class.index(wormaudit::ALL_CLASSES.len())],
+                sn,
+                detail: String::from_utf8(detail).unwrap_or_default(),
+                prev_hash,
+            },
+        )
+}
+
+/// Arbitrary (not chain-consistent) pages — transport-level tests.
+fn arb_audit_page() -> impl Strategy<Value = wormaudit::AuditPage> {
+    (
+        proptest::collection::vec(arb_audit_event(), 0..5),
+        proptest::collection::vec(
+            (
+                any::<u64>(),
+                any::<[u8; 32]>(),
+                any::<u64>(),
+                any::<[u8; 8]>(),
+                proptest::collection::vec(any::<u8>(), 0..72),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(events, anchors)| wormaudit::AuditPage {
+            events,
+            anchors: anchors
+                .into_iter()
+                .map(
+                    |(seq, chain_hash, issued_at_ms, key_id, sig)| wormaudit::AuditAnchor {
+                        seq,
+                        chain_hash,
+                        issued_at_ms,
+                        key_id,
+                        sig,
+                    },
+                )
+                .collect(),
+        })
+}
+
+/// Dense, correctly linked (anchorless) chains — integrity-level tests.
+fn arb_audit_chain() -> impl Strategy<Value = wormaudit::AuditPage> {
+    proptest::collection::vec(arb_audit_event(), 2..7).prop_map(|mut events| {
+        let mut prev_hash = [0u8; 32];
+        for (seq, e) in events.iter_mut().enumerate() {
+            e.seq = seq as u64;
+            e.prev_hash = prev_hash;
+            prev_hash = wormaudit::codec::event_hash(e);
+        }
+        wormaudit::AuditPage {
+            events,
+            anchors: Vec::new(),
+        }
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -466,6 +535,47 @@ proptest! {
         prop_assert!(codec::decode_window_proof(&enc).is_err());
         prop_assert!(codec::decode_vrd(&enc).is_err());
         prop_assert!(codec::decode_stats_snapshot(&enc).is_err());
+        prop_assert!(wormaudit::codec::decode_audit_page(&enc).is_err());
+    }
+
+    /// The `wormaudit.events.v1` page codec obeys the same discipline
+    /// as every persisted structure here: exact roundtrip, every strict
+    /// prefix rejected (deeper chain-level properties live in
+    /// wormaudit's own `chain_property` suite).
+    #[test]
+    fn audit_pages_roundtrip_and_reject_prefixes(page in arb_audit_page()) {
+        let enc = wormaudit::codec::encode_audit_page(&page);
+        prop_assert_eq!(wormaudit::codec::decode_audit_page(&enc).unwrap(), page);
+        for cut in 0..enc.len() {
+            prop_assert!(wormaudit::codec::decode_audit_page(&enc[..cut]).is_err());
+        }
+    }
+
+    /// Flipping a chain-carrying field (a `prev_hash` byte) survives
+    /// decoding — it is a well-formed page — but must surface as a
+    /// replay divergence: the codec's job is canonical transport, the
+    /// chain's job is integrity, and neither may mask the other.
+    #[test]
+    fn audit_chain_field_mutations_fail_verification(
+        chain in arb_audit_chain(),
+        event_sel in any::<prop::sample::Index>(),
+        byte_sel in any::<prop::sample::Index>(),
+        bit in 0u8..8,
+    ) {
+        prop_assert!(wormaudit::verify_chain(&chain, &[]).is_clean());
+        let mut tampered = chain.clone();
+        let i = event_sel.index(tampered.events.len());
+        tampered.events[i].prev_hash[byte_sel.index(32)] ^= 1 << bit;
+        let enc = wormaudit::codec::encode_audit_page(&tampered);
+        let decoded = wormaudit::codec::decode_audit_page(&enc).unwrap();
+        prop_assert_eq!(&decoded, &tampered);
+        // A flip in any event's prev_hash either breaks its own stored
+        // link or (through the hash-over-encoding) its successor's.
+        let report = wormaudit::verify_chain(&decoded, &[]);
+        prop_assert!(
+            report.divergence.is_some(),
+            "chain-field flip at event {} went unnoticed", i
+        );
     }
 }
 
@@ -478,4 +588,15 @@ fn stats_snapshot_count_bomb_rejected() {
     let mut bomb = enc;
     bomb[ops_count_at..ops_count_at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
     assert!(codec::decode_stats_snapshot(&bomb).is_err());
+}
+
+#[test]
+fn audit_page_count_bomb_rejected() {
+    // Same discipline for the audit page: a forged event count must be
+    // bounded before any allocation sized from it.
+    let enc = wormaudit::codec::encode_audit_page(&wormaudit::AuditPage::default());
+    let events_count_at = 4 + wormaudit::codec::PAGE_TAG.len();
+    let mut bomb = enc;
+    bomb[events_count_at..events_count_at + 4].copy_from_slice(&u32::MAX.to_be_bytes());
+    assert!(wormaudit::codec::decode_audit_page(&bomb).is_err());
 }

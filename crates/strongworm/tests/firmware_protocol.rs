@@ -100,6 +100,10 @@ fn commands_before_init_are_rejected() {
             data: WriteData::Full(vec![]),
             witness: WitnessMode::Strong,
         },
+        WormRequest::SignAuditAnchor {
+            seq: 0,
+            chain_hash: vec![0u8; 32],
+        },
     ] {
         let resp = dev.execute(req).unwrap();
         assert!(
@@ -118,6 +122,56 @@ fn double_init_is_rejected() {
         })
         .unwrap();
     assert!(matches!(&resp, Err(e) if e.0.contains("already initialized")));
+}
+
+#[test]
+fn audit_anchor_requires_a_sha256_hash() {
+    let (mut dev, _clock, _reg) = booted();
+    for bad in [vec![], vec![0u8; 31], vec![0u8; 33]] {
+        let resp = dev
+            .execute(WormRequest::SignAuditAnchor {
+                seq: 3,
+                chain_hash: bad,
+            })
+            .unwrap();
+        assert!(
+            matches!(&resp, Err(e) if e.0.contains("SHA-256")),
+            "got {resp:?}"
+        );
+    }
+}
+
+#[test]
+fn audit_anchor_signs_and_stamps_trusted_time() {
+    let (mut dev, clock, _reg) = booted();
+    let keys = match dev.execute(WormRequest::GetKeys).unwrap().unwrap() {
+        WormResponse::Keys(k) => k,
+        other => panic!("unexpected {other:?}"),
+    };
+    let chain_hash = vec![7u8; 32];
+    let anchor = match dev
+        .execute(WormRequest::SignAuditAnchor {
+            seq: 41,
+            chain_hash: chain_hash.clone(),
+        })
+        .unwrap()
+        .unwrap()
+    {
+        WormResponse::AuditAnchor(a) => a,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(anchor.seq, 41);
+    assert_eq!(anchor.chain_hash.to_vec(), chain_hash);
+    assert_eq!(anchor.issued_at_ms, clock.now().as_millis());
+    assert!(anchor.verify(&keys.sign), "anchor must verify under s");
+    // The signature is domain-separated: it is not a head certificate
+    // or any other statement over the same bytes.
+    let mut forged = anchor.clone();
+    forged.seq += 1;
+    assert!(!forged.verify(&keys.sign));
+    let mut redated = anchor;
+    redated.issued_at_ms += 1;
+    assert!(!redated.verify(&keys.sign));
 }
 
 #[test]

@@ -1,0 +1,124 @@
+//! Bridge from the `wormtrace` event ring to the audit journal.
+//!
+//! `wormtrace::Registry` already sees every instrumented operation in
+//! the serving path. Rather than threading an audit handle through each
+//! call site, integrity-relevant *trace* events are promoted into audit
+//! events by installing this sink on the registry: the trace plane
+//! stays a lossy sampled diagnostic, while the subset that matters for
+//! tamper evidence is re-emitted into the hash chain.
+//!
+//! Planes that hold richer evidence than a trace event carries (SCPU
+//! outbox items, recovery statistics) emit directly on
+//! [`crate::AuditLog`] instead of routing through here.
+
+use std::sync::Arc;
+
+use wormtrace::{TraceEvent, TraceSink};
+
+use crate::event::AuditClass;
+use crate::log::AuditLog;
+
+/// A [`TraceSink`] that promotes integrity-relevant trace events into
+/// the audit chain.
+#[derive(Clone, Debug)]
+pub struct AuditTraceSink {
+    log: Arc<AuditLog>,
+}
+
+impl AuditTraceSink {
+    /// A sink emitting into `log`.
+    pub fn new(log: Arc<AuditLog>) -> Self {
+        AuditTraceSink { log }
+    }
+
+    /// The audit class a trace event maps to, if any.
+    ///
+    /// Failed verified reads become [`AuditClass::VerifyFailure`];
+    /// overload sheds and retention give-ups are recognised by their
+    /// dedicated ops. Successful reads — the overwhelmingly common
+    /// event — map to `None` and cost one string comparison.
+    pub fn classify(event: &TraceEvent) -> Option<AuditClass> {
+        match event.op {
+            "server.read" | "shard.read" if !event.ok => Some(AuditClass::VerifyFailure),
+            "net.shed" => Some(AuditClass::AdmissionShed),
+            "daemon.giveup" => Some(AuditClass::RetentionGiveUp),
+            _ => None,
+        }
+    }
+}
+
+impl TraceSink for AuditTraceSink {
+    fn on_event(&self, event: &TraceEvent) {
+        if let Some(class) = Self::classify(event) {
+            self.log.emit(class, event.sn, event.op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wormtrace::{Plane, Registry};
+
+    fn trace_event(op: &'static str, plane: Plane, sn: Option<u64>, ok: bool) -> TraceEvent {
+        TraceEvent {
+            op,
+            plane,
+            sn,
+            duration_ns: 10,
+            ok,
+        }
+    }
+
+    fn log() -> (Arc<AuditLog>, Arc<Registry>) {
+        let trace = Arc::new(Registry::new());
+        let log = Arc::new(AuditLog::new(64, &trace, Box::new(|| 1000)));
+        (log, trace)
+    }
+
+    #[test]
+    fn failed_read_is_promoted() {
+        let (log, _trace) = log();
+        let sink = AuditTraceSink::new(Arc::clone(&log));
+        sink.on_event(&trace_event("server.read", Plane::Read, Some(7), false));
+        let page = log.page(0, 16);
+        assert_eq!(page.events.len(), 1);
+        assert_eq!(page.events[0].class, AuditClass::VerifyFailure);
+        assert_eq!(page.events[0].sn, Some(7));
+    }
+
+    #[test]
+    fn successful_read_is_ignored() {
+        let (log, _trace) = log();
+        let sink = AuditTraceSink::new(Arc::clone(&log));
+        sink.on_event(&trace_event("server.read", Plane::Read, Some(7), true));
+        sink.on_event(&trace_event("scpu.call", Plane::Scpu, None, false));
+        assert_eq!(log.height(), 0);
+    }
+
+    #[test]
+    fn shed_and_giveup_are_promoted() {
+        let (log, _trace) = log();
+        let sink = AuditTraceSink::new(Arc::clone(&log));
+        sink.on_event(&trace_event("net.shed", Plane::Net, None, true));
+        sink.on_event(&trace_event("daemon.giveup", Plane::Daemon, None, false));
+        let page = log.page(0, 16);
+        let classes: Vec<_> = page.events.iter().map(|e| e.class).collect();
+        assert_eq!(
+            classes,
+            vec![AuditClass::AdmissionShed, AuditClass::RetentionGiveUp]
+        );
+    }
+
+    #[test]
+    fn installed_on_a_registry_it_sees_emitted_events() {
+        let (log, trace) = log();
+        trace.set_sink(Arc::new(AuditTraceSink::new(Arc::clone(&log))));
+        trace.emit(trace_event("net.shed", Plane::Net, None, true));
+        trace.emit(trace_event("server.read", Plane::Read, Some(3), true));
+        assert_eq!(log.height(), 1);
+        trace.clear_sink();
+        trace.emit(trace_event("net.shed", Plane::Net, None, true));
+        assert_eq!(log.height(), 1);
+    }
+}

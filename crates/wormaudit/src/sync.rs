@@ -1,0 +1,16 @@
+//! Poison-tolerant lock accessor, mirroring `wormtrace::sync`.
+//!
+//! The audit plane must not take the server down: if a thread panics
+//! while holding the journal lock, the panic already records the
+//! failure — propagating the poison into every later emit or fetch
+//! would turn one broken request into a dead audit plane. The journal
+//! is valid after any prefix of its critical section (the worst a
+//! recovered guard observes is one lost event), so entering through
+//! the poison is strictly better than panicking again.
+
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, entering through a poisoned guard rather than panicking.
+pub(crate) fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}

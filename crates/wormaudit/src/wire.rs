@@ -1,0 +1,337 @@
+//! Canonical wire encoding for audit-plane payloads.
+//!
+//! Audit events are hashed and anchors are signed over their canonical
+//! encodings, so every value must have exactly one encoding — the same
+//! obligation `strongworm::wire` discharges for SCPU-signed statements.
+//! This crate sits *below* `strongworm` (which emits into it), so it
+//! carries its own copy of the tiny deterministic format rather than
+//! importing one from above: fixed-width integers big-endian,
+//! variable-length byte strings with `u32` length prefixes, in a fixed
+//! field order defined by each caller.
+
+/// Largest byte string a `u32` length prefix can describe.
+// wormlint: allow(cast) -- lossless u32→u64 widening; `u64::from` is not usable in const context
+pub const MAX_WIRE_BYTES: u64 = u32::MAX as u64;
+
+/// Canonical encoder.
+#[derive(Clone, Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+}
+
+impl WireWriter {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writer pre-tagged with a domain-separation label.
+    pub fn tagged(tag: &str) -> Self {
+        let mut w = Self::new();
+        w.put_bytes(tag.as_bytes());
+        w
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Appends a `u32`, big-endian.
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a `u64`, big-endian.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Appends a length-prefixed byte string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is longer than [`MAX_WIRE_BYTES`] — a length the
+    /// `u32` prefix cannot represent must never be silently truncated
+    /// into a corrupt canonical encoding. Every byte string this crate
+    /// encodes (32-byte hashes, 8-byte key ids, bounded detail strings,
+    /// RSA signatures) sits orders of magnitude below the bound.
+    #[allow(clippy::expect_used)]
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        let len = u32::try_from(v.len())
+            // wormlint: allow(panic) -- documented contract above: a length the u32 prefix cannot represent must halt rather than wrap into a corrupt canonical encoding
+            .expect("byte string exceeds the u32 length prefix");
+        self.put_u32(len);
+        self.buf.extend_from_slice(v);
+        self
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Appends a collection count into a `u32` slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` — mirrors [`WireWriter::put_bytes`]:
+    /// a count the prefix cannot represent must never wrap.
+    #[allow(clippy::expect_used)]
+    pub fn put_count(&mut self, n: usize) -> &mut Self {
+        // wormlint: allow(panic) -- a count above u32::MAX must halt rather than wrap; the bounded journal holds at most a few thousand events
+        self.put_u32(u32::try_from(n).expect("collection count exceeds the u32 wire slot"))
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+/// Decoding error: input too short or malformed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireError {
+    /// What the reader was trying to decode.
+    pub expected: &'static str,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "truncated or malformed audit wire data while reading {}",
+            self.expected
+        )
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Canonical decoder over a byte slice.
+#[derive(Clone, Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> WireReader<'a> {
+    /// Reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf }
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if the input is exhausted.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        let (&first, rest) = self.buf.split_first().ok_or(WireError { expected: "u8" })?;
+        self.buf = rest;
+        Ok(first)
+    }
+
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if fewer than 4 bytes remain.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        let (head, rest) = self
+            .buf
+            .split_first_chunk::<4>()
+            .ok_or(WireError { expected: "u32" })?;
+        self.buf = rest;
+        Ok(u32::from_be_bytes(*head))
+    }
+
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if fewer than 8 bytes remain.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        let (head, rest) = self
+            .buf
+            .split_first_chunk::<8>()
+            .ok_or(WireError { expected: "u64" })?;
+        self.buf = rest;
+        Ok(u64::from_be_bytes(*head))
+    }
+
+    /// Reads a length-prefixed byte string.
+    ///
+    /// The returned slice borrows the input, so a hostile length prefix
+    /// can never allocate: the claimed length is checked against the
+    /// bytes actually present *before* anything is consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if the prefix or payload is truncated.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = usize::try_from(self.get_u32()?).map_err(|_| WireError {
+            expected: "length within address space",
+        })?;
+        if self.buf.len() < len {
+            return Err(WireError { expected: "bytes" });
+        }
+        let (head, rest) = self.buf.split_at(len);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    /// Reads a length-prefixed byte string, additionally rejecting any
+    /// string longer than `max` bytes — the count-bomb guard for
+    /// decoders that copy into owned storage.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or when the string exceeds `max`.
+    pub fn get_bytes_bounded(&mut self, max: usize) -> Result<&'a [u8], WireError> {
+        let b = self.get_bytes()?;
+        if b.len() > max {
+            return Err(WireError {
+                expected: "byte string within decoder bound",
+            });
+        }
+        Ok(b)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or invalid UTF-8.
+    pub fn get_str(&mut self) -> Result<&'a str, WireError> {
+        let b = self.get_bytes()?;
+        std::str::from_utf8(b).map_err(|_| WireError {
+            expected: "utf-8 string",
+        })
+    }
+
+    /// Reads a `u32` collection count as `usize`. Callers still bound
+    /// the result against their own caps before allocating.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on truncation or a count the address space cannot
+    /// hold.
+    pub fn get_count(&mut self) -> Result<usize, WireError> {
+        usize::try_from(self.get_u32()?).map_err(|_| WireError {
+            expected: "count within address space",
+        })
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Fails unless the input is fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] if trailing bytes remain.
+    pub fn expect_end(&self) -> Result<(), WireError> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(WireError {
+                expected: "end of input",
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut w = WireWriter::tagged("audit.test.v1");
+        w.put_u8(7)
+            .put_u32(0xDEAD_BEEF)
+            .put_u64(u64::MAX)
+            .put_bytes(b"payload")
+            .put_str("detail");
+        assert!(!w.is_empty());
+        let written = w.len();
+        let buf = w.finish();
+        assert_eq!(buf.len(), written);
+
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_str().unwrap(), "audit.test.v1");
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX);
+        assert_eq!(r.get_bytes().unwrap(), b"payload");
+        assert_eq!(r.get_str().unwrap(), "detail");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected_everywhere() {
+        let mut w = WireWriter::new();
+        w.put_u64(1).put_bytes(b"abc");
+        let buf = w.finish();
+        for cut in 0..buf.len() {
+            let mut r = WireReader::new(&buf[..cut]);
+            let ok = r.get_u64().and_then(|_| r.get_bytes().map(|_| ()));
+            assert!(ok.is_err(), "cut={cut} should fail");
+        }
+    }
+
+    #[test]
+    fn length_prefix_cannot_overread() {
+        let mut raw = 100u32.to_be_bytes().to_vec();
+        raw.extend_from_slice(b"ab");
+        assert!(WireReader::new(&raw).get_bytes().is_err());
+    }
+
+    #[test]
+    fn bounded_get_bytes_enforces_cap() {
+        let mut w = WireWriter::new();
+        w.put_bytes(&[7u8; 100]);
+        let buf = w.finish();
+        assert!(WireReader::new(&buf).get_bytes_bounded(99).is_err());
+        assert_eq!(
+            WireReader::new(&buf).get_bytes_bounded(100).unwrap().len(),
+            100
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = WireWriter::new();
+        w.put_u8(1);
+        let mut buf = w.finish();
+        buf.push(99);
+        let mut r = WireReader::new(&buf);
+        r.get_u8().unwrap();
+        assert!(r.expect_end().is_err());
+        assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    fn field_shifting_changes_encoding() {
+        let mut w1 = WireWriter::new();
+        w1.put_bytes(b"ab").put_bytes(b"c");
+        let mut w2 = WireWriter::new();
+        w2.put_bytes(b"a").put_bytes(b"bc");
+        assert_ne!(w1.finish(), w2.finish());
+    }
+}

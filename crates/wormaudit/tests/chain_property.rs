@@ -1,0 +1,125 @@
+//! Property: a single flipped byte anywhere in an encoded, anchored
+//! audit page is detected — either the canonical decoder rejects the
+//! bytes, or the chain replay reports a divergence.
+//!
+//! This is the acceptance bar for the audit plane's tamper evidence:
+//! with the tip under an SCPU anchor, no byte of the page is mutable
+//! without the auditor noticing.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wormaudit::codec::{decode_audit_page, encode_audit_page, event_hash};
+use wormaudit::{anchor_payload, verify_chain, AuditAnchor, AuditClass, AuditEvent, AuditPage};
+use wormcrypt::{HashAlg, RsaPrivateKey};
+
+fn scpu_key() -> &'static RsaPrivateKey {
+    static KEY: std::sync::OnceLock<RsaPrivateKey> = std::sync::OnceLock::new();
+    KEY.get_or_init(|| RsaPrivateKey::generate(&mut StdRng::seed_from_u64(42), 512))
+}
+
+/// A well-formed page: a dense hash chain with a signed anchor over the
+/// final event, exactly as a server serves it after a `Tick` forces
+/// anchoring.
+fn anchored_page(n_events: u64, details: &[String]) -> AuditPage {
+    let mut events = Vec::new();
+    let mut prev_hash = [0u8; 32];
+    for seq in 0..n_events {
+        let detail = details
+            .get(usize::try_from(seq).unwrap_or(0))
+            .cloned()
+            .unwrap_or_else(|| format!("event {seq}"));
+        let e = AuditEvent {
+            seq,
+            at_ms: 50_000 + seq * 13,
+            class: match seq % 4 {
+                0 => AuditClass::HeadRemint,
+                1 => AuditClass::VerifyFailure,
+                2 => AuditClass::AdmissionShed,
+                _ => AuditClass::StoreCompaction,
+            },
+            sn: (seq % 3 == 0).then_some(seq * 7),
+            detail,
+            prev_hash,
+        };
+        prev_hash = event_hash(&e);
+        events.push(e);
+    }
+    let tip = events.last().expect("n_events >= 1");
+    let hash = event_hash(tip);
+    let payload = anchor_payload(tip.seq, &hash, 60_000);
+    let anchors = vec![AuditAnchor {
+        seq: tip.seq,
+        chain_hash: hash,
+        issued_at_ms: 60_000,
+        key_id: scpu_key().public().fingerprint(),
+        sig: scpu_key()
+            .sign(&payload, HashAlg::Sha256)
+            .expect("sign anchor"),
+    }];
+    AuditPage { events, anchors }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Flip one byte at an arbitrary offset and, within that byte, an
+    /// arbitrary bit: the tamper must surface.
+    #[test]
+    fn any_single_flipped_byte_is_detected(
+        n_events in 1u64..6,
+        details in proptest::collection::vec("[a-z ]{0,24}", 0..6),
+        offset_sel in 0usize..65_536,
+        bit in 0u8..8,
+    ) {
+        let page = anchored_page(n_events, &details);
+        let keys = [scpu_key().public().clone()];
+
+        // Sanity: the untampered page replays cleanly with no
+        // unattested tail.
+        let clean = verify_chain(&page, &keys);
+        prop_assert!(clean.is_clean(), "clean page diverged: {:?}", clean.divergence);
+        prop_assert_eq!(clean.unattested_tail, 0);
+
+        let bytes = encode_audit_page(&page);
+        let offset = offset_sel % bytes.len();
+        let mut tampered = bytes.clone();
+        tampered[offset] ^= 1 << bit;
+        prop_assert_ne!(&tampered, &bytes);
+
+        match decode_audit_page(&tampered) {
+            // The flip broke the framing itself.
+            Err(_) => {}
+            // The flip decoded: the replay must catch it.
+            Ok(decoded) => {
+                prop_assert_ne!(&decoded, &page, "decode must not round-trip tampered bytes");
+                let report = verify_chain(&decoded, &keys);
+                prop_assert!(
+                    !report.is_clean() || report.unattested_tail > 0,
+                    "flip at offset {} bit {} survived verification",
+                    offset,
+                    bit
+                );
+                // A fully anchored page can never re-verify as fully
+                // anchored after a flip.
+                prop_assert!(
+                    report.divergence.is_some() || report.unattested_tail > 0,
+                    "tampered page reported fully attested"
+                );
+            }
+        }
+    }
+
+    /// Truncating the encoded page at any point is always a decode
+    /// error — there is no prefix of a valid page that is itself valid.
+    #[test]
+    fn any_truncation_is_a_decode_error(
+        n_events in 1u64..5,
+        cut_sel in 0usize..65_536,
+    ) {
+        let page = anchored_page(n_events, &[]);
+        let bytes = encode_audit_page(&page);
+        let cut = cut_sel % bytes.len();
+        prop_assert!(decode_audit_page(&bytes[..cut]).is_err());
+    }
+}

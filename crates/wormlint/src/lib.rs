@@ -32,7 +32,14 @@ use rules::{CodecContext, Scope};
 
 /// Crates whose non-test code must be panic-free (L1): everything on
 /// the serving path from socket to SCPU.
-pub const SERVING_CRATES: &[&str] = &["strongworm", "wormnet", "wormstore", "wormtrace", "scpu"];
+pub const SERVING_CRATES: &[&str] = &[
+    "strongworm",
+    "wormnet",
+    "wormstore",
+    "wormtrace",
+    "wormaudit",
+    "scpu",
+];
 
 /// File names treated as canonical codec / wire-facing modules, where
 /// the `index` sub-rule and L4's cast ban additionally apply.

@@ -399,6 +399,34 @@ impl RemoteWormClient {
         }
     }
 
+    /// Fetches one page of the server's tamper-evident audit journal:
+    /// events with `seq >= from_seq` (at most `max_events`, further
+    /// clamped by the server's page cap) plus the SCPU anchors covering
+    /// the window. Paginate by resuming from `last.seq + 1`.
+    ///
+    /// The page is *untrusted as returned* — replay it through
+    /// [`wormaudit::verify_chain`] against independently validated
+    /// device keys before believing any of it. A host that edits,
+    /// drops, or reorders events breaks the hash chain or the anchor
+    /// signatures, and the replay reports the first divergence.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or a server-reported error.
+    pub fn audit_events(
+        &mut self,
+        from_seq: u64,
+        max_events: u32,
+    ) -> Result<wormaudit::AuditPage, NetError> {
+        match self.call(&NetRequest::FetchAuditEvents {
+            from_seq,
+            max_events,
+        })? {
+            NetResponse::AuditEvents(page) => Ok(page),
+            _ => Err(NetError::Protocol("expected AuditEvents response")),
+        }
+    }
+
     /// Fetches the deployment's composite freshness head *without*
     /// verifying it. Prefer
     /// [`RemoteWormClient::composite_head_verified`]; this exists for

@@ -95,6 +95,20 @@ pub enum NetRequest {
     /// [`strongworm::CompositeVerifier`]. Untrusted until validated,
     /// exactly like `GetKeys`.
     GetShardKeys,
+    /// Fetch a page of the tamper-evident audit journal, cursor-based:
+    /// events with `seq >= from_seq`, at most `max_events` of them,
+    /// plus every SCPU anchor covering the returned window. Unlike
+    /// `Stats`/`Traces` this *is* compliance evidence — the auditor
+    /// replays the hash chain against the anchors
+    /// ([`wormaudit::verify_chain`]) rather than trusting the host.
+    FetchAuditEvents {
+        /// First journal sequence number wanted (0 for the oldest
+        /// retained event; resume from `last.seq + 1` to paginate).
+        from_seq: u64,
+        /// Page size cap; the server additionally clamps to
+        /// [`wormaudit::codec::MAX_PAGE_EVENTS`].
+        max_events: u32,
+    },
 }
 
 /// A server response.
@@ -150,6 +164,13 @@ pub enum NetResponse {
         /// `(keys, weak_certs)` per shard lane; untrusted until
         /// validated against CA certificates.
         Vec<(DeviceKeys, Vec<WeakKeyCert>)>,
+    ),
+    /// One page of the audit journal, in its canonical
+    /// `wormaudit.events.v1` encoding. Untrusted until the client
+    /// replays the chain against the embedded SCPU anchors.
+    AuditEvents(
+        /// Events plus covering anchors.
+        wormaudit::AuditPage,
     ),
 }
 
@@ -323,6 +344,14 @@ pub fn encode_request(req: &NetRequest) -> Vec<u8> {
         NetRequest::GetShardKeys => {
             w.put_u8(12);
         }
+        NetRequest::FetchAuditEvents {
+            from_seq,
+            max_events,
+        } => {
+            w.put_u8(13);
+            w.put_u64(*from_seq);
+            w.put_u32(*max_events);
+        }
     }
     w.finish()
 }
@@ -435,6 +464,10 @@ fn decode_request_inner(
         10 => NetRequest::Traces,
         11 => NetRequest::GetCompositeHead,
         12 => NetRequest::GetShardKeys,
+        13 => NetRequest::FetchAuditEvents {
+            from_seq: r.get_u64()?,
+            max_events: r.get_u32()?,
+        },
         _ => {
             return Err(WireError {
                 expected: "request opcode",
@@ -491,6 +524,10 @@ pub fn encode_response(resp: &NetResponse) -> Vec<u8> {
         NetResponse::ShardKeys(shards) => {
             w.put_u8(8);
             put_shard_keys(&mut w, shards);
+        }
+        NetResponse::AuditEvents(page) => {
+            w.put_u8(9);
+            w.put_bytes(&wormaudit::codec::encode_audit_page(page));
         }
     }
     w.finish()
@@ -563,6 +600,13 @@ fn decode_response_with(
         6 => NetResponse::Traces(decode_captured_traces(r.get_bytes()?)?),
         7 => NetResponse::CompositeHead(decode_composite_head(r.get_bytes()?)?),
         8 => NetResponse::ShardKeys(get_shard_keys(&mut r)?),
+        9 => NetResponse::AuditEvents(
+            // The page keeps its own canonical codec (and count caps);
+            // surface its decode failure as this layer's error type.
+            wormaudit::codec::decode_audit_page(r.get_bytes()?).map_err(|e| WireError {
+                expected: e.expected,
+            })?,
+        ),
         _ => {
             return Err(WireError {
                 expected: "response discriminant",
@@ -623,6 +667,14 @@ mod tests {
             NetRequest::Traces,
             NetRequest::GetCompositeHead,
             NetRequest::GetShardKeys,
+            NetRequest::FetchAuditEvents {
+                from_seq: 0,
+                max_events: 4096,
+            },
+            NetRequest::FetchAuditEvents {
+                from_seq: u64::MAX,
+                max_events: 0,
+            },
         ];
         for req in reqs {
             let enc = encode_request(&req);
@@ -845,6 +897,48 @@ mod tests {
         w.put_count(1);
         w.put_bytes(&encode_device_keys(&keys));
         w.put_u32(u32::MAX);
+        assert!(decode_response(&w.finish()).is_err());
+    }
+
+    #[test]
+    fn audit_events_response_roundtrips() {
+        let page = wormaudit::AuditPage {
+            events: vec![wormaudit::AuditEvent {
+                seq: 3,
+                at_ms: 9_000,
+                class: wormaudit::AuditClass::TamperDetected,
+                sn: Some(8),
+                detail: "hash mismatch".into(),
+                prev_hash: [7; 32],
+            }],
+            anchors: vec![wormaudit::AuditAnchor {
+                seq: 3,
+                chain_hash: [9; 32],
+                issued_at_ms: 9_100,
+                key_id: [2; 8],
+                sig: vec![5; 64],
+            }],
+        };
+        let enc = encode_response(&NetResponse::AuditEvents(page.clone()));
+        match decode_response(&enc).unwrap() {
+            NetResponse::AuditEvents(got) => assert_eq!(got, page),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        for cut in 0..enc.len() {
+            assert!(decode_response(&enc[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn hostile_audit_page_counts_are_bounded() {
+        // A hostile event count inside the nested page must not drive
+        // unbounded allocation; the nested codec's own cap rejects it
+        // and the failure surfaces as this layer's wire error.
+        let mut inner = strongworm::wire::WireWriter::tagged("wormaudit.events.v1");
+        inner.put_u32(u32::MAX);
+        let mut w = WireWriter::tagged("wormnet.resp.v1");
+        w.put_u8(9);
+        w.put_bytes(&inner.finish());
         assert!(decode_response(&w.finish()).is_err());
     }
 

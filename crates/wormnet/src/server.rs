@@ -112,6 +112,11 @@ pub trait WormBackend: Send + Sync {
     /// A point-in-time snapshot of every registered instrument.
     fn stats_snapshot(&self) -> wormtrace::StatsSnapshot;
 
+    /// One page of the tamper-evident audit journal: events with
+    /// `seq >= from_seq`, at most `max_events` (further clamped by the
+    /// journal's page cap), plus the SCPU anchors covering the window.
+    fn audit_page(&self, from_seq: u64, max_events: usize) -> wormaudit::AuditPage;
+
     /// The trace registry the network layer registers its instruments
     /// into (and whose flight recorder serves `Traces` requests).
     fn trace(&self) -> &Arc<wormtrace::Registry>;
@@ -164,6 +169,10 @@ impl<D: BlockDevice> WormBackend for WormServer<D> {
         WormServer::stats_snapshot(self)
     }
 
+    fn audit_page(&self, from_seq: u64, max_events: usize) -> wormaudit::AuditPage {
+        WormServer::audit(self).page(from_seq, max_events)
+    }
+
     fn trace(&self) -> &Arc<wormtrace::Registry> {
         WormServer::trace(self)
     }
@@ -214,6 +223,12 @@ impl<D: BlockDevice> WormBackend for ShardedWormServer<D> {
 
     fn stats_snapshot(&self) -> wormtrace::StatsSnapshot {
         ShardedWormServer::stats_snapshot(self)
+    }
+
+    fn audit_page(&self, from_seq: u64, max_events: usize) -> wormaudit::AuditPage {
+        // All lanes chain into one shared journal; anchors may carry
+        // any lane's key fingerprint.
+        ShardedWormServer::audit(self).page(from_seq, max_events)
     }
 
     fn trace(&self) -> &Arc<wormtrace::Registry> {
@@ -582,6 +597,16 @@ fn admit(
 /// crash (silent EOF) and back off instead of failing hard.
 fn shed_busy(conn: TcpStream, stats: &NetStats, config: &NetServerConfig) {
     stats.conn_shed.inc();
+    // Load-shedding is security-relevant (a flood that sheds auditors
+    // is how a dishonest host would hide): the registry's sink promotes
+    // this event into the audit chain.
+    stats.trace.emit(wormtrace::TraceEvent {
+        op: "net.shed",
+        plane: wormtrace::Plane::Net,
+        sn: None,
+        duration_ns: 0,
+        ok: false,
+    });
     let encoded = encode_response(&NetResponse::Error {
         code: CODE_BUSY,
         message: "server at capacity; back off and retry".to_string(),
@@ -676,7 +701,7 @@ pub(crate) fn respond<B: WormBackend>(
         if let Ok((NetRequest::Read { sn }, None)) = &decoded {
             if let Some(hit) = cache.get(*sn) {
                 if let Some((ns, prior)) = stats.request.finish(timer, true) {
-                    if prior % wormtrace::READ_EVENT_SAMPLE == 0 {
+                    if prior % stats.trace.read_event_sample() == 0 {
                         stats.trace.emit(wormtrace::TraceEvent {
                             op: "net.request",
                             plane: wormtrace::Plane::Net,
@@ -753,7 +778,7 @@ pub(crate) fn respond<B: WormBackend>(
         // Counters stay exact; the ring event is sampled like the
         // read plane's (net traffic is read-dominated), except that
         // failures always ring.
-        if prior % wormtrace::READ_EVENT_SAMPLE == 0 || !ok {
+        if prior % stats.trace.read_event_sample() == 0 || !ok {
             stats.trace.emit(wormtrace::TraceEvent {
                 op: "net.request",
                 plane: wormtrace::Plane::Net,
@@ -823,6 +848,13 @@ fn handle<B: WormBackend>(server: &B, req: NetRequest) -> NetResponse {
                 Ok(NetResponse::CompositeHead(server.composite_head()?))
             }
             NetRequest::GetShardKeys => Ok(NetResponse::ShardKeys(server.shard_keys())),
+            NetRequest::FetchAuditEvents {
+                from_seq,
+                max_events,
+            } => Ok(NetResponse::AuditEvents(server.audit_page(
+                from_seq,
+                usize::try_from(max_events).unwrap_or(usize::MAX),
+            ))),
         }
     })();
     result.unwrap_or_else(|e| NetResponse::Error {

@@ -53,7 +53,65 @@ fn arb_request() -> impl Strategy<Value = NetRequest> {
         Just(NetRequest::GetKeys),
         Just(NetRequest::GetCompositeHead),
         Just(NetRequest::GetShardKeys),
+        (any::<u64>(), any::<u32>()).prop_map(|(from_seq, max_events)| {
+            NetRequest::FetchAuditEvents {
+                from_seq,
+                max_events,
+            }
+        }),
     ]
+}
+
+fn arb_audit_event() -> impl Strategy<Value = wormaudit::AuditEvent> {
+    (
+        any::<u64>(),
+        any::<u64>(),
+        any::<prop::sample::Index>(),
+        proptest::option::of(any::<u64>()),
+        proptest::collection::vec(97u8..123, 0..12),
+        any::<[u8; 32]>(),
+    )
+        .prop_map(
+            |(seq, at_ms, class, sn, detail, prev_hash)| wormaudit::AuditEvent {
+                seq,
+                at_ms,
+                class: wormaudit::ALL_CLASSES[class.index(wormaudit::ALL_CLASSES.len())],
+                sn,
+                detail: String::from_utf8(detail).unwrap_or_default(),
+                prev_hash,
+            },
+        )
+}
+
+fn arb_audit_page() -> impl Strategy<Value = wormaudit::AuditPage> {
+    (
+        proptest::collection::vec(arb_audit_event(), 0..6),
+        proptest::collection::vec(
+            (
+                any::<u64>(),
+                any::<[u8; 32]>(),
+                any::<u64>(),
+                any::<[u8; 8]>(),
+                proptest::collection::vec(any::<u8>(), 0..72),
+            ),
+            0..3,
+        ),
+    )
+        .prop_map(|(events, anchors)| wormaudit::AuditPage {
+            events,
+            anchors: anchors
+                .into_iter()
+                .map(
+                    |(seq, chain_hash, issued_at_ms, key_id, sig)| wormaudit::AuditAnchor {
+                        seq,
+                        chain_hash,
+                        issued_at_ms,
+                        key_id,
+                        sig,
+                    },
+                )
+                .collect(),
+        })
 }
 
 proptest! {
@@ -84,6 +142,41 @@ proptest! {
         bad[i] ^= flip;
         if let Ok(decoded) = decode_request(&bad) {
             prop_assert_ne!(decoded, req);
+        }
+    }
+
+    /// Audit-page responses roundtrip exactly through the response
+    /// codec; every strict prefix fails — the `wormaudit.events.v1`
+    /// encoding embedded at opcode 13's response is canonical on the
+    /// wire too.
+    #[test]
+    fn audit_page_responses_roundtrip_and_reject_prefixes(page in arb_audit_page()) {
+        let enc = wormnet::protocol::encode_response(
+            &wormnet::protocol::NetResponse::AuditEvents(page.clone()),
+        );
+        match decode_response(&enc).unwrap() {
+            wormnet::protocol::NetResponse::AuditEvents(got) => prop_assert_eq!(got, page),
+            other => prop_assert!(false, "wrong variant: {:?}", other),
+        }
+        for cut in 0..enc.len() {
+            prop_assert!(decode_response(&enc[..cut]).is_err());
+        }
+    }
+
+    /// Single-byte mutations of an audit-page response either fail to
+    /// decode or decode to a *different* page — a peer cannot alias one
+    /// chain into another with a bit flip (chain integrity itself is
+    /// then enforced by `wormaudit::verify_chain`).
+    #[test]
+    fn audit_page_mutations_never_alias(page in arb_audit_page(), pos in any::<prop::sample::Index>(), flip in 1u8..255) {
+        let enc = wormnet::protocol::encode_response(
+            &wormnet::protocol::NetResponse::AuditEvents(page.clone()),
+        );
+        let mut bad = enc.clone();
+        let i = pos.index(bad.len());
+        bad[i] ^= flip;
+        if let Ok(wormnet::protocol::NetResponse::AuditEvents(got)) = decode_response(&bad) {
+            prop_assert_ne!(got, page);
         }
     }
 

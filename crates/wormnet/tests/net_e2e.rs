@@ -987,6 +987,130 @@ fn malformed_frame_mid_pipeline_kills_only_that_connection() {
 }
 
 #[test]
+fn audit_chain_paginates_over_the_wire_and_verifies() {
+    let h = boot(NetServerConfig::default());
+    let mut client = RemoteWormClient::connect(h.net.local_addr()).unwrap();
+    let (keys, _) = client.fetch_keys().unwrap();
+
+    // Generate a spread of integrity events, then anchor via Tick.
+    for i in 0..4u8 {
+        client.write(&[&[i]], policy(1)).unwrap();
+    }
+    h.clock.advance(Duration::from_secs(2));
+    client.tick().unwrap();
+
+    // Paginate with a tiny window; pages must be dense and contiguous.
+    let mut events = Vec::new();
+    let mut anchors = Vec::new();
+    let mut cursor = 0u64;
+    loop {
+        let page = client.audit_events(cursor, 2).unwrap();
+        if page.events.is_empty() {
+            break;
+        }
+        assert!(page.events.len() <= 2, "server must honour the page cap");
+        assert_eq!(
+            page.events.first().unwrap().seq,
+            cursor,
+            "pages must resume exactly at the cursor"
+        );
+        cursor = page.events.last().unwrap().seq + 1;
+        events.extend(page.events);
+        anchors.extend(page.anchors);
+    }
+    assert!(events.len() >= 4, "writes and ticks must have audited");
+
+    // The stitched pages replay as one clean, fully anchored chain.
+    anchors.sort_by_key(|a: &wormaudit::AuditAnchor| a.seq);
+    anchors.dedup_by_key(|a| a.seq);
+    let whole = wormaudit::AuditPage { events, anchors };
+    let report = wormaudit::verify_chain(&whole, &[keys.sign]);
+    assert!(report.is_clean(), "{:?}", report.divergence);
+    assert_eq!(report.unattested_tail, 0);
+
+    // A cursor past the tip is an empty page, not an error.
+    let empty = client.audit_events(u64::MAX, 16).unwrap();
+    assert!(empty.events.is_empty());
+    h.net.shutdown();
+}
+
+#[test]
+fn tampered_audit_chain_is_detected_and_the_connection_survives() {
+    let h = boot(NetServerConfig::default());
+    let mut client = RemoteWormClient::connect(h.net.local_addr()).unwrap();
+    let verifier = client
+        .bootstrap_verifier(Duration::from_secs(300), h.clock.clone())
+        .unwrap();
+    let (keys, _) = client.fetch_keys().unwrap();
+
+    let sn = client.write(&[b"audited"], policy(3600)).unwrap();
+    client.tick().unwrap();
+    let clean = wormaudit::verify_chain(
+        &client.audit_events(0, 4096).unwrap(),
+        std::slice::from_ref(&keys.sign),
+    );
+    assert!(clean.is_clean(), "{:?}", clean.divergence);
+
+    // The host edits an already-chained journal entry in place — the
+    // model of a server scrubbing its own audit trail.
+    h.server.audit().tamper_event_for_test(0);
+    let page = client.audit_events(0, 4096).unwrap();
+    let report = wormaudit::verify_chain(&page, &[keys.sign]);
+    let divergence = report.divergence.expect("tamper must surface on replay");
+    assert_eq!(divergence.seq, 0, "replay reports the first divergence");
+
+    // Detection is the client's verdict, not a transport failure: the
+    // same connection still serves verified reads.
+    assert_eq!(
+        client.read_verified(sn, &verifier).unwrap().0,
+        ReadVerdict::Intact { sn }
+    );
+    h.net.shutdown();
+}
+
+#[test]
+fn audit_events_span_a_recovery_cycle_over_the_wire() {
+    // Boot, commit, crash with a torn journal, resume, and serve the
+    // resumed server over TCP: a remote auditor sees the recovery
+    // incident in the chain and the chain still anchors and verifies.
+    let clock = VirtualClock::new();
+    let mut rng = StdRng::seed_from_u64(9090);
+    let regulator = RegulatoryAuthority::generate(&mut rng, 512);
+    let srv = WormServer::new(WormConfig::test_small(), clock.clone(), regulator.public()).unwrap();
+    srv.write(&[b"committed"], policy(10_000)).unwrap();
+    srv.write(&[b"torn-away"], policy(10_000)).unwrap();
+
+    let (device, store, journal) = srv.into_parts();
+    let mut torn = wormstore::Journal::from_bytes(journal.as_bytes().to_vec());
+    torn.truncate_tail(40);
+    let srv = Arc::new(
+        WormServer::resume(device, store, torn, WormConfig::test_small(), clock.clone()).unwrap(),
+    );
+    let net = NetServer::bind(Arc::clone(&srv), "127.0.0.1:0", NetServerConfig::default()).unwrap();
+
+    let mut client = RemoteWormClient::connect(net.local_addr()).unwrap();
+    let (keys, _) = client.fetch_keys().unwrap();
+    client.tick().unwrap();
+    let page = client.audit_events(0, 4096).unwrap();
+    assert!(
+        page.events
+            .iter()
+            .any(|e| e.class == wormaudit::AuditClass::RecoveryTornTail),
+        "remote auditor must see the torn-tail incident"
+    );
+    let report = wormaudit::verify_chain(&page, &[keys.sign]);
+    assert!(report.is_clean(), "{:?}", report.divergence);
+    assert_eq!(report.unattested_tail, 0);
+
+    // Stats expose the same plane for cheap polling.
+    let snap = client.stats().unwrap();
+    assert!(snap.counter("audit.emitted") > 0);
+    assert!(snap.counter("audit.anchored") >= 1);
+    assert!(snap.gauge("audit.chain_height").unwrap_or(0) > 0);
+    net.shutdown();
+}
+
+#[test]
 fn shutdown_with_frames_in_flight_neither_hangs_nor_leaks_gauges() {
     let h = boot(NetServerConfig {
         workers: 2,

@@ -138,9 +138,10 @@ fn main() {
         }
     };
 
+    let mut audit = AuditView::new();
     if opts.once {
-        match poll(&mut client) {
-            Ok((stats, traces)) => println!("{}", to_json_line(&addr, &stats, &traces)),
+        match poll(&mut client, &mut audit) {
+            Ok((stats, traces)) => println!("{}", to_json_line(&addr, &stats, &traces, &audit)),
             Err(e) => {
                 eprintln!("wormtop: poll failed: {e}");
                 std::process::exit(1);
@@ -155,10 +156,18 @@ fn main() {
     let mut prev: Option<(Instant, StatsSnapshot)> = None;
     let mut polls: u64 = 0;
     loop {
-        match poll(&mut client) {
+        match poll(&mut client, &mut audit) {
             Ok((stats, traces)) => {
                 polls += 1;
-                render(&addr, polls, opts.interval, prev.as_ref(), &stats, &traces);
+                render(
+                    &addr,
+                    polls,
+                    opts.interval,
+                    prev.as_ref(),
+                    &stats,
+                    &traces,
+                    &audit,
+                );
                 prev = Some((Instant::now(), stats));
             }
             Err(e) => {
@@ -178,10 +187,99 @@ fn main() {
 
 fn poll(
     client: &mut RemoteWormClient,
+    audit: &mut AuditView,
 ) -> Result<(StatsSnapshot, Vec<CapturedTrace>), wormnet::NetError> {
     let stats = client.stats()?;
     let traces = client.traces()?;
+    audit.poll(client)?;
     Ok((stats, traces))
+}
+
+// ---------------------------------------------------------------------
+// Audit panel
+// ---------------------------------------------------------------------
+
+/// Accumulated view of the server's tamper-evident audit chain,
+/// maintained by cursor-paginated `FetchAuditEvents` polls: each poll
+/// transfers only events past the cursor, so a long-running monitor
+/// never refetches the chain it has already seen.
+struct AuditView {
+    /// Next journal sequence number to fetch.
+    cursor: u64,
+    /// Events seen per class, indexed as in [`wormaudit::ALL_CLASSES`].
+    class_counts: Vec<u64>,
+    /// Highest-seq anchor seen so far, if any.
+    last_anchor_seq: Option<u64>,
+    last_anchor_at_ms: u64,
+    /// Timestamp of the newest event seen (server clock, ms).
+    last_event_at_ms: u64,
+}
+
+/// Page size per audit fetch while catching up.
+const AUDIT_PAGE: u32 = 1024;
+
+impl AuditView {
+    fn new() -> AuditView {
+        AuditView {
+            cursor: 0,
+            class_counts: vec![0; wormaudit::ALL_CLASSES.len()],
+            last_anchor_seq: None,
+            last_anchor_at_ms: 0,
+            last_event_at_ms: 0,
+        }
+    }
+
+    /// Fetches every event past the cursor, page by page.
+    fn poll(&mut self, client: &mut RemoteWormClient) -> Result<(), wormnet::NetError> {
+        loop {
+            let page = client.audit_events(self.cursor, AUDIT_PAGE)?;
+            if page.events.is_empty() {
+                return Ok(());
+            }
+            self.absorb(&page);
+        }
+    }
+
+    fn absorb(&mut self, page: &wormaudit::AuditPage) {
+        for e in &page.events {
+            if let Some(i) = wormaudit::ALL_CLASSES.iter().position(|c| *c == e.class) {
+                self.class_counts[i] += 1;
+            }
+            self.cursor = self.cursor.max(e.seq + 1);
+            self.last_event_at_ms = self.last_event_at_ms.max(e.at_ms);
+        }
+        for a in &page.anchors {
+            if self.last_anchor_seq.is_none_or(|prev| a.seq > prev) {
+                self.last_anchor_seq = Some(a.seq);
+                self.last_anchor_at_ms = a.issued_at_ms;
+            }
+        }
+    }
+
+    /// Events chained since the last SCPU anchor (0 when fully
+    /// attested or nothing fetched yet).
+    fn unattested_tail(&self) -> u64 {
+        match self.last_anchor_seq {
+            Some(seq) => self.cursor.saturating_sub(seq + 1),
+            None => self.cursor,
+        }
+    }
+
+    /// Server-clock ms between the newest event and the newest anchor —
+    /// how stale the chain's attestation is.
+    fn anchor_age_ms(&self) -> u64 {
+        self.last_event_at_ms.saturating_sub(self.last_anchor_at_ms)
+    }
+
+    /// `(class name, count)` for every class seen at least once.
+    fn seen_classes(&self) -> Vec<(&'static str, u64)> {
+        wormaudit::ALL_CLASSES
+            .iter()
+            .zip(&self.class_counts)
+            .filter(|(_, n)| **n > 0)
+            .map(|(c, n)| (c.as_str(), *n))
+            .collect()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -274,6 +372,9 @@ fn self_test_boot(shards: u32) -> SelfTest {
         client.lit_hold(bad).is_err(),
         "imposter hold must be rejected"
     );
+    // One tick so the audit chain's tip is SCPU-anchored and the AUDIT
+    // panel shows a bounded unattested tail.
+    client.tick().expect("self-test tick");
     SelfTest {
         net,
         addr,
@@ -392,6 +493,7 @@ fn worker_rows(stats: &StatsSnapshot) -> Vec<WorkerRow> {
 // Live rendering
 // ---------------------------------------------------------------------
 
+#[allow(clippy::too_many_arguments)]
 fn render(
     addr: &str,
     polls: u64,
@@ -399,6 +501,7 @@ fn render(
     prev: Option<&(Instant, StatsSnapshot)>,
     stats: &StatsSnapshot,
     traces: &[CapturedTrace],
+    audit: &AuditView,
 ) {
     let mut out = String::new();
     // Full-screen refresh: clear + home.
@@ -422,6 +525,35 @@ fn render(
         stats.gauge("daemon.backoff_ms").unwrap_or(0),
         stats.gauge("daemon.consecutive_failures").unwrap_or(0),
     ));
+
+    // Audit plane: the tamper-evident chain's growth, attestation lag,
+    // and event mix. The rate comes from the emitted counter delta.
+    let audit_rate = prev
+        .map(|(at, p)| {
+            let before = p.counter("audit.emitted");
+            let elapsed = at.elapsed().as_secs_f64().max(1e-9);
+            stats.counter("audit.emitted").saturating_sub(before) as f64 / elapsed
+        })
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "AUDIT  chain height {}   events/s {:.1}   emitted {}   dropped {}   anchored {}   unattested tail {}   anchor age {}\n",
+        stats.gauge("audit.chain_height").unwrap_or(0),
+        audit_rate,
+        stats.counter("audit.emitted"),
+        stats.counter("audit.dropped"),
+        stats.counter("audit.anchored"),
+        audit.unattested_tail(),
+        fmt_ns(audit.anchor_age_ms().saturating_mul(1_000_000)),
+    ));
+    let classes = audit.seen_classes();
+    if !classes.is_empty() {
+        out.push_str("  classes:");
+        for (name, n) in &classes {
+            out.push_str(&format!("  {name} {n}"));
+        }
+        out.push('\n');
+    }
+    out.push('\n');
 
     // Sharded deployments: one health row per shard lane, extracted
     // from the merged snapshot's `shard{i}.` prefixes.
@@ -586,10 +718,32 @@ fn json_escape(s: &str) -> String {
 /// One JSON object on one line: the full snapshot plus every held
 /// trace. Hand-rolled (the workspace has no serde); keys are emitted
 /// in a fixed order so output is diffable across runs.
-fn to_json_line(addr: &str, stats: &StatsSnapshot, traces: &[CapturedTrace]) -> String {
+fn to_json_line(
+    addr: &str,
+    stats: &StatsSnapshot,
+    traces: &[CapturedTrace],
+    audit: &AuditView,
+) -> String {
     let mut s = String::with_capacity(4096);
     s.push_str(&format!("{{\"addr\":\"{}\"", json_escape(addr)));
     s.push_str(&format!(",\"events_dropped\":{}", stats.events_dropped));
+
+    s.push_str(&format!(
+        ",\"audit\":{{\"chain_height\":{},\"emitted\":{},\"dropped\":{},\"anchored\":{},\"unattested_tail\":{},\"anchor_age_ms\":{},\"classes\":{{",
+        stats.gauge("audit.chain_height").unwrap_or(0),
+        stats.counter("audit.emitted"),
+        stats.counter("audit.dropped"),
+        stats.counter("audit.anchored"),
+        audit.unattested_tail(),
+        audit.anchor_age_ms(),
+    ));
+    for (i, (name, n)) in audit.seen_classes().iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"{}\":{n}", json_escape(name)));
+    }
+    s.push_str("}}");
 
     s.push_str(",\"counters\":{");
     for (i, (name, v)) in stats.counters.iter().enumerate() {
@@ -718,12 +872,90 @@ mod tests {
 
     #[test]
     fn json_line_is_well_formed_for_empty_snapshot() {
-        let line = to_json_line("x:1", &StatsSnapshot::default(), &[]);
+        let line = to_json_line("x:1", &StatsSnapshot::default(), &[], &AuditView::new());
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\"counters\":{}"));
         assert!(line.contains("\"traces\":[]"));
         assert!(line.contains("\"shards\":[]"));
+        assert!(line.contains(
+            "\"audit\":{\"chain_height\":0,\"emitted\":0,\"dropped\":0,\"anchored\":0,\
+             \"unattested_tail\":0,\"anchor_age_ms\":0,\"classes\":{}}"
+        ));
         assert!(!line.contains('\n'));
+    }
+
+    fn sample_page() -> wormaudit::AuditPage {
+        let ev = |seq, at_ms, class| wormaudit::AuditEvent {
+            seq,
+            at_ms,
+            class,
+            sn: None,
+            detail: String::new(),
+            prev_hash: [0; 32],
+        };
+        wormaudit::AuditPage {
+            events: vec![
+                ev(0, 1_000, wormaudit::AuditClass::HeadRefresh),
+                ev(1, 2_000, wormaudit::AuditClass::VerifyFailure),
+                ev(2, 5_000, wormaudit::AuditClass::VerifyFailure),
+            ],
+            anchors: vec![wormaudit::AuditAnchor {
+                seq: 1,
+                chain_hash: [0; 32],
+                issued_at_ms: 2_000,
+                key_id: [0; 8],
+                sig: Vec::new(),
+            }],
+        }
+    }
+
+    #[test]
+    fn audit_view_accumulates_pages_into_panel_state() {
+        let mut view = AuditView::new();
+        view.absorb(&sample_page());
+        // Cursor points past the newest event; one event past the anchor.
+        assert_eq!(view.cursor, 3);
+        assert_eq!(view.unattested_tail(), 1);
+        assert_eq!(view.anchor_age_ms(), 3_000);
+        assert_eq!(
+            view.seen_classes(),
+            vec![("verify-failure", 2), ("head-refresh", 1)]
+        );
+        // Re-absorbing an older (replayed) page never regresses the view.
+        view.absorb(&wormaudit::AuditPage {
+            events: Vec::new(),
+            anchors: vec![wormaudit::AuditAnchor {
+                seq: 0,
+                chain_hash: [0; 32],
+                issued_at_ms: 1_000,
+                key_id: [0; 8],
+                sig: Vec::new(),
+            }],
+        });
+        assert_eq!(view.last_anchor_seq, Some(1));
+        assert_eq!(view.anchor_age_ms(), 3_000);
+    }
+
+    #[test]
+    fn audit_view_reaches_json_line() {
+        let mut view = AuditView::new();
+        view.absorb(&sample_page());
+        let stats = StatsSnapshot {
+            // Name-sorted: snapshot lookups binary-search.
+            counters: vec![
+                ("audit.anchored".to_string(), 1),
+                ("audit.dropped".to_string(), 0),
+                ("audit.emitted".to_string(), 3),
+            ],
+            gauges: vec![("audit.chain_height".to_string(), 3)],
+            ..StatsSnapshot::default()
+        };
+        let line = to_json_line("x:1", &stats, &[], &view);
+        assert!(line.contains(
+            "\"audit\":{\"chain_height\":3,\"emitted\":3,\"dropped\":0,\"anchored\":1,\
+             \"unattested_tail\":1,\"anchor_age_ms\":3000,\
+             \"classes\":{\"verify-failure\":2,\"head-refresh\":1}}"
+        ));
     }
 
     #[test]
@@ -793,7 +1025,7 @@ mod tests {
 
     #[test]
     fn shard_rows_reach_json_line() {
-        let line = to_json_line("x:1", &sharded_snapshot(), &[]);
+        let line = to_json_line("x:1", &sharded_snapshot(), &[], &AuditView::new());
         assert!(line.contains("\"shards\":[{\"lane\":0,"));
         assert!(line.contains("\"lane\":2,\"writes\":7"));
         assert!(line.contains("\"backoff_ms\":250"));
@@ -847,7 +1079,7 @@ mod tests {
 
     #[test]
     fn worker_rows_reach_json_line() {
-        let line = to_json_line("x:1", &worker_snapshot(), &[]);
+        let line = to_json_line("x:1", &worker_snapshot(), &[], &AuditView::new());
         assert!(line.contains("\"workers\":[{\"worker\":0,\"conns\":3,\"frames\":120}"));
         assert!(line.contains("{\"worker\":2,\"conns\":0,\"frames\":40}"));
     }

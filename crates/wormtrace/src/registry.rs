@@ -1,7 +1,7 @@
 //! The metrics registry: named instruments behind a read-mostly lock.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::metrics::{Counter, Gauge, OpStats, OpTimer};
@@ -10,10 +10,16 @@ use crate::span::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 use crate::sync;
 use crate::trace::{EventRing, TraceEvent, TraceSink, DEFAULT_RING_CAPACITY};
 
-/// Read-plane events are sampled 1-in-this-many (witness, daemon, and
-/// net events are always emitted). Counters and histograms are exact
-/// regardless — sampling only thins the flight-recorder ring, keeping
-/// the mutex-guarded push off most of the hot read path.
+/// Default read-plane event sampling rate: 1-in-this-many reads emit a
+/// ring event (witness, daemon, and net events are always emitted).
+/// Counters and histograms are exact regardless — sampling only thins
+/// the flight-recorder ring, keeping the mutex-guarded push off most of
+/// the hot read path. Error events bypass sampling at every call site,
+/// so failure evidence is never thinned.
+///
+/// Per-registry override: [`Registry::set_read_event_sample`] (e.g. `1`
+/// to ring every read while debugging, or a larger stride to shrink
+/// ring pressure on a hot store).
 pub const READ_EVENT_SAMPLE: u64 = 64;
 
 /// A process-wide (or server-wide) collection of named instruments.
@@ -32,6 +38,7 @@ pub struct Registry {
     sink: RwLock<Option<Arc<dyn TraceSink>>>,
     has_sink: AtomicBool,
     enabled: AtomicBool,
+    read_sample: AtomicU64,
 }
 
 impl Default for Registry {
@@ -68,7 +75,22 @@ impl Registry {
             sink: RwLock::new(None),
             has_sink: AtomicBool::new(false),
             enabled: AtomicBool::new(true),
+            read_sample: AtomicU64::new(READ_EVENT_SAMPLE),
         }
+    }
+
+    /// Current read-plane sampling stride: 1-in-this-many successful
+    /// reads emit a ring event (defaults to [`READ_EVENT_SAMPLE`]).
+    pub fn read_event_sample(&self) -> u64 {
+        // ordering: tuning knob; a stale stride samples a few events at
+        // the old rate, nothing is guarded by it.
+        self.read_sample.load(Ordering::Relaxed)
+    }
+
+    /// Sets the read-plane sampling stride (clamped to at least 1).
+    pub fn set_read_event_sample(&self, stride: u64) {
+        // ordering: see `read_event_sample()` — the knob publishes nothing.
+        self.read_sample.store(stride.max(1), Ordering::Relaxed);
     }
 
     /// Whether instruments driven through [`Registry::timer`] and
@@ -249,6 +271,17 @@ mod tests {
         r.emit(event);
         assert_eq!(sink.0.load(Ordering::Relaxed), 1);
         assert_eq!(r.ring().len(), 2);
+    }
+
+    #[test]
+    fn read_sample_defaults_and_clamps() {
+        let r = Registry::new();
+        assert_eq!(r.read_event_sample(), READ_EVENT_SAMPLE);
+        r.set_read_event_sample(4);
+        assert_eq!(r.read_event_sample(), 4);
+        // Stride 0 would divide by zero at every call site; clamp to 1.
+        r.set_read_event_sample(0);
+        assert_eq!(r.read_event_sample(), 1);
     }
 
     #[test]

@@ -74,4 +74,10 @@ cargo run --release -q -p worm-bench --bin observability > /dev/null
 echo ">> trace_overhead"
 cargo run --release -q -p worm-bench --bin trace_overhead > /dev/null
 
+# Writes results/BENCH_audit_overhead.json itself: tamper-evident audit
+# plane cost on remote verified reads, audited vs kill-switched. Exits
+# nonzero if the overhead exceeds the 3% budget.
+echo ">> audit_overhead"
+cargo run --release -q -p worm-bench --bin audit_overhead > /dev/null
+
 echo "done; artifacts in results/"
