@@ -637,6 +637,7 @@ impl<D: BlockDevice> WormServer<D> {
         shard_count: u32,
         root: Vec<u8>,
     ) -> Result<CompositeBinding, WormError> {
+        // lock-order: ShardRouter.composite -> WormServer.witness; the composite head orders before every per-shard witness device
         let mut w = self.witness.lock();
         match execute(
             &mut w.device,

@@ -286,6 +286,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
             metasig: receipt.metasig,
             datasig: receipt.datasig,
         };
+        // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
         self.vrdt.write().insert(vrd)?;
         if let Some(seal) = receipt.vexp_seal {
             self.spilled.push(SpilledVexp {
@@ -307,6 +308,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
     /// configured interval. Re-checks staleness here (under the witness
     /// lock) so racing readers trigger at most one device round-trip.
     pub(crate) fn ensure_fresh_head(&mut self) -> Result<(), WormError> {
+        // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
         let stale = match self.vrdt.read().head() {
             None => true,
             Some(h) => self.clock.now().since(h.issued_at) > self.config.head_refresh_interval,
@@ -322,6 +324,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
     }
 
     pub(crate) fn ensure_fresh_base(&mut self) -> Result<BaseCert, WormError> {
+        // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
         let stale = match self.vrdt.read().base() {
             None => true,
             Some(b) => b.expires_at <= self.clock.now(),
@@ -331,6 +334,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
         }
         // Defensive: this sits on the read path (below-base evidence), so
         // a missing base after a refresh is an error, not a panic.
+        // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
         self.vrdt.read().base().cloned().ok_or_else(|| {
             WormError::Firmware("no base certificate installed after refresh".into())
         })
@@ -341,6 +345,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
             WormResponse::Head(h) => {
                 self.audit
                     .emit(AuditClass::HeadRefresh, None, "head refreshed");
+                // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                 self.vrdt.write().set_head(h)?;
                 Ok(())
             }
@@ -351,6 +356,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
     pub(crate) fn refresh_base(&mut self) -> Result<(), WormError> {
         match execute(&mut self.device, WormRequest::RefreshBase)? {
             WormResponse::Base(b) => {
+                // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                 self.vrdt.write().set_base(b)?;
                 Ok(())
             }
@@ -363,6 +369,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
         credential: crate::authority::HoldCredential,
     ) -> Result<(), WormError> {
         let sn = credential.sn;
+        // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
         let vrd = match self.vrdt.read().lookup(sn) {
             Lookup::Active(v) => v.clone(),
             _ => return Err(WormError::NotActive(sn)),
@@ -379,6 +386,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
                 let mut updated = vrd;
                 updated.attr = attr;
                 updated.metasig = metasig;
+                // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                 self.vrdt.write().replace(updated)?;
                 Ok(())
             }
@@ -391,6 +399,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
         credential: crate::authority::ReleaseCredential,
     ) -> Result<(), WormError> {
         let sn = credential.sn;
+        // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
         let vrd = match self.vrdt.read().lookup(sn) {
             Lookup::Active(v) => v.clone(),
             _ => return Err(WormError::NotActive(sn)),
@@ -407,6 +416,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
                 let mut updated = vrd;
                 updated.attr = attr;
                 updated.metasig = metasig;
+                // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                 self.vrdt.write().replace(updated)?;
                 Ok(())
             }
@@ -468,6 +478,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
         // exhausted secure memory.
         let mut still_pending = Vec::new();
         for sn in std::mem::take(&mut self.resync) {
+            // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
             let vrd = match self.vrdt.read().lookup(sn) {
                 Lookup::Active(v) => v.clone(),
                 _ => continue, // deleted meanwhile
@@ -486,6 +497,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
         // Submit pending audits.
         let to_audit: Vec<SerialNumber> = self.unaudited.iter().copied().take(16).collect();
         for sn in to_audit {
+            // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
             let rdl = match self.vrdt.read().lookup(sn) {
                 Lookup::Active(v) => Some(v.rdl.clone()),
                 _ => None,
@@ -524,12 +536,14 @@ impl<D: BlockDevice> WitnessPlane<D> {
     pub(crate) fn compact(&mut self) -> Result<usize, WormError> {
         let runs = self
             .vrdt
+            // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
             .read()
             .expired_runs(self.config.min_compaction_run);
         let mut created = 0;
         for (lo, hi) in runs {
             match execute(&mut self.device, WormRequest::CompactWindow { lo, hi })? {
                 WormResponse::Window(w) => {
+                    // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                     self.vrdt.write().compact(w)?;
                     created += 1;
                 }
@@ -557,8 +571,10 @@ impl<D: BlockDevice> WitnessPlane<D> {
             shredder
                 .write_pass(self.store.device(), &rd, &mut self.rng, pass)
                 .map_err(wormstore::StoreError::from)?;
+            // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
             self.vrdt.write().note_shred_pass(rd.offset, pass)?;
         }
+        // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
         self.vrdt.write().note_shred_done(rd.offset)?;
         self.store.note_shredded(&rd);
         self.store.release(&rd);
@@ -617,6 +633,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
         // top frees contiguous space at the tail of the region.
         let mut extents: Vec<RecordDescriptor> = Vec::new();
         {
+            // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
             let vrdt = self.vrdt.read();
             let mut seen = BTreeSet::new();
             for vrd in vrdt.iter_active() {
@@ -638,6 +655,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
             let mut updated: Vec<Vrd> = Vec::new();
             let mut shredder: Option<Shredder> = None;
             {
+                // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                 let vrdt = self.vrdt.read();
                 for vrd in vrdt.iter_active() {
                     if vrd.rdl.iter().any(|rd| rd.offset == old.offset) {
@@ -665,6 +683,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
                 next_pass: 0,
             };
             {
+                // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                 let mut vrdt = self.vrdt.write();
                 for v in &updated {
                     vrdt.stage_replace(v)?;
@@ -714,6 +733,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
                     // whose plaintext quietly survives.
                     let mut to_shred: Vec<ShredState> = Vec::new();
                     {
+                        // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                         let mut vrdt = self.vrdt.write();
                         let rdl: Vec<RecordDescriptor> = match vrdt.lookup(proof.sn) {
                             Lookup::Active(v) => v.rdl.clone(),
@@ -750,6 +770,7 @@ impl<D: BlockDevice> WitnessPlane<D> {
                 }
                 OutboxItem::Strengthened { sn, field, witness } => {
                     self.stats.strengthened.inc();
+                    // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                     let mut vrdt = self.vrdt.write();
                     let updated = match vrdt.lookup(sn) {
                         Lookup::Active(v) => {
@@ -766,10 +787,12 @@ impl<D: BlockDevice> WitnessPlane<D> {
                         vrdt.replace(updated)?;
                     }
                 }
+                // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                 OutboxItem::NewBase(b) => self.vrdt.write().set_base(b)?,
                 OutboxItem::NewHead(h) => {
                     self.audit
                         .emit(AuditClass::HeadRemint, None, "head re-minted on heartbeat");
+                    // lock-order: witness -> vrdt; the shared VRDT table is taken only under the owning witness plane
                     self.vrdt.write().set_head(h)?;
                 }
                 OutboxItem::NewWeakKey(cert) => {

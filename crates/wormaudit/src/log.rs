@@ -130,6 +130,7 @@ impl AuditLog {
             return;
         }
         let at_ms = (self.clock)();
+        // lock-order: AuditLog.inner is a terminal leaf; emitters may hold witness/vrdt and no lock is taken under it
         let mut inner = sync::lock(&self.inner);
         let event = AuditEvent {
             seq: inner.next_seq,
@@ -154,6 +155,7 @@ impl AuditLog {
     /// event — when it is not already covered by the newest anchor.
     /// `None` when the journal is empty or the tip is anchored.
     pub fn needs_anchor(&self) -> Option<(u64, [u8; 32])> {
+        // lock-order: AuditLog.inner is a terminal leaf; emitters may hold witness/vrdt and no lock is taken under it
         let inner = sync::lock(&self.inner);
         if inner.next_seq == 0 {
             return None;
@@ -169,6 +171,7 @@ impl AuditLog {
     /// [`AuditLog::needs_anchor`]. Anchors are kept in a bounded list
     /// (oldest evicted first).
     pub fn install_anchor(&self, anchor: AuditAnchor) {
+        // lock-order: AuditLog.inner is a terminal leaf; emitters may hold witness/vrdt and no lock is taken under it
         let mut inner = sync::lock(&self.inner);
         inner.last_anchor_seq = Some(anchor.seq);
         if inner.anchors.len() == self.anchor_capacity {

@@ -286,6 +286,7 @@ impl Ubig {
     /// Panics if `other > self`.
     pub fn sub(&self, other: &Ubig) -> Ubig {
         self.checked_sub(other)
+            // wormlint: allow(panic) -- documented contract (see `# Panics`): callers guarantee other <= self
             .expect("Ubig::sub underflow: subtrahend exceeds minuend")
     }
 

@@ -175,6 +175,7 @@ impl Ubig {
             return Ubig::zero();
         }
         if modulus.is_odd() {
+            // wormlint: allow(panic) -- Montgomery::new succeeds for any odd modulus
             let ctx = Montgomery::new(modulus).expect("odd modulus");
             // Short exponents (RSA verification's e = 65537) don't earn
             // back a 14-multiply window table; plain square-and-multiply

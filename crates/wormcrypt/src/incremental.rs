@@ -50,6 +50,7 @@ impl MultisetHash {
         let d = h.finalize();
         let mut lanes = [0u64; LANES];
         for (i, lane) in lanes.iter_mut().enumerate() {
+            // wormlint: allow(panic) -- an 8-byte slice of the 64-byte digest
             *lane = u64::from_be_bytes(d[i * 8..(i + 1) * 8].try_into().expect("8 bytes"));
         }
         lanes

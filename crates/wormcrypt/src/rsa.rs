@@ -150,6 +150,7 @@ fn read_len_prefixed(bytes: &[u8]) -> Result<(&[u8], &[u8]), CryptoError> {
     if bytes.len() < 4 {
         return Err(CryptoError::Malformed("short length prefix"));
     }
+    // wormlint: allow(panic) -- bytes.len() >= 4 checked above
     let len = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
     if bytes.len() < 4 + len {
         return Err(CryptoError::Malformed("length prefix exceeds buffer"));
@@ -187,9 +188,11 @@ impl RsaPrivateKey {
             if !e.gcd(&phi).is_one() {
                 continue;
             }
+            // wormlint: allow(panic) -- the inverse exists: gcd(e, phi) == 1 checked above
             let d = e.mod_inverse(&phi).expect("gcd(e, phi) == 1");
             let dp = d.rem(&p1);
             let dq = d.rem(&q1);
+            // wormlint: allow(panic) -- p and q are distinct primes, so q is invertible mod p
             let qinv = q.mod_inverse(&p).expect("p, q distinct primes");
             return RsaPrivateKey {
                 public: RsaPublicKey { n, e },

@@ -115,6 +115,7 @@ impl Sha256 {
             return;
         }
         for block in blocks.chunks_exact(64) {
+            // wormlint: allow(panic) -- chunks_exact(64) yields exactly 64 bytes
             let b: &[u8; 64] = block.try_into().expect("64-byte chunk");
             self.compress(b);
         }

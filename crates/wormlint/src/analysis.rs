@@ -14,6 +14,9 @@ pub const ALLOW_MARKER: &str = "wormlint: allow";
 /// comment, so documentation discussing "ordering:" in passing cannot
 /// accidentally justify an adjacent atomic.
 pub const ORDERING_MARKER: &str = "ordering:";
+/// Marker introducing a nested-lock-acquisition justification (L5).
+/// Same adjacency rules as `// ordering:`.
+pub const LOCK_ORDER_MARKER: &str = "lock-order:";
 
 /// Strips comment sigils (`//`, `///`, `//!`, `/*`, `/**`) and leading
 /// whitespace, yielding the comment's payload text.
@@ -27,7 +30,15 @@ fn comment_payload(text: &str) -> &str {
 }
 
 /// Rule names accepted inside `wormlint: allow(...)`.
-pub const KNOWN_RULES: &[&str] = &["panic", "index", "cast", "codec"];
+pub const KNOWN_RULES: &[&str] = &[
+    "panic",
+    "index",
+    "cast",
+    "codec",
+    "blocking",
+    "panic-reach",
+    "count-bomb",
+];
 
 /// A parsed, well-formed allow comment.
 #[derive(Clone, Debug)]
@@ -66,6 +77,9 @@ pub struct SourceFile {
     /// Lines opening an `// ordering:` justification comment, mapped to
     /// the justification text.
     ordering_notes: BTreeMap<u32, String>,
+    /// Lines opening a `// lock-order:` justification comment, mapped
+    /// to the justification text.
+    lock_order_notes: BTreeMap<u32, String>,
     pub allows: Vec<Allow>,
     pub bad_allows: Vec<BadAllow>,
 }
@@ -82,6 +96,7 @@ impl SourceFile {
         }
         let mut comment_text: BTreeMap<u32, String> = BTreeMap::new();
         let mut ordering_notes: BTreeMap<u32, String> = BTreeMap::new();
+        let mut lock_order_notes: BTreeMap<u32, String> = BTreeMap::new();
         for c in &lexed.comments {
             // A block comment's text is attributed to every line it
             // touches, so adjacency checks see it wherever it appears.
@@ -93,6 +108,12 @@ impl SourceFile {
                 let note = rest.trim().trim_end_matches("*/").trim();
                 if !note.is_empty() {
                     ordering_notes.insert(c.line, note.to_string());
+                }
+            }
+            if let Some(rest) = comment_payload(text).strip_prefix(LOCK_ORDER_MARKER) {
+                let note = rest.trim().trim_end_matches("*/").trim();
+                if !note.is_empty() {
+                    lock_order_notes.insert(c.line, note.to_string());
                 }
             }
         }
@@ -113,6 +134,7 @@ impl SourceFile {
             comment_only_lines,
             comment_text,
             ordering_notes,
+            lock_order_notes,
             allows,
             bad_allows,
         }
@@ -140,7 +162,17 @@ impl SourceFile {
     /// `line`: on the same line, or in the contiguous run of
     /// comment-only lines immediately above.
     pub fn ordering_justification(&self, line: u32) -> Option<String> {
-        if let Some(j) = self.ordering_notes.get(&line) {
+        self.adjacent_note(&self.ordering_notes, line)
+    }
+
+    /// Finds an adjacent `// lock-order:` justification for a nested
+    /// acquisition at `line` (same adjacency rules as `// ordering:`).
+    pub fn lock_order_justification(&self, line: u32) -> Option<String> {
+        self.adjacent_note(&self.lock_order_notes, line)
+    }
+
+    fn adjacent_note(&self, notes: &BTreeMap<u32, String>, line: u32) -> Option<String> {
+        if let Some(j) = notes.get(&line) {
             return Some(j.clone());
         }
         let mut l = line.saturating_sub(1);
@@ -151,7 +183,7 @@ impl SourceFile {
                 .copied()
                 .unwrap_or(false)
         {
-            if let Some(j) = self.ordering_notes.get(&l) {
+            if let Some(j) = notes.get(&l) {
                 return Some(j.clone());
             }
             l -= 1;

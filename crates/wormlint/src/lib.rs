@@ -19,6 +19,8 @@
 //! grammar (`// wormlint: allow(<rule>) -- <reason>`).
 
 pub mod analysis;
+pub mod graph;
+pub mod interp;
 pub mod lexer;
 pub mod rules;
 pub mod selftest;
@@ -48,11 +50,12 @@ pub const CODEC_FILES: &[&str] = &["codec.rs", "wire.rs", "frame.rs", "protocol.
 /// One diagnostic with a file:line span.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Diag {
-    /// Lint family: `L0` (escape-hatch hygiene) through `L4`.
+    /// Lint family: `L0` (escape-hatch hygiene) through `L8`.
     pub lint: &'static str,
     /// Machine-readable rule name (`panic`, `index`, `ordering`,
     /// `codec-pair`, `codec-test`, `opcode`, `cast`, `allow-syntax`,
-    /// `allow-unused`).
+    /// `allow-unused`, `lock-order`, `lock-cycle`, `hold-blocking`,
+    /// `reactor-blocking`, `panic-reach`, `count-bomb`).
     pub rule: &'static str,
     pub file: String,
     pub line: u32,
@@ -105,6 +108,8 @@ pub struct AtomicSite {
 pub struct Report {
     pub diags: Vec<Diag>,
     pub atomic_sites: Vec<AtomicSite>,
+    /// L5's lock inventory (`results/LOCK_AUDIT.json`).
+    pub lock_audit: interp::LockAudit,
     /// Source files linted.
     pub files_linted: usize,
 }
@@ -230,22 +235,39 @@ pub fn run_workspace(root: &Path) -> Report {
 
     let protocol_doc = std::fs::read_to_string(root.join("docs/PROTOCOL.md")).ok();
 
+    // Parse in parallel: files are independent until the graph pass,
+    // and lexing dominates wall-clock on a cold run. Workers take
+    // disjoint chunks of a preallocated slot vector, so results stay
+    // in deterministic file order with no locking.
+    type Slot = Option<Result<(SourceFile, Scope), (String, String)>>;
+    let mut slots: Vec<Slot> = Vec::new();
+    slots.resize_with(lint_files.len(), || None);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let chunk = lint_files.len().div_ceil(workers.max(1)).max(1);
+    std::thread::scope(|s| {
+        for (ci, slot_chunk) in slots.chunks_mut(chunk).enumerate() {
+            let files = &lint_files[ci * chunk..ci * chunk + slot_chunk.len()];
+            s.spawn(move || {
+                for (slot, p) in slot_chunk.iter_mut().zip(files) {
+                    let rp = rel(root, p);
+                    *slot = Some(match std::fs::read_to_string(p) {
+                        Ok(src) => {
+                            let scope = scope_for(&rp);
+                            Ok((SourceFile::parse(&rp, src), scope))
+                        }
+                        Err(e) => Err((rp, format!("unreadable source file: {e}"))),
+                    });
+                }
+            });
+        }
+    });
     let mut parsed: Vec<(SourceFile, Scope)> = Vec::new();
-    for p in &lint_files {
-        let rp = rel(root, p);
-        match std::fs::read_to_string(p) {
-            Ok(src) => {
-                let f = SourceFile::parse(&rp, src);
-                let scope = scope_for(&rp);
-                parsed.push((f, scope));
-            }
-            Err(e) => report.diags.push(Diag::new(
-                "L0",
-                "io",
-                &rp,
-                0,
-                format!("unreadable source file: {e}"),
-            )),
+    for slot in slots {
+        match slot.expect("every parse slot is filled by its worker") {
+            Ok(pair) => parsed.push(pair),
+            Err((rp, err)) => report.diags.push(Diag::new("L0", "io", &rp, 0, err)),
         }
     }
 
@@ -264,15 +286,59 @@ pub fn run_workspace(root: &Path) -> Report {
         protocol_doc: protocol_doc.as_deref(),
     };
 
+    let mut file_reports: Vec<rules::FileReport> = Vec::new();
     for (f, scope) in &parsed {
         let file_report = rules::lint_file(f, *scope);
-        report.diags.extend(file_report.diags);
-        report.atomic_sites.extend(file_report.atomic_sites);
         rules::l3_test_coverage(&f.path, &file_report.encode_fns, &ctx, &mut report.diags);
         if f.path.ends_with("wormnet/src/protocol.rs") {
             rules::l3_opcodes(f, &ctx, &mut report.diags);
         }
         report.files_linted += 1;
+        file_reports.push(file_report);
+    }
+
+    // Interprocedural pass (L5-L8) over the serving crates plus the
+    // crypto core they call into.
+    let mut gfiles: Vec<graph::GraphFile<'_>> = Vec::new();
+    for (i, (f, scope)) in parsed.iter().enumerate() {
+        let krate = f
+            .path
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("")
+            .to_string();
+        let file_name = f.path.rsplit('/').next().unwrap_or("");
+        if !graph::GRAPH_CRATES.contains(&krate.as_str())
+            || graph::GRAPH_EXCLUDE_FILES.contains(&file_name)
+        {
+            continue;
+        }
+        gfiles.push(graph::GraphFile {
+            sf: f,
+            krate,
+            serving: scope.serving,
+            codec: scope.codec_path,
+            orig: i,
+        });
+    }
+    let gr = graph::build(gfiles);
+    let iout = interp::check(&gr);
+    for (gi, gf) in gr.files.iter().enumerate() {
+        file_reports[gf.orig]
+            .used_allows
+            .extend(iout.used_allows[gi].iter().copied());
+    }
+    report.diags.extend(iout.diags);
+    report.lock_audit = iout.audit;
+
+    // Allow-staleness (L0) judged only after every consumer — the
+    // per-file rules and the interprocedural pass — has run.
+    for ((f, _), fr) in parsed.iter().zip(file_reports) {
+        report
+            .diags
+            .extend(rules::unused_allows(f, &fr.used_allows));
+        report.diags.extend(fr.diags);
+        report.atomic_sites.extend(fr.atomic_sites);
     }
 
     report
@@ -302,21 +368,41 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-/// Renders diagnostics as the documented `wormlint.diag.v1` JSON
+/// What kind of justification would have silenced a diagnostic —
+/// CI annotations link the fix from this. A pure function of the rule
+/// name so the mapping is schema-stable.
+pub fn justification_status(rule: &str) -> &'static str {
+    match rule {
+        // The escape hatch itself is broken.
+        "allow-syntax" => "malformed",
+        // The escape hatch no longer suppresses anything.
+        "allow-unused" => "stale",
+        // Silenced by an adjacent `// ordering:` / `// lock-order:`.
+        "ordering" | "lock-order" => "missing-comment",
+        // Silenced by a `wormlint: allow(<rule>)` with a reason.
+        "panic" | "index" | "cast" | "codec" | "hold-blocking" | "reactor-blocking"
+        | "panic-reach" | "count-bomb" => "missing-allow",
+        // Structural findings with no per-site escape hatch.
+        _ => "n/a",
+    }
+}
+
+/// Renders diagnostics as the documented `wormlint.diag.v2` JSON
 /// document (see docs/LINTS.md).
 pub fn diags_to_json(report: &Report) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"version\": \"wormlint.diag.v1\",\n");
+    out.push_str("{\n  \"version\": \"wormlint.diag.v2\",\n");
     out.push_str(&format!("  \"clean\": {},\n", report.clean()));
     out.push_str(&format!("  \"files_linted\": {},\n", report.files_linted));
     out.push_str("  \"diagnostics\": [\n");
     for (i, d) in report.diags.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"lint\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            "    {{\"lint\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"justification\": \"{}\", \"message\": \"{}\"}}{}\n",
             d.lint,
             d.rule,
             json_escape(&d.file),
             d.line,
+            justification_status(d.rule),
             json_escape(&d.message),
             if i + 1 == report.diags.len() { "" } else { "," }
         ));

@@ -46,6 +46,10 @@ pub struct FileReport {
     pub atomic_sites: Vec<AtomicSite>,
     /// Names of non-test `fn encode_*` items defined in this file.
     pub encode_fns: Vec<(String, u32)>,
+    /// Indices into `SourceFile::allows` consumed by the per-file
+    /// rules. The interprocedural pass (L5-L8) consumes more before
+    /// [`unused_allows`] judges staleness.
+    pub used_allows: BTreeSet<usize>,
 }
 
 /// Runs every per-file rule on `f` under `scope`.
@@ -72,11 +76,18 @@ pub fn lint_file(f: &SourceFile, scope: Scope) -> FileReport {
         l4_casts(f, &mut report, &mut used_allows);
     }
 
-    // Every allow comment must have suppressed something: a stale
-    // escape hatch is itself a hygiene failure.
+    report.used_allows = used_allows;
+    report
+}
+
+/// L0's staleness check: every allow comment must have suppressed
+/// something across *all* rule passes (per-file and interprocedural).
+/// Run after both have recorded consumption into `used`.
+pub fn unused_allows(f: &SourceFile, used: &BTreeSet<usize>) -> Vec<Diag> {
+    let mut diags = Vec::new();
     for (i, a) in f.allows.iter().enumerate() {
-        if !used_allows.contains(&i) {
-            report.diags.push(Diag::new(
+        if !used.contains(&i) {
+            diags.push(Diag::new(
                 "L0",
                 "allow-unused",
                 &f.path,
@@ -89,7 +100,7 @@ pub fn lint_file(f: &SourceFile, scope: Scope) -> FileReport {
             ));
         }
     }
-    report
+    diags
 }
 
 /// Looks up and consumes an allow for `rule` at `line`; returns true

@@ -3,9 +3,19 @@
 //! the analyzer must produce exactly those diagnostics and no others.
 //! Runs from the embedded copies, so `wormlint --self-test` works from
 //! any directory (and in CI before the test harness).
+//!
+//! Every fixture runs the *full* pipeline a workspace file would see:
+//! the per-file rules (L0-L4), the interprocedural pass (L5-L8) over a
+//! single-file call graph, and the allow-staleness check afterwards —
+//! so fixtures can pin down cross-function findings and escape-hatch
+//! hygiene alike.
+
+use std::time::Instant;
 
 use crate::analysis::SourceFile;
-use crate::rules::{lint_file, Scope};
+use crate::graph::{self, GraphFile};
+use crate::interp;
+use crate::rules::{lint_file, unused_allows, Scope};
 
 const SERVING: Scope = Scope {
     serving: true,
@@ -15,6 +25,10 @@ const CODEC: Scope = Scope {
     serving: true,
     codec_path: true,
 };
+
+/// Hard wall-clock budget for the whole corpus: the self-test gates
+/// CI and pre-commit runs, so it must stay interactive.
+const BUDGET_SECS: u64 = 5;
 
 /// The embedded fixture corpus: (name, scope, source).
 pub const FIXTURES: &[(&str, Scope, &str)] = &[
@@ -73,6 +87,56 @@ pub const FIXTURES: &[(&str, Scope, &str)] = &[
         CODEC,
         include_str!("../tests/fixtures/l4_good.rs"),
     ),
+    (
+        "l5_nested_bad.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l5_nested_bad.rs"),
+    ),
+    (
+        "l5_cycle_bad.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l5_cycle_bad.rs"),
+    ),
+    (
+        "l5_good.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l5_good.rs"),
+    ),
+    (
+        "l6_hold_bad.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l6_hold_bad.rs"),
+    ),
+    (
+        "l6_reactor_bad.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l6_reactor_bad.rs"),
+    ),
+    (
+        "l6_good.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l6_good.rs"),
+    ),
+    (
+        "l7_panic_bad.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l7_panic_bad.rs"),
+    ),
+    (
+        "l7_conc_good.rs",
+        SERVING,
+        include_str!("../tests/fixtures/l7_conc_good.rs"),
+    ),
+    (
+        "l8_bad.rs",
+        CODEC,
+        include_str!("../tests/fixtures/l8_bad.rs"),
+    ),
+    (
+        "l8_good.rs",
+        CODEC,
+        include_str!("../tests/fixtures/l8_good.rs"),
+    ),
 ];
 
 /// Every rule name a marker may reference; anything else in an
@@ -87,6 +151,12 @@ const MARKER_RULES: &[&str] = &[
     "cast",
     "allow-syntax",
     "allow-unused",
+    "lock-order",
+    "lock-cycle",
+    "hold-blocking",
+    "reactor-blocking",
+    "panic-reach",
+    "count-bomb",
 ];
 
 /// Expected diagnostics parsed from `//~ rule [rule ...]` markers.
@@ -106,20 +176,37 @@ fn expectations(src: &str) -> Result<Vec<(String, u32)>, String> {
     Ok(out)
 }
 
+/// Runs one fixture through the same passes a workspace file gets:
+/// per-file rules, the single-file interprocedural graph, and the
+/// allow-staleness check over the combined consumption set.
+fn check_fixture(name: &str, scope: Scope, src: &str) -> Vec<(String, u32)> {
+    let f = SourceFile::parse(name, src.to_string());
+    let mut report = lint_file(&f, scope);
+    let gr = graph::build(vec![GraphFile {
+        sf: &f,
+        krate: "fixture".to_string(),
+        serving: scope.serving,
+        codec: scope.codec_path,
+        orig: 0,
+    }]);
+    let iout = interp::check(&gr);
+    report.used_allows.extend(iout.used_allows[0].iter().copied());
+    let mut diags = report.diags;
+    diags.extend(iout.diags);
+    diags.extend(unused_allows(&f, &report.used_allows));
+    let mut got: Vec<(String, u32)> = diags.iter().map(|d| (d.rule.to_string(), d.line)).collect();
+    got.sort();
+    got
+}
+
 /// Runs the whole corpus. `Ok(summary)` when every fixture matches its
 /// markers exactly; `Err(details)` listing every mismatch otherwise.
 pub fn run() -> Result<String, String> {
+    let started = Instant::now();
     let mut failures = Vec::new();
     let mut checked = 0usize;
     for (name, scope, src) in FIXTURES {
-        let f = SourceFile::parse(name, (*src).to_string());
-        let report = lint_file(&f, *scope);
-        let mut got: Vec<(String, u32)> = report
-            .diags
-            .iter()
-            .map(|d| (d.rule.to_string(), d.line))
-            .collect();
-        got.sort();
+        let got = check_fixture(name, *scope, src);
         let want = match expectations(src) {
             Ok(w) => w,
             Err(e) => {
@@ -139,9 +226,15 @@ pub fn run() -> Result<String, String> {
         }
         checked += 1;
     }
+    let elapsed = started.elapsed();
+    if elapsed.as_secs() >= BUDGET_SECS {
+        failures.push(format!(
+            "self-test exceeded its {BUDGET_SECS}s wall-clock budget: {elapsed:.2?}"
+        ));
+    }
     if failures.is_empty() {
         Ok(format!(
-            "self-test ok: {checked} fixtures, {} expectations matched exactly",
+            "self-test ok: {checked} fixtures, {} expectations matched exactly in {elapsed:.2?}",
             FIXTURES
                 .iter()
                 .map(|(_, _, s)| expectations(s).map_or(0, |e| e.len()))

@@ -1,0 +1,26 @@
+//! L5 fixture: each nesting is individually justified, but the two
+//! observed acquisition orders disagree — the union of all orders
+//! must stay acyclic, and no comment can justify a cycle.
+
+use std::sync::Mutex;
+
+pub struct Ledger {
+    credit: Mutex<u64>,
+    debit: Mutex<u64>,
+}
+
+impl Ledger {
+    pub fn forward(&self) -> u64 {
+        let c = self.credit.lock();
+        // lock-order: fixture claims credit precedes debit
+        let d = self.debit.lock(); //~ lock-cycle
+        *c + *d
+    }
+
+    pub fn backward(&self) -> u64 {
+        let d = self.debit.lock();
+        // lock-order: fixture claims debit precedes credit
+        let c = self.credit.lock();
+        *c + *d
+    }
+}

@@ -1,0 +1,28 @@
+//! L5 fixture: a consistent two-level hierarchy with every nested
+//! acquisition justified — trailing or in the comment block above.
+
+use std::sync::Mutex;
+
+pub struct Planes {
+    head: Mutex<u64>,
+    tail: Mutex<u64>,
+}
+
+impl Planes {
+    pub fn advance(&self) -> u64 {
+        let h = self.head.lock();
+        // lock-order: head precedes tail everywhere in this fixture
+        let t = self.tail.lock();
+        *h + *t
+    }
+
+    pub fn sample(&self) -> u64 {
+        let h = self.head.lock();
+        let t = self.tail.lock(); // lock-order: head precedes tail (trailing form)
+        *h + *t
+    }
+
+    pub fn solo(&self) -> u64 {
+        *self.tail.lock()
+    }
+}

@@ -1,0 +1,28 @@
+//! L5 fixture: nested guard acquisitions without adjacent
+//! `// lock-order:` justifications — once inside a single function,
+//! once through a precise call edge (the callee inherits the caller's
+//! held set).
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u64>,
+    right: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn both(&self) -> u64 {
+        let l = self.left.lock();
+        let r = self.right.lock(); //~ lock-order
+        *l + *r
+    }
+
+    pub fn outer(&self) -> u64 {
+        let l = self.left.lock();
+        *l + self.inner()
+    }
+
+    fn inner(&self) -> u64 {
+        *self.right.lock() //~ lock-order
+    }
+}

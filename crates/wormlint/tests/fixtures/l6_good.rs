@@ -1,0 +1,28 @@
+//! L6 fixture: the guard is dropped before blocking, and the reactor
+//! loop's reachable set is block-free.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Gate {
+    state: Mutex<u64>,
+}
+
+impl Gate {
+    pub fn serve(&self) {
+        {
+            let _g = self.state.lock();
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+pub fn worker_loop(iterations: u32) {
+    for _ in 0..iterations {
+        step();
+    }
+}
+
+fn step() -> u64 {
+    7
+}

@@ -1,0 +1,28 @@
+//! L6 fixture: blocking operations while a guard may be held — at the
+//! acquiring function itself and inside a helper that inherits the
+//! held set through a precise call edge.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+pub struct Gate {
+    state: Mutex<u64>,
+}
+
+impl Gate {
+    pub fn serve(&self) {
+        let g = self.state.lock();
+        std::thread::sleep(Duration::from_millis(1)); //~ hold-blocking
+        drop(g);
+    }
+
+    pub fn serve_via_helper(&self) {
+        let g = self.state.lock();
+        self.pause();
+        drop(g);
+    }
+
+    fn pause(&self) {
+        std::thread::sleep(Duration::from_millis(1)); //~ hold-blocking
+    }
+}

@@ -1,0 +1,12 @@
+//! L6 fixture: nothing blocking may be reachable from the reactor
+//! loop — the walk follows every call edge, fan-out included.
+
+pub fn worker_loop(iterations: u32) {
+    for _ in 0..iterations {
+        poll_once();
+    }
+}
+
+fn poll_once() {
+    std::thread::sleep(std::time::Duration::from_millis(1)); //~ reactor-blocking
+}

@@ -1,0 +1,12 @@
+//! L7 fixture: a documented panic concentration point — every panic
+//! in the helper is `allow(panic)`-justified — firewalls reachability,
+//! so its callers stay clean.
+
+pub fn serve(v: Option<u32>) -> u32 {
+    checked(v)
+}
+
+fn checked(v: Option<u32>) -> u32 {
+    // wormlint: allow(panic) -- fixture invariant: the caller fills `v` before serving
+    v.expect("fixture invariant")
+}

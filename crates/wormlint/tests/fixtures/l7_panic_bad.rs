@@ -1,0 +1,11 @@
+//! L7 fixture: a serving-path call reaching a naked panic in a
+//! helper. The helper's own panic is L1's finding; the call that can
+//! reach it is L7's.
+
+pub fn serve(v: Option<u32>) -> u32 {
+    helper(v) //~ panic-reach
+}
+
+fn helper(v: Option<u32>) -> u32 {
+    v.unwrap() //~ panic
+}

@@ -1,0 +1,26 @@
+//! L8 fixture (codec-path scope): allocations sized by unbounded
+//! wire-supplied counts — the count bomb.
+
+pub struct Reader {
+    pub pos: usize,
+}
+
+impl Reader {
+    pub fn get_count(&mut self) -> usize {
+        self.pos
+    }
+}
+
+pub fn parse_items(r: &mut Reader) -> Vec<u64> {
+    let n = r.get_count();
+    let mut out = Vec::with_capacity(n); //~ count-bomb
+    for _ in 0..n {
+        out.push(0);
+    }
+    out
+}
+
+pub fn parse_payload(r: &mut Reader) -> Vec<u8> {
+    let n = r.get_count();
+    vec![0u8; n] //~ count-bomb
+}

@@ -1,0 +1,27 @@
+//! L8 fixture: wire counts bounded before sizing allocations — by a
+//! `.min(..)` clamp or an explicit limit comparison.
+
+pub const MAX_ITEMS: usize = 1024;
+
+pub struct Reader {
+    pub pos: usize,
+}
+
+impl Reader {
+    pub fn get_count(&mut self) -> usize {
+        self.pos
+    }
+}
+
+pub fn parse_clamped(r: &mut Reader) -> Vec<u64> {
+    let n = r.get_count().min(MAX_ITEMS);
+    Vec::with_capacity(n)
+}
+
+pub fn parse_checked(r: &mut Reader) -> Option<Vec<u64>> {
+    let n = r.get_count();
+    if n > MAX_ITEMS {
+        return None;
+    }
+    Some(Vec::with_capacity(n))
+}

@@ -274,6 +274,7 @@ impl BlockDevice for MemDisk {
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError> {
         let range = self.range(offset, buf.len())?;
+        // lock-order: MemDisk.data is a device leaf below witness/vrdt; IO takes no further lock
         let data = self.data.read();
         // The range was validated against the fixed capacity, which
         // equals the medium length by construction; `get` keeps even a
@@ -293,6 +294,7 @@ impl BlockDevice for MemDisk {
         // Validate the whole range BEFORE taking the write lock: either
         // every byte of `data` lands on the medium or none does.
         let range = self.range(offset, data.len())?;
+        // lock-order: MemDisk.data is a device leaf below witness/vrdt; IO takes no further lock
         let mut medium = self.data.write();
         let dst = medium.get_mut(range).ok_or(BlockError::OutOfRange {
             offset,

@@ -320,6 +320,7 @@ impl<D: BlockDevice> RecordStore<D> {
     fn write_inner(&self, data: &[u8]) -> Result<RecordDescriptor, StoreError> {
         let len = data.len() as u64;
         let (offset, id) = {
+            // lock-order: RecordStore.alloc follows witness/vrdt and is dropped before device IO
             let mut alloc = self.alloc.lock();
             let offset = alloc.allocate(len, self.dev.capacity())?;
             let id = RecordId(alloc.next_id);
@@ -328,6 +329,7 @@ impl<D: BlockDevice> RecordStore<D> {
         };
         self.dev.write_at(offset, data)?;
         {
+            // lock-order: RecordStore.alloc follows witness/vrdt and is dropped before device IO
             let mut alloc = self.alloc.lock();
             alloc.lifetime.bytes_written += len;
             alloc.lifetime.records_written += 1;
@@ -384,6 +386,7 @@ impl<D: BlockDevice> RecordStore<D> {
     /// compaction that vacates a relocation source after its `replace`
     /// record committed.
     pub fn release(&self, rd: &RecordDescriptor) {
+        // lock-order: RecordStore.alloc follows witness/vrdt and is dropped before device IO
         self.alloc.lock().release(rd.offset, rd.len);
     }
 
@@ -392,6 +395,7 @@ impl<D: BlockDevice> RecordStore<D> {
     /// [`crate::Shredder::write_pass`] itself so it can persist progress
     /// markers between passes).
     pub fn note_shredded(&self, rd: &RecordDescriptor) {
+        // lock-order: RecordStore.alloc follows witness/vrdt and is dropped before device IO
         let mut alloc = self.alloc.lock();
         alloc.lifetime.bytes_shredded += rd.len;
         alloc.lifetime.records_shredded += 1;
@@ -442,6 +446,7 @@ impl<D: BlockDevice> RecordStore<D> {
             return Ok(None);
         }
         let target = {
+            // lock-order: RecordStore.alloc follows witness/vrdt and is dropped before device IO
             let mut alloc = self.alloc.lock();
             let slot = alloc
                 .free_list
@@ -465,6 +470,7 @@ impl<D: BlockDevice> RecordStore<D> {
             self.dev.read_at(rd.offset, &mut buf)?;
             self.dev.write_at(target, &buf)
         })();
+        // lock-order: RecordStore.alloc follows witness/vrdt and is dropped before device IO
         let mut alloc = self.alloc.lock();
         if let Err(e) = copy {
             // Hand the slot back; the medium may hold a torn copy but the

@@ -216,6 +216,7 @@ impl<D: BlockDevice> BlockDevice for TornDisk<D> {
     }
 
     fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<(), BlockError> {
+        // lock-order: TornState.ctl is a device leaf below witness/vrdt; the fault injector takes no further lock
         if let Some(at_write) = self.state.ctl.lock().dead {
             return Err(BlockError::PowerLost { at_write });
         }
@@ -224,6 +225,7 @@ impl<D: BlockDevice> BlockDevice for TornDisk<D> {
 
     fn write_at(&self, offset: u64, data: &[u8]) -> Result<(), BlockError> {
         let fired = {
+            // lock-order: TornState.ctl is a device leaf below witness/vrdt; the fault injector takes no further lock
             let mut ctl = self.state.ctl.lock();
             if let Some(at_write) = ctl.dead {
                 return Err(BlockError::PowerLost { at_write });

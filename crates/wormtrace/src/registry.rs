@@ -153,6 +153,7 @@ impl Registry {
         // the common no-sink path; the lock acquire below is the real
         // synchronization point, so a stale hint only costs one event.
         if self.has_sink.load(Ordering::Relaxed) {
+            // lock-order: Registry.sink is a trace leaf; emitters may hold any plane lock above it
             if let Some(sink) = sync::read(&self.sink).as_ref() {
                 sink.on_event(&event);
             }
@@ -197,10 +198,12 @@ impl Registry {
                 .iter()
                 .map(|(name, op)| (name.clone(), op.snapshot()))
                 .collect(),
+            // lock-order: Registry.ops -> counters; snapshot reads the instrument maps in declaration order
             counters: sync::read(&self.counters)
                 .iter()
                 .map(|(name, c)| (name.clone(), c.get()))
                 .collect(),
+            // lock-order: Registry.counters -> gauges; snapshot reads the instrument maps in declaration order
             gauges: sync::read(&self.gauges)
                 .iter()
                 .map(|(name, g)| (name.clone(), g.get()))

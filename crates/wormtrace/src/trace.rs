@@ -90,6 +90,7 @@ impl EventRing {
 
     /// Appends an event, evicting (and counting) the oldest when full.
     pub fn push(&self, event: TraceEvent) {
+        // lock-order: EventRing.inner is the terminal trace leaf; no lock is acquired while the ring is held
         let mut inner = sync::lock(&self.inner);
         if inner.events.len() == self.capacity {
             inner.events.pop_front();
@@ -107,6 +108,7 @@ impl EventRing {
 
     /// How many events have been evicted unobserved.
     pub fn dropped(&self) -> u64 {
+        // lock-order: EventRing.inner is the terminal trace leaf; no lock is acquired while the ring is held
         sync::lock(&self.inner).dropped
     }
 

@@ -12,10 +12,14 @@ fi
 
 mkdir -p results
 
-# Writes results/ATOMICS_AUDIT.json: the wormlint.atomics.v1 inventory
-# of every atomic Ordering site and its justification.
-echo ">> wormlint atomics audit"
-cargo run --release -q -p wormlint -- --workspace --audit-out results/ATOMICS_AUDIT.json
+# Writes results/ATOMICS_AUDIT.json (wormlint.atomics.v1: every atomic
+# Ordering site and its justification) and results/LOCK_AUDIT.json
+# (wormlint.locks.v1: every lock acquisition, the observed nesting
+# edges, and the — required-empty — cycle set).
+echo ">> wormlint atomics + lock-order audits"
+cargo run --release -q -p wormlint -- --workspace \
+  --audit-out results/ATOMICS_AUDIT.json \
+  --lock-audit-out results/LOCK_AUDIT.json
 
 run() {
   local name="$1"; shift
